@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks behind Table I's overhead row: host time of
+//! native execution vs constrained pinball replay vs ELFie execution of
+//! the same region.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elfie::prelude::*;
+
+struct Prepared {
+    workload: Workload,
+    pinball: elfie::pinball::Pinball,
+    elfie_bytes: Vec<u8>,
+    sysstate: SysState,
+    start: u64,
+    region: u64,
+}
+
+fn prepare(w: Workload, start: u64, region: u64) -> Prepared {
+    let logger = elfie::pinplay::Logger::new(elfie::pinplay::LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(start),
+        region,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+    Prepared { workload: w, pinball, elfie_bytes: elfie.bytes, sysstate, start, region }
+}
+
+fn bench_modes(c: &mut Criterion, label: &str, p: &Prepared) {
+    let mut g = c.benchmark_group(label);
+    g.sample_size(10);
+    g.bench_function("native", |b| {
+        b.iter(|| {
+            let mut m = p.workload.machine(MachineConfig::default());
+            m.stop_conditions.push(elfie::vm::StopWhen::GlobalInsns(p.start + p.region));
+            std::hint::black_box(m.run(u64::MAX / 2));
+        })
+    });
+    g.bench_function("pinball_replay", |b| {
+        let replayer = Replayer::new(ReplayConfig::default());
+        b.iter(|| std::hint::black_box(replayer.replay(&p.pinball, |_| {})))
+    });
+    g.bench_function("elfie_native", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            p.sysstate.stage_files(&mut m);
+            elfie::elf::load(&mut m, &p.elfie_bytes, &elfie::elf::LoaderConfig::default())
+                .expect("loads");
+            std::hint::black_box(m.run(u64::MAX / 2));
+        })
+    });
+    g.finish();
+}
+
+fn table1_overhead(c: &mut Criterion) {
+    let st = prepare(elfie::workloads::exchange2_like(20), 50_000, 200_000);
+    bench_modes(c, "table1/single_thread", &st);
+    let mt = prepare(elfie::workloads::bwaves_s_like(6, 4), 10_000, 200_000);
+    bench_modes(c, "table1/multi_thread_4", &mt);
+}
+
+criterion_group!(benches, table1_overhead);
+criterion_main!(benches);

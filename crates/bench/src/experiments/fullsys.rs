@@ -1,0 +1,90 @@
+//! **Table IV** — application-level vs full-system simulation with
+//! CoreSim.
+
+use crate::{pct, Table};
+use elfie::prelude::*;
+
+/// Simulates one x264-like single-region ELFie on the Skylake-like CoreSim
+/// model, once with the user-level (SDE) front-end and once with the
+/// full-system (Simics) front-end that models ring-0 kernel work through
+//  the same caches/TLBs.
+///
+/// Paper numbers for reference: +1.6% ring-0 instructions, +5.2% simulated
+/// runtime, +45.4% data footprint.
+pub fn table4() -> String {
+    let w = elfie::workloads::x264_like(3 * InputScale::Train.factor());
+    // One large single-region SimPoint, like the paper's 10B-instruction
+    // region of 525.x264_r.
+    let region = 400_000u64;
+    let logger = elfie::pinplay::Logger::new(elfie::pinplay::LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(30_000),
+        region,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+
+    let run = |full_system: bool| {
+        let sim = Simulator {
+            full_system,
+            roi: elfie::sim::RoiMode::FromMarker(MarkerKind::Ssc),
+            ..Simulator::coresim_sde()
+        };
+        simulate_elfie(&elfie.bytes, &sim, vec![], |m| sysstate.stage_files(m)).expect("loads")
+    };
+    let user = run(false);
+    let full = run(true);
+
+    let ring3 = user.stats.user_insns;
+    let ring0 = full.stats.kernel_insns;
+    let runtime_delta =
+        full.runtime_ns as f64 / user.runtime_ns.max(1) as f64 - 1.0;
+    let fp_user = (user.stats.footprint_lines + user.stats.kernel_footprint_lines) * 64;
+    let fp_full = (full.stats.footprint_lines + full.stats.kernel_footprint_lines) * 64;
+    let fp_delta = fp_full as f64 / fp_user.max(1) as f64 - 1.0;
+
+    let mut t = Table::new(&["metric", "user-level (SDE)", "full-system (Simics)", "delta"]);
+    t.row(&[
+        "ring-3 instructions".into(),
+        user.stats.user_insns.to_string(),
+        full.stats.user_insns.to_string(),
+        "=".into(),
+    ]);
+    t.row(&[
+        "ring-0 instructions".into(),
+        "0".into(),
+        ring0.to_string(),
+        pct(ring0 as f64 / ring3 as f64),
+    ]);
+    t.row(&[
+        "simulated runtime (ns)".into(),
+        user.runtime_ns.to_string(),
+        full.runtime_ns.to_string(),
+        pct(runtime_delta),
+    ]);
+    t.row(&[
+        "data footprint (bytes)".into(),
+        fp_user.to_string(),
+        fp_full.to_string(),
+        pct(fp_delta),
+    ]);
+    t.row(&[
+        "dTLB misses".into(),
+        user.stats.dtlb_misses.to_string(),
+        full.stats.dtlb_misses.to_string(),
+        pct(full.stats.dtlb_misses as f64 / user.stats.dtlb_misses.max(1) as f64 - 1.0),
+    ]);
+    t.row(&[
+        "prefetches issued".into(),
+        user.stats.prefetches.to_string(),
+        full.stats.prefetches.to_string(),
+        pct(full.stats.prefetches as f64 / user.stats.prefetches.max(1) as f64 - 1.0),
+    ]);
+    format!(
+        "Table IV: user-level vs full-system simulation of one x264-like ELFie region\n\
+         (Skylake-like CoreSim, {region} instructions; paper: +1.6% ring-0, +5.2% runtime,\n\
+         +45.4% footprint)\n\n{}",
+        t.render()
+    )
+}

@@ -1,0 +1,116 @@
+//! **Table I** (overhead row) — run-time overhead of constrained pinball
+//! replay vs native execution, and of an ELFie vs native execution.
+//!
+//! The paper quotes ~15× (single-threaded) and ~40× (multi-threaded)
+//! slowdown for pinball replay under Pin, and "none (except start-up
+//! overhead)" for ELFies. Our replayer is a library on the same
+//! interpreter rather than a DBI engine, so absolute factors are smaller,
+//! but the ordering — MT replay ≫ ST replay > native ≈ ELFie — is the
+//! reproduced shape.
+
+use crate::Table;
+use elfie::prelude::*;
+use std::time::Instant;
+
+fn host_secs(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64()
+}
+
+/// One measurement set: native run, constrained replay, ELFie run.
+pub struct OverheadRow {
+    /// Workload name.
+    pub name: String,
+    /// Threads in the region.
+    pub threads: usize,
+    /// Native host seconds.
+    pub native: f64,
+    /// Replay host seconds.
+    pub replay: f64,
+    /// ELFie host seconds.
+    pub elfie: f64,
+}
+
+/// Measures one workload's region three ways (host wall-clock).
+pub fn measure(w: &Workload, start: u64, region: u64) -> Option<OverheadRow> {
+    let logger = elfie::pinplay::Logger::new(elfie::pinplay::LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(start),
+        region,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).ok()?;
+    let threads = pinball.threads.len();
+
+    // Native: run the original program over the same span.
+    let native = host_secs(|| {
+        let mut m = w.machine(MachineConfig::default());
+        m.stop_conditions.push(elfie::vm::StopWhen::GlobalInsns(start + region));
+        m.run(u64::MAX / 2);
+    });
+
+    // Constrained replay.
+    let replayer = Replayer::new(ReplayConfig::default());
+    let replay = host_secs(|| {
+        let s = replayer.replay(&pinball, |_| {});
+        assert!(s.completed, "{}: replay diverged: {:?}", w.name, s.divergence);
+    });
+
+    // ELFie native run.
+    let (elf, sysstate) = elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).ok()?;
+    let elfie_secs = host_secs(|| {
+        let mut m = Machine::new(MachineConfig::default());
+        sysstate.stage_files(&mut m);
+        elfie::elf::load(&mut m, &elf.bytes, &elfie::elf::LoaderConfig::default())
+            .expect("loads");
+        m.run(u64::MAX / 2);
+    });
+
+    Some(OverheadRow { name: w.name.clone(), threads, native, replay, elfie: elfie_secs })
+}
+
+/// The Table I overhead row, measured.
+pub fn table1() -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "threads",
+        "native (s)",
+        "replay (s)",
+        "replay/native",
+        "elfie (s)",
+        "elfie/native",
+    ]);
+    let cases: Vec<(Workload, u64, u64)> = vec![
+        (elfie::workloads::exchange2_like(40), 50_000, 400_000),
+        (elfie::workloads::mcf_like(20), 50_000, 400_000),
+        (elfie::workloads::bwaves_s_like(10, 4), 10_000, 400_000),
+        (elfie::workloads::sweep3d_s_like(10, 4), 10_000, 400_000),
+    ];
+    for (w, start, region) in &cases {
+        match measure(w, *start, *region) {
+            Some(r) => t.row(&[
+                r.name.clone(),
+                r.threads.to_string(),
+                format!("{:.3}", r.native),
+                format!("{:.3}", r.replay),
+                format!("{:.2}x", r.replay / r.native),
+                format!("{:.3}", r.elfie),
+                format!("{:.2}x", r.elfie / r.native),
+            ]),
+            None => t.row(&[
+                w.name.clone(),
+                "-".into(),
+                "failed".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    format!(
+        "Table I (overhead row): run-time overhead over a native run\n\
+         (paper: pinball replay ~15x ST / ~40x MT; ELFie ~none beyond startup)\n\n{}",
+        t.render()
+    )
+}

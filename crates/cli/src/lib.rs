@@ -1,0 +1,583 @@
+//! # elfie-cli
+//!
+//! The command-line face of the tool-chain, mirroring how the paper's
+//! tools are driven:
+//!
+//! ```text
+//! elfie workloads                                  # list benchmarks
+//! elfie record gcc_like --start 50000 --length 20000 --out pb/
+//! elfie sysstate pb/ gcc_like --out sysstate/
+//! elfie pinball2elf pb/ gcc_like --out gcc.elfie --roi ssc:1
+//! elfie run gcc.elfie --sysstate sysstate/
+//! elfie replay pb/ gcc_like [--injection 0]
+//! elfie simpoint gcc_like --slice 50000 --maxk 20
+//! elfie simulate gcc.elfie --sim gem5-haswell
+//! elfie disasm gcc.elfie
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies); every command
+//! is a library function returning its report as a `String`, so the whole
+//! surface is unit-testable without spawning processes.
+
+use elfie::prelude::*;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A CLI failure: message for stderr, non-zero exit.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Simple option scanner: `--name value` pairs plus positionals.
+#[derive(Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses raw arguments. `--opt value` becomes an option unless the
+    /// name is in `flag_names` (then it is a bare flag).
+    pub fn parse(raw: &[String], flag_names: &[&str]) -> Args {
+        let mut a = Args::default();
+        let mut it = raw.iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if flag_names.contains(&name) {
+                    a.flags.push(name.to_string());
+                } else if let Some(v) = it.next() {
+                    a.options.push((name.to_string(), v.clone()));
+                } else {
+                    a.flags.push(name.to_string());
+                }
+            } else {
+                a.positional.push(tok.clone());
+            }
+        }
+        a
+    }
+
+    fn pos(&self, i: usize, what: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(i)
+            .map(|s| s.as_str())
+            .ok_or_else(|| err(format!("missing <{what}> argument")))
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn opt_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{name} expects an integer"))),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn find_workload(name: &str, scale: InputScale) -> Result<Workload, CliError> {
+    let mut all = suite_int(scale);
+    all.extend(suite_fp(scale));
+    all.extend(suite_speed_mt(scale, 4));
+    all.into_iter()
+        .find(|w| w.name == name)
+        .ok_or_else(|| err(format!("unknown workload `{name}` (try `elfie workloads`)")))
+}
+
+fn parse_scale(s: Option<&str>) -> Result<InputScale, CliError> {
+    match s.unwrap_or("train") {
+        "test" => Ok(InputScale::Test),
+        "train" => Ok(InputScale::Train),
+        "ref" => Ok(InputScale::Ref),
+        other => Err(err(format!("unknown scale `{other}` (test|train|ref)"))),
+    }
+}
+
+/// `elfie workloads` — lists the benchmark suite.
+pub fn cmd_workloads() -> String {
+    let mut out = String::from("single-threaded int:\n");
+    for w in suite_int(InputScale::Test) {
+        let _ = writeln!(out, "  {}", w.name);
+    }
+    out.push_str("single-threaded fp:\n");
+    for w in suite_fp(InputScale::Test) {
+        let _ = writeln!(out, "  {}", w.name);
+    }
+    out.push_str("multi-threaded speed (4 threads by default):\n");
+    for w in suite_speed_mt(InputScale::Test, 4) {
+        let _ = writeln!(out, "  {}", w.name);
+    }
+    out
+}
+
+/// `elfie record <workload> --start N --length N --out DIR [--scale S] [--regular]`
+pub fn cmd_record(args: &Args) -> Result<String, CliError> {
+    let name = args.pos(0, "workload")?;
+    let scale = parse_scale(args.opt("scale"))?;
+    let w = find_workload(name, scale)?;
+    let start = args.opt_u64("start", 0)?;
+    let length = args.opt_u64("length", 100_000)?;
+    let out = PathBuf::from(args.opt("out").unwrap_or("."));
+    let trigger = if start == 0 {
+        RegionTrigger::ProgramStart
+    } else {
+        RegionTrigger::GlobalIcount(start)
+    };
+    let cfg = if args.flag("regular") {
+        LoggerConfig::regular(&w.name, trigger, length)
+    } else {
+        LoggerConfig::fat(&w.name, trigger, length)
+    };
+    let pb = Logger::new(cfg)
+        .capture(&w.program, |m| w.setup(m))
+        .map_err(|e| err(format!("capture failed: {e}")))?;
+    pb.save_dir(&out).map_err(|e| err(format!("save failed: {e}")))?;
+    Ok(format!(
+        "captured {} ({} pages, {} thread(s), {} instructions) -> {}",
+        pb.region.name,
+        pb.image.page_count(),
+        pb.threads.len(),
+        pb.region.length,
+        out.display()
+    ))
+}
+
+fn load_pinball(dir: &str, name: &str) -> Result<Pinball, CliError> {
+    Pinball::load_dir(Path::new(dir), name).map_err(|e| err(format!("load pinball: {e}")))
+}
+
+/// `elfie sysstate <pinball-dir> <name> --out DIR`
+pub fn cmd_sysstate(args: &Args) -> Result<String, CliError> {
+    let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
+    let st = SysState::extract(&pb);
+    let out = PathBuf::from(args.opt("out").unwrap_or("sysstate"));
+    st.save_dir(&out).map_err(|e| err(format!("save failed: {e}")))?;
+    Ok(format!(
+        "sysstate: {} named proxies, {} FD_n proxies, brk first={:?} last={:?} -> {}",
+        st.files.len(),
+        st.fd_files.len(),
+        st.brk_first,
+        st.brk_last,
+        out.display()
+    ))
+}
+
+/// `elfie pinball2elf <pinball-dir> <name> --out FILE [--roi kind:tag]
+/// [--no-graceful] [--no-callbacks] [--monitor] [--object] [--force]
+/// [--sysstate DIR] [--stack-only]`
+pub fn cmd_pinball2elf(args: &Args) -> Result<String, CliError> {
+    let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
+    let out = PathBuf::from(args.opt("out").unwrap_or("a.elfie"));
+    let mut opts = ConvertOptions {
+        graceful_exit: !args.flag("no-graceful"),
+        callbacks: !args.flag("no-callbacks"),
+        monitor_thread: args.flag("monitor"),
+        object_only: args.flag("object"),
+        force_regular: args.flag("force"),
+        ..ConvertOptions::default()
+    };
+    if args.flag("stack-only") {
+        opts.remap = RemapMode::StackOnly;
+    }
+    if let Some(spec) = args.opt("roi") {
+        let (kind, tag) = spec
+            .split_once(':')
+            .ok_or_else(|| err("--roi expects TYPE:TAG (e.g. ssc:1)"))?;
+        let kind = MarkerKind::parse(kind)
+            .ok_or_else(|| err(format!("unknown marker type `{kind}` (sniper|ssc|simics)")))?;
+        let tag: u32 = tag.parse().map_err(|_| err("--roi tag must be an integer"))?;
+        opts.roi_marker = Some((kind, tag));
+    }
+    if let Some(dir) = args.opt("sysstate") {
+        let st = SysState::load_dir(Path::new(dir))
+            .map_err(|e| err(format!("load sysstate: {e}")))?;
+        opts.sysstate = Some(st);
+    }
+    let elfie = convert(&pb, &opts).map_err(|e| err(format!("conversion failed: {e}")))?;
+    std::fs::write(&out, &elfie.bytes).map_err(|e| err(format!("write failed: {e}")))?;
+    if let Some(ld) = args.opt("linker-script") {
+        std::fs::write(ld, &elfie.linker_script).map_err(|e| err(e.to_string()))?;
+    }
+    if let Some(asm) = args.opt("startup-asm") {
+        std::fs::write(asm, &elfie.startup_asm).map_err(|e| err(e.to_string()))?;
+    }
+    Ok(format!(
+        "wrote {} ({} bytes, {} threads, {} sections remapped, startup {} bytes)",
+        out.display(),
+        elfie.stats.elf_bytes,
+        elfie.stats.threads,
+        elfie.stats.remapped_runs,
+        elfie.stats.startup_bytes
+    ))
+}
+
+/// `elfie pinball2pe <pinball-dir> <name> --out FILE`
+pub fn cmd_pinball2pe(args: &Args) -> Result<String, CliError> {
+    let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
+    let out = PathBuf::from(args.opt("out").unwrap_or("a.pe"));
+    let bytes = elfie::pinball2elf::pe::convert_pe(&pb).map_err(err)?;
+    std::fs::write(&out, &bytes).map_err(|e| err(format!("write failed: {e}")))?;
+    Ok(format!("wrote {} ({} bytes, PE32+ container)", out.display(), bytes.len()))
+}
+
+/// `elfie run <elfie-file> [--sysstate DIR] [--seed N] [--fuel N]`
+pub fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let path = args.pos(0, "elfie-file")?;
+    let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
+    let seed = args.opt_u64("seed", 42)?;
+    let fuel = args.opt_u64("fuel", 2_000_000_000)?;
+    let mut m = Machine::new(MachineConfig { seed, ..MachineConfig::default() });
+    if let Some(dir) = args.opt("sysstate") {
+        let st = SysState::load_dir(Path::new(dir))
+            .map_err(|e| err(format!("load sysstate: {e}")))?;
+        st.stage_files(&mut m);
+    }
+    elfie::elf::load(&mut m, &bytes, &elfie::elf::LoaderConfig { seed, ..Default::default() })
+        .map_err(|e| err(format!("load failed: {e}")))?;
+    let s = m.run(fuel);
+    let mut out = format!("exit: {:?}\n", s.reason);
+    for t in &m.threads {
+        let _ = writeln!(
+            out,
+            "thread {}: {} instructions, {} cycles, CPI {:.3}",
+            t.tid,
+            t.icount,
+            t.cycles,
+            t.cycles as f64 / t.icount.max(1) as f64
+        );
+    }
+    if !m.kernel.stdout.is_empty() {
+        let _ = writeln!(out, "stdout: {}", String::from_utf8_lossy(&m.kernel.stdout));
+    }
+    Ok(out)
+}
+
+/// `elfie replay <pinball-dir> <name> [--injection 0|1]`
+pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
+    let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
+    let injection = args.opt_u64("injection", 1)? != 0;
+    let cfg = if injection { ReplayConfig::default() } else { ReplayConfig::injectionless() };
+    let s = Replayer::new(cfg).replay(&pb, |_| {});
+    let mut out = format!(
+        "replay {}: completed={} injected={} lazy_pages={} instructions={}\n",
+        pb.region.name, s.completed, s.injected_syscalls, s.lazy_pages_injected, s.global_icount
+    );
+    if let Some(d) = &s.divergence {
+        let _ = writeln!(out, "divergence: {d}");
+    }
+    for (tid, n) in &s.per_thread {
+        let _ = writeln!(out, "thread {tid}: {n} instructions");
+    }
+    Ok(out)
+}
+
+/// `elfie simpoint <workload> [--scale S] [--slice N] [--warmup N] [--maxk N]`
+pub fn cmd_simpoint(args: &Args) -> Result<String, CliError> {
+    let name = args.pos(0, "workload")?;
+    let scale = parse_scale(args.opt("scale"))?;
+    let w = find_workload(name, scale)?;
+    let cfg = PinPointsConfig {
+        slice_size: args.opt_u64("slice", 100_000)?,
+        warmup: args.opt_u64("warmup", 200_000)?,
+        max_k: args.opt_u64("maxk", 50)? as usize,
+        ..PinPointsConfig::default()
+    };
+    let points = elfie::pipeline::select_regions(&w, &cfg, 10_000_000_000);
+    let mut out = format!(
+        "{}: {} instructions, {} slices, {} phases\n",
+        w.name, points.total_insns, points.slices, points.k
+    );
+    for p in &points.points {
+        let _ = writeln!(
+            out,
+            "cluster {} rank {}: slice {} (start {}, length {}, warmup {}) weight {:.4}",
+            p.cluster, p.rank, p.slice_index, p.start_icount, p.length, p.warmup, p.weight
+        );
+    }
+    Ok(out)
+}
+
+/// `elfie simulate <elfie-file> [--sim NAME] [--sysstate DIR]`
+pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args.pos(0, "elfie-file")?;
+    let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
+    let sim = match args.opt("sim").unwrap_or("coresim") {
+        "sniper" => Simulator::sniper(),
+        "coresim" => Simulator::coresim_sde(),
+        "coresim-fs" => Simulator::coresim_simics(),
+        "gem5-nehalem" => Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like()),
+        "gem5-haswell" => Simulator::gem5_se(elfie::sim::CoreParams::haswell_like()),
+        other => {
+            return Err(err(format!(
+                "unknown simulator `{other}` (sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell)"
+            )))
+        }
+    };
+    let sysstate = match args.opt("sysstate") {
+        Some(dir) => Some(
+            SysState::load_dir(Path::new(dir)).map_err(|e| err(format!("load sysstate: {e}")))?,
+        ),
+        None => None,
+    };
+    let out = simulate_elfie(&bytes, &sim, vec![], |m| {
+        if let Some(st) = &sysstate {
+            st.stage_files(m);
+        }
+    })
+    .map_err(|e| err(format!("load failed: {e}")))?;
+    Ok(format!(
+        "sim {}: exit {:?}\nuser insns {}  kernel insns {}  cycles {}  IPC {:.3}  runtime {} ns\n\
+         L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines",
+        sim.params.name,
+        out.exit,
+        out.stats.user_insns,
+        out.stats.kernel_insns,
+        out.cycles,
+        out.ipc,
+        out.runtime_ns,
+        out.stats.l1d_misses,
+        out.stats.l2_misses,
+        out.stats.l3_misses,
+        out.stats.dtlb_misses,
+        out.stats.mispredicts,
+        out.stats.footprint_lines,
+    ))
+}
+
+/// `elfie disasm <elfie-file> [--section NAME]`
+pub fn cmd_disasm(args: &Args) -> Result<String, CliError> {
+    let path = args.pos(0, "elfie-file")?;
+    let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
+    let file = elfie::elf::ElfFile::parse(&bytes).map_err(|e| err(format!("parse: {e}")))?;
+    let name = args.opt("section").unwrap_or(".text.startup");
+    let sec = file
+        .section(name)
+        .ok_or_else(|| err(format!("no section `{name}`")))?;
+    Ok(format!(
+        "{name} at {:#x} ({} bytes):\n{}",
+        sec.addr,
+        sec.data.len(),
+        elfie::isa::listing(&sec.data, sec.addr)
+    ))
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+elfie — ELFies tool-chain (CGO'21 reproduction)
+
+USAGE: elfie <command> [args]
+
+COMMANDS:
+  workloads                              list available benchmarks
+  record <workload> [--scale test|train|ref] [--start N] [--length N]
+         [--out DIR] [--regular]         capture a region as a pinball
+  sysstate <dir> <name> [--out DIR]      extract SYSSTATE from a pinball
+  pinball2elf <dir> <name> [--out FILE] [--roi TYPE:TAG] [--no-graceful]
+         [--no-callbacks] [--monitor] [--object] [--force] [--stack-only]
+         [--sysstate DIR] [--linker-script FILE] [--startup-asm FILE]
+                                         convert a pinball to an ELFie
+  pinball2pe <dir> <name> [--out FILE]   convert a pinball to a PE32+ container
+  run <file> [--sysstate DIR] [--seed N] [--fuel N]
+                                         run an ELFie natively
+  replay <dir> <name> [--injection 0|1]  constrained replay of a pinball
+  simpoint <workload> [--slice N] [--warmup N] [--maxk N] [--scale S]
+                                         PinPoints region selection
+  simulate <file> [--sim sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell]
+         [--sysstate DIR]                simulate an ELFie
+  disasm <file> [--section NAME]         disassemble an ELFie section
+";
+
+/// Dispatches a parsed command line. Returns the report to print.
+pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(err(USAGE));
+    };
+    let rest = &argv[1..];
+    let flags = &[
+        "regular",
+        "no-graceful",
+        "no-callbacks",
+        "monitor",
+        "object",
+        "force",
+        "stack-only",
+    ][..];
+    let args = Args::parse(rest, flags);
+    match cmd.as_str() {
+        "workloads" => Ok(cmd_workloads()),
+        "record" => cmd_record(&args),
+        "sysstate" => cmd_sysstate(&args),
+        "pinball2elf" => cmd_pinball2elf(&args),
+        "pinball2pe" => cmd_pinball2pe(&args),
+        "run" => cmd_run(&args),
+        "replay" => cmd_replay(&args),
+        "simpoint" => cmd_simpoint(&args),
+        "simulate" => cmd_simulate(&args),
+        "disasm" => cmd_disasm(&args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|t| t.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("elfie-cli-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn workloads_lists_suites() {
+        let out = cmd_workloads();
+        assert!(out.contains("gcc_like"));
+        assert!(out.contains("lbm_like"));
+        assert!(out.contains("xz_s_like"));
+    }
+
+    #[test]
+    fn full_cli_roundtrip_record_convert_run() {
+        let dir = tmp("roundtrip");
+        let pbdir = dir.join("pb");
+        let out = dispatch(&argv(&format!(
+            "record mcf_like --scale test --start 20000 --length 5000 --out {}",
+            pbdir.display()
+        )))
+        .expect("record");
+        assert!(out.contains("captured"), "{out}");
+
+        let ssdir = dir.join("ss");
+        let out = dispatch(&argv(&format!(
+            "sysstate {} mcf_like --out {}",
+            pbdir.display(),
+            ssdir.display()
+        )))
+        .expect("sysstate");
+        assert!(out.contains("sysstate"), "{out}");
+
+        let elfie = dir.join("mcf.elfie");
+        let out = dispatch(&argv(&format!(
+            "pinball2elf {} mcf_like --out {} --roi ssc:7 --sysstate {}",
+            pbdir.display(),
+            elfie.display(),
+            ssdir.display()
+        )))
+        .expect("convert");
+        assert!(out.contains("wrote"), "{out}");
+        assert!(elfie.exists());
+
+        let out = dispatch(&argv(&format!(
+            "run {} --sysstate {} --seed 3",
+            elfie.display(),
+            ssdir.display()
+        )))
+        .expect("run");
+        assert!(out.contains("AllExited(0)"), "{out}");
+        assert!(out.contains("thread 0"), "{out}");
+
+        let out = dispatch(&argv(&format!("disasm {}", elfie.display()))).expect("disasm");
+        assert!(out.contains("repmovs") || out.contains("mov"), "{out}");
+
+        let out = dispatch(&argv(&format!(
+            "simulate {} --sim gem5-haswell --sysstate {}",
+            elfie.display(),
+            ssdir.display()
+        )))
+        .expect("simulate");
+        assert!(out.contains("IPC"), "{out}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_command_reports_completion() {
+        let dir = tmp("replay");
+        dispatch(&argv(&format!(
+            "record exchange2_like --scale test --start 5000 --length 2000 --out {}",
+            dir.display()
+        )))
+        .expect("record");
+        let out = dispatch(&argv(&format!("replay {} exchange2_like", dir.display())))
+            .expect("replay");
+        assert!(out.contains("completed=true"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pinball2pe_writes_mz_file() {
+        let dir = tmp("pe");
+        dispatch(&argv(&format!(
+            "record xz_like --scale test --start 10000 --length 3000 --out {}",
+            dir.display()
+        )))
+        .expect("record");
+        let pe = dir.join("xz.pe");
+        let out = dispatch(&argv(&format!(
+            "pinball2pe {} xz_like --out {}",
+            dir.display(),
+            pe.display()
+        )))
+        .expect("convert");
+        assert!(out.contains("PE32+"), "{out}");
+        let bytes = std::fs::read(&pe).unwrap();
+        assert_eq!(&bytes[..2], b"MZ");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simpoint_command_prints_points() {
+        let out =
+            dispatch(&argv("simpoint gcc_like --scale test --slice 5000 --maxk 8")).expect("ok");
+        assert!(out.contains("phases"), "{out}");
+        assert!(out.contains("cluster 0 rank 0"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(dispatch(&argv("record nonexistent_workload")).is_err());
+        assert!(dispatch(&argv("bogus_command")).is_err());
+        assert!(dispatch(&argv("run /no/such/file")).is_err());
+        assert!(dispatch(&argv("pinball2elf /no/such dir")).is_err());
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&argv("simulate x --sim warp-drive")).is_err());
+    }
+
+    #[test]
+    fn args_parser_handles_options_and_flags() {
+        let a = Args::parse(
+            &argv("pos1 --num 5 --flag pos2 --name value"),
+            &["flag"],
+        );
+        assert_eq!(a.pos(0, "x").unwrap(), "pos1");
+        assert_eq!(a.pos(1, "x").unwrap(), "pos2");
+        assert_eq!(a.opt_u64("num", 0).unwrap(), 5);
+        assert!(a.flag("flag"));
+        assert_eq!(a.opt("name"), Some("value"));
+        assert!(a.pos(2, "x").is_err());
+        assert!(a.opt_u64("name", 0).is_err(), "non-integer option");
+    }
+}

@@ -1,0 +1,363 @@
+//! Dynamic program analysis with ELFies (paper Section III-A).
+//!
+//! ELFies "can be fed to dynamic program-analysis tools ... that work with
+//! regular program binaries". This module is the Pin-tool analogue for the
+//! reproduction: observers that compute instruction mix, memory footprint
+//! and branch behaviour, with the paper's two requirements handled —
+//! analysis is gated on the ROI marker (skipping the ELFie startup code)
+//! and ends gracefully via the instruction count recorded in the ELFie's
+//! metadata symbols (or the embedded graceful-exit counters).
+
+use elfie_isa::{AluOp, Insn, MarkerKind};
+use elfie_vm::{Machine, MachineConfig, Observer};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Instruction-class mix.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InsnMix {
+    /// Loads (including pops and returns).
+    pub loads: u64,
+    /// Stores (including pushes and calls).
+    pub stores: u64,
+    /// Conditional branches.
+    pub cond_branches: u64,
+    /// Unconditional jumps, calls and returns.
+    pub jumps: u64,
+    /// Scalar floating-point operations.
+    pub fp: u64,
+    /// Atomic read-modify-write operations.
+    pub atomics: u64,
+    /// Integer multiply/divide.
+    pub muldiv: u64,
+    /// System calls.
+    pub syscalls: u64,
+    /// Everything else.
+    pub other: u64,
+    /// Total classified instructions.
+    pub total: u64,
+}
+
+impl InsnMix {
+    fn classify(&mut self, insn: &Insn) {
+        self.total += 1;
+        if insn.is_atomic() {
+            self.atomics += 1;
+        } else if matches!(insn, Insn::Jcc(..)) {
+            self.cond_branches += 1;
+        } else if insn.is_control_flow() {
+            self.jumps += 1;
+        } else if matches!(
+            insn,
+            Insn::FpRR(..)
+                | Insn::MovsdXM(..)
+                | Insn::MovsdMX(..)
+                | Insn::MovsdXX(..)
+                | Insn::Cvtsi2sd(..)
+                | Insn::Cvttsd2si(..)
+                | Insn::Comisd(..)
+        ) {
+            self.fp += 1;
+        } else if matches!(
+            insn,
+            Insn::AluRR(AluOp::Imul | AluOp::Udiv | AluOp::Urem, ..)
+                | Insn::AluRI(AluOp::Imul | AluOp::Udiv | AluOp::Urem, ..)
+        ) {
+            self.muldiv += 1;
+        } else if matches!(insn, Insn::Syscall) {
+            self.syscalls += 1;
+        } else if insn.reads_memory() {
+            self.loads += 1;
+        } else if insn.writes_memory() {
+            self.stores += 1;
+        } else {
+            self.other += 1;
+        }
+    }
+}
+
+/// Memory footprint statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Footprint {
+    code_pages: HashSet<u64>,
+    data_pages: HashSet<u64>,
+    data_lines: HashSet<u64>,
+    /// Total data bytes accessed (with multiplicity).
+    pub data_traffic: u64,
+}
+
+impl Footprint {
+    /// Distinct code pages touched.
+    pub fn code_pages(&self) -> u64 {
+        self.code_pages.len() as u64
+    }
+
+    /// Distinct data pages touched.
+    pub fn data_pages(&self) -> u64 {
+        self.data_pages.len() as u64
+    }
+
+    /// Distinct 64-byte data lines touched.
+    pub fn data_lines(&self) -> u64 {
+        self.data_lines.len() as u64
+    }
+}
+
+/// The combined dynamic-analysis tool. Attach as a machine [`Observer`],
+/// or use [`analyze_elfie`] for the whole flow.
+#[derive(Debug, Default)]
+pub struct AnalysisTool {
+    roi: Option<MarkerKind>,
+    active: bool,
+    /// Instruction-class mix.
+    pub mix: InsnMix,
+    /// Footprint statistics.
+    pub footprint: Footprint,
+    /// Per-branch (pc → (executed, taken)) for the hottest branches.
+    branches: BTreeMap<u64, (u64, u64)>,
+    pending_branch: BTreeMap<u32, (u64, u64)>,
+    /// Per-thread instruction counts inside the ROI.
+    pub per_thread: BTreeMap<u32, u64>,
+}
+
+impl AnalysisTool {
+    /// Analysis active from the first instruction (plain binaries).
+    pub fn new() -> AnalysisTool {
+        AnalysisTool { active: true, ..AnalysisTool::default() }
+    }
+
+    /// Analysis gated on an ROI marker (ELFies: skip the startup code).
+    pub fn gated(roi: MarkerKind) -> AnalysisTool {
+        AnalysisTool { roi: Some(roi), active: false, ..AnalysisTool::default() }
+    }
+
+    /// The `n` most-executed conditional branches: `(pc, executed, taken)`.
+    pub fn hot_branches(&self, n: usize) -> Vec<(u64, u64, u64)> {
+        let mut v: Vec<(u64, u64, u64)> =
+            self.branches.iter().map(|(&pc, &(ex, tk))| (pc, ex, tk)).collect();
+        v.sort_by_key(|&(_, ex, _)| std::cmp::Reverse(ex));
+        v.truncate(n);
+        v
+    }
+}
+
+impl Observer for AnalysisTool {
+    fn on_insn(&mut self, tid: u32, rip: u64, insn: &Insn, len: usize) {
+        if !self.active {
+            if let (Some(kind), Insn::Marker(k, tag)) = (self.roi, insn) {
+                if *k == kind && !(0xE1F0..=0xE1F2).contains(tag) {
+                    self.active = true;
+                }
+            }
+            return;
+        }
+        if let Some((pc, fallthrough)) = self.pending_branch.remove(&tid) {
+            let e = self.branches.entry(pc).or_insert((0, 0));
+            e.0 += 1;
+            if rip != fallthrough {
+                e.1 += 1;
+            }
+        }
+        self.mix.classify(insn);
+        *self.per_thread.entry(tid).or_insert(0) += 1;
+        self.footprint.code_pages.insert(elfie_isa::page_base(rip));
+        if let Insn::Jcc(..) = insn {
+            self.pending_branch.insert(tid, (rip, rip + len as u64));
+        }
+    }
+
+    fn on_mem_read(&mut self, tid: u32, addr: u64, size: u64) {
+        let _ = tid;
+        if self.active {
+            self.footprint.data_pages.insert(elfie_isa::page_base(addr));
+            self.footprint.data_lines.insert(addr / 64);
+            self.footprint.data_traffic += size;
+        }
+    }
+
+    fn on_mem_write(&mut self, tid: u32, addr: u64, size: u64) {
+        self.on_mem_read(tid, addr, size);
+    }
+}
+
+/// A rendered analysis report.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Instruction mix.
+    pub mix: InsnMix,
+    /// Distinct code pages.
+    pub code_pages: u64,
+    /// Distinct data pages.
+    pub data_pages: u64,
+    /// Distinct 64-byte lines.
+    pub data_lines: u64,
+    /// Data bytes moved.
+    pub data_traffic: u64,
+    /// Hot conditional branches `(pc, executed, taken)`.
+    pub hot_branches: Vec<(u64, u64, u64)>,
+    /// Per-thread ROI instruction counts.
+    pub per_thread: BTreeMap<u32, u64>,
+}
+
+impl fmt::Display for AnalysisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.mix;
+        let pct = |n: u64| 100.0 * n as f64 / m.total.max(1) as f64;
+        writeln!(f, "instructions analysed: {}", m.total)?;
+        writeln!(
+            f,
+            "  loads {:.1}%  stores {:.1}%  cond-branches {:.1}%  jumps {:.1}%",
+            pct(m.loads),
+            pct(m.stores),
+            pct(m.cond_branches),
+            pct(m.jumps)
+        )?;
+        writeln!(
+            f,
+            "  fp {:.1}%  mul/div {:.1}%  atomics {:.1}%  syscalls {:.1}%  other {:.1}%",
+            pct(m.fp),
+            pct(m.muldiv),
+            pct(m.atomics),
+            pct(m.syscalls),
+            pct(m.other)
+        )?;
+        writeln!(
+            f,
+            "footprint: {} code pages, {} data pages, {} lines, {} bytes of traffic",
+            self.code_pages, self.data_pages, self.data_lines, self.data_traffic
+        )?;
+        writeln!(f, "hot conditional branches:")?;
+        for (pc, ex, tk) in &self.hot_branches {
+            writeln!(
+                f,
+                "  {pc:#x}: executed {ex}, taken {tk} ({:.1}%)",
+                100.0 * *tk as f64 / (*ex).max(1) as f64
+            )?;
+        }
+        for (tid, n) in &self.per_thread {
+            writeln!(f, "thread {tid}: {n} instructions in ROI")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs an ELFie under the analysis tool, skipping the startup code via
+/// the ROI marker and relying on the embedded graceful exit.
+///
+/// # Errors
+/// Returns the loader error when the image cannot be loaded.
+pub fn analyze_elfie(
+    elf_bytes: &[u8],
+    roi: MarkerKind,
+    seed: u64,
+    fuel: u64,
+    stage: impl FnOnce(&mut Machine<AnalysisTool>),
+) -> Result<AnalysisReport, elfie_elf::LoadError> {
+    let mut m = Machine::with_observer(
+        MachineConfig { seed, ..MachineConfig::default() },
+        AnalysisTool::gated(roi),
+    );
+    stage(&mut m);
+    let loader = elfie_elf::LoaderConfig { seed, ..elfie_elf::LoaderConfig::default() };
+    elfie_elf::load(&mut m, elf_bytes, &loader)?;
+    m.run(fuel);
+    let tool = &m.obs;
+    Ok(AnalysisReport {
+        mix: tool.mix.clone(),
+        code_pages: tool.footprint.code_pages(),
+        data_pages: tool.footprint.data_pages(),
+        data_lines: tool.footprint.data_lines(),
+        data_traffic: tool.footprint.data_traffic,
+        hot_branches: tool.hot_branches(5),
+        per_thread: tool.per_thread.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_isa::{Cond, Mem, Reg};
+
+    #[test]
+    fn mix_classification() {
+        let mut mix = InsnMix::default();
+        mix.classify(&Insn::Load(Reg::Rax, Mem::base(Reg::Rbx)));
+        mix.classify(&Insn::Store(Mem::base(Reg::Rbx), Reg::Rax));
+        mix.classify(&Insn::Jcc(Cond::E, 4));
+        mix.classify(&Insn::Jmp(4));
+        mix.classify(&Insn::FpRR(elfie_isa::FpOp::Add, elfie_isa::Xmm(0), elfie_isa::Xmm(1)));
+        mix.classify(&Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx));
+        mix.classify(&Insn::AluRI(AluOp::Imul, Reg::Rax, 3));
+        mix.classify(&Insn::Syscall);
+        mix.classify(&Insn::Nop);
+        assert_eq!(mix.total, 9);
+        assert_eq!(
+            (mix.loads, mix.stores, mix.cond_branches, mix.jumps),
+            (1, 1, 1, 1)
+        );
+        assert_eq!((mix.fp, mix.atomics, mix.muldiv, mix.syscalls, mix.other), (1, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn gated_tool_waits_for_roi() {
+        let mut t = AnalysisTool::gated(MarkerKind::Ssc);
+        t.on_insn(0, 0x100, &Insn::Nop, 1);
+        assert_eq!(t.mix.total, 0);
+        // Callback tags do not activate.
+        t.on_insn(0, 0x101, &Insn::Marker(MarkerKind::Ssc, 0xE1F0), 6);
+        assert_eq!(t.mix.total, 0);
+        t.on_insn(0, 0x107, &Insn::Marker(MarkerKind::Ssc, 3), 6);
+        t.on_insn(0, 0x10d, &Insn::Nop, 1);
+        assert_eq!(t.mix.total, 1);
+    }
+
+    #[test]
+    fn branch_statistics_track_taken_rate() {
+        let mut t = AnalysisTool::new();
+        let br = Insn::Jcc(Cond::E, 10);
+        for i in 0..10u64 {
+            t.on_insn(0, 0x1000, &br, 6);
+            let next = if i < 7 { 0x1010 } else { 0x1006 }; // 7 taken, 3 not
+            t.on_insn(0, next, &Insn::Nop, 1);
+        }
+        let hot = t.hot_branches(1);
+        assert_eq!(hot, vec![(0x1000, 10, 7)]);
+    }
+
+    #[test]
+    fn footprint_counts_distinct_units() {
+        let mut t = AnalysisTool::new();
+        t.on_mem_read(0, 0x1000, 8);
+        t.on_mem_read(0, 0x1008, 8); // same line
+        t.on_mem_write(0, 0x1040, 8); // new line, same page
+        t.on_mem_read(0, 0x5000, 8); // new page
+        assert_eq!(t.footprint.data_pages(), 2);
+        assert_eq!(t.footprint.data_lines(), 3);
+        assert_eq!(t.footprint.data_traffic, 32);
+    }
+
+    #[test]
+    fn end_to_end_elfie_analysis() {
+        use elfie_pinplay::{Logger, LoggerConfig};
+        let w = elfie_workloads::xz_like(1);
+        let logger = Logger::new(LoggerConfig::fat(
+            &w.name,
+            elfie_pinball::RegionTrigger::GlobalIcount(30_000),
+            5_000,
+        ));
+        let pb = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+        let (elfie, sysstate) =
+            crate::pipeline::make_elfie(&pb, MarkerKind::Ssc).expect("converts");
+        let report = analyze_elfie(&elfie.bytes, MarkerKind::Ssc, 1, 100_000_000, |m| {
+            sysstate.stage_files(m)
+        })
+        .expect("loads");
+        // Analysis covers the region (± trampoline), not the startup.
+        assert!(report.mix.total >= 5_000 && report.mix.total <= 5_050);
+        assert!(report.mix.cond_branches > 300, "xz is branchy: {}", report.mix.cond_branches);
+        assert!(report.data_pages >= 1);
+        assert!(!report.hot_branches.is_empty());
+        let text = report.to_string();
+        assert!(text.contains("instructions analysed"), "{text}");
+    }
+}

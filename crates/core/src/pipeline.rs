@@ -1,0 +1,211 @@
+//! End-to-end pipelines: PinPoints selection → pinball capture → ELFie
+//! generation → native measurement → validation. This is the glue the
+//! paper's Fig. 1 draws: *Region Selection → Region Capture → ELFie
+//! Generation → (Simulation | Dynamic Program Analysis | Native
+//! Performance Analysis)*.
+
+use crate::perf::{self, NativeMeasurement};
+use elfie_isa::MarkerKind;
+use elfie_pinball::{Pinball, RegionTrigger};
+use elfie_pinball2elf::{convert, ConvertError, ConvertOptions, Elfie};
+use elfie_pinplay::{CaptureError, Logger, LoggerConfig};
+use elfie_simpoint::{
+    pick, prediction_error, profile_program, weighted_prediction, PinPoint, PinPoints,
+    PinPointsConfig,
+};
+use elfie_sysstate::SysState;
+use elfie_vm::MachineConfig;
+use elfie_workloads::Workload;
+use std::fmt;
+
+/// Errors from the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Region capture failed.
+    Capture(CaptureError),
+    /// ELFie conversion failed.
+    Convert(ConvertError),
+    /// ELFie load failed.
+    Load(elfie_elf::LoadError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Capture(e) => write!(f, "capture: {e}"),
+            PipelineError::Convert(e) => write!(f, "convert: {e}"),
+            PipelineError::Load(e) => write!(f, "load: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<CaptureError> for PipelineError {
+    fn from(e: CaptureError) -> Self {
+        PipelineError::Capture(e)
+    }
+}
+
+impl From<ConvertError> for PipelineError {
+    fn from(e: ConvertError) -> Self {
+        PipelineError::Convert(e)
+    }
+}
+
+impl From<elfie_elf::LoadError> for PipelineError {
+    fn from(e: elfie_elf::LoadError) -> Self {
+        PipelineError::Load(e)
+    }
+}
+
+/// Profiles a workload and runs PinPoints region selection.
+pub fn select_regions(w: &Workload, cfg: &PinPointsConfig, fuel: u64) -> PinPoints {
+    let profile = profile_program(
+        &w.program,
+        MachineConfig::default(),
+        cfg.slice_size,
+        fuel,
+        |m| w.setup(m),
+    );
+    pick(&profile, cfg)
+}
+
+/// Captures a fat pinball for one selected region, including its warm-up
+/// span (the region descriptor records the split).
+pub fn capture_pinpoint(w: &Workload, point: &PinPoint) -> Result<Pinball, CaptureError> {
+    let start = point.start_icount.saturating_sub(point.warmup);
+    let warmup = point.start_icount - start;
+    let mut cfg = LoggerConfig::fat(
+        &w.name,
+        if start == 0 { RegionTrigger::ProgramStart } else { RegionTrigger::GlobalIcount(start) },
+        warmup + point.length,
+    );
+    cfg.warmup = warmup;
+    cfg.weight = point.weight;
+    cfg.slice_index = point.slice_index;
+    Logger::new(cfg).capture(&w.program, |m| w.setup(m))
+}
+
+/// Captures a whole region and produces an ELFie with the standard recipe:
+/// sysstate extracted and embedded, graceful exit armed, ROI marker of the
+/// given kind tagged with the slice index.
+pub fn make_elfie(pinball: &Pinball, roi_kind: MarkerKind) -> Result<(Elfie, SysState), ConvertError> {
+    let sysstate = SysState::extract(pinball);
+    let opts = ConvertOptions {
+        roi_marker: Some((roi_kind, pinball.region.slice_index as u32 + 1)),
+        sysstate: Some(sysstate.clone()),
+        ..ConvertOptions::default()
+    };
+    Ok((convert(pinball, &opts)?, sysstate))
+}
+
+/// One region's validation record.
+#[derive(Debug, Clone)]
+pub struct RegionResult {
+    /// Which cluster/rank the region came from.
+    pub cluster: usize,
+    /// Rank within the cluster (0 = representative).
+    pub rank: usize,
+    /// Slice index.
+    pub slice_index: u64,
+    /// Cluster weight.
+    pub weight: f64,
+    /// The native measurement of the ELFie region (warm-up excluded).
+    pub measurement: Option<NativeMeasurement>,
+}
+
+/// A full ELFie-based validation of a region selection.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Whole-program CPI measured natively (the "true value").
+    pub true_cpi: f64,
+    /// Weighted region prediction of CPI.
+    pub predicted_cpi: f64,
+    /// Signed prediction error, paper definition.
+    pub error: f64,
+    /// Sum of cluster weights with at least one working region.
+    pub coverage: f64,
+    /// Per-region detail (every candidate tried).
+    pub regions: Vec<RegionResult>,
+    /// Phases found.
+    pub k: usize,
+}
+
+/// Runs the complete ELFie-based validation flow of paper Section IV-A:
+/// select regions, build an ELFie per region (falling back to alternates
+/// when a candidate fails), measure each natively with hardware counters,
+/// and compare the weighted prediction against the whole-program run.
+pub fn validate_with_elfies(
+    w: &Workload,
+    cfg: &PinPointsConfig,
+    seed: u64,
+    fuel: u64,
+) -> Result<ValidationReport, PipelineError> {
+    let points = select_regions(w, cfg, fuel);
+    let whole = perf::measure_program(w, seed, fuel);
+
+    let mut regions = Vec::new();
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut coverage = 0.0;
+    for cluster in 0..points.k {
+        let mut covered = false;
+        for cand in points.candidates(cluster) {
+            let mut record = RegionResult {
+                cluster,
+                rank: cand.rank,
+                slice_index: cand.slice_index,
+                weight: cand.weight,
+                measurement: None,
+            };
+            let result = capture_pinpoint(w, cand)
+                .map_err(PipelineError::from)
+                .and_then(|pb| make_elfie(&pb, MarkerKind::Ssc).map_err(PipelineError::from))
+                .and_then(|(elfie, sysstate)| {
+                    perf::measure_elfie(
+                        &elfie.bytes,
+                        MarkerKind::Ssc,
+                        cand.warmup,
+                        seed,
+                        fuel,
+                        |m| {
+                            sysstate.stage_files(m);
+                            // Large data arrays the workload maps at run
+                            // time are part of the pinball image already;
+                            // nothing else to stage.
+                        },
+                    )
+                    .map_err(PipelineError::from)
+                });
+            match result {
+                Ok(meas) if meas.completed && meas.insns > 0 => {
+                    record.measurement = Some(meas);
+                    regions.push(record);
+                    samples.push((cand.weight, meas.cpi));
+                    coverage += cand.weight;
+                    covered = true;
+                }
+                Ok(meas) => {
+                    record.measurement = Some(meas);
+                    regions.push(record);
+                }
+                Err(_) => {
+                    regions.push(record);
+                }
+            }
+            if covered {
+                break; // representative worked; no alternate needed
+            }
+        }
+    }
+
+    let predicted = weighted_prediction(&samples);
+    Ok(ValidationReport {
+        true_cpi: whole.cpi,
+        predicted_cpi: predicted,
+        error: prediction_error(whole.cpi, predicted),
+        coverage,
+        regions,
+        k: points.k,
+    })
+}

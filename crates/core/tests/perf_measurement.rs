@@ -1,0 +1,117 @@
+//! Tests of the libperfle-style native measurement: warm-up exclusion,
+//! graceful-exit integration and whole-program measurement.
+
+use elfie::prelude::*;
+
+fn region_elfie(
+    w: &Workload,
+    start: u64,
+    warmup: u64,
+    length: u64,
+) -> (elfie::pinball2elf::Elfie, SysState, elfie::pinball::Pinball) {
+    let mut cfg = LoggerConfig::fat(&w.name, RegionTrigger::GlobalIcount(start), warmup + length);
+    cfg.warmup = warmup;
+    let pb = Logger::new(cfg).capture(&w.program, |m| w.setup(m)).expect("captures");
+    let (elfie, st) = elfie::pipeline::make_elfie(&pb, MarkerKind::Ssc).expect("converts");
+    (elfie, st, pb)
+}
+
+#[test]
+fn warmup_is_excluded_from_the_measured_span() {
+    let w = elfie::workloads::mcf_like(2);
+    let warmup = 10_000u64;
+    let length = 20_000u64;
+    let (elfie, st, _pb) = region_elfie(&w, 100_000, warmup, length);
+
+    let with_warmup = measure_elfie(&elfie.bytes, MarkerKind::Ssc, warmup, 3, 1_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    assert!(with_warmup.completed);
+    // Measured span = region only (± trampoline).
+    assert!(
+        with_warmup.insns >= length && with_warmup.insns <= length + 16,
+        "measured {}",
+        with_warmup.insns
+    );
+
+    let no_warmup = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 3, 1_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    assert!(
+        no_warmup.insns >= warmup + length && no_warmup.insns <= warmup + length + 16,
+        "whole region measured without the split: {}",
+        no_warmup.insns
+    );
+}
+
+#[test]
+fn warmup_lowers_measured_cpi_for_cache_hungry_regions() {
+    // mcf's pointer chase benefits from warm caches: the measured CPI with
+    // a warm-up must not exceed the cold-start CPI.
+    let w = elfie::workloads::mcf_like(4);
+    let (elfie, st, _pb) = region_elfie(&w, 400_000, 40_000, 40_000);
+    let warm = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 40_000, 3, 2_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    let cold = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 3, 2_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    assert!(warm.completed && cold.completed);
+    assert!(
+        warm.cpi <= cold.cpi + 1e-9,
+        "warm {:.4} vs cold {:.4}",
+        warm.cpi,
+        cold.cpi
+    );
+}
+
+#[test]
+fn whole_program_measurement_reports_totals() {
+    let w = elfie::workloads::exchange2_like(1);
+    let m = measure_program(&w, 1, 100_000_000);
+    assert!(m.completed);
+    assert!(m.insns > 100_000);
+    assert!(m.cycles >= m.insns / 8, "cycles plausible");
+    assert!(m.cpi > 0.1 && m.cpi < 100.0);
+}
+
+#[test]
+fn measurement_is_deterministic_on_this_substrate() {
+    // Documented property: the emulated "hardware" has no measurement
+    // noise, so identical runs coincide exactly (EXPERIMENTS.md discusses
+    // how Fig. 9's trials are seeded instead).
+    let w = elfie::workloads::xz_like(1);
+    let (elfie, st, _pb) = region_elfie(&w, 50_000, 5_000, 10_000);
+    let a = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 5_000, 1, 1_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    let b = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 5_000, 999, 1_000_000_000, |m| {
+        st.stage_files(m)
+    })
+    .expect("loads");
+    assert_eq!(a.insns, b.insns);
+    assert_eq!(a.cycles, b.cycles, "single-threaded: no seed sensitivity");
+}
+
+#[test]
+fn failed_region_is_reported_not_completed() {
+    // A forced regular-pinball ELFie dies before its ROI: the measurement
+    // must say so instead of fabricating numbers.
+    let w = elfie::workloads::gcc_like(1);
+    let cfg = LoggerConfig::regular(&w.name, RegionTrigger::GlobalIcount(60_000), 10_000);
+    let pb = Logger::new(cfg).capture(&w.program, |m| w.setup(m)).expect("captures");
+    let opts = ConvertOptions {
+        force_regular: true,
+        roi_marker: Some((MarkerKind::Ssc, 1)),
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("forced conversion");
+    let m = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 1, 100_000_000, |_| {})
+        .expect("loads fine; dies later");
+    assert!(!m.completed, "ungraceful exit reported: {:?}", m.exit);
+}

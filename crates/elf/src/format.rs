@@ -1,0 +1,379 @@
+//! ELF64 on-disk structures and constants, per the TIS ELF specification
+//! the paper cites. Only the subset ELFies need is modelled, but the
+//! binary layout (header fields, sizes, offsets) is the real ELF64 layout.
+
+/// ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+/// 64-bit class.
+pub const ELFCLASS64: u8 = 2;
+/// Little-endian data encoding.
+pub const ELFDATA2LSB: u8 = 1;
+/// Current ELF version.
+pub const EV_CURRENT: u8 = 1;
+/// Executable file type.
+pub const ET_EXEC: u16 = 2;
+/// Relocatable object file type (pinball2elf can also emit objects).
+pub const ET_REL: u16 = 1;
+/// Machine id for the elfie-isa guest architecture (vendor-specific).
+pub const EM_ELFIE: u16 = 0xE1F1;
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one program header entry.
+pub const PHDR_SIZE: usize = 56;
+/// Size of one section header entry.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one symbol table entry.
+pub const SYM_SIZE: usize = 24;
+
+/// Loadable program segment.
+pub const PT_LOAD: u32 = 1;
+
+/// Segment is executable.
+pub const PF_X: u32 = 1;
+/// Segment is writable.
+pub const PF_W: u32 = 2;
+/// Segment is readable.
+pub const PF_R: u32 = 4;
+
+/// Inactive section header.
+pub const SHT_NULL: u32 = 0;
+/// Program-defined contents.
+pub const SHT_PROGBITS: u32 = 1;
+/// Symbol table.
+pub const SHT_SYMTAB: u32 = 2;
+/// String table.
+pub const SHT_STRTAB: u32 = 3;
+/// Zero-initialised (no file contents).
+pub const SHT_NOBITS: u32 = 8;
+
+/// Section is writable at run time.
+pub const SHF_WRITE: u64 = 1;
+/// Section occupies memory at run time ("allocatable"). pinball2elf marks
+/// the captured stack pages **non**-allocatable to dodge the stack
+/// collision (paper Section II-B3).
+pub const SHF_ALLOC: u64 = 2;
+/// Section contains executable instructions.
+pub const SHF_EXECINSTR: u64 = 4;
+
+/// The ELF64 file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ehdr {
+    /// Object file type (`ET_EXEC` / `ET_REL`).
+    pub e_type: u16,
+    /// Machine architecture.
+    pub e_machine: u16,
+    /// Program entry point virtual address.
+    pub e_entry: u64,
+    /// Program header table file offset.
+    pub e_phoff: u64,
+    /// Section header table file offset.
+    pub e_shoff: u64,
+    /// Number of program headers.
+    pub e_phnum: u16,
+    /// Number of section headers.
+    pub e_shnum: u16,
+    /// Index of the section-name string table.
+    pub e_shstrndx: u16,
+}
+
+impl Ehdr {
+    /// Serialises to the 64-byte ELF64 header.
+    pub fn to_bytes(&self) -> [u8; EHDR_SIZE] {
+        let mut b = [0u8; EHDR_SIZE];
+        b[0..4].copy_from_slice(&ELF_MAGIC);
+        b[4] = ELFCLASS64;
+        b[5] = ELFDATA2LSB;
+        b[6] = EV_CURRENT;
+        // e_ident padding stays zero.
+        b[16..18].copy_from_slice(&self.e_type.to_le_bytes());
+        b[18..20].copy_from_slice(&self.e_machine.to_le_bytes());
+        b[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+        b[24..32].copy_from_slice(&self.e_entry.to_le_bytes());
+        b[32..40].copy_from_slice(&self.e_phoff.to_le_bytes());
+        b[40..48].copy_from_slice(&self.e_shoff.to_le_bytes());
+        // e_flags = 0
+        b[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes());
+        b[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        b[56..58].copy_from_slice(&self.e_phnum.to_le_bytes());
+        b[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+        b[60..62].copy_from_slice(&self.e_shnum.to_le_bytes());
+        b[62..64].copy_from_slice(&self.e_shstrndx.to_le_bytes());
+        b
+    }
+
+    /// Parses and validates the header.
+    pub fn from_bytes(b: &[u8]) -> Result<Ehdr, ElfParseError> {
+        if b.len() < EHDR_SIZE {
+            return Err(ElfParseError::Truncated("ELF header"));
+        }
+        if b[0..4] != ELF_MAGIC {
+            return Err(ElfParseError::BadMagic);
+        }
+        if b[4] != ELFCLASS64 || b[5] != ELFDATA2LSB {
+            return Err(ElfParseError::Unsupported("not a little-endian ELF64"));
+        }
+        let u16at = |o: usize| u16::from_le_bytes(b[o..o + 2].try_into().expect("2 bytes"));
+        let u64at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Ok(Ehdr {
+            e_type: u16at(16),
+            e_machine: u16at(18),
+            e_entry: u64at(24),
+            e_phoff: u64at(32),
+            e_shoff: u64at(40),
+            e_phnum: u16at(56),
+            e_shnum: u16at(60),
+            e_shstrndx: u16at(62),
+        })
+    }
+}
+
+/// An ELF64 program header (segment descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phdr {
+    /// Segment type (`PT_LOAD`).
+    pub p_type: u32,
+    /// Access flags (`PF_R | PF_W | PF_X`).
+    pub p_flags: u32,
+    /// File offset of the segment contents.
+    pub p_offset: u64,
+    /// Virtual load address.
+    pub p_vaddr: u64,
+    /// Bytes stored in the file.
+    pub p_filesz: u64,
+    /// Bytes occupied in memory (≥ filesz; rest zero-filled).
+    pub p_memsz: u64,
+    /// Alignment (page size).
+    pub p_align: u64,
+}
+
+impl Phdr {
+    /// Serialises to the 56-byte program header entry.
+    pub fn to_bytes(&self) -> [u8; PHDR_SIZE] {
+        let mut b = [0u8; PHDR_SIZE];
+        b[0..4].copy_from_slice(&self.p_type.to_le_bytes());
+        b[4..8].copy_from_slice(&self.p_flags.to_le_bytes());
+        b[8..16].copy_from_slice(&self.p_offset.to_le_bytes());
+        b[16..24].copy_from_slice(&self.p_vaddr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.p_vaddr.to_le_bytes()); // p_paddr mirrors vaddr
+        b[32..40].copy_from_slice(&self.p_filesz.to_le_bytes());
+        b[40..48].copy_from_slice(&self.p_memsz.to_le_bytes());
+        b[48..56].copy_from_slice(&self.p_align.to_le_bytes());
+        b
+    }
+
+    /// Parses one entry.
+    pub fn from_bytes(b: &[u8]) -> Result<Phdr, ElfParseError> {
+        if b.len() < PHDR_SIZE {
+            return Err(ElfParseError::Truncated("program header"));
+        }
+        let u32at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("4 bytes"));
+        let u64at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Ok(Phdr {
+            p_type: u32at(0),
+            p_flags: u32at(4),
+            p_offset: u64at(8),
+            p_vaddr: u64at(16),
+            p_filesz: u64at(32),
+            p_memsz: u64at(40),
+            p_align: u64at(48),
+        })
+    }
+}
+
+/// An ELF64 section header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shdr {
+    /// Offset of the section name in `.shstrtab`.
+    pub sh_name: u32,
+    /// Section type.
+    pub sh_type: u32,
+    /// Section flags.
+    pub sh_flags: u64,
+    /// Virtual address (0 for non-allocatable sections).
+    pub sh_addr: u64,
+    /// File offset of the contents.
+    pub sh_offset: u64,
+    /// Size in bytes.
+    pub sh_size: u64,
+    /// Link field (symtab → strtab index).
+    pub sh_link: u32,
+    /// Entry size for table sections.
+    pub sh_entsize: u64,
+}
+
+impl Shdr {
+    /// Serialises to the 64-byte section header entry.
+    pub fn to_bytes(&self) -> [u8; SHDR_SIZE] {
+        let mut b = [0u8; SHDR_SIZE];
+        b[0..4].copy_from_slice(&self.sh_name.to_le_bytes());
+        b[4..8].copy_from_slice(&self.sh_type.to_le_bytes());
+        b[8..16].copy_from_slice(&self.sh_flags.to_le_bytes());
+        b[16..24].copy_from_slice(&self.sh_addr.to_le_bytes());
+        b[24..32].copy_from_slice(&self.sh_offset.to_le_bytes());
+        b[32..40].copy_from_slice(&self.sh_size.to_le_bytes());
+        b[40..44].copy_from_slice(&self.sh_link.to_le_bytes());
+        // sh_info (44..48) and sh_addralign (48..56) stay zero/default.
+        b[48..56].copy_from_slice(&8u64.to_le_bytes());
+        b[56..64].copy_from_slice(&self.sh_entsize.to_le_bytes());
+        b
+    }
+
+    /// Parses one entry.
+    pub fn from_bytes(b: &[u8]) -> Result<Shdr, ElfParseError> {
+        if b.len() < SHDR_SIZE {
+            return Err(ElfParseError::Truncated("section header"));
+        }
+        let u32at = |o: usize| u32::from_le_bytes(b[o..o + 4].try_into().expect("4 bytes"));
+        let u64at = |o: usize| u64::from_le_bytes(b[o..o + 8].try_into().expect("8 bytes"));
+        Ok(Shdr {
+            sh_name: u32at(0),
+            sh_type: u32at(4),
+            sh_flags: u64at(8),
+            sh_addr: u64at(16),
+            sh_offset: u64at(24),
+            sh_size: u64at(32),
+            sh_link: u32at(40),
+            sh_entsize: u64at(56),
+        })
+    }
+}
+
+/// An ELF64 symbol table entry (name offset + value only; the rest of the
+/// fields keep their defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sym {
+    /// Offset of the symbol name in `.strtab`.
+    pub st_name: u32,
+    /// Symbol value (address).
+    pub st_value: u64,
+}
+
+impl Sym {
+    /// Serialises to the 24-byte symbol entry.
+    pub fn to_bytes(&self) -> [u8; SYM_SIZE] {
+        let mut b = [0u8; SYM_SIZE];
+        b[0..4].copy_from_slice(&self.st_name.to_le_bytes());
+        // st_info = GLOBAL<<4 | NOTYPE = 0x10, st_other = 0, st_shndx = ABS.
+        b[4] = 0x10;
+        b[6..8].copy_from_slice(&0xfff1u16.to_le_bytes()); // SHN_ABS
+        b[8..16].copy_from_slice(&self.st_value.to_le_bytes());
+        b
+    }
+
+    /// Parses one entry.
+    pub fn from_bytes(b: &[u8]) -> Result<Sym, ElfParseError> {
+        if b.len() < SYM_SIZE {
+            return Err(ElfParseError::Truncated("symbol"));
+        }
+        Ok(Sym {
+            st_name: u32::from_le_bytes(b[0..4].try_into().expect("4 bytes")),
+            st_value: u64::from_le_bytes(b[8..16].try_into().expect("8 bytes")),
+        })
+    }
+}
+
+/// Errors parsing an ELF image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElfParseError {
+    /// Missing/incorrect `\x7fELF` magic.
+    BadMagic,
+    /// Ran off the end of the buffer.
+    Truncated(&'static str),
+    /// Structurally valid but unsupported (e.g. 32-bit, big-endian).
+    Unsupported(&'static str),
+    /// Internal inconsistency (bad offsets, bad string table).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ElfParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfParseError::BadMagic => write!(f, "bad ELF magic"),
+            ElfParseError::Truncated(what) => write!(f, "truncated {what}"),
+            ElfParseError::Unsupported(what) => write!(f, "unsupported ELF: {what}"),
+            ElfParseError::Corrupt(what) => write!(f, "corrupt ELF: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ElfParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ehdr_roundtrip() {
+        let h = Ehdr {
+            e_type: ET_EXEC,
+            e_machine: EM_ELFIE,
+            e_entry: 0x200000,
+            e_phoff: 64,
+            e_shoff: 4096,
+            e_phnum: 3,
+            e_shnum: 7,
+            e_shstrndx: 6,
+        };
+        let b = h.to_bytes();
+        assert_eq!(&b[0..4], &ELF_MAGIC);
+        assert_eq!(Ehdr::from_bytes(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn ehdr_rejects_garbage() {
+        assert_eq!(Ehdr::from_bytes(&[0u8; 64]).unwrap_err(), ElfParseError::BadMagic);
+        assert!(matches!(
+            Ehdr::from_bytes(&[0u8; 10]),
+            Err(ElfParseError::Truncated(_))
+        ));
+        let mut b = Ehdr {
+            e_type: ET_EXEC,
+            e_machine: EM_ELFIE,
+            e_entry: 0,
+            e_phoff: 0,
+            e_shoff: 0,
+            e_phnum: 0,
+            e_shnum: 0,
+            e_shstrndx: 0,
+        }
+        .to_bytes();
+        b[4] = 1; // 32-bit class
+        assert!(matches!(Ehdr::from_bytes(&b), Err(ElfParseError::Unsupported(_))));
+    }
+
+    #[test]
+    fn phdr_roundtrip() {
+        let p = Phdr {
+            p_type: PT_LOAD,
+            p_flags: PF_R | PF_X,
+            p_offset: 0x1000,
+            p_vaddr: 0x400000,
+            p_filesz: 0x2000,
+            p_memsz: 0x3000,
+            p_align: 4096,
+        };
+        assert_eq!(Phdr::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+
+    #[test]
+    fn shdr_roundtrip() {
+        let s = Shdr {
+            sh_name: 17,
+            sh_type: SHT_PROGBITS,
+            sh_flags: SHF_ALLOC | SHF_EXECINSTR,
+            sh_addr: 0x400000,
+            sh_offset: 0x1000,
+            sh_size: 0x800,
+            sh_link: 0,
+            sh_entsize: 0,
+        };
+        assert_eq!(Shdr::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn sym_roundtrip() {
+        let s = Sym { st_name: 5, st_value: 0xdeadbeef };
+        assert_eq!(Sym::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+}

@@ -1,0 +1,1264 @@
+//! A two-pass textual assembler for the guest ISA.
+//!
+//! The syntax is Intel-flavoured. One statement per line; comments start
+//! with `;` or `#`.
+//!
+//! ```text
+//! .org 0x400000          ; start a chunk at this virtual address
+//! start:
+//!     mov rax, counter   ; label used as a 64-bit immediate
+//!     mov rbx, [rax]     ; 64-bit load
+//!     add rbx, 1
+//!     mov [rax], rbx     ; 64-bit store
+//!     syscall
+//! .align 8
+//! counter:
+//!     .quad 0
+//! ```
+//!
+//! Supported directives: `.org ADDR`, `.entry LABEL`, `.align N`,
+//! `.byte V[, V...]`, `.quad V[, V...]` (values may be labels),
+//! `.zero N`, `.asciz "text"`.
+//!
+//! Instruction lengths never depend on label values (immediates and rel32
+//! displacements are fixed-width), so two passes suffice: layout, then
+//! resolve-and-encode.
+
+use crate::encode::encode_into;
+use crate::insn::{AluOp, Cond, FpOp, Insn, MarkerKind, Mem, Scale, Seg};
+use crate::reg::{Reg, Xmm};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A contiguous run of assembled bytes placed at a fixed virtual address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Virtual address of the first byte.
+    pub addr: u64,
+    /// The assembled bytes.
+    pub bytes: Vec<u8>,
+}
+
+impl Chunk {
+    /// Exclusive end address of the chunk.
+    pub fn end(&self) -> u64 {
+        self.addr + self.bytes.len() as u64
+    }
+}
+
+/// The output of a successful assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Virtual address of the first chunk (the default load origin).
+    pub origin: u64,
+    /// Entry point: the `.entry` label, else the `start` or `_start`
+    /// label, else `origin`.
+    pub entry: u64,
+    /// All assembled chunks, in source order.
+    pub chunks: Vec<Chunk>,
+    /// Every label with its resolved address.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl Program {
+    /// The bytes of the first chunk. Convenience for single-chunk programs.
+    pub fn bytes(&self) -> &[u8] {
+        &self.chunks[0].bytes
+    }
+
+    /// Looks up a label address.
+    pub fn symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of assembled bytes across all chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|c| c.bytes.len()).sum()
+    }
+
+    /// True when no bytes were assembled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An assembly error, with the 1-based source line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Builder-style assembler. Collect source with [`Assembler::source`], then
+/// call [`Assembler::assemble`].
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    text: String,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Appends source text (chainable).
+    pub fn source(mut self, text: &str) -> Assembler {
+        self.text.push_str(text);
+        self.text.push('\n');
+        self
+    }
+
+    /// Runs both assembler passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered: syntax errors, unknown
+    /// mnemonics, duplicate or undefined labels, out-of-range operands.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        assemble(&self.text)
+    }
+}
+
+/// One-shot helper: assembles `text` directly.
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    Pass::run(text)
+}
+
+// ---------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------
+
+/// An operand value that may reference a label resolved in pass 2.
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Label(String, i64),
+}
+
+impl Expr {
+    fn resolve(&self, line: usize, symbols: &BTreeMap<String, u64>) -> Result<i64, AsmError> {
+        match self {
+            Expr::Const(v) => Ok(*v),
+            Expr::Label(name, off) => symbols
+                .get(name)
+                .map(|&a| a as i64 + off)
+                .ok_or_else(|| err(line, format!("undefined label `{name}`"))),
+        }
+    }
+}
+
+/// An instruction whose label operands are not yet resolved.
+#[derive(Debug, Clone)]
+enum Item {
+    /// Fully resolved instruction.
+    Insn(Insn),
+    /// `mov r, expr` where expr is a label (64-bit immediate).
+    MovRI(Reg, Expr),
+    /// Relative branch to a label: shape rebuilt in pass 2.
+    Branch(BranchKind, Expr),
+    /// Memory-operand instruction whose displacement references a label.
+    WithMem(MemShape, MemTemplate),
+    /// Raw data bytes.
+    Data(Vec<u8>),
+    /// `.quad` with label values.
+    QuadExpr(Vec<Expr>),
+    /// Alignment padding decided in pass 1 (stored as zero bytes).
+    Pad(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BranchKind {
+    Jmp,
+    Jcc(Cond),
+    Call,
+}
+
+/// Instruction shapes that carry a memory operand with a label displacement.
+#[derive(Debug, Clone, Copy)]
+enum MemShape {
+    Load(Reg),
+    Store(Reg),
+    LoadB(Reg),
+    StoreB(Reg),
+    LoadW(Reg),
+    StoreW(Reg),
+    Lea(Reg),
+    Xchg(Reg),
+    LockXadd(Reg),
+    LockCmpXchg(Reg),
+    Fxsave,
+    Fxrstor,
+    Xsave,
+    Xrstor,
+    JmpM,
+    MovsdXM(Xmm),
+    MovsdMX(Xmm),
+}
+
+#[derive(Debug, Clone)]
+struct MemTemplate {
+    base: Option<Reg>,
+    index: Option<Reg>,
+    scale: Scale,
+    disp: Expr,
+    seg: Option<Seg>,
+}
+
+impl MemTemplate {
+    fn resolve(&self, line: usize, symbols: &BTreeMap<String, u64>) -> Result<Mem, AsmError> {
+        let disp = self.disp.resolve(line, symbols)?;
+        let disp = i32::try_from(disp)
+            .map_err(|_| err(line, format!("displacement {disp:#x} does not fit in 32 bits")))?;
+        Ok(Mem { base: self.base, index: self.index, scale: self.scale, disp, seg: self.seg })
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn item_len(item: &Item) -> usize {
+    match item {
+        Item::Insn(i) => crate::encode::encoded_len(i),
+        Item::MovRI(..) => 10,
+        Item::Branch(BranchKind::Jmp, _) | Item::Branch(BranchKind::Call, _) => 5,
+        Item::Branch(BranchKind::Jcc(_), _) => 6,
+        Item::WithMem(shape, _) => match shape {
+            MemShape::Fxsave
+            | MemShape::Fxrstor
+            | MemShape::Xsave
+            | MemShape::Xrstor
+            | MemShape::JmpM => 8,
+            _ => 9,
+        },
+        Item::Data(d) => d.len(),
+        Item::QuadExpr(v) => v.len() * 8,
+        Item::Pad(n) => *n,
+    }
+}
+
+struct Pass;
+
+impl Pass {
+    fn run(text: &str) -> Result<Program, AsmError> {
+        // Pass 1: parse every line, tracking the current address to define
+        // labels. `.org` starts a new chunk.
+        let mut chunks: Vec<(u64, Vec<(usize, Item)>)> = Vec::new();
+        let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+        let mut entry_label: Option<(usize, String)> = None;
+        let mut cur_addr: u64 = 0;
+        let mut started = false;
+
+        let push_item = |chunks: &mut Vec<(u64, Vec<(usize, Item)>)>,
+                             cur_addr: &mut u64,
+                             started: &mut bool,
+                             line: usize,
+                             item: Item| {
+            if !*started {
+                chunks.push((*cur_addr, Vec::new()));
+                *started = true;
+            }
+            let len = item_len(&item) as u64;
+            chunks.last_mut().expect("chunk exists").1.push((line, item));
+            *cur_addr += len;
+        };
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = lineno + 1;
+            let mut s = strip_comment(raw).trim();
+            if s.is_empty() {
+                continue;
+            }
+            // Labels (possibly several) at the start of the line.
+            while let Some(colon) = find_label(s) {
+                let name = s[..colon].trim();
+                validate_label(line, name)?;
+                if symbols.insert(name.to_string(), cur_addr).is_some() {
+                    return Err(err(line, format!("duplicate label `{name}`")));
+                }
+                if !started {
+                    // A label before any content still pins the chunk start.
+                    chunks.push((cur_addr, Vec::new()));
+                    started = true;
+                }
+                s = s[colon + 1..].trim();
+            }
+            if s.is_empty() {
+                continue;
+            }
+            if let Some(rest) = s.strip_prefix('.') {
+                let (dir, args) = split_first_word(rest);
+                match dir {
+                    "org" => {
+                        let v = parse_int(line, args.trim())?;
+                        cur_addr = v as u64;
+                        chunks.push((cur_addr, Vec::new()));
+                        started = true;
+                    }
+                    "entry" => {
+                        entry_label = Some((line, args.trim().to_string()));
+                    }
+                    "align" => {
+                        let n = parse_int(line, args.trim())? as u64;
+                        if n == 0 || !n.is_power_of_two() {
+                            return Err(err(line, ".align requires a power of two"));
+                        }
+                        let pad = (n - (cur_addr % n)) % n;
+                        if pad > 0 {
+                            push_item(
+                                &mut chunks,
+                                &mut cur_addr,
+                                &mut started,
+                                line,
+                                Item::Pad(pad as usize),
+                            );
+                        }
+                    }
+                    "byte" => {
+                        let mut data = Vec::new();
+                        for part in split_args(args) {
+                            let v = parse_int(line, part.trim())?;
+                            let b = u8::try_from(v & 0xff).expect("masked");
+                            data.push(b);
+                        }
+                        push_item(&mut chunks, &mut cur_addr, &mut started, line, Item::Data(data));
+                    }
+                    "quad" => {
+                        let mut exprs = Vec::new();
+                        for part in split_args(args) {
+                            exprs.push(parse_expr(line, part.trim())?);
+                        }
+                        push_item(
+                            &mut chunks,
+                            &mut cur_addr,
+                            &mut started,
+                            line,
+                            Item::QuadExpr(exprs),
+                        );
+                    }
+                    "zero" => {
+                        let n = parse_int(line, args.trim())?;
+                        if n < 0 {
+                            return Err(err(line, ".zero requires a non-negative size"));
+                        }
+                        push_item(
+                            &mut chunks,
+                            &mut cur_addr,
+                            &mut started,
+                            line,
+                            Item::Data(vec![0u8; n as usize]),
+                        );
+                    }
+                    "asciz" => {
+                        let text = parse_string(line, args.trim())?;
+                        let mut data = text.into_bytes();
+                        data.push(0);
+                        push_item(&mut chunks, &mut cur_addr, &mut started, line, Item::Data(data));
+                    }
+                    other => return Err(err(line, format!("unknown directive `.{other}`"))),
+                }
+                continue;
+            }
+            let item = parse_instruction(line, s)?;
+            push_item(&mut chunks, &mut cur_addr, &mut started, line, item);
+        }
+
+        // Pass 2: resolve and encode.
+        let mut out_chunks = Vec::with_capacity(chunks.len());
+        for (addr, items) in &chunks {
+            let mut bytes = Vec::new();
+            let mut pc = *addr;
+            for (line, item) in items {
+                let len = item_len(item) as u64;
+                let next_pc = pc + len;
+                match item {
+                    Item::Insn(i) => encode_into(i, &mut bytes),
+                    Item::MovRI(r, e) => {
+                        let v = e.resolve(*line, &symbols)?;
+                        encode_into(&Insn::MovRI(*r, v as u64), &mut bytes);
+                    }
+                    Item::Branch(kind, e) => {
+                        let target = e.resolve(*line, &symbols)?;
+                        let rel = target - next_pc as i64;
+                        let rel = i32::try_from(rel).map_err(|_| {
+                            err(*line, format!("branch target out of rel32 range ({rel:#x})"))
+                        })?;
+                        let insn = match kind {
+                            BranchKind::Jmp => Insn::Jmp(rel),
+                            BranchKind::Jcc(c) => Insn::Jcc(*c, rel),
+                            BranchKind::Call => Insn::Call(rel),
+                        };
+                        encode_into(&insn, &mut bytes);
+                    }
+                    Item::WithMem(shape, tmpl) => {
+                        let m = tmpl.resolve(*line, &symbols)?;
+                        let insn = match *shape {
+                            MemShape::Load(r) => Insn::Load(r, m),
+                            MemShape::Store(r) => Insn::Store(m, r),
+                            MemShape::LoadB(r) => Insn::LoadB(r, m),
+                            MemShape::StoreB(r) => Insn::StoreB(m, r),
+                            MemShape::LoadW(r) => Insn::LoadW(r, m),
+                            MemShape::StoreW(r) => Insn::StoreW(m, r),
+                            MemShape::Lea(r) => Insn::Lea(r, m),
+                            MemShape::Xchg(r) => Insn::Xchg(m, r),
+                            MemShape::LockXadd(r) => Insn::LockXadd(m, r),
+                            MemShape::LockCmpXchg(r) => Insn::LockCmpXchg(m, r),
+                            MemShape::Fxsave => Insn::Fxsave(m),
+                            MemShape::Fxrstor => Insn::Fxrstor(m),
+                            MemShape::Xsave => Insn::Xsave(m),
+                            MemShape::Xrstor => Insn::Xrstor(m),
+                            MemShape::JmpM => Insn::JmpM(m),
+                            MemShape::MovsdXM(x) => Insn::MovsdXM(x, m),
+                            MemShape::MovsdMX(x) => Insn::MovsdMX(m, x),
+                        };
+                        encode_into(&insn, &mut bytes);
+                    }
+                    Item::Data(d) => bytes.extend_from_slice(d),
+                    Item::QuadExpr(exprs) => {
+                        for e in exprs {
+                            let v = e.resolve(*line, &symbols)?;
+                            bytes.extend_from_slice(&(v as u64).to_le_bytes());
+                        }
+                    }
+                    Item::Pad(n) => bytes.extend(std::iter::repeat(0u8).take(*n)),
+                }
+                debug_assert_eq!(bytes.len() as u64, next_pc - *addr, "layout matches encoding");
+                pc = next_pc;
+            }
+            out_chunks.push(Chunk { addr: *addr, bytes });
+        }
+        if out_chunks.is_empty() {
+            return Err(err(0, "empty program"));
+        }
+
+        let origin = out_chunks[0].addr;
+        let entry = match entry_label {
+            Some((line, name)) => *symbols
+                .get(&name)
+                .ok_or_else(|| err(line, format!("undefined entry label `{name}`")))?,
+            None => symbols
+                .get("start")
+                .or_else(|| symbols.get("_start"))
+                .copied()
+                .unwrap_or(origin),
+        };
+        Ok(Program { origin, entry, chunks: out_chunks, symbols })
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals in .asciz.
+    let mut in_str = false;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Finds a label-terminating colon at the start of the statement, ignoring
+/// colons inside operands (e.g. `fs:[rax]`).
+fn find_label(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let head = &s[..colon];
+    if !head.is_empty()
+        && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && !head.chars().next().expect("non-empty").is_ascii_digit()
+        && Reg::parse(head).is_none()
+        && head != "fs"
+        && head != "gs"
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn validate_label(line: usize, name: &str) -> Result<(), AsmError> {
+    if name.is_empty() {
+        return Err(err(line, "empty label name"));
+    }
+    Ok(())
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    let s = s.trim_start();
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+/// Splits a comma-separated operand list, respecting brackets.
+fn split_args(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth = depth.saturating_sub(1),
+            ',' if depth == 0 && !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = &s[start..];
+    if !tail.trim().is_empty() || !parts.is_empty() {
+        parts.push(tail);
+    }
+    parts.retain(|p| !p.trim().is_empty());
+    parts
+}
+
+fn parse_int(line: usize, s: &str) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest.trim()),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16)
+            .map_err(|_| err(line, format!("invalid integer `{s}`")))?
+    } else {
+        body.replace('_', "")
+            .parse::<u64>()
+            .map_err(|_| err(line, format!("invalid integer `{s}`")))?
+    };
+    let v = v as i64;
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_expr(line: usize, s: &str) -> Result<Expr, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err(line, "empty expression"));
+    }
+    let first = s.chars().next().expect("non-empty");
+    if first.is_ascii_digit() || first == '-' {
+        return Ok(Expr::Const(parse_int(line, s)?));
+    }
+    // label, label+int, label-int
+    if let Some(plus) = s.find('+') {
+        let name = s[..plus].trim().to_string();
+        let off = parse_int(line, &s[plus + 1..])?;
+        return Ok(Expr::Label(name, off));
+    }
+    if let Some(minus) = s[1..].find('-').map(|i| i + 1) {
+        let name = s[..minus].trim().to_string();
+        let off = parse_int(line, &s[minus + 1..])?;
+        return Ok(Expr::Label(name, -off));
+    }
+    Ok(Expr::Label(s.to_string(), 0))
+}
+
+fn parse_string(line: usize, s: &str) -> Result<String, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| err(line, "expected a double-quoted string"))?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => return Err(err(line, format!("bad escape `\\{:?}`", other))),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+/// A parsed operand.
+#[derive(Debug, Clone)]
+enum Operand {
+    Reg(Reg),
+    Xmm(Xmm),
+    Mem(MemTemplate),
+    Expr(Expr),
+}
+
+fn parse_operand(line: usize, s: &str) -> Result<Operand, AsmError> {
+    let s = s.trim();
+    if let Some(r) = Reg::parse(s) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Some(x) = Xmm::parse(s) {
+        return Ok(Operand::Xmm(x));
+    }
+    // Memory operand, optionally with segment prefix.
+    let (seg, rest) = if let Some(r) = s.strip_prefix("fs:") {
+        (Some(Seg::Fs), r.trim())
+    } else if let Some(r) = s.strip_prefix("gs:") {
+        (Some(Seg::Gs), r.trim())
+    } else {
+        (None, s)
+    };
+    if rest.starts_with('[') {
+        let inner = rest
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err(line, format!("unterminated memory operand `{s}`")))?;
+        return parse_mem(line, inner, seg).map(Operand::Mem);
+    }
+    if seg.is_some() {
+        return Err(err(line, "segment prefix requires a [memory] operand"));
+    }
+    Ok(Operand::Expr(parse_expr(line, s)?))
+}
+
+fn parse_mem(line: usize, inner: &str, seg: Option<Seg>) -> Result<MemTemplate, AsmError> {
+    let mut base: Option<Reg> = None;
+    let mut index: Option<Reg> = None;
+    let mut scale = Scale::S1;
+    let mut disp = Expr::Const(0);
+    let mut have_disp = false;
+
+    // Split on +/- at top level, keeping the sign with the term.
+    let mut terms: Vec<(bool, &str)> = Vec::new();
+    let mut start = 0usize;
+    let mut sign = false; // false = +, true = -
+    let b = inner.as_bytes();
+    for i in 0..b.len() {
+        if b[i] == b'+' || b[i] == b'-' {
+            let term = inner[start..i].trim();
+            if !term.is_empty() {
+                terms.push((sign, term));
+            } else if !terms.is_empty() || sign {
+                return Err(err(line, format!("bad memory operand `[{inner}]`")));
+            }
+            sign = b[i] == b'-';
+            start = i + 1;
+        }
+    }
+    let tail = inner[start..].trim();
+    if !tail.is_empty() {
+        terms.push((sign, tail));
+    }
+    if terms.is_empty() {
+        return Err(err(line, "empty memory operand"));
+    }
+
+    for (neg, term) in terms {
+        if let Some(star) = term.find('*') {
+            let (r, sc) = (term[..star].trim(), term[star + 1..].trim());
+            let r = Reg::parse(r)
+                .ok_or_else(|| err(line, format!("bad index register `{r}`")))?;
+            let sc = match parse_int(line, sc)? {
+                1 => Scale::S1,
+                2 => Scale::S2,
+                4 => Scale::S4,
+                8 => Scale::S8,
+                other => return Err(err(line, format!("bad scale `{other}` (1/2/4/8)"))),
+            };
+            if neg {
+                return Err(err(line, "index term cannot be negative"));
+            }
+            if index.is_some() {
+                return Err(err(line, "multiple index terms"));
+            }
+            index = Some(r);
+            scale = sc;
+        } else if let Some(r) = Reg::parse(term) {
+            if neg {
+                return Err(err(line, "register term cannot be negative"));
+            }
+            if base.is_none() {
+                base = Some(r);
+            } else if index.is_none() {
+                index = Some(r);
+            } else {
+                return Err(err(line, "too many register terms"));
+            }
+        } else {
+            if have_disp {
+                return Err(err(line, "multiple displacement terms"));
+            }
+            let e = parse_expr(line, term)?;
+            disp = if neg {
+                match e {
+                    Expr::Const(v) => Expr::Const(-v),
+                    Expr::Label(..) => {
+                        return Err(err(line, "cannot negate a label displacement"))
+                    }
+                }
+            } else {
+                e
+            };
+            have_disp = true;
+        }
+    }
+    Ok(MemTemplate { base, index, scale, disp, seg })
+}
+
+fn expect_reg(line: usize, o: Operand) -> Result<Reg, AsmError> {
+    match o {
+        Operand::Reg(r) => Ok(r),
+        other => Err(err(line, format!("expected a register, found {other:?}"))),
+    }
+}
+
+fn expect_xmm(line: usize, o: Operand) -> Result<Xmm, AsmError> {
+    match o {
+        Operand::Xmm(x) => Ok(x),
+        other => Err(err(line, format!("expected an xmm register, found {other:?}"))),
+    }
+}
+
+fn expect_mem(line: usize, o: Operand) -> Result<MemTemplate, AsmError> {
+    match o {
+        Operand::Mem(m) => Ok(m),
+        other => Err(err(line, format!("expected a memory operand, found {other:?}"))),
+    }
+}
+
+fn const_i32(line: usize, e: &Expr) -> Result<i32, AsmError> {
+    match e {
+        Expr::Const(v) => i32::try_from(*v)
+            .map_err(|_| err(line, format!("immediate {v:#x} does not fit in 32 bits"))),
+        Expr::Label(..) => Err(err(line, "label immediates only allowed with `mov r, label`")),
+    }
+}
+
+fn parse_instruction(line: usize, s: &str) -> Result<Item, AsmError> {
+    let (mn, rest) = split_first_word(s);
+    let mn = mn.to_ascii_lowercase();
+    let ops: Vec<Operand> = split_args(rest)
+        .into_iter()
+        .map(|a| parse_operand(line, a))
+        .collect::<Result<_, _>>()?;
+
+    let nops = ops.len();
+    let arity = |want: usize| -> Result<(), AsmError> {
+        if nops == want {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mn}` expects {want} operand(s), found {nops}")))
+        }
+    };
+
+    // Zero-operand instructions.
+    if let Some(i) = match mn.as_str() {
+        "nop" => Some(Insn::Nop),
+        "ret" => Some(Insn::Ret),
+        "syscall" => Some(Insn::Syscall),
+        "mfence" => Some(Insn::Mfence),
+        "repmovs" => Some(Insn::RepMovs),
+        "pause" => Some(Insn::Pause),
+        "rdtsc" => Some(Insn::Rdtsc),
+        "ud2" => Some(Insn::Ud2),
+        "pushfq" => Some(Insn::Pushfq),
+        "popfq" => Some(Insn::Popfq),
+        _ => None,
+    } {
+        arity(0)?;
+        return Ok(Item::Insn(i));
+    }
+
+    // ALU ops with register destination.
+    if let Some(op) = AluOp::ALL.iter().copied().find(|o| o.mnemonic() == mn) {
+        arity(2)?;
+        let mut it = ops.into_iter();
+        let dst = expect_reg(line, it.next().expect("arity"))?;
+        return match it.next().expect("arity") {
+            Operand::Reg(src) => Ok(Item::Insn(Insn::AluRR(op, dst, src))),
+            Operand::Expr(e) => Ok(Item::Insn(Insn::AluRI(op, dst, const_i32(line, &e)?))),
+            other => Err(err(line, format!("bad `{mn}` source operand {other:?}"))),
+        };
+    }
+
+    // FP ops.
+    if let Some(op) = FpOp::ALL.iter().copied().find(|o| o.mnemonic() == mn) {
+        arity(2)?;
+        let mut it = ops.into_iter();
+        let dst = expect_xmm(line, it.next().expect("arity"))?;
+        let src = expect_xmm(line, it.next().expect("arity"))?;
+        return Ok(Item::Insn(Insn::FpRR(op, dst, src)));
+    }
+
+    // Conditional jumps.
+    if let Some(cond) = mn
+        .strip_prefix('j')
+        .and_then(|suf| Cond::ALL.iter().copied().find(|c| c.suffix() == suf))
+    {
+        arity(1)?;
+        return match ops.into_iter().next().expect("arity") {
+            Operand::Expr(e) => Ok(Item::Branch(BranchKind::Jcc(cond), e)),
+            other => Err(err(line, format!("bad jump target {other:?}"))),
+        };
+    }
+
+    match mn.as_str() {
+        "mov" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let a = it.next().expect("arity");
+            let b = it.next().expect("arity");
+            match (a, b) {
+                (Operand::Reg(d), Operand::Reg(s)) => Ok(Item::Insn(Insn::MovRR(d, s))),
+                (Operand::Reg(d), Operand::Expr(e)) => Ok(Item::MovRI(d, e)),
+                (Operand::Reg(d), Operand::Mem(m)) => Ok(Item::WithMem(MemShape::Load(d), m)),
+                (Operand::Mem(m), Operand::Reg(s)) => Ok(Item::WithMem(MemShape::Store(s), m)),
+                (a, b) => Err(err(line, format!("bad `mov` operands {a:?}, {b:?}"))),
+            }
+        }
+        "movb" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            match (it.next().expect("arity"), it.next().expect("arity")) {
+                (Operand::Reg(d), Operand::Mem(m)) => Ok(Item::WithMem(MemShape::LoadB(d), m)),
+                (Operand::Mem(m), Operand::Reg(s)) => Ok(Item::WithMem(MemShape::StoreB(s), m)),
+                (a, b) => Err(err(line, format!("bad `movb` operands {a:?}, {b:?}"))),
+            }
+        }
+        "movd" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            match (it.next().expect("arity"), it.next().expect("arity")) {
+                (Operand::Reg(d), Operand::Mem(m)) => Ok(Item::WithMem(MemShape::LoadW(d), m)),
+                (Operand::Mem(m), Operand::Reg(s)) => Ok(Item::WithMem(MemShape::StoreW(s), m)),
+                (a, b) => Err(err(line, format!("bad `movd` operands {a:?}, {b:?}"))),
+            }
+        }
+        "lea" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let d = expect_reg(line, it.next().expect("arity"))?;
+            let m = expect_mem(line, it.next().expect("arity"))?;
+            Ok(Item::WithMem(MemShape::Lea(d), m))
+        }
+        "push" => {
+            arity(1)?;
+            Ok(Item::Insn(Insn::Push(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+        }
+        "pop" => {
+            arity(1)?;
+            Ok(Item::Insn(Insn::Pop(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+        }
+        "neg" => {
+            arity(1)?;
+            Ok(Item::Insn(Insn::Neg(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+        }
+        "not" => {
+            arity(1)?;
+            Ok(Item::Insn(Insn::Not(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+        }
+        "cmp" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let a = expect_reg(line, it.next().expect("arity"))?;
+            match it.next().expect("arity") {
+                Operand::Reg(b) => Ok(Item::Insn(Insn::CmpRR(a, b))),
+                Operand::Expr(e) => Ok(Item::Insn(Insn::CmpRI(a, const_i32(line, &e)?))),
+                other => Err(err(line, format!("bad `cmp` operand {other:?}"))),
+            }
+        }
+        "test" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let a = expect_reg(line, it.next().expect("arity"))?;
+            let b = expect_reg(line, it.next().expect("arity"))?;
+            Ok(Item::Insn(Insn::TestRR(a, b)))
+        }
+        "jmp" => {
+            arity(1)?;
+            match ops.into_iter().next().expect("arity") {
+                Operand::Expr(e) => Ok(Item::Branch(BranchKind::Jmp, e)),
+                Operand::Reg(r) => Ok(Item::Insn(Insn::JmpR(r))),
+                Operand::Mem(m) => Ok(Item::WithMem(MemShape::JmpM, m)),
+                other => Err(err(line, format!("bad `jmp` target {other:?}"))),
+            }
+        }
+        "call" => {
+            arity(1)?;
+            match ops.into_iter().next().expect("arity") {
+                Operand::Expr(e) => Ok(Item::Branch(BranchKind::Call, e)),
+                Operand::Reg(r) => Ok(Item::Insn(Insn::CallR(r))),
+                other => Err(err(line, format!("bad `call` target {other:?}"))),
+            }
+        }
+        "xchg" | "xadd" | "cmpxchg" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let m = expect_mem(line, it.next().expect("arity"))?;
+            let r = expect_reg(line, it.next().expect("arity"))?;
+            let shape = match mn.as_str() {
+                "xchg" => MemShape::Xchg(r),
+                "xadd" => MemShape::LockXadd(r),
+                _ => MemShape::LockCmpXchg(r),
+            };
+            Ok(Item::WithMem(shape, m))
+        }
+        "marker" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let kind = match it.next().expect("arity") {
+                Operand::Expr(Expr::Label(name, 0)) => MarkerKind::parse(&name)
+                    .ok_or_else(|| err(line, format!("unknown marker kind `{name}`")))?,
+                other => return Err(err(line, format!("bad marker kind {other:?}"))),
+            };
+            let tag = match it.next().expect("arity") {
+                Operand::Expr(e) => const_i32(line, &e)? as u32,
+                other => return Err(err(line, format!("bad marker tag {other:?}"))),
+            };
+            Ok(Item::Insn(Insn::Marker(kind, tag)))
+        }
+        "rdfsbase" | "wrfsbase" | "rdgsbase" | "wrgsbase" => {
+            arity(1)?;
+            let r = expect_reg(line, ops.into_iter().next().expect("arity"))?;
+            Ok(Item::Insn(match mn.as_str() {
+                "rdfsbase" => Insn::RdFsBase(r),
+                "wrfsbase" => Insn::WrFsBase(r),
+                "rdgsbase" => Insn::RdGsBase(r),
+                _ => Insn::WrGsBase(r),
+            }))
+        }
+        "fxsave" | "fxrstor" | "xsave" | "xrstor" => {
+            arity(1)?;
+            let m = expect_mem(line, ops.into_iter().next().expect("arity"))?;
+            let shape = match mn.as_str() {
+                "fxsave" => MemShape::Fxsave,
+                "fxrstor" => MemShape::Fxrstor,
+                "xsave" => MemShape::Xsave,
+                _ => MemShape::Xrstor,
+            };
+            Ok(Item::WithMem(shape, m))
+        }
+        "movsd" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            match (it.next().expect("arity"), it.next().expect("arity")) {
+                (Operand::Xmm(d), Operand::Xmm(s)) => Ok(Item::Insn(Insn::MovsdXX(d, s))),
+                (Operand::Xmm(d), Operand::Mem(m)) => Ok(Item::WithMem(MemShape::MovsdXM(d), m)),
+                (Operand::Mem(m), Operand::Xmm(s)) => Ok(Item::WithMem(MemShape::MovsdMX(s), m)),
+                (a, b) => Err(err(line, format!("bad `movsd` operands {a:?}, {b:?}"))),
+            }
+        }
+        "cvtsi2sd" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let x = expect_xmm(line, it.next().expect("arity"))?;
+            let r = expect_reg(line, it.next().expect("arity"))?;
+            Ok(Item::Insn(Insn::Cvtsi2sd(x, r)))
+        }
+        "cvttsd2si" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let r = expect_reg(line, it.next().expect("arity"))?;
+            let x = expect_xmm(line, it.next().expect("arity"))?;
+            Ok(Item::Insn(Insn::Cvttsd2si(r, x)))
+        }
+        "comisd" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            let a = expect_xmm(line, it.next().expect("arity"))?;
+            let b = expect_xmm(line, it.next().expect("arity"))?;
+            Ok(Item::Insn(Insn::Comisd(a, b)))
+        }
+        "movq" => {
+            arity(2)?;
+            let mut it = ops.into_iter();
+            match (it.next().expect("arity"), it.next().expect("arity")) {
+                (Operand::Reg(r), Operand::Xmm(x)) => Ok(Item::Insn(Insn::MovqRX(r, x))),
+                (Operand::Xmm(x), Operand::Reg(r)) => Ok(Item::Insn(Insn::MovqXR(x, r))),
+                (a, b) => Err(err(line, format!("bad `movq` operands {a:?}, {b:?}"))),
+            }
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn decode_all(chunk: &Chunk) -> Vec<Insn> {
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < chunk.bytes.len() {
+            let (i, len) = decode(&chunk.bytes[pos..]).expect("valid stream");
+            out.push(i);
+            pos += len;
+        }
+        out
+    }
+
+    #[test]
+    fn assembles_simple_program() {
+        let p = assemble(
+            r#"
+            .org 0x400000
+            start:
+                mov rax, 1
+                add rax, 2
+                ret
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(p.origin, 0x400000);
+        assert_eq!(p.entry, 0x400000);
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(
+            insns,
+            vec![
+                Insn::MovRI(Reg::Rax, 1),
+                Insn::AluRI(AluOp::Add, Reg::Rax, 2),
+                Insn::Ret
+            ]
+        );
+    }
+
+    #[test]
+    fn resolves_forward_and_backward_branches() {
+        let p = assemble(
+            r#"
+            .org 0x1000
+            start:
+                jmp fwd
+            back:
+                ret
+            fwd:
+                jne back
+                call back
+            "#,
+        )
+        .expect("assembles");
+        let insns = decode_all(&p.chunks[0]);
+        // jmp is 5 bytes, ret 1 byte: fwd = start+6, so rel = 6-5 = 1.
+        assert_eq!(insns[0], Insn::Jmp(1));
+        assert_eq!(insns[1], Insn::Ret);
+        // jne at 0x1006 (len 6): target back=0x1005, rel = 0x1005-0x100c = -7.
+        assert_eq!(insns[2], Insn::Jcc(Cond::Ne, -7));
+        assert_eq!(insns[3], Insn::Call(0x1005 - 0x1011));
+    }
+
+    #[test]
+    fn label_as_mov_immediate() {
+        let p = assemble(
+            r#"
+            .org 0x2000
+            start:
+                mov rdi, data
+                ret
+            data:
+                .quad 7, data
+            "#,
+        )
+        .expect("assembles");
+        let data = p.symbol("data").expect("symbol");
+        assert_eq!(data, 0x2000 + 10 + 1);
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(insns[0], Insn::MovRI(Reg::Rdi, data));
+        // .quad with a label value.
+        let chunk = &p.chunks[0];
+        let off = (data - 0x2000) as usize;
+        assert_eq!(&chunk.bytes[off..off + 8], &7u64.to_le_bytes());
+        assert_eq!(&chunk.bytes[off + 8..off + 16], &data.to_le_bytes());
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble(
+            r#"
+            .org 0
+            start:
+                mov rax, [rbx]
+                mov rax, [rbx + 8]
+                mov rax, [rbx + rcx*4 - 2]
+                mov [rbx], rax
+                mov rax, fs:[0x10]
+                movb rax, [rbx]
+                movd [rbx], rax
+                lea rsi, [rdi + r8*8 + 0x100]
+            "#,
+        )
+        .expect("assembles");
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(insns[0], Insn::Load(Reg::Rax, Mem::base(Reg::Rbx)));
+        assert_eq!(insns[1], Insn::Load(Reg::Rax, Mem::base_disp(Reg::Rbx, 8)));
+        assert_eq!(
+            insns[2],
+            Insn::Load(Reg::Rax, Mem::base_index(Reg::Rbx, Reg::Rcx, Scale::S4, -2))
+        );
+        assert_eq!(insns[3], Insn::Store(Mem::base(Reg::Rbx), Reg::Rax));
+        assert_eq!(insns[4], Insn::Load(Reg::Rax, Mem::abs(0x10).with_seg(Seg::Fs)));
+        assert_eq!(insns[5], Insn::LoadB(Reg::Rax, Mem::base(Reg::Rbx)));
+        assert_eq!(insns[6], Insn::StoreW(Mem::base(Reg::Rbx), Reg::Rax));
+        assert_eq!(
+            insns[7],
+            Insn::Lea(Reg::Rsi, Mem::base_index(Reg::Rdi, Reg::R8, Scale::S8, 0x100))
+        );
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = assemble(
+            r#"
+            .org 0x3000
+            msg: .asciz "hi\n"
+            .align 8
+            vals: .quad 1, 2
+            buf: .zero 16
+            b: .byte 1, 2, 0xff
+            "#,
+        )
+        .expect("assembles");
+        let c = &p.chunks[0];
+        assert_eq!(&c.bytes[..4], b"hi\n\0");
+        let vals = (p.symbol("vals").unwrap() - 0x3000) as usize;
+        assert_eq!(vals % 8, 0, "aligned");
+        assert_eq!(&c.bytes[vals..vals + 8], &1u64.to_le_bytes());
+        let b = (p.symbol("b").unwrap() - 0x3000) as usize;
+        assert_eq!(&c.bytes[b..b + 3], &[1, 2, 0xff]);
+    }
+
+    #[test]
+    fn multiple_org_chunks() {
+        let p = assemble(
+            r#"
+            .org 0x400000
+            start: ret
+            .org 0x600000
+            data: .quad 42
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(p.chunks.len(), 2);
+        assert_eq!(p.chunks[0].addr, 0x400000);
+        assert_eq!(p.chunks[1].addr, 0x600000);
+        assert_eq!(p.symbol("data"), Some(0x600000));
+    }
+
+    #[test]
+    fn entry_directive() {
+        let p = assemble(
+            r#"
+            .org 0
+            .entry main
+            helper: ret
+            main: nop
+            "#,
+        )
+        .expect("assembles");
+        assert_eq!(p.entry, 1);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble(".org 0\na: nop\na: nop\n").expect_err("duplicate");
+        assert!(e.message.contains("duplicate label"), "{e}");
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble(".org 0\nstart: jmp nowhere\n").expect_err("undefined");
+        assert!(e.message.contains("undefined label"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble(".org 0\nstart: frobnicate rax\n").expect_err("unknown");
+        assert!(e.message.contains("unknown mnemonic"), "{e}");
+    }
+
+    #[test]
+    fn markers_and_special_instructions() {
+        let p = assemble(
+            r#"
+            .org 0
+            start:
+                marker sniper, 1
+                marker ssc, 0x1234
+                marker simics, 2
+                pause
+                mfence
+                xadd [rax], rbx
+                cmpxchg [rcx], rdx
+                rdfsbase r10
+                wrgsbase r11
+            "#,
+        )
+        .expect("assembles");
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(insns[0], Insn::Marker(MarkerKind::Sniper, 1));
+        assert_eq!(insns[1], Insn::Marker(MarkerKind::Ssc, 0x1234));
+        assert_eq!(insns[2], Insn::Marker(MarkerKind::Simics, 2));
+        assert_eq!(insns[5], Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx));
+        assert_eq!(insns[6], Insn::LockCmpXchg(Mem::base(Reg::Rcx), Reg::Rdx));
+        assert_eq!(insns[7], Insn::RdFsBase(Reg::R10));
+        assert_eq!(insns[8], Insn::WrGsBase(Reg::R11));
+    }
+
+    #[test]
+    fn fp_instructions() {
+        let p = assemble(
+            r#"
+            .org 0
+            start:
+                movsd xmm0, [rax]
+                movsd [rax], xmm1
+                movsd xmm2, xmm3
+                addsd xmm0, xmm1
+                sqrtsd xmm4, xmm4
+                cvtsi2sd xmm0, rax
+                cvttsd2si rbx, xmm0
+                comisd xmm0, xmm1
+                movq rax, xmm0
+                movq xmm1, rbx
+            "#,
+        )
+        .expect("assembles");
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(insns.len(), 10);
+        assert_eq!(insns[3], Insn::FpRR(FpOp::Add, Xmm(0), Xmm(1)));
+        assert_eq!(insns[9], Insn::MovqXR(Xmm(1), Reg::Rbx));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble(
+            "; leading comment\n.org 0\nstart: nop ; trailing\n# hash comment\n\n   \n ret\n",
+        )
+        .expect("assembles");
+        let insns = decode_all(&p.chunks[0]);
+        assert_eq!(insns, vec![Insn::Nop, Insn::Ret]);
+    }
+
+    #[test]
+    fn builder_api_concatenates_sources() {
+        let p = Assembler::new()
+            .source(".org 0x100")
+            .source("start: nop")
+            .assemble()
+            .expect("assembles");
+        assert_eq!(p.entry, 0x100);
+    }
+}

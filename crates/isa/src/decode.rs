@@ -1,0 +1,381 @@
+//! Binary instruction decoder: the exact inverse of [`crate::encode`].
+
+use crate::encode::op;
+use crate::insn::{AluOp, Cond, FpOp, Insn, MarkerKind, Mem, Scale, Seg};
+use crate::reg::{Reg, Xmm};
+use std::fmt;
+
+/// An error produced while decoding an instruction stream.
+///
+/// Decode failures are how the guest machine models "executing garbage":
+/// when an ELFie diverges onto a page that was never captured, the bytes
+/// there decode to [`DecodeError::BadOpcode`] (or run off the mapping) and
+/// the run ends ungracefully, exactly as Section II-C of the paper
+/// describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The primary opcode byte is not assigned.
+    BadOpcode(u8),
+    /// An operand byte is out of range (register index, condition code,
+    /// scale, segment or marker kind).
+    BadOperand(u8),
+    /// The byte stream ended in the middle of an instruction.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadOperand(b) => write!(f, "invalid operand byte {b:#04x}"),
+            DecodeError::Truncated => write!(f, "instruction stream truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn reg(&mut self) -> Result<Reg, DecodeError> {
+        let b = self.u8()?;
+        Reg::from_index(b).ok_or(DecodeError::BadOperand(b))
+    }
+
+    fn xmm(&mut self) -> Result<Xmm, DecodeError> {
+        let b = self.u8()?;
+        Xmm::from_index(b).ok_or(DecodeError::BadOperand(b))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(i32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(self.i32()? as u32)
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn mem(&mut self) -> Result<Mem, DecodeError> {
+        let b0 = self.u8()?;
+        let b1 = self.u8()?;
+        let b2 = self.u8()?;
+        let base = if b0 & 0x80 != 0 {
+            Some(Reg::from_index(b0 & 0x0f).ok_or(DecodeError::BadOperand(b0))?)
+        } else if b0 != 0 {
+            return Err(DecodeError::BadOperand(b0));
+        } else {
+            None
+        };
+        let (index, scale) = if b1 & 0x80 != 0 {
+            let r = Reg::from_index(b1 & 0x0f).ok_or(DecodeError::BadOperand(b1))?;
+            let s = Scale::from_log2((b1 >> 4) & 0x3).ok_or(DecodeError::BadOperand(b1))?;
+            (Some(r), s)
+        } else if b1 != 0 {
+            return Err(DecodeError::BadOperand(b1));
+        } else {
+            (None, Scale::S1)
+        };
+        let seg = match b2 {
+            0 => None,
+            1 => Some(Seg::Fs),
+            2 => Some(Seg::Gs),
+            _ => return Err(DecodeError::BadOperand(b2)),
+        };
+        let disp = self.i32()?;
+        Ok(Mem { base, index, scale, disp, seg })
+    }
+}
+
+/// Decodes one instruction from the front of `bytes`.
+///
+/// On success returns the instruction and its encoded length, so callers
+/// can advance the instruction pointer.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the bytes do not form a valid instruction.
+///
+/// ```
+/// use elfie_isa::{decode, encode, Insn, Reg};
+/// let bytes = encode(&Insn::Push(Reg::Rbp));
+/// let (insn, len) = decode(&bytes)?;
+/// assert_eq!(insn, Insn::Push(Reg::Rbp));
+/// assert_eq!(len, bytes.len());
+/// # Ok::<(), elfie_isa::DecodeError>(())
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    let opcode = c.u8()?;
+    let insn = match opcode {
+        op::NOP => Insn::Nop,
+        op::MOV_RR => Insn::MovRR(c.reg()?, c.reg()?),
+        op::MOV_RI => Insn::MovRI(c.reg()?, c.u64()?),
+        op::LOAD => Insn::Load(c.reg()?, c.mem()?),
+        op::STORE => {
+            let r = c.reg()?;
+            Insn::Store(c.mem()?, r)
+        }
+        op::LOAD_B => Insn::LoadB(c.reg()?, c.mem()?),
+        op::STORE_B => {
+            let r = c.reg()?;
+            Insn::StoreB(c.mem()?, r)
+        }
+        op::LOAD_W => Insn::LoadW(c.reg()?, c.mem()?),
+        op::STORE_W => {
+            let r = c.reg()?;
+            Insn::StoreW(c.mem()?, r)
+        }
+        op::LEA => Insn::Lea(c.reg()?, c.mem()?),
+        op::PUSH => Insn::Push(c.reg()?),
+        op::POP => Insn::Pop(c.reg()?),
+        op::PUSHFQ => Insn::Pushfq,
+        op::POPFQ => Insn::Popfq,
+        op::XCHG => {
+            let r = c.reg()?;
+            Insn::Xchg(c.mem()?, r)
+        }
+        op::ALU_RR => {
+            let o = c.u8()?;
+            let o = AluOp::from_index(o).ok_or(DecodeError::BadOperand(o))?;
+            Insn::AluRR(o, c.reg()?, c.reg()?)
+        }
+        op::ALU_RI => {
+            let o = c.u8()?;
+            let o = AluOp::from_index(o).ok_or(DecodeError::BadOperand(o))?;
+            Insn::AluRI(o, c.reg()?, c.i32()?)
+        }
+        op::NEG => Insn::Neg(c.reg()?),
+        op::NOT => Insn::Not(c.reg()?),
+        op::CMP_RR => Insn::CmpRR(c.reg()?, c.reg()?),
+        op::CMP_RI => Insn::CmpRI(c.reg()?, c.i32()?),
+        op::TEST_RR => Insn::TestRR(c.reg()?, c.reg()?),
+        op::JMP => Insn::Jmp(c.i32()?),
+        op::JMP_R => Insn::JmpR(c.reg()?),
+        op::JMP_M => Insn::JmpM(c.mem()?),
+        op::JCC => {
+            let cc = c.u8()?;
+            let cc = Cond::from_index(cc).ok_or(DecodeError::BadOperand(cc))?;
+            Insn::Jcc(cc, c.i32()?)
+        }
+        op::CALL => Insn::Call(c.i32()?),
+        op::CALL_R => Insn::CallR(c.reg()?),
+        op::RET => Insn::Ret,
+        op::LOCK_XADD => {
+            let r = c.reg()?;
+            Insn::LockXadd(c.mem()?, r)
+        }
+        op::LOCK_CMPXCHG => {
+            let r = c.reg()?;
+            Insn::LockCmpXchg(c.mem()?, r)
+        }
+        op::REP_MOVS => Insn::RepMovs,
+        op::MFENCE => Insn::Mfence,
+        op::PAUSE => Insn::Pause,
+        op::SYSCALL => Insn::Syscall,
+        op::RDTSC => Insn::Rdtsc,
+        op::UD2 => Insn::Ud2,
+        op::MARKER => {
+            let k = c.u8()?;
+            let k = MarkerKind::from_index(k).ok_or(DecodeError::BadOperand(k))?;
+            Insn::Marker(k, c.u32()?)
+        }
+        op::RD_FS_BASE => Insn::RdFsBase(c.reg()?),
+        op::WR_FS_BASE => Insn::WrFsBase(c.reg()?),
+        op::RD_GS_BASE => Insn::RdGsBase(c.reg()?),
+        op::WR_GS_BASE => Insn::WrGsBase(c.reg()?),
+        op::FXSAVE => Insn::Fxsave(c.mem()?),
+        op::FXRSTOR => Insn::Fxrstor(c.mem()?),
+        op::XSAVE => Insn::Xsave(c.mem()?),
+        op::XRSTOR => Insn::Xrstor(c.mem()?),
+        op::MOVSD_XM => Insn::MovsdXM(c.xmm()?, c.mem()?),
+        op::MOVSD_MX => {
+            let x = c.xmm()?;
+            Insn::MovsdMX(c.mem()?, x)
+        }
+        op::MOVSD_XX => Insn::MovsdXX(c.xmm()?, c.xmm()?),
+        op::FP_RR => {
+            let o = c.u8()?;
+            let o = FpOp::from_index(o).ok_or(DecodeError::BadOperand(o))?;
+            Insn::FpRR(o, c.xmm()?, c.xmm()?)
+        }
+        op::CVTSI2SD => Insn::Cvtsi2sd(c.xmm()?, c.reg()?),
+        op::CVTTSD2SI => Insn::Cvttsd2si(c.reg()?, c.xmm()?),
+        op::COMISD => Insn::Comisd(c.xmm()?, c.xmm()?),
+        op::MOVQ_RX => Insn::MovqRX(c.reg()?, c.xmm()?),
+        op::MOVQ_XR => Insn::MovqXR(c.xmm()?, c.reg()?),
+        other => return Err(DecodeError::BadOpcode(other)),
+    };
+    Ok((insn, c.pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn arb_xmm() -> impl Strategy<Value = Xmm> {
+        (0u8..16).prop_map(Xmm)
+    }
+
+    fn arb_mem() -> impl Strategy<Value = Mem> {
+        (
+            proptest::option::of(arb_reg()),
+            proptest::option::of(arb_reg()),
+            0u8..4,
+            any::<i32>(),
+            0u8..3,
+        )
+            .prop_map(|(base, index, scale, disp, seg)| Mem {
+                base,
+                index,
+                // Scale is only encoded together with an index register.
+                scale: if index.is_some() { Scale::from_log2(scale).unwrap() } else { Scale::S1 },
+                disp,
+                seg: match seg {
+                    1 => Some(Seg::Fs),
+                    2 => Some(Seg::Gs),
+                    _ => None,
+                },
+            })
+    }
+
+    fn arb_insn() -> impl Strategy<Value = Insn> {
+        let alu = (0u8..11).prop_map(|i| AluOp::from_index(i).unwrap());
+        let fp = (0u8..7).prop_map(|i| FpOp::from_index(i).unwrap());
+        let cond = (0u8..12).prop_map(|i| Cond::from_index(i).unwrap());
+        let marker = (0u8..3).prop_map(|i| MarkerKind::from_index(i).unwrap());
+        prop_oneof![
+            Just(Insn::Nop),
+            Just(Insn::Ret),
+            Just(Insn::Syscall),
+            Just(Insn::Mfence),
+            Just(Insn::RepMovs),
+            Just(Insn::Pause),
+            Just(Insn::Ud2),
+            Just(Insn::Pushfq),
+            Just(Insn::Popfq),
+            Just(Insn::Rdtsc),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::MovRR(a, b)),
+            (arb_reg(), any::<u64>()).prop_map(|(a, b)| Insn::MovRI(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::Load(a, b)),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::Store(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::LoadB(a, b)),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::StoreB(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::LoadW(a, b)),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::StoreW(a, b)),
+            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::Lea(a, b)),
+            arb_reg().prop_map(Insn::Push),
+            arb_reg().prop_map(Insn::Pop),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::Xchg(a, b)),
+            (alu.clone(), arb_reg(), arb_reg()).prop_map(|(o, a, b)| Insn::AluRR(o, a, b)),
+            (alu, arb_reg(), any::<i32>()).prop_map(|(o, a, b)| Insn::AluRI(o, a, b)),
+            arb_reg().prop_map(Insn::Neg),
+            arb_reg().prop_map(Insn::Not),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::CmpRR(a, b)),
+            (arb_reg(), any::<i32>()).prop_map(|(a, b)| Insn::CmpRI(a, b)),
+            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::TestRR(a, b)),
+            any::<i32>().prop_map(Insn::Jmp),
+            arb_reg().prop_map(Insn::JmpR),
+            arb_mem().prop_map(Insn::JmpM),
+            (cond, any::<i32>()).prop_map(|(c, r)| Insn::Jcc(c, r)),
+            any::<i32>().prop_map(Insn::Call),
+            arb_reg().prop_map(Insn::CallR),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::LockXadd(a, b)),
+            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::LockCmpXchg(a, b)),
+            (marker, any::<u32>()).prop_map(|(k, t)| Insn::Marker(k, t)),
+            arb_reg().prop_map(Insn::RdFsBase),
+            arb_reg().prop_map(Insn::WrFsBase),
+            arb_reg().prop_map(Insn::RdGsBase),
+            arb_reg().prop_map(Insn::WrGsBase),
+            arb_mem().prop_map(Insn::Fxsave),
+            arb_mem().prop_map(Insn::Fxrstor),
+            arb_mem().prop_map(Insn::Xsave),
+            arb_mem().prop_map(Insn::Xrstor),
+            (arb_xmm(), arb_mem()).prop_map(|(x, m)| Insn::MovsdXM(x, m)),
+            (arb_mem(), arb_xmm()).prop_map(|(m, x)| Insn::MovsdMX(m, x)),
+            (arb_xmm(), arb_xmm()).prop_map(|(a, b)| Insn::MovsdXX(a, b)),
+            (fp, arb_xmm(), arb_xmm()).prop_map(|(o, a, b)| Insn::FpRR(o, a, b)),
+            (arb_xmm(), arb_reg()).prop_map(|(x, r)| Insn::Cvtsi2sd(x, r)),
+            (arb_reg(), arb_xmm()).prop_map(|(r, x)| Insn::Cvttsd2si(r, x)),
+            (arb_xmm(), arb_xmm()).prop_map(|(a, b)| Insn::Comisd(a, b)),
+            (arb_reg(), arb_xmm()).prop_map(|(r, x)| Insn::MovqRX(r, x)),
+            (arb_xmm(), arb_reg()).prop_map(|(x, r)| Insn::MovqXR(x, r)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(insn in arb_insn()) {
+            let bytes = encode(&insn);
+            let (decoded, len) = decode(&bytes).expect("decodes");
+            prop_assert_eq!(decoded, insn);
+            prop_assert_eq!(len, bytes.len());
+        }
+
+        #[test]
+        fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn truncation_is_detected(insn in arb_insn()) {
+            let bytes = encode(&insn);
+            for cut in 0..bytes.len() {
+                // A strict prefix must either fail or decode to a shorter
+                // instruction (never read past the cut).
+                match decode(&bytes[..cut]) {
+                    Ok((_, len)) => prop_assert!(len <= cut),
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_opcode_reported() {
+        assert_eq!(decode(&[0xff]), Err(DecodeError::BadOpcode(0xff)));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_register_operand_reported() {
+        assert_eq!(decode(&[super::op::PUSH, 99]), Err(DecodeError::BadOperand(99)));
+    }
+
+    #[test]
+    fn bad_condition_reported() {
+        assert_eq!(
+            decode(&[super::op::JCC, 42, 0, 0, 0, 0]),
+            Err(DecodeError::BadOperand(42))
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Disassembler: formats decoded instructions back into assembler syntax.
+
+use crate::decode::{decode, DecodeError};
+use crate::insn::Insn;
+use std::fmt::Write as _;
+
+/// Formats a single instruction at virtual address `addr` (used to render
+/// relative branch targets as absolute addresses).
+pub fn format_insn(insn: &Insn, addr: u64, len: usize) -> String {
+    let next = addr.wrapping_add(len as u64);
+    let target = |rel: i32| next.wrapping_add(rel as i64 as u64);
+    match *insn {
+        Insn::Nop => "nop".into(),
+        Insn::MovRR(d, s) => format!("mov {d}, {s}"),
+        Insn::MovRI(d, imm) => format!("mov {d}, {imm:#x}"),
+        Insn::Load(d, m) => format!("mov {d}, {m}"),
+        Insn::Store(m, s) => format!("mov {m}, {s}"),
+        Insn::LoadB(d, m) => format!("movb {d}, {m}"),
+        Insn::StoreB(m, s) => format!("movb {m}, {s}"),
+        Insn::LoadW(d, m) => format!("movd {d}, {m}"),
+        Insn::StoreW(m, s) => format!("movd {m}, {s}"),
+        Insn::Lea(d, m) => format!("lea {d}, {m}"),
+        Insn::Push(r) => format!("push {r}"),
+        Insn::Pop(r) => format!("pop {r}"),
+        Insn::Pushfq => "pushfq".into(),
+        Insn::Popfq => "popfq".into(),
+        Insn::Xchg(m, r) => format!("xchg {m}, {r}"),
+        Insn::AluRR(op, d, s) => format!("{} {d}, {s}", op.mnemonic()),
+        Insn::AluRI(op, d, imm) => format!("{} {d}, {imm:#x}", op.mnemonic()),
+        Insn::Neg(r) => format!("neg {r}"),
+        Insn::Not(r) => format!("not {r}"),
+        Insn::CmpRR(a, b) => format!("cmp {a}, {b}"),
+        Insn::CmpRI(a, imm) => format!("cmp {a}, {imm:#x}"),
+        Insn::TestRR(a, b) => format!("test {a}, {b}"),
+        Insn::Jmp(rel) => format!("jmp {:#x}", target(rel)),
+        Insn::JmpR(r) => format!("jmp {r}"),
+        Insn::JmpM(m) => format!("jmp {m}"),
+        Insn::Jcc(c, rel) => format!("j{} {:#x}", c.suffix(), target(rel)),
+        Insn::Call(rel) => format!("call {:#x}", target(rel)),
+        Insn::CallR(r) => format!("call {r}"),
+        Insn::Ret => "ret".into(),
+        Insn::LockXadd(m, r) => format!("xadd {m}, {r}"),
+        Insn::LockCmpXchg(m, r) => format!("cmpxchg {m}, {r}"),
+        Insn::RepMovs => "repmovs".into(),
+        Insn::Mfence => "mfence".into(),
+        Insn::Pause => "pause".into(),
+        Insn::Syscall => "syscall".into(),
+        Insn::Rdtsc => "rdtsc".into(),
+        Insn::Ud2 => "ud2".into(),
+        Insn::Marker(k, tag) => format!("marker {}, {tag:#x}", k.name()),
+        Insn::RdFsBase(r) => format!("rdfsbase {r}"),
+        Insn::WrFsBase(r) => format!("wrfsbase {r}"),
+        Insn::RdGsBase(r) => format!("rdgsbase {r}"),
+        Insn::WrGsBase(r) => format!("wrgsbase {r}"),
+        Insn::Fxsave(m) => format!("fxsave {m}"),
+        Insn::Fxrstor(m) => format!("fxrstor {m}"),
+        Insn::Xsave(m) => format!("xsave {m}"),
+        Insn::Xrstor(m) => format!("xrstor {m}"),
+        Insn::MovsdXM(x, m) => format!("movsd {x}, {m}"),
+        Insn::MovsdMX(m, x) => format!("movsd {m}, {x}"),
+        Insn::MovsdXX(d, s) => format!("movsd {d}, {s}"),
+        Insn::FpRR(op, d, s) => format!("{} {d}, {s}", op.mnemonic()),
+        Insn::Cvtsi2sd(x, r) => format!("cvtsi2sd {x}, {r}"),
+        Insn::Cvttsd2si(r, x) => format!("cvttsd2si {r}, {x}"),
+        Insn::Comisd(a, b) => format!("comisd {a}, {b}"),
+        Insn::MovqRX(r, x) => format!("movq {r}, {x}"),
+        Insn::MovqXR(x, r) => format!("movq {x}, {r}"),
+    }
+}
+
+/// One disassembled instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Virtual address of the instruction.
+    pub addr: u64,
+    /// Encoded length in bytes.
+    pub len: usize,
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Formatted assembler text.
+    pub text: String,
+}
+
+/// Disassembles the byte stream starting at virtual address `addr`.
+///
+/// Stops at the first undecodable byte; the error (if any) is returned
+/// alongside the instructions decoded so far, mirroring how objdump keeps
+/// going until the stream breaks.
+pub fn disassemble(bytes: &[u8], addr: u64) -> (Vec<DisasmLine>, Option<DecodeError>) {
+    let mut lines = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match decode(&bytes[pos..]) {
+            Ok((insn, len)) => {
+                let a = addr + pos as u64;
+                let text = format_insn(&insn, a, len);
+                lines.push(DisasmLine { addr: a, len, insn, text });
+                pos += len;
+            }
+            Err(e) => return (lines, Some(e)),
+        }
+    }
+    (lines, None)
+}
+
+/// Renders a full listing (address, bytes-in-hex, text), objdump style.
+pub fn listing(bytes: &[u8], addr: u64) -> String {
+    let (lines, err) = disassemble(bytes, addr);
+    let mut out = String::new();
+    for l in &lines {
+        let window = &bytes[(l.addr - addr) as usize..(l.addr - addr) as usize + l.len];
+        let hex: String = window.iter().map(|b| format!("{b:02x} ")).collect();
+        let _ = writeln!(out, "{:>12x}:  {:<33} {}", l.addr, hex.trim_end(), l.text);
+    }
+    if let Some(e) = err {
+        let _ = writeln!(out, "              <decode error: {e}>");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::encode::encode;
+    use crate::insn::{Cond, Mem};
+    use crate::reg::Reg;
+
+    #[test]
+    fn roundtrip_through_assembler() {
+        // Disassembled text must re-assemble to identical bytes (for
+        // instructions without relative branches, which change form).
+        let src = r#"
+            .org 0x400000
+            start:
+                mov rax, 0x1234
+                mov rbx, [rax + 8]
+                add rbx, 1
+                push rbx
+                pop rcx
+                xadd [rax], rcx
+                movsd xmm0, [rax]
+                addsd xmm0, xmm0
+                syscall
+                ret
+        "#;
+        let p1 = assemble(src).expect("assembles");
+        let text = listing(p1.bytes(), 0x400000);
+        assert!(text.contains("mov rax, 0x1234"), "{text}");
+        assert!(text.contains("xadd [rax], rcx"), "{text}");
+
+        let (lines, err) = disassemble(p1.bytes(), 0x400000);
+        assert!(err.is_none());
+        // Re-assemble each non-branch line and compare bytes.
+        let mut re = String::from(".org 0x400000\nstart:\n");
+        for l in &lines {
+            re.push_str(&l.text);
+            re.push('\n');
+        }
+        let p2 = assemble(&re).expect("re-assembles");
+        assert_eq!(p1.bytes(), p2.bytes());
+    }
+
+    #[test]
+    fn branch_targets_rendered_absolute() {
+        let jcc = encode(&crate::insn::Insn::Jcc(Cond::Ne, -6));
+        let (lines, _) = disassemble(&jcc, 0x1000);
+        assert_eq!(lines[0].text, "jne 0x1000");
+    }
+
+    #[test]
+    fn garbage_reports_error_but_keeps_prefix() {
+        let mut bytes = encode(&crate::insn::Insn::Push(Reg::Rax));
+        bytes.push(0xee); // bad opcode
+        let (lines, err) = disassemble(&bytes, 0);
+        assert_eq!(lines.len(), 1);
+        assert!(err.is_some());
+    }
+
+    #[test]
+    fn mem_operand_displayed() {
+        let i = crate::insn::Insn::Load(Reg::Rax, Mem::base_disp(Reg::Rbp, -16));
+        assert_eq!(format_insn(&i, 0, 9), "mov rax, [rbp - 0x10]");
+    }
+}

@@ -1,0 +1,404 @@
+//! Binary instruction encoder.
+//!
+//! The encoding is variable-length, like x86: a one-byte primary opcode
+//! followed by operand bytes. Memory operands occupy a fixed 7-byte form
+//! (`base/index/scale/seg` descriptor plus a 32-bit displacement); 64-bit
+//! immediates are 8 bytes; relative branch targets and ALU immediates are
+//! 4 bytes. Instruction lengths therefore range from 1 to 16 bytes, so a
+//! stream of data bytes decodes (or faults) realistically when an ELFie
+//! strays off its captured pages.
+
+use crate::insn::{Insn, Mem, Seg};
+
+// Primary opcodes. Grouped by functional class; gaps leave room for
+// extensions without renumbering.
+pub(crate) mod op {
+    pub const NOP: u8 = 0x00;
+    pub const MOV_RR: u8 = 0x01;
+    pub const MOV_RI: u8 = 0x02;
+    pub const LOAD: u8 = 0x03;
+    pub const STORE: u8 = 0x04;
+    pub const LOAD_B: u8 = 0x05;
+    pub const STORE_B: u8 = 0x06;
+    pub const LOAD_W: u8 = 0x07;
+    pub const STORE_W: u8 = 0x08;
+    pub const LEA: u8 = 0x09;
+    pub const PUSH: u8 = 0x0a;
+    pub const POP: u8 = 0x0b;
+    pub const PUSHFQ: u8 = 0x0c;
+    pub const POPFQ: u8 = 0x0d;
+    pub const XCHG: u8 = 0x0e;
+
+    pub const ALU_RR: u8 = 0x10;
+    pub const ALU_RI: u8 = 0x11;
+    pub const NEG: u8 = 0x12;
+    pub const NOT: u8 = 0x13;
+    pub const CMP_RR: u8 = 0x14;
+    pub const CMP_RI: u8 = 0x15;
+    pub const TEST_RR: u8 = 0x16;
+
+    pub const JMP: u8 = 0x20;
+    pub const JMP_R: u8 = 0x21;
+    pub const JMP_M: u8 = 0x26;
+    pub const JCC: u8 = 0x22;
+    pub const CALL: u8 = 0x23;
+    pub const CALL_R: u8 = 0x24;
+    pub const RET: u8 = 0x25;
+
+    pub const LOCK_XADD: u8 = 0x30;
+    pub const LOCK_CMPXCHG: u8 = 0x31;
+    pub const MFENCE: u8 = 0x32;
+    pub const REP_MOVS: u8 = 0x34;
+    pub const PAUSE: u8 = 0x33;
+
+    pub const SYSCALL: u8 = 0x40;
+    pub const RDTSC: u8 = 0x41;
+    pub const UD2: u8 = 0x42;
+    pub const MARKER: u8 = 0x43;
+
+    pub const RD_FS_BASE: u8 = 0x50;
+    pub const WR_FS_BASE: u8 = 0x51;
+    pub const RD_GS_BASE: u8 = 0x52;
+    pub const WR_GS_BASE: u8 = 0x53;
+
+    pub const FXSAVE: u8 = 0x60;
+    pub const FXRSTOR: u8 = 0x61;
+    pub const XSAVE: u8 = 0x62;
+    pub const XRSTOR: u8 = 0x63;
+
+    pub const MOVSD_XM: u8 = 0x70;
+    pub const MOVSD_MX: u8 = 0x71;
+    pub const MOVSD_XX: u8 = 0x72;
+    pub const FP_RR: u8 = 0x73;
+    pub const CVTSI2SD: u8 = 0x74;
+    pub const CVTTSD2SI: u8 = 0x75;
+    pub const COMISD: u8 = 0x76;
+    pub const MOVQ_RX: u8 = 0x77;
+    pub const MOVQ_XR: u8 = 0x78;
+}
+
+pub(crate) const MEM_PRESENT: u8 = 0x80;
+
+fn push_mem(out: &mut Vec<u8>, m: &Mem) {
+    let b0 = match m.base {
+        Some(r) => MEM_PRESENT | r.index() as u8,
+        None => 0,
+    };
+    let b1 = match m.index {
+        Some(r) => MEM_PRESENT | (m.scale.log2() << 4) | r.index() as u8,
+        None => 0,
+    };
+    let b2 = match m.seg {
+        None => 0,
+        Some(Seg::Fs) => 1,
+        Some(Seg::Gs) => 2,
+    };
+    out.push(b0);
+    out.push(b1);
+    out.push(b2);
+    out.extend_from_slice(&m.disp.to_le_bytes());
+}
+
+/// Encodes `insn`, appending its bytes to `out`.
+///
+/// The companion [`crate::decode`] function inverts this exactly; the pair
+/// is covered by a round-trip property test.
+pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) {
+    match *insn {
+        Insn::Nop => out.push(op::NOP),
+        Insn::MovRR(d, s) => {
+            out.push(op::MOV_RR);
+            out.push(d.index() as u8);
+            out.push(s.index() as u8);
+        }
+        Insn::MovRI(d, imm) => {
+            out.push(op::MOV_RI);
+            out.push(d.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::Load(d, m) => {
+            out.push(op::LOAD);
+            out.push(d.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::Store(m, s) => {
+            out.push(op::STORE);
+            out.push(s.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::LoadB(d, m) => {
+            out.push(op::LOAD_B);
+            out.push(d.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::StoreB(m, s) => {
+            out.push(op::STORE_B);
+            out.push(s.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::LoadW(d, m) => {
+            out.push(op::LOAD_W);
+            out.push(d.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::StoreW(m, s) => {
+            out.push(op::STORE_W);
+            out.push(s.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::Lea(d, m) => {
+            out.push(op::LEA);
+            out.push(d.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::Push(r) => {
+            out.push(op::PUSH);
+            out.push(r.index() as u8);
+        }
+        Insn::Pop(r) => {
+            out.push(op::POP);
+            out.push(r.index() as u8);
+        }
+        Insn::Pushfq => out.push(op::PUSHFQ),
+        Insn::Popfq => out.push(op::POPFQ),
+        Insn::Xchg(m, r) => {
+            out.push(op::XCHG);
+            out.push(r.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::AluRR(o, d, s) => {
+            out.push(op::ALU_RR);
+            out.push(o as u8);
+            out.push(d.index() as u8);
+            out.push(s.index() as u8);
+        }
+        Insn::AluRI(o, d, imm) => {
+            out.push(op::ALU_RI);
+            out.push(o as u8);
+            out.push(d.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::Neg(r) => {
+            out.push(op::NEG);
+            out.push(r.index() as u8);
+        }
+        Insn::Not(r) => {
+            out.push(op::NOT);
+            out.push(r.index() as u8);
+        }
+        Insn::CmpRR(a, b) => {
+            out.push(op::CMP_RR);
+            out.push(a.index() as u8);
+            out.push(b.index() as u8);
+        }
+        Insn::CmpRI(a, imm) => {
+            out.push(op::CMP_RI);
+            out.push(a.index() as u8);
+            out.extend_from_slice(&imm.to_le_bytes());
+        }
+        Insn::TestRR(a, b) => {
+            out.push(op::TEST_RR);
+            out.push(a.index() as u8);
+            out.push(b.index() as u8);
+        }
+        Insn::Jmp(rel) => {
+            out.push(op::JMP);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::JmpR(r) => {
+            out.push(op::JMP_R);
+            out.push(r.index() as u8);
+        }
+        Insn::JmpM(m) => {
+            out.push(op::JMP_M);
+            push_mem(out, &m);
+        }
+        Insn::Jcc(c, rel) => {
+            out.push(op::JCC);
+            out.push(c as u8);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::Call(rel) => {
+            out.push(op::CALL);
+            out.extend_from_slice(&rel.to_le_bytes());
+        }
+        Insn::CallR(r) => {
+            out.push(op::CALL_R);
+            out.push(r.index() as u8);
+        }
+        Insn::Ret => out.push(op::RET),
+        Insn::LockXadd(m, r) => {
+            out.push(op::LOCK_XADD);
+            out.push(r.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::LockCmpXchg(m, r) => {
+            out.push(op::LOCK_CMPXCHG);
+            out.push(r.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::RepMovs => out.push(op::REP_MOVS),
+        Insn::Mfence => out.push(op::MFENCE),
+        Insn::Pause => out.push(op::PAUSE),
+        Insn::Syscall => out.push(op::SYSCALL),
+        Insn::Rdtsc => out.push(op::RDTSC),
+        Insn::Ud2 => out.push(op::UD2),
+        Insn::Marker(k, tag) => {
+            out.push(op::MARKER);
+            out.push(k as u8);
+            out.extend_from_slice(&tag.to_le_bytes());
+        }
+        Insn::RdFsBase(r) => {
+            out.push(op::RD_FS_BASE);
+            out.push(r.index() as u8);
+        }
+        Insn::WrFsBase(r) => {
+            out.push(op::WR_FS_BASE);
+            out.push(r.index() as u8);
+        }
+        Insn::RdGsBase(r) => {
+            out.push(op::RD_GS_BASE);
+            out.push(r.index() as u8);
+        }
+        Insn::WrGsBase(r) => {
+            out.push(op::WR_GS_BASE);
+            out.push(r.index() as u8);
+        }
+        Insn::Fxsave(m) => {
+            out.push(op::FXSAVE);
+            push_mem(out, &m);
+        }
+        Insn::Fxrstor(m) => {
+            out.push(op::FXRSTOR);
+            push_mem(out, &m);
+        }
+        Insn::Xsave(m) => {
+            out.push(op::XSAVE);
+            push_mem(out, &m);
+        }
+        Insn::Xrstor(m) => {
+            out.push(op::XRSTOR);
+            push_mem(out, &m);
+        }
+        Insn::MovsdXM(x, m) => {
+            out.push(op::MOVSD_XM);
+            out.push(x.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::MovsdMX(m, x) => {
+            out.push(op::MOVSD_MX);
+            out.push(x.index() as u8);
+            push_mem(out, &m);
+        }
+        Insn::MovsdXX(d, s) => {
+            out.push(op::MOVSD_XX);
+            out.push(d.index() as u8);
+            out.push(s.index() as u8);
+        }
+        Insn::FpRR(o, d, s) => {
+            out.push(op::FP_RR);
+            out.push(o as u8);
+            out.push(d.index() as u8);
+            out.push(s.index() as u8);
+        }
+        Insn::Cvtsi2sd(x, r) => {
+            out.push(op::CVTSI2SD);
+            out.push(x.index() as u8);
+            out.push(r.index() as u8);
+        }
+        Insn::Cvttsd2si(r, x) => {
+            out.push(op::CVTTSD2SI);
+            out.push(r.index() as u8);
+            out.push(x.index() as u8);
+        }
+        Insn::Comisd(a, b) => {
+            out.push(op::COMISD);
+            out.push(a.index() as u8);
+            out.push(b.index() as u8);
+        }
+        Insn::MovqRX(r, x) => {
+            out.push(op::MOVQ_RX);
+            out.push(r.index() as u8);
+            out.push(x.index() as u8);
+        }
+        Insn::MovqXR(x, r) => {
+            out.push(op::MOVQ_XR);
+            out.push(x.index() as u8);
+            out.push(r.index() as u8);
+        }
+    }
+}
+
+/// Encodes a single instruction into a fresh byte vector.
+///
+/// ```
+/// use elfie_isa::{encode, Insn, Reg};
+/// let bytes = encode(&Insn::MovRI(Reg::Rax, 60));
+/// assert_eq!(bytes.len(), 10); // opcode + reg + imm64
+/// ```
+pub fn encode(insn: &Insn) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_into(insn, &mut out);
+    out
+}
+
+/// Returns the encoded length of `insn` in bytes without allocating a fresh
+/// buffer for callers that only need sizing (branch relaxation, layout).
+pub fn encoded_len(insn: &Insn) -> usize {
+    // Lengths are small and fixed per shape; computing via encode keeps a
+    // single source of truth.
+    encode(insn).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, Mem, Scale, Seg};
+    use crate::reg::Reg;
+
+    #[test]
+    fn single_byte_instructions() {
+        for (i, o) in [
+            (Insn::Nop, op::NOP),
+            (Insn::Ret, op::RET),
+            (Insn::Syscall, op::SYSCALL),
+            (Insn::Mfence, op::MFENCE),
+            (Insn::Pause, op::PAUSE),
+            (Insn::Ud2, op::UD2),
+            (Insn::Pushfq, op::PUSHFQ),
+            (Insn::Popfq, op::POPFQ),
+            (Insn::Rdtsc, op::RDTSC),
+        ] {
+            assert_eq!(encode(&i), vec![o]);
+        }
+    }
+
+    #[test]
+    fn mov_ri_layout() {
+        let bytes = encode(&Insn::MovRI(Reg::Rdi, 0x1122_3344_5566_7788));
+        assert_eq!(bytes[0], op::MOV_RI);
+        assert_eq!(bytes[1], Reg::Rdi.index() as u8);
+        assert_eq!(&bytes[2..], &0x1122_3344_5566_7788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn mem_operand_layout() {
+        let m = Mem::base_index(Reg::Rbx, Reg::Rcx, Scale::S8, -12).with_seg(Seg::Gs);
+        let bytes = encode(&Insn::Load(Reg::Rax, m));
+        assert_eq!(bytes.len(), 1 + 1 + 7);
+        assert_eq!(bytes[2], MEM_PRESENT | Reg::Rbx.index() as u8);
+        assert_eq!(bytes[3], MEM_PRESENT | (3 << 4) | Reg::Rcx.index() as u8);
+        assert_eq!(bytes[4], 2); // gs
+        assert_eq!(&bytes[5..9], &(-12i32).to_le_bytes());
+    }
+
+    #[test]
+    fn lengths_vary_like_x86() {
+        assert_eq!(encoded_len(&Insn::Nop), 1);
+        assert_eq!(encoded_len(&Insn::Push(Reg::Rax)), 2);
+        assert_eq!(encoded_len(&Insn::Jmp(0)), 5);
+        assert_eq!(encoded_len(&Insn::MovRI(Reg::Rax, 0)), 10);
+        assert_eq!(encoded_len(&Insn::Load(Reg::Rax, Mem::abs(0))), 9);
+        assert_eq!(encoded_len(&Insn::AluRI(AluOp::Add, Reg::Rax, 1)), 7);
+    }
+}

@@ -1,0 +1,612 @@
+//! Decoded instruction representation.
+
+use crate::reg::{Reg, Xmm};
+use std::fmt;
+
+/// Segment override for memory operands (thread-local addressing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Seg {
+    /// `FS`-relative (used for TLS, as on Linux x86-64).
+    Fs,
+    /// `GS`-relative.
+    Gs,
+}
+
+/// Index-register scale factor of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    #[default]
+    S1,
+    S2,
+    S4,
+    S8,
+}
+
+impl Scale {
+    /// Multiplier value (1, 2, 4 or 8).
+    pub const fn value(self) -> u64 {
+        match self {
+            Scale::S1 => 1,
+            Scale::S2 => 2,
+            Scale::S4 => 4,
+            Scale::S8 => 8,
+        }
+    }
+
+    /// log2 of the multiplier, used by the binary encoding.
+    pub const fn log2(self) -> u8 {
+        match self {
+            Scale::S1 => 0,
+            Scale::S2 => 1,
+            Scale::S4 => 2,
+            Scale::S8 => 3,
+        }
+    }
+
+    /// Inverse of [`Scale::log2`].
+    pub const fn from_log2(v: u8) -> Option<Scale> {
+        match v {
+            0 => Some(Scale::S1),
+            1 => Some(Scale::S2),
+            2 => Some(Scale::S4),
+            3 => Some(Scale::S8),
+            _ => None,
+        }
+    }
+}
+
+/// An x86-style memory operand: `seg:[base + index*scale + disp]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Mem {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register, if any.
+    pub index: Option<Reg>,
+    /// Scale applied to the index register.
+    pub scale: Scale,
+    /// Signed 32-bit displacement.
+    pub disp: i32,
+    /// Optional segment override; the segment base is added to the address.
+    pub seg: Option<Seg>,
+}
+
+impl Mem {
+    /// Absolute-address operand `[disp]`.
+    ///
+    /// # Panics
+    /// Panics if `addr` does not fit in an `i32` displacement; use a base
+    /// register for high addresses.
+    pub fn abs(addr: i64) -> Mem {
+        Mem { disp: i32::try_from(addr).expect("absolute address fits in disp32"), ..Mem::default() }
+    }
+
+    /// Base-register operand `[base]`.
+    pub fn base(base: Reg) -> Mem {
+        Mem { base: Some(base), ..Mem::default() }
+    }
+
+    /// Base + displacement operand `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i32) -> Mem {
+        Mem { base: Some(base), disp, ..Mem::default() }
+    }
+
+    /// Full scaled-index form `[base + index*scale + disp]`.
+    pub fn base_index(base: Reg, index: Reg, scale: Scale, disp: i32) -> Mem {
+        Mem { base: Some(base), index: Some(index), scale, disp, seg: None }
+    }
+
+    /// Adds a segment override.
+    pub fn with_seg(mut self, seg: Seg) -> Mem {
+        self.seg = Some(seg);
+        self
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.seg {
+            Some(Seg::Fs) => write!(f, "fs:")?,
+            Some(Seg::Gs) => write!(f, "gs:")?,
+            None => {}
+        }
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some(i) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{}", self.scale.value())?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                if self.disp >= 0 {
+                    write!(f, " + {:#x}", self.disp)?;
+                } else {
+                    write!(f, " - {:#x}", -(self.disp as i64))?;
+                }
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// Branch condition codes (x86 naming).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`ZF`).
+    E = 0,
+    /// Not equal (`!ZF`).
+    Ne = 1,
+    /// Signed less (`SF != OF`).
+    L = 2,
+    /// Signed less-or-equal.
+    Le = 3,
+    /// Signed greater.
+    G = 4,
+    /// Signed greater-or-equal.
+    Ge = 5,
+    /// Unsigned below (`CF`).
+    B = 6,
+    /// Unsigned below-or-equal.
+    Be = 7,
+    /// Unsigned above.
+    A = 8,
+    /// Unsigned above-or-equal.
+    Ae = 9,
+    /// Sign set.
+    S = 10,
+    /// Sign clear.
+    Ns = 11,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 12] = [
+        Cond::E,
+        Cond::Ne,
+        Cond::L,
+        Cond::Le,
+        Cond::G,
+        Cond::Ge,
+        Cond::B,
+        Cond::Be,
+        Cond::A,
+        Cond::Ae,
+        Cond::S,
+        Cond::Ns,
+    ];
+
+    /// Decodes the encoding byte.
+    pub const fn from_index(v: u8) -> Option<Cond> {
+        if (v as usize) < Cond::ALL.len() {
+            Some(Cond::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The mnemonic suffix (`"e"`, `"ne"`, ...).
+    pub const fn suffix(self) -> &'static str {
+        match self {
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::L => "l",
+            Cond::Le => "le",
+            Cond::G => "g",
+            Cond::Ge => "ge",
+            Cond::B => "b",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::Ae => "ae",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+        }
+    }
+}
+
+/// Integer ALU operations with register-register and register-immediate
+/// forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    Add = 0,
+    Sub = 1,
+    And = 2,
+    Or = 3,
+    Xor = 4,
+    Shl = 5,
+    Shr = 6,
+    Sar = 7,
+    /// Signed multiply, low 64 bits.
+    Imul = 8,
+    /// Unsigned divide (quotient).
+    Udiv = 9,
+    /// Unsigned remainder.
+    Urem = 10,
+}
+
+impl AluOp {
+    /// All ALU operations in encoding order.
+    pub const ALL: [AluOp; 11] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Imul,
+        AluOp::Udiv,
+        AluOp::Urem,
+    ];
+
+    /// Decodes the encoding byte.
+    pub const fn from_index(v: u8) -> Option<AluOp> {
+        if (v as usize) < AluOp::ALL.len() {
+            Some(AluOp::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Imul => "imul",
+            AluOp::Udiv => "udiv",
+            AluOp::Urem => "urem",
+        }
+    }
+}
+
+/// Scalar-double floating point operations (`xmm, xmm` form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FpOp {
+    Add = 0,
+    Sub = 1,
+    Mul = 2,
+    Div = 3,
+    Min = 4,
+    Max = 5,
+    /// `dst = sqrt(src)` (unary; the destination is overwritten).
+    Sqrt = 6,
+}
+
+impl FpOp {
+    /// All FP operations in encoding order.
+    pub const ALL: [FpOp; 7] =
+        [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max, FpOp::Sqrt];
+
+    /// Decodes the encoding byte.
+    pub const fn from_index(v: u8) -> Option<FpOp> {
+        if (v as usize) < FpOp::ALL.len() {
+            Some(FpOp::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The assembler mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            FpOp::Add => "addsd",
+            FpOp::Sub => "subsd",
+            FpOp::Mul => "mulsd",
+            FpOp::Div => "divsd",
+            FpOp::Min => "minsd",
+            FpOp::Max => "maxsd",
+            FpOp::Sqrt => "sqrtsd",
+        }
+    }
+}
+
+/// Region-of-interest marker styles inserted by `pinball2elf --roi-start`.
+///
+/// The paper supports `sniper`, `ssc` (Pintools) and `simics` marker
+/// conventions; simulators scan for the style they understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum MarkerKind {
+    /// Sniper-style marker instruction.
+    Sniper = 0,
+    /// SSC marker (special long NOP with payload) recognised by Pintools.
+    Ssc = 1,
+    /// Simics magic instruction.
+    Simics = 2,
+}
+
+impl MarkerKind {
+    /// All marker kinds in encoding order.
+    pub const ALL: [MarkerKind; 3] = [MarkerKind::Sniper, MarkerKind::Ssc, MarkerKind::Simics];
+
+    /// Decodes the encoding byte.
+    pub const fn from_index(v: u8) -> Option<MarkerKind> {
+        if (v as usize) < MarkerKind::ALL.len() {
+            Some(MarkerKind::ALL[v as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The name used on the `--roi-start TYPE:TAG` command line.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MarkerKind::Sniper => "sniper",
+            MarkerKind::Ssc => "ssc",
+            MarkerKind::Simics => "simics",
+        }
+    }
+
+    /// Parses a `--roi-start` type name.
+    pub fn parse(name: &str) -> Option<MarkerKind> {
+        MarkerKind::ALL.iter().copied().find(|k| k.name() == name)
+    }
+}
+
+/// A decoded instruction.
+///
+/// Control-flow targets are encoded as signed displacements relative to the
+/// address of the *next* instruction (rel32), as on x86-64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// No operation.
+    Nop,
+    /// `mov dst, src` between registers.
+    MovRR(Reg, Reg),
+    /// `mov dst, imm64`.
+    MovRI(Reg, u64),
+    /// 64-bit load `mov dst, [mem]`.
+    Load(Reg, Mem),
+    /// 64-bit store `mov [mem], src`.
+    Store(Mem, Reg),
+    /// Zero-extending byte load.
+    LoadB(Reg, Mem),
+    /// Byte store (low 8 bits of `src`).
+    StoreB(Mem, Reg),
+    /// Zero-extending 32-bit load.
+    LoadW(Reg, Mem),
+    /// 32-bit store (low 32 bits of `src`).
+    StoreW(Mem, Reg),
+    /// Address computation `lea dst, [mem]`.
+    Lea(Reg, Mem),
+    /// Push a register onto the stack.
+    Push(Reg),
+    /// Pop from the stack into a register.
+    Pop(Reg),
+    /// Push the packed flags register.
+    Pushfq,
+    /// Pop the packed flags register.
+    Popfq,
+    /// Atomic exchange `xchg [mem], reg`.
+    Xchg(Mem, Reg),
+    /// Register-register ALU operation.
+    AluRR(AluOp, Reg, Reg),
+    /// Register-immediate ALU operation (imm sign-extended to 64 bits).
+    AluRI(AluOp, Reg, i32),
+    /// Two's complement negate.
+    Neg(Reg),
+    /// Bitwise not.
+    Not(Reg),
+    /// Compare registers (sets flags like `sub`).
+    CmpRR(Reg, Reg),
+    /// Compare register with immediate.
+    CmpRI(Reg, i32),
+    /// Bitwise-AND flags test.
+    TestRR(Reg, Reg),
+    /// Unconditional relative jump.
+    Jmp(i32),
+    /// Indirect jump through a register.
+    JmpR(Reg),
+    /// Memory-indirect jump: `jmp [mem]` loads the 64-bit target from
+    /// memory. Used by ELFie thread entries to reach arbitrary 64-bit
+    /// addresses without clobbering any register.
+    JmpM(Mem),
+    /// Conditional relative jump.
+    Jcc(Cond, i32),
+    /// Relative call (pushes return address).
+    Call(i32),
+    /// Indirect call through a register.
+    CallR(Reg),
+    /// Return (pops return address).
+    Ret,
+    /// Atomic fetch-and-add `lock xadd [mem], reg`.
+    LockXadd(Mem, Reg),
+    /// Atomic compare-exchange: compares `RAX` with `[mem]`; on equality
+    /// stores `reg`, else loads `[mem]` into `RAX`. Sets `ZF`.
+    LockCmpXchg(Mem, Reg),
+    /// Bulk copy (x86 `rep movsq`): copies `RCX` quadwords from `[RSI]`
+    /// to `[RDI]`, advancing all three registers. Retires as one
+    /// instruction — the ELFie startup uses it to remap pinball pages
+    /// cheaply, as real startup code uses `memcpy`.
+    RepMovs,
+    /// Full memory fence.
+    Mfence,
+    /// Spin-loop hint.
+    Pause,
+    /// System call (Linux x86-64 convention: nr in `RAX`, args in
+    /// `RDI,RSI,RDX,R10,R8,R9`, result in `RAX`).
+    Syscall,
+    /// Read time-stamp counter into `RAX` (full 64 bits; `RDX` zeroed).
+    Rdtsc,
+    /// Guaranteed-invalid instruction (faults).
+    Ud2,
+    /// Region-of-interest marker with a 32-bit tag.
+    Marker(MarkerKind, u32),
+    /// Read the `FS` segment base into a register.
+    RdFsBase(Reg),
+    /// Write the `FS` segment base from a register.
+    WrFsBase(Reg),
+    /// Read the `GS` segment base into a register.
+    RdGsBase(Reg),
+    /// Write the `GS` segment base from a register.
+    WrGsBase(Reg),
+    /// Save legacy extended state (512-byte FXSAVE image) to memory.
+    Fxsave(Mem),
+    /// Restore legacy extended state from memory.
+    Fxrstor(Mem),
+    /// Save full extended state to memory (same image in this ISA).
+    Xsave(Mem),
+    /// Restore full extended state from memory.
+    Xrstor(Mem),
+    /// Scalar-double load `movsd xmm, [mem]`.
+    MovsdXM(Xmm, Mem),
+    /// Scalar-double store `movsd [mem], xmm`.
+    MovsdMX(Mem, Xmm),
+    /// Scalar-double register move.
+    MovsdXX(Xmm, Xmm),
+    /// Scalar-double arithmetic.
+    FpRR(FpOp, Xmm, Xmm),
+    /// Convert signed integer to double.
+    Cvtsi2sd(Xmm, Reg),
+    /// Convert double to signed integer (truncating).
+    Cvttsd2si(Reg, Xmm),
+    /// Compare doubles, setting `ZF`/`CF` like `ucomisd`.
+    Comisd(Xmm, Xmm),
+    /// Move the low 64 bits of an XMM register to a GPR.
+    MovqRX(Reg, Xmm),
+    /// Move a GPR into the low 64 bits of an XMM register.
+    MovqXR(Xmm, Reg),
+}
+
+impl Insn {
+    /// True if the instruction may redirect control flow (branches, calls,
+    /// returns and indirect jumps). `SYSCALL` is not included: it returns to
+    /// the next instruction.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Insn::Jmp(_)
+                | Insn::JmpR(_)
+                | Insn::JmpM(_)
+                | Insn::Jcc(..)
+                | Insn::Call(_)
+                | Insn::CallR(_)
+                | Insn::Ret
+        )
+    }
+
+    /// True if the instruction terminates a basic block (control flow or
+    /// `SYSCALL`/`UD2`). Used by basic-block-vector profiling.
+    pub fn ends_basic_block(&self) -> bool {
+        self.is_control_flow() || matches!(self, Insn::Syscall | Insn::Ud2)
+    }
+
+    /// True for memory-reading instructions (used by simulators and the
+    /// PinPlay logger to attribute data accesses).
+    pub fn reads_memory(&self) -> bool {
+        matches!(
+            self,
+            Insn::Load(..)
+                | Insn::LoadB(..)
+                | Insn::LoadW(..)
+                | Insn::JmpM(_)
+                | Insn::Pop(_)
+                | Insn::Popfq
+                | Insn::Ret
+                | Insn::Xchg(..)
+                | Insn::RepMovs
+                | Insn::LockXadd(..)
+                | Insn::LockCmpXchg(..)
+                | Insn::Fxrstor(_)
+                | Insn::Xrstor(_)
+                | Insn::MovsdXM(..)
+        )
+    }
+
+    /// True for memory-writing instructions.
+    pub fn writes_memory(&self) -> bool {
+        matches!(
+            self,
+            Insn::Store(..)
+                | Insn::StoreB(..)
+                | Insn::StoreW(..)
+                | Insn::Push(_)
+                | Insn::Pushfq
+                | Insn::Call(_)
+                | Insn::CallR(_)
+                | Insn::Xchg(..)
+                | Insn::RepMovs
+                | Insn::LockXadd(..)
+                | Insn::LockCmpXchg(..)
+                | Insn::Fxsave(_)
+                | Insn::Xsave(_)
+                | Insn::MovsdMX(..)
+        )
+    }
+
+    /// True for atomic read-modify-write instructions.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Insn::Xchg(..) | Insn::LockXadd(..) | Insn::LockCmpXchg(..))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_roundtrips() {
+        for (i, c) in Cond::ALL.iter().enumerate() {
+            assert_eq!(Cond::from_index(i as u8), Some(*c));
+        }
+        assert_eq!(Cond::from_index(12), None);
+    }
+
+    #[test]
+    fn aluop_roundtrips() {
+        for (i, op) in AluOp::ALL.iter().enumerate() {
+            assert_eq!(AluOp::from_index(i as u8), Some(*op));
+        }
+        assert_eq!(AluOp::from_index(11), None);
+    }
+
+    #[test]
+    fn marker_kind_parse() {
+        assert_eq!(MarkerKind::parse("sniper"), Some(MarkerKind::Sniper));
+        assert_eq!(MarkerKind::parse("ssc"), Some(MarkerKind::Ssc));
+        assert_eq!(MarkerKind::parse("simics"), Some(MarkerKind::Simics));
+        assert_eq!(MarkerKind::parse("gem5"), None);
+    }
+
+    #[test]
+    fn mem_display_forms() {
+        assert_eq!(Mem::base(Reg::Rax).to_string(), "[rax]");
+        assert_eq!(Mem::base_disp(Reg::Rbp, -8).to_string(), "[rbp - 0x8]");
+        assert_eq!(
+            Mem::base_index(Reg::Rdi, Reg::Rcx, Scale::S8, 16).to_string(),
+            "[rdi + rcx*8 + 0x10]"
+        );
+        assert_eq!(Mem::abs(0x1000).with_seg(Seg::Fs).to_string(), "fs:[0x1000]");
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(Insn::Jmp(0).is_control_flow());
+        assert!(!Insn::Syscall.is_control_flow());
+        assert!(Insn::Syscall.ends_basic_block());
+        assert!(Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx).is_atomic());
+        assert!(Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx).reads_memory());
+        assert!(Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx).writes_memory());
+        assert!(Insn::Push(Reg::Rax).writes_memory());
+        assert!(Insn::Pop(Reg::Rax).reads_memory());
+        assert!(!Insn::Nop.reads_memory());
+    }
+}

@@ -1,0 +1,434 @@
+//! Architectural register state: general purpose registers, flags, segment
+//! bases and the XSAVE-style extended-state save area.
+
+use std::fmt;
+
+/// A general purpose 64-bit register.
+///
+/// The numbering matches the operand-encoding order used by
+/// [`crate::encode`]/[`crate::decode`] and the layout of the packed thread
+/// context that `pinball2elf` emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    Rax = 0,
+    Rcx = 1,
+    Rdx = 2,
+    Rbx = 3,
+    Rsp = 4,
+    Rbp = 5,
+    Rsi = 6,
+    Rdi = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    R14 = 14,
+    R15 = 15,
+}
+
+impl Reg {
+    /// All sixteen registers in encoding order.
+    pub const ALL: [Reg; 16] = [
+        Reg::Rax,
+        Reg::Rcx,
+        Reg::Rdx,
+        Reg::Rbx,
+        Reg::Rsp,
+        Reg::Rbp,
+        Reg::Rsi,
+        Reg::Rdi,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Encoding index of the register (0..=15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Decodes an operand byte back into a register.
+    ///
+    /// Returns `None` for values outside `0..=15`.
+    pub const fn from_index(idx: u8) -> Option<Reg> {
+        if idx < 16 {
+            Some(Reg::ALL[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// The lower-case x86-64 style name (`"rax"`, `"r10"`, ...).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Reg::Rax => "rax",
+            Reg::Rcx => "rcx",
+            Reg::Rdx => "rdx",
+            Reg::Rbx => "rbx",
+            Reg::Rsp => "rsp",
+            Reg::Rbp => "rbp",
+            Reg::Rsi => "rsi",
+            Reg::Rdi => "rdi",
+            Reg::R8 => "r8",
+            Reg::R9 => "r9",
+            Reg::R10 => "r10",
+            Reg::R11 => "r11",
+            Reg::R12 => "r12",
+            Reg::R13 => "r13",
+            Reg::R14 => "r14",
+            Reg::R15 => "r15",
+        }
+    }
+
+    /// Parses an x86-64 style register name, case-insensitively.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let lower = name.to_ascii_lowercase();
+        Reg::ALL.iter().copied().find(|r| r.name() == lower)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An XMM (128-bit vector / scalar-double) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Xmm(pub u8);
+
+impl Xmm {
+    /// Number of XMM registers in the architecture.
+    pub const COUNT: usize = 16;
+
+    /// Encoding index (0..=15).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Decodes an operand byte; `None` outside `0..=15`.
+    pub const fn from_index(idx: u8) -> Option<Xmm> {
+        if idx < 16 {
+            Some(Xmm(idx))
+        } else {
+            None
+        }
+    }
+
+    /// Parses `"xmm0"` .. `"xmm15"`, case-insensitively.
+    pub fn parse(name: &str) -> Option<Xmm> {
+        let lower = name.to_ascii_lowercase();
+        let rest = lower.strip_prefix("xmm")?;
+        let idx: u8 = rest.parse().ok()?;
+        Xmm::from_index(idx)
+    }
+}
+
+impl fmt::Display for Xmm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xmm{}", self.0)
+    }
+}
+
+/// The architectural flags register (a subset of x86-64 RFLAGS).
+///
+/// Bit positions follow x86-64 so that a packed `RFLAGS` value round-trips
+/// through pinball `.reg` files unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Carry flag (bit 0).
+    pub cf: bool,
+    /// Zero flag (bit 6).
+    pub zf: bool,
+    /// Sign flag (bit 7).
+    pub sf: bool,
+    /// Overflow flag (bit 11).
+    pub of: bool,
+}
+
+impl Flags {
+    const CF_BIT: u64 = 1 << 0;
+    const ZF_BIT: u64 = 1 << 6;
+    const SF_BIT: u64 = 1 << 7;
+    const OF_BIT: u64 = 1 << 11;
+    /// Bit 1 of x86 RFLAGS is always set; we preserve that convention so the
+    /// packed representation is recognisably x86-like in register dumps.
+    const ALWAYS_ONE: u64 = 1 << 1;
+
+    /// Packs the flags into an RFLAGS-style 64-bit value.
+    pub fn to_bits(self) -> u64 {
+        let mut v = Self::ALWAYS_ONE;
+        if self.cf {
+            v |= Self::CF_BIT;
+        }
+        if self.zf {
+            v |= Self::ZF_BIT;
+        }
+        if self.sf {
+            v |= Self::SF_BIT;
+        }
+        if self.of {
+            v |= Self::OF_BIT;
+        }
+        v
+    }
+
+    /// Unpacks an RFLAGS-style value; unknown bits are ignored.
+    pub fn from_bits(bits: u64) -> Flags {
+        Flags {
+            cf: bits & Self::CF_BIT != 0,
+            zf: bits & Self::ZF_BIT != 0,
+            sf: bits & Self::SF_BIT != 0,
+            of: bits & Self::OF_BIT != 0,
+        }
+    }
+}
+
+/// Size in bytes of the [`XSaveArea`] binary image.
+///
+/// Mirrors the 512-byte FXSAVE legacy region of x86-64: 16 XMM registers at
+/// offset 160 (the real FXSAVE layout places XMM0 at byte 160) preceded by a
+/// header that we use for the MXCSR-like control word.
+pub const XSAVE_AREA_SIZE: usize = 512;
+
+const XMM_OFFSET: usize = 160;
+
+/// XSAVE/FXSAVE-style extended state: the sixteen XMM registers plus a
+/// control-word header, stored in a fixed 512-byte binary layout.
+///
+/// `pinball2elf` packs one of these per thread into the ELFie context data
+/// section; the generated startup code restores it with an
+/// `FXRSTOR`/`XRSTOR` instruction exactly as the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct XSaveArea {
+    /// MXCSR-like control/status word (offset 24 in the binary image).
+    pub mxcsr: u32,
+    /// XMM register file; each register is 16 bytes.
+    pub xmm: [[u8; 16]; Xmm::COUNT],
+}
+
+impl Default for XSaveArea {
+    fn default() -> Self {
+        XSaveArea {
+            // Default x86 MXCSR after reset.
+            mxcsr: 0x1f80,
+            xmm: [[0u8; 16]; Xmm::COUNT],
+        }
+    }
+}
+
+impl XSaveArea {
+    /// Creates a cleared save area with the architectural default MXCSR.
+    pub fn new() -> XSaveArea {
+        XSaveArea::default()
+    }
+
+    /// Reads XMM register `r` as a little-endian `f64` (scalar-double view
+    /// of the low lane).
+    pub fn read_f64(&self, r: Xmm) -> f64 {
+        f64::from_le_bytes(self.xmm[r.index()][..8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes the low lane of XMM register `r` as a little-endian `f64`,
+    /// zeroing the upper lane (matching `movsd` to a register on x86).
+    pub fn write_f64(&mut self, r: Xmm, v: f64) {
+        let lane = &mut self.xmm[r.index()];
+        lane[..8].copy_from_slice(&v.to_le_bytes());
+        lane[8..].fill(0);
+    }
+
+    /// Reads the low 64 bits of XMM register `r`.
+    pub fn read_u64(&self, r: Xmm) -> u64 {
+        u64::from_le_bytes(self.xmm[r.index()][..8].try_into().expect("8 bytes"))
+    }
+
+    /// Writes the low 64 bits of XMM register `r`, zeroing the upper lane.
+    pub fn write_u64(&mut self, r: Xmm, v: u64) {
+        let lane = &mut self.xmm[r.index()];
+        lane[..8].copy_from_slice(&v.to_le_bytes());
+        lane[8..].fill(0);
+    }
+
+    /// Serialises the save area to its fixed 512-byte FXSAVE-style image.
+    pub fn to_bytes(&self) -> [u8; XSAVE_AREA_SIZE] {
+        let mut buf = [0u8; XSAVE_AREA_SIZE];
+        buf[24..28].copy_from_slice(&self.mxcsr.to_le_bytes());
+        for (i, lane) in self.xmm.iter().enumerate() {
+            let off = XMM_OFFSET + i * 16;
+            buf[off..off + 16].copy_from_slice(lane);
+        }
+        buf
+    }
+
+    /// Deserialises a 512-byte FXSAVE-style image.
+    pub fn from_bytes(buf: &[u8; XSAVE_AREA_SIZE]) -> XSaveArea {
+        let mut area = XSaveArea::new();
+        area.mxcsr = u32::from_le_bytes(buf[24..28].try_into().expect("4 bytes"));
+        for i in 0..Xmm::COUNT {
+            let off = XMM_OFFSET + i * 16;
+            area.xmm[i].copy_from_slice(&buf[off..off + 16]);
+        }
+        area
+    }
+}
+
+/// The complete per-thread architectural register file.
+///
+/// This is the unit of state a pinball `.reg` file stores per thread, and
+/// the unit the ELFie startup code must reconstruct before jumping to
+/// application code.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegFile {
+    /// General purpose registers, indexed by [`Reg::index`].
+    pub gpr: [u64; 16],
+    /// Instruction pointer.
+    pub rip: u64,
+    /// Flags register.
+    pub flags: Flags,
+    /// `FS` segment base (thread-local storage pointer).
+    pub fs_base: u64,
+    /// `GS` segment base.
+    pub gs_base: u64,
+    /// Extended (XSAVE) state.
+    pub xsave: XSaveArea,
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile {
+            gpr: [0; 16],
+            rip: 0,
+            flags: Flags::default(),
+            fs_base: 0,
+            gs_base: 0,
+            xsave: XSaveArea::new(),
+        }
+    }
+}
+
+impl RegFile {
+    /// Creates a zeroed register file.
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Reads general purpose register `r`.
+    #[inline]
+    pub fn read(&self, r: Reg) -> u64 {
+        self.gpr[r.index()]
+    }
+
+    /// Writes general purpose register `r`.
+    #[inline]
+    pub fn write(&mut self, r: Reg, v: u64) {
+        self.gpr[r.index()] = v;
+    }
+
+    /// The stack pointer (`RSP`).
+    #[inline]
+    pub fn rsp(&self) -> u64 {
+        self.read(Reg::Rsp)
+    }
+
+    /// Sets the stack pointer (`RSP`).
+    #[inline]
+    pub fn set_rsp(&mut self, v: u64) {
+        self.write(Reg::Rsp, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrips_through_index() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::from_index(r.index() as u8), Some(r));
+            assert_eq!(Reg::parse(r.name()), Some(r));
+            assert_eq!(Reg::parse(&r.name().to_ascii_uppercase()), Some(r));
+        }
+        assert_eq!(Reg::from_index(16), None);
+        assert_eq!(Reg::parse("rxx"), None);
+    }
+
+    #[test]
+    fn xmm_roundtrips() {
+        for i in 0..16u8 {
+            let x = Xmm::from_index(i).expect("valid index");
+            assert_eq!(Xmm::parse(&x.to_string()), Some(x));
+        }
+        assert_eq!(Xmm::from_index(16), None);
+        assert_eq!(Xmm::parse("xmm16"), None);
+        assert_eq!(Xmm::parse("ymm0"), None);
+    }
+
+    #[test]
+    fn flags_pack_like_rflags() {
+        let f = Flags { cf: true, zf: true, sf: false, of: true };
+        let bits = f.to_bits();
+        assert_eq!(bits & 1, 1, "CF is bit 0");
+        assert_eq!((bits >> 6) & 1, 1, "ZF is bit 6");
+        assert_eq!((bits >> 7) & 1, 0, "SF clear");
+        assert_eq!((bits >> 11) & 1, 1, "OF is bit 11");
+        assert_eq!((bits >> 1) & 1, 1, "bit 1 always set");
+        assert_eq!(Flags::from_bits(bits), f);
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for mask in 0..16u8 {
+            let f = Flags {
+                cf: mask & 1 != 0,
+                zf: mask & 2 != 0,
+                sf: mask & 4 != 0,
+                of: mask & 8 != 0,
+            };
+            assert_eq!(Flags::from_bits(f.to_bits()), f);
+        }
+    }
+
+    #[test]
+    fn xsave_f64_roundtrip_zeroes_upper_lane() {
+        let mut a = XSaveArea::new();
+        a.xmm[3] = [0xff; 16];
+        a.write_f64(Xmm(3), 2.5);
+        assert_eq!(a.read_f64(Xmm(3)), 2.5);
+        assert_eq!(a.xmm[3][8..], [0u8; 8]);
+    }
+
+    #[test]
+    fn xsave_binary_roundtrip() {
+        let mut a = XSaveArea::new();
+        a.mxcsr = 0xabcd;
+        for i in 0..16 {
+            a.write_u64(Xmm(i as u8), 0x1111_0000 + i as u64);
+        }
+        let bytes = a.to_bytes();
+        // XMM0 lives at the real FXSAVE offset.
+        assert_eq!(
+            u64::from_le_bytes(bytes[160..168].try_into().unwrap()),
+            0x1111_0000
+        );
+        assert_eq!(XSaveArea::from_bytes(&bytes), a);
+    }
+
+    #[test]
+    fn regfile_read_write() {
+        let mut rf = RegFile::new();
+        rf.write(Reg::R13, 42);
+        assert_eq!(rf.read(Reg::R13), 42);
+        rf.set_rsp(0x7fff_0000);
+        assert_eq!(rf.rsp(), 0x7fff_0000);
+    }
+}

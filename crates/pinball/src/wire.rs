@@ -1,0 +1,238 @@
+//! A small length-prefixed binary wire format used by the pinball files.
+//!
+//! PinPlay's on-disk pinball is a set of binary files; we mirror that with
+//! a compact, versioned, little-endian format rather than a textual one.
+
+use std::fmt;
+
+/// Error produced while decoding a pinball wire buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer ended early.
+    Truncated { need: usize, have: usize },
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A length or enum tag was out of range.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { need, have } => {
+                write!(f, "truncated buffer: need {need} bytes, have {have}")
+            }
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            WireError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append-only writer.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Creates a writer beginning with 4 magic bytes and a version word.
+    pub fn with_header(magic: &[u8; 4], version: u32) -> Writer {
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(magic);
+        w.u32(version);
+        w
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Sequential reader over a wire buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Creates a reader, validating the magic and version header written by
+    /// [`Writer::with_header`].
+    pub fn with_header(buf: &'a [u8], magic: &[u8; 4], version: u32) -> Result<Reader<'a>, WireError> {
+        let mut r = Reader::new(buf);
+        let got = r.take(4)?;
+        if got != magic {
+            return Err(WireError::BadMagic);
+        }
+        let v = r.u32()?;
+        if v != version {
+            return Err(WireError::BadVersion(v));
+        }
+        Ok(r)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated { need: n, have: self.buf.len() - self.pos });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() {
+            return Err(WireError::Corrupt("byte-string length"));
+        }
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::Corrupt("utf-8 string"))
+    }
+
+    /// True when the whole buffer was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_validation() {
+        let w = Writer::with_header(b"PBAL", 3);
+        let buf = w.into_bytes();
+        assert!(Reader::with_header(&buf, b"PBAL", 3).is_ok());
+        assert_eq!(Reader::with_header(&buf, b"XXXX", 3).unwrap_err(), WireError::BadMagic);
+        assert_eq!(
+            Reader::with_header(&buf, b"PBAL", 4).unwrap_err(),
+            WireError::BadVersion(3)
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut w = Writer::new();
+        w.u64(5);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(matches!(r.u64(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_length_detected() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // absurd byte-string length
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.bytes(), Err(WireError::Corrupt(_))));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_mixed(a in any::<u8>(), b in any::<u32>(), c in any::<u64>(),
+                           d in any::<f64>(), s in ".*", v in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut w = Writer::with_header(b"TEST", 1);
+            w.u8(a); w.u32(b); w.u64(c); w.f64(d); w.string(&s); w.bytes(&v);
+            let buf = w.into_bytes();
+            let mut r = Reader::with_header(&buf, b"TEST", 1).unwrap();
+            prop_assert_eq!(r.u8().unwrap(), a);
+            prop_assert_eq!(r.u32().unwrap(), b);
+            prop_assert_eq!(r.u64().unwrap(), c);
+            let got = r.f64().unwrap();
+            prop_assert!(got == d || (got.is_nan() && d.is_nan()));
+            prop_assert_eq!(r.string().unwrap(), s);
+            prop_assert_eq!(r.bytes().unwrap(), v);
+            prop_assert!(r.is_exhausted());
+        }
+    }
+}

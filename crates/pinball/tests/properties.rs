@@ -1,0 +1,189 @@
+//! Property-based tests for the pinball format: arbitrary pinballs must
+//! round-trip bit-exactly through both the bundle and the directory
+//! serialisations, and the consecutive-run grouping must partition the
+//! image without loss.
+
+use elfie_pinball::{
+    MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo, RegionTrigger,
+    SyncPoint, SyscallEffect, ThreadRecord,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const PAGE: usize = 4096;
+
+fn arb_page() -> impl Strategy<Value = PageRecord> {
+    (0u8..8, any::<u64>()).prop_map(|(perm, seed)| {
+        // Fill deterministically from the seed (cheaper than a 4096-byte
+        // random vector, still covers content round-tripping).
+        let mut data = vec![0u8; PAGE];
+        let mut x = seed | 1;
+        for chunk in data.chunks_mut(8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        PageRecord { perm, data }
+    })
+}
+
+fn arb_image() -> impl Strategy<Value = MemoryImage> {
+    proptest::collection::btree_map((0u64..1024).prop_map(|p| p * PAGE as u64), arb_page(), 0..12)
+        .prop_map(|pages| MemoryImage { pages })
+}
+
+fn arb_regimage() -> impl Strategy<Value = RegImage> {
+    (
+        proptest::array::uniform16(any::<u64>()),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(gpr, rip, rflags, fs_base, gs_base)| RegImage {
+            gpr,
+            rip,
+            rflags,
+            fs_base,
+            gs_base,
+            xsave: vec![0xa5; elfie_isa::XSAVE_AREA_SIZE],
+        })
+}
+
+fn arb_syscall() -> impl Strategy<Value = SyscallEffect> {
+    (
+        any::<u64>(),
+        proptest::array::uniform6(any::<u64>()),
+        any::<u64>(),
+        proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+    )
+        .prop_map(|(nr, args, ret, writes)| SyscallEffect { nr, args, ret, writes })
+}
+
+fn arb_thread(tid: u32) -> impl Strategy<Value = ThreadRecord> {
+    (arb_regimage(), proptest::collection::vec(arb_syscall(), 0..6), any::<bool>())
+        .prop_map(move |(regs, syscalls, spawned)| ThreadRecord { tid, regs, syscalls, spawned })
+}
+
+fn arb_pinball() -> impl Strategy<Value = Pinball> {
+    (
+        arb_image(),
+        proptest::collection::vec(arb_syscall(), 0..3),
+        any::<bool>(),
+        any::<u64>(),
+        proptest::collection::vec((any::<u32>(), any::<u64>(), any::<u64>()), 0..8),
+    )
+        .prop_flat_map(|(image, _sys, fat, brk, race)| {
+            let races = RaceLog {
+                order: race
+                    .into_iter()
+                    .map(|(tid, seq, addr)| SyncPoint { tid: tid % 4, seq, addr })
+                    .collect(),
+            };
+            (arb_thread(0), arb_thread(1)).prop_map(move |(t0, t1)| Pinball {
+                meta: PinballMeta {
+                    name: "prop".into(),
+                    fat,
+                    arch: "elfie-isa-v1".into(),
+                    brk,
+                    brk_start: brk & !0xfff,
+                    cwd: "/w d/с".into(), // exercises non-ASCII paths too
+                },
+                region: RegionInfo {
+                    name: "prop.0".into(),
+                    trigger: RegionTrigger::GlobalIcount(brk ^ 7),
+                    length: 12345,
+                    thread_icounts: BTreeMap::from([(0, 100), (1, 200)]),
+                    warmup: 11,
+                    weight: 0.5,
+                    slice_index: 3,
+                },
+                image: image.clone(),
+                threads: vec![t0, t1],
+                races: races.clone(),
+                lazy_pages: BTreeMap::new(),
+            })
+        })
+}
+
+fn assert_pinball_eq(a: &Pinball, b: &Pinball) {
+    assert_eq!(a.meta.fat, b.meta.fat);
+    assert_eq!(a.meta.brk, b.meta.brk);
+    assert_eq!(a.meta.cwd, b.meta.cwd);
+    assert_eq!(a.region.length, b.region.length);
+    assert_eq!(a.region.thread_icounts, b.region.thread_icounts);
+    assert_eq!(a.image, b.image);
+    assert_eq!(a.threads, b.threads);
+    assert_eq!(a.races, b.races);
+    assert_eq!(a.lazy_pages, b.lazy_pages);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bundle_roundtrip(pb in arb_pinball()) {
+        let bytes = pb.to_bytes();
+        let back = Pinball::from_bytes(&bytes).expect("decodes");
+        assert_pinball_eq(&pb, &back);
+    }
+
+    #[test]
+    fn dir_roundtrip(pb in arb_pinball()) {
+        let dir = std::env::temp_dir().join(format!(
+            "pb-prop-{}-{:x}",
+            std::process::id(),
+            pb.meta.brk ^ pb.region.trigger_hash()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        pb.save_dir(&dir).expect("saves");
+        let back = Pinball::load_dir(&dir, "prop").expect("loads");
+        assert_pinball_eq(&pb, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn consecutive_runs_partition_the_image(pb in arb_pinball()) {
+        let runs = pb.image.consecutive_runs();
+        // Total bytes preserved.
+        let run_bytes: u64 = runs.iter().map(|(_, _, b)| b.len() as u64).sum();
+        prop_assert_eq!(run_bytes, pb.image.byte_size());
+        // Runs are sorted, non-overlapping and perm-homogeneous.
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].2.len() as u64 <= w[1].0);
+        }
+        // Every page is recoverable from its run.
+        for (&addr, page) in &pb.image.pages {
+            let run = runs
+                .iter()
+                .find(|(start, _, b)| *start <= addr && addr < start + b.len() as u64)
+                .expect("page in some run");
+            let off = (addr - run.0) as usize;
+            prop_assert_eq!(&run.2[off..off + PAGE], &page.data[..]);
+            prop_assert_eq!(run.1, page.perm);
+        }
+    }
+
+    #[test]
+    fn truncated_bundles_never_panic(pb in arb_pinball(), cut in 0usize..4096) {
+        let bytes = pb.to_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = Pinball::from_bytes(&bytes[..cut]);
+    }
+}
+
+/// Helper used by the dir_roundtrip temp-dir naming.
+trait TriggerHash {
+    fn trigger_hash(&self) -> u64;
+}
+
+impl TriggerHash for RegionInfo {
+    fn trigger_hash(&self) -> u64 {
+        match self.trigger {
+            RegionTrigger::ProgramStart => 1,
+            RegionTrigger::GlobalIcount(n) => n,
+            RegionTrigger::PcCount { pc, count } => pc ^ count,
+        }
+    }
+}

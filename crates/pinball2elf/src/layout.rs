@@ -1,0 +1,197 @@
+//! Address-space layout decisions for a generated ELFie: where the
+//! startup code, the packed thread contexts and the shadow copies of
+//! pinball pages live.
+//!
+//! The thread-context data section must sit "in some memory range that is
+//! not used by the pinball" (paper Section II-B2). We additionally keep it
+//! below 2 GiB so the startup code can use absolute 32-bit displacement
+//! addressing for `FXRSTOR`/`JMP [slot]`.
+
+use elfie_isa::{page_align_up, PAGE_SIZE};
+use elfie_pinball::Pinball;
+
+/// Per-thread context block layout (offsets in bytes).
+pub mod ctx {
+    /// FXSAVE image.
+    pub const XSAVE: u64 = 0;
+    /// FS base slot.
+    pub const FS: u64 = 512;
+    /// GS base slot.
+    pub const GS: u64 = 520;
+    /// Real stack-pointer slot.
+    pub const RSP: u64 = 528;
+    /// Real instruction-pointer slot.
+    pub const RIP: u64 = 536;
+    /// Pop area: flags, 15 GPRs (r15..rax, rsp excluded), thread-entry
+    /// pointer.
+    pub const POP: u64 = 544;
+    /// Pop area length: 17 quadwords.
+    pub const POP_QUADS: usize = 17;
+    /// Total block size (64-byte aligned).
+    pub const SIZE: u64 = 704;
+}
+
+/// The pop order of general purpose registers in the thread-init function
+/// (after `popfq`, before `ret`). `RSP` is excluded — it is restored from
+/// the context slot by the thread entry.
+pub const POP_ORDER: [elfie_isa::Reg; 15] = {
+    use elfie_isa::Reg::*;
+    [R15, R14, R13, R12, R11, R10, R9, R8, Rdi, Rsi, Rbp, Rbx, Rdx, Rcx, Rax]
+};
+
+/// Chosen addresses for the generated pieces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Base of the startup code section (`.text.startup`).
+    pub startup_base: u64,
+    /// Base of the context/data section (`.data.elfie`).
+    pub ctx_base: u64,
+    /// Base address where shadow copies of remapped pinball pages are
+    /// placed.
+    pub shadow_base: u64,
+}
+
+/// Errors choosing a layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// No free low-address (< 2 GiB) range large enough for startup code
+    /// and contexts.
+    NoLowAddressSpace,
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::NoLowAddressSpace => {
+                write!(f, "no free address range below 2 GiB for startup code and contexts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Reserved size for the startup code region.
+pub const STARTUP_RESERVE: u64 = 512 * 1024;
+/// Reserved size for the context/data region (contexts, strings, scratch).
+pub const CTX_RESERVE: u64 = 256 * 1024;
+
+const LOW_SEARCH_START: u64 = 0x0100_0000;
+const LOW_SEARCH_END: u64 = 0x7000_0000;
+
+/// Finds a gap of `len` bytes in `[start, end)` not covered by pinball
+/// pages.
+fn find_gap(pinball: &Pinball, start: u64, end: u64, len: u64) -> Option<u64> {
+    let len = page_align_up(len);
+    let mut candidate = start;
+    'outer: while candidate + len <= end {
+        // Any pinball page (image or lazy) within [candidate, candidate+len)?
+        let hit = pinball
+            .image
+            .pages
+            .range(candidate..candidate + len)
+            .next()
+            .map(|(&a, _)| a)
+            .or_else(|| {
+                pinball.lazy_pages.range(candidate..candidate + len).next().map(|(&a, _)| a)
+            });
+        match hit {
+            Some(a) => {
+                candidate = a + PAGE_SIZE;
+                continue 'outer;
+            }
+            None => return Some(candidate),
+        }
+    }
+    None
+}
+
+/// Chooses a layout for the given pinball.
+///
+/// # Errors
+/// Returns [`LayoutError::NoLowAddressSpace`] when the pinball's pages
+/// cover all of the low 2 GiB.
+pub fn choose(pinball: &Pinball, shadow_bytes: u64) -> Result<Layout, LayoutError> {
+    let need = STARTUP_RESERVE + CTX_RESERVE;
+    let base = find_gap(pinball, LOW_SEARCH_START, LOW_SEARCH_END, need)
+        .ok_or(LayoutError::NoLowAddressSpace)?;
+    // Shadow copies can live anywhere unused; search above the low region
+    // first, falling back to a high range.
+    let shadow_len = page_align_up(shadow_bytes.max(PAGE_SIZE));
+    let shadow_base = find_gap(pinball, base + need, LOW_SEARCH_END, shadow_len)
+        .or_else(|| find_gap(pinball, 0x5000_0000_0000, 0x6000_0000_0000, shadow_len))
+        .ok_or(LayoutError::NoLowAddressSpace)?;
+    Ok(Layout { startup_base: base, ctx_base: base + STARTUP_RESERVE, shadow_base })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_pinball::{MemoryImage, PageRecord, PinballMeta, RaceLog, RegionInfo, RegionTrigger};
+    use std::collections::BTreeMap;
+
+    fn pinball_with_pages(addrs: &[u64]) -> Pinball {
+        let mut image = MemoryImage::new();
+        for &a in addrs {
+            image
+                .pages
+                .insert(a, PageRecord { perm: 7, data: vec![0u8; PAGE_SIZE as usize] });
+        }
+        Pinball {
+            meta: PinballMeta {
+                name: "t".into(),
+                fat: true,
+                arch: "elfie-isa-v1".into(),
+                brk: 0,
+                brk_start: 0,
+                cwd: "/".into(),
+            },
+            region: RegionInfo {
+                name: "t.0".into(),
+                trigger: RegionTrigger::ProgramStart,
+                length: 0,
+                thread_icounts: BTreeMap::new(),
+                warmup: 0,
+                weight: 1.0,
+                slice_index: 0,
+            },
+            image,
+            threads: vec![],
+            races: RaceLog::default(),
+            lazy_pages: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn layout_avoids_pinball_pages() {
+        let pb = pinball_with_pages(&[0x0100_0000, 0x0100_1000, 0x0200_0000]);
+        let l = choose(&pb, 0x10_000).expect("layout found");
+        let regions = [
+            (l.startup_base, l.startup_base + STARTUP_RESERVE),
+            (l.ctx_base, l.ctx_base + CTX_RESERVE),
+            (l.shadow_base, l.shadow_base + 0x10_000),
+        ];
+        for (lo, hi) in regions {
+            for &page in pb.image.pages.keys() {
+                assert!(page + PAGE_SIZE <= lo || page >= hi, "page {page:#x} in [{lo:#x},{hi:#x})");
+            }
+        }
+        assert!(l.ctx_base < 1 << 31, "contexts stay below 2 GiB");
+    }
+
+    #[test]
+    fn layout_skips_densely_used_prefix() {
+        // Fill the first candidate area; layout must move past it.
+        let pages: Vec<u64> = (0..8).map(|i| 0x0100_0000 + i * PAGE_SIZE).collect();
+        let pb = pinball_with_pages(&pages);
+        let l = choose(&pb, PAGE_SIZE).expect("layout found");
+        assert!(l.startup_base >= 0x0100_0000 + 8 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn ctx_layout_constants_consistent() {
+        assert_eq!(ctx::POP, ctx::RIP + 8);
+        assert!(ctx::POP + (ctx::POP_QUADS as u64) * 8 <= ctx::SIZE);
+        assert_eq!(POP_ORDER.len() + 2, ctx::POP_QUADS, "flags + 15 GPRs + entry ptr");
+    }
+}

@@ -1,0 +1,419 @@
+//! Pinball → PE (Portable Executable) conversion — the extension the paper
+//! sketches in Section I: "since pinballs can be generated on operating
+//! systems other than Linux, one can imagine tools similar to pinball2elf
+//! that convert pinballs to other executable formats such as Portable
+//! Executable (PE) format on Windows".
+//!
+//! This module implements that imagined `pinball2pe`: a real PE32+ writer
+//! (DOS stub, COFF file header, PE32+ optional header, section table) that
+//! lays the pinball's memory image out as sections. PE RVAs are 32-bit, so
+//! pages cannot live at their original 64-bit virtual addresses the way
+//! ELF sections can; instead every page run is placed at a packed RVA and
+//! a `.pbmeta` section carries the (RVA → original VA, permissions) table
+//! that Windows-side startup code would use to remap them — the same
+//! shadow-copy technique the ELFie startup uses for its non-allocatable
+//! sections. Thread contexts are serialised into a `.pbctx` section.
+//!
+//! There is no Windows loader in this reproduction, so PE output is a
+//! faithful *container* (validated by [`PeFile::parse`] round-trips), not
+//! a runnable artefact.
+
+use elfie_pinball::Pinball;
+
+/// PE machine id for the elfie-isa guest architecture (vendor range).
+pub const PE_MACHINE_ELFIE: u16 = 0xE1F1;
+
+const DOS_STUB_SIZE: u32 = 0x80;
+const PE_SIG_OFFSET: u32 = DOS_STUB_SIZE;
+const COFF_SIZE: u32 = 20;
+const OPT_HDR_SIZE: u16 = 240;
+const SECTION_HDR_SIZE: u32 = 40;
+const FILE_ALIGN: u32 = 0x200;
+const SECT_ALIGN: u32 = 0x1000;
+
+/// Section characteristics flags.
+mod characteristics {
+    pub const CODE: u32 = 0x0000_0020;
+    pub const INITIALIZED_DATA: u32 = 0x0000_0040;
+    pub const MEM_EXECUTE: u32 = 0x2000_0000;
+    pub const MEM_READ: u32 = 0x4000_0000;
+    pub const MEM_WRITE: u32 = 0x8000_0000;
+}
+
+fn align_up(v: u32, a: u32) -> u32 {
+    v.div_ceil(a) * a
+}
+
+/// A section in a PE image.
+#[derive(Debug, Clone)]
+pub struct PeSection {
+    /// Section name (max 8 bytes; longer names are truncated).
+    pub name: String,
+    /// Relative virtual address.
+    pub rva: u32,
+    /// Raw contents.
+    pub data: Vec<u8>,
+    /// Section characteristics.
+    pub characteristics: u32,
+}
+
+/// Minimal PE32+ writer.
+#[derive(Debug, Clone, Default)]
+pub struct PeBuilder {
+    entry_rva: u32,
+    image_base: u64,
+    sections: Vec<PeSection>,
+}
+
+impl PeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> PeBuilder {
+        PeBuilder { image_base: 0x1_4000_0000, ..PeBuilder::default() }
+    }
+
+    /// Sets the entry-point RVA.
+    pub fn entry_rva(mut self, rva: u32) -> PeBuilder {
+        self.entry_rva = rva;
+        self
+    }
+
+    /// Sets the preferred image base.
+    pub fn image_base(mut self, base: u64) -> PeBuilder {
+        self.image_base = base;
+        self
+    }
+
+    /// Appends a section (RVAs must be ascending and section-aligned).
+    pub fn section(mut self, s: PeSection) -> PeBuilder {
+        self.sections.push(s);
+        self
+    }
+
+    /// Serialises the PE32+ image.
+    pub fn build(self) -> Vec<u8> {
+        let nsections = self.sections.len() as u16;
+        let headers_size = align_up(
+            PE_SIG_OFFSET + 4 + COFF_SIZE + OPT_HDR_SIZE as u32
+                + nsections as u32 * SECTION_HDR_SIZE,
+            FILE_ALIGN,
+        );
+
+        // Assign raw file offsets.
+        let mut raw_cursor = headers_size;
+        let mut raws = Vec::with_capacity(self.sections.len());
+        let mut image_size = SECT_ALIGN; // headers page
+        for s in &self.sections {
+            let raw_size = align_up(s.data.len() as u32, FILE_ALIGN);
+            raws.push((raw_cursor, raw_size));
+            raw_cursor += raw_size;
+            image_size = image_size.max(s.rva + align_up(s.data.len().max(1) as u32, SECT_ALIGN));
+        }
+
+        let mut out = vec![0u8; raw_cursor as usize];
+        // DOS header: "MZ" + e_lfanew.
+        out[0] = b'M';
+        out[1] = b'Z';
+        out[0x3c..0x40].copy_from_slice(&PE_SIG_OFFSET.to_le_bytes());
+        // PE signature.
+        let p = PE_SIG_OFFSET as usize;
+        out[p..p + 4].copy_from_slice(b"PE\0\0");
+        // COFF file header.
+        let c = p + 4;
+        out[c..c + 2].copy_from_slice(&PE_MACHINE_ELFIE.to_le_bytes());
+        out[c + 2..c + 4].copy_from_slice(&nsections.to_le_bytes());
+        // timestamp, symtab ptr, nsyms stay zero.
+        out[c + 16..c + 18].copy_from_slice(&OPT_HDR_SIZE.to_le_bytes());
+        out[c + 18..c + 20].copy_from_slice(&0x0022u16.to_le_bytes()); // EXEC | LARGE_ADDR
+
+        // PE32+ optional header.
+        let o = c + COFF_SIZE as usize;
+        out[o..o + 2].copy_from_slice(&0x020bu16.to_le_bytes()); // PE32+ magic
+        out[o + 16..o + 20].copy_from_slice(&self.entry_rva.to_le_bytes());
+        out[o + 24..o + 32].copy_from_slice(&self.image_base.to_le_bytes());
+        out[o + 32..o + 36].copy_from_slice(&SECT_ALIGN.to_le_bytes());
+        out[o + 36..o + 40].copy_from_slice(&FILE_ALIGN.to_le_bytes());
+        out[o + 40..o + 42].copy_from_slice(&6u16.to_le_bytes()); // major OS version
+        out[o + 48..o + 50].copy_from_slice(&6u16.to_le_bytes()); // major subsystem
+        out[o + 56..o + 60].copy_from_slice(&align_up(image_size, SECT_ALIGN).to_le_bytes());
+        out[o + 60..o + 64].copy_from_slice(&headers_size.to_le_bytes());
+        out[o + 68..o + 70].copy_from_slice(&3u16.to_le_bytes()); // console subsystem
+
+        // Section table + raw data.
+        let mut sh = o + OPT_HDR_SIZE as usize;
+        for (s, &(raw_off, raw_size)) in self.sections.iter().zip(&raws) {
+            let name = s.name.as_bytes();
+            let n = name.len().min(8);
+            out[sh..sh + n].copy_from_slice(&name[..n]);
+            out[sh + 8..sh + 12].copy_from_slice(&(s.data.len() as u32).to_le_bytes());
+            out[sh + 12..sh + 16].copy_from_slice(&s.rva.to_le_bytes());
+            out[sh + 16..sh + 20].copy_from_slice(&raw_size.to_le_bytes());
+            out[sh + 20..sh + 24].copy_from_slice(&raw_off.to_le_bytes());
+            out[sh + 36..sh + 40].copy_from_slice(&s.characteristics.to_le_bytes());
+            sh += SECTION_HDR_SIZE as usize;
+            out[raw_off as usize..raw_off as usize + s.data.len()].copy_from_slice(&s.data);
+        }
+        out
+    }
+}
+
+/// Errors parsing a PE image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeParseError {
+    /// Not an MZ/PE file.
+    BadMagic,
+    /// Structurally truncated.
+    Truncated(&'static str),
+    /// Not a PE32+ image.
+    NotPe32Plus,
+}
+
+impl std::fmt::Display for PeParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PeParseError::BadMagic => write!(f, "bad MZ/PE magic"),
+            PeParseError::Truncated(what) => write!(f, "truncated {what}"),
+            PeParseError::NotPe32Plus => write!(f, "not a PE32+ image"),
+        }
+    }
+}
+
+impl std::error::Error for PeParseError {}
+
+/// A parsed PE image (the subset the writer emits).
+#[derive(Debug, Clone)]
+pub struct PeFile {
+    /// COFF machine id.
+    pub machine: u16,
+    /// Entry-point RVA.
+    pub entry_rva: u32,
+    /// Preferred image base.
+    pub image_base: u64,
+    /// Sections.
+    pub sections: Vec<PeSection>,
+}
+
+impl PeFile {
+    /// Parses a PE32+ image produced by [`PeBuilder`].
+    ///
+    /// # Errors
+    /// Returns [`PeParseError`] for malformed images.
+    pub fn parse(bytes: &[u8]) -> Result<PeFile, PeParseError> {
+        if bytes.len() < 0x40 || bytes[0] != b'M' || bytes[1] != b'Z' {
+            return Err(PeParseError::BadMagic);
+        }
+        let u32at = |off: usize| -> Result<u32, PeParseError> {
+            bytes
+                .get(off..off + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+                .ok_or(PeParseError::Truncated("u32 field"))
+        };
+        let u16at = |off: usize| -> Result<u16, PeParseError> {
+            bytes
+                .get(off..off + 2)
+                .map(|s| u16::from_le_bytes(s.try_into().expect("2 bytes")))
+                .ok_or(PeParseError::Truncated("u16 field"))
+        };
+        let pe_off = u32at(0x3c)? as usize;
+        if bytes.get(pe_off..pe_off + 4) != Some(b"PE\0\0") {
+            return Err(PeParseError::BadMagic);
+        }
+        let coff = pe_off + 4;
+        let machine = u16at(coff)?;
+        let nsections = u16at(coff + 2)? as usize;
+        let opt = coff + COFF_SIZE as usize;
+        if u16at(opt)? != 0x020b {
+            return Err(PeParseError::NotPe32Plus);
+        }
+        let entry_rva = u32at(opt + 16)?;
+        let image_base = {
+            let lo = u32at(opt + 24)? as u64;
+            let hi = u32at(opt + 28)? as u64;
+            lo | (hi << 32)
+        };
+        let mut sections = Vec::with_capacity(nsections);
+        let mut sh = opt + OPT_HDR_SIZE as usize;
+        for _ in 0..nsections {
+            let name_bytes = bytes
+                .get(sh..sh + 8)
+                .ok_or(PeParseError::Truncated("section header"))?;
+            let name = String::from_utf8_lossy(name_bytes)
+                .trim_end_matches('\0')
+                .to_string();
+            let vsize = u32at(sh + 8)? as usize;
+            let rva = u32at(sh + 12)?;
+            let raw_off = u32at(sh + 20)? as usize;
+            let characteristics = u32at(sh + 36)?;
+            let data = bytes
+                .get(raw_off..raw_off + vsize)
+                .ok_or(PeParseError::Truncated("section data"))?
+                .to_vec();
+            sections.push(PeSection { name, rva, data, characteristics });
+            sh += SECTION_HDR_SIZE as usize;
+        }
+        Ok(PeFile { machine, entry_rva, image_base, sections })
+    }
+
+    /// Finds a section by name.
+    pub fn section(&self, name: &str) -> Option<&PeSection> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+}
+
+/// One entry of the `.pbmeta` remap table: where a packed section's bytes
+/// must live at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeRemapEntry {
+    /// RVA of the packed bytes inside the PE image.
+    pub rva: u32,
+    /// Original virtual address in the captured process.
+    pub original_va: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Captured permission bits.
+    pub perm: u8,
+}
+
+/// Converts a pinball into a PE32+ container: page runs packed at
+/// ascending RVAs, a `.pbmeta` remap table, and a `.pbctx` thread-context
+/// dump (the serialised pinball `.reg` data).
+///
+/// # Errors
+/// Returns an error string when the pinball is not fat.
+pub fn convert_pe(pinball: &Pinball) -> Result<Vec<u8>, String> {
+    if !pinball.meta.fat {
+        return Err("pinball is not fat; PE generation needs -log:fat pinballs".into());
+    }
+    let runs = pinball.image.consecutive_runs();
+    let mut builder = PeBuilder::new();
+    let mut rva = SECT_ALIGN; // first page after headers
+    let mut meta = Vec::new();
+    for (i, (addr, perm, bytes)) in runs.iter().enumerate() {
+        let mut flags = characteristics::MEM_READ;
+        if perm & 2 != 0 {
+            flags |= characteristics::MEM_WRITE | characteristics::INITIALIZED_DATA;
+        }
+        if perm & 4 != 0 {
+            flags |= characteristics::MEM_EXECUTE | characteristics::CODE;
+        }
+        meta.push(PeRemapEntry { rva, original_va: *addr, len: bytes.len() as u64, perm: *perm });
+        builder = builder.section(PeSection {
+            name: format!(".pb{i:03}"),
+            rva,
+            data: bytes.clone(),
+            characteristics: flags,
+        });
+        rva += align_up(bytes.len().max(1) as u32, SECT_ALIGN);
+    }
+
+    // .pbmeta: count + entries.
+    let mut meta_bytes = Vec::with_capacity(8 + meta.len() * 21);
+    meta_bytes.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+    for e in &meta {
+        meta_bytes.extend_from_slice(&e.rva.to_le_bytes());
+        meta_bytes.extend_from_slice(&e.original_va.to_le_bytes());
+        meta_bytes.extend_from_slice(&e.len.to_le_bytes());
+        meta_bytes.push(e.perm);
+    }
+    builder = builder.section(PeSection {
+        name: ".pbmeta".into(),
+        rva,
+        data: meta_bytes,
+        characteristics: characteristics::INITIALIZED_DATA | characteristics::MEM_READ,
+    });
+    rva += SECT_ALIGN;
+
+    // .pbctx: thread contexts (tid, rip, rsp, gprs, flags, bases).
+    let mut ctx = Vec::new();
+    let live: Vec<_> = pinball.threads.iter().filter(|t| !t.spawned).collect();
+    ctx.extend_from_slice(&(live.len() as u64).to_le_bytes());
+    for t in &live {
+        ctx.extend_from_slice(&(t.tid as u64).to_le_bytes());
+        ctx.extend_from_slice(&t.regs.rip.to_le_bytes());
+        ctx.extend_from_slice(&t.regs.rflags.to_le_bytes());
+        ctx.extend_from_slice(&t.regs.fs_base.to_le_bytes());
+        ctx.extend_from_slice(&t.regs.gs_base.to_le_bytes());
+        for g in t.regs.gpr {
+            ctx.extend_from_slice(&g.to_le_bytes());
+        }
+        ctx.extend_from_slice(&t.regs.xsave);
+    }
+    builder = builder.section(PeSection {
+        name: ".pbctx".into(),
+        rva,
+        data: ctx,
+        characteristics: characteristics::INITIALIZED_DATA | characteristics::MEM_READ,
+    });
+
+    Ok(builder.build())
+}
+
+/// Parses the `.pbmeta` remap table back out of a converted PE image.
+pub fn read_remap_table(pe: &PeFile) -> Option<Vec<PeRemapEntry>> {
+    let meta = pe.section(".pbmeta")?;
+    let mut entries = Vec::new();
+    let b = &meta.data;
+    let n = u64::from_le_bytes(b.get(..8)?.try_into().ok()?) as usize;
+    let mut off = 8;
+    for _ in 0..n {
+        let rva = u32::from_le_bytes(b.get(off..off + 4)?.try_into().ok()?);
+        let va = u64::from_le_bytes(b.get(off + 4..off + 12)?.try_into().ok()?);
+        let len = u64::from_le_bytes(b.get(off + 12..off + 20)?.try_into().ok()?);
+        let perm = *b.get(off + 20)?;
+        entries.push(PeRemapEntry { rva, original_va: va, len, perm });
+        off += 21;
+    }
+    Some(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_builder_roundtrip() {
+        let bytes = PeBuilder::new()
+            .entry_rva(0x1000)
+            .image_base(0x1_4000_0000)
+            .section(PeSection {
+                name: ".text".into(),
+                rva: 0x1000,
+                data: vec![1, 2, 3, 4],
+                characteristics: characteristics::CODE
+                    | characteristics::MEM_READ
+                    | characteristics::MEM_EXECUTE,
+            })
+            .section(PeSection {
+                name: ".data".into(),
+                rva: 0x2000,
+                data: vec![9; 100],
+                characteristics: characteristics::INITIALIZED_DATA
+                    | characteristics::MEM_READ
+                    | characteristics::MEM_WRITE,
+            })
+            .build();
+        assert_eq!(&bytes[0..2], b"MZ");
+        let pe = PeFile::parse(&bytes).expect("parses");
+        assert_eq!(pe.machine, PE_MACHINE_ELFIE);
+        assert_eq!(pe.entry_rva, 0x1000);
+        assert_eq!(pe.image_base, 0x1_4000_0000);
+        assert_eq!(pe.sections.len(), 2);
+        assert_eq!(pe.section(".text").unwrap().data, vec![1, 2, 3, 4]);
+        assert_eq!(pe.section(".data").unwrap().data.len(), 100);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(PeFile::parse(&[0u8; 16]).unwrap_err(), PeParseError::BadMagic);
+        assert_eq!(PeFile::parse(b"MZ").unwrap_err(), PeParseError::BadMagic);
+        let mut ok = PeBuilder::new()
+            .section(PeSection {
+                name: ".a".into(),
+                rva: 0x1000,
+                data: vec![0; 8],
+                characteristics: 0,
+            })
+            .build();
+        ok.truncate(0x90);
+        assert!(PeFile::parse(&ok).is_err());
+    }
+}

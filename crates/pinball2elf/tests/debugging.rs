@@ -1,0 +1,100 @@
+//! The "Debugging ELFies" workflow (paper Section II-B5): application
+//! pages are not visible until startup has remapped them, so the suggested
+//! recipe is to break on `elfie_on_start` first and only then set
+//! breakpoints at application addresses. The `.t<N>.<object>` symbols let
+//! a debugger inspect the packed initial thread state.
+
+use elfie_isa::{assemble, Reg};
+use elfie_pinball::RegionTrigger;
+use elfie_pinball2elf::{convert, ConvertOptions};
+use elfie_pinplay::{Logger, LoggerConfig};
+use elfie_vm::{ExitReason, Machine, MachineConfig, StopWhen};
+
+fn captured_pinball() -> elfie_pinball::Pinball {
+    let prog = assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, 0
+        loop:
+            add rcx, 1
+            cmp rcx, 100000
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        "#,
+    )
+    .expect("assembles");
+    Logger::new(LoggerConfig::fat("dbg", RegionTrigger::GlobalIcount(1000), 5000))
+        .capture(&prog, |_| {})
+        .expect("captures")
+}
+
+#[test]
+fn app_pages_invisible_before_elfie_on_start() {
+    let pb = captured_pinball();
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
+
+    let on_start = file.symbol("elfie_on_start").expect("symbol exists");
+    let app_pc = file.symbol(".t0.start").expect("captured rip symbol");
+
+    let mut m = Machine::new(MachineConfig::default());
+    elfie_elf::load(&mut m, &elfie.bytes, &elfie_elf::LoaderConfig::default()).expect("loads");
+
+    // Right after loading, the application page is NOT mapped (sections
+    // are non-allocatable) — gdb "cannot see" it.
+    assert!(
+        !m.mem.is_mapped(app_pc),
+        "application page must not be mapped before startup remaps it"
+    );
+
+    // "Break on elfie_on_start": run to that address.
+    m.stop_conditions = vec![StopWhen::PcCount { pc: on_start, count: 1 }];
+    let s = m.run(100_000_000);
+    assert_eq!(s.reason, ExitReason::StopCondition(0));
+
+    // "At which point all application pages are guaranteed to be in
+    // memory" — now the app breakpoint works.
+    assert!(m.mem.is_mapped(app_pc), "remap completed by elfie_on_start");
+    m.stop_conditions = vec![StopWhen::PcCount { pc: app_pc, count: 1 }];
+    let s2 = m.run(100_000_000);
+    assert_eq!(s2.reason, ExitReason::StopCondition(0));
+    // Stopped exactly past the captured region-start instruction.
+    assert!(m.threads[0].regs.rip >= app_pc);
+}
+
+#[test]
+fn thread_state_symbols_point_at_packed_context() {
+    let pb = captured_pinball();
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
+
+    let mut m = Machine::new(MachineConfig::default());
+    elfie_elf::load(&mut m, &elfie.bytes, &elfie_elf::LoaderConfig::default()).expect("loads");
+
+    // A debugger reading memory at `.t0.rcx` sees the captured initial
+    // value of RCX (the context data section is loaded from the start).
+    let rcx_slot = file.symbol(".t0.rcx").expect("slot symbol");
+    let captured_rcx = pb.threads[0].regs.gpr[Reg::Rcx.index()];
+    assert_eq!(m.mem.read_u64(rcx_slot).expect("mapped"), captured_rcx);
+
+    let flags_slot = file.symbol(".t0.rflags").expect("flags symbol");
+    assert_eq!(m.mem.read_u64(flags_slot).expect("mapped"), pb.threads[0].regs.rflags);
+
+    // The xmm slots live at FXSAVE offsets inside the ext area.
+    let ext = file.symbol(".t0.ext_area").expect("ext symbol");
+    let xmm0 = file.symbol(".t0.xmm0").expect("xmm symbol");
+    assert_eq!(xmm0, ext + 160, "FXSAVE layout: XMM0 at +160");
+}
+
+#[test]
+fn per_thread_icount_symbols_match_region() {
+    let pb = captured_pinball();
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
+    assert_eq!(file.symbol("elfie.nthreads"), Some(1));
+    assert_eq!(file.symbol("elfie.icount.0"), Some(pb.region.thread_icounts[&0]));
+    assert_eq!(file.symbol("elfie.global_icount"), Some(pb.region.length));
+}

@@ -1,0 +1,462 @@
+//! End-to-end tests for the full tool-chain: program → PinPlay logger →
+//! fat pinball → pinball2elf → ELFie → native execution on the guest
+//! machine via the emulated system ELF loader.
+
+use elfie_isa::{assemble, MarkerKind, Reg};
+use elfie_pinball::RegionTrigger;
+use elfie_pinball2elf::{
+    convert, ConvertError, ConvertOptions, TAG_ON_EXIT, TAG_ON_START, TAG_ON_THREAD_START,
+};
+use elfie_pinplay::{Logger, LoggerConfig, ReplayConfig, Replayer};
+use elfie_sysstate::SysState;
+use elfie_vm::{ExitReason, Machine, MachineConfig, Observer, RunSummary};
+
+/// Observer that records every marker fired.
+#[derive(Debug, Default)]
+struct MarkerLog {
+    markers: Vec<(u32, MarkerKind, u32)>,
+}
+
+impl Observer for MarkerLog {
+    fn on_marker(&mut self, tid: u32, kind: MarkerKind, tag: u32) {
+        self.markers.push((tid, kind, tag));
+    }
+}
+
+/// Loads and runs an ELFie image on a fresh machine.
+fn run_elfie(
+    elf_bytes: &[u8],
+    sysstate: Option<&SysState>,
+    seed: u64,
+) -> (Machine<MarkerLog>, RunSummary) {
+    let cfg = MachineConfig { seed, ..MachineConfig::default() };
+    let mut m = Machine::with_observer(cfg, MarkerLog::default());
+    if let Some(st) = sysstate {
+        st.stage_files(&mut m);
+    }
+    let loader_cfg = elfie_elf::LoaderConfig { seed, ..elfie_elf::LoaderConfig::default() };
+    elfie_elf::load(&mut m, elf_bytes, &loader_cfg).expect("ELFie loads");
+    let s = m.run(50_000_000);
+    (m, s)
+}
+
+fn counter_program(iters: u64) -> elfie_isa::Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, 0
+            mov rbx, cell
+        loop:
+            add rcx, 1
+            mov [rbx], rcx
+            cmp rcx, {iters}
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .org 0x600000
+        cell: .quad 0
+        "#
+    ))
+    .expect("assembles")
+}
+
+#[test]
+fn single_thread_elfie_matches_constrained_replay() {
+    let prog = counter_program(100_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 4000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 7);
+    assert_eq!(summary.reason, ExitReason::AllExited(0), "graceful exit");
+
+    // The region has no system calls, so the ELFie must end in *exactly*
+    // the state constrained replay ends in.
+    let (_, replay_machine) =
+        Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    assert_eq!(
+        machine.threads[0].regs.read(Reg::Rcx),
+        replay_machine.threads[0].regs.read(Reg::Rcx),
+        "ELFie executed the same region as replay"
+    );
+    // Memory state matches too.
+    assert_eq!(
+        machine.mem.read_u64(0x600000).unwrap(),
+        replay_machine.mem.read_u64(0x600000).unwrap()
+    );
+}
+
+#[test]
+fn elfie_starts_with_captured_register_state() {
+    // Capture mid-loop: rcx has a definite value at region start; the
+    // ELFie must begin from exactly that state.
+    let prog = counter_program(100_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(402), 40));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let captured_rcx = pb.threads[0].regs.gpr[Reg::Rcx.index()];
+    assert!(captured_rcx > 0, "captured mid-loop");
+
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 3);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    // 40 region instructions = 10 loop iterations (4 insns each).
+    let final_rcx = machine.threads[0].regs.read(Reg::Rcx);
+    assert_eq!(final_rcx, captured_rcx + 10);
+}
+
+#[test]
+fn elfie_runs_identically_across_seeds_for_single_thread() {
+    let prog = counter_program(100_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 2000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let (m1, _) = run_elfie(&elfie.bytes, None, 11);
+    let (m2, _) = run_elfie(&elfie.bytes, None, 99);
+    assert_eq!(
+        m1.threads[0].regs.read(Reg::Rcx),
+        m2.threads[0].regs.read(Reg::Rcx),
+        "single-threaded ELFie is repeatable despite stack randomisation"
+    );
+}
+
+#[test]
+fn callbacks_and_roi_markers_fire_in_order() {
+    let prog = counter_program(10_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 1000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions {
+        roi_marker: Some((MarkerKind::Sniper, 42)),
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    let tags: Vec<u32> = machine.obs.markers.iter().map(|(_, _, t)| *t).collect();
+    assert_eq!(tags, vec![TAG_ON_START, TAG_ON_THREAD_START, 42]);
+    let kinds: Vec<MarkerKind> = machine.obs.markers.iter().map(|(_, k, _)| *k).collect();
+    assert_eq!(kinds[2], MarkerKind::Sniper);
+}
+
+#[test]
+fn graceful_exit_runs_exact_region_length() {
+    let prog = counter_program(100_000);
+    let region_len = 2000u64;
+    let logger =
+        Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), region_len));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions { callbacks: false, ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    // Thread icount = startup instructions + armed target; the counter was
+    // armed to fire after (region + post-arm overhead) instructions.
+    let t = &machine.threads[0];
+    assert!(t.exit_counter.fired, "exit came from the armed counter");
+    assert!(t.icount as i64 - region_len as i64 >= 0);
+}
+
+#[test]
+fn without_graceful_exit_elfie_overruns_region() {
+    // "At times an ELFie may continue to execute far beyond the desired
+    // number of instructions" — without the counter, our counter program
+    // just keeps looping until its own exit.
+    let prog = counter_program(50_000);
+    let region_len = 1000u64;
+    let logger =
+        Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), region_len));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts =
+        ConvertOptions { graceful_exit: false, callbacks: false, ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    // The program continues to its own exit_group — far beyond the region.
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert!(
+        machine.threads[0].icount > 10 * region_len,
+        "ran {} instructions, region was {region_len}",
+        machine.threads[0].icount
+    );
+}
+
+#[test]
+fn sysstate_makes_file_reads_work() {
+    // File opened BEFORE the region, read inside it: the canonical
+    // system-call challenge from Section I-A.
+    let prog = assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 2          ; open("/data")
+            mov rdi, path
+            mov rsi, 0
+            syscall
+            mov r12, rax
+            mov rax, 0          ; read(fd, buf, 8) -- region starts here
+            mov rdi, r12
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rbx, [buf]
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        path: .asciz "/data"
+        .org 0x600000
+        buf: .quad 0
+        "#,
+    )
+    .expect("assembles");
+    let logger = Logger::new(LoggerConfig::fat("file", RegionTrigger::GlobalIcount(5), 200));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.kernel.fs.put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
+        })
+        .expect("captures");
+
+    let sysstate = SysState::extract(&pb);
+    assert!(!sysstate.fd_files.is_empty(), "FD proxy extracted");
+    let opts = ConvertOptions { sysstate: Some(sysstate.clone()), ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("converts");
+
+    // Run WITHOUT /data on the machine: only the sysstate proxies staged.
+    let (machine, summary) = run_elfie(&elfie.bytes, Some(&sysstate), 5);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert_eq!(machine.threads[0].regs.read(Reg::Rbx), 0xfeed_f00d);
+}
+
+#[test]
+fn without_sysstate_file_read_fails() {
+    let prog = assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 2
+            mov rdi, path
+            mov rsi, 0
+            syscall
+            mov r12, rax
+            mov rax, 0
+            mov rdi, r12
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rbx, [buf]
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        path: .asciz "/data"
+        .org 0x600000
+        buf: .quad 0
+        "#,
+    )
+    .expect("assembles");
+    let logger = Logger::new(LoggerConfig::fat("file", RegionTrigger::GlobalIcount(5), 200));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.kernel.fs.put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
+        })
+        .expect("captures");
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    let (machine, _summary) = run_elfie(&elfie.bytes, None, 5);
+    assert_ne!(
+        machine.threads[0].regs.read(Reg::Rbx),
+        0xfeed_f00d,
+        "the re-executed read fails without sysstate (EBADF)"
+    );
+}
+
+fn two_thread_program() -> elfie_isa::Program {
+    assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 56
+            mov rdi, 0
+            mov rsi, 0x7f00200000
+            syscall
+            cmp rax, 0
+            je child
+        parent_work:
+            mov rcx, 500
+        ploop:
+            mov rdx, 1
+            mov rbx, shared
+            xadd [rbx], rdx
+            sub rcx, 1
+            cmp rcx, 0
+            jne ploop
+        pwait:
+            mov rdx, [done]
+            cmp rdx, 1
+            jne pwait
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        child:
+            mov rcx, 500
+        cloop:
+            mov rdx, 1
+            mov rbx, shared
+            xadd [rbx], rdx
+            sub rcx, 1
+            cmp rcx, 0
+            jne cloop
+            mov rdx, 1
+            mov rbx, done
+            mov [rbx], rdx
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        .org 0x600000
+        shared: .quad 0
+        done: .quad 0
+        "#,
+    )
+    .expect("assembles")
+}
+
+#[test]
+fn multithreaded_elfie_creates_and_exits_all_threads() {
+    let prog = two_thread_program();
+    let logger = Logger::new(LoggerConfig::fat("mt", RegionTrigger::GlobalIcount(60), 1500));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.mem.map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW).unwrap();
+        })
+        .expect("captures");
+    assert_eq!(pb.threads.len(), 2);
+
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+    assert_eq!(elfie.stats.threads, 2);
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 13);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert_eq!(machine.threads.len(), 2, "startup cloned the second thread");
+    // Both threads ran at least their recorded region share.
+    for (tid, &target) in &pb.region.thread_icounts {
+        let t = &machine.threads[*tid as usize];
+        assert!(
+            t.icount >= target,
+            "tid {tid} ran {} < target {target}",
+            t.icount
+        );
+    }
+}
+
+#[test]
+fn regular_pinball_is_rejected_then_fails_when_forced() {
+    let prog = counter_program(100_000);
+    let logger =
+        Logger::new(LoggerConfig::regular("ctr", RegionTrigger::GlobalIcount(1000), 4000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    // Default conversion refuses regular pinballs.
+    match convert(&pb, &ConvertOptions::default()) {
+        Err(ConvertError::NotFat) => {}
+        other => panic!("expected NotFat, got {other:?}"),
+    }
+    // Forced conversion produces an ELFie that dies on an un-captured page.
+    let opts = ConvertOptions { force_regular: true, ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("forced conversion");
+    let (_machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    match summary.reason {
+        ExitReason::Fault { .. } => {}
+        other => panic!("expected ungraceful exit, got {other:?}"),
+    }
+}
+
+#[test]
+fn monitor_thread_fires_on_exit_marker() {
+    let prog = counter_program(10_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions { monitor_thread: true, ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert_eq!(machine.threads.len(), 2, "monitor + app thread");
+    let tags: Vec<u32> = machine.obs.markers.iter().map(|(_, _, t)| *t).collect();
+    assert!(tags.contains(&TAG_ON_EXIT), "elfie_on_exit fired: {tags:?}");
+    // on_exit is the last marker.
+    assert_eq!(*tags.last().unwrap(), TAG_ON_EXIT);
+}
+
+#[test]
+fn thread_prologue_is_executed() {
+    let prog = counter_program(10_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions {
+        thread_prologue_asm: Some("marker simics, 777".to_string()),
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert!(machine
+        .obs
+        .markers
+        .iter()
+        .any(|(_, k, t)| *k == MarkerKind::Simics && *t == 777));
+}
+
+#[test]
+fn elfie_symbols_and_linker_script() {
+    let prog = counter_program(10_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
+
+    let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
+    assert!(file.symbol("elfie_start").is_some());
+    assert!(file.symbol("elfie_on_start").is_some());
+    assert!(file.symbol("elfie_on_thread_start").is_some());
+    assert!(file.symbol(".t0.rax").is_some());
+    assert!(file.symbol(".t0.xmm0").is_some());
+    assert!(file.symbol(".t0.rsp").is_some());
+    assert_eq!(file.symbol("elfie.nthreads"), Some(1));
+    assert_eq!(file.symbol("elfie.global_icount"), Some(800));
+    assert_eq!(file.symbol(".t0.start"), Some(pb.threads[0].regs.rip));
+
+    assert!(elfie.linker_script.contains("SECTIONS"));
+    assert!(elfie.linker_script.contains(".text.startup"));
+    assert!(elfie.startup_asm.contains("elfie_start:"));
+
+    // The ELFie memory layout mirrors the pinball: every captured page is
+    // present as a section at its original address.
+    for (addr, _, _) in pb.image.consecutive_runs() {
+        assert!(
+            file.sections.iter().any(|s| s.addr == addr),
+            "no section at {addr:#x}"
+        );
+    }
+}
+
+#[test]
+fn object_only_output_is_relocatable() {
+    let prog = counter_program(10_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions { object_only: true, ..ConvertOptions::default() };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
+    assert_eq!(file.etype, elfie_elf::ET_REL);
+    assert!(file.symbol(".t0.start").is_some());
+    assert_eq!(elfie.stats.startup_bytes, 0);
+}
+
+#[test]
+fn stack_only_remap_mode_works_for_low_image() {
+    let prog = counter_program(50_000);
+    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 1500));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions {
+        remap: elfie_pinball2elf::RemapMode::StackOnly,
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("converts");
+    assert!(elfie.stats.remapped_runs < elfie.stats.app_runs);
+    let (machine, summary) = run_elfie(&elfie.bytes, None, 21);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    assert!(machine.threads[0].exit_counter.fired);
+}

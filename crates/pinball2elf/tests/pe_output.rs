@@ -1,0 +1,92 @@
+//! Tests for the pinball → PE conversion (the paper's imagined
+//! Windows-side `pinball2pe`).
+
+use elfie_isa::assemble;
+use elfie_pinball::RegionTrigger;
+use elfie_pinball2elf::pe::{convert_pe, read_remap_table, PeFile, PE_MACHINE_ELFIE};
+use elfie_pinplay::{Logger, LoggerConfig};
+
+fn captured_pinball() -> elfie_pinball::Pinball {
+    let prog = assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, 0
+            mov rbx, cell
+        loop:
+            add rcx, 1
+            mov [rbx], rcx
+            cmp rcx, 50000
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .org 0x600000
+        cell: .quad 0
+        "#,
+    )
+    .expect("assembles");
+    Logger::new(LoggerConfig::fat("pe", RegionTrigger::GlobalIcount(1000), 4000))
+        .capture(&prog, |_| {})
+        .expect("captures")
+}
+
+#[test]
+fn pinball_converts_to_valid_pe32_plus() {
+    let pb = captured_pinball();
+    let bytes = convert_pe(&pb).expect("converts");
+    assert_eq!(&bytes[0..2], b"MZ");
+    let pe = PeFile::parse(&bytes).expect("parses");
+    assert_eq!(pe.machine, PE_MACHINE_ELFIE);
+    // One section per page run, plus .pbmeta and .pbctx.
+    let runs = pb.image.consecutive_runs().len();
+    assert_eq!(pe.sections.len(), runs + 2);
+    assert!(pe.section(".pbmeta").is_some());
+    assert!(pe.section(".pbctx").is_some());
+}
+
+#[test]
+fn remap_table_reconstructs_original_layout() {
+    let pb = captured_pinball();
+    let bytes = convert_pe(&pb).expect("converts");
+    let pe = PeFile::parse(&bytes).expect("parses");
+    let table = read_remap_table(&pe).expect("meta table");
+    let runs = pb.image.consecutive_runs();
+    assert_eq!(table.len(), runs.len());
+    for (entry, (addr, perm, data)) in table.iter().zip(&runs) {
+        assert_eq!(entry.original_va, *addr, "original VA preserved");
+        assert_eq!(entry.len, data.len() as u64);
+        assert_eq!(entry.perm, *perm);
+        // The packed section contents at that RVA are the original bytes.
+        let sec = pe
+            .sections
+            .iter()
+            .find(|s| s.rva == entry.rva)
+            .expect("section at rva");
+        assert_eq!(&sec.data, data, "page contents preserved");
+    }
+    // Code page at 0x400000 and data page at 0x600000 both make it across.
+    assert!(table.iter().any(|e| e.original_va == 0x400000));
+    assert!(table.iter().any(|e| e.original_va == 0x600000));
+}
+
+#[test]
+fn pbctx_carries_thread_state() {
+    let pb = captured_pinball();
+    let bytes = convert_pe(&pb).expect("converts");
+    let pe = PeFile::parse(&bytes).expect("parses");
+    let ctx = &pe.section(".pbctx").expect("ctx").data;
+    let nthreads = u64::from_le_bytes(ctx[..8].try_into().unwrap());
+    assert_eq!(nthreads, 1);
+    let rip = u64::from_le_bytes(ctx[16..24].try_into().unwrap());
+    assert_eq!(rip, pb.threads[0].regs.rip, "captured RIP serialised");
+}
+
+#[test]
+fn regular_pinball_rejected() {
+    let prog = assemble(".org 0x400000\nstart: jmp start\n").unwrap();
+    let pb = Logger::new(LoggerConfig::regular("r", RegionTrigger::GlobalIcount(10), 50))
+        .capture(&prog, |_| {})
+        .expect("captures");
+    assert!(convert_pe(&pb).is_err());
+}

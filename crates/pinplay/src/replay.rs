@@ -1,0 +1,431 @@
+//! The PinPlay replayer: constrained re-execution of a [`Pinball`].
+//!
+//! During replay, logged system calls are *skipped* and their register
+//! results and memory side effects are *injected* from the `.reg` logs, so
+//! non-repeatable calls (e.g. `gettimeofday`) return exactly what they
+//! returned while logging. The recorded order of atomic operations is
+//! enforced, stalling threads whose next atomic would run out of order —
+//! "constrained" replay, in the paper's terminology.
+//!
+//! Setting [`ReplayConfig::injection`] to `false` reproduces the paper's
+//! `-replay:injection 0` switch: syscalls re-execute natively and no thread
+//! order is enforced. Such an injection-less replay "mimics the execution
+//! of an ELFie" and is the recommended way to debug ELFie failures.
+
+use elfie_isa::page_align_up;
+use elfie_pinball::{Pinball, SyscallEffect};
+use elfie_vm::{
+    nr, Fault, Machine, MachineConfig, Memory, MemError, NullObserver, Observer, Perm,
+    SyscallAction, SyscallInterposer, ThreadState, ThreadStep,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// Replayer configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Inject logged syscall side effects instead of re-executing
+    /// (`-replay:injection 1`, the default).
+    pub injection: bool,
+    /// Enforce the recorded order of atomic operations.
+    pub enforce_order: bool,
+    /// Maximum instructions to execute before giving up.
+    pub fuel: u64,
+    /// Machine configuration for the replay run.
+    pub machine: MachineConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            injection: true,
+            enforce_order: true,
+            fuel: u64::MAX / 2,
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+impl ReplayConfig {
+    /// The `-replay:injection 0` configuration: no injection, no order
+    /// enforcement. Mimics an ELFie while still running under the replay
+    /// harness.
+    pub fn injectionless() -> ReplayConfig {
+        ReplayConfig { injection: false, enforce_order: false, ..ReplayConfig::default() }
+    }
+}
+
+/// How a replay diverged from the recorded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// A thread issued a different syscall than the log expected.
+    SyscallMismatch {
+        /// Original (logged) thread id.
+        tid: u32,
+        /// Expected syscall number from the log.
+        expected: u64,
+        /// Actually issued syscall number.
+        got: u64,
+    },
+    /// A thread issued more syscalls than were logged.
+    LogUnderrun {
+        /// Original (logged) thread id.
+        tid: u32,
+        /// The unexpected syscall number.
+        nr: u64,
+    },
+    /// A thread faulted (typically an access to an un-captured page).
+    Fault {
+        /// Original (logged) thread id.
+        tid: u32,
+        /// Description of the fault.
+        what: String,
+    },
+    /// No thread could make progress (order-enforcement deadlock).
+    Stall,
+    /// The fuel budget ran out before all threads finished.
+    OutOfFuel,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::SyscallMismatch { tid, expected, got } => {
+                write!(f, "tid {tid}: syscall mismatch (expected {expected}, got {got})")
+            }
+            Divergence::LogUnderrun { tid, nr } => {
+                write!(f, "tid {tid}: syscall {nr} beyond end of log")
+            }
+            Divergence::Fault { tid, what } => write!(f, "tid {tid}: {what}"),
+            Divergence::Stall => write!(f, "all threads stalled"),
+            Divergence::OutOfFuel => write!(f, "fuel exhausted"),
+        }
+    }
+}
+
+/// The result of a replay run.
+#[derive(Debug, Clone)]
+pub struct ReplaySummary {
+    /// True when every thread reached its recorded instruction count
+    /// (replay "always terminates after the desired number of
+    /// instructions").
+    pub completed: bool,
+    /// First divergence, if any.
+    pub divergence: Option<Divergence>,
+    /// Instructions retired across all threads.
+    pub global_icount: u64,
+    /// Instructions retired per (original) thread id.
+    pub per_thread: BTreeMap<u32, u64>,
+    /// Cycles elapsed on the replay machine.
+    pub cycles: u64,
+    /// Number of syscalls whose effects were injected.
+    pub injected_syscalls: u64,
+    /// Number of lazily injected pages (regular pinballs).
+    pub lazy_pages_injected: u64,
+    /// Stdout produced during replay (injection-less replays only; with
+    /// injection, writes are skipped).
+    pub stdout: Vec<u8>,
+}
+
+struct InjectState {
+    queues: HashMap<u32, VecDeque<SyscallEffect>>,
+    tid_map: HashMap<u32, u32>, // machine tid -> original tid
+    injected: u64,
+    divergence: Option<Divergence>,
+    brk_start: u64,
+}
+
+struct Injector {
+    state: Rc<RefCell<InjectState>>,
+}
+
+impl SyscallInterposer for Injector {
+    fn on_syscall(&mut self, tid: u32, nr_: u64, args: [u64; 6], mem: &mut Memory) -> SyscallAction {
+        let mut st = self.state.borrow_mut();
+        let orig = st.tid_map.get(&tid).copied().unwrap_or(tid);
+        let entry = match st.queues.get_mut(&orig).and_then(|q| q.pop_front()) {
+            Some(e) => e,
+            None => {
+                if st.divergence.is_none() {
+                    st.divergence = Some(Divergence::LogUnderrun { tid: orig, nr: nr_ });
+                }
+                return SyscallAction::PassThrough;
+            }
+        };
+        if entry.nr != nr_ {
+            if st.divergence.is_none() {
+                st.divergence =
+                    Some(Divergence::SyscallMismatch { tid: orig, expected: entry.nr, got: nr_ });
+            }
+            return SyscallAction::PassThrough;
+        }
+        match nr_ {
+            // Structural syscalls re-execute: thread creation/exit and
+            // scheduling must actually happen on the replay machine.
+            nr::CLONE | nr::EXIT | nr::EXIT_GROUP | nr::SCHED_YIELD | nr::FUTEX => {
+                SyscallAction::PassThrough
+            }
+            // Memory-management syscalls are injected *and* their mapping
+            // effects reproduced, so the layout matches the logging run.
+            nr::MMAP => {
+                let addr = entry.ret;
+                if !elfie_vm::is_error(addr) {
+                    let len = page_align_up(args[1].max(1));
+                    let _ = mem.map_range(addr, addr + len, Perm::RW);
+                }
+                st.injected += 1;
+                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+            }
+            nr::MUNMAP => {
+                let len = page_align_up(args[1].max(1));
+                mem.unmap_range(args[0], args[0] + len);
+                st.injected += 1;
+                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+            }
+            nr::BRK => {
+                let new_brk = entry.ret;
+                let start = page_align_up(st.brk_start);
+                let end = page_align_up(new_brk);
+                if end > start {
+                    let _ = mem.map_range(start, end, Perm::RW);
+                }
+                st.injected += 1;
+                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+            }
+            _ => {
+                st.injected += 1;
+                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+            }
+        }
+    }
+}
+
+/// The PinPlay replayer.
+#[derive(Debug, Clone, Default)]
+pub struct Replayer {
+    cfg: ReplayConfig,
+}
+
+impl Replayer {
+    /// Creates a replayer with the given configuration.
+    pub fn new(cfg: ReplayConfig) -> Replayer {
+        Replayer { cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ReplayConfig {
+        &self.cfg
+    }
+
+    /// Builds the replay machine for `pinball`: memory image mapped,
+    /// initial threads created, heap metadata restored. Returns the
+    /// machine plus the machine-tid → original-tid mapping.
+    ///
+    /// Exposed so other harnesses (e.g. a pinball-driven simulator) can
+    /// reuse the construction.
+    pub fn build_machine(&self, pinball: &Pinball) -> (Machine, HashMap<u32, u32>) {
+        self.build_machine_with(pinball, NullObserver)
+    }
+
+    /// Like [`Replayer::build_machine`], with an instrumentation observer
+    /// attached — this is how timing simulators ride on constrained
+    /// replay (the Sniper + PinPlay-library combination of the paper).
+    pub fn build_machine_with<O: Observer>(
+        &self,
+        pinball: &Pinball,
+        obs: O,
+    ) -> (Machine<O>, HashMap<u32, u32>) {
+        let mut m = Machine::with_observer(self.cfg.machine.clone(), obs);
+        for (&addr, page) in &pinball.image.pages {
+            m.mem.map_page(addr, Perm::from_bits(page.perm));
+            m.mem.write_bytes_unchecked(addr, &page.data).expect("mapped page");
+        }
+        m.kernel.set_brk(pinball.meta.brk_start, pinball.meta.brk);
+        m.kernel.cwd = pinball.meta.cwd.clone();
+        let mut tid_map = HashMap::new();
+        for rec in pinball.threads.iter().filter(|t| !t.spawned) {
+            let machine_tid = m.add_thread(rec.regs.to_regfile());
+            tid_map.insert(machine_tid, rec.tid);
+        }
+        (m, tid_map)
+    }
+
+    /// Replays `pinball`. `setup` runs before execution and can populate
+    /// the kernel filesystem — needed for injection-less replays, where
+    /// file syscalls re-execute for real.
+    pub fn replay(&self, pinball: &Pinball, setup: impl FnOnce(&mut Machine)) -> ReplaySummary {
+        self.replay_full(pinball, setup).0
+    }
+
+    /// Like [`Replayer::replay`], but also returns the final machine so
+    /// callers can inspect memory and register state after replay.
+    pub fn replay_full(
+        &self,
+        pinball: &Pinball,
+        setup: impl FnOnce(&mut Machine),
+    ) -> (ReplaySummary, Machine) {
+        self.replay_full_with(pinball, NullObserver, setup)
+    }
+
+    /// Like [`Replayer::replay_full`], with an instrumentation observer
+    /// attached to the replay machine.
+    pub fn replay_full_with<O: Observer>(
+        &self,
+        pinball: &Pinball,
+        obs: O,
+        setup: impl FnOnce(&mut Machine<O>),
+    ) -> (ReplaySummary, Machine<O>) {
+        let (mut m, mut tid_map) = self.build_machine_with(pinball, obs);
+        setup(&mut m);
+
+        let state = Rc::new(RefCell::new(InjectState {
+            queues: pinball
+                .threads
+                .iter()
+                .map(|t| (t.tid, t.syscalls.iter().cloned().collect()))
+                .collect(),
+            tid_map: tid_map.clone(),
+            injected: 0,
+            divergence: None,
+            brk_start: pinball.meta.brk_start,
+        }));
+        if self.cfg.injection {
+            m.set_interposer(Box::new(Injector { state: Rc::clone(&state) }));
+        }
+
+        let targets: BTreeMap<u32, u64> = pinball.region.thread_icounts.clone();
+        let mut spawn_queue: VecDeque<u32> =
+            pinball.threads.iter().filter(|t| t.spawned).map(|t| t.tid).collect();
+        let races = &pinball.races.order;
+        let mut race_ptr = 0usize;
+        let mut fuel = self.cfg.fuel;
+        let mut lazy_injected = 0u64;
+        let mut divergence: Option<Divergence> = None;
+
+        'outer: loop {
+            // Adopt any threads spawned since the last sweep.
+            while tid_map.len() < m.threads.len() {
+                let machine_tid = tid_map.len() as u32;
+                let orig = spawn_queue.pop_front().unwrap_or(machine_tid);
+                tid_map.insert(machine_tid, orig);
+                state.borrow_mut().tid_map.insert(machine_tid, orig);
+            }
+
+            let n = m.threads.len();
+            let mut progressed = false;
+            for idx in 0..n {
+                let orig = tid_map[&(idx as u32)];
+                // Threads that reached their recorded count are done.
+                let target = targets.get(&orig).copied().unwrap_or(0);
+                if m.threads[idx].is_runnable() && m.threads[idx].icount >= target {
+                    m.threads[idx].state = ThreadState::Exited(0);
+                }
+                if !m.threads[idx].is_runnable() {
+                    continue;
+                }
+                // Run a slice, respecting atomic-order constraints.
+                for _ in 0..64 {
+                    if fuel == 0 {
+                        divergence = Some(Divergence::OutOfFuel);
+                        break 'outer;
+                    }
+                    if m.threads[idx].icount >= target {
+                        m.threads[idx].state = ThreadState::Exited(0);
+                        break;
+                    }
+                    let mut is_atomic = false;
+                    if self.cfg.enforce_order {
+                        if let Some((insn, _)) = m.peek_insn(idx) {
+                            if insn.is_atomic() && race_ptr < races.len() {
+                                if races[race_ptr].tid != orig {
+                                    break; // stalled: not this thread's turn
+                                }
+                                is_atomic = true;
+                            }
+                        }
+                    }
+                    fuel -= 1;
+                    match m.step_thread(idx) {
+                        ThreadStep::Retired | ThreadStep::SyscallRetired | ThreadStep::Marker(..) => {
+                            progressed = true;
+                            if is_atomic {
+                                race_ptr += 1;
+                            }
+                        }
+                        ThreadStep::NotRunnable => break,
+                        ThreadStep::Fault(fault) => {
+                            // Lazy page injection: regular pinballs insert
+                            // text/data pages at first use.
+                            let addr = match fault {
+                                Fault::Mem(e) | Fault::Fetch(e) => match e {
+                                    MemError::Unmapped { addr, .. } => Some(addr),
+                                    MemError::Protection { .. } => None,
+                                },
+                                _ => None,
+                            };
+                            let page = addr.map(elfie_isa::page_base);
+                            if let Some(p) = page {
+                                if let Some(rec) = pinball.lazy_pages.get(&p) {
+                                    m.mem.map_page(p, Perm::from_bits(rec.perm));
+                                    m.mem
+                                        .write_bytes_unchecked(p, &rec.data)
+                                        .expect("freshly mapped");
+                                    lazy_injected += 1;
+                                    progressed = true;
+                                    continue;
+                                }
+                            }
+                            divergence =
+                                Some(Divergence::Fault { tid: orig, what: format!("{fault}") });
+                            break 'outer;
+                        }
+                    }
+                    if state.borrow().divergence.is_some() {
+                        divergence = state.borrow().divergence.clone();
+                        break 'outer;
+                    }
+                }
+            }
+
+            let all_done = m
+                .threads
+                .iter()
+                .enumerate()
+                .all(|(idx, t)| {
+                    let orig = tid_map[&(idx as u32)];
+                    t.is_exited() || t.icount >= targets.get(&orig).copied().unwrap_or(0)
+                });
+            if all_done {
+                break;
+            }
+            if !progressed {
+                divergence = Some(Divergence::Stall);
+                break;
+            }
+        }
+
+        let per_thread: BTreeMap<u32, u64> = m
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(idx, t)| (tid_map[&(idx as u32)], t.icount))
+            .collect();
+        let completed = divergence.is_none()
+            && targets
+                .iter()
+                .all(|(tid, target)| per_thread.get(tid).copied().unwrap_or(0) >= *target);
+        let summary = ReplaySummary {
+            completed,
+            divergence,
+            global_icount: m.global_icount(),
+            per_thread,
+            cycles: m.cycles(),
+            injected_syscalls: state.borrow().injected,
+            lazy_pages_injected: lazy_injected,
+            stdout: m.kernel.stdout.clone(),
+        };
+        (summary, m)
+    }
+}

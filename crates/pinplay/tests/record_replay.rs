@@ -1,0 +1,328 @@
+//! Integration tests for the PinPlay logger/replayer pair.
+
+use elfie_isa::{assemble, Reg};
+use elfie_pinball::RegionTrigger;
+use elfie_pinplay::{CaptureError, Logger, LoggerConfig, ReplayConfig, Replayer};
+use elfie_vm::Machine;
+
+/// A loop program with an exit; `iters` controls length.
+fn counter_program(iters: u64) -> elfie_isa::Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, 0
+            mov rbx, cell
+        loop:
+            add rcx, 1
+            mov [rbx], rcx
+            cmp rcx, {iters}
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .org 0x600000
+        cell: .quad 0
+        "#
+    ))
+    .expect("assembles")
+}
+
+#[test]
+fn fat_capture_records_whole_image() {
+    let prog = counter_program(1000);
+    let logger = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(50), 200));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    assert!(pb.meta.fat);
+    assert!(pb.lazy_pages.is_empty(), "fat pinball pre-loads everything");
+    assert!(pb.image.pages.contains_key(&0x400000));
+    assert!(pb.image.page_count() >= 2);
+    assert_eq!(pb.region.length, 200);
+    assert_eq!(pb.threads.len(), 1);
+    assert_eq!(pb.region.thread_icounts[&0], 200);
+}
+
+#[test]
+fn regular_capture_uses_lazy_pages() {
+    let prog = counter_program(1000);
+    let logger = Logger::new(LoggerConfig::regular("c", RegionTrigger::GlobalIcount(50), 200));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    assert!(!pb.meta.fat);
+    let fat = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(50), 200))
+        .capture(&prog, |_| {})
+        .expect("captures");
+    assert!(pb.image.page_count() < fat.image.page_count());
+}
+
+#[test]
+fn replay_reaches_exact_icount_and_state() {
+    let prog = counter_program(1000);
+    let logger = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(100), 400));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let (summary, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    assert!(summary.completed, "divergence: {:?}", summary.divergence);
+    assert_eq!(summary.global_icount, 400);
+    assert_eq!(summary.per_thread[&0], 400);
+    assert!(machine.threads[0].regs.read(Reg::Rcx) > 0);
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let prog = counter_program(500);
+    let logger = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(64), 256));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let r1 = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    let r2 = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    assert_eq!(r1.0.global_icount, r2.0.global_icount);
+    assert_eq!(
+        r1.1.threads[0].regs, r2.1.threads[0].regs,
+        "replay reproduces identical final state"
+    );
+}
+
+#[test]
+fn whole_program_capture_and_replay() {
+    let prog = counter_program(100);
+    let logger = Logger::new(LoggerConfig::fat("whole", RegionTrigger::ProgramStart, 10_000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    assert!(pb.region.length < 10_000, "region truncated at program exit");
+    let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+}
+
+/// Program whose region contains a file read: `read()` results must be
+/// injected during replay (the file does not exist on the replay machine).
+fn file_read_program() -> elfie_isa::Program {
+    assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 2          ; open("/data", O_RDONLY)
+            mov rdi, path
+            mov rsi, 0
+            syscall
+            mov r12, rax        ; fd
+            mov rax, 0          ; read(fd, buf, 8)  -- region starts here
+            mov rdi, r12
+            mov rsi, buf
+            mov rdx, 8
+            syscall
+            mov rbx, [buf]      ; depends on file contents
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        path: .asciz "/data"
+        .align 8
+        buf: .quad 0
+        "#,
+    )
+    .expect("assembles")
+}
+
+#[test]
+fn replay_injects_file_read_results() {
+    let prog = file_read_program();
+    // Region = everything after instruction 5 (open happens pre-region).
+    let logger = Logger::new(LoggerConfig::fat("f", RegionTrigger::GlobalIcount(5), 100));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.kernel.fs.put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
+        })
+        .expect("captures");
+    let read_logged = pb.threads[0].syscalls.iter().any(|s| s.nr == 0 && !s.writes.is_empty());
+    assert!(read_logged, "read side effects captured: {:?}", pb.threads[0].syscalls);
+
+    // Replay WITHOUT the file: injection reproduces the read.
+    let (s, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+    assert!(s.injected_syscalls >= 1);
+    assert_eq!(machine.threads[0].regs.read(Reg::Rbx), 0xdead_beef);
+}
+
+#[test]
+fn injectionless_replay_mimics_elfie_failure() {
+    let prog = file_read_program();
+    let logger = Logger::new(LoggerConfig::fat("f", RegionTrigger::GlobalIcount(5), 100));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.kernel.fs.put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
+        })
+        .expect("captures");
+    // -replay:injection 0 without the file: the read re-executes against a
+    // kernel with no such file descriptor, so the loaded value is wrong —
+    // exactly the ELFie system-call challenge (paper Section I-A).
+    let (_s, machine) = Replayer::new(ReplayConfig::injectionless()).replay_full(&pb, |_| {});
+    assert_ne!(
+        machine.threads[0].regs.read(Reg::Rbx),
+        0xdead_beef,
+        "without injection the file contents are not reproduced"
+    );
+}
+
+#[test]
+fn regular_pinball_replays_with_lazy_injection() {
+    let prog = counter_program(1000);
+    let logger = Logger::new(LoggerConfig::regular("c", RegionTrigger::GlobalIcount(50), 300));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    assert!(!pb.lazy_pages.is_empty(), "regular pinball has lazy pages");
+    let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+    assert!(s.lazy_pages_injected > 0, "pages injected at first use");
+}
+
+#[test]
+fn gettimeofday_injected_exactly() {
+    let prog = assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 96         ; gettimeofday(tv, 0)
+            mov rdi, tv
+            mov rsi, 0
+            syscall
+            mov rbx, [tv]       ; seconds
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .align 8
+        tv: .zero 16
+        "#,
+    )
+    .expect("assembles");
+    let logger = Logger::new(LoggerConfig::fat("t", RegionTrigger::ProgramStart, 1000));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let (s, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+    let logged_secs = u64::from_le_bytes(
+        pb.threads[0].syscalls.iter().find(|e| e.nr == 96).expect("logged").writes[0].1[..8]
+            .try_into()
+            .unwrap(),
+    );
+    assert_eq!(machine.threads[0].regs.read(Reg::Rbx), logged_secs);
+}
+
+fn two_thread_program() -> elfie_isa::Program {
+    assemble(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 56
+            mov rdi, 0
+            mov rsi, 0x7f00200000
+            syscall
+            cmp rax, 0
+            je child
+        parent_work:
+            mov rcx, 200
+        ploop:
+            mov rdx, 1
+            mov rbx, shared
+            xadd [rbx], rdx
+            sub rcx, 1
+            cmp rcx, 0
+            jne ploop
+        pwait:
+            mov rdx, [done]
+            cmp rdx, 1
+            jne pwait
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        child:
+            mov rcx, 200
+        cloop:
+            mov rdx, 1
+            mov rbx, shared
+            xadd [rbx], rdx
+            sub rcx, 1
+            cmp rcx, 0
+            jne cloop
+            mov rdx, 1
+            mov rbx, done
+            mov [rbx], rdx
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        .align 8
+        shared: .quad 0
+        done: .quad 0
+        "#,
+    )
+    .expect("assembles")
+}
+
+#[test]
+fn multithreaded_capture_and_constrained_replay() {
+    let prog = two_thread_program();
+    let logger = Logger::new(LoggerConfig::fat("mt", RegionTrigger::GlobalIcount(40), 800));
+    let pb = logger
+        .capture(&prog, |m| {
+            m.mem.map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW).unwrap();
+        })
+        .expect("captures");
+    assert!(pb.threads.len() >= 2, "both threads captured: {}", pb.threads.len());
+    assert!(!pb.races.order.is_empty(), "atomic order recorded");
+
+    let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+    // Each thread retired exactly its recorded count — the property Fig. 11
+    // relies on ("instruction counts of pinball simulations ... closely
+    // match" the recorded counts).
+    for (tid, &target) in &pb.region.thread_icounts {
+        assert_eq!(s.per_thread[tid], target, "tid {tid}");
+    }
+}
+
+#[test]
+fn capture_fails_when_trigger_beyond_program() {
+    let prog = counter_program(10);
+    let logger = Logger::new(LoggerConfig::fat("x", RegionTrigger::GlobalIcount(1_000_000), 10));
+    match logger.capture(&prog, |_| {}) {
+        Err(CaptureError::TriggerNotReached(_)) => {}
+        other => panic!("expected trigger failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn pc_count_trigger() {
+    let prog = counter_program(1000);
+    // Trigger at the 10th execution of the loop head (two 10-byte mov-imm
+    // instructions precede it).
+    let loop_pc = 0x400000 + 20;
+    let logger = Logger::new(LoggerConfig::fat(
+        "pc",
+        RegionTrigger::PcCount { pc: loop_pc, count: 10 },
+        100,
+    ));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+    assert!(s.completed, "divergence: {:?}", s.divergence);
+}
+
+#[test]
+fn pinball_survives_serialisation_roundtrip() {
+    let prog = counter_program(500);
+    let logger = Logger::new(LoggerConfig::fat("s", RegionTrigger::GlobalIcount(64), 128));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let pb2 = elfie_pinball::Pinball::from_bytes(&pb.to_bytes()).expect("roundtrip");
+    let s1 = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+    let s2 = Replayer::new(ReplayConfig::default()).replay(&pb2, |_| {});
+    assert_eq!(s1.global_icount, s2.global_icount);
+    assert!(s2.completed);
+}
+
+#[test]
+fn build_machine_reproduces_memory_layout() {
+    let prog = counter_program(500);
+    let logger = Logger::new(LoggerConfig::fat("m", RegionTrigger::GlobalIcount(64), 128));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let replayer = Replayer::new(ReplayConfig::default());
+    let (m, tid_map): (Machine, _) = replayer.build_machine(&pb);
+    assert_eq!(tid_map.len(), 1);
+    // "All memory regions are mapped to the same addresses as during the
+    // pinball recording run."
+    for &addr in pb.image.pages.keys() {
+        assert!(m.mem.is_mapped(addr), "page {addr:#x} mapped");
+    }
+    assert_eq!(m.kernel.brk(), pb.meta.brk);
+}

@@ -1,0 +1,233 @@
+//! Integration tests: the three simulator personalities driving native
+//! programs, ELFies and pinballs — including the qualitative shapes of the
+//! paper's Fig. 11 (pinball vs ELFie instruction counts) and Table IV
+//! (user-level vs full-system simulation).
+
+use elfie_isa::{assemble, MarkerKind};
+use elfie_pinball::RegionTrigger;
+use elfie_pinball2elf::{convert, ConvertOptions};
+use elfie_pinplay::{Logger, LoggerConfig};
+use elfie_sim::{simulate_elfie, simulate_pinball, simulate_program, CoreParams, RoiMode, Simulator};
+use elfie_vm::ExitReason;
+
+fn compute_program(iters: u64) -> elfie_isa::Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {iters}
+            mov rbx, buf
+        loop:
+            mov rax, [rbx]
+            add rax, rcx
+            mov [rbx], rax
+            imul rax, 3
+            sub rcx, 1
+            cmp rcx, 0
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .org 0x600000
+        buf: .quad 1
+        "#
+    ))
+    .expect("assembles")
+}
+
+/// Memory-intensive pointer-stride workload with occasional syscalls.
+fn memory_program(iters: u64) -> elfie_isa::Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {iters}
+            mov rbx, 0x600000
+            mov rsi, 0
+        loop:
+            mov rax, [rbx + rsi]
+            add rax, 1
+            mov [rbx + rsi], rax
+            add rsi, 4160          ; page+line stride: cache/TLB hostile
+            and rsi, 0xfffff
+            sub rcx, 1
+            mov rdx, rcx
+            and rdx, 0xff
+            cmp rdx, 0
+            jne nosys
+            mov rax, 96            ; gettimeofday
+            mov rdi, tv
+            mov r9, rsi            ; save the stride cursor
+            mov rsi, 0
+            syscall
+            mov rsi, r9
+        nosys:
+            cmp rcx, 0
+            jne loop
+            mov rax, 231
+            mov rdi, 0
+            syscall
+        .align 8
+        tv: .zero 16
+        "#
+    ))
+    .expect("assembles")
+}
+
+fn map_data(m: &mut elfie_vm::Machine<elfie_sim::TimingObserver>) {
+    m.mem.map_range(0x600000, 0x600000 + (1 << 20) + 0x2000, elfie_vm::Perm::RW).unwrap();
+}
+
+#[test]
+fn program_simulation_produces_plausible_ipc() {
+    let sim = Simulator::new(CoreParams::nehalem_like());
+    let out = simulate_program(&compute_program(5_000), &sim, |_| {});
+    assert!(matches!(out.exit, ExitReason::AllExited(0)));
+    assert!(out.ipc > 0.05 && out.ipc <= sim.params.issue_width as f64, "ipc {}", out.ipc);
+    assert!(out.stats.user_insns > 30_000);
+    assert!(out.runtime_ns > 0);
+}
+
+#[test]
+fn memory_bound_workload_has_lower_ipc() {
+    let sim = Simulator::new(CoreParams::nehalem_like());
+    let compute = simulate_program(&compute_program(5_000), &sim, |_| {});
+    let memory = simulate_program(&memory_program(5_000), &sim, map_data);
+    assert!(
+        memory.ipc < compute.ipc,
+        "memory {} vs compute {}",
+        memory.ipc,
+        compute.ipc
+    );
+    assert!(memory.stats.l1d_misses > compute.stats.l1d_misses);
+}
+
+#[test]
+fn haswell_outperforms_nehalem_on_memory_bound_code() {
+    // Table V's shape: bigger ROB/issue raises IPC.
+    let prog = memory_program(4_000);
+    let neh = simulate_program(&prog, &Simulator::new(CoreParams::nehalem_like()), map_data);
+    let has = simulate_program(&prog, &Simulator::new(CoreParams::haswell_like()), map_data);
+    assert!(
+        has.ipc > neh.ipc,
+        "haswell {} should beat nehalem {}",
+        has.ipc,
+        neh.ipc
+    );
+}
+
+#[test]
+fn elfie_simulation_skips_startup_via_marker() {
+    let prog = compute_program(50_000);
+    let region = 3000u64;
+    let logger = Logger::new(LoggerConfig::fat("sim", RegionTrigger::GlobalIcount(2000), region));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+    let opts = ConvertOptions {
+        roi_marker: Some((MarkerKind::Ssc, 1)),
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("converts");
+
+    let sim = Simulator {
+        roi: RoiMode::FromMarker(MarkerKind::Ssc),
+        ..Simulator::new(CoreParams::skylake_like())
+    };
+    let out = simulate_elfie(&elfie.bytes, &sim, vec![], |_| {}).expect("loads");
+    assert!(matches!(out.exit, ExitReason::AllExited(0)));
+    // Only the region (plus the 2 trampoline instructions after the
+    // marker) is modelled — startup excluded.
+    assert!(
+        out.stats.user_insns >= region && out.stats.user_insns <= region + 16,
+        "modelled {} vs region {region}",
+        out.stats.user_insns
+    );
+    // Functionally, far more retired (startup + remap loops).
+    let functional: u64 = out.machine_icounts.values().sum();
+    assert!(functional > out.stats.user_insns);
+}
+
+#[test]
+fn pinball_and_elfie_simulation_fig11_shape() {
+    // The Fig. 11 observation, single-threaded corner: the instruction
+    // counts of pinball simulation match the recorded counts exactly, and
+    // the ELFie's modelled region matches too (no spin loops here).
+    let prog = compute_program(50_000);
+    let logger = Logger::new(LoggerConfig::fat("f11", RegionTrigger::GlobalIcount(2000), 2500));
+    let pb = logger.capture(&prog, |_| {}).expect("captures");
+
+    let sim_pb = Simulator { roi: RoiMode::Always, ..Simulator::sniper() };
+    let pb_out = simulate_pinball(&pb, &sim_pb);
+    assert!(matches!(pb_out.exit, ExitReason::AllExited(0)), "replay completed");
+    for (tid, &recorded) in &pb.region.thread_icounts {
+        assert_eq!(
+            pb_out.machine_icounts[tid], recorded,
+            "constrained replay pins icounts to the recording"
+        );
+    }
+
+    let opts = ConvertOptions {
+        roi_marker: Some((MarkerKind::Sniper, 1)),
+        ..ConvertOptions::default()
+    };
+    let elfie = convert(&pb, &opts).expect("converts");
+    let e_out = simulate_elfie(&elfie.bytes, &Simulator::sniper(), vec![], |_| {}).expect("loads");
+    let modelled = e_out.stats.user_insns;
+    let recorded: u64 = pb.region.thread_icounts.values().sum();
+    assert!(
+        modelled >= recorded && modelled <= recorded + 16,
+        "single-threaded ELFie matches recorded count: {modelled} vs {recorded}"
+    );
+}
+
+#[test]
+fn full_system_table4_shape() {
+    // Table IV: full-system simulation adds a small fraction of ring-0
+    // instructions, a disproportionate runtime increase, and a larger data
+    // footprint.
+    let prog = memory_program(20_000);
+    let user = simulate_program(
+        &prog,
+        &Simulator { roi: RoiMode::Always, ..Simulator::coresim_sde() },
+        map_data,
+    );
+    let full = simulate_program(
+        &prog,
+        &Simulator { roi: RoiMode::Always, ..Simulator::coresim_simics() },
+        map_data,
+    );
+    assert_eq!(user.stats.kernel_insns, 0);
+    assert!(full.stats.kernel_insns > 0);
+    assert_eq!(
+        full.stats.user_insns, user.stats.user_insns,
+        "ring-3 instruction count identical in both modes"
+    );
+    let kernel_frac = full.stats.kernel_insns as f64 / full.stats.user_insns as f64;
+    assert!(kernel_frac < 0.25, "kernel fraction small: {kernel_frac}");
+    assert!(full.runtime_ns > user.runtime_ns, "extra kernel work costs time");
+    let footprint_user = user.stats.footprint_lines + user.stats.kernel_footprint_lines;
+    let footprint_full = full.stats.footprint_lines + full.stats.kernel_footprint_lines;
+    assert!(
+        footprint_full > footprint_user,
+        "full-system footprint larger: {footprint_full} vs {footprint_user}"
+    );
+}
+
+#[test]
+fn pc_count_stop_condition_for_sniper() {
+    // The multi-threaded case study ends simulation at a (PC, count) pair.
+    let prog = compute_program(100_000);
+    let sim = Simulator { roi: RoiMode::Always, ..Simulator::new(CoreParams::gainestown_like()) };
+    let loop_head = 0x400000 + 10 + 10; // after the two mov-imm instructions
+    let out_limited = {
+        let mut m = elfie_vm::Machine::with_observer(
+            elfie_vm::MachineConfig::default(),
+            elfie_sim::TimingObserver::new(sim.params, 1, RoiMode::Always, None),
+        );
+        m.load_program(&prog);
+        m.stop_conditions.push(elfie_vm::StopWhen::PcCount { pc: loop_head, count: 50 });
+        let s = m.run(10_000_000);
+        (s.reason, m.obs.stats().user_insns)
+    };
+    assert!(matches!(out_limited.0, ExitReason::StopCondition(0)));
+    assert!(out_limited.1 < 1000, "stopped early: {}", out_limited.1);
+}

@@ -1,0 +1,194 @@
+//! Basic-block-vector (BBV) profiling.
+//!
+//! SimPoint-style phase analysis fingerprints each fixed-length slice of
+//! dynamic execution with a vector of basic-block execution counts
+//! (weighted by block length, as SimPoint does). The profiler is just an
+//! [`Observer`] on the guest machine — the same role the paper's Pin-based
+//! BBV collectors play, and the reason it notes that "generating pinballs
+//! and ELFies is much faster" than gem5-based BBV collection.
+
+use elfie_isa::{Insn, Program};
+use elfie_vm::{Machine, MachineConfig, Observer};
+use std::collections::BTreeMap;
+
+/// One slice's sparse basic-block vector: block start pc → weighted count.
+pub type Bbv = BTreeMap<u64, u64>;
+
+/// A complete BBV profile of an execution.
+#[derive(Debug, Clone, Default)]
+pub struct BbvProfile {
+    /// Slice size in instructions.
+    pub slice_size: u64,
+    /// One vector per slice, in execution order.
+    pub slices: Vec<Bbv>,
+    /// Total dynamic instructions profiled.
+    pub total_insns: u64,
+}
+
+impl BbvProfile {
+    /// Number of slices.
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+}
+
+/// The profiling observer. Attach to a machine and run; collect with
+/// [`BbvCollector::finish`].
+#[derive(Debug)]
+pub struct BbvCollector {
+    slice_size: u64,
+    current: Bbv,
+    slices: Vec<Bbv>,
+    insns_in_slice: u64,
+    total: u64,
+    block_start: BTreeMap<u32, (u64, u64)>, // tid -> (block start pc, len so far)
+}
+
+impl BbvCollector {
+    /// Creates a collector with the given slice size.
+    pub fn new(slice_size: u64) -> BbvCollector {
+        BbvCollector {
+            slice_size: slice_size.max(1),
+            current: Bbv::new(),
+            slices: Vec::new(),
+            insns_in_slice: 0,
+            total: 0,
+            block_start: BTreeMap::new(),
+        }
+    }
+
+    /// Finalises the profile (flushes the partial last slice).
+    pub fn finish(mut self) -> BbvProfile {
+        for (_tid, (start, len)) in std::mem::take(&mut self.block_start) {
+            if len > 0 {
+                *self.current.entry(start).or_insert(0) += len;
+            }
+        }
+        if !self.current.is_empty() {
+            self.slices.push(std::mem::take(&mut self.current));
+        }
+        BbvProfile { slice_size: self.slice_size, slices: self.slices, total_insns: self.total }
+    }
+}
+
+impl Observer for BbvCollector {
+    fn on_insn(&mut self, tid: u32, rip: u64, insn: &Insn, _len: usize) {
+        let entry = self.block_start.entry(tid).or_insert((rip, 0));
+        if entry.1 == 0 {
+            entry.0 = rip;
+        }
+        entry.1 += 1;
+        self.total += 1;
+        self.insns_in_slice += 1;
+        let block_done = insn.ends_basic_block();
+        if block_done {
+            let (start, len) = *entry;
+            *self.current.entry(start).or_insert(0) += len;
+            *entry = (0, 0);
+        }
+        if self.insns_in_slice >= self.slice_size {
+            // Flush any in-flight blocks so every slice is self-contained.
+            for (_tid, (start, len)) in std::mem::take(&mut self.block_start) {
+                if len > 0 {
+                    *self.current.entry(start).or_insert(0) += len;
+                }
+            }
+            self.slices.push(std::mem::take(&mut self.current));
+            self.insns_in_slice = 0;
+        }
+    }
+}
+
+/// Profiles a whole program run, returning its BBV profile.
+///
+/// `setup` can pre-populate the machine (files, extra mappings); `fuel`
+/// bounds the run length.
+pub fn profile_program(
+    prog: &Program,
+    machine_cfg: MachineConfig,
+    slice_size: u64,
+    fuel: u64,
+    setup: impl FnOnce(&mut Machine<BbvCollector>),
+) -> BbvProfile {
+    let mut m = Machine::with_observer(machine_cfg, BbvCollector::new(slice_size));
+    m.load_program(prog);
+    setup(&mut m);
+    m.run(fuel);
+    // Swap the observer out to finish it.
+    std::mem::replace(&mut m.obs, BbvCollector::new(slice_size)).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_isa::assemble;
+
+    fn phase_program() -> Program {
+        // Phase A: tight add loop. Phase B: multiply loop with different
+        // blocks. Then phase A again.
+        assemble(
+            r#"
+            .org 0x400000
+            start:
+                mov rcx, 300
+            phase_a1:
+                add rax, 1
+                sub rcx, 1
+                cmp rcx, 0
+                jne phase_a1
+                mov rcx, 300
+            phase_b:
+                imul rbx, 3
+                add rbx, 1
+                sub rcx, 1
+                cmp rcx, 0
+                jne phase_b
+                mov rcx, 300
+            phase_a2:
+                add rax, 1
+                sub rcx, 1
+                cmp rcx, 0
+                jne phase_a2
+                mov rax, 231
+                mov rdi, 0
+                syscall
+            "#,
+        )
+        .expect("assembles")
+    }
+
+    #[test]
+    fn slices_cover_whole_run() {
+        let prog = phase_program();
+        let profile = profile_program(&prog, MachineConfig::default(), 200, 1_000_000, |_| {});
+        assert!(profile.total_insns > 3000);
+        let sum: u64 = profile.slices.iter().flat_map(|s| s.values()).sum();
+        assert_eq!(sum, profile.total_insns, "every instruction attributed to a block");
+        // Slice boundaries: all but the last slice hold >= slice_size.
+        for s in &profile.slices[..profile.slices.len() - 1] {
+            let n: u64 = s.values().sum();
+            assert!(n >= 200, "slice has {n}");
+        }
+    }
+
+    #[test]
+    fn different_phases_have_different_vectors() {
+        let prog = phase_program();
+        let profile = profile_program(&prog, MachineConfig::default(), 300, 1_000_000, |_| {});
+        assert!(profile.slice_count() >= 3);
+        let first = &profile.slices[0];
+        let mid = &profile.slices[profile.slice_count() / 2];
+        assert_ne!(first, mid, "phase A and phase B vectors differ");
+    }
+
+    #[test]
+    fn block_keys_are_code_addresses() {
+        let prog = phase_program();
+        let profile = profile_program(&prog, MachineConfig::default(), 500, 1_000_000, |_| {});
+        for s in &profile.slices {
+            for &pc in s.keys() {
+                assert!((0x400000..0x401000).contains(&pc), "pc {pc:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! k-means clustering with k-means++ seeding and BIC-based model
+//! selection, following the SimPoint methodology: sparse BBVs are
+//! normalised, randomly projected to a low dimension, clustered for
+//! `k = 1..=max_k`, and the smallest `k` scoring at least a fixed fraction
+//! of the best BIC is chosen.
+
+use crate::bbv::Bbv;
+
+/// Deterministic 64-bit mix (splitmix64 finaliser).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Projects a sparse BBV into `dims` dimensions using a ±1 random
+/// projection keyed by `seed`, then L1-normalises it.
+pub fn project(bbv: &Bbv, dims: usize, seed: u64) -> Vec<f64> {
+    let mut v = vec![0f64; dims];
+    let total: u64 = bbv.values().sum();
+    if total == 0 {
+        return v;
+    }
+    for (&pc, &count) in bbv {
+        let frac = count as f64 / total as f64;
+        for (d, slot) in v.iter_mut().enumerate() {
+            let sign = if mix(pc ^ mix(seed ^ d as u64)) & 1 == 0 { 1.0 } else { -1.0 };
+            *slot += sign * frac;
+        }
+    }
+    v
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// A clustering of `n` points into `k` clusters.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Number of clusters.
+    pub k: usize,
+    /// Cluster index per point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// BIC score of this clustering (higher is better).
+    pub bic: f64,
+}
+
+impl Clustering {
+    /// Number of points in each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = mix(self.0);
+        self.0
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Runs k-means with k-means++ seeding on `points`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    let n = points.len();
+    assert!(n > 0, "no points to cluster");
+    let k = k.min(n).max(1);
+    let dims = points[0].len();
+    let mut rng = Rng(seed.max(1));
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[(rng.next() % n as u64) as usize].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| centroids.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= f64::EPSILON {
+            // All points identical to existing centroids.
+            centroids.push(points[(rng.next() % n as u64) as usize].clone());
+            continue;
+        }
+        let mut pick = rng.next_f64() * total;
+        let mut chosen = n - 1;
+        for (i, &d) in d2.iter().enumerate() {
+            if pick <= d {
+                chosen = i;
+                break;
+            }
+            pick -= d;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    for _iter in 0..100 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0f64; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (d, &x) in p.iter().enumerate() {
+                sums[assignments[i]][d] += x;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for d in 0..dims {
+                    centroid[d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let bic = bic_score(points, &assignments, &centroids);
+    Clustering { k: centroids.len(), assignments, centroids, bic }
+}
+
+/// BIC under a spherical Gaussian model (the SimPoint formulation).
+fn bic_score(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>]) -> f64 {
+    let n = points.len() as f64;
+    let k = centroids.len() as f64;
+    let d = points[0].len() as f64;
+    let rss: f64 = points
+        .iter()
+        .zip(assignments)
+        .map(|(p, &a)| dist2(p, &centroids[a]))
+        .sum();
+    let variance = (rss / (n - k).max(1.0)).max(1e-12);
+    let mut ll = 0.0;
+    let sizes = {
+        let mut s = vec![0usize; centroids.len()];
+        for &a in assignments {
+            s[a] += 1;
+        }
+        s
+    };
+    for &rn in &sizes {
+        if rn == 0 {
+            continue;
+        }
+        let rn = rn as f64;
+        ll += rn * rn.ln() - rn * n.ln() - rn * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+            - (rn - 1.0) * d / 2.0;
+    }
+    let params = k * (d + 1.0);
+    ll - params / 2.0 * n.ln()
+}
+
+/// Clusters for every `k in 1..=max_k` and picks the smallest `k` whose
+/// BIC reaches `threshold` (e.g. 0.9) of the best score, as SimPoint does.
+pub fn choose_clustering(points: &[Vec<f64>], max_k: usize, seed: u64, threshold: f64) -> Clustering {
+    let max_k = max_k.clamp(1, points.len());
+    let all: Vec<Clustering> = (1..=max_k).map(|k| kmeans(points, k, seed ^ k as u64)).collect();
+    let best = all.iter().map(|c| c.bic).fold(f64::NEG_INFINITY, f64::max);
+    let worst = all.iter().map(|c| c.bic).fold(f64::INFINITY, f64::min);
+    let span = (best - worst).max(1e-12);
+    for c in &all {
+        // Normalised score in [0,1].
+        if (c.bic - worst) / span >= threshold {
+            return c.clone();
+        }
+    }
+    all.into_iter().last().expect("max_k >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn blob(center: (f64, f64), n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = Rng(seed);
+        (0..n)
+            .map(|_| {
+                vec![
+                    center.0 + (rng.next_f64() - 0.5) * spread,
+                    center.1 + (rng.next_f64() - 0.5) * spread,
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut pts = blob((0.0, 0.0), 20, 0.1, 1);
+        pts.extend(blob((10.0, 10.0), 20, 0.1, 2));
+        let c = kmeans(&pts, 2, 42);
+        assert_eq!(c.k, 2);
+        let first = c.assignments[0];
+        assert!(c.assignments[..20].iter().all(|&a| a == first));
+        assert!(c.assignments[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn bic_selects_two_clusters_for_two_blobs() {
+        let mut pts = blob((0.0, 0.0), 25, 0.2, 3);
+        pts.extend(blob((8.0, -4.0), 25, 0.2, 4));
+        let c = choose_clustering(&pts, 10, 7, 0.9);
+        assert_eq!(c.k, 2, "BIC picked k={}", c.k);
+    }
+
+    #[test]
+    fn k_one_gives_single_cluster() {
+        let pts = blob((1.0, 1.0), 10, 0.5, 5);
+        let c = kmeans(&pts, 1, 1);
+        assert_eq!(c.k, 1);
+        assert!(c.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn k_larger_than_points_is_clamped() {
+        let pts = blob((0.0, 0.0), 3, 0.1, 6);
+        let c = kmeans(&pts, 10, 1);
+        assert!(c.k <= 3);
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_normalised() {
+        let mut bbv = Bbv::new();
+        bbv.insert(0x400000, 30);
+        bbv.insert(0x400100, 70);
+        let a = project(&bbv, 15, 9);
+        let b = project(&bbv, 15, 9);
+        assert_eq!(a, b);
+        // Magnitudes bounded by the L1 normalisation.
+        assert!(a.iter().all(|x| x.abs() <= 1.0 + 1e-9));
+        let c = project(&bbv, 15, 10);
+        assert_ne!(a, c, "different seeds project differently");
+    }
+
+    #[test]
+    fn identical_vectors_cluster_together() {
+        let mut bbv1 = Bbv::new();
+        bbv1.insert(0x1000, 100);
+        let mut bbv2 = Bbv::new();
+        bbv2.insert(0x2000, 100);
+        let p1 = project(&bbv1, 8, 1);
+        let p2 = project(&bbv2, 8, 1);
+        let pts = vec![p1.clone(), p1.clone(), p2.clone(), p2.clone(), p1.clone()];
+        let c = kmeans(&pts, 2, 3);
+        assert_eq!(c.assignments[0], c.assignments[1]);
+        assert_eq!(c.assignments[0], c.assignments[4]);
+        assert_ne!(c.assignments[0], c.assignments[2]);
+    }
+
+    proptest! {
+        #[test]
+        fn kmeans_never_panics(
+            n in 1usize..30,
+            k in 1usize..8,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Rng(seed.max(1));
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.next_f64(), rng.next_f64(), rng.next_f64()])
+                .collect();
+            let c = kmeans(&pts, k, seed);
+            prop_assert_eq!(c.assignments.len(), n);
+            prop_assert!(c.assignments.iter().all(|&a| a < c.k));
+        }
+    }
+}

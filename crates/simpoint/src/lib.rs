@@ -1,0 +1,80 @@
+//! # elfie-simpoint
+//!
+//! SimPoint-style phase analysis and the PinPoints region-selection
+//! methodology: basic-block-vector profiling ([`bbv`]), random projection
+//! plus k-means clustering with BIC model selection ([`kmeans`]), and the
+//! region-selection driver with alternates, weights and the
+//! prediction-error/coverage arithmetic used to validate selections
+//! ([`pinpoints`]).
+
+pub mod bbv;
+pub mod kmeans;
+pub mod pinpoints;
+
+pub use bbv::{profile_program, Bbv, BbvCollector, BbvProfile};
+pub use kmeans::{choose_clustering, kmeans, project, Clustering};
+pub use pinpoints::{
+    coverage, pick, prediction_error, weighted_prediction, PinPoint, PinPoints, PinPointsConfig,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_isa::assemble;
+    use elfie_vm::MachineConfig;
+
+    #[test]
+    fn end_to_end_phase_detection() {
+        // A program with two distinct repeating phases; PinPoints should
+        // find both and weight them by dynamic share.
+        let prog = assemble(
+            r#"
+            .org 0x400000
+            start:
+                mov r15, 4          ; outer repetitions
+            outer:
+                mov rcx, 500
+            phase_a:
+                add rax, 1
+                add rbx, rax
+                sub rcx, 1
+                cmp rcx, 0
+                jne phase_a
+                mov rcx, 250
+            phase_b:
+                imul rdx, 3
+                add rdx, 7
+                shr rdx, 1
+                sub rcx, 1
+                cmp rcx, 0
+                jne phase_b
+                sub r15, 1
+                cmp r15, 0
+                jne outer
+                mov rax, 231
+                mov rdi, 0
+                syscall
+            "#,
+        )
+        .expect("assembles");
+        let profile =
+            profile_program(&prog, MachineConfig::default(), 1000, 10_000_000, |_| {});
+        assert!(profile.slice_count() >= 8, "slices: {}", profile.slice_count());
+
+        let cfg = PinPointsConfig {
+            slice_size: 1000,
+            warmup: 500,
+            max_k: 8,
+            ..PinPointsConfig::default()
+        };
+        let pp = pick(&profile, &cfg);
+        assert!(pp.k >= 2, "found {} phases", pp.k);
+        assert!(pp.k <= 6, "did not over-fragment: {}", pp.k);
+        let total_weight: f64 = pp.representatives().iter().map(|p| p.weight).sum();
+        assert!((total_weight - 1.0).abs() < 1e-9);
+        // Representatives are spread across the execution, not all at the
+        // start.
+        let max_slice = pp.representatives().iter().map(|p| p.slice_index).max().unwrap();
+        assert!(max_slice > 0);
+    }
+}

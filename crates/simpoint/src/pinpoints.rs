@@ -1,0 +1,281 @@
+//! The PinPoints driver: turns a BBV profile into ranked representative
+//! regions (with alternates), plus the validation arithmetic used to score
+//! region selection.
+//!
+//! This reproduces the methodology of the paper's case studies: slicesize
+//! / warmup / maxK knobs, SimPoint clustering, per-cluster weights, and
+//! *alternate region selection* — "the second or third best representative
+//! for a given phase/cluster" used to raise coverage when an ELFie fails.
+
+use crate::bbv::BbvProfile;
+use crate::kmeans::{choose_clustering, project, Clustering};
+
+/// PinPoints configuration (paper defaults, scaled to this substrate:
+/// the paper uses slicesize 200M / warmup 800M / maxK 50).
+#[derive(Debug, Clone)]
+pub struct PinPointsConfig {
+    /// Region (slice) length in instructions.
+    pub slice_size: u64,
+    /// Warm-up instructions before each region.
+    pub warmup: u64,
+    /// Maximum number of clusters.
+    pub max_k: usize,
+    /// Random-projection dimensions (SimPoint uses 15).
+    pub dims: usize,
+    /// Clustering seed.
+    pub seed: u64,
+    /// BIC score threshold for model selection.
+    pub bic_threshold: f64,
+    /// Representatives kept per cluster (1 = best only; up to 3 gives the
+    /// paper's alternate selection).
+    pub alternates: usize,
+}
+
+impl Default for PinPointsConfig {
+    fn default() -> Self {
+        PinPointsConfig {
+            slice_size: 200_000,
+            warmup: 800_000,
+            max_k: 50,
+            dims: 15,
+            seed: 42,
+            bic_threshold: 0.9,
+            alternates: 3,
+        }
+    }
+}
+
+/// One selected region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinPoint {
+    /// Cluster this region represents.
+    pub cluster: usize,
+    /// Rank within the cluster (0 = representative, 1.. = alternates).
+    pub rank: usize,
+    /// Index of the slice in the profile.
+    pub slice_index: u64,
+    /// Cluster weight (fraction of all slices).
+    pub weight: f64,
+    /// Global instruction count at which the region starts.
+    pub start_icount: u64,
+    /// Region length in instructions.
+    pub length: u64,
+    /// Warm-up instructions preceding the region.
+    pub warmup: u64,
+}
+
+/// The full selection result.
+#[derive(Debug, Clone)]
+pub struct PinPoints {
+    /// All selected regions, representatives first within each cluster.
+    pub points: Vec<PinPoint>,
+    /// Number of phases found.
+    pub k: usize,
+    /// Number of slices clustered.
+    pub slices: usize,
+    /// Total profiled instructions.
+    pub total_insns: u64,
+    /// The underlying clustering.
+    pub clustering: Clustering,
+}
+
+impl PinPoints {
+    /// The best representative of each cluster, ordered by cluster.
+    pub fn representatives(&self) -> Vec<&PinPoint> {
+        self.points.iter().filter(|p| p.rank == 0).collect()
+    }
+
+    /// For cluster `c`, the ranked candidates (representative, then
+    /// alternates).
+    pub fn candidates(&self, cluster: usize) -> Vec<&PinPoint> {
+        let mut v: Vec<&PinPoint> = self.points.iter().filter(|p| p.cluster == cluster).collect();
+        v.sort_by_key(|p| p.rank);
+        v
+    }
+}
+
+/// Runs SimPoint selection on a profile.
+///
+/// # Panics
+/// Panics if the profile has no slices.
+pub fn pick(profile: &BbvProfile, cfg: &PinPointsConfig) -> PinPoints {
+    assert!(!profile.slices.is_empty(), "empty profile");
+    let points: Vec<Vec<f64>> =
+        profile.slices.iter().map(|s| project(s, cfg.dims, cfg.seed)).collect();
+    let clustering = choose_clustering(&points, cfg.max_k, cfg.seed, cfg.bic_threshold);
+    let n = points.len();
+
+    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+
+    let mut selected = Vec::new();
+    for c in 0..clustering.k {
+        let mut members: Vec<usize> =
+            (0..n).filter(|&i| clustering.assignments[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let weight = members.len() as f64 / n as f64;
+        members.sort_by(|&a, &b| {
+            dist2(&points[a], &clustering.centroids[c])
+                .partial_cmp(&dist2(&points[b], &clustering.centroids[c]))
+                .expect("finite distances")
+        });
+        for (rank, &slice) in members.iter().take(cfg.alternates.max(1)).enumerate() {
+            selected.push(PinPoint {
+                cluster: c,
+                rank,
+                slice_index: slice as u64,
+                weight,
+                start_icount: slice as u64 * profile.slice_size,
+                length: profile.slice_size,
+                warmup: cfg.warmup,
+            });
+        }
+    }
+    selected.sort_by_key(|p| (p.cluster, p.rank));
+    PinPoints {
+        points: selected,
+        k: clustering.k,
+        slices: n,
+        total_insns: profile.total_insns,
+        clustering,
+    }
+}
+
+/// Weighted prediction of a whole-program metric from per-region values:
+/// `Σ wᵢ·vᵢ / Σ wᵢ`. The denominator handles partial coverage (failed
+/// regions dropped).
+pub fn weighted_prediction(samples: &[(f64, f64)]) -> f64 {
+    let wsum: f64 = samples.iter().map(|(w, _)| w).sum();
+    if wsum <= 0.0 {
+        return 0.0;
+    }
+    samples.iter().map(|(w, v)| w * v).sum::<f64>() / wsum
+}
+
+/// The paper's prediction-error definition:
+/// `((whole program CPI) - (region predicted CPI)) / (whole program CPI)`.
+pub fn prediction_error(true_value: f64, predicted: f64) -> f64 {
+    if true_value == 0.0 {
+        return 0.0;
+    }
+    (true_value - predicted) / true_value
+}
+
+/// Coverage: the sum of the weights of correctly executing regions.
+pub fn coverage(successful: &[&PinPoint]) -> f64 {
+    let mut seen = std::collections::BTreeSet::new();
+    successful
+        .iter()
+        .filter(|p| seen.insert(p.cluster))
+        .map(|p| p.weight)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbv::Bbv;
+
+    fn synthetic_profile() -> BbvProfile {
+        // 10 slices: 4 of phase A, 3 of phase B, 3 of phase A again.
+        let mut slices = Vec::new();
+        let mk = |pc: u64| {
+            let mut b = Bbv::new();
+            b.insert(pc, 1000);
+            b
+        };
+        for _ in 0..4 {
+            slices.push(mk(0x400000));
+        }
+        for _ in 0..3 {
+            slices.push(mk(0x500000));
+        }
+        for _ in 0..3 {
+            slices.push(mk(0x400000));
+        }
+        BbvProfile { slice_size: 1000, slices, total_insns: 10_000 }
+    }
+
+    #[test]
+    fn finds_two_phases() {
+        let cfg = PinPointsConfig { slice_size: 1000, warmup: 0, ..PinPointsConfig::default() };
+        let pp = pick(&synthetic_profile(), &cfg);
+        assert_eq!(pp.k, 2, "two phases");
+        let reps = pp.representatives();
+        assert_eq!(reps.len(), 2);
+        let weights: f64 = reps.iter().map(|p| p.weight).sum();
+        assert!((weights - 1.0).abs() < 1e-9, "weights sum to 1: {weights}");
+        // The big cluster has weight 0.7.
+        let max_w = reps.iter().map(|p| p.weight).fold(0.0, f64::max);
+        assert!((max_w - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alternates_come_from_same_cluster() {
+        let cfg = PinPointsConfig {
+            slice_size: 1000,
+            warmup: 0,
+            alternates: 3,
+            ..PinPointsConfig::default()
+        };
+        let pp = pick(&synthetic_profile(), &cfg);
+        for c in 0..pp.k {
+            let cands = pp.candidates(c);
+            assert!(!cands.is_empty() && cands.len() <= 3);
+            for (i, cand) in cands.iter().enumerate() {
+                assert_eq!(cand.rank, i);
+                assert_eq!(cand.cluster, c);
+            }
+            // Alternates are distinct slices.
+            let mut idx: Vec<u64> = cands.iter().map(|p| p.slice_index).collect();
+            idx.dedup();
+            assert_eq!(idx.len(), cands.len());
+        }
+    }
+
+    #[test]
+    fn start_icount_matches_slice() {
+        let cfg = PinPointsConfig { slice_size: 1000, warmup: 50, ..PinPointsConfig::default() };
+        let pp = pick(&synthetic_profile(), &cfg);
+        for p in &pp.points {
+            assert_eq!(p.start_icount, p.slice_index * 1000);
+            assert_eq!(p.length, 1000);
+            assert_eq!(p.warmup, 50);
+        }
+    }
+
+    #[test]
+    fn weighted_prediction_math() {
+        assert_eq!(weighted_prediction(&[(0.5, 2.0), (0.5, 4.0)]), 3.0);
+        assert_eq!(weighted_prediction(&[(0.2, 10.0)]), 10.0, "renormalises");
+        assert_eq!(weighted_prediction(&[]), 0.0);
+    }
+
+    #[test]
+    fn prediction_error_sign() {
+        assert!((prediction_error(2.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!(prediction_error(2.0, 3.0) < 0.0);
+        assert_eq!(prediction_error(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn coverage_counts_each_cluster_once() {
+        let p0 = PinPoint {
+            cluster: 0,
+            rank: 0,
+            slice_index: 0,
+            weight: 0.7,
+            start_icount: 0,
+            length: 1,
+            warmup: 0,
+        };
+        let p0alt = PinPoint { rank: 1, slice_index: 1, ..p0 };
+        let p1 = PinPoint { cluster: 1, weight: 0.3, slice_index: 5, ..p0 };
+        assert!((coverage(&[&p0, &p1]) - 1.0).abs() < 1e-12);
+        assert!((coverage(&[&p0, &p0alt]) - 0.7).abs() < 1e-12, "alternate of same cluster");
+        assert!((coverage(&[&p0alt]) - 0.7).abs() < 1e-12);
+    }
+}

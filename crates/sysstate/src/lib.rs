@@ -1,0 +1,554 @@
+//! # elfie-sysstate
+//!
+//! The `pinball_sysstate` analysis (paper Section II-C2): replay-based
+//! extraction of the operating-system state a region of interest depends
+//! on, so that an ELFie — which re-executes system calls natively, with no
+//! injection — still sees correct file and heap behaviour.
+//!
+//! Two classes of state are reconstructed from a pinball's syscall log:
+//!
+//! * **File state.** Files *opened inside* the region get a proxy file
+//!   with the right name, populated solely from the logged `read()`
+//!   results. Files opened *before* the region (known only by descriptor)
+//!   get a proxy named `FD_n`; the generic `elfie_on_start` callback
+//!   pre-opens these and installs them at the right descriptor number with
+//!   `dup()`/`dup2()` semantics.
+//! * **Heap state.** The first and last `brk()` results in the region are
+//!   written to `BRK.log`; the startup callback uses them (via
+//!   `prctl(PR_SET_MM, ...)`) to recreate the heap layout.
+//!
+//! [`SysState::extract`] performs the analysis; [`SysState::apply`] is the
+//! library equivalent of running the ELFie inside `sysstate/workdir` with
+//! the generic callback installed.
+
+use elfie_pinball::{MemoryImage, Pinball};
+use elfie_vm::{FdKind, FileDesc, Machine, Observer};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Syscall numbers the analysis cares about (match `elfie_vm::nr`).
+mod nr {
+    pub const READ: u64 = 0;
+    pub const OPEN: u64 = 2;
+    pub const CLOSE: u64 = 3;
+    pub const LSEEK: u64 = 8;
+    pub const BRK: u64 = 12;
+}
+
+/// Reads a NUL-terminated string out of a pinball memory image.
+fn image_cstr(image: &MemoryImage, addr: u64, max: usize) -> Option<String> {
+    let mut out = Vec::new();
+    for i in 0..max as u64 {
+        let a = addr + i;
+        let page = image.pages.get(&elfie_isa::page_base(a))?;
+        let b = page.data[(a % elfie_isa::PAGE_SIZE) as usize];
+        if b == 0 {
+            return Some(String::from_utf8_lossy(&out).into_owned());
+        }
+        out.push(b);
+    }
+    None
+}
+
+/// The extracted system state for one pinball region.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SysState {
+    /// Proxy files for paths opened *inside* the region, keyed by the
+    /// path the program used.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Proxy files for descriptors opened *before* the region (`FD_n`).
+    pub fd_files: BTreeMap<u64, Vec<u8>>,
+    /// First `brk()` result inside the region (`BRK.log` line 1).
+    pub brk_first: Option<u64>,
+    /// Last `brk()` result inside the region (`BRK.log` line 2).
+    pub brk_last: Option<u64>,
+    /// Heap start recorded in the pinball (used with `prctl`).
+    pub brk_start: u64,
+    /// Break value at region start.
+    pub brk_at_start: u64,
+    /// Working directory at region start.
+    pub cwd: String,
+}
+
+/// Errors saving/loading a sysstate directory.
+#[derive(Debug)]
+pub enum SysStateError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// `BRK.log` malformed.
+    BadBrkLog(String),
+}
+
+impl fmt::Display for SysStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysStateError::Io(e) => write!(f, "io error: {e}"),
+            SysStateError::BadBrkLog(s) => write!(f, "bad BRK.log: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SysStateError {}
+
+impl From<std::io::Error> for SysStateError {
+    fn from(e: std::io::Error) -> Self {
+        SysStateError::Io(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum FdOrigin {
+    /// Opened before the region; only the descriptor number is known.
+    PreRegion,
+    /// Opened inside the region at this path.
+    InRegion(String),
+}
+
+impl SysState {
+    /// Runs the replay-based analysis on `pinball`.
+    ///
+    /// Walks each thread's logged syscalls, reconstructing per-descriptor
+    /// file offsets as the ELFie's *re-execution* will see them (every
+    /// proxy file is opened fresh at offset zero), and placing the logged
+    /// `read()` payloads at those offsets.
+    pub fn extract(pinball: &Pinball) -> SysState {
+        let mut st = SysState {
+            brk_start: pinball.meta.brk_start,
+            brk_at_start: pinball.meta.brk,
+            cwd: pinball.meta.cwd.clone(),
+            ..SysState::default()
+        };
+
+        for thread in &pinball.threads {
+            // fd -> (origin, simulated offset during re-execution)
+            let mut fds: BTreeMap<u64, (FdOrigin, u64)> = BTreeMap::new();
+            for sys in &thread.syscalls {
+                match sys.nr {
+                    nr::OPEN => {
+                        if elfie_vm::is_error(sys.ret) {
+                            continue;
+                        }
+                        let path = image_cstr(&pinball.image, sys.args[0], 4096)
+                            .unwrap_or_else(|| format!("unknown_path_{:x}", sys.args[0]));
+                        st.files.entry(path.clone()).or_default();
+                        fds.insert(sys.ret, (FdOrigin::InRegion(path), 0));
+                    }
+                    nr::CLOSE => {
+                        fds.remove(&sys.args[0]);
+                    }
+                    nr::READ => {
+                        if elfie_vm::is_error(sys.ret) || sys.ret == 0 {
+                            continue;
+                        }
+                        let fd = sys.args[0];
+                        let entry = fds.entry(fd).or_insert((FdOrigin::PreRegion, 0));
+                        let data: Vec<u8> =
+                            sys.writes.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+                        let offset = entry.1;
+                        let file = match &entry.0 {
+                            FdOrigin::PreRegion => st.fd_files.entry(fd).or_default(),
+                            FdOrigin::InRegion(path) => st.files.entry(path.clone()).or_default(),
+                        };
+                        let end = offset as usize + data.len();
+                        if file.len() < end {
+                            file.resize(end, 0);
+                        }
+                        file[offset as usize..end].copy_from_slice(&data);
+                        entry.1 += sys.ret;
+                    }
+                    nr::LSEEK => {
+                        if elfie_vm::is_error(sys.ret) {
+                            continue;
+                        }
+                        let fd = sys.args[0];
+                        let entry = fds.entry(fd).or_insert((FdOrigin::PreRegion, 0));
+                        // The syscall's return value is the resulting
+                        // offset regardless of whence.
+                        entry.1 = sys.ret;
+                    }
+                    nr::BRK => {
+                        if st.brk_first.is_none() {
+                            st.brk_first = Some(sys.ret);
+                        }
+                        st.brk_last = Some(sys.ret);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        st
+    }
+
+    /// The proxy file name used on disk for a pre-region descriptor.
+    pub fn fd_proxy_name(fd: u64) -> String {
+        format!("FD_{fd}")
+    }
+
+    /// Applies the state to a machine about to run the corresponding
+    /// ELFie — the generic `elfie_on_start` callback:
+    ///
+    /// 1. every named proxy file is placed in the filesystem (as if the
+    ///    sysstate `workdir` contents were copied to their rightful
+    ///    locations),
+    /// 2. every `FD_n` proxy is pre-opened and `dup2`-ed to descriptor
+    ///    `n`,
+    /// 3. the working directory and heap layout (`prctl`-style) are
+    ///    restored.
+    pub fn apply<O: Observer>(&self, machine: &mut Machine<O>) {
+        self.stage_files(machine);
+        machine.kernel.cwd = self.cwd.clone();
+        for &fd in self.fd_files.keys() {
+            let proxy = format!("/sysstate/{}", SysState::fd_proxy_name(fd));
+            machine
+                .kernel
+                .install_fd(fd, FileDesc { kind: FdKind::File(proxy), offset: 0, flags: 0 });
+        }
+        machine.kernel.set_brk(self.brk_start, self.brk_at_start);
+    }
+
+    /// Stages only the proxy *files* into the machine's filesystem — named
+    /// proxies at their workdir-resolved paths and `FD_n` proxies under
+    /// `/sysstate/`. Use this (instead of [`SysState::apply`]) when the
+    /// ELFie's own startup code performs the `chdir`/`dup2`/`prctl` steps,
+    /// i.e. when the sysstate was embedded at conversion time. This is the
+    /// equivalent of executing the ELFie inside the `sysstate/workdir`
+    /// directory.
+    pub fn stage_files<O: Observer>(&self, machine: &mut Machine<O>) {
+        for (path, data) in &self.files {
+            let abs = elfie_vm::resolve_path(&self.cwd, path);
+            machine.kernel.fs.put(&abs, data.clone());
+        }
+        for (&fd, data) in &self.fd_files {
+            let proxy = format!("/sysstate/{}", SysState::fd_proxy_name(fd));
+            machine.kernel.fs.put(&proxy, data.clone());
+        }
+    }
+
+    /// Saves the sysstate directory layout the paper's tool produces:
+    /// `workdir/` holding named proxies, `FD_n` files, and `BRK.log`.
+    ///
+    /// # Errors
+    /// Returns [`SysStateError::Io`] on filesystem failures.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), SysStateError> {
+        let workdir = dir.join("workdir");
+        std::fs::create_dir_all(&workdir)?;
+        for (path, data) in &self.files {
+            let rel = path.trim_start_matches('/');
+            let full = workdir.join(rel);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(full, data)?;
+        }
+        for (&fd, data) in &self.fd_files {
+            std::fs::write(dir.join(SysState::fd_proxy_name(fd)), data)?;
+        }
+        let mut brk = String::new();
+        brk.push_str(&format!("start_brk {:#x}\n", self.brk_start));
+        brk.push_str(&format!("brk_at_region_start {:#x}\n", self.brk_at_start));
+        if let Some(b) = self.brk_first {
+            brk.push_str(&format!("first {b:#x}\n"));
+        }
+        if let Some(b) = self.brk_last {
+            brk.push_str(&format!("last {b:#x}\n"));
+        }
+        std::fs::write(dir.join("BRK.log"), brk)?;
+        std::fs::write(dir.join("CWD"), &self.cwd)?;
+        Ok(())
+    }
+
+    /// Loads a directory produced by [`SysState::save_dir`].
+    ///
+    /// # Errors
+    /// Returns [`SysStateError`] on missing or malformed contents.
+    pub fn load_dir(dir: &Path) -> Result<SysState, SysStateError> {
+        let mut st = SysState {
+            cwd: std::fs::read_to_string(dir.join("CWD")).unwrap_or_else(|_| "/".into()),
+            ..SysState::default()
+        };
+        let brk = std::fs::read_to_string(dir.join("BRK.log"))?;
+        for line in brk.lines() {
+            let mut parts = line.split_whitespace();
+            let key = parts.next().unwrap_or("");
+            let val = parts.next().unwrap_or("");
+            let parse = |v: &str| {
+                u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .map_err(|_| SysStateError::BadBrkLog(line.to_string()))
+            };
+            match key {
+                "start_brk" => st.brk_start = parse(val)?,
+                "brk_at_region_start" => st.brk_at_start = parse(val)?,
+                "first" => st.brk_first = Some(parse(val)?),
+                "last" => st.brk_last = Some(parse(val)?),
+                _ => {}
+            }
+        }
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(n) = name.strip_prefix("FD_") {
+                if let Ok(fd) = n.parse::<u64>() {
+                    st.fd_files.insert(fd, std::fs::read(entry.path())?);
+                }
+            }
+        }
+        let workdir = dir.join("workdir");
+        if workdir.exists() {
+            fn walk(
+                base: &Path,
+                dir: &Path,
+                out: &mut BTreeMap<String, Vec<u8>>,
+            ) -> std::io::Result<()> {
+                for entry in std::fs::read_dir(dir)? {
+                    let entry = entry?;
+                    if entry.file_type()?.is_dir() {
+                        walk(base, &entry.path(), out)?;
+                    } else {
+                        let rel = entry
+                            .path()
+                            .strip_prefix(base)
+                            .expect("under base")
+                            .to_string_lossy()
+                            .into_owned();
+                        out.insert(format!("/{rel}"), std::fs::read(entry.path())?);
+                    }
+                }
+                Ok(())
+            }
+            walk(&workdir, &workdir, &mut st.files)?;
+        }
+        Ok(st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_pinball::{
+        MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo,
+        RegionTrigger, SyscallEffect, ThreadRecord,
+    };
+    use std::collections::BTreeMap;
+
+    fn pinball_with_syscalls(syscalls: Vec<SyscallEffect>, image: MemoryImage) -> Pinball {
+        Pinball {
+            meta: PinballMeta {
+                name: "t".into(),
+                fat: true,
+                arch: "elfie-isa-v1".into(),
+                brk: 0x800_2000,
+                brk_start: 0x800_0000,
+                cwd: "/work".into(),
+            },
+            region: RegionInfo {
+                name: "t.0".into(),
+                trigger: RegionTrigger::GlobalIcount(10),
+                length: 100,
+                thread_icounts: BTreeMap::new(),
+                warmup: 0,
+                weight: 1.0,
+                slice_index: 0,
+            },
+            image,
+            threads: vec![ThreadRecord {
+                tid: 0,
+                regs: RegImage::from(&elfie_isa::RegFile::new()),
+                syscalls,
+                spawned: false,
+            }],
+            races: RaceLog::default(),
+            lazy_pages: BTreeMap::new(),
+        }
+    }
+
+    fn image_with_string(addr: u64, s: &str) -> MemoryImage {
+        let mut image = MemoryImage::new();
+        let base = elfie_isa::page_base(addr);
+        let mut data = vec![0u8; elfie_isa::PAGE_SIZE as usize];
+        let off = (addr - base) as usize;
+        data[off..off + s.len()].copy_from_slice(s.as_bytes());
+        image.pages.insert(base, PageRecord { perm: 3, data });
+        image
+    }
+
+    #[test]
+    fn pre_region_fd_becomes_fd_proxy() {
+        // A read on fd 3 with no preceding open: file opened before the
+        // region (the paper's "FD n" case).
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 4, 0, 0, 0],
+                    ret: 4,
+                    writes: vec![(0x5000, b"abcd".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 4, 0, 0, 0],
+                    ret: 4,
+                    writes: vec![(0x5000, b"efgh".to_vec())],
+                },
+            ],
+            MemoryImage::new(),
+        );
+        let st = SysState::extract(&pb);
+        assert_eq!(st.fd_files[&3], b"abcdefgh");
+        assert!(st.files.is_empty());
+    }
+
+    #[test]
+    fn in_region_open_creates_named_proxy() {
+        let image = image_with_string(0x401000, "input.dat\0");
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 6, 0, 0, 0],
+                    ret: 6,
+                    writes: vec![(0x5000, b"hello!".to_vec())],
+                },
+            ],
+            image,
+        );
+        let st = SysState::extract(&pb);
+        assert_eq!(st.files["input.dat"], b"hello!");
+        assert!(st.fd_files.is_empty(), "no FD_n proxy for in-region opens");
+    }
+
+    #[test]
+    fn lseek_positions_read_payload() {
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::LSEEK, args: [3, 16, 0, 0, 0, 0], ret: 16, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 2, 0, 0, 0],
+                    ret: 2,
+                    writes: vec![(0x5000, b"XY".to_vec())],
+                },
+            ],
+            MemoryImage::new(),
+        );
+        let st = SysState::extract(&pb);
+        let f = &st.fd_files[&3];
+        assert_eq!(f.len(), 18);
+        assert_eq!(&f[16..18], b"XY");
+        assert!(f[..16].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn close_then_reuse_fd() {
+        let image = image_with_string(0x401000, "a.txt\0");
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
+                SyscallEffect { nr: nr::CLOSE, args: [3, 0, 0, 0, 0, 0], ret: 0, writes: vec![] },
+                // A read on 3 after the close belongs to a different,
+                // pre-region descriptor; the analysis treats it
+                // conservatively as FD_3.
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 1, 0, 0, 0],
+                    ret: 1,
+                    writes: vec![(0x5000, b"Z".to_vec())],
+                },
+            ],
+            image,
+        );
+        let st = SysState::extract(&pb);
+        assert!(st.files.contains_key("a.txt"));
+        assert_eq!(st.fd_files[&3], b"Z");
+    }
+
+    #[test]
+    fn brk_log_first_and_last() {
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_3000, writes: vec![] },
+                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_8000, writes: vec![] },
+                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_6000, writes: vec![] },
+            ],
+            MemoryImage::new(),
+        );
+        let st = SysState::extract(&pb);
+        assert_eq!(st.brk_first, Some(0x800_3000));
+        assert_eq!(st.brk_last, Some(0x800_6000));
+        assert_eq!(st.brk_start, 0x800_0000);
+    }
+
+    #[test]
+    fn apply_installs_fds_and_files() {
+        let image = image_with_string(0x401000, "cfg.ini\0");
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 4, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [4, 0x5000, 3, 0, 0, 0],
+                    ret: 3,
+                    writes: vec![(0x5000, b"ini".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [7, 0x5000, 2, 0, 0, 0],
+                    ret: 2,
+                    writes: vec![(0x5000, b"77".to_vec())],
+                },
+            ],
+            image,
+        );
+        let st = SysState::extract(&pb);
+        let mut m = elfie_vm::Machine::new(elfie_vm::MachineConfig::default());
+        st.apply(&mut m);
+        assert_eq!(m.kernel.cwd, "/work");
+        assert_eq!(m.kernel.fs.get("/work/cfg.ini").unwrap(), b"ini");
+        match m.kernel.fd(7) {
+            Some(FileDesc { kind: FdKind::File(p), offset: 0, .. }) => {
+                assert_eq!(m.kernel.fs.get(p).unwrap(), b"77");
+            }
+            other => panic!("fd 7 not installed: {other:?}"),
+        }
+        assert_eq!(m.kernel.brk(), 0x800_2000);
+        assert_eq!(m.kernel.brk_start(), 0x800_0000);
+    }
+
+    #[test]
+    fn save_load_dir_roundtrip() {
+        let image = image_with_string(0x401000, "data/input.txt\0");
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 5, 0, 0, 0],
+                    ret: 5,
+                    writes: vec![(0x5000, b"12345".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [9, 0x5000, 2, 0, 0, 0],
+                    ret: 2,
+                    writes: vec![(0x5000, b"zz".to_vec())],
+                },
+                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x900_0000, writes: vec![] },
+            ],
+            image,
+        );
+        let st = SysState::extract(&pb);
+        let dir = std::env::temp_dir().join(format!("sysstate-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        st.save_dir(&dir).expect("saves");
+        assert!(dir.join("workdir/data/input.txt").exists());
+        assert!(dir.join("FD_9").exists());
+        assert!(dir.join("BRK.log").exists());
+        let back = SysState::load_dir(&dir).expect("loads");
+        assert_eq!(back.fd_files, st.fd_files);
+        assert_eq!(back.brk_first, st.brk_first);
+        assert_eq!(back.brk_last, st.brk_last);
+        assert_eq!(back.files["/data/input.txt"], b"12345");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

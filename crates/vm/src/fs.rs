@@ -1,0 +1,161 @@
+//! The emulated in-memory filesystem backing the guest kernel.
+//!
+//! Paths are Unix-style strings. Relative paths resolve against the
+//! kernel's current working directory — which matters for SYSSTATE: the
+//! paper's `pinball_sysstate` tool materialises proxy files in a
+//! `sysstate/workdir` directory and the ELFie is executed with that
+//! directory as its cwd.
+
+use std::collections::BTreeMap;
+
+/// A simple in-memory filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryFs {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+/// Normalises a path against `cwd`: joins relative paths and squeezes
+/// `.`/`..`/duplicate separators.
+pub fn resolve_path(cwd: &str, path: &str) -> String {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("{}/{}", cwd.trim_end_matches('/'), path)
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in joined.split('/') {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    format!("/{}", parts.join("/"))
+}
+
+impl InMemoryFs {
+    /// Creates an empty filesystem.
+    pub fn new() -> InMemoryFs {
+        InMemoryFs::default()
+    }
+
+    /// Creates or replaces a file with the given contents. `path` must be
+    /// absolute and normalised.
+    pub fn put(&mut self, path: &str, contents: Vec<u8>) {
+        self.files.insert(path.to_string(), contents);
+    }
+
+    /// True if the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Read-only view of a file's contents.
+    pub fn get(&self, path: &str) -> Option<&[u8]> {
+        self.files.get(path).map(|v| v.as_slice())
+    }
+
+    /// Size of a file in bytes.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|v| v.len() as u64)
+    }
+
+    /// Removes a file, returning its contents.
+    pub fn remove(&mut self, path: &str) -> Option<Vec<u8>> {
+        self.files.remove(path)
+    }
+
+    /// Reads up to `buf.len()` bytes at `offset`, returning the count
+    /// (0 at or past EOF).
+    pub fn read_at(&self, path: &str, offset: u64, buf: &mut [u8]) -> Option<usize> {
+        let data = self.files.get(path)?;
+        let off = offset.min(data.len() as u64) as usize;
+        let n = buf.len().min(data.len() - off);
+        buf[..n].copy_from_slice(&data[off..off + n]);
+        Some(n)
+    }
+
+    /// Writes `buf` at `offset`, growing (zero-filling) the file as
+    /// needed. Returns bytes written.
+    pub fn write_at(&mut self, path: &str, offset: u64, buf: &[u8]) -> Option<usize> {
+        let data = self.files.get_mut(path)?;
+        let end = offset as usize + buf.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(buf);
+        Some(buf.len())
+    }
+
+    /// Truncates a file to zero length.
+    pub fn truncate(&mut self, path: &str) -> bool {
+        match self.files.get_mut(path) {
+            Some(d) => {
+                d.clear();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over `(path, contents)` pairs in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[u8])> {
+        self.files.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True when the filesystem holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_resolution() {
+        assert_eq!(resolve_path("/work", "input.txt"), "/work/input.txt");
+        assert_eq!(resolve_path("/work", "/abs/file"), "/abs/file");
+        assert_eq!(resolve_path("/work/dir", "../other"), "/work/other");
+        assert_eq!(resolve_path("/", "a//b/./c"), "/a/b/c");
+        assert_eq!(resolve_path("/w", "../../.."), "/");
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut fs = InMemoryFs::new();
+        fs.put("/data", b"hello world".to_vec());
+        let mut buf = [0u8; 5];
+        assert_eq!(fs.read_at("/data", 6, &mut buf), Some(5));
+        assert_eq!(&buf, b"world");
+        assert_eq!(fs.read_at("/data", 100, &mut buf), Some(0));
+        assert_eq!(fs.read_at("/missing", 0, &mut buf), None);
+    }
+
+    #[test]
+    fn write_grows_file() {
+        let mut fs = InMemoryFs::new();
+        fs.put("/f", vec![]);
+        fs.write_at("/f", 4, b"abc").unwrap();
+        assert_eq!(fs.get("/f").unwrap(), &[0, 0, 0, 0, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn truncate_and_remove() {
+        let mut fs = InMemoryFs::new();
+        fs.put("/f", b"xyz".to_vec());
+        assert!(fs.truncate("/f"));
+        assert_eq!(fs.size("/f"), Some(0));
+        assert!(fs.remove("/f").is_some());
+        assert!(!fs.exists("/f"));
+        assert!(!fs.truncate("/f"));
+    }
+}

@@ -1,0 +1,218 @@
+//! The "native hardware" timing model.
+//!
+//! When an ELFie (or any guest program) runs on the [`crate::machine::Machine`],
+//! cycles are charged by this lightweight model: a base cost per
+//! instruction class plus data-cache hit/miss costs from a small two-level
+//! cache. This is what makes hardware-counter CPI measurements meaningful
+//! for the region-selection validation case studies (paper Section IV-A):
+//! program phases with different memory behaviour show different CPI, just
+//! as they do on a real machine.
+
+use elfie_isa::{AluOp, FpOp, Insn};
+
+/// Configuration of one direct-mapped cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total size in bytes (power of two).
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+}
+
+impl CacheGeom {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size / self.line
+    }
+}
+
+/// A direct-mapped cache keyed by line tag.
+#[derive(Debug, Clone)]
+pub struct DirectCache {
+    geom: CacheGeom,
+    tags: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl DirectCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    /// Panics if the geometry is not power-of-two sized.
+    pub fn new(geom: CacheGeom) -> DirectCache {
+        assert!(geom.size.is_power_of_two() && geom.line.is_power_of_two());
+        assert!(geom.size >= geom.line);
+        DirectCache { geom, tags: vec![EMPTY; geom.sets() as usize], hits: 0, misses: 0 }
+    }
+
+    /// Accesses `addr`; returns true on hit. Misses fill the line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.geom.line;
+        let set = (line % self.geom.sets()) as usize;
+        if self.tags[set] == line {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[set] = line;
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// (hits, misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill(EMPTY);
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+/// Latency parameters of the hardware model.
+#[derive(Debug, Clone, Copy)]
+pub struct HwParams {
+    /// Extra cycles on an L1 miss that hits L2.
+    pub l2_latency: u64,
+    /// Extra cycles on an L2 miss (memory access).
+    pub mem_latency: u64,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeom,
+    /// L2 cache geometry.
+    pub l2: CacheGeom,
+    /// Nominal clock in GHz used to convert cycles to wall-clock time.
+    pub ghz: f64,
+}
+
+impl Default for HwParams {
+    fn default() -> Self {
+        HwParams {
+            l2_latency: 10,
+            mem_latency: 60,
+            l1d: CacheGeom { size: 32 * 1024, line: 64 },
+            l2: CacheGeom { size: 512 * 1024, line: 64 },
+            ghz: 2.5,
+        }
+    }
+}
+
+/// The per-machine hardware timing state.
+#[derive(Debug, Clone)]
+pub struct HwModel {
+    params: HwParams,
+    l1d: DirectCache,
+    l2: DirectCache,
+}
+
+impl Default for HwModel {
+    fn default() -> Self {
+        HwModel::new(HwParams::default())
+    }
+}
+
+impl HwModel {
+    /// Creates a model with the given parameters.
+    pub fn new(params: HwParams) -> HwModel {
+        HwModel { l1d: DirectCache::new(params.l1d), l2: DirectCache::new(params.l2), params }
+    }
+
+    /// Base execution cost of an instruction, before memory penalties.
+    pub fn insn_cost(insn: &Insn) -> u64 {
+        match insn {
+            Insn::AluRR(AluOp::Udiv | AluOp::Urem, ..)
+            | Insn::AluRI(AluOp::Udiv | AluOp::Urem, ..) => 20,
+            Insn::AluRR(AluOp::Imul, ..) | Insn::AluRI(AluOp::Imul, ..) => 3,
+            Insn::FpRR(FpOp::Div | FpOp::Sqrt, ..) => 15,
+            Insn::FpRR(..) | Insn::Cvtsi2sd(..) | Insn::Cvttsd2si(..) => 3,
+            Insn::Mfence | Insn::LockXadd(..) | Insn::LockCmpXchg(..) | Insn::Xchg(..) => 8,
+            // Bulk copy: streaming bandwidth, roughly 16 bytes per cycle.
+            Insn::RepMovs => 16,
+            Insn::Syscall => 100,
+            _ => 1,
+        }
+    }
+
+    /// Charges a data access; returns extra cycles.
+    pub fn data_access(&mut self, addr: u64) -> u64 {
+        if self.l1d.access(addr) {
+            0
+        } else if self.l2.access(addr) {
+            self.params.l2_latency
+        } else {
+            self.params.mem_latency
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &HwParams {
+        &self.params
+    }
+
+    /// Converts cycles to nanoseconds at the nominal clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (cycles as f64 / self.params.ghz) as u64
+    }
+
+    /// (L1 hits, L1 misses, L2 hits, L2 misses).
+    pub fn cache_stats(&self) -> (u64, u64, u64, u64) {
+        let (h1, m1) = self.l1d.stats();
+        let (h2, m2) = self.l2.stats();
+        (h1, m1, h2, m2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_isa::{Mem, Reg};
+
+    #[test]
+    fn cache_hit_after_fill() {
+        let mut c = DirectCache::new(CacheGeom { size: 1024, line: 64 });
+        assert!(!c.access(0x1000));
+        assert!(c.access(0x1000));
+        assert!(c.access(0x103f), "same line");
+        assert!(!c.access(0x1040), "next line");
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn cache_conflict_eviction() {
+        let mut c = DirectCache::new(CacheGeom { size: 1024, line: 64 });
+        assert!(!c.access(0x0));
+        assert!(!c.access(0x400), "maps to same set (size 1024)");
+        assert!(!c.access(0x0), "evicted");
+    }
+
+    #[test]
+    fn costs_reflect_instruction_class() {
+        assert_eq!(HwModel::insn_cost(&Insn::Nop), 1);
+        assert_eq!(HwModel::insn_cost(&Insn::AluRI(AluOp::Udiv, Reg::Rax, 3)), 20);
+        assert_eq!(
+            HwModel::insn_cost(&Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx)),
+            8
+        );
+        assert!(HwModel::insn_cost(&Insn::Syscall) > 50);
+    }
+
+    #[test]
+    fn miss_penalties_escalate() {
+        let mut hw = HwModel::default();
+        let cold = hw.data_access(0x10_0000);
+        assert_eq!(cold, hw.params().mem_latency);
+        let warm = hw.data_access(0x10_0000);
+        assert_eq!(warm, 0);
+    }
+
+    #[test]
+    fn cycles_to_ns_uses_clock() {
+        let hw = HwModel::default();
+        assert_eq!(hw.cycles_to_ns(2_500_000_000), 1_000_000_000);
+    }
+}

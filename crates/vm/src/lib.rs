@@ -1,0 +1,66 @@
+//! # elfie-vm
+//!
+//! The guest machine for the ELFies reproduction: paged memory, a
+//! functional interpreter for the [`elfie_isa`] instruction set, an
+//! emulated Linux-like kernel (files, heap, `clone` threads, futexes,
+//! time), per-thread hardware performance counters with a programmable
+//! graceful-exit callback, and a jittered multi-thread scheduler.
+//!
+//! In the paper's terms this crate is **"native hardware + Linux"**: the
+//! substrate on which test programs, pinball replays and ELFies execute.
+//! Instrumentation-based tools (the PinPlay logger, BBV profilers,
+//! simulator front-ends) attach via [`Observer`]; the PinPlay replayer
+//! injects syscall side effects via [`SyscallInterposer`].
+//!
+//! ## Example
+//!
+//! ```
+//! use elfie_isa::assemble;
+//! use elfie_vm::{ExitReason, Machine, MachineConfig};
+//!
+//! let prog = assemble(
+//!     r#"
+//!     .org 0x400000
+//!     start:
+//!         mov rax, 1      ; write(1, msg, 3)
+//!         mov rdi, 1
+//!         mov rsi, msg
+//!         mov rdx, 3
+//!         syscall
+//!         mov rax, 231    ; exit_group(0)
+//!         mov rdi, 0
+//!         syscall
+//!     msg: .asciz "ok\n"
+//!     "#,
+//! )?;
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load_program(&prog);
+//! let summary = m.run(10_000);
+//! assert_eq!(summary.reason, ExitReason::AllExited(0));
+//! assert_eq!(m.kernel.stdout, b"ok\n");
+//! # Ok::<(), elfie_isa::AsmError>(())
+//! ```
+
+pub mod cpu;
+pub mod fs;
+pub mod hwmodel;
+pub mod kernel;
+pub mod machine;
+pub mod mem;
+pub mod obs;
+pub mod thread;
+
+pub use cpu::{cond_holds, fetch_decode, step, Effect, Fault, StepEnv, MAX_INSN_LEN};
+pub use fs::{resolve_path, InMemoryFs};
+pub use hwmodel::{CacheGeom, DirectCache, HwModel, HwParams};
+pub use kernel::{
+    errno, is_error, neg_errno, nr, Control, FdKind, FileDesc, Kernel, KernelConfig,
+    SyscallOutcome,
+};
+pub use machine::{
+    ExitReason, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction, SyscallInterposer,
+    ThreadStep,
+};
+pub use mem::{Access, MemError, Memory, Perm};
+pub use obs::{NullObserver, Observer};
+pub use thread::{RetireCounter, Thread, ThreadState};

@@ -1,0 +1,527 @@
+//! Paged guest memory with per-page permissions.
+//!
+//! The guest address space is sparse: 4 KiB pages are materialised on
+//! `map`, and every access checks both mapping and permission. Access
+//! failures surface as [`MemError`] — this is how an ELFie that diverges
+//! onto an un-captured page dies "ungracefully", as in the paper.
+
+use elfie_isa::{page_base, PAGE_SIZE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Page permissions (read / write / execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perm(u8);
+
+impl Perm {
+    /// No access.
+    pub const NONE: Perm = Perm(0);
+    /// Read-only.
+    pub const R: Perm = Perm(1);
+    /// Read + write.
+    pub const RW: Perm = Perm(3);
+    /// Read + execute.
+    pub const RX: Perm = Perm(5);
+    /// Read + write + execute.
+    pub const RWX: Perm = Perm(7);
+
+    /// True if reads are allowed.
+    pub const fn can_read(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if writes are allowed.
+    pub const fn can_write(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// True if instruction fetch is allowed.
+    pub const fn can_exec(self) -> bool {
+        self.0 & 4 != 0
+    }
+
+    /// The raw permission bits (bit0 read, bit1 write, bit2 exec) — the
+    /// encoding pinball page records use.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Builds a permission from raw bits (masking unknown bits).
+    pub const fn from_bits(bits: u8) -> Perm {
+        Perm(bits & 7)
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.can_read() { 'r' } else { '-' },
+            if self.can_write() { 'w' } else { '-' },
+            if self.can_exec() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of access that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    Read,
+    Write,
+    Exec,
+}
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// The address is not mapped.
+    Unmapped { addr: u64, access: Access },
+    /// The page is mapped but the permission does not allow the access.
+    Protection { addr: u64, access: Access, perm: Perm },
+}
+
+impl MemError {
+    /// The faulting address.
+    pub fn addr(&self) -> u64 {
+        match self {
+            MemError::Unmapped { addr, .. } | MemError::Protection { addr, .. } => *addr,
+        }
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr, access } => {
+                write!(f, "{access:?} access to unmapped address {addr:#x}")
+            }
+            MemError::Protection { addr, access, perm } => {
+                write!(f, "{access:?} access violates {perm} protection at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+struct Page {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    perm: Perm,
+}
+
+impl Page {
+    fn new(perm: Perm) -> Page {
+        Page { data: Box::new([0u8; PAGE_SIZE as usize]), perm }
+    }
+}
+
+/// Sparse paged memory.
+///
+/// ```
+/// use elfie_vm::mem::{Memory, Perm};
+/// let mut m = Memory::new();
+/// m.map_range(0x1000, 0x2000, Perm::RW)?;
+/// m.write_u64(0x1ff8, 0xdead_beef)?;
+/// assert_eq!(m.read_u64(0x1ff8)?, 0xdead_beef);
+/// # Ok::<(), elfie_vm::mem::MemError>(())
+/// ```
+#[derive(Default)]
+pub struct Memory {
+    pages: BTreeMap<u64, Page>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory").field("pages", &self.pages.len()).finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of mapped pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total mapped bytes.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// True if the page containing `addr` is mapped.
+    pub fn is_mapped(&self, addr: u64) -> bool {
+        self.pages.contains_key(&page_base(addr))
+    }
+
+    /// The permission of the page containing `addr`, if mapped.
+    pub fn perm_at(&self, addr: u64) -> Option<Perm> {
+        self.pages.get(&page_base(addr)).map(|p| p.perm)
+    }
+
+    /// Maps the page containing `addr` with permission `perm`.
+    /// Re-mapping an existing page keeps its contents and updates the
+    /// permission.
+    pub fn map_page(&mut self, addr: u64, perm: Perm) {
+        let base = page_base(addr);
+        self.pages.entry(base).or_insert_with(|| Page::new(perm)).perm = perm;
+    }
+
+    /// Maps every page overlapping `[start, end)`.
+    ///
+    /// # Errors
+    /// Returns an error when `end <= start`.
+    pub fn map_range(&mut self, start: u64, end: u64, perm: Perm) -> Result<(), MemError> {
+        if end <= start {
+            return Err(MemError::Unmapped { addr: start, access: Access::Write });
+        }
+        let mut p = page_base(start);
+        while p < end {
+            self.map_page(p, perm);
+            p += PAGE_SIZE;
+        }
+        Ok(())
+    }
+
+    /// Unmaps the page containing `addr` (no-op if not mapped). Returns the
+    /// page contents if it was mapped, so callers can relocate pages (the
+    /// ELFie startup stack-remap does this).
+    pub fn unmap_page(&mut self, addr: u64) -> Option<Box<[u8; PAGE_SIZE as usize]>> {
+        self.pages.remove(&page_base(addr)).map(|p| p.data)
+    }
+
+    /// Unmaps every page overlapping `[start, end)`.
+    pub fn unmap_range(&mut self, start: u64, end: u64) {
+        let mut p = page_base(start);
+        while p < end {
+            self.pages.remove(&p);
+            p += PAGE_SIZE;
+        }
+    }
+
+    /// Changes the permission of all mapped pages in `[start, end)`.
+    pub fn protect_range(&mut self, start: u64, end: u64, perm: Perm) {
+        let mut p = page_base(start);
+        while p < end {
+            if let Some(page) = self.pages.get_mut(&p) {
+                page.perm = perm;
+            }
+            p += PAGE_SIZE;
+        }
+    }
+
+    /// Iterates over `(page_base, perm, data)` for all mapped pages in
+    /// ascending address order. This is what the PinPlay logger walks when
+    /// writing a fat pinball's memory image.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, Perm, &[u8; PAGE_SIZE as usize])> {
+        self.pages.iter().map(|(&a, p)| (a, p.perm, &*p.data))
+    }
+
+    fn page_for(&self, addr: u64, access: Access) -> Result<&Page, MemError> {
+        let page = self
+            .pages
+            .get(&page_base(addr))
+            .ok_or(MemError::Unmapped { addr, access })?;
+        let ok = match access {
+            Access::Read => page.perm.can_read(),
+            Access::Write => page.perm.can_write(),
+            Access::Exec => page.perm.can_exec(),
+        };
+        if ok {
+            Ok(page)
+        } else {
+            Err(MemError::Protection { addr, access, perm: page.perm })
+        }
+    }
+
+    fn page_for_mut(&mut self, addr: u64, access: Access) -> Result<&mut Page, MemError> {
+        let page = self
+            .pages
+            .get_mut(&page_base(addr))
+            .ok_or(MemError::Unmapped { addr, access })?;
+        let ok = match access {
+            Access::Read => page.perm.can_read(),
+            Access::Write => page.perm.can_write(),
+            Access::Exec => page.perm.can_exec(),
+        };
+        if ok {
+            Ok(page)
+        } else {
+            Err(MemError::Protection { addr, access, perm: page.perm })
+        }
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr` (may cross pages).
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let page = self.page_for(a, Access::Read)?;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
+            buf[pos..pos + n].copy_from_slice(&page.data[off..off + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `buf` starting at `addr` (may cross pages).
+    pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let page = self.page_for_mut(a, Access::Write)?;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
+            page.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Writes bytes ignoring the write permission (used by loaders and by
+    /// the kernel when materialising syscall side effects into read-only
+    /// mappings).
+    pub fn write_bytes_unchecked(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            let page = self
+                .pages
+                .get_mut(&page_base(a))
+                .ok_or(MemError::Unmapped { addr: a, access: Access::Write })?;
+            let off = (a % PAGE_SIZE) as usize;
+            let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
+            page.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            pos += n;
+        }
+        Ok(())
+    }
+
+    /// Fetches up to `buf.len()` instruction bytes at `addr`, checking
+    /// execute permission. Returns the number of bytes fetched (shorter at
+    /// the end of an executable mapping so the decoder can report
+    /// truncation).
+    pub fn fetch(&self, addr: u64, buf: &mut [u8]) -> Result<usize, MemError> {
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let a = addr + pos as u64;
+            match self.page_for(a, Access::Exec) {
+                Ok(page) => {
+                    let off = (a % PAGE_SIZE) as usize;
+                    let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
+                    buf[pos..pos + n].copy_from_slice(&page.data[off..off + n]);
+                    pos += n;
+                }
+                Err(e) => {
+                    if pos == 0 {
+                        return Err(e);
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(pos)
+    }
+
+    /// Reads a `u8`.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
+        let mut b = [0u8; 1];
+        self.read_bytes(addr, &mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
+        let mut b = [0u8; 8];
+        self.read_bytes(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a `u8`.
+    pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
+        self.write_bytes(addr, &[v])
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
+        self.write_bytes(addr, &v.to_le_bytes())
+    }
+
+    /// Reads a NUL-terminated string of at most `max` bytes.
+    pub fn read_cstr(&self, addr: u64, max: usize) -> Result<String, MemError> {
+        let mut out = Vec::new();
+        for i in 0..max as u64 {
+            let b = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+
+    /// Copies a whole page of bytes into the page containing `dst_page`
+    /// (which must be mapped), preserving its permission.
+    pub fn install_page(
+        &mut self,
+        dst_page: u64,
+        bytes: &[u8; PAGE_SIZE as usize],
+    ) -> Result<(), MemError> {
+        let page = self
+            .pages
+            .get_mut(&page_base(dst_page))
+            .ok_or(MemError::Unmapped { addr: dst_page, access: Access::Write })?;
+        page.data.copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Returns the lowest mapped address at or above `addr`, if any.
+    pub fn next_mapped(&self, addr: u64) -> Option<u64> {
+        self.pages.range(page_base(addr)..).next().map(|(&a, _)| a)
+    }
+
+    /// Finds a gap of `len` bytes starting the search at `hint`, for
+    /// mmap-style allocation. The returned range is page-aligned and does
+    /// not overlap any mapping.
+    pub fn find_gap(&self, hint: u64, len: u64) -> u64 {
+        let len = elfie_isa::page_align_up(len.max(1));
+        let mut candidate = page_base(hint);
+        loop {
+            // Scan mapped pages in [candidate, candidate+len).
+            match self.pages.range(candidate..candidate + len).next() {
+                None => return candidate,
+                Some((&used, _)) => candidate = used + PAGE_SIZE,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let m = Memory::new();
+        assert_eq!(
+            m.read_u8(0x5000),
+            Err(MemError::Unmapped { addr: 0x5000, access: Access::Read })
+        );
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::R);
+        assert!(m.read_u8(0x1000).is_ok());
+        assert!(matches!(m.write_u8(0x1000, 1), Err(MemError::Protection { .. })));
+        let mut buf = [0u8; 4];
+        assert!(matches!(m.fetch(0x1000, &mut buf), Err(MemError::Protection { .. })));
+        m.protect_range(0x1000, 0x2000, Perm::RX);
+        assert!(m.fetch(0x1000, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn cross_page_read_write() {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x3000, Perm::RW).unwrap();
+        let data: Vec<u8> = (0..=255u8).collect();
+        m.write_bytes(0x1f80, &data).unwrap();
+        let mut back = vec![0u8; 256];
+        m.read_bytes(0x1f80, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn cross_page_write_fails_at_boundary() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RW);
+        // Second page unmapped: the write must fail.
+        assert!(m.write_bytes(0x1ffc, &[1, 2, 3, 4, 5, 6, 7, 8]).is_err());
+    }
+
+    #[test]
+    fn fetch_truncates_at_mapping_end() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RX);
+        let mut buf = [0u8; 16];
+        let n = m.fetch(0x1ff8, &mut buf).unwrap();
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn unmap_returns_contents() {
+        let mut m = Memory::new();
+        m.map_page(0x4000, Perm::RW);
+        m.write_u64(0x4010, 99).unwrap();
+        let page = m.unmap_page(0x4000).expect("was mapped");
+        assert_eq!(u64::from_le_bytes(page[0x10..0x18].try_into().unwrap()), 99);
+        assert!(!m.is_mapped(0x4000));
+    }
+
+    #[test]
+    fn remap_preserves_contents() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RW);
+        m.write_u64(0x1000, 7).unwrap();
+        m.map_page(0x1000, Perm::R);
+        assert_eq!(m.read_u64(0x1000).unwrap(), 7);
+        assert_eq!(m.perm_at(0x1000), Some(Perm::R));
+    }
+
+    #[test]
+    fn find_gap_skips_mappings() {
+        let mut m = Memory::new();
+        m.map_range(0x10000, 0x12000, Perm::RW).unwrap();
+        let g = m.find_gap(0x10000, 0x1000);
+        assert_eq!(g, 0x12000);
+        let g2 = m.find_gap(0x20000, 0x4000);
+        assert_eq!(g2, 0x20000);
+    }
+
+    #[test]
+    fn read_cstr_stops_at_nul() {
+        let mut m = Memory::new();
+        m.map_page(0, Perm::RW);
+        m.write_bytes(0x10, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstr(0x10, 64).unwrap(), "hello");
+    }
+
+    proptest! {
+        #[test]
+        fn rw_roundtrip(addr in 0u64..0x8000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
+            let mut m = Memory::new();
+            m.map_range(0, 0x10000, Perm::RW).unwrap();
+            m.write_bytes(addr, &data).unwrap();
+            let mut back = vec![0u8; data.len()];
+            m.read_bytes(addr, &mut back).unwrap();
+            prop_assert_eq!(back, data);
+        }
+
+        #[test]
+        fn u64_roundtrip(addr in 0u64..0xff8, v in any::<u64>()) {
+            let mut m = Memory::new();
+            m.map_page(0, Perm::RW);
+            m.write_u64(addr, v).unwrap();
+            prop_assert_eq!(m.read_u64(addr).unwrap(), v);
+        }
+    }
+}

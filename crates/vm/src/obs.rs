@@ -1,0 +1,100 @@
+//! Execution observers: the instrumentation hook-points that PinPlay-style
+//! tools (logger, BBV profiler, simulators) attach to.
+//!
+//! The observer is a generic parameter of the machine, so un-instrumented
+//! ("native") execution pays no dynamic-dispatch cost — mirroring how
+//! native hardware runs uninstrumented while Pin-based tools interpose.
+
+use elfie_isa::{Insn, MarkerKind};
+
+/// Callbacks invoked by the interpreter and the machine.
+///
+/// All methods have empty default bodies; implement only what the tool
+/// needs. Methods are called in a fixed order per instruction:
+/// `on_insn` → (`on_mem_read` | `on_mem_write`)* → retirement.
+pub trait Observer {
+    /// An instruction at `rip` (encoded length `len`) is about to execute
+    /// on thread `tid`.
+    fn on_insn(&mut self, tid: u32, rip: u64, insn: &Insn, len: usize) {
+        let _ = (tid, rip, insn, len);
+    }
+
+    /// A data read of `size` bytes at `addr`.
+    fn on_mem_read(&mut self, tid: u32, addr: u64, size: u64) {
+        let _ = (tid, addr, size);
+    }
+
+    /// A data write of `size` bytes at `addr`.
+    fn on_mem_write(&mut self, tid: u32, addr: u64, size: u64) {
+        let _ = (tid, addr, size);
+    }
+
+    /// Thread `tid` is about to issue syscall `nr` with `args`.
+    fn on_syscall(&mut self, tid: u32, nr: u64, args: &[u64; 6]) {
+        let _ = (tid, nr, args);
+    }
+
+    /// Syscall `nr` on `tid` returned `ret` after writing the given memory
+    /// side effects.
+    fn on_syscall_ret(&mut self, tid: u32, nr: u64, ret: u64, writes: &[(u64, Vec<u8>)]) {
+        let _ = (tid, nr, ret, writes);
+    }
+
+    /// A marker instruction executed.
+    fn on_marker(&mut self, tid: u32, kind: MarkerKind, tag: u32) {
+        let _ = (tid, kind, tag);
+    }
+
+    /// A new thread was created (`clone`): `child` spawned by `parent`.
+    fn on_thread_start(&mut self, parent: u32, child: u32) {
+        let _ = (parent, child);
+    }
+
+    /// Thread `tid` exited with `code`.
+    fn on_thread_exit(&mut self, tid: u32, code: i32) {
+        let _ = (tid, code);
+    }
+
+    /// Polled by the machine after every retirement; returning true stops
+    /// the run with [`crate::machine::ExitReason::ObserverStop`]. Tools use
+    /// this to end execution at region boundaries they detect themselves.
+    fn wants_stop(&self) -> bool {
+        false
+    }
+}
+
+/// The no-op observer used for native runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+impl<T: Observer + ?Sized> Observer for &mut T {
+    fn on_insn(&mut self, tid: u32, rip: u64, insn: &Insn, len: usize) {
+        (**self).on_insn(tid, rip, insn, len);
+    }
+    fn on_mem_read(&mut self, tid: u32, addr: u64, size: u64) {
+        (**self).on_mem_read(tid, addr, size);
+    }
+    fn on_mem_write(&mut self, tid: u32, addr: u64, size: u64) {
+        (**self).on_mem_write(tid, addr, size);
+    }
+    fn on_syscall(&mut self, tid: u32, nr: u64, args: &[u64; 6]) {
+        (**self).on_syscall(tid, nr, args);
+    }
+    fn on_syscall_ret(&mut self, tid: u32, nr: u64, ret: u64, writes: &[(u64, Vec<u8>)]) {
+        (**self).on_syscall_ret(tid, nr, ret, writes);
+    }
+    fn on_marker(&mut self, tid: u32, kind: MarkerKind, tag: u32) {
+        (**self).on_marker(tid, kind, tag);
+    }
+    fn on_thread_start(&mut self, parent: u32, child: u32) {
+        (**self).on_thread_start(parent, child);
+    }
+    fn on_thread_exit(&mut self, tid: u32, code: i32) {
+        (**self).on_thread_exit(tid, code);
+    }
+    fn wants_stop(&self) -> bool {
+        (**self).wants_stop()
+    }
+}

@@ -1,0 +1,130 @@
+//! Guest threads: architectural state plus scheduling and accounting
+//! metadata.
+
+use elfie_isa::RegFile;
+
+/// Scheduling state of a guest thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadState {
+    /// Eligible to run.
+    Runnable,
+    /// Blocked on a futex word at the given address.
+    FutexWait(u64),
+    /// Exited with the given code.
+    Exited(i32),
+}
+
+/// Per-thread programmable "hardware" performance counter used for the
+/// graceful-exit mechanism: the counter counts retired instructions and
+/// fires once when it reaches its target.
+///
+/// This models the paper's use of a retired-instruction counter with an
+/// overflow callback that exits the thread once the region's recorded
+/// instruction count is reached.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetireCounter {
+    /// Instructions counted since arming.
+    pub count: u64,
+    /// Fire threshold; `None` means not armed.
+    pub target: Option<u64>,
+    /// True once the counter has fired.
+    pub fired: bool,
+}
+
+impl RetireCounter {
+    /// Arms the counter to fire after `target` further retirements.
+    pub fn arm(&mut self, target: u64) {
+        self.count = 0;
+        self.target = Some(target);
+        self.fired = false;
+    }
+
+    /// Counts one retirement; returns true exactly once, when the target
+    /// is reached.
+    pub fn retire(&mut self) -> bool {
+        self.count += 1;
+        match self.target {
+            Some(t) if !self.fired && self.count >= t => {
+                self.fired = true;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// A guest thread.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Thread id (unique within the machine; the initial thread is 0).
+    pub tid: u32,
+    /// Architectural registers (GPRs, RIP, flags, segment bases, XSAVE).
+    pub regs: RegFile,
+    /// Scheduling state.
+    pub state: ThreadState,
+    /// Retired instruction count (the "instructions retired" hw counter).
+    pub icount: u64,
+    /// Accumulated cycles under the machine's hardware timing model.
+    pub cycles: u64,
+    /// Graceful-exit counter.
+    pub exit_counter: RetireCounter,
+}
+
+impl Thread {
+    /// Creates a runnable thread with the given id and registers.
+    pub fn new(tid: u32, regs: RegFile) -> Thread {
+        Thread {
+            tid,
+            regs,
+            state: ThreadState::Runnable,
+            icount: 0,
+            cycles: 0,
+            exit_counter: RetireCounter::default(),
+        }
+    }
+
+    /// True if the thread can be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.state == ThreadState::Runnable
+    }
+
+    /// True if the thread has exited.
+    pub fn is_exited(&self) -> bool {
+        matches!(self.state, ThreadState::Exited(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_counter_fires_once() {
+        let mut c = RetireCounter::default();
+        c.arm(3);
+        assert!(!c.retire());
+        assert!(!c.retire());
+        assert!(c.retire());
+        assert!(!c.retire(), "fires exactly once");
+        assert_eq!(c.count, 4);
+    }
+
+    #[test]
+    fn unarmed_counter_never_fires() {
+        let mut c = RetireCounter::default();
+        for _ in 0..100 {
+            assert!(!c.retire());
+        }
+    }
+
+    #[test]
+    fn thread_state_transitions() {
+        let mut t = Thread::new(0, RegFile::new());
+        assert!(t.is_runnable());
+        t.state = ThreadState::FutexWait(0x1000);
+        assert!(!t.is_runnable());
+        assert!(!t.is_exited());
+        t.state = ThreadState::Exited(0);
+        assert!(t.is_exited());
+    }
+}

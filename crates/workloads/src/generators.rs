@@ -1,0 +1,876 @@
+//! The individual benchmark generators.
+//!
+//! Every generator returns a [`Workload`] whose guest-assembly program has
+//! a distinct micro-architectural personality, named after the SPEC
+//! program whose behaviour it caricatures. `f` scales dynamic instruction
+//! counts (see [`crate::InputScale`]).
+
+use crate::Workload;
+use elfie_isa::assemble;
+
+/// Base address of each workload's large data array.
+pub const ARRAY_BASE: u64 = 0x3000_0000;
+/// Base address of the worker-thread stacks used by the MT suite.
+pub const MT_STACK_BASE: u64 = 0x7100_0000_0000;
+/// Stack bytes per worker thread.
+pub const MT_STACK_SIZE: u64 = 1 << 16;
+
+fn build(name: &str, asm: String, files: Vec<(String, Vec<u8>)>, data_maps: Vec<(u64, u64)>, nthreads: usize) -> Workload {
+    let program = assemble(&asm)
+        .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
+    Workload { name: name.to_string(), program, files, data_maps, nthreads }
+}
+
+const EXIT: &str = "
+    mov rax, 231
+    mov rdi, 0
+    syscall
+";
+
+/// String/byte processing with branchy scans (perlbench-like).
+pub fn perlbench_like(f: u64) -> Workload {
+    let gen = 8_000 * f;
+    let scans = 100; // fixed: total work scales linearly with the input
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            ; Phase 1: fill a byte buffer with an LCG stream.
+            mov rbx, {ARRAY_BASE:#x}
+            mov rax, 12345
+            mov r10, 6364136223846793005
+            mov r11, 1442695040888963407
+            mov rcx, {gen}
+        fill:
+            imul rax, r10
+            add rax, r11
+            mov rdx, rax
+            shr rdx, 33
+            movb [rbx], rdx
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne fill
+            ; Phase 2: repeated scans counting "vowel-ish" bytes.
+            mov r15, {scans}
+        scan_outer:
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, {gen}
+            mov r8, 0
+        scan:
+            movb rdx, [rbx]
+            and rdx, 31
+            cmp rdx, 5
+            jae not_vowel
+            add r8, 1
+            cmp rdx, 2
+            jne not_vowel
+            add r8, 2
+        not_vowel:
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne scan
+            sub r15, 1
+            cmp r15, 0
+            jne scan_outer
+            {EXIT}
+        "#
+    );
+    build("perlbench_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + gen + 4096)], 1)
+}
+
+/// Multi-phase compiler-like workload: parse (branchy bytes), optimise
+/// (pointer chase over a working set it built itself), codegen (store
+/// streams). Repeats with varying phase lengths, which makes it hard to
+/// represent with few simulation regions and sensitive to warm-up — the
+/// gcc behaviour of the paper's Fig. 9 / Table II.
+pub fn gcc_like(f: u64) -> Workload {
+    let units = 6 * f; // "functions compiled"
+    let parse = 4_000;
+    let nodes = 24_000u64; // pointer-chase nodes (8 bytes each)
+    let stores = 3_000;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r15, {units}
+            mov r14, 99               ; per-unit variation seed
+        unit:
+            ; --- parse phase: branchy byte classification ---
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, {parse}
+            mov rax, r14
+            mov r10, 2862933555777941757
+            mov r11, 3037000493
+        parse:
+            imul rax, r10
+            add rax, r11
+            mov rdx, rax
+            shr rdx, 40
+            movb [rbx], rdx
+            and rdx, 7
+            cmp rdx, 3
+            jb tok_small
+            cmp rdx, 6
+            jb tok_mid
+            add r9, 2
+            jmp tok_done
+        tok_small:
+            add r9, 1
+            jmp tok_done
+        tok_mid:
+            add r9, 3
+        tok_done:
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne parse
+            ; --- build IR: next[i] = (i * 9301 + unit) % nodes ---
+            mov rbx, {chase_base:#x}
+            mov rcx, 0
+        build:
+            mov rax, rcx
+            imul rax, 9301
+            add rax, r14
+            mov rdx, {nodes}
+            urem rax, rdx
+            shl rax, 3
+            mov [rbx + rcx*8], rax
+            add rcx, 1
+            cmp rcx, {nodes}
+            jne build
+            ; --- optimise phase: chase the list ---
+            mov rcx, {chase_iters}
+            mov rax, 0
+        chase:
+            mov rbx, {chase_base:#x}
+            add rbx, rax
+            mov rax, [rbx]
+            sub rcx, 1
+            cmp rcx, 0
+            jne chase
+            ; --- codegen phase: store stream ---
+            mov rbx, {code_base:#x}
+            mov rcx, {stores}
+        emit:
+            mov [rbx], rcx
+            mov [rbx + 8], r9
+            add rbx, 16
+            sub rcx, 1
+            cmp rcx, 0
+            jne emit
+            add r14, 17
+            sub r15, 1
+            cmp r15, 0
+            jne unit
+            {EXIT}
+        "#,
+        chase_base = ARRAY_BASE + 0x10_0000,
+        chase_iters = 12_000,
+        code_base = ARRAY_BASE + 0x40_0000,
+    );
+    build(
+        "gcc_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + 0x50_0000)],
+        1,
+    )
+}
+
+/// Pointer-chasing, memory-latency-bound workload (mcf-like).
+pub fn mcf_like(f: u64) -> Workload {
+    let nodes = 60_000u64;
+    let iters = 25_000 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            ; next[i] = ((i * 40503 + 7) % nodes) * 8
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, 0
+        build:
+            mov rax, rcx
+            imul rax, 40503
+            add rax, 7
+            mov rdx, {nodes}
+            urem rax, rdx
+            shl rax, 3
+            mov [rbx + rcx*8], rax
+            add rcx, 1
+            cmp rcx, {nodes}
+            jne build
+            ; chase with a running sum
+            mov rcx, {iters}
+            mov rax, 0
+            mov r8, 0
+        chase:
+            mov rbx, {ARRAY_BASE:#x}
+            add rbx, rax
+            mov rax, [rbx]
+            add r8, rax
+            sub rcx, 1
+            cmp rcx, 0
+            jne chase
+            {EXIT}
+        "#
+    );
+    build("mcf_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + nodes * 8 + 4096)], 1)
+}
+
+/// Discrete-event-ish circular queue churn (omnetpp-like).
+pub fn omnetpp_like(f: u64) -> Workload {
+    let events = 40_000 * f;
+    let qsize = 4096u64;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r12, 0            ; head
+            mov r13, 0            ; tail
+            mov r14, 12345        ; rng
+            mov r10, 2862933555777941757
+            mov rcx, {events}
+        event:
+            imul r14, r10
+            add r14, 1013904223
+            mov rax, r14
+            shr rax, 35
+            and rax, 1
+            cmp rax, 0
+            je pop
+            ; push at tail
+            mov rbx, {ARRAY_BASE:#x}
+            mov rax, r13
+            and rax, {qmask}
+            mov [rbx + rax*8], r14
+            add r13, 1
+            jmp next
+        pop:
+            cmp r12, r13
+            je next               ; empty
+            mov rbx, {ARRAY_BASE:#x}
+            mov rax, r12
+            and rax, {qmask}
+            mov rdx, [rbx + rax*8]
+            add r9, rdx
+            add r12, 1
+        next:
+            sub rcx, 1
+            cmp rcx, 0
+            jne event
+            {EXIT}
+        "#,
+        qmask = qsize - 1,
+    );
+    build("omnetpp_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + qsize * 8 + 4096)], 1)
+}
+
+/// Branchy tree-walk (xalancbmk-like).
+pub fn xalancbmk_like(f: u64) -> Workload {
+    let walks = 20_000 * f;
+    let depth = 14u64;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r14, 777
+            mov r10, 6364136223846793005
+            mov r11, 1442695040888963407
+            mov rcx, {walks}
+        walk:
+            imul r14, r10
+            add r14, r11
+            mov rax, r14
+            mov rbx, 1            ; node index (heap layout)
+            mov rdx, {depth}
+        descend:
+            mov r8, rax
+            and r8, 1
+            shr rax, 1
+            shl rbx, 1
+            cmp r8, 0
+            je go_left
+            add rbx, 1
+        go_left:
+            mov rsi, {ARRAY_BASE:#x}
+            mov rdi, [rsi + rbx*8]
+            add r9, rdi
+            sub rdx, 1
+            cmp rdx, 0
+            jne descend
+            sub rcx, 1
+            cmp rcx, 0
+            jne walk
+            {EXIT}
+        "#
+    );
+    let tree_bytes = (1u64 << 15) * 8 + 4096;
+    build("xalancbmk_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + tree_bytes)], 1)
+}
+
+/// Video-encoder-like: reads a frame file, then block transforms with a
+/// periodic `gettimeofday` (rate control) — the workload shape of the
+/// paper's Table IV single-region study.
+pub fn x264_like(f: u64) -> Workload {
+    let frames = 4 * f;
+    let blocks = 6_000u64;
+    let frame_bytes = 16 * 1024u64;
+    let input: Vec<u8> = (0..frame_bytes * 2).map(|i| (i * 31 % 251) as u8).collect();
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rax, 2            ; open("/video.raw")
+            mov rdi, path
+            mov rsi, 0
+            syscall
+            mov r12, rax
+            mov r15, {frames}
+        frame:
+            ; read one frame into the array
+            mov rax, 0
+            mov rdi, r12
+            mov rsi, {ARRAY_BASE:#x}
+            mov rdx, {frame_bytes}
+            syscall
+            mov rax, 8            ; lseek back to 0 (loop the input)
+            mov rdi, r12
+            mov rsi, 0
+            mov rdx, 0
+            syscall
+            ; transform: 16-byte "blocks", sum of abs-diff-ish work,
+            ; output rotating through a 2 MiB reconstruction buffer
+            mov rbx, {ARRAY_BASE:#x}
+            add r13, 0x4000
+            mov rax, 0x1fffff
+            and r13, rax
+            mov rcx, {blocks}
+        block:
+            mov rax, [rbx]
+            mov rdx, [rbx + 8]
+            sub rax, rdx
+            mov r8, rax
+            sar r8, 63
+            xor rax, r8
+            sub rax, r8           ; |a-b|
+            add r9, rax
+            mov rsi, {recon:#x}
+            add rsi, r13
+            mov [rsi + rcx*8], rax
+            add rbx, 16
+            and rbx, 0x3fffffff
+            sub rcx, 1
+            cmp rcx, 0
+            jne block
+            ; rate control timestamp
+            mov rax, 96
+            mov rdi, tv
+            mov rsi, 0
+            syscall
+            sub r15, 1
+            cmp r15, 0
+            jne frame
+            {EXIT}
+        path: .asciz "/video.raw"
+        .align 8
+        tv: .zero 16
+        "#,
+        recon = ARRAY_BASE + 0x10_0000,
+    );
+    build(
+        "x264_like",
+        asm,
+        vec![("/video.raw".to_string(), input)],
+        vec![(ARRAY_BASE, ARRAY_BASE + 0x40_0000)],
+        1,
+    )
+}
+
+/// Branch-heavy game-tree-like integer workload (deepsjeng-like).
+pub fn deepsjeng_like(f: u64) -> Workload {
+    let iters = 60_000 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r14, 0x9e3779b97f4a7c15
+            mov rcx, {iters}
+            mov r8, 0
+        search:
+            mov rax, r14
+            shr rax, 7
+            xor r14, rax
+            mov rax, r14
+            shl rax, 9
+            xor r14, rax
+            mov rax, r14
+            and rax, 15
+            cmp rax, 4
+            jb prune
+            cmp rax, 9
+            jb expand
+            add r8, 3
+            jmp cont
+        prune:
+            sub r8, 1
+            jmp cont
+        expand:
+            add r8, 1
+            mov rdx, r14
+            and rdx, 63
+            shl rdx, 1
+            add r8, rdx
+        cont:
+            sub rcx, 1
+            cmp rcx, 0
+            jne search
+            {EXIT}
+        "#
+    );
+    build("deepsjeng_like", asm, vec![], vec![], 1)
+}
+
+/// Monte-Carlo playout mix (leela-like): random array updates + branches.
+pub fn leela_like(f: u64) -> Workload {
+    let playouts = 30_000 * f;
+    let board = 1 << 14;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r14, 0x2545f4914f6cdd1d
+            mov r10, 6364136223846793005
+            mov rcx, {playouts}
+        playout:
+            imul r14, r10
+            add r14, 1
+            mov rax, r14
+            shr rax, 20
+            and rax, {mask:#x}
+            mov rbx, {ARRAY_BASE:#x}
+            mov rdx, [rbx + rax*8]
+            add rdx, 1
+            mov [rbx + rax*8], rdx
+            and rdx, 3
+            cmp rdx, 0
+            jne no_capture
+            add r9, 5
+        no_capture:
+            sub rcx, 1
+            cmp rcx, 0
+            jne playout
+            {EXIT}
+        "#,
+        mask = board - 1,
+    );
+    build("leela_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + board * 8 + 4096)], 1)
+}
+
+/// Pure-ALU nested loops with high IPC (exchange2-like).
+pub fn exchange2_like(f: u64) -> Workload {
+    let outer = 300 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r15, {outer}
+        outer:
+            mov rcx, 200
+            mov rax, 1
+            mov rbx, 2
+            mov rdx, 3
+        inner:
+            add rax, rbx
+            xor rbx, rdx
+            shl rdx, 1
+            add rdx, rax
+            and rdx, 0xffff
+            sub rcx, 1
+            cmp rcx, 0
+            jne inner
+            add r9, rax
+            sub r15, 1
+            cmp r15, 0
+            jne outer
+            {EXIT}
+        "#
+    );
+    build("exchange2_like", asm, vec![], vec![], 1)
+}
+
+/// Compression-like byte histogram + match loops (xz-like).
+pub fn xz_like(f: u64) -> Workload {
+    let bytes = 20_000 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            ; generate input
+            mov rbx, {ARRAY_BASE:#x}
+            mov rax, 88172645463325252
+            mov rcx, {bytes}
+        gen:
+            mov rdx, rax
+            shl rdx, 13
+            xor rax, rdx
+            mov rdx, rax
+            shr rdx, 7
+            xor rax, rdx
+            movb [rbx], rax
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne gen
+            ; histogram
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, {bytes}
+        hist:
+            movb rax, [rbx]
+            mov rsi, {hist_base:#x}
+            mov rdx, [rsi + rax*8]
+            add rdx, 1
+            mov [rsi + rax*8], rdx
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne hist
+            ; run-length matcher
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, {match_iters}
+            mov r8, 0
+        match:
+            movb rax, [rbx]
+            movb rdx, [rbx + 1]
+            cmp rax, rdx
+            jne nomatch
+            add r8, 1
+        nomatch:
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne match
+            {EXIT}
+        "#,
+        hist_base = ARRAY_BASE + 0x10_0000,
+        match_iters = bytes - 2,
+    );
+    build("xz_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + 0x10_2000)], 1)
+}
+
+/// FP stencil sweep (lbm-like): memory + floating point.
+pub fn lbm_like(f: u64) -> Workload {
+    let cells = 30_000u64;
+    let sweeps = 8 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            ; init grid with converted indices
+            mov rbx, {ARRAY_BASE:#x}
+            mov rcx, 0
+        init:
+            cvtsi2sd xmm0, rcx
+            movsd [rbx + rcx*8], xmm0
+            add rcx, 1
+            cmp rcx, {cells}
+            jne init
+            mov r15, {sweeps}
+            ; 0.25 constant
+            mov rax, 1
+            cvtsi2sd xmm7, rax
+            mov rax, 4
+            cvtsi2sd xmm6, rax
+            divsd xmm7, xmm6
+        sweep:
+            mov rcx, 1
+        cell:
+            mov rbx, {ARRAY_BASE:#x}
+            movsd xmm0, [rbx + rcx*8 - 8]
+            movsd xmm1, [rbx + rcx*8 + 8]
+            addsd xmm0, xmm1
+            movsd xmm2, [rbx + rcx*8]
+            addsd xmm0, xmm2
+            addsd xmm0, xmm2
+            mulsd xmm0, xmm7
+            movsd [rbx + rcx*8], xmm0
+            add rcx, 1
+            cmp rcx, {last}
+            jne cell
+            sub r15, 1
+            cmp r15, 0
+            jne sweep
+            {EXIT}
+        "#,
+        last = cells - 1,
+    );
+    build("lbm_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + cells * 8 + 4096)], 1)
+}
+
+/// FP force-field mix with sqrt/div (nab-like).
+pub fn nab_like(f: u64) -> Workload {
+    let pairs = 15_000 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {pairs}
+            mov rax, 3
+            cvtsi2sd xmm1, rax     ; dx
+            mov rax, 5
+            cvtsi2sd xmm2, rax     ; dy
+            mov rax, 1
+            cvtsi2sd xmm5, rax     ; acc
+        pair:
+            movsd xmm0, xmm1
+            mulsd xmm0, xmm1
+            movsd xmm3, xmm2
+            mulsd xmm3, xmm2
+            addsd xmm0, xmm3       ; r2
+            sqrtsd xmm4, xmm0      ; r
+            addsd xmm4, xmm5
+            movsd xmm3, xmm5
+            divsd xmm3, xmm4       ; 1/(r+acc)
+            addsd xmm5, xmm3
+            mulsd xmm1, xmm3
+            addsd xmm1, xmm5
+            sub rcx, 1
+            cmp rcx, 0
+            jne pair
+            cvttsd2si rax, xmm5
+            {EXIT}
+        "#
+    );
+    build("nab_like", asm, vec![], vec![], 1)
+}
+
+/// FP with reductions and data-dependent branches (cam4-like).
+pub fn cam4_like(f: u64) -> Workload {
+    let iters = 12_000 * f;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {iters}
+            mov rax, 2
+            cvtsi2sd xmm0, rax
+            mov rax, 7
+            cvtsi2sd xmm1, rax
+            mov r14, 41
+            mov r10, 2862933555777941757
+            mov r11, 3037000493
+        step:
+            imul r14, r10
+            add r14, r11
+            mov rax, r14
+            shr rax, 33
+            and rax, 1023
+            cvtsi2sd xmm2, rax
+            comisd xmm2, xmm1
+            jb small_branch
+            addsd xmm0, xmm2
+            mulsd xmm0, xmm1
+            divsd xmm0, xmm2
+            jmp step_done
+        small_branch:
+            subsd xmm0, xmm2
+            maxsd xmm0, xmm1
+        step_done:
+            sub rcx, 1
+            cmp rcx, 0
+            jne step
+            {EXIT}
+        "#
+    );
+    build("cam4_like", asm, vec![], vec![], 1)
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded "speed" suite
+// ---------------------------------------------------------------------------
+
+/// Builds an OpenMP-style fork-join workload: `threads` workers, `reps`
+/// parallel regions separated by active-wait (spinning) barriers, each
+/// worker executing `body` over its own chunk of the shared array.
+///
+/// Registers available to `body`: `r12` = worker index, `rbx` = the
+/// worker's chunk base address. The body must preserve `r12,r13,r14,r15`.
+fn mt_workload(name: &str, threads: usize, reps: u64, chunk_bytes: u64, body: &str) -> Workload {
+    assert!(threads >= 1);
+    let t = threads as u64;
+    let asm = format!(
+        r#"
+        .org 0x400000
+        start:
+            mov r12, 0            ; my worker index (main = 0)
+            mov rcx, 1
+        clone_loop:
+            cmp rcx, {t}
+            je work_start
+            mov rsi, rcx
+            shl rsi, 16
+            mov rax, {stack_base:#x}
+            add rsi, rax          ; child stack top for worker rcx
+            add rsi, {stack_used:#x}
+            mov rax, 56
+            mov rdi, 0
+            syscall
+            cmp rax, 0
+            jne cloned
+            mov r12, rcx          ; child: adopt index
+            jmp work_start
+        cloned:
+            add rcx, 1
+            jmp clone_loop
+        work_start:
+            mov r15, {t}          ; thread count
+            mov r13, 0            ; barrier target accumulator
+            mov r14, {reps}
+        region:
+            ; chunk base = ARRAY + r12 * chunk
+            mov rbx, r12
+            mov rax, {chunk_bytes}
+            imul rbx, rax
+            mov rax, {array:#x}
+            add rbx, rax
+            {body}
+            ; ---- active-wait barrier (OpenMP busy waiting) ----
+            add r13, r15
+            mov rdx, 1
+            mov rsi, barrier_word
+            xadd [rsi], rdx
+        spin:
+            mov rdx, [barrier_word]
+            cmp rdx, r13
+            jb spin
+        rep_done:                 ; end-of-region instruction outside the spin loop
+            sub r14, 1
+            cmp r14, 0
+            jne region
+            ; workers exit; main exits the process
+            cmp r12, 0
+            je main_exit
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        main_exit:
+        wait_all:
+            mov rax, 10003        ; live-thread count
+            syscall
+            cmp rax, 1
+            jne wait_all
+            {EXIT}
+        .org 0x600000
+        barrier_word: .quad 0
+        "#,
+        stack_base = MT_STACK_BASE,
+        stack_used = MT_STACK_SIZE - 256,
+        array = ARRAY_BASE,
+    );
+    let stacks_end = MT_STACK_BASE + t * MT_STACK_SIZE + 4096;
+    build(
+        name,
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + t * chunk_bytes + 4096), (MT_STACK_BASE, stacks_end)],
+        threads,
+    )
+}
+
+/// MT FP stencil (lbm_s-like).
+pub fn lbm_s_like(f: u64, threads: usize) -> Workload {
+    let body = format!(
+        r#"
+            mov rcx, {iters}
+            mov rax, 3
+            cvtsi2sd xmm1, rax
+        lbm_body:
+            movsd xmm0, [rbx]
+            addsd xmm0, xmm1
+            mulsd xmm0, xmm1
+            movsd [rbx], xmm0
+            movsd xmm2, [rbx + 8]
+            addsd xmm2, xmm0
+            movsd [rbx + 8], xmm2
+            add rbx, 16
+            sub rcx, 1
+            cmp rcx, 0
+            jne lbm_body
+        "#,
+        iters = 2_000,
+    );
+    mt_workload("lbm_s_like", threads, 3 * f, 64 * 1024, &body)
+}
+
+/// MT streaming triad (bwaves_s-like).
+pub fn bwaves_s_like(f: u64, threads: usize) -> Workload {
+    let body = format!(
+        r#"
+            mov rcx, {iters}
+        bw_body:
+            mov rax, [rbx]
+            mov rdx, [rbx + 8]
+            imul rdx, 3
+            add rax, rdx
+            mov [rbx + 16], rax
+            add rbx, 8
+            sub rcx, 1
+            cmp rcx, 0
+            jne bw_body
+        "#,
+        iters = 3_000,
+    );
+    mt_workload("bwaves_s_like", threads, 3 * f, 64 * 1024, &body)
+}
+
+/// MT byte blur (imagick_s-like).
+pub fn imagick_s_like(f: u64, threads: usize) -> Workload {
+    let body = format!(
+        r#"
+            mov rcx, {iters}
+        im_body:
+            movb rax, [rbx]
+            movb rdx, [rbx + 1]
+            add rax, rdx
+            movb rdx, [rbx + 2]
+            add rax, rdx
+            udiv rax, r15         ; divide by live value to vary latency
+            movb [rbx + 1], rax
+            add rbx, 1
+            sub rcx, 1
+            cmp rcx, 0
+            jne im_body
+        "#,
+        iters = 4_000,
+    );
+    mt_workload("imagick_s_like", threads, 3 * f, 64 * 1024, &body)
+}
+
+/// MT wavefront-ish accumulation (sweep3d-like, the paper's roms/sweep
+/// stand-in).
+pub fn sweep3d_s_like(f: u64, threads: usize) -> Workload {
+    let body = format!(
+        r#"
+            mov rcx, {iters}
+            mov rax, 0
+        sw_body:
+            mov rdx, [rbx]
+            add rax, rdx
+            mov [rbx], rax
+            add rbx, 64           ; line stride
+            sub rcx, 1
+            cmp rcx, 0
+            jne sw_body
+        "#,
+        iters = 800,
+    );
+    mt_workload("sweep3d_s_like", threads, 4 * f, 64 * 1024, &body)
+}
+
+/// The single-threaded member of the speed suite (like `657.xz_s.1`).
+pub fn xz_s_like(f: u64) -> Workload {
+    let mut w = xz_like(f);
+    w.name = "xz_s_like".into();
+    w
+}

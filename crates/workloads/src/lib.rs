@@ -1,0 +1,230 @@
+//! # elfie-workloads
+//!
+//! A synthetic benchmark suite standing in for SPEC CPU2006/CPU2017 in the
+//! paper's case studies. Each workload is a guest-assembly program with a
+//! deliberate performance personality (phase structure, memory behaviour,
+//! branchiness, FP mix, file I/O, spin-synchronised threads), so that the
+//! whole pipeline — BBV profiling, SimPoint selection, pinball capture,
+//! ELFie generation, native measurement and simulation — exercises the
+//! same code paths the paper's SPEC experiments exercise.
+//!
+//! * [`suite_int`] / [`suite_fp`] — single-threaded "rate"-style
+//!   benchmarks with [`InputScale::Train`] and [`InputScale::Ref`] input
+//!   sizes;
+//! * [`suite_speed_mt`] — OpenMP-like "speed" workloads using `clone` +
+//!   active-wait spin barriers (the paper's "active wait policy"),
+//!   including one single-threaded member (like `657.xz_s.1` in Fig. 11);
+//! * [`suite_2006`] — a 19-app list for the gem5 case study (Table V).
+
+pub mod generators;
+
+use elfie_isa::Program;
+use elfie_vm::{Machine, Observer, Perm};
+
+pub use generators::*;
+
+/// Input size class, scaling dynamic instruction counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InputScale {
+    /// Tiny inputs for unit tests.
+    Test,
+    /// Train-like inputs (the paper's Section IV-A1 scale).
+    Train,
+    /// Ref-like inputs, several times longer (Section IV-A2).
+    Ref,
+}
+
+impl InputScale {
+    /// Multiplier applied to each workload's base iteration count.
+    pub fn factor(self) -> u64 {
+        match self {
+            InputScale::Test => 1,
+            InputScale::Train => 20,
+            InputScale::Ref => 60,
+        }
+    }
+}
+
+/// A runnable benchmark.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Benchmark name (e.g. `gcc_like`).
+    pub name: String,
+    /// The assembled program.
+    pub program: Program,
+    /// Guest files staged before the run.
+    pub files: Vec<(String, Vec<u8>)>,
+    /// Additional RW ranges mapped before the run (large data arrays,
+    /// thread stacks).
+    pub data_maps: Vec<(u64, u64)>,
+    /// Number of threads the workload creates (including the main one).
+    pub nthreads: usize,
+}
+
+impl Workload {
+    /// Stages files and mappings into a machine (call before `run`).
+    pub fn setup<O: Observer>(&self, m: &mut Machine<O>) {
+        for (path, data) in &self.files {
+            m.kernel.fs.put(path, data.clone());
+        }
+        for &(start, end) in &self.data_maps {
+            m.mem.map_range(start, end, Perm::RW).expect("valid data map");
+        }
+    }
+
+    /// Convenience: builds a machine with this workload loaded and staged.
+    pub fn machine(&self, cfg: elfie_vm::MachineConfig) -> Machine {
+        let mut m = Machine::new(cfg);
+        m.load_program(&self.program);
+        self.setup(&mut m);
+        m
+    }
+}
+
+/// The single-threaded integer suite.
+pub fn suite_int(scale: InputScale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        generators::perlbench_like(f),
+        generators::gcc_like(f),
+        generators::mcf_like(f),
+        generators::omnetpp_like(f),
+        generators::xalancbmk_like(f),
+        generators::x264_like(f),
+        generators::deepsjeng_like(f),
+        generators::leela_like(f),
+        generators::exchange2_like(f),
+        generators::xz_like(f),
+    ]
+}
+
+/// The single-threaded floating-point suite.
+pub fn suite_fp(scale: InputScale) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![generators::lbm_like(f), generators::nab_like(f), generators::cam4_like(f)]
+}
+
+/// OpenMP-style "speed" workloads: `threads`-way fork-join with
+/// active-wait barriers, plus the single-threaded `xz_s_like` member.
+pub fn suite_speed_mt(scale: InputScale, threads: usize) -> Vec<Workload> {
+    let f = scale.factor();
+    vec![
+        generators::lbm_s_like(f, threads),
+        generators::bwaves_s_like(f, threads),
+        generators::imagick_s_like(f, threads),
+        generators::sweep3d_s_like(f, threads),
+        generators::xz_s_like(f),
+    ]
+}
+
+/// Nineteen applications for the gem5 Table V case study: the int and fp
+/// suites plus parameter variants (mirroring how SPEC2006 shares kernels
+/// across inputs).
+pub fn suite_2006(scale: InputScale) -> Vec<Workload> {
+    let f = scale.factor();
+    let mut v = suite_int(scale);
+    v.extend(suite_fp(scale));
+    v.push(rename(generators::mcf_like(f * 2), "astar_like"));
+    v.push(rename(generators::xz_like(f * 2), "bzip2_like"));
+    v.push(rename(generators::deepsjeng_like(f * 2), "sjeng_like"));
+    v.push(rename(generators::omnetpp_like(f * 2), "gobmk_like"));
+    v.push(rename(generators::lbm_like(f * 2), "milc_like"));
+    v.push(rename(generators::nab_like(f * 2), "namd_like"));
+    debug_assert_eq!(v.len(), 19);
+    v
+}
+
+fn rename(mut w: Workload, name: &str) -> Workload {
+    w.name = name.to_string();
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elfie_vm::{ExitReason, MachineConfig};
+
+    fn runs_clean(w: &Workload) -> (u64, u64) {
+        let mut m = w.machine(MachineConfig::default());
+        let s = m.run(200_000_000);
+        assert_eq!(s.reason, ExitReason::AllExited(0), "{} failed: {:?}", w.name, s.reason);
+        (s.insns, m.threads.len() as u64)
+    }
+
+    #[test]
+    fn int_suite_runs_at_test_scale() {
+        for w in suite_int(InputScale::Test) {
+            let (insns, threads) = runs_clean(&w);
+            assert!(insns > 5_000, "{}: only {insns} instructions", w.name);
+            assert_eq!(threads, 1, "{} is single-threaded", w.name);
+        }
+    }
+
+    #[test]
+    fn fp_suite_runs_at_test_scale() {
+        for w in suite_fp(InputScale::Test) {
+            let (insns, _) = runs_clean(&w);
+            assert!(insns > 5_000, "{}: only {insns}", w.name);
+        }
+    }
+
+    #[test]
+    fn speed_suite_spawns_threads() {
+        for w in suite_speed_mt(InputScale::Test, 4) {
+            let mut m = w.machine(MachineConfig::default());
+            let s = m.run(500_000_000);
+            assert_eq!(s.reason, ExitReason::AllExited(0), "{}: {:?}", w.name, s.reason);
+            if w.name == "xz_s_like" {
+                assert_eq!(m.threads.len(), 1, "xz_s is the single-threaded member");
+            } else {
+                assert_eq!(m.threads.len(), 4, "{} spawned {} threads", w.name, m.threads.len());
+                for t in &m.threads {
+                    assert!(t.icount > 100, "{}: thread {} idle", w.name, t.tid);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scales_increase_instruction_counts() {
+        let small = {
+            let w = generators::mcf_like(InputScale::Test.factor());
+            runs_clean(&w).0
+        };
+        let train = {
+            let w = generators::mcf_like(InputScale::Train.factor());
+            runs_clean(&w).0
+        };
+        assert!(train > 5 * small, "train {train} vs test {small}");
+    }
+
+    #[test]
+    fn suite_2006_has_19_members_with_unique_names() {
+        let v = suite_2006(InputScale::Test);
+        assert_eq!(v.len(), 19);
+        let mut names: Vec<&str> = v.iter().map(|w| w.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 19, "names unique");
+    }
+
+    #[test]
+    fn x264_like_reads_its_input_file() {
+        let w = generators::x264_like(1);
+        assert!(!w.files.is_empty(), "x264 has an input file");
+        let mut m = w.machine(MachineConfig::default());
+        let s = m.run(100_000_000);
+        assert_eq!(s.reason, ExitReason::AllExited(0));
+    }
+
+    #[test]
+    fn workloads_are_deterministic_per_seed() {
+        let w = generators::gcc_like(1);
+        let run = |seed| {
+            let mut m = w.machine(MachineConfig { seed, ..MachineConfig::default() });
+            let s = m.run(100_000_000);
+            s.insns
+        };
+        assert_eq!(run(1), run(1));
+    }
+}

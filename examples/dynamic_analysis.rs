@@ -1,0 +1,36 @@
+//! Dynamic program analysis with ELFies (paper Section III-A).
+//!
+//! A Pin-tool-style analysis (instruction mix, memory footprint, hot
+//! branches) runs over an ELFie exactly as it would over any program
+//! binary: the tool skips the startup code by waiting for the ROI marker,
+//! and the embedded graceful-exit counters end the run after the captured
+//! region.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_analysis
+//! ```
+
+use elfie::prelude::*;
+
+fn main() {
+    for w in [
+        elfie::workloads::xz_like(2),
+        elfie::workloads::lbm_like(2),
+        elfie::workloads::deepsjeng_like(2),
+    ] {
+        let logger = Logger::new(LoggerConfig::fat(
+            &w.name,
+            RegionTrigger::GlobalIcount(50_000),
+            40_000,
+        ));
+        let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+        let (elfie, sysstate) =
+            elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+        let report = analyze_elfie(&elfie.bytes, MarkerKind::Ssc, 9, 500_000_000, |m| {
+            sysstate.stage_files(m)
+        })
+        .expect("loads");
+        println!("=== {} (region of {} instructions) ===", w.name, pinball.region.length);
+        println!("{report}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: capture a region of a running program, convert it to an
+//! ELFie, and run the ELFie natively.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use elfie::prelude::*;
+
+fn main() {
+    // 1. Pick a workload (a pointer-chasing benchmark from the synthetic
+    //    SPEC-like suite) and capture a region of its execution as a fat
+    //    pinball: 50k instructions starting after the first 100k.
+    let workload = elfie::workloads::mcf_like(2);
+    println!("workload: {}", workload.name);
+
+    let logger = Logger::new(LoggerConfig::fat(
+        &workload.name,
+        RegionTrigger::GlobalIcount(100_000),
+        50_000,
+    ));
+    let pinball = logger
+        .capture(&workload.program, |m| workload.setup(m))
+        .expect("region capture");
+    println!(
+        "pinball: {} pages, {} thread(s), region = {} instructions",
+        pinball.image.page_count(),
+        pinball.threads.len(),
+        pinball.region.length,
+    );
+
+    // 2. Convert the pinball into a stand-alone ELF executable. The
+    //    standard recipe extracts SYSSTATE, arms the graceful-exit
+    //    counters and inserts an SSC region-of-interest marker.
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("pinball2elf");
+    println!(
+        "ELFie: {} bytes, {} sections remapped at startup, startup code {} bytes",
+        elfie.stats.elf_bytes, elfie.stats.remapped_runs, elfie.stats.startup_bytes,
+    );
+    println!("--- generated linker script (excerpt) ---");
+    for line in elfie.linker_script.lines().take(8) {
+        println!("{line}");
+    }
+
+    // 3. Run the ELFie natively. It starts from the captured state and
+    //    exits gracefully after exactly the recorded instruction count.
+    let meas = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 42, 100_000_000, |m| {
+        sysstate.stage_files(m)
+    })
+    .expect("ELFie loads");
+    println!(
+        "native run: {} instructions in {} cycles -> CPI {:.3} (exit: {:?})",
+        meas.insns, meas.cycles, meas.cpi, meas.exit,
+    );
+    assert!(meas.completed, "graceful exit expected");
+
+    // 4. The same ELFie feeds a simulator without any modification.
+    let out = simulate_elfie(&elfie.bytes, &Simulator::coresim_sde(), vec![], |m| {
+        sysstate.stage_files(m)
+    })
+    .expect("simulates");
+    println!(
+        "simulated (CoreSim/SDE): {} instructions, {} cycles, IPC {:.3}, runtime {} ns",
+        out.stats.user_insns, out.cycles, out.ipc, out.runtime_ns
+    );
+}

@@ -1,0 +1,57 @@
+//! Region-selection validation with ELFies (paper Section IV-A).
+//!
+//! Runs the PinPoints methodology on a multi-phase workload, builds an
+//! ELFie per selected region (falling back to alternates when a region
+//! fails), measures each natively with hardware counters, and compares the
+//! weighted CPI prediction against the whole-program run — the validation
+//! that takes "weeks" with whole-program simulation and "one hour" with
+//! ELFies on real hardware.
+//!
+//! ```sh
+//! cargo run --release --example region_validation
+//! ```
+
+use elfie::prelude::*;
+
+fn main() {
+    let suite = [
+        elfie::workloads::gcc_like(3),
+        elfie::workloads::perlbench_like(3),
+        elfie::workloads::xz_like(3),
+    ];
+    let cfg = PinPointsConfig {
+        slice_size: 50_000,
+        warmup: 25_000,
+        max_k: 12,
+        alternates: 3,
+        ..PinPointsConfig::default()
+    };
+    println!(
+        "{:<18} {:>3} {:>10} {:>10} {:>8} {:>9}",
+        "benchmark", "k", "true CPI", "pred CPI", "err %", "coverage"
+    );
+    for w in &suite {
+        let report = elfie::pipeline::validate_with_elfies(w, &cfg, 11, 2_000_000_000)
+            .expect("validation pipeline");
+        println!(
+            "{:<18} {:>3} {:>10.3} {:>10.3} {:>7.2}% {:>8.0}%",
+            w.name,
+            report.k,
+            report.true_cpi,
+            report.predicted_cpi,
+            report.error * 100.0,
+            report.coverage * 100.0,
+        );
+        for r in &report.regions {
+            let status = match &r.measurement {
+                Some(m) if m.completed => format!("ok (CPI {:.3})", m.cpi),
+                Some(m) => format!("failed ({:?})", m.exit),
+                None => "capture/convert failed".to_string(),
+            };
+            println!(
+                "    cluster {} rank {} slice {:>4} weight {:.3}: {status}",
+                r.cluster, r.rank, r.slice_index, r.weight
+            );
+        }
+    }
+}

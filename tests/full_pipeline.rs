@@ -1,0 +1,169 @@
+//! Workspace-level integration tests: the complete Fig. 1 flow over real
+//! workloads, exercising every crate together.
+
+use elfie::prelude::*;
+
+#[test]
+fn quickstart_flow_capture_convert_run() {
+    let w = elfie::workloads::mcf_like(1);
+    let logger = Logger::new(LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(50_000),
+        20_000,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    assert!(pinball.meta.fat);
+
+    let (elfie, sysstate) = elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+    let meas = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 7, 100_000_000, |m| {
+        sysstate.stage_files(m)
+    })
+    .expect("loads");
+    assert!(meas.completed, "graceful exit: {:?}", meas.exit);
+    // The measured span is the captured region (within the trampoline
+    // tolerance).
+    assert!(
+        meas.insns >= 20_000 && meas.insns <= 20_050,
+        "measured {} instructions",
+        meas.insns
+    );
+    assert!(meas.cpi > 0.2 && meas.cpi < 60.0, "cpi {}", meas.cpi);
+}
+
+#[test]
+fn validation_flow_on_phase_workload() {
+    // The Section IV-A validation flow end to end on a small scale:
+    // regions selected by SimPoint, ELFies measured natively, prediction
+    // compared against the whole-program run.
+    let w = elfie::workloads::gcc_like(2);
+    let cfg = PinPointsConfig {
+        slice_size: 40_000,
+        warmup: 20_000,
+        max_k: 10,
+        alternates: 3,
+        ..PinPointsConfig::default()
+    };
+    let report =
+        elfie::pipeline::validate_with_elfies(&w, &cfg, 3, 500_000_000).expect("pipeline runs");
+    assert!(report.k >= 1);
+    assert!(report.coverage > 0.5, "coverage {}", report.coverage);
+    assert!(report.true_cpi > 0.0 && report.predicted_cpi > 0.0);
+    assert!(
+        report.error.abs() < 0.6,
+        "prediction error {} (true {} vs predicted {})",
+        report.error,
+        report.true_cpi,
+        report.predicted_cpi
+    );
+}
+
+#[test]
+fn elfie_region_matches_replay_region_exactly() {
+    // ELFie vs constrained replay on a syscall-free region: identical
+    // final architectural state.
+    let w = elfie::workloads::exchange2_like(1);
+    let logger = Logger::new(LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(10_000),
+        5_000,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+
+    let replayer = Replayer::new(ReplayConfig::default());
+    let (rs, replay_machine) = replayer.replay_full(&pinball, |_| {});
+    assert!(rs.completed);
+
+    let (elfie, sysstate) = elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+    let mut m = Machine::new(MachineConfig::default());
+    sysstate.stage_files(&mut m);
+    elfie::elf::load(&mut m, &elfie.bytes, &elfie::elf::LoaderConfig::default()).expect("loads");
+    let s = m.run(100_000_000);
+    assert_eq!(s.reason, ExitReason::AllExited(0));
+
+    for reg in elfie::isa::Reg::ALL {
+        if reg == elfie::isa::Reg::Rsp {
+            continue; // the replay machine never ran startup; rsp differs
+        }
+        assert_eq!(
+            m.threads[0].regs.read(reg),
+            replay_machine.threads[0].regs.read(reg),
+            "{reg} differs between ELFie and replay"
+        );
+    }
+}
+
+#[test]
+fn simulators_accept_elfies_without_modification() {
+    let w = elfie::workloads::xz_like(1);
+    let logger = Logger::new(LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(30_000),
+        10_000,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+
+    // Same ELFie bytes, three different simulators, zero modifications.
+    for sim in [
+        Simulator::coresim_sde(),
+        Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like()),
+        Simulator::gem5_se(elfie::sim::CoreParams::haswell_like()),
+    ] {
+        let out = simulate_elfie(&elfie.bytes, &sim, vec![], |m| sysstate.stage_files(m))
+            .expect("loads");
+        assert!(
+            matches!(out.exit, ExitReason::AllExited(0)),
+            "{}: {:?}",
+            sim.params.name,
+            out.exit
+        );
+        assert!(
+            out.stats.user_insns >= 10_000 && out.stats.user_insns <= 10_050,
+            "{} modelled {}",
+            sim.params.name,
+            out.stats.user_insns
+        );
+    }
+}
+
+#[test]
+fn multithreaded_elfie_icount_inflation_fig11() {
+    // Fig. 11: unconstrained MT ELFie simulation re-executes spin loops,
+    // so its instruction counts exceed the recorded pinball counts, while
+    // constrained pinball simulation matches them exactly.
+    let w = elfie::workloads::bwaves_s_like(1, 4);
+    let logger = Logger::new(LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(4_000),
+        30_000,
+    ));
+    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    assert!(pinball.threads.len() >= 2, "MT region: {} threads", pinball.threads.len());
+    let recorded: u64 = pinball.region.thread_icounts.values().sum();
+
+    // Constrained pinball simulation: exact.
+    let sim = Simulator { roi: elfie::sim::RoiMode::Always, ..Simulator::sniper() };
+    let pb_out = simulate_pinball(&pinball, &sim);
+    let pb_insns: u64 = pinball
+        .region
+        .thread_icounts
+        .keys()
+        .map(|tid| pb_out.machine_icounts[tid])
+        .sum();
+    assert_eq!(pb_insns, recorded, "pinball simulation matches the recording");
+
+    // Unconstrained ELFie simulation: spin loops re-execute freely.
+    let opts = elfie::pinball2elf::ConvertOptions {
+        roi_marker: Some((MarkerKind::Sniper, 1)),
+        ..Default::default()
+    };
+    let elfie = elfie::pinball2elf::convert(&pinball, &opts).expect("converts");
+    let e_out = simulate_elfie(&elfie.bytes, &Simulator::sniper(), vec![], |_| {}).expect("loads");
+    assert!(matches!(e_out.exit, ExitReason::AllExited(0)), "{:?}", e_out.exit);
+    let modelled = e_out.stats.user_insns;
+    assert!(
+        modelled + 64 >= recorded,
+        "ELFie ran at least the recorded region: {modelled} vs {recorded}"
+    );
+}
