@@ -7,10 +7,14 @@
 use std::time::Instant;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
-    let experiments: Vec<(&str, fn() -> String)> = vec![
+    type Experiment = (&'static str, fn() -> String);
+    let experiments: Vec<Experiment> = vec![
         ("table1", elfie_bench::experiments::overhead::table1),
         ("fig9", elfie_bench::experiments::selection::fig9),
         ("table2", elfie_bench::experiments::selection::table2),
@@ -19,9 +23,26 @@ fn main() {
         ("fig11", elfie_bench::experiments::mt::fig11),
         ("table4", elfie_bench::experiments::fullsys::table4),
         ("table5", elfie_bench::experiments::gem5::table5),
-        ("ablation_fat", elfie_bench::experiments::ablations::fat_pinball),
-        ("ablation_remap", elfie_bench::experiments::ablations::stack_remap),
-        ("ablation_graceful", elfie_bench::experiments::ablations::graceful_exit),
+        (
+            "ablation_fat",
+            elfie_bench::experiments::ablations::fat_pinball,
+        ),
+        (
+            "ablation_remap",
+            elfie_bench::experiments::ablations::stack_remap,
+        ),
+        (
+            "ablation_graceful",
+            elfie_bench::experiments::ablations::graceful_exit,
+        ),
+        (
+            "parallel_scaling",
+            elfie_bench::experiments::ablations::parallel_scaling,
+        ),
+        (
+            "cache_effect",
+            elfie_bench::experiments::ablations::cache_effect,
+        ),
     ];
 
     for (name, f) in experiments {

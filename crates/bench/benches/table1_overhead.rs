@@ -20,10 +20,19 @@ fn prepare(w: Workload, start: u64, region: u64) -> Prepared {
         RegionTrigger::GlobalIcount(start),
         region,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let (elfie, sysstate) =
         elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
-    Prepared { workload: w, pinball, elfie_bytes: elfie.bytes, sysstate, start, region }
+    Prepared {
+        workload: w,
+        pinball,
+        elfie_bytes: elfie.bytes,
+        sysstate,
+        start,
+        region,
+    }
 }
 
 fn bench_modes(c: &mut Criterion, label: &str, p: &Prepared) {
@@ -32,7 +41,8 @@ fn bench_modes(c: &mut Criterion, label: &str, p: &Prepared) {
     g.bench_function("native", |b| {
         b.iter(|| {
             let mut m = p.workload.machine(MachineConfig::default());
-            m.stop_conditions.push(elfie::vm::StopWhen::GlobalInsns(p.start + p.region));
+            m.stop_conditions
+                .push(elfie::vm::StopWhen::GlobalInsns(p.start + p.region));
             std::hint::black_box(m.run(u64::MAX / 2));
         })
     });

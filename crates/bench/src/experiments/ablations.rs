@@ -12,15 +12,24 @@ pub fn fat_pinball() -> String {
         let cfg = if fat {
             elfie::pinplay::LoggerConfig::fat(&w.name, RegionTrigger::GlobalIcount(60_000), 40_000)
         } else {
-            elfie::pinplay::LoggerConfig::regular(&w.name, RegionTrigger::GlobalIcount(60_000), 40_000)
+            elfie::pinplay::LoggerConfig::regular(
+                &w.name,
+                RegionTrigger::GlobalIcount(60_000),
+                40_000,
+            )
         };
-        elfie::pinplay::Logger::new(cfg).capture(&w.program, |m| w.setup(m)).expect("captures")
+        elfie::pinplay::Logger::new(cfg)
+            .capture(&w.program, |m| w.setup(m))
+            .expect("captures")
     };
     let fat = capture(true);
     let regular = capture(false);
 
     let run_elfie = |pb: &elfie::pinball::Pinball, force: bool| -> String {
-        let opts = ConvertOptions { force_regular: force, ..ConvertOptions::default() };
+        let opts = ConvertOptions {
+            force_regular: force,
+            ..ConvertOptions::default()
+        };
         match convert(pb, &opts) {
             Ok(elfie) => {
                 let mut m = Machine::new(MachineConfig::default());
@@ -30,7 +39,13 @@ pub fn fat_pinball() -> String {
         }
     };
 
-    let mut t = Table::new(&["pinball", "bundle bytes", "image pages", "lazy pages", "ELFie outcome"]);
+    let mut t = Table::new(&[
+        "pinball",
+        "bundle bytes",
+        "image pages",
+        "lazy pages",
+        "ELFie outcome",
+    ]);
     t.row(&[
         "fat (-log:fat)".into(),
         fat.byte_size().to_string(),
@@ -45,7 +60,10 @@ pub fn fat_pinball() -> String {
         regular.lazy_pages.len().to_string(),
         run_elfie(&regular, true),
     ]);
-    format!("Ablation: fat vs regular pinballs for ELFie generation\n\n{}", t.render())
+    format!(
+        "Ablation: fat vs regular pinballs for ELFie generation\n\n{}",
+        t.render()
+    )
 }
 
 fn elfie_load_and_run(m: &mut Machine, bytes: &[u8]) -> String {
@@ -68,7 +86,9 @@ pub fn stack_remap() -> String {
         RegionTrigger::GlobalIcount(100_000),
         50_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let mut t = Table::new(&[
         "remap mode",
         "remapped runs",
@@ -80,7 +100,10 @@ pub fn stack_remap() -> String {
         (RemapMode::AllPages, "all pages (portable)"),
         (RemapMode::StackOnly, "stack only"),
     ] {
-        let opts = ConvertOptions { remap: mode, ..ConvertOptions::default() };
+        let opts = ConvertOptions {
+            remap: mode,
+            ..ConvertOptions::default()
+        };
         let elfie = convert(&pinball, &opts).expect("converts");
         let mut m = Machine::new(MachineConfig::default());
         let outcome = elfie_load_and_run(&mut m, &elfie.bytes);
@@ -110,13 +133,18 @@ pub fn graceful_exit() -> String {
         RegionTrigger::GlobalIcount(40_000),
         region,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let mut t = Table::new(&["mechanism", "app instructions run", "overrun", "outcome"]);
     // Baseline startup cost (page-remap copy loops etc.) measured from the
     // counter-armed run, which executes exactly `region` app instructions.
     let mut startup = 0u64;
     for (graceful, label) in [(true, "hw counter (paper)"), (false, "none")] {
-        let opts = ConvertOptions { graceful_exit: graceful, ..ConvertOptions::default() };
+        let opts = ConvertOptions {
+            graceful_exit: graceful,
+            ..ConvertOptions::default()
+        };
         let elfie = convert(&pinball, &opts).expect("converts");
         let mut m = Machine::new(MachineConfig::default());
         let outcome = elfie_load_and_run(&mut m, &elfie.bytes);
@@ -134,6 +162,124 @@ pub fn graceful_exit() -> String {
     }
     format!(
         "Ablation: graceful-exit mechanism (region = {region} instructions)\n\n{}",
+        t.render()
+    )
+}
+
+fn scaling_batch() -> (Vec<Workload>, PinPointsConfig) {
+    let f = InputScale::Train.factor();
+    let workloads = vec![
+        elfie::workloads::gcc_like(f),
+        elfie::workloads::mcf_like(f),
+        elfie::workloads::xalancbmk_like(f),
+        elfie::workloads::x264_like(f),
+    ];
+    let cfg = PinPointsConfig {
+        slice_size: 25_000,
+        warmup: 50_000,
+        max_k: 8,
+        alternates: 2,
+        ..PinPointsConfig::default()
+    };
+    (workloads, cfg)
+}
+
+/// **Parallel batch validation**: the same validation batch on 1, 2 and 4
+/// workers. Each run gets a fresh cache, so the comparison is pure
+/// scheduling; the reports must be identical to the serial ones bit for
+/// bit (the engine's determinism guarantee), which is asserted here.
+pub fn parallel_scaling() -> String {
+    let (workloads, cfg) = scaling_batch();
+    const FUEL: u64 = 1_000_000_000;
+    let cores = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let mut t = Table::new(&["workers", "wall clock", "speedup", "reports"]);
+    let mut serial: Option<Vec<ValidationReport>> = None;
+    let mut serial_secs = 0.0f64;
+    let mut speedup4 = 0.0f64;
+    for workers in [1usize, 2, 4] {
+        let engine = BatchValidator::new().with_workers(workers);
+        let (reports, stats) = engine
+            .validate_batch(&workloads, &cfg, 17, FUEL)
+            .expect("pipeline");
+        let secs = stats.total.as_secs_f64();
+        let (speedup, same) = match &serial {
+            None => {
+                serial_secs = secs;
+                serial = Some(reports);
+                (1.0, true)
+            }
+            Some(reference) => (serial_secs / secs, *reference == reports),
+        };
+        assert!(same, "{workers}-worker reports differ from serial");
+        if workers == 4 {
+            speedup4 = speedup;
+        }
+        t.row(&[
+            workers.to_string(),
+            format!("{secs:.2}s"),
+            format!("{speedup:.2}x"),
+            "identical to serial".to_string(),
+        ]);
+    }
+    // The speedup target only holds where 4 workers actually get 4 cores.
+    if cores >= 4 {
+        assert!(
+            speedup4 >= 2.0,
+            "expected >=2x at 4 workers, measured {speedup4:.2}x"
+        );
+    }
+    format!(
+        "Ablation: parallel batch validation ({} workloads, maxK 8, {} core(s) available)\n\n{}",
+        workloads.len(),
+        cores,
+        t.render()
+    )
+}
+
+/// **Pipeline cache**: the identical validation run twice on one engine.
+/// The second run must serve every BBV profile from the cache (zero
+/// profile misses) and reuse every successfully captured pinball — both
+/// asserted from the run-windowed [`PipelineStats`] counters.
+pub fn cache_effect() -> String {
+    let (workloads, cfg) = scaling_batch();
+    const FUEL: u64 = 1_000_000_000;
+    let engine = BatchValidator::new();
+    let mut t = Table::new(&["run", "wall clock", "profile hits", "pinball hits"]);
+    let mut first: Option<(Vec<ValidationReport>, PipelineStats)> = None;
+    for run in 1..=2 {
+        let (reports, stats) = engine
+            .validate_batch(&workloads, &cfg, 17, FUEL)
+            .expect("pipeline");
+        t.row(&[
+            format!("#{run}"),
+            format!("{:.2}s", stats.total.as_secs_f64()),
+            format!(
+                "{}/{}",
+                stats.cache.profile_hits,
+                stats.cache.profile_hits + stats.cache.profile_misses
+            ),
+            format!(
+                "{}/{}",
+                stats.cache.pinball_hits,
+                stats.cache.pinball_hits + stats.cache.pinball_misses
+            ),
+        ]);
+        match &first {
+            None => first = Some((reports, stats)),
+            Some((ref_reports, ref_stats)) => {
+                assert_eq!(*ref_reports, reports, "cached run changed the reports");
+                assert_eq!(stats.cache.profile_misses, 0, "second run re-profiled");
+                assert!(stats.cache.profile_hits > 0 && stats.cache.pinball_hits > 0);
+                // Only captures that *failed* the first time (and were
+                // therefore not cached) may capture again.
+                assert!(stats.cache.pinball_misses <= ref_stats.cache.pinball_misses);
+            }
+        }
+    }
+    format!(
+        "Ablation: content-addressed artifact cache (identical run twice)\n\n{}",
         t.render()
     )
 }

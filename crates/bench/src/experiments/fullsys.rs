@@ -21,7 +21,9 @@ pub fn table4() -> String {
         RegionTrigger::GlobalIcount(30_000),
         region,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let (elfie, sysstate) =
         elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
 
@@ -38,13 +40,17 @@ pub fn table4() -> String {
 
     let ring3 = user.stats.user_insns;
     let ring0 = full.stats.kernel_insns;
-    let runtime_delta =
-        full.runtime_ns as f64 / user.runtime_ns.max(1) as f64 - 1.0;
+    let runtime_delta = full.runtime_ns as f64 / user.runtime_ns.max(1) as f64 - 1.0;
     let fp_user = (user.stats.footprint_lines + user.stats.kernel_footprint_lines) * 64;
     let fp_full = (full.stats.footprint_lines + full.stats.kernel_footprint_lines) * 64;
     let fp_delta = fp_full as f64 / fp_user.max(1) as f64 - 1.0;
 
-    let mut t = Table::new(&["metric", "user-level (SDE)", "full-system (Simics)", "delta"]);
+    let mut t = Table::new(&[
+        "metric",
+        "user-level (SDE)",
+        "full-system (Simics)",
+        "delta",
+    ]);
     t.row(&[
         "ring-3 instructions".into(),
         user.stats.user_insns.to_string(),

@@ -44,8 +44,7 @@ pub fn table5() -> String {
         };
         let ipc = |params: elfie::sim::CoreParams| {
             let sim = Simulator::gem5_se(params);
-            crate::experiments::region_sim_cpi(&elfie.bytes, &sysstate, &sim)
-                .map(|cpi| 1.0 / cpi)
+            crate::experiments::region_sim_cpi(&elfie.bytes, &sysstate, &sim).map(|cpi| 1.0 / cpi)
         };
         let neh = ipc(elfie::sim::CoreParams::nehalem_like());
         let has = ipc(elfie::sim::CoreParams::haswell_like());

@@ -37,11 +37,7 @@ pub fn elfie_for_point(
 /// in the functional run but the detailed model engages at the marker; the
 /// warm-up span is part of the modelled region here, matching how
 /// simulators consume warm-up).
-pub fn region_sim_cpi(
-    elf: &[u8],
-    sysstate: &SysState,
-    sim: &Simulator,
-) -> Option<f64> {
+pub fn region_sim_cpi(elf: &[u8], sysstate: &SysState, sim: &Simulator) -> Option<f64> {
     let out = simulate_elfie(elf, sim, vec![], |m| sysstate.stage_files(m)).ok()?;
     if !matches!(out.exit, ExitReason::AllExited(_)) || out.stats.user_insns == 0 {
         return None;
@@ -52,11 +48,7 @@ pub fn region_sim_cpi(
 /// Simulation-based validation (the paper's "traditional approach"):
 /// whole-program simulated CPI vs the weighted prediction from simulating
 /// only the selected regions.
-pub fn validate_sim_based(
-    w: &Workload,
-    cfg: &PinPointsConfig,
-    fuel: u64,
-) -> (f64, f64, f64) {
+pub fn validate_sim_based(w: &Workload, cfg: &PinPointsConfig, fuel: u64) -> (f64, f64, f64) {
     let sim = Simulator {
         roi: elfie::sim::RoiMode::Always,
         fuel,
@@ -83,5 +75,9 @@ pub fn validate_sim_based(
         }
     }
     let predicted = elfie::simpoint::weighted_prediction(&samples);
-    (true_cpi, predicted, elfie::simpoint::prediction_error(true_cpi, predicted))
+    (
+        true_cpi,
+        predicted,
+        elfie::simpoint::prediction_error(true_cpi, predicted),
+    )
 }

@@ -77,7 +77,10 @@ pub fn fig11() -> String {
         let recorded: u64 = pinball.region.thread_icounts.values().sum();
 
         // Constrained pinball simulation.
-        let sim_pb = Simulator { roi: elfie::sim::RoiMode::Always, ..Simulator::sniper() };
+        let sim_pb = Simulator {
+            roi: elfie::sim::RoiMode::Always,
+            ..Simulator::sniper()
+        };
         let pb_out = simulate_pinball(&pinball, &sim_pb);
         let pb_insns: u64 = pinball
             .region
@@ -93,11 +96,17 @@ pub fn fig11() -> String {
         let end_count = end_pc.map(|pc| {
             let mut m = elfie::vm::Machine::with_observer(
                 MachineConfig::default(),
-                PcProfiler { pc, window: (start, start + region), total: 0, count: 0 },
+                PcProfiler {
+                    pc,
+                    window: (start, start + region),
+                    total: 0,
+                    count: 0,
+                },
             );
             m.load_program(&w.program);
             w.setup(&mut m);
-            m.stop_conditions.push(elfie::vm::StopWhen::GlobalInsns(start + region));
+            m.stop_conditions
+                .push(elfie::vm::StopWhen::GlobalInsns(start + region));
             m.run(u64::MAX / 2);
             m.obs.count
         });

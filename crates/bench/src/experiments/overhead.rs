@@ -45,7 +45,8 @@ pub fn measure(w: &Workload, start: u64, region: u64) -> Option<OverheadRow> {
     // Native: run the original program over the same span.
     let native = host_secs(|| {
         let mut m = w.machine(MachineConfig::default());
-        m.stop_conditions.push(elfie::vm::StopWhen::GlobalInsns(start + region));
+        m.stop_conditions
+            .push(elfie::vm::StopWhen::GlobalInsns(start + region));
         m.run(u64::MAX / 2);
     });
 
@@ -53,7 +54,11 @@ pub fn measure(w: &Workload, start: u64, region: u64) -> Option<OverheadRow> {
     let replayer = Replayer::new(ReplayConfig::default());
     let replay = host_secs(|| {
         let s = replayer.replay(&pinball, |_| {});
-        assert!(s.completed, "{}: replay diverged: {:?}", w.name, s.divergence);
+        assert!(
+            s.completed,
+            "{}: replay diverged: {:?}",
+            w.name, s.divergence
+        );
     });
 
     // ELFie native run.
@@ -61,12 +66,17 @@ pub fn measure(w: &Workload, start: u64, region: u64) -> Option<OverheadRow> {
     let elfie_secs = host_secs(|| {
         let mut m = Machine::new(MachineConfig::default());
         sysstate.stage_files(&mut m);
-        elfie::elf::load(&mut m, &elf.bytes, &elfie::elf::LoaderConfig::default())
-            .expect("loads");
+        elfie::elf::load(&mut m, &elf.bytes, &elfie::elf::LoaderConfig::default()).expect("loads");
         m.run(u64::MAX / 2);
     });
 
-    Some(OverheadRow { name: w.name.clone(), threads, native, replay, elfie: elfie_secs })
+    Some(OverheadRow {
+        name: w.name.clone(),
+        threads,
+        native,
+        replay,
+        elfie: elfie_secs,
+    })
 }
 
 /// The Table I overhead row, measured.

@@ -77,13 +77,19 @@ impl Args {
     }
 
     fn opt(&self, name: &str) -> Option<&str> {
-        self.options.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 
     fn opt_u64(&self, name: &str, default: u64) -> Result<u64, CliError> {
         match self.opt(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("--{name} expects an integer"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name} expects an integer"))),
         }
     }
 
@@ -148,7 +154,8 @@ pub fn cmd_record(args: &Args) -> Result<String, CliError> {
     let pb = Logger::new(cfg)
         .capture(&w.program, |m| w.setup(m))
         .map_err(|e| err(format!("capture failed: {e}")))?;
-    pb.save_dir(&out).map_err(|e| err(format!("save failed: {e}")))?;
+    pb.save_dir(&out)
+        .map_err(|e| err(format!("save failed: {e}")))?;
     Ok(format!(
         "captured {} ({} pages, {} thread(s), {} instructions) -> {}",
         pb.region.name,
@@ -168,7 +175,8 @@ pub fn cmd_sysstate(args: &Args) -> Result<String, CliError> {
     let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
     let st = SysState::extract(&pb);
     let out = PathBuf::from(args.opt("out").unwrap_or("sysstate"));
-    st.save_dir(&out).map_err(|e| err(format!("save failed: {e}")))?;
+    st.save_dir(&out)
+        .map_err(|e| err(format!("save failed: {e}")))?;
     Ok(format!(
         "sysstate: {} named proxies, {} FD_n proxies, brk first={:?} last={:?} -> {}",
         st.files.len(),
@@ -202,12 +210,14 @@ pub fn cmd_pinball2elf(args: &Args) -> Result<String, CliError> {
             .ok_or_else(|| err("--roi expects TYPE:TAG (e.g. ssc:1)"))?;
         let kind = MarkerKind::parse(kind)
             .ok_or_else(|| err(format!("unknown marker type `{kind}` (sniper|ssc|simics)")))?;
-        let tag: u32 = tag.parse().map_err(|_| err("--roi tag must be an integer"))?;
+        let tag: u32 = tag
+            .parse()
+            .map_err(|_| err("--roi tag must be an integer"))?;
         opts.roi_marker = Some((kind, tag));
     }
     if let Some(dir) = args.opt("sysstate") {
-        let st = SysState::load_dir(Path::new(dir))
-            .map_err(|e| err(format!("load sysstate: {e}")))?;
+        let st =
+            SysState::load_dir(Path::new(dir)).map_err(|e| err(format!("load sysstate: {e}")))?;
         opts.sysstate = Some(st);
     }
     let elfie = convert(&pb, &opts).map_err(|e| err(format!("conversion failed: {e}")))?;
@@ -234,7 +244,11 @@ pub fn cmd_pinball2pe(args: &Args) -> Result<String, CliError> {
     let out = PathBuf::from(args.opt("out").unwrap_or("a.pe"));
     let bytes = elfie::pinball2elf::pe::convert_pe(&pb).map_err(err)?;
     std::fs::write(&out, &bytes).map_err(|e| err(format!("write failed: {e}")))?;
-    Ok(format!("wrote {} ({} bytes, PE32+ container)", out.display(), bytes.len()))
+    Ok(format!(
+        "wrote {} ({} bytes, PE32+ container)",
+        out.display(),
+        bytes.len()
+    ))
 }
 
 /// `elfie run <elfie-file> [--sysstate DIR] [--seed N] [--fuel N]`
@@ -243,14 +257,24 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
     let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
     let seed = args.opt_u64("seed", 42)?;
     let fuel = args.opt_u64("fuel", 2_000_000_000)?;
-    let mut m = Machine::new(MachineConfig { seed, ..MachineConfig::default() });
+    let mut m = Machine::new(MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    });
     if let Some(dir) = args.opt("sysstate") {
-        let st = SysState::load_dir(Path::new(dir))
-            .map_err(|e| err(format!("load sysstate: {e}")))?;
+        let st =
+            SysState::load_dir(Path::new(dir)).map_err(|e| err(format!("load sysstate: {e}")))?;
         st.stage_files(&mut m);
     }
-    elfie::elf::load(&mut m, &bytes, &elfie::elf::LoaderConfig { seed, ..Default::default() })
-        .map_err(|e| err(format!("load failed: {e}")))?;
+    elfie::elf::load(
+        &mut m,
+        &bytes,
+        &elfie::elf::LoaderConfig {
+            seed,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| err(format!("load failed: {e}")))?;
     let s = m.run(fuel);
     let mut out = format!("exit: {:?}\n", s.reason);
     for t in &m.threads {
@@ -273,7 +297,11 @@ pub fn cmd_run(args: &Args) -> Result<String, CliError> {
 pub fn cmd_replay(args: &Args) -> Result<String, CliError> {
     let pb = load_pinball(args.pos(0, "pinball-dir")?, args.pos(1, "name")?)?;
     let injection = args.opt_u64("injection", 1)? != 0;
-    let cfg = if injection { ReplayConfig::default() } else { ReplayConfig::injectionless() };
+    let cfg = if injection {
+        ReplayConfig::default()
+    } else {
+        ReplayConfig::injectionless()
+    };
     let s = Replayer::new(cfg).replay(&pb, |_| {});
     let mut out = format!(
         "replay {}: completed={} injected={} lazy_pages={} instructions={}\n",
@@ -310,6 +338,69 @@ pub fn cmd_simpoint(args: &Args) -> Result<String, CliError> {
             "cluster {} rank {}: slice {} (start {}, length {}, warmup {}) weight {:.4}",
             p.cluster, p.rank, p.slice_index, p.start_icount, p.length, p.warmup, p.weight
         );
+    }
+    Ok(out)
+}
+
+/// `elfie validate <workload> [--scale S] [--slice N] [--warmup N]
+/// [--maxk N] [--seed N] [--fuel N] [--workers N] [--serial] [--stats]`
+///
+/// Runs the full ELFie-based validation flow (select → capture → convert
+/// → measure → compare against the whole-program run) on the parallel
+/// batch engine. `--workers 0` (default) uses every available core,
+/// `--serial` pins one worker; both produce the identical report.
+pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
+    let name = args.pos(0, "workload")?;
+    let scale = parse_scale(args.opt("scale"))?;
+    let w = find_workload(name, scale)?;
+    let cfg = PinPointsConfig {
+        slice_size: args.opt_u64("slice", 100_000)?,
+        warmup: args.opt_u64("warmup", 200_000)?,
+        max_k: args.opt_u64("maxk", 10)? as usize,
+        ..PinPointsConfig::default()
+    };
+    let seed = args.opt_u64("seed", 42)?;
+    let fuel = args.opt_u64("fuel", 2_000_000_000)?;
+    let workers = if args.flag("serial") {
+        1
+    } else {
+        args.opt_u64("workers", 0)? as usize
+    };
+    let engine = BatchValidator::new().with_workers(workers);
+    let (report, stats) = engine
+        .validate(&w, &cfg, seed, fuel)
+        .map_err(|e| err(format!("validation failed: {e}")))?;
+
+    let mut out = format!(
+        "{}: {} phases, coverage {:.1}%\n\
+         true CPI {:.4}  predicted CPI {:.4}  error {:+.2}%\n",
+        w.name,
+        report.k,
+        100.0 * report.coverage,
+        report.true_cpi,
+        report.predicted_cpi,
+        100.0 * report.error
+    );
+    for r in &report.regions {
+        let _ = write!(
+            out,
+            "cluster {} rank {}: slice {} weight {:.4} — ",
+            r.cluster, r.rank, r.slice_index, r.weight
+        );
+        match &r.measurement {
+            Some(m) if m.completed && m.insns > 0 => {
+                let _ = writeln!(out, "CPI {:.4} ({} insns)", m.cpi, m.insns);
+            }
+            Some(m) => {
+                let _ = writeln!(out, "incomplete ({:?})", m.exit);
+            }
+            None => {
+                let _ = writeln!(out, "failed");
+            }
+        }
+    }
+    if args.flag("stats") {
+        let _ = writeln!(out, "{stats}");
     }
     Ok(out)
 }
@@ -399,6 +490,9 @@ COMMANDS:
   replay <dir> <name> [--injection 0|1]  constrained replay of a pinball
   simpoint <workload> [--slice N] [--warmup N] [--maxk N] [--scale S]
                                          PinPoints region selection
+  validate <workload> [--slice N] [--warmup N] [--maxk N] [--scale S]
+         [--seed N] [--fuel N] [--workers N] [--serial] [--stats]
+                                         ELFie-based validation (parallel)
   simulate <file> [--sim sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell]
          [--sysstate DIR]                simulate an ELFie
   disasm <file> [--section NAME]         disassemble an ELFie section
@@ -418,6 +512,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "object",
         "force",
         "stack-only",
+        "serial",
+        "stats",
     ][..];
     let args = Args::parse(rest, flags);
     match cmd.as_str() {
@@ -429,6 +525,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "run" => cmd_run(&args),
         "replay" => cmd_replay(&args),
         "simpoint" => cmd_simpoint(&args),
+        "validate" => cmd_validate(&args),
         "simulate" => cmd_simulate(&args),
         "disasm" => cmd_disasm(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -521,8 +618,8 @@ mod tests {
             dir.display()
         )))
         .expect("record");
-        let out = dispatch(&argv(&format!("replay {} exchange2_like", dir.display())))
-            .expect("replay");
+        let out =
+            dispatch(&argv(&format!("replay {} exchange2_like", dir.display()))).expect("replay");
         assert!(out.contains("completed=true"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -550,10 +647,38 @@ mod tests {
 
     #[test]
     fn simpoint_command_prints_points() {
-        let out =
-            dispatch(&argv("simpoint gcc_like --scale test --slice 5000 --maxk 8")).expect("ok");
+        let out = dispatch(&argv(
+            "simpoint gcc_like --scale test --slice 5000 --maxk 8",
+        ))
+        .expect("ok");
         assert!(out.contains("phases"), "{out}");
         assert!(out.contains("cluster 0 rank 0"), "{out}");
+    }
+
+    #[test]
+    fn validate_command_reports_prediction_and_stats() {
+        let out = dispatch(&argv(
+            "validate gcc_like --scale test --slice 5000 --warmup 2000 --maxk 6 \
+             --fuel 50000000 --workers 2 --stats",
+        ))
+        .expect("validates");
+        assert!(out.contains("true CPI"), "{out}");
+        assert!(out.contains("cluster 0 rank 0"), "{out}");
+        assert!(out.contains("pipeline:"), "{out}");
+        assert!(out.contains("regions:"), "{out}");
+    }
+
+    #[test]
+    fn validate_serial_flag_pins_one_worker() {
+        let out = dispatch(&argv(
+            "validate mcf_like --scale test --slice 5000 --warmup 2000 --maxk 4 \
+             --fuel 50000000 --serial --stats",
+        ))
+        .expect("validates");
+        assert!(
+            out.contains("1 worker\n") || out.contains("1 worker "),
+            "{out}"
+        );
     }
 
     #[test]
@@ -568,10 +693,7 @@ mod tests {
 
     #[test]
     fn args_parser_handles_options_and_flags() {
-        let a = Args::parse(
-            &argv("pos1 --num 5 --flag pos2 --name value"),
-            &["flag"],
-        );
+        let a = Args::parse(&argv("pos1 --num 5 --flag pos2 --name value"), &["flag"]);
         assert_eq!(a.pos(0, "x").unwrap(), "pos1");
         assert_eq!(a.pos(1, "x").unwrap(), "pos2");
         assert_eq!(a.opt_u64("num", 0).unwrap(), 5);

@@ -123,18 +123,28 @@ pub struct AnalysisTool {
 impl AnalysisTool {
     /// Analysis active from the first instruction (plain binaries).
     pub fn new() -> AnalysisTool {
-        AnalysisTool { active: true, ..AnalysisTool::default() }
+        AnalysisTool {
+            active: true,
+            ..AnalysisTool::default()
+        }
     }
 
     /// Analysis gated on an ROI marker (ELFies: skip the startup code).
     pub fn gated(roi: MarkerKind) -> AnalysisTool {
-        AnalysisTool { roi: Some(roi), active: false, ..AnalysisTool::default() }
+        AnalysisTool {
+            roi: Some(roi),
+            active: false,
+            ..AnalysisTool::default()
+        }
     }
 
     /// The `n` most-executed conditional branches: `(pc, executed, taken)`.
     pub fn hot_branches(&self, n: usize) -> Vec<(u64, u64, u64)> {
-        let mut v: Vec<(u64, u64, u64)> =
-            self.branches.iter().map(|(&pc, &(ex, tk))| (pc, ex, tk)).collect();
+        let mut v: Vec<(u64, u64, u64)> = self
+            .branches
+            .iter()
+            .map(|(&pc, &(ex, tk))| (pc, ex, tk))
+            .collect();
         v.sort_by_key(|&(_, ex, _)| std::cmp::Reverse(ex));
         v.truncate(n);
         v
@@ -254,11 +264,17 @@ pub fn analyze_elfie(
     stage: impl FnOnce(&mut Machine<AnalysisTool>),
 ) -> Result<AnalysisReport, elfie_elf::LoadError> {
     let mut m = Machine::with_observer(
-        MachineConfig { seed, ..MachineConfig::default() },
+        MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        },
         AnalysisTool::gated(roi),
     );
     stage(&mut m);
-    let loader = elfie_elf::LoaderConfig { seed, ..elfie_elf::LoaderConfig::default() };
+    let loader = elfie_elf::LoaderConfig {
+        seed,
+        ..elfie_elf::LoaderConfig::default()
+    };
     elfie_elf::load(&mut m, elf_bytes, &loader)?;
     m.run(fuel);
     let tool = &m.obs;
@@ -285,7 +301,11 @@ mod tests {
         mix.classify(&Insn::Store(Mem::base(Reg::Rbx), Reg::Rax));
         mix.classify(&Insn::Jcc(Cond::E, 4));
         mix.classify(&Insn::Jmp(4));
-        mix.classify(&Insn::FpRR(elfie_isa::FpOp::Add, elfie_isa::Xmm(0), elfie_isa::Xmm(1)));
+        mix.classify(&Insn::FpRR(
+            elfie_isa::FpOp::Add,
+            elfie_isa::Xmm(0),
+            elfie_isa::Xmm(1),
+        ));
         mix.classify(&Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx));
         mix.classify(&Insn::AluRI(AluOp::Imul, Reg::Rax, 3));
         mix.classify(&Insn::Syscall);
@@ -295,7 +315,10 @@ mod tests {
             (mix.loads, mix.stores, mix.cond_branches, mix.jumps),
             (1, 1, 1, 1)
         );
-        assert_eq!((mix.fp, mix.atomics, mix.muldiv, mix.syscalls, mix.other), (1, 1, 1, 1, 1));
+        assert_eq!(
+            (mix.fp, mix.atomics, mix.muldiv, mix.syscalls, mix.other),
+            (1, 1, 1, 1, 1)
+        );
     }
 
     #[test]
@@ -345,7 +368,9 @@ mod tests {
             elfie_pinball::RegionTrigger::GlobalIcount(30_000),
             5_000,
         ));
-        let pb = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+        let pb = logger
+            .capture(&w.program, |m| w.setup(m))
+            .expect("captures");
         let (elfie, sysstate) =
             crate::pipeline::make_elfie(&pb, MarkerKind::Ssc).expect("converts");
         let report = analyze_elfie(&elfie.bytes, MarkerKind::Ssc, 1, 100_000_000, |m| {
@@ -354,7 +379,11 @@ mod tests {
         .expect("loads");
         // Analysis covers the region (± trampoline), not the startup.
         assert!(report.mix.total >= 5_000 && report.mix.total <= 5_050);
-        assert!(report.mix.cond_branches > 300, "xz is branchy: {}", report.mix.cond_branches);
+        assert!(
+            report.mix.cond_branches > 300,
+            "xz is branchy: {}",
+            report.mix.cond_branches
+        );
         assert!(report.data_pages >= 1);
         assert!(!report.hot_branches.is_empty());
         let text = report.to_string();

@@ -1,0 +1,250 @@
+//! Content-addressed caching of expensive pipeline artifacts.
+//!
+//! The two dominant costs in validation are BBV profiling (a full guest
+//! run per workload) and fat-pinball capture (another full run per
+//! candidate region). Both are deterministic functions of their inputs,
+//! so [`PipelineCache`] stores them under stable content hashes: a profile
+//! under [`elfie_simpoint::ProfileKey`] (workload content, machine
+//! fingerprint, slice size, fuel) and a pinball under the workload content
+//! plus the exact region coordinates. Repeating a validation — a second
+//! trial with a different clustering seed, an ablation over warm-up sizes,
+//! a re-run of the same experiment — then reuses the artifacts instead of
+//! re-executing the guest.
+//!
+//! The cache is `Sync`; the parallel batch engine shares one instance
+//! across all workers. Values are handed out as `Arc`s, so hits are
+//! O(1) and never clone page data.
+
+use elfie_pinball::Pinball;
+use elfie_pinplay::CaptureError;
+use elfie_simpoint::{BbvProfile, PinPoint, ProfileKey};
+use elfie_vm::MachineConfig;
+use elfie_workloads::Workload;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared store for BBV profiles and captured pinballs.
+#[derive(Debug, Default)]
+pub struct PipelineCache {
+    profiles: Mutex<HashMap<u64, Arc<BbvProfile>>>,
+    pinballs: Mutex<HashMap<u64, Arc<Pinball>>>,
+    profile_hits: AtomicU64,
+    profile_misses: AtomicU64,
+    pinball_hits: AtomicU64,
+    pinball_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Profile lookups served from the cache.
+    pub profile_hits: u64,
+    /// Profile lookups that had to profile the guest.
+    pub profile_misses: u64,
+    /// Pinball lookups served from the cache.
+    pub pinball_hits: u64,
+    /// Pinball lookups that had to capture.
+    pub pinball_misses: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both stores.
+    pub fn hits(&self) -> u64 {
+        self.profile_hits + self.pinball_hits
+    }
+
+    /// Total misses across both stores.
+    pub fn misses(&self) -> u64 {
+        self.profile_misses + self.pinball_misses
+    }
+
+    /// The counter deltas accumulated since an `earlier` snapshot —
+    /// windows lifetime counters to one run.
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            profile_hits: self.profile_hits.saturating_sub(earlier.profile_hits),
+            profile_misses: self.profile_misses.saturating_sub(earlier.profile_misses),
+            pinball_hits: self.pinball_hits.saturating_sub(earlier.pinball_hits),
+            pinball_misses: self.pinball_misses.saturating_sub(earlier.pinball_misses),
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "profiles {}/{} hit, pinballs {}/{} hit",
+            self.profile_hits,
+            self.profile_hits + self.profile_misses,
+            self.pinball_hits,
+            self.pinball_hits + self.pinball_misses,
+        )
+    }
+}
+
+impl PipelineCache {
+    /// An empty cache.
+    pub fn new() -> PipelineCache {
+        PipelineCache::default()
+    }
+
+    /// The cache key of a profiling run.
+    pub fn profile_key(w: &Workload, machine: &MachineConfig, slice_size: u64, fuel: u64) -> u64 {
+        ProfileKey::new(w.content_hash(), machine, slice_size, fuel).digest()
+    }
+
+    /// The cache key of a region capture. Capture replays the workload
+    /// from the start, so the pinball is fully determined by the workload
+    /// content and the region coordinates (no machine config or fuel —
+    /// the logger runs its own machine to the region end).
+    pub fn pinball_key(w: &Workload, point: &PinPoint) -> u64 {
+        elfie_isa::Fnv64::new()
+            .u64(w.content_hash())
+            .u64(point.start_icount)
+            .u64(point.warmup)
+            .u64(point.length)
+            .u64(point.weight.to_bits())
+            .u64(point.slice_index)
+            .finish()
+    }
+
+    /// Returns the cached profile under `key`, or runs `compute`, stores
+    /// and returns its result.
+    ///
+    /// The lock is *not* held across `compute`, so concurrent workers can
+    /// profile different workloads at the same time. Two workers racing on
+    /// the same key may both compute; profiling is deterministic, so both
+    /// produce the same value and either insert wins.
+    pub fn profile(&self, key: u64, compute: impl FnOnce() -> BbvProfile) -> Arc<BbvProfile> {
+        if let Some(hit) = self.profiles.lock().unwrap().get(&key) {
+            self.profile_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        self.profile_misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let mut store = self.profiles.lock().unwrap();
+        Arc::clone(store.entry(key).or_insert(value))
+    }
+
+    /// Returns the cached pinball under `key`, or runs `compute`.
+    /// Failed captures are returned as-is and never cached.
+    ///
+    /// # Errors
+    /// Propagates the [`CaptureError`] from `compute` on a miss.
+    pub fn pinball(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<Pinball, CaptureError>,
+    ) -> Result<Arc<Pinball>, CaptureError> {
+        if let Some(hit) = self.pinballs.lock().unwrap().get(&key) {
+            self.pinball_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        self.pinball_misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute()?);
+        let mut store = self.pinballs.lock().unwrap();
+        Ok(Arc::clone(store.entry(key).or_insert(value)))
+    }
+
+    /// Number of stored profiles.
+    pub fn profile_count(&self) -> usize {
+        self.profiles.lock().unwrap().len()
+    }
+
+    /// Number of stored pinballs.
+    pub fn pinball_count(&self) -> usize {
+        self.pinballs.lock().unwrap().len()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            profile_hits: self.profile_hits.load(Ordering::Relaxed),
+            profile_misses: self.profile_misses.load(Ordering::Relaxed),
+            pinball_hits: self.pinball_hits.load(Ordering::Relaxed),
+            pinball_misses: self.pinball_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every stored artifact and resets the counters.
+    pub fn clear(&self) {
+        self.profiles.lock().unwrap().clear();
+        self.pinballs.lock().unwrap().clear();
+        self.profile_hits.store(0, Ordering::Relaxed);
+        self.profile_misses.store(0, Ordering::Relaxed);
+        self.pinball_hits.store(0, Ordering::Relaxed);
+        self.pinball_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(total: u64) -> BbvProfile {
+        BbvProfile {
+            slice_size: 100,
+            slices: Vec::new(),
+            total_insns: total,
+        }
+    }
+
+    #[test]
+    fn profile_hits_after_first_compute() {
+        let cache = PipelineCache::new();
+        let a = cache.profile(7, || profile_with(1));
+        let b = cache.profile(7, || panic!("must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.profile_hits, s.profile_misses), (1, 1));
+    }
+
+    #[test]
+    fn distinct_keys_compute_separately() {
+        let cache = PipelineCache::new();
+        cache.profile(1, || profile_with(1));
+        cache.profile(2, || profile_with(2));
+        assert_eq!(cache.profile_count(), 2);
+        assert_eq!(cache.stats().profile_misses, 2);
+    }
+
+    #[test]
+    fn failed_captures_are_not_cached() {
+        let cache = PipelineCache::new();
+        let r = cache.pinball(3, || Err(CaptureError::NoLiveThreads));
+        assert!(r.is_err());
+        assert_eq!(cache.pinball_count(), 0);
+        // A later successful compute still runs.
+        assert_eq!(cache.stats().pinball_misses, 1);
+    }
+
+    #[test]
+    fn clear_resets_contents_and_counters() {
+        let cache = PipelineCache::new();
+        cache.profile(1, || profile_with(1));
+        cache.profile(1, || profile_with(1));
+        cache.clear();
+        assert_eq!(cache.profile_count(), 0);
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn keys_separate_workloads_and_parameters() {
+        let a = elfie_workloads::gcc_like(1);
+        let b = elfie_workloads::mcf_like(1);
+        let m = MachineConfig::default();
+        let k1 = PipelineCache::profile_key(&a, &m, 1000, 1_000_000);
+        assert_eq!(k1, PipelineCache::profile_key(&a, &m, 1000, 1_000_000));
+        assert_ne!(k1, PipelineCache::profile_key(&b, &m, 1000, 1_000_000));
+        assert_ne!(k1, PipelineCache::profile_key(&a, &m, 2000, 1_000_000));
+        assert_ne!(k1, PipelineCache::profile_key(&a, &m, 1000, 2_000_000));
+        let m2 = MachineConfig {
+            seed: 99,
+            ..MachineConfig::default()
+        };
+        assert_ne!(k1, PipelineCache::profile_key(&a, &m2, 1000, 1_000_000));
+    }
+}

@@ -13,7 +13,11 @@
 //!   warm-up exclusion and graceful exit,
 //! * [`pipeline::validate_with_elfies`] — the full region-selection
 //!   validation case study (Section IV-A), with alternate regions raising
-//!   coverage when a candidate fails.
+//!   coverage when a candidate fails,
+//! * [`parallel::BatchValidator`] — the same validation fanned across a
+//!   worker pool with deterministic (serial-identical) reports, a
+//!   content-addressed artifact cache ([`cache::PipelineCache`]) and
+//!   per-stage instrumentation ([`stats::PipelineStats`]).
 //!
 //! ```
 //! use elfie::prelude::*;
@@ -32,38 +36,44 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
+pub mod parallel;
 pub mod perf;
 pub mod pipeline;
+pub mod stats;
 
-/// The guest instruction set.
-pub use elfie_isa as isa;
-/// The guest machine (memory, kernel, threads, counters).
-pub use elfie_vm as vm;
-/// The pinball checkpoint format.
-pub use elfie_pinball as pinball;
-/// The PinPlay logger and replayer.
-pub use elfie_pinplay as pinplay;
 /// ELF64 writer/reader and the emulated system loader.
 pub use elfie_elf as elf;
+/// The guest instruction set.
+pub use elfie_isa as isa;
+/// The pinball checkpoint format.
+pub use elfie_pinball as pinball;
 /// The pinball → ELFie converter.
 pub use elfie_pinball2elf as pinball2elf;
-/// The pinball_sysstate analysis.
-pub use elfie_sysstate as sysstate;
-/// SimPoint/PinPoints region selection.
-pub use elfie_simpoint as simpoint;
+/// The PinPlay logger and replayer.
+pub use elfie_pinplay as pinplay;
 /// The simulator substrate (Sniper/CoreSim/gem5-like).
 pub use elfie_sim as sim;
+/// SimPoint/PinPoints region selection.
+pub use elfie_simpoint as simpoint;
+/// The pinball_sysstate analysis.
+pub use elfie_sysstate as sysstate;
+/// The guest machine (memory, kernel, threads, counters).
+pub use elfie_vm as vm;
 /// The synthetic benchmark suite.
 pub use elfie_workloads as workloads;
 
 /// Convenient glob import for the common types.
 pub mod prelude {
     pub use crate::analysis::{analyze_elfie, AnalysisReport, AnalysisTool};
+    pub use crate::cache::{CacheStats, PipelineCache};
+    pub use crate::parallel::BatchValidator;
     pub use crate::perf::{measure_elfie, measure_program, NativeMeasurement};
     pub use crate::pipeline::{
         capture_pinpoint, make_elfie, select_regions, validate_with_elfies, PipelineError,
         RegionResult, ValidationReport,
     };
+    pub use crate::stats::PipelineStats;
     pub use elfie_isa::{assemble, Assembler, MarkerKind, Program};
     pub use elfie_pinball::{Pinball, RegionInfo, RegionTrigger};
     pub use elfie_pinball2elf::{convert, ConvertOptions, Elfie, RemapMode};

@@ -1,0 +1,273 @@
+//! Parallel batch validation.
+//!
+//! Validation cost is dominated by independent guest runs: one BBV
+//! profiling run per workload, one whole-program measurement per workload,
+//! and one capture→convert→measure chain per cluster. [`BatchValidator`]
+//! fans those units across a scoped worker pool (`std::thread::scope` —
+//! the toolchain's stable scoped-threads API, so no external crate is
+//! needed) while keeping the semantics of the serial path:
+//!
+//! * the *unit of parallelism is the cluster*, never the candidate — a
+//!   cluster's fallback-to-alternate chain is inherently sequential (an
+//!   alternate is only tried after the representative fails), so it stays
+//!   on one worker;
+//! * results are merged in deterministic workload/cluster order, and the
+//!   per-cluster work is the exact same function the serial path runs, so
+//!   a parallel [`crate::pipeline::ValidationReport`] is identical to a
+//!   serial one — including float-summation order (asserted by the
+//!   `parallel_validation` integration test);
+//! * workers share one [`PipelineCache`], so repeated runs (second
+//!   trials, ablation sweeps) skip profiling and capture entirely.
+//!
+//! Work is distributed by an atomic task counter rather than pre-chunking,
+//! so a slow cluster does not stall the neighbours a static partition
+//! would have assigned to the same worker.
+
+use crate::cache::PipelineCache;
+use crate::perf::{self, NativeMeasurement};
+use crate::pipeline::{self, ClusterOutcome, PipelineError, ValidationReport};
+use crate::stats::{PipelineStats, Stage, StatsCollector};
+use elfie_simpoint::{PinPoints, PinPointsConfig};
+use elfie_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The parallel validation engine. Build one, optionally pin the worker
+/// count or share a cache, then call [`BatchValidator::validate`] or
+/// [`BatchValidator::validate_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchValidator {
+    workers: usize,
+    cache: Arc<PipelineCache>,
+}
+
+impl Default for BatchValidator {
+    fn default() -> Self {
+        BatchValidator::new()
+    }
+}
+
+impl BatchValidator {
+    /// An engine with automatic worker count (the machine's available
+    /// parallelism) and a fresh private cache.
+    pub fn new() -> BatchValidator {
+        BatchValidator {
+            workers: 0,
+            cache: Arc::new(PipelineCache::new()),
+        }
+    }
+
+    /// An engine pinned to one worker: the serial reference path.
+    pub fn serial() -> BatchValidator {
+        BatchValidator::new().with_workers(1)
+    }
+
+    /// Pins the worker count (`0` = automatic).
+    pub fn with_workers(mut self, workers: usize) -> BatchValidator {
+        self.workers = workers;
+        self
+    }
+
+    /// Shares an existing cache (e.g. across trials of an experiment).
+    pub fn with_cache(mut self, cache: Arc<PipelineCache>) -> BatchValidator {
+        self.cache = cache;
+        self
+    }
+
+    /// The engine's cache.
+    pub fn cache(&self) -> &Arc<PipelineCache> {
+        &self.cache
+    }
+
+    /// The resolved worker count this engine will run with.
+    pub fn worker_count(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        }
+    }
+
+    /// Validates one workload. Equivalent to
+    /// [`crate::pipeline::validate_with_elfies`] but parallel, cached, and
+    /// instrumented.
+    ///
+    /// # Errors
+    /// Propagates [`PipelineError`] (per-candidate failures are recorded
+    /// in the report instead, exactly like the serial path).
+    pub fn validate(
+        &self,
+        w: &Workload,
+        cfg: &PinPointsConfig,
+        seed: u64,
+        fuel: u64,
+    ) -> Result<(ValidationReport, PipelineStats), PipelineError> {
+        let (mut reports, stats) = self.validate_batch(std::slice::from_ref(w), cfg, seed, fuel)?;
+        Ok((reports.pop().expect("one report per workload"), stats))
+    }
+
+    /// Validates a batch of workloads against one selection configuration,
+    /// fanning every independent unit — profiling runs, whole-program
+    /// measurements, cluster chains — across the worker pool. Reports come
+    /// back in workload order and are identical to running
+    /// [`crate::pipeline::validate_with_elfies`] on each workload in turn.
+    ///
+    /// The returned [`PipelineStats`] covers this batch only (cache
+    /// counters are windowed to the run, not the cache lifetime).
+    ///
+    /// # Errors
+    /// Propagates [`PipelineError`]; per-candidate failures are recorded
+    /// in the reports instead.
+    pub fn validate_batch(
+        &self,
+        workloads: &[Workload],
+        cfg: &PinPointsConfig,
+        seed: u64,
+        fuel: u64,
+    ) -> Result<(Vec<ValidationReport>, PipelineStats), PipelineError> {
+        let t0 = Instant::now();
+        let cache_before = self.cache.stats();
+        let stats = StatsCollector::new();
+        let workers = self.worker_count();
+
+        // Phase 1: profile + select, one task per workload.
+        let selections: Vec<PinPoints> = run_indexed(workers, workloads.len(), |i| {
+            pipeline::select_regions_cached(&workloads[i], cfg, fuel, &self.cache, &stats)
+        });
+
+        // Phase 2: one task per whole-program measurement plus one per
+        // cluster chain. The task list is in merge order, so phase output
+        // can be consumed sequentially regardless of completion order.
+        #[derive(Clone, Copy)]
+        enum Task {
+            Whole(usize),
+            Cluster(usize, usize),
+        }
+        enum Done {
+            Whole(NativeMeasurement),
+            Cluster(ClusterOutcome),
+        }
+        let mut tasks = Vec::new();
+        for (i, selection) in selections.iter().enumerate() {
+            tasks.push(Task::Whole(i));
+            for cluster in 0..selection.k {
+                tasks.push(Task::Cluster(i, cluster));
+            }
+        }
+        let done = run_indexed(workers, tasks.len(), |t| match tasks[t] {
+            Task::Whole(i) => Done::Whole(stats.time(Stage::Measure, || {
+                perf::measure_program(&workloads[i], seed, fuel)
+            })),
+            Task::Cluster(i, cluster) => Done::Cluster(pipeline::validate_cluster(
+                &workloads[i],
+                &selections[i],
+                cluster,
+                seed,
+                fuel,
+                &self.cache,
+                &stats,
+            )),
+        });
+
+        // Merge in task order: deterministic regardless of scheduling.
+        let mut reports = Vec::with_capacity(workloads.len());
+        let mut done = done.into_iter();
+        for selection in &selections {
+            let whole = match done.next() {
+                Some(Done::Whole(m)) => m,
+                _ => unreachable!("task list starts each workload with Whole"),
+            };
+            let outcomes: Vec<ClusterOutcome> = (0..selection.k)
+                .map(|_| match done.next() {
+                    Some(Done::Cluster(o)) => o,
+                    _ => unreachable!("one Cluster task per cluster"),
+                })
+                .collect();
+            reports.push(pipeline::assemble_report(whole, selection.k, outcomes));
+        }
+
+        let cache_window = self.cache.stats().since(cache_before);
+        Ok((reports, stats.finish(t0.elapsed(), workers, cache_window)))
+    }
+}
+
+/// Runs `f(0..n)` across `workers` scoped threads and returns the results
+/// in index order. Tasks are pulled from an atomic counter (work
+/// stealing-lite); with one worker or one task it degenerates to a plain
+/// in-order loop with no thread spawns.
+fn run_indexed<T: Send>(workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_returns_results_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(workers, 20, |i| i * i);
+            assert_eq!(
+                out,
+                (0..20).map(|i| i * i).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn run_indexed_runs_every_task_exactly_once() {
+        use std::sync::atomic::AtomicU64;
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(4, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(BatchValidator::serial().worker_count(), 1);
+        assert_eq!(BatchValidator::new().with_workers(6).worker_count(), 6);
+        assert!(BatchValidator::new().worker_count() >= 1);
+    }
+
+    #[test]
+    fn shared_cache_is_actually_shared() {
+        let cache = Arc::new(PipelineCache::new());
+        let a = BatchValidator::new().with_cache(Arc::clone(&cache));
+        let b = BatchValidator::new().with_cache(Arc::clone(&cache));
+        assert!(Arc::ptr_eq(a.cache(), b.cache()));
+    }
+}

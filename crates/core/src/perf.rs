@@ -42,7 +42,10 @@ fn finish(insns: u64, cycles: u64, exit: ExitReason) -> NativeMeasurement {
 /// side of validation). Returns thread-0 perspective aggregated over all
 /// threads.
 pub fn measure_program(w: &Workload, seed: u64, fuel: u64) -> NativeMeasurement {
-    let mut m = w.machine(MachineConfig { seed, ..MachineConfig::default() });
+    let mut m = w.machine(MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    });
     let s = m.run(fuel);
     let insns: u64 = m.threads.iter().map(|t| t.icount).sum();
     let cycles: u64 = m.threads.iter().map(|t| t.cycles).sum();
@@ -86,11 +89,20 @@ pub fn measure_elfie(
     stage: impl FnOnce(&mut Machine<RoiStage>),
 ) -> Result<NativeMeasurement, elfie_elf::LoadError> {
     let mut m = Machine::with_observer(
-        MachineConfig { seed, ..MachineConfig::default() },
-        RoiStage(RoiWatch { kind: Some(roi_kind), seen: false }),
+        MachineConfig {
+            seed,
+            ..MachineConfig::default()
+        },
+        RoiStage(RoiWatch {
+            kind: Some(roi_kind),
+            seen: false,
+        }),
     );
     stage(&mut m);
-    let loader = elfie_elf::LoaderConfig { seed, ..elfie_elf::LoaderConfig::default() };
+    let loader = elfie_elf::LoaderConfig {
+        seed,
+        ..elfie_elf::LoaderConfig::default()
+    };
     elfie_elf::load(&mut m, elf_bytes, &loader)?;
 
     // Phase 1: run to the ROI marker (startup excluded).
@@ -110,7 +122,10 @@ pub fn measure_elfie(
         let s2 = m.run(fuel);
         let insns: u64 = m.threads.iter().map(|t| t.icount).sum();
         let cycles: u64 = m.threads.iter().map(|t| t.cycles).sum();
-        if matches!(s2.reason, ExitReason::AllExited(_) | ExitReason::Fault { .. }) {
+        if matches!(
+            s2.reason,
+            ExitReason::AllExited(_) | ExitReason::Fault { .. }
+        ) {
             // Region ended inside the warm-up (failed/short region).
             return Ok(finish(insns - base_insns, cycles - base_cycles, s2.reason));
         }

@@ -4,7 +4,9 @@
 //! Generation → (Simulation | Dynamic Program Analysis | Native
 //! Performance Analysis)*.
 
+use crate::cache::PipelineCache;
 use crate::perf::{self, NativeMeasurement};
+use crate::stats::{Stage, StatsCollector};
 use elfie_isa::MarkerKind;
 use elfie_pinball::{Pinball, RegionTrigger};
 use elfie_pinball2elf::{convert, ConvertError, ConvertOptions, Elfie};
@@ -78,7 +80,11 @@ pub fn capture_pinpoint(w: &Workload, point: &PinPoint) -> Result<Pinball, Captu
     let warmup = point.start_icount - start;
     let mut cfg = LoggerConfig::fat(
         &w.name,
-        if start == 0 { RegionTrigger::ProgramStart } else { RegionTrigger::GlobalIcount(start) },
+        if start == 0 {
+            RegionTrigger::ProgramStart
+        } else {
+            RegionTrigger::GlobalIcount(start)
+        },
         warmup + point.length,
     );
     cfg.warmup = warmup;
@@ -90,7 +96,10 @@ pub fn capture_pinpoint(w: &Workload, point: &PinPoint) -> Result<Pinball, Captu
 /// Captures a whole region and produces an ELFie with the standard recipe:
 /// sysstate extracted and embedded, graceful exit armed, ROI marker of the
 /// given kind tagged with the slice index.
-pub fn make_elfie(pinball: &Pinball, roi_kind: MarkerKind) -> Result<(Elfie, SysState), ConvertError> {
+pub fn make_elfie(
+    pinball: &Pinball,
+    roi_kind: MarkerKind,
+) -> Result<(Elfie, SysState), ConvertError> {
     let sysstate = SysState::extract(pinball);
     let opts = ConvertOptions {
         roi_marker: Some((roi_kind, pinball.region.slice_index as u32 + 1)),
@@ -101,7 +110,7 @@ pub fn make_elfie(pinball: &Pinball, roi_kind: MarkerKind) -> Result<(Elfie, Sys
 }
 
 /// One region's validation record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionResult {
     /// Which cluster/rank the region came from.
     pub cluster: usize,
@@ -116,7 +125,7 @@ pub struct RegionResult {
 }
 
 /// A full ELFie-based validation of a region selection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValidationReport {
     /// Whole-program CPI measured natively (the "true value").
     pub true_cpi: f64,
@@ -132,80 +141,157 @@ pub struct ValidationReport {
     pub k: usize,
 }
 
+/// Cache-aware variant of [`select_regions`]: the BBV profile is looked
+/// up in (or inserted into) `cache`, and profiling time on a miss is
+/// charged to [`Stage::Profile`].
+pub(crate) fn select_regions_cached(
+    w: &Workload,
+    cfg: &PinPointsConfig,
+    fuel: u64,
+    cache: &PipelineCache,
+    stats: &StatsCollector,
+) -> PinPoints {
+    let machine = MachineConfig::default();
+    let key = PipelineCache::profile_key(w, &machine, cfg.slice_size, fuel);
+    let profile = cache.profile(key, || {
+        stats.time(Stage::Profile, || {
+            profile_program(&w.program, machine, cfg.slice_size, fuel, |m| w.setup(m))
+        })
+    });
+    pick(&profile, cfg)
+}
+
+/// What one cluster's candidate chain produced: every record tried (in
+/// rank order) and, if some candidate worked, its `(weight, cpi)` sample.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ClusterOutcome {
+    pub(crate) regions: Vec<RegionResult>,
+    pub(crate) sample: Option<(f64, f64)>,
+}
+
+/// Runs one cluster's capture→convert→measure chain, falling back to
+/// alternates in rank order until a candidate completes. This is the unit
+/// of work the parallel engine schedules; the serial path runs the exact
+/// same function cluster by cluster, which is what makes the two paths'
+/// reports identical.
+pub(crate) fn validate_cluster(
+    w: &Workload,
+    points: &PinPoints,
+    cluster: usize,
+    seed: u64,
+    fuel: u64,
+    cache: &PipelineCache,
+    stats: &StatsCollector,
+) -> ClusterOutcome {
+    let mut regions = Vec::new();
+    let mut sample = None;
+    for cand in points.candidates(cluster) {
+        stats.region_attempted();
+        let mut record = RegionResult {
+            cluster,
+            rank: cand.rank,
+            slice_index: cand.slice_index,
+            weight: cand.weight,
+            measurement: None,
+        };
+        let key = PipelineCache::pinball_key(w, cand);
+        let result = cache
+            .pinball(key, || {
+                stats.time(Stage::Capture, || capture_pinpoint(w, cand))
+            })
+            .map_err(PipelineError::from)
+            .and_then(|pb| {
+                stats
+                    .time(Stage::Convert, || make_elfie(&pb, MarkerKind::Ssc))
+                    .map_err(PipelineError::from)
+            })
+            .and_then(|(elfie, sysstate)| {
+                stats
+                    .time(Stage::Measure, || {
+                        perf::measure_elfie(
+                            &elfie.bytes,
+                            MarkerKind::Ssc,
+                            cand.warmup,
+                            seed,
+                            fuel,
+                            |m| {
+                                sysstate.stage_files(m);
+                                // Large data arrays the workload maps at run
+                                // time are part of the pinball image already;
+                                // nothing else to stage.
+                            },
+                        )
+                    })
+                    .map_err(PipelineError::from)
+            });
+        match result {
+            Ok(meas) if meas.completed && meas.insns > 0 => {
+                record.measurement = Some(meas);
+                regions.push(record);
+                sample = Some((cand.weight, meas.cpi));
+                break; // candidate worked; no alternate needed
+            }
+            Ok(meas) => {
+                stats.region_failed();
+                record.measurement = Some(meas);
+                regions.push(record);
+            }
+            Err(_) => {
+                stats.region_failed();
+                regions.push(record);
+            }
+        }
+    }
+    ClusterOutcome { regions, sample }
+}
+
+/// Merges per-cluster outcomes (in cluster order) with the whole-program
+/// measurement into the final report. Both the serial and the parallel
+/// engine feed this the same ordered inputs, so the report is identical
+/// down to float summation order.
+pub(crate) fn assemble_report(
+    whole: NativeMeasurement,
+    k: usize,
+    outcomes: Vec<ClusterOutcome>,
+) -> ValidationReport {
+    let mut regions = Vec::new();
+    let mut samples: Vec<(f64, f64)> = Vec::new();
+    let mut coverage = 0.0;
+    for outcome in outcomes {
+        regions.extend(outcome.regions);
+        if let Some((weight, cpi)) = outcome.sample {
+            samples.push((weight, cpi));
+            coverage += weight;
+        }
+    }
+    let predicted = weighted_prediction(&samples);
+    ValidationReport {
+        true_cpi: whole.cpi,
+        predicted_cpi: predicted,
+        error: prediction_error(whole.cpi, predicted),
+        coverage,
+        regions,
+        k,
+    }
+}
+
 /// Runs the complete ELFie-based validation flow of paper Section IV-A:
 /// select regions, build an ELFie per region (falling back to alternates
 /// when a candidate fails), measure each natively with hardware counters,
 /// and compare the weighted prediction against the whole-program run.
+///
+/// This is the single-threaded entry point; it delegates to a serial
+/// [`crate::parallel::BatchValidator`] with a private cache, so it behaves
+/// exactly as a one-worker parallel run (and produces the identical
+/// report). Use [`crate::parallel::BatchValidator`] directly for worker
+/// pools, artifact reuse across runs, and pipeline statistics.
 pub fn validate_with_elfies(
     w: &Workload,
     cfg: &PinPointsConfig,
     seed: u64,
     fuel: u64,
 ) -> Result<ValidationReport, PipelineError> {
-    let points = select_regions(w, cfg, fuel);
-    let whole = perf::measure_program(w, seed, fuel);
-
-    let mut regions = Vec::new();
-    let mut samples: Vec<(f64, f64)> = Vec::new();
-    let mut coverage = 0.0;
-    for cluster in 0..points.k {
-        let mut covered = false;
-        for cand in points.candidates(cluster) {
-            let mut record = RegionResult {
-                cluster,
-                rank: cand.rank,
-                slice_index: cand.slice_index,
-                weight: cand.weight,
-                measurement: None,
-            };
-            let result = capture_pinpoint(w, cand)
-                .map_err(PipelineError::from)
-                .and_then(|pb| make_elfie(&pb, MarkerKind::Ssc).map_err(PipelineError::from))
-                .and_then(|(elfie, sysstate)| {
-                    perf::measure_elfie(
-                        &elfie.bytes,
-                        MarkerKind::Ssc,
-                        cand.warmup,
-                        seed,
-                        fuel,
-                        |m| {
-                            sysstate.stage_files(m);
-                            // Large data arrays the workload maps at run
-                            // time are part of the pinball image already;
-                            // nothing else to stage.
-                        },
-                    )
-                    .map_err(PipelineError::from)
-                });
-            match result {
-                Ok(meas) if meas.completed && meas.insns > 0 => {
-                    record.measurement = Some(meas);
-                    regions.push(record);
-                    samples.push((cand.weight, meas.cpi));
-                    coverage += cand.weight;
-                    covered = true;
-                }
-                Ok(meas) => {
-                    record.measurement = Some(meas);
-                    regions.push(record);
-                }
-                Err(_) => {
-                    regions.push(record);
-                }
-            }
-            if covered {
-                break; // representative worked; no alternate needed
-            }
-        }
-    }
-
-    let predicted = weighted_prediction(&samples);
-    Ok(ValidationReport {
-        true_cpi: whole.cpi,
-        predicted_cpi: predicted,
-        error: prediction_error(whole.cpi, predicted),
-        coverage,
-        regions,
-        k: points.k,
-    })
+    crate::parallel::BatchValidator::serial()
+        .validate(w, cfg, seed, fuel)
+        .map(|(report, _stats)| report)
 }

@@ -1,0 +1,178 @@
+//! Pipeline instrumentation: per-stage wall time, cache effectiveness and
+//! region success counts, threaded from the validation engine out to the
+//! CLI and the benchmark harness.
+
+use crate::cache::CacheStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// The four measured pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// BBV profiling (one whole guest run per workload).
+    Profile,
+    /// Fat-pinball capture (one guest run per candidate region).
+    Capture,
+    /// pinball2elf conversion (includes sysstate extraction).
+    Convert,
+    /// Native measurement of the ELFie or the whole program.
+    Measure,
+}
+
+/// Thread-safe accumulator the validation engine updates as it runs.
+/// Workers on different threads add into the same collector; stage times
+/// are therefore *summed across workers* (total work), while
+/// [`PipelineStats::total`] is the end-to-end wall time.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    profile_ns: AtomicU64,
+    capture_ns: AtomicU64,
+    convert_ns: AtomicU64,
+    measure_ns: AtomicU64,
+    regions_attempted: AtomicU64,
+    regions_failed: AtomicU64,
+}
+
+impl StatsCollector {
+    /// A zeroed collector.
+    pub fn new() -> StatsCollector {
+        StatsCollector::default()
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        let counter = match stage {
+            Stage::Profile => &self.profile_ns,
+            Stage::Capture => &self.capture_ns,
+            Stage::Convert => &self.convert_ns,
+            Stage::Measure => &self.measure_ns,
+        };
+        counter.fetch_add(ns, Ordering::Relaxed);
+        out
+    }
+
+    /// Records one candidate region attempt.
+    pub fn region_attempted(&self) {
+        self.regions_attempted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a candidate that failed to produce a usable measurement.
+    pub fn region_failed(&self) {
+        self.regions_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the collector into a report.
+    pub fn finish(&self, total: Duration, workers: usize, cache: CacheStats) -> PipelineStats {
+        PipelineStats {
+            workers,
+            total,
+            profile_time: Duration::from_nanos(self.profile_ns.load(Ordering::Relaxed)),
+            capture_time: Duration::from_nanos(self.capture_ns.load(Ordering::Relaxed)),
+            convert_time: Duration::from_nanos(self.convert_ns.load(Ordering::Relaxed)),
+            measure_time: Duration::from_nanos(self.measure_ns.load(Ordering::Relaxed)),
+            regions_attempted: self.regions_attempted.load(Ordering::Relaxed),
+            regions_failed: self.regions_failed.load(Ordering::Relaxed),
+            cache,
+        }
+    }
+}
+
+/// What one validation run cost, stage by stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineStats {
+    /// Worker threads the engine ran with (1 = serial).
+    pub workers: usize,
+    /// End-to-end wall time of the run.
+    pub total: Duration,
+    /// Summed wall time spent profiling (cache misses only).
+    pub profile_time: Duration,
+    /// Summed wall time spent capturing pinballs (cache misses only).
+    pub capture_time: Duration,
+    /// Summed wall time spent converting pinballs to ELFies.
+    pub convert_time: Duration,
+    /// Summed wall time spent in native measurement.
+    pub measure_time: Duration,
+    /// Candidate regions tried (representatives + alternates).
+    pub regions_attempted: u64,
+    /// Candidates that produced no usable measurement.
+    pub regions_failed: u64,
+    /// Cache effectiveness over the run.
+    pub cache: CacheStats,
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline: {:.3}s wall on {} worker{}",
+            self.total.as_secs_f64(),
+            self.workers,
+            if self.workers == 1 { "" } else { "s" }
+        )?;
+        writeln!(
+            f,
+            "  stages: profile {:.3}s, capture {:.3}s, convert {:.3}s, measure {:.3}s",
+            self.profile_time.as_secs_f64(),
+            self.capture_time.as_secs_f64(),
+            self.convert_time.as_secs_f64(),
+            self.measure_time.as_secs_f64(),
+        )?;
+        writeln!(
+            f,
+            "  regions: {} attempted, {} failed",
+            self.regions_attempted, self.regions_failed
+        )?;
+        write!(f, "  cache: {}", self.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_accumulates_into_the_right_stage() {
+        let c = StatsCollector::new();
+        let v = c.time(Stage::Capture, || 42);
+        assert_eq!(v, 42);
+        c.time(Stage::Capture, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        let s = c.finish(Duration::from_millis(5), 2, CacheStats::default());
+        assert!(s.capture_time >= Duration::from_millis(2));
+        assert_eq!(s.profile_time, Duration::ZERO);
+        assert_eq!(s.workers, 2);
+    }
+
+    #[test]
+    fn region_counters_accumulate() {
+        let c = StatsCollector::new();
+        c.region_attempted();
+        c.region_attempted();
+        c.region_failed();
+        let s = c.finish(Duration::ZERO, 1, CacheStats::default());
+        assert_eq!((s.regions_attempted, s.regions_failed), (2, 1));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let s = StatsCollector::new().finish(
+            Duration::from_secs(1),
+            4,
+            CacheStats {
+                profile_hits: 1,
+                profile_misses: 2,
+                pinball_hits: 3,
+                pinball_misses: 4,
+            },
+        );
+        let text = s.to_string();
+        assert!(text.contains("4 workers"));
+        assert!(text.contains("profiles 1/3 hit"));
+        assert!(text.contains("pinballs 3/7 hit"));
+    }
+}

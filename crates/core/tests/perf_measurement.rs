@@ -11,7 +11,9 @@ fn region_elfie(
 ) -> (elfie::pinball2elf::Elfie, SysState, elfie::pinball::Pinball) {
     let mut cfg = LoggerConfig::fat(&w.name, RegionTrigger::GlobalIcount(start), warmup + length);
     cfg.warmup = warmup;
-    let pb = Logger::new(cfg).capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pb = Logger::new(cfg)
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let (elfie, st) = elfie::pipeline::make_elfie(&pb, MarkerKind::Ssc).expect("converts");
     (elfie, st, pb)
 }
@@ -23,9 +25,14 @@ fn warmup_is_excluded_from_the_measured_span() {
     let length = 20_000u64;
     let (elfie, st, _pb) = region_elfie(&w, 100_000, warmup, length);
 
-    let with_warmup = measure_elfie(&elfie.bytes, MarkerKind::Ssc, warmup, 3, 1_000_000_000, |m| {
-        st.stage_files(m)
-    })
+    let with_warmup = measure_elfie(
+        &elfie.bytes,
+        MarkerKind::Ssc,
+        warmup,
+        3,
+        1_000_000_000,
+        |m| st.stage_files(m),
+    )
     .expect("loads");
     assert!(with_warmup.completed);
     // Measured span = region only (± trampoline).
@@ -52,9 +59,14 @@ fn warmup_lowers_measured_cpi_for_cache_hungry_regions() {
     // a warm-up must not exceed the cold-start CPI.
     let w = elfie::workloads::mcf_like(4);
     let (elfie, st, _pb) = region_elfie(&w, 400_000, 40_000, 40_000);
-    let warm = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 40_000, 3, 2_000_000_000, |m| {
-        st.stage_files(m)
-    })
+    let warm = measure_elfie(
+        &elfie.bytes,
+        MarkerKind::Ssc,
+        40_000,
+        3,
+        2_000_000_000,
+        |m| st.stage_files(m),
+    )
     .expect("loads");
     let cold = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 3, 2_000_000_000, |m| {
         st.stage_files(m)
@@ -86,13 +98,23 @@ fn measurement_is_deterministic_on_this_substrate() {
     // how Fig. 9's trials are seeded instead).
     let w = elfie::workloads::xz_like(1);
     let (elfie, st, _pb) = region_elfie(&w, 50_000, 5_000, 10_000);
-    let a = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 5_000, 1, 1_000_000_000, |m| {
-        st.stage_files(m)
-    })
+    let a = measure_elfie(
+        &elfie.bytes,
+        MarkerKind::Ssc,
+        5_000,
+        1,
+        1_000_000_000,
+        |m| st.stage_files(m),
+    )
     .expect("loads");
-    let b = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 5_000, 999, 1_000_000_000, |m| {
-        st.stage_files(m)
-    })
+    let b = measure_elfie(
+        &elfie.bytes,
+        MarkerKind::Ssc,
+        5_000,
+        999,
+        1_000_000_000,
+        |m| st.stage_files(m),
+    )
     .expect("loads");
     assert_eq!(a.insns, b.insns);
     assert_eq!(a.cycles, b.cycles, "single-threaded: no seed sensitivity");
@@ -104,7 +126,9 @@ fn failed_region_is_reported_not_completed() {
     // must say so instead of fabricating numbers.
     let w = elfie::workloads::gcc_like(1);
     let cfg = LoggerConfig::regular(&w.name, RegionTrigger::GlobalIcount(60_000), 10_000);
-    let pb = Logger::new(cfg).capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pb = Logger::new(cfg)
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let opts = ConvertOptions {
         force_regular: true,
         roi_marker: Some((MarkerKind::Ssc, 1)),

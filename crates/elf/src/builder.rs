@@ -26,7 +26,14 @@ pub struct SectionSpec {
 impl SectionSpec {
     /// A loadable program section.
     pub fn progbits(name: &str, addr: u64, data: Vec<u8>, write: bool, exec: bool) -> SectionSpec {
-        SectionSpec { name: name.to_string(), addr, data, write, exec, alloc: true }
+        SectionSpec {
+            name: name.to_string(),
+            addr,
+            data,
+            write,
+            exec,
+            alloc: true,
+        }
     }
 
     /// Marks the section non-allocatable.
@@ -90,8 +97,9 @@ impl ElfBuilder {
     /// Serialises the image.
     pub fn build(self) -> Vec<u8> {
         let nsections = self.sections.len();
-        let loadable: Vec<usize> =
-            (0..nsections).filter(|&i| self.sections[i].alloc && !self.sections[i].data.is_empty()).collect();
+        let loadable: Vec<usize> = (0..nsections)
+            .filter(|&i| self.sections[i].alloc && !self.sections[i].data.is_empty())
+            .collect();
         let phnum = loadable.len();
 
         // String tables.
@@ -118,7 +126,13 @@ impl ElfBuilder {
             let st_name = strtab.len() as u32;
             strtab.extend_from_slice(name.as_bytes());
             strtab.push(0);
-            symtab.extend_from_slice(&Sym { st_name, st_value: *value }.to_bytes());
+            symtab.extend_from_slice(
+                &Sym {
+                    st_name,
+                    st_value: *value,
+                }
+                .to_bytes(),
+            );
         }
 
         // Layout: ehdr | phdrs | section data (page-congruent for loadable)
@@ -295,8 +309,20 @@ mod tests {
     fn minimal_executable_roundtrips() {
         let bytes = ElfBuilder::new()
             .entry(0x400010)
-            .section(SectionSpec::progbits(".text", 0x400000, vec![1, 2, 3, 4], false, true))
-            .section(SectionSpec::progbits(".data", 0x600000, vec![9, 9], true, false))
+            .section(SectionSpec::progbits(
+                ".text",
+                0x400000,
+                vec![1, 2, 3, 4],
+                false,
+                true,
+            ))
+            .section(SectionSpec::progbits(
+                ".data",
+                0x600000,
+                vec![9, 9],
+                true,
+                false,
+            ))
             .symbol("start", 0x400010)
             .symbol(".t0.rax", 0x12345)
             .build();
@@ -317,7 +343,13 @@ mod tests {
     fn non_alloc_sections_get_no_segment() {
         let bytes = ElfBuilder::new()
             .entry(0)
-            .section(SectionSpec::progbits(".text", 0x1000, vec![0u8; 8], false, true))
+            .section(SectionSpec::progbits(
+                ".text",
+                0x1000,
+                vec![0u8; 8],
+                false,
+                true,
+            ))
             .section(
                 SectionSpec::progbits(".stack.shadow", 0x7fff0000, vec![0u8; 16], true, false)
                     .non_alloc(),
@@ -334,8 +366,20 @@ mod tests {
     fn loadable_offsets_are_page_congruent() {
         let bytes = ElfBuilder::new()
             .entry(0x400000)
-            .section(SectionSpec::progbits(".a", 0x400123, vec![0xaa; 64], false, true))
-            .section(SectionSpec::progbits(".b", 0x500456, vec![0xbb; 64], true, false))
+            .section(SectionSpec::progbits(
+                ".a",
+                0x400123,
+                vec![0xaa; 64],
+                false,
+                true,
+            ))
+            .section(SectionSpec::progbits(
+                ".b",
+                0x500456,
+                vec![0xbb; 64],
+                true,
+                false,
+            ))
             .build();
         let f = ElfFile::parse(&bytes).expect("parses");
         for seg in &f.segments {

@@ -322,7 +322,10 @@ mod tests {
 
     #[test]
     fn ehdr_rejects_garbage() {
-        assert_eq!(Ehdr::from_bytes(&[0u8; 64]).unwrap_err(), ElfParseError::BadMagic);
+        assert_eq!(
+            Ehdr::from_bytes(&[0u8; 64]).unwrap_err(),
+            ElfParseError::BadMagic
+        );
         assert!(matches!(
             Ehdr::from_bytes(&[0u8; 10]),
             Err(ElfParseError::Truncated(_))
@@ -339,7 +342,10 @@ mod tests {
         }
         .to_bytes();
         b[4] = 1; // 32-bit class
-        assert!(matches!(Ehdr::from_bytes(&b), Err(ElfParseError::Unsupported(_))));
+        assert!(matches!(
+            Ehdr::from_bytes(&b),
+            Err(ElfParseError::Unsupported(_))
+        ));
     }
 
     #[test]
@@ -373,7 +379,10 @@ mod tests {
 
     #[test]
     fn sym_roundtrip() {
-        let s = Sym { st_name: 5, st_value: 0xdeadbeef };
+        let s = Sym {
+            st_name: 5,
+            st_value: 0xdeadbeef,
+        };
         assert_eq!(Sym::from_bytes(&s.to_bytes()).unwrap(), s);
     }
 }

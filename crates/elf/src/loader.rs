@@ -79,7 +79,10 @@ impl fmt::Display for LoadError {
             LoadError::Parse(e) => write!(f, "parse error: {e}"),
             LoadError::NotExecutable(t) => write!(f, "not an executable (e_type={t})"),
             LoadError::WrongMachine(m) => write!(f, "wrong machine id {m:#x}"),
-            LoadError::StackCollision { available, required } => write!(
+            LoadError::StackCollision {
+                available,
+                required,
+            } => write!(
                 f,
                 "stack collision: only {available:#x} bytes available, {required:#x} required \
                  — process killed before entry"
@@ -161,13 +164,23 @@ pub fn load_parsed<O: Observer>(
         };
         let start = page_base(seg.vaddr);
         let end = page_align_up(seg.vaddr + seg.memsz.max(seg.data.len() as u64).max(1));
-        machine.mem.map_range(start, end, perm).expect("valid segment range");
-        machine.mem.write_bytes_unchecked(seg.vaddr, &seg.data).expect("mapped segment");
+        machine
+            .mem
+            .map_range(start, end, perm)
+            .expect("valid segment range");
+        machine
+            .mem
+            .write_bytes_unchecked(seg.vaddr, &seg.data)
+            .expect("mapped segment");
     }
 
     // Reserve the stack, honouring randomisation.
     let mut rng = cfg.seed;
-    let slide = if cfg.randomize { (xorshift(&mut rng) % 256) * PAGE_SIZE } else { 0 };
+    let slide = if cfg.randomize {
+        (xorshift(&mut rng) % 256) * PAGE_SIZE
+    } else {
+        0
+    };
     let top = cfg.stack_top - slide;
     let desired_low = top - cfg.stack_size;
 
@@ -187,9 +200,15 @@ pub fn load_parsed<O: Observer>(
     };
     let available = top - low;
     if available < cfg.min_stack {
-        return Err(LoadError::StackCollision { available, required: cfg.min_stack });
+        return Err(LoadError::StackCollision {
+            available,
+            required: cfg.min_stack,
+        });
     }
-    machine.mem.map_range(low, top, Perm::RW).expect("stack range");
+    machine
+        .mem
+        .map_range(low, top, Perm::RW)
+        .expect("stack range");
 
     // Populate the initial stack: strings at the top, then auxv, envp and
     // argv pointer arrays, then argc — as the System V ABI prescribes.
@@ -197,8 +216,14 @@ pub fn load_parsed<O: Observer>(
     let mut push_str = |machine: &mut Machine<O>, s: &str| -> u64 {
         let bytes = s.as_bytes();
         cursor -= bytes.len() as u64 + 1;
-        machine.mem.write_bytes(cursor, bytes).expect("stack mapped");
-        machine.mem.write_u8(cursor + bytes.len() as u64, 0).expect("stack mapped");
+        machine
+            .mem
+            .write_bytes(cursor, bytes)
+            .expect("stack mapped");
+        machine
+            .mem
+            .write_u8(cursor + bytes.len() as u64, 0)
+            .expect("stack mapped");
         cursor
     };
     let env_ptrs: Vec<u64> = cfg.envp.iter().map(|s| push_str(machine, s)).collect();
@@ -228,7 +253,13 @@ pub fn load_parsed<O: Observer>(
     regs.set_rsp(rsp);
     let tid = machine.add_thread(regs);
 
-    Ok(LoadedImage { entry: file.entry, rsp, stack_low: low, stack_high: top, tid })
+    Ok(LoadedImage {
+        entry: file.entry,
+        rsp,
+        stack_low: low,
+        stack_high: top,
+        tid,
+    })
 }
 
 #[cfg(test)]
@@ -300,7 +331,10 @@ mod tests {
         let bytes = exit_program_elf();
         let rsp_for = |seed| {
             let mut m = Machine::new(MachineConfig::default());
-            let cfg = LoaderConfig { seed, ..LoaderConfig::default() };
+            let cfg = LoaderConfig {
+                seed,
+                ..LoaderConfig::default()
+            };
             load(&mut m, &bytes, &cfg).expect("loads").rsp
         };
         assert_eq!(rsp_for(7), rsp_for(7), "deterministic per seed");
@@ -312,12 +346,21 @@ mod tests {
         // An ELFie whose captured stack pages are (wrongly) allocatable:
         // they land inside the loader's stack range and squeeze the new
         // stack below the minimum — the Fig. 4 failure.
-        let cfg = LoaderConfig { randomize: false, ..LoaderConfig::default() };
+        let cfg = LoaderConfig {
+            randomize: false,
+            ..LoaderConfig::default()
+        };
         let stack_page = cfg.stack_top - 0x2000; // near the top of the range
         let prog = assemble(".org 0x400000\nstart: ret\n").unwrap();
         let bytes = ElfBuilder::new()
             .entry(0x400000)
-            .section(SectionSpec::progbits(".text", 0x400000, prog.bytes().to_vec(), false, true))
+            .section(SectionSpec::progbits(
+                ".text",
+                0x400000,
+                prog.bytes().to_vec(),
+                false,
+                true,
+            ))
             .section(SectionSpec::progbits(
                 ".stack.pinball",
                 stack_page,
@@ -328,7 +371,10 @@ mod tests {
             .build();
         let mut m = Machine::new(MachineConfig::default());
         match load(&mut m, &bytes, &cfg) {
-            Err(LoadError::StackCollision { available, required }) => {
+            Err(LoadError::StackCollision {
+                available,
+                required,
+            }) => {
                 assert!(available < required);
             }
             other => panic!("expected stack collision, got {other:?}"),
@@ -339,18 +385,31 @@ mod tests {
     fn non_alloc_stack_section_avoids_collision() {
         // The pinball2elf fix: mark the captured stack non-allocatable so
         // the loader ignores it.
-        let cfg = LoaderConfig { randomize: false, ..LoaderConfig::default() };
+        let cfg = LoaderConfig {
+            randomize: false,
+            ..LoaderConfig::default()
+        };
         let stack_page = cfg.stack_top - 0x2000;
-        let prog = assemble(
-            ".org 0x400000\nstart:\n mov rax, 231\n mov rdi, 0\n syscall\n",
-        )
-        .unwrap();
+        let prog =
+            assemble(".org 0x400000\nstart:\n mov rax, 231\n mov rdi, 0\n syscall\n").unwrap();
         let bytes = ElfBuilder::new()
             .entry(0x400000)
-            .section(SectionSpec::progbits(".text", 0x400000, prog.bytes().to_vec(), false, true))
+            .section(SectionSpec::progbits(
+                ".text",
+                0x400000,
+                prog.bytes().to_vec(),
+                false,
+                true,
+            ))
             .section(
-                SectionSpec::progbits(".stack.pinball", stack_page, vec![0xccu8; 4096], true, false)
-                    .non_alloc(),
+                SectionSpec::progbits(
+                    ".stack.pinball",
+                    stack_page,
+                    vec![0xccu8; 4096],
+                    true,
+                    false,
+                )
+                .non_alloc(),
             )
             .build();
         let mut m = Machine::new(MachineConfig::default());

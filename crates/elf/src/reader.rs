@@ -66,8 +66,13 @@ pub struct ElfFile {
 }
 
 fn cstr_at(table: &[u8], off: usize) -> Result<String, ElfParseError> {
-    let rest = table.get(off..).ok_or(ElfParseError::Corrupt("string offset"))?;
-    let end = rest.iter().position(|&b| b == 0).ok_or(ElfParseError::Corrupt("unterminated string"))?;
+    let rest = table
+        .get(off..)
+        .ok_or(ElfParseError::Corrupt("string offset"))?;
+    let end = rest
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(ElfParseError::Corrupt("unterminated string"))?;
     Ok(String::from_utf8_lossy(&rest[..end]).into_owned())
 }
 
@@ -84,7 +89,9 @@ impl ElfFile {
         for i in 0..ehdr.e_phnum as usize {
             let off = ehdr.e_phoff as usize + i * PHDR_SIZE;
             let p = Phdr::from_bytes(
-                bytes.get(off..).ok_or(ElfParseError::Truncated("program header table"))?,
+                bytes
+                    .get(off..)
+                    .ok_or(ElfParseError::Truncated("program header table"))?,
             )?;
             if p.p_type != PT_LOAD {
                 continue;
@@ -107,7 +114,9 @@ impl ElfFile {
         for i in 0..ehdr.e_shnum as usize {
             let off = ehdr.e_shoff as usize + i * SHDR_SIZE;
             shdrs.push(Shdr::from_bytes(
-                bytes.get(off..).ok_or(ElfParseError::Truncated("section header table"))?,
+                bytes
+                    .get(off..)
+                    .ok_or(ElfParseError::Truncated("section header table"))?,
             )?);
         }
         let shstr = shdrs
@@ -162,7 +171,14 @@ impl ElfFile {
             }
         }
 
-        Ok(ElfFile { etype: ehdr.e_type, machine: ehdr.e_machine, entry: ehdr.e_entry, sections, segments, symbols })
+        Ok(ElfFile {
+            etype: ehdr.e_type,
+            machine: ehdr.e_machine,
+            entry: ehdr.e_entry,
+            sections,
+            segments,
+            symbols,
+        })
     }
 
     /// Finds a section by name.
@@ -172,7 +188,10 @@ impl ElfFile {
 
     /// Looks up a symbol value.
     pub fn symbol(&self, name: &str) -> Option<u64> {
-        self.symbols.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.symbols
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -186,7 +205,13 @@ mod tests {
     fn parse_rejects_truncated() {
         let bytes = ElfBuilder::new()
             .entry(0)
-            .section(SectionSpec::progbits(".text", 0x1000, vec![0u8; 32], false, true))
+            .section(SectionSpec::progbits(
+                ".text",
+                0x1000,
+                vec![0u8; 32],
+                false,
+                true,
+            ))
             .build();
         assert!(ElfFile::parse(&bytes).is_ok());
         assert!(ElfFile::parse(&bytes[..bytes.len() - 10]).is_err());

@@ -80,6 +80,26 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Stable hash over everything that affects execution: origin, entry,
+    /// every chunk (address + bytes) and the symbol table. Two programs
+    /// with equal hashes behave identically, which is what the pipeline
+    /// cache keys on.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::Fnv64::new().u64(self.origin).u64(self.entry);
+        h = h.u64(self.chunks.len() as u64);
+        for chunk in &self.chunks {
+            h = h
+                .u64(chunk.addr)
+                .u64(chunk.bytes.len() as u64)
+                .bytes(&chunk.bytes);
+        }
+        h = h.u64(self.symbols.len() as u64);
+        for (name, &addr) in &self.symbols {
+            h = h.str(name).u64(addr);
+        }
+        h.finish()
+    }
 }
 
 /// An assembly error, with the 1-based source line it occurred on.
@@ -218,14 +238,27 @@ struct MemTemplate {
 impl MemTemplate {
     fn resolve(&self, line: usize, symbols: &BTreeMap<String, u64>) -> Result<Mem, AsmError> {
         let disp = self.disp.resolve(line, symbols)?;
-        let disp = i32::try_from(disp)
-            .map_err(|_| err(line, format!("displacement {disp:#x} does not fit in 32 bits")))?;
-        Ok(Mem { base: self.base, index: self.index, scale: self.scale, disp, seg: self.seg })
+        let disp = i32::try_from(disp).map_err(|_| {
+            err(
+                line,
+                format!("displacement {disp:#x} does not fit in 32 bits"),
+            )
+        })?;
+        Ok(Mem {
+            base: self.base,
+            index: self.index,
+            scale: self.scale,
+            disp,
+            seg: self.seg,
+        })
     }
 }
 
 fn err(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn item_len(item: &Item) -> usize {
@@ -261,16 +294,20 @@ impl Pass {
         let mut started = false;
 
         let push_item = |chunks: &mut Vec<(u64, Vec<(usize, Item)>)>,
-                             cur_addr: &mut u64,
-                             started: &mut bool,
-                             line: usize,
-                             item: Item| {
+                         cur_addr: &mut u64,
+                         started: &mut bool,
+                         line: usize,
+                         item: Item| {
             if !*started {
                 chunks.push((*cur_addr, Vec::new()));
                 *started = true;
             }
             let len = item_len(&item) as u64;
-            chunks.last_mut().expect("chunk exists").1.push((line, item));
+            chunks
+                .last_mut()
+                .expect("chunk exists")
+                .1
+                .push((line, item));
             *cur_addr += len;
         };
 
@@ -332,7 +369,13 @@ impl Pass {
                             let b = u8::try_from(v & 0xff).expect("masked");
                             data.push(b);
                         }
-                        push_item(&mut chunks, &mut cur_addr, &mut started, line, Item::Data(data));
+                        push_item(
+                            &mut chunks,
+                            &mut cur_addr,
+                            &mut started,
+                            line,
+                            Item::Data(data),
+                        );
                     }
                     "quad" => {
                         let mut exprs = Vec::new();
@@ -364,7 +407,13 @@ impl Pass {
                         let text = parse_string(line, args.trim())?;
                         let mut data = text.into_bytes();
                         data.push(0);
-                        push_item(&mut chunks, &mut cur_addr, &mut started, line, Item::Data(data));
+                        push_item(
+                            &mut chunks,
+                            &mut cur_addr,
+                            &mut started,
+                            line,
+                            Item::Data(data),
+                        );
                     }
                     other => return Err(err(line, format!("unknown directive `.{other}`"))),
                 }
@@ -392,7 +441,10 @@ impl Pass {
                         let target = e.resolve(*line, &symbols)?;
                         let rel = target - next_pc as i64;
                         let rel = i32::try_from(rel).map_err(|_| {
-                            err(*line, format!("branch target out of rel32 range ({rel:#x})"))
+                            err(
+                                *line,
+                                format!("branch target out of rel32 range ({rel:#x})"),
+                            )
                         })?;
                         let insn = match kind {
                             BranchKind::Jmp => Insn::Jmp(rel),
@@ -433,7 +485,11 @@ impl Pass {
                     }
                     Item::Pad(n) => bytes.extend(std::iter::repeat(0u8).take(*n)),
                 }
-                debug_assert_eq!(bytes.len() as u64, next_pc - *addr, "layout matches encoding");
+                debug_assert_eq!(
+                    bytes.len() as u64,
+                    next_pc - *addr,
+                    "layout matches encoding"
+                );
                 pc = next_pc;
             }
             out_chunks.push(Chunk { addr: *addr, bytes });
@@ -453,7 +509,12 @@ impl Pass {
                 .copied()
                 .unwrap_or(origin),
         };
-        Ok(Program { origin, entry, chunks: out_chunks, symbols })
+        Ok(Program {
+            origin,
+            entry,
+            chunks: out_chunks,
+            symbols,
+        })
     }
 }
 
@@ -476,7 +537,9 @@ fn find_label(s: &str) -> Option<usize> {
     let colon = s.find(':')?;
     let head = &s[..colon];
     if !head.is_empty()
-        && head.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+        && head
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
         && !head.chars().next().expect("non-empty").is_ascii_digit()
         && Reg::parse(head).is_none()
         && head != "fs"
@@ -668,8 +731,7 @@ fn parse_mem(line: usize, inner: &str, seg: Option<Seg>) -> Result<MemTemplate, 
     for (neg, term) in terms {
         if let Some(star) = term.find('*') {
             let (r, sc) = (term[..star].trim(), term[star + 1..].trim());
-            let r = Reg::parse(r)
-                .ok_or_else(|| err(line, format!("bad index register `{r}`")))?;
+            let r = Reg::parse(r).ok_or_else(|| err(line, format!("bad index register `{r}`")))?;
             let sc = match parse_int(line, sc)? {
                 1 => Scale::S1,
                 2 => Scale::S2,
@@ -704,9 +766,7 @@ fn parse_mem(line: usize, inner: &str, seg: Option<Seg>) -> Result<MemTemplate, 
             disp = if neg {
                 match e {
                     Expr::Const(v) => Expr::Const(-v),
-                    Expr::Label(..) => {
-                        return Err(err(line, "cannot negate a label displacement"))
-                    }
+                    Expr::Label(..) => return Err(err(line, "cannot negate a label displacement")),
                 }
             } else {
                 e
@@ -714,7 +774,13 @@ fn parse_mem(line: usize, inner: &str, seg: Option<Seg>) -> Result<MemTemplate, 
             have_disp = true;
         }
     }
-    Ok(MemTemplate { base, index, scale, disp, seg })
+    Ok(MemTemplate {
+        base,
+        index,
+        scale,
+        disp,
+        seg,
+    })
 }
 
 fn expect_reg(line: usize, o: Operand) -> Result<Reg, AsmError> {
@@ -727,14 +793,20 @@ fn expect_reg(line: usize, o: Operand) -> Result<Reg, AsmError> {
 fn expect_xmm(line: usize, o: Operand) -> Result<Xmm, AsmError> {
     match o {
         Operand::Xmm(x) => Ok(x),
-        other => Err(err(line, format!("expected an xmm register, found {other:?}"))),
+        other => Err(err(
+            line,
+            format!("expected an xmm register, found {other:?}"),
+        )),
     }
 }
 
 fn expect_mem(line: usize, o: Operand) -> Result<MemTemplate, AsmError> {
     match o {
         Operand::Mem(m) => Ok(m),
-        other => Err(err(line, format!("expected a memory operand, found {other:?}"))),
+        other => Err(err(
+            line,
+            format!("expected a memory operand, found {other:?}"),
+        )),
     }
 }
 
@@ -742,7 +814,10 @@ fn const_i32(line: usize, e: &Expr) -> Result<i32, AsmError> {
     match e {
         Expr::Const(v) => i32::try_from(*v)
             .map_err(|_| err(line, format!("immediate {v:#x} does not fit in 32 bits"))),
-        Expr::Label(..) => Err(err(line, "label immediates only allowed with `mov r, label`")),
+        Expr::Label(..) => Err(err(
+            line,
+            "label immediates only allowed with `mov r, label`",
+        )),
     }
 }
 
@@ -759,7 +834,10 @@ fn parse_instruction(line: usize, s: &str) -> Result<Item, AsmError> {
         if nops == want {
             Ok(())
         } else {
-            Err(err(line, format!("`{mn}` expects {want} operand(s), found {nops}")))
+            Err(err(
+                line,
+                format!("`{mn}` expects {want} operand(s), found {nops}"),
+            ))
         }
     };
 
@@ -855,19 +933,31 @@ fn parse_instruction(line: usize, s: &str) -> Result<Item, AsmError> {
         }
         "push" => {
             arity(1)?;
-            Ok(Item::Insn(Insn::Push(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+            Ok(Item::Insn(Insn::Push(expect_reg(
+                line,
+                ops.into_iter().next().expect("arity"),
+            )?)))
         }
         "pop" => {
             arity(1)?;
-            Ok(Item::Insn(Insn::Pop(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+            Ok(Item::Insn(Insn::Pop(expect_reg(
+                line,
+                ops.into_iter().next().expect("arity"),
+            )?)))
         }
         "neg" => {
             arity(1)?;
-            Ok(Item::Insn(Insn::Neg(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+            Ok(Item::Insn(Insn::Neg(expect_reg(
+                line,
+                ops.into_iter().next().expect("arity"),
+            )?)))
         }
         "not" => {
             arity(1)?;
-            Ok(Item::Insn(Insn::Not(expect_reg(line, ops.into_iter().next().expect("arity"))?)))
+            Ok(Item::Insn(Insn::Not(expect_reg(
+                line,
+                ops.into_iter().next().expect("arity"),
+            )?)))
         }
         "cmp" => {
             arity(2)?;
@@ -1108,12 +1198,18 @@ mod tests {
             Insn::Load(Reg::Rax, Mem::base_index(Reg::Rbx, Reg::Rcx, Scale::S4, -2))
         );
         assert_eq!(insns[3], Insn::Store(Mem::base(Reg::Rbx), Reg::Rax));
-        assert_eq!(insns[4], Insn::Load(Reg::Rax, Mem::abs(0x10).with_seg(Seg::Fs)));
+        assert_eq!(
+            insns[4],
+            Insn::Load(Reg::Rax, Mem::abs(0x10).with_seg(Seg::Fs))
+        );
         assert_eq!(insns[5], Insn::LoadB(Reg::Rax, Mem::base(Reg::Rbx)));
         assert_eq!(insns[6], Insn::StoreW(Mem::base(Reg::Rbx), Reg::Rax));
         assert_eq!(
             insns[7],
-            Insn::Lea(Reg::Rsi, Mem::base_index(Reg::Rdi, Reg::R8, Scale::S8, 0x100))
+            Insn::Lea(
+                Reg::Rsi,
+                Mem::base_index(Reg::Rdi, Reg::R8, Scale::S8, 0x100)
+            )
         );
     }
 

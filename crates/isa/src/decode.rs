@@ -106,7 +106,13 @@ impl<'a> Cursor<'a> {
             _ => return Err(DecodeError::BadOperand(b2)),
         };
         let disp = self.i32()?;
-        Ok(Mem { base, index, scale, disp, seg })
+        Ok(Mem {
+            base,
+            index,
+            scale,
+            disp,
+            seg,
+        })
     }
 }
 
@@ -236,101 +242,8 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
 mod tests {
     use super::*;
     use crate::encode::encode;
+    use crate::test_strategies::arb_insn;
     use proptest::prelude::*;
-
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
-    }
-
-    fn arb_xmm() -> impl Strategy<Value = Xmm> {
-        (0u8..16).prop_map(Xmm)
-    }
-
-    fn arb_mem() -> impl Strategy<Value = Mem> {
-        (
-            proptest::option::of(arb_reg()),
-            proptest::option::of(arb_reg()),
-            0u8..4,
-            any::<i32>(),
-            0u8..3,
-        )
-            .prop_map(|(base, index, scale, disp, seg)| Mem {
-                base,
-                index,
-                // Scale is only encoded together with an index register.
-                scale: if index.is_some() { Scale::from_log2(scale).unwrap() } else { Scale::S1 },
-                disp,
-                seg: match seg {
-                    1 => Some(Seg::Fs),
-                    2 => Some(Seg::Gs),
-                    _ => None,
-                },
-            })
-    }
-
-    fn arb_insn() -> impl Strategy<Value = Insn> {
-        let alu = (0u8..11).prop_map(|i| AluOp::from_index(i).unwrap());
-        let fp = (0u8..7).prop_map(|i| FpOp::from_index(i).unwrap());
-        let cond = (0u8..12).prop_map(|i| Cond::from_index(i).unwrap());
-        let marker = (0u8..3).prop_map(|i| MarkerKind::from_index(i).unwrap());
-        prop_oneof![
-            Just(Insn::Nop),
-            Just(Insn::Ret),
-            Just(Insn::Syscall),
-            Just(Insn::Mfence),
-            Just(Insn::RepMovs),
-            Just(Insn::Pause),
-            Just(Insn::Ud2),
-            Just(Insn::Pushfq),
-            Just(Insn::Popfq),
-            Just(Insn::Rdtsc),
-            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::MovRR(a, b)),
-            (arb_reg(), any::<u64>()).prop_map(|(a, b)| Insn::MovRI(a, b)),
-            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::Load(a, b)),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::Store(a, b)),
-            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::LoadB(a, b)),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::StoreB(a, b)),
-            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::LoadW(a, b)),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::StoreW(a, b)),
-            (arb_reg(), arb_mem()).prop_map(|(a, b)| Insn::Lea(a, b)),
-            arb_reg().prop_map(Insn::Push),
-            arb_reg().prop_map(Insn::Pop),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::Xchg(a, b)),
-            (alu.clone(), arb_reg(), arb_reg()).prop_map(|(o, a, b)| Insn::AluRR(o, a, b)),
-            (alu, arb_reg(), any::<i32>()).prop_map(|(o, a, b)| Insn::AluRI(o, a, b)),
-            arb_reg().prop_map(Insn::Neg),
-            arb_reg().prop_map(Insn::Not),
-            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::CmpRR(a, b)),
-            (arb_reg(), any::<i32>()).prop_map(|(a, b)| Insn::CmpRI(a, b)),
-            (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::TestRR(a, b)),
-            any::<i32>().prop_map(Insn::Jmp),
-            arb_reg().prop_map(Insn::JmpR),
-            arb_mem().prop_map(Insn::JmpM),
-            (cond, any::<i32>()).prop_map(|(c, r)| Insn::Jcc(c, r)),
-            any::<i32>().prop_map(Insn::Call),
-            arb_reg().prop_map(Insn::CallR),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::LockXadd(a, b)),
-            (arb_mem(), arb_reg()).prop_map(|(a, b)| Insn::LockCmpXchg(a, b)),
-            (marker, any::<u32>()).prop_map(|(k, t)| Insn::Marker(k, t)),
-            arb_reg().prop_map(Insn::RdFsBase),
-            arb_reg().prop_map(Insn::WrFsBase),
-            arb_reg().prop_map(Insn::RdGsBase),
-            arb_reg().prop_map(Insn::WrGsBase),
-            arb_mem().prop_map(Insn::Fxsave),
-            arb_mem().prop_map(Insn::Fxrstor),
-            arb_mem().prop_map(Insn::Xsave),
-            arb_mem().prop_map(Insn::Xrstor),
-            (arb_xmm(), arb_mem()).prop_map(|(x, m)| Insn::MovsdXM(x, m)),
-            (arb_mem(), arb_xmm()).prop_map(|(m, x)| Insn::MovsdMX(m, x)),
-            (arb_xmm(), arb_xmm()).prop_map(|(a, b)| Insn::MovsdXX(a, b)),
-            (fp, arb_xmm(), arb_xmm()).prop_map(|(o, a, b)| Insn::FpRR(o, a, b)),
-            (arb_xmm(), arb_reg()).prop_map(|(x, r)| Insn::Cvtsi2sd(x, r)),
-            (arb_reg(), arb_xmm()).prop_map(|(r, x)| Insn::Cvttsd2si(r, x)),
-            (arb_xmm(), arb_xmm()).prop_map(|(a, b)| Insn::Comisd(a, b)),
-            (arb_reg(), arb_xmm()).prop_map(|(r, x)| Insn::MovqRX(r, x)),
-            (arb_xmm(), arb_reg()).prop_map(|(x, r)| Insn::MovqXR(x, r)),
-        ]
-    }
 
     proptest! {
         #[test]
@@ -352,9 +265,8 @@ mod tests {
             for cut in 0..bytes.len() {
                 // A strict prefix must either fail or decode to a shorter
                 // instruction (never read past the cut).
-                match decode(&bytes[..cut]) {
-                    Ok((_, len)) => prop_assert!(len <= cut),
-                    Err(_) => {}
+                if let Ok((_, len)) = decode(&bytes[..cut]) {
+                    prop_assert!(len <= cut);
                 }
             }
         }
@@ -368,7 +280,10 @@ mod tests {
 
     #[test]
     fn bad_register_operand_reported() {
-        assert_eq!(decode(&[super::op::PUSH, 99]), Err(DecodeError::BadOperand(99)));
+        assert_eq!(
+            decode(&[super::op::PUSH, 99]),
+            Err(DecodeError::BadOperand(99))
+        );
     }
 
     #[test]

@@ -94,7 +94,12 @@ pub fn disassemble(bytes: &[u8], addr: u64) -> (Vec<DisasmLine>, Option<DecodeEr
             Ok((insn, len)) => {
                 let a = addr + pos as u64;
                 let text = format_insn(&insn, a, len);
-                lines.push(DisasmLine { addr: a, len, insn, text });
+                lines.push(DisasmLine {
+                    addr: a,
+                    len,
+                    insn,
+                    text,
+                });
                 pos += len;
             }
             Err(e) => return (lines, Some(e)),

@@ -401,4 +401,67 @@ mod tests {
         assert_eq!(encoded_len(&Insn::Load(Reg::Rax, Mem::abs(0))), 9);
         assert_eq!(encoded_len(&Insn::AluRI(AluOp::Add, Reg::Rax, 1)), 7);
     }
+
+    mod properties {
+        use super::*;
+        use crate::decode::decode;
+        use crate::test_strategies::arb_insn;
+        use proptest::prelude::*;
+
+        proptest! {
+            // The companion of decode's `encode_decode_roundtrip`, driven
+            // from the encoder side: every encodable instruction survives
+            // the trip and consumes exactly its own bytes.
+            #[test]
+            fn every_encoding_round_trips(insn in arb_insn()) {
+                let bytes = encode(&insn);
+                let (decoded, len) = decode(&bytes).expect("own encoding decodes");
+                prop_assert_eq!(decoded, insn);
+                prop_assert_eq!(len, bytes.len());
+            }
+
+            #[test]
+            fn encoded_len_is_exact_and_bounded(insn in arb_insn()) {
+                let bytes = encode(&insn);
+                prop_assert_eq!(encoded_len(&insn), bytes.len());
+                // The documented variable-length envelope.
+                prop_assert!((1..=16).contains(&bytes.len()), "{} bytes", bytes.len());
+            }
+
+            #[test]
+            fn encode_into_appends_and_preserves_the_prefix(
+                insn in arb_insn(),
+                prefix in proptest::collection::vec(any::<u8>(), 0..24),
+            ) {
+                let mut buf = prefix.clone();
+                encode_into(&insn, &mut buf);
+                prop_assert_eq!(&buf[..prefix.len()], &prefix[..]);
+                prop_assert_eq!(&buf[prefix.len()..], &encode(&insn)[..]);
+            }
+
+            // Canonical instructions encode injectively — no two distinct
+            // instructions share a byte string (decode would have to pick
+            // one of them, losing the other).
+            #[test]
+            fn distinct_instructions_encode_distinctly(a in arb_insn(), b in arb_insn()) {
+                if a != b {
+                    prop_assert_ne!(encode(&a), encode(&b));
+                }
+            }
+
+            // Mirror of decode_never_panics_on_garbage: re-encoding
+            // whatever garbage *decodes to* reproduces a decodable string.
+            #[test]
+            fn decoded_garbage_reencodes_decodably(
+                bytes in proptest::collection::vec(any::<u8>(), 0..32),
+            ) {
+                if let Ok((insn, _)) = decode(&bytes) {
+                    let again = encode(&insn);
+                    let (insn2, len) = decode(&again).expect("re-encoding decodes");
+                    prop_assert_eq!(insn2, insn);
+                    prop_assert_eq!(len, again.len());
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,81 @@
+//! A small stable content hasher (64-bit FNV-1a).
+//!
+//! The pipeline cache keys profiles and pinballs by the *content* of the
+//! inputs that produced them (program bytes, machine configuration,
+//! selection parameters). `std::hash` offers no stability guarantee across
+//! releases or processes, so cache keys use this fixed algorithm instead.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the standard FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Fnv64 {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn u64(self, v: u64) -> Fnv64 {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a string, length-prefixed so concatenations cannot collide.
+    pub fn str(self, s: &str) -> Fnv64 {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot convenience over [`Fnv64`].
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    Fnv64::new().bytes(bytes).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_separates_strings() {
+        let ab_c = Fnv64::new().str("ab").str("c").finish();
+        let a_bc = Fnv64::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let one = fnv64(b"hello world");
+        let two = Fnv64::new().bytes(b"hello ").bytes(b"world").finish();
+        assert_eq!(one, two);
+    }
+}

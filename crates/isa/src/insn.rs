@@ -77,22 +77,38 @@ impl Mem {
     /// Panics if `addr` does not fit in an `i32` displacement; use a base
     /// register for high addresses.
     pub fn abs(addr: i64) -> Mem {
-        Mem { disp: i32::try_from(addr).expect("absolute address fits in disp32"), ..Mem::default() }
+        Mem {
+            disp: i32::try_from(addr).expect("absolute address fits in disp32"),
+            ..Mem::default()
+        }
     }
 
     /// Base-register operand `[base]`.
     pub fn base(base: Reg) -> Mem {
-        Mem { base: Some(base), ..Mem::default() }
+        Mem {
+            base: Some(base),
+            ..Mem::default()
+        }
     }
 
     /// Base + displacement operand `[base + disp]`.
     pub fn base_disp(base: Reg, disp: i32) -> Mem {
-        Mem { base: Some(base), disp, ..Mem::default() }
+        Mem {
+            base: Some(base),
+            disp,
+            ..Mem::default()
+        }
     }
 
     /// Full scaled-index form `[base + index*scale + disp]`.
     pub fn base_index(base: Reg, index: Reg, scale: Scale, disp: i32) -> Mem {
-        Mem { base: Some(base), index: Some(index), scale, disp, seg: None }
+        Mem {
+            base: Some(base),
+            index: Some(index),
+            scale,
+            disp,
+            seg: None,
+        }
     }
 
     /// Adds a segment override.
@@ -292,8 +308,15 @@ pub enum FpOp {
 
 impl FpOp {
     /// All FP operations in encoding order.
-    pub const ALL: [FpOp; 7] =
-        [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div, FpOp::Min, FpOp::Max, FpOp::Sqrt];
+    pub const ALL: [FpOp; 7] = [
+        FpOp::Add,
+        FpOp::Sub,
+        FpOp::Mul,
+        FpOp::Div,
+        FpOp::Min,
+        FpOp::Max,
+        FpOp::Sqrt,
+    ];
 
     /// Decodes the encoding byte.
     pub const fn from_index(v: u8) -> Option<FpOp> {
@@ -554,7 +577,10 @@ impl Insn {
 
     /// True for atomic read-modify-write instructions.
     pub fn is_atomic(&self) -> bool {
-        matches!(self, Insn::Xchg(..) | Insn::LockXadd(..) | Insn::LockCmpXchg(..))
+        matches!(
+            self,
+            Insn::Xchg(..) | Insn::LockXadd(..) | Insn::LockCmpXchg(..)
+        )
     }
 }
 
@@ -594,7 +620,10 @@ mod tests {
             Mem::base_index(Reg::Rdi, Reg::Rcx, Scale::S8, 16).to_string(),
             "[rdi + rcx*8 + 0x10]"
         );
-        assert_eq!(Mem::abs(0x1000).with_seg(Seg::Fs).to_string(), "fs:[0x1000]");
+        assert_eq!(
+            Mem::abs(0x1000).with_seg(Seg::Fs).to_string(),
+            "fs:[0x1000]"
+        );
     }
 
     #[test]

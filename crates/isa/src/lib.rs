@@ -48,13 +48,17 @@ pub mod asm;
 pub mod decode;
 pub mod disasm;
 pub mod encode;
+pub mod hash;
 pub mod insn;
 pub mod reg;
+#[cfg(test)]
+pub(crate) mod test_strategies;
 
 pub use asm::{assemble, AsmError, Assembler, Chunk, Program};
 pub use decode::{decode, DecodeError};
 pub use disasm::{disassemble, format_insn, listing, DisasmLine};
 pub use encode::{encode, encoded_len};
+pub use hash::{fnv64, Fnv64};
 pub use insn::{AluOp, Cond, FpOp, Insn, MarkerKind, Mem, Scale, Seg};
 pub use reg::{Flags, Reg, RegFile, XSaveArea, Xmm, XSAVE_AREA_SIZE};
 

@@ -375,7 +375,12 @@ mod tests {
 
     #[test]
     fn flags_pack_like_rflags() {
-        let f = Flags { cf: true, zf: true, sf: false, of: true };
+        let f = Flags {
+            cf: true,
+            zf: true,
+            sf: false,
+            of: true,
+        };
         let bits = f.to_bits();
         assert_eq!(bits & 1, 1, "CF is bit 0");
         assert_eq!((bits >> 6) & 1, 1, "ZF is bit 6");

@@ -1,0 +1,509 @@
+//! Minimal JSON support for the pinball metadata file.
+//!
+//! The build environment has no crates.io access, so the metadata
+//! descriptor is serialised with this hand-rolled module instead of
+//! `serde_json`. The encoding mirrors serde's default representation
+//! (unit enum variants as strings, newtype variants as single-key
+//! objects, map keys as strings) so existing `.meta.json` files stay
+//! readable.
+//!
+//! Integers are kept in distinct `U64`/`I64` variants rather than routed
+//! through `f64`, because pinball fields like `brk` are full-range `u64`
+//! values that must round-trip bit-exactly.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// Non-negative integer (exact, full `u64` range).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Fractional or exponent-form number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Json::get`] but with a missing-field error.
+    pub fn field(&self, key: &str) -> Result<&Json, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(n) => Some(n),
+            Json::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(n) => Some(n as f64),
+            Json::I64(n) => Some(n as f64),
+            Json::F64(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Renders without whitespace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with two-space indentation (serde_json pretty style).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) => {
+                if x.is_finite() {
+                    // `{:?}` is the shortest representation that parses
+                    // back to the same bits.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null"); // serde_json's lossy default
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Obj(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, i, d| {
+                    write_escaped(out, &fields[i].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    /// Returns a description of the first syntax error.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected `{}` at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {}", self.pos))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value(depth + 1)?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    out.push_str(self.utf8_slice(start, self.pos)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.utf8_slice(start, self.pos)?);
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                    start = self.pos;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at {}", self.pos));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn utf8_slice(&self, start: usize, end: usize) -> Result<&str, String> {
+        std::str::from_utf8(&self.bytes[start..end]).map_err(|_| "invalid UTF-8".to_string())
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let b = self.peek().ok_or("unterminated escape")?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xd800..0xdc00).contains(&hi) {
+                    // Surrogate pair: a second \uXXXX must follow.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let lo = self.hex4()?;
+                        let c = 0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00));
+                        return char::from_u32(c).ok_or_else(|| "bad surrogate pair".to_string());
+                    }
+                    return Err("lone high surrogate".into());
+                }
+                char::from_u32(hi).ok_or("lone low surrogate")?
+            }
+            _ => return Err(format!("bad escape `\\{}`", b as char)),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("truncated \\u escape")?;
+        let s = self.utf8_slice(self.pos, end)?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| format!("bad \\u escape `{s}`"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = self.utf8_slice(start, self.pos)?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::F64)
+                .map_err(|_| format!("bad number `{text}`"))
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            stripped
+                .parse::<i64>()
+                .map(|n| Json::I64(-n))
+                .map_err(|_| format!("bad number `{text}`"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|_| format!("bad number `{text}`"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "42",
+            "-7",
+            "18446744073709551615",
+        ] {
+            let v = Json::parse(text).expect(text);
+            assert_eq!(v.render(), text);
+        }
+    }
+
+    #[test]
+    fn u64_extremes_are_exact() {
+        let v = Json::parse("18446744073709551615").unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        let v = Json::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.render(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn floats_roundtrip_bits() {
+        for x in [0.5, 0.1, 1.0, -2.25, 1e-300, 123456.789] {
+            let text = Json::F64(x).render();
+            let back = Json::parse(&text).unwrap();
+            assert_eq!(back.as_f64().map(f64::to_bits), Some(x.to_bits()), "{text}");
+        }
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "quote\" back\\ nl\n tab\t bell\u{7} unicode с中€🎯";
+        let text = Json::Str(s.into()).render();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        assert_eq!(
+            Json::parse(r#""\ud83c\udfaf""#).unwrap().as_str(),
+            Some("🎯")
+        );
+        assert!(Json::parse(r#""\ud83c""#).is_err());
+    }
+
+    #[test]
+    fn objects_preserve_order_and_pretty_print() {
+        let v = Json::Obj(vec![
+            ("b".into(), Json::U64(1)),
+            ("a".into(), Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":1,"a":[true,null]}"#);
+        let pretty = v.render_pretty();
+        assert!(pretty.contains("\n  \"b\": 1"));
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        for text in [
+            "", "{", "[1,", "{\"a\"}", "tru", "\"\\x\"", "01a", "--2", "1e", "{\"a\":}", "\u{0}",
+        ] {
+            assert!(Json::parse(text).is_err(), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        let text = "[".repeat(500) + &"]".repeat(500);
+        assert!(Json::parse(&text).is_err());
+    }
+}

@@ -21,9 +21,10 @@
 //! set; [`Pinball::to_bytes`]/[`Pinball::from_bytes`] bundle it into one
 //! buffer for in-memory use and sharing.
 
+mod json;
 pub mod wire;
 
-use serde::{Deserialize, Serialize};
+use json::Json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
@@ -39,7 +40,7 @@ const LAZY_MAGIC: &[u8; 4] = b"PBLZ";
 const BUNDLE_MAGIC: &[u8; 4] = b"PBAL";
 
 /// How the logger locates the start of a region of interest.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RegionTrigger {
     /// The region starts at program entry (whole-program pinball).
     ProgramStart,
@@ -52,7 +53,7 @@ pub enum RegionTrigger {
 
 /// The region descriptor: where the region starts, how long it is, and the
 /// bookkeeping produced by region selection (weight, slice index, warmup).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RegionInfo {
     /// Human-readable region name (e.g. `bench.3` for cluster 3).
     pub name: String,
@@ -87,7 +88,7 @@ impl RegionInfo {
 }
 
 /// Pinball-level metadata.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PinballMeta {
     /// Pinball (benchmark) name.
     pub name: String,
@@ -234,8 +235,11 @@ impl RegImage {
         rf.flags = elfie_isa::Flags::from_bits(self.rflags);
         rf.fs_base = self.fs_base;
         rf.gs_base = self.gs_base;
-        let arr: [u8; elfie_isa::XSAVE_AREA_SIZE] =
-            self.xsave.clone().try_into().unwrap_or([0u8; elfie_isa::XSAVE_AREA_SIZE]);
+        let arr: [u8; elfie_isa::XSAVE_AREA_SIZE] = self
+            .xsave
+            .clone()
+            .try_into()
+            .unwrap_or([0u8; elfie_isa::XSAVE_AREA_SIZE]);
         rf.xsave = elfie_isa::XSaveArea::from_bytes(&arr);
         rf
     }
@@ -332,11 +336,23 @@ impl ThreadRecord {
                 let addr = r.u64()?;
                 writes.push((addr, r.bytes()?));
             }
-            syscalls.push(SyscallEffect { nr, args, ret, writes });
+            syscalls.push(SyscallEffect {
+                nr,
+                args,
+                ret,
+                writes,
+            });
         }
         Ok(ThreadRecord {
             tid,
-            regs: RegImage { gpr, rip, rflags, fs_base, gs_base, xsave },
+            regs: RegImage {
+                gpr,
+                rip,
+                rflags,
+                fs_base,
+                gs_base,
+                xsave,
+            },
             syscalls,
             spawned,
         })
@@ -384,7 +400,11 @@ impl RaceLog {
         let n = r.u64()?;
         let mut order = Vec::with_capacity(n as usize);
         for _ in 0..n {
-            order.push(SyncPoint { tid: r.u32()?, seq: r.u64()?, addr: r.u64()? });
+            order.push(SyncPoint {
+                tid: r.u32()?,
+                seq: r.u64()?,
+                addr: r.u64()?,
+            });
         }
         Ok(RaceLog { order })
     }
@@ -408,7 +428,13 @@ fn lazy_from_wire(buf: &[u8]) -> Result<BTreeMap<u64, PageRecord>, WireError> {
     for _ in 0..n {
         let addr = r.u64()?;
         let perm = r.u8()?;
-        pages.insert(addr, PageRecord { perm, data: r.bytes()? });
+        pages.insert(
+            addr,
+            PageRecord {
+                perm,
+                data: r.bytes()?,
+            },
+        );
     }
     Ok(pages)
 }
@@ -465,22 +491,144 @@ impl From<std::io::Error> for PinballError {
     }
 }
 
-#[derive(Serialize, Deserialize)]
 struct MetaFile {
     meta: PinballMeta,
     region: RegionInfo,
 }
 
+impl RegionTrigger {
+    /// Serde-style encoding: unit variants as strings, payload variants as
+    /// single-key objects.
+    fn to_json(self) -> Json {
+        match self {
+            RegionTrigger::ProgramStart => Json::Str("ProgramStart".into()),
+            RegionTrigger::GlobalIcount(n) => {
+                Json::Obj(vec![("GlobalIcount".into(), Json::U64(n))])
+            }
+            RegionTrigger::PcCount { pc, count } => Json::Obj(vec![(
+                "PcCount".into(),
+                Json::Obj(vec![
+                    ("pc".into(), Json::U64(pc)),
+                    ("count".into(), Json::U64(count)),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(j: &Json) -> Result<RegionTrigger, String> {
+        if j.as_str() == Some("ProgramStart") {
+            return Ok(RegionTrigger::ProgramStart);
+        }
+        if let Some(n) = j.get("GlobalIcount") {
+            let n = n.as_u64().ok_or("GlobalIcount not an integer")?;
+            return Ok(RegionTrigger::GlobalIcount(n));
+        }
+        if let Some(pc_count) = j.get("PcCount") {
+            let pc = pc_count.field("pc")?.as_u64().ok_or("pc not an integer")?;
+            let count = pc_count
+                .field("count")?
+                .as_u64()
+                .ok_or("count not an integer")?;
+            return Ok(RegionTrigger::PcCount { pc, count });
+        }
+        Err("unknown region trigger".into())
+    }
+}
+
+fn json_u64(j: &Json, key: &str) -> Result<u64, String> {
+    j.field(key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` not an integer"))
+}
+
+fn json_str(j: &Json, key: &str) -> Result<String, String> {
+    Ok(j.field(key)?
+        .as_str()
+        .ok_or_else(|| format!("`{key}` not a string"))?
+        .to_string())
+}
+
+impl MetaFile {
+    fn to_json(&self) -> Json {
+        let meta = Json::Obj(vec![
+            ("name".into(), Json::Str(self.meta.name.clone())),
+            ("fat".into(), Json::Bool(self.meta.fat)),
+            ("arch".into(), Json::Str(self.meta.arch.clone())),
+            ("brk".into(), Json::U64(self.meta.brk)),
+            ("brk_start".into(), Json::U64(self.meta.brk_start)),
+            ("cwd".into(), Json::Str(self.meta.cwd.clone())),
+        ]);
+        // Serde writes map keys as strings, so tids become "0", "1", ...
+        let icounts = Json::Obj(
+            self.region
+                .thread_icounts
+                .iter()
+                .map(|(&tid, &n)| (tid.to_string(), Json::U64(n)))
+                .collect(),
+        );
+        let region = Json::Obj(vec![
+            ("name".into(), Json::Str(self.region.name.clone())),
+            ("trigger".into(), self.region.trigger.to_json()),
+            ("length".into(), Json::U64(self.region.length)),
+            ("thread_icounts".into(), icounts),
+            ("warmup".into(), Json::U64(self.region.warmup)),
+            ("weight".into(), Json::F64(self.region.weight)),
+            ("slice_index".into(), Json::U64(self.region.slice_index)),
+        ]);
+        Json::Obj(vec![("meta".into(), meta), ("region".into(), region)])
+    }
+
+    fn from_json(j: &Json) -> Result<MetaFile, String> {
+        let m = j.field("meta")?;
+        let meta = PinballMeta {
+            name: json_str(m, "name")?,
+            fat: m.field("fat")?.as_bool().ok_or("`fat` not a bool")?,
+            arch: json_str(m, "arch")?,
+            brk: json_u64(m, "brk")?,
+            brk_start: json_u64(m, "brk_start")?,
+            cwd: json_str(m, "cwd")?,
+        };
+        let r = j.field("region")?;
+        let mut thread_icounts = BTreeMap::new();
+        for (key, value) in r
+            .field("thread_icounts")?
+            .as_obj()
+            .ok_or("icounts not a map")?
+        {
+            let tid: u32 = key.parse().map_err(|_| format!("bad tid key `{key}`"))?;
+            thread_icounts.insert(tid, value.as_u64().ok_or("icount not an integer")?);
+        }
+        let region = RegionInfo {
+            name: json_str(r, "name")?,
+            trigger: RegionTrigger::from_json(r.field("trigger")?)?,
+            length: json_u64(r, "length")?,
+            thread_icounts,
+            warmup: json_u64(r, "warmup")?,
+            weight: r.field("weight")?.as_f64().ok_or("`weight` not a number")?,
+            slice_index: json_u64(r, "slice_index")?,
+        };
+        Ok(MetaFile { meta, region })
+    }
+
+    fn parse(bytes: &[u8]) -> Result<MetaFile, PinballError> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| PinballError::Meta("metadata not UTF-8".into()))?;
+        let j = Json::parse(text).map_err(PinballError::Meta)?;
+        MetaFile::from_json(&j).map_err(PinballError::Meta)
+    }
+}
+
 impl Pinball {
     /// Serialises the whole pinball into one bundle buffer.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let meta_json = serde_json::to_vec(&MetaFile {
+        let meta_json = MetaFile {
             meta: self.meta.clone(),
             region: self.region.clone(),
-        })
-        .expect("meta serialises");
+        }
+        .to_json()
+        .render();
         let mut w = Writer::with_header(BUNDLE_MAGIC, FORMAT_VERSION);
-        w.bytes(&meta_json);
+        w.bytes(meta_json.as_bytes());
         w.bytes(&self.image.to_wire());
         w.u64(self.threads.len() as u64);
         for t in &self.threads {
@@ -498,8 +646,7 @@ impl Pinball {
     pub fn from_bytes(buf: &[u8]) -> Result<Pinball, PinballError> {
         let mut r = Reader::with_header(buf, BUNDLE_MAGIC, FORMAT_VERSION)?;
         let meta_json = r.bytes()?;
-        let mf: MetaFile = serde_json::from_slice(&meta_json)
-            .map_err(|e| PinballError::Meta(e.to_string()))?;
+        let mf = MetaFile::parse(&meta_json)?;
         let image = MemoryImage::from_wire(&r.bytes()?)?;
         let n = r.u64()?;
         let mut threads = Vec::with_capacity(n as usize);
@@ -508,7 +655,14 @@ impl Pinball {
         }
         let races = RaceLog::from_wire(&r.bytes()?)?;
         let lazy_pages = lazy_from_wire(&r.bytes()?)?;
-        Ok(Pinball { meta: mf.meta, region: mf.region, image, threads, races, lazy_pages })
+        Ok(Pinball {
+            meta: mf.meta,
+            region: mf.region,
+            image,
+            threads,
+            races,
+            lazy_pages,
+        })
     }
 
     /// Saves the pinball as a PinPlay-style file set in `dir`:
@@ -520,18 +674,22 @@ impl Pinball {
     pub fn save_dir(&self, dir: &Path) -> Result<(), PinballError> {
         std::fs::create_dir_all(dir)?;
         let name = &self.meta.name;
-        let meta_json = serde_json::to_vec_pretty(&MetaFile {
+        let meta_json = MetaFile {
             meta: self.meta.clone(),
             region: self.region.clone(),
-        })
-        .map_err(|e| PinballError::Meta(e.to_string()))?;
+        }
+        .to_json()
+        .render_pretty();
         std::fs::write(dir.join(format!("{name}.meta.json")), meta_json)?;
         std::fs::write(dir.join(format!("{name}.text")), self.image.to_wire())?;
         for t in &self.threads {
             std::fs::write(dir.join(format!("{name}.{}.reg", t.tid)), t.to_wire())?;
         }
         std::fs::write(dir.join(format!("{name}.race")), self.races.to_wire())?;
-        std::fs::write(dir.join(format!("{name}.lazy")), lazy_to_wire(&self.lazy_pages))?;
+        std::fs::write(
+            dir.join(format!("{name}.lazy")),
+            lazy_to_wire(&self.lazy_pages),
+        )?;
         Ok(())
     }
 
@@ -541,8 +699,7 @@ impl Pinball {
     /// Returns [`PinballError`] on missing files or malformed contents.
     pub fn load_dir(dir: &Path, name: &str) -> Result<Pinball, PinballError> {
         let meta_json = std::fs::read(dir.join(format!("{name}.meta.json")))?;
-        let mf: MetaFile = serde_json::from_slice(&meta_json)
-            .map_err(|e| PinballError::Meta(e.to_string()))?;
+        let mf = MetaFile::parse(&meta_json)?;
         let image = MemoryImage::from_wire(&std::fs::read(dir.join(format!("{name}.text")))?)?;
         let mut threads = Vec::new();
         for tid in 0.. {
@@ -554,7 +711,14 @@ impl Pinball {
         }
         let races = RaceLog::from_wire(&std::fs::read(dir.join(format!("{name}.race")))?)?;
         let lazy_pages = lazy_from_wire(&std::fs::read(dir.join(format!("{name}.lazy")))?)?;
-        Ok(Pinball { meta: mf.meta, region: mf.region, image, threads, races, lazy_pages })
+        Ok(Pinball {
+            meta: mf.meta,
+            region: mf.region,
+            image,
+            threads,
+            races,
+            lazy_pages,
+        })
     }
 
     /// Total serialised size in bytes (used to compare fat vs regular
@@ -573,9 +737,27 @@ mod tests {
         let mut image = MemoryImage::new();
         let mut page = vec![0u8; PAGE_SIZE as usize];
         page[0] = 0xaa;
-        image.pages.insert(0x400000, PageRecord { perm: 5, data: page.clone() });
-        image.pages.insert(0x401000, PageRecord { perm: 5, data: page.clone() });
-        image.pages.insert(0x600000, PageRecord { perm: 3, data: page.clone() });
+        image.pages.insert(
+            0x400000,
+            PageRecord {
+                perm: 5,
+                data: page.clone(),
+            },
+        );
+        image.pages.insert(
+            0x401000,
+            PageRecord {
+                perm: 5,
+                data: page.clone(),
+            },
+        );
+        image.pages.insert(
+            0x600000,
+            PageRecord {
+                perm: 3,
+                data: page.clone(),
+            },
+        );
 
         let mut regs = elfie_isa::RegFile::new();
         regs.rip = 0x400123;
@@ -595,7 +777,13 @@ mod tests {
         };
 
         let mut lazy = BTreeMap::new();
-        lazy.insert(0x700000, PageRecord { perm: 3, data: vec![7u8; PAGE_SIZE as usize] });
+        lazy.insert(
+            0x700000,
+            PageRecord {
+                perm: 3,
+                data: vec![7u8; PAGE_SIZE as usize],
+            },
+        );
 
         Pinball {
             meta: PinballMeta {
@@ -618,7 +806,11 @@ mod tests {
             image,
             threads: vec![thread],
             races: RaceLog {
-                order: vec![SyncPoint { tid: 0, seq: 0, addr: 0x600010 }],
+                order: vec![SyncPoint {
+                    tid: 0,
+                    seq: 0,
+                    addr: 0x600010,
+                }],
             },
             lazy_pages: lazy,
         }
@@ -677,7 +869,12 @@ mod tests {
         let mut regs = elfie_isa::RegFile::new();
         regs.rip = 0xdead;
         regs.fs_base = 0x7000;
-        regs.flags = elfie_isa::Flags { cf: true, zf: false, sf: true, of: false };
+        regs.flags = elfie_isa::Flags {
+            cf: true,
+            zf: false,
+            sf: true,
+            of: false,
+        };
         regs.write(elfie_isa::Reg::R15, 0x1234);
         regs.xsave.write_f64(elfie_isa::Xmm(9), -2.25);
         let img = RegImage::from(&regs);
@@ -701,8 +898,20 @@ mod tests {
     fn runs_split_on_permission_change() {
         let mut image = MemoryImage::new();
         let page = vec![0u8; PAGE_SIZE as usize];
-        image.pages.insert(0x1000, PageRecord { perm: 5, data: page.clone() });
-        image.pages.insert(0x2000, PageRecord { perm: 3, data: page });
+        image.pages.insert(
+            0x1000,
+            PageRecord {
+                perm: 5,
+                data: page.clone(),
+            },
+        );
+        image.pages.insert(
+            0x2000,
+            PageRecord {
+                perm: 3,
+                data: page,
+            },
+        );
         let runs = image.consecutive_runs();
         assert_eq!(runs.len(), 2, "adjacent but different perms");
     }
@@ -714,8 +923,13 @@ mod tests {
         regular.meta.fat = false;
         // Regular pinball: move all but one page to the lazy set.
         let keep = *regular.image.pages.keys().next().unwrap();
-        let moved: Vec<u64> =
-            regular.image.pages.keys().copied().filter(|&a| a != keep).collect();
+        let moved: Vec<u64> = regular
+            .image
+            .pages
+            .keys()
+            .copied()
+            .filter(|&a| a != keep)
+            .collect();
         for a in moved {
             let p = regular.image.pages.remove(&a).unwrap();
             regular.lazy_pages.insert(a, p);

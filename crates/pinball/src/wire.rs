@@ -115,7 +115,11 @@ impl<'a> Reader<'a> {
 
     /// Creates a reader, validating the magic and version header written by
     /// [`Writer::with_header`].
-    pub fn with_header(buf: &'a [u8], magic: &[u8; 4], version: u32) -> Result<Reader<'a>, WireError> {
+    pub fn with_header(
+        buf: &'a [u8],
+        magic: &[u8; 4],
+        version: u32,
+    ) -> Result<Reader<'a>, WireError> {
         let mut r = Reader::new(buf);
         let got = r.take(4)?;
         if got != magic {
@@ -130,7 +134,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.buf.len() - self.pos < n {
-            return Err(WireError::Truncated { need: n, have: self.buf.len() - self.pos });
+            return Err(WireError::Truncated {
+                need: n,
+                have: self.buf.len() - self.pos,
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -144,12 +151,16 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `f64` bit pattern.
@@ -192,7 +203,10 @@ mod tests {
         let w = Writer::with_header(b"PBAL", 3);
         let buf = w.into_bytes();
         assert!(Reader::with_header(&buf, b"PBAL", 3).is_ok());
-        assert_eq!(Reader::with_header(&buf, b"XXXX", 3).unwrap_err(), WireError::BadMagic);
+        assert_eq!(
+            Reader::with_header(&buf, b"XXXX", 3).unwrap_err(),
+            WireError::BadMagic
+        );
         assert_eq!(
             Reader::with_header(&buf, b"PBAL", 4).unwrap_err(),
             WireError::BadVersion(3)

@@ -29,8 +29,12 @@ fn arb_page() -> impl Strategy<Value = PageRecord> {
 }
 
 fn arb_image() -> impl Strategy<Value = MemoryImage> {
-    proptest::collection::btree_map((0u64..1024).prop_map(|p| p * PAGE as u64), arb_page(), 0..12)
-        .prop_map(|pages| MemoryImage { pages })
+    proptest::collection::btree_map(
+        (0u64..1024).prop_map(|p| p * PAGE as u64),
+        arb_page(),
+        0..12,
+    )
+    .prop_map(|pages| MemoryImage { pages })
 }
 
 fn arb_regimage() -> impl Strategy<Value = RegImage> {
@@ -56,14 +60,31 @@ fn arb_syscall() -> impl Strategy<Value = SyscallEffect> {
         any::<u64>(),
         proptest::array::uniform6(any::<u64>()),
         any::<u64>(),
-        proptest::collection::vec((any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)), 0..4),
+        proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)),
+            0..4,
+        ),
     )
-        .prop_map(|(nr, args, ret, writes)| SyscallEffect { nr, args, ret, writes })
+        .prop_map(|(nr, args, ret, writes)| SyscallEffect {
+            nr,
+            args,
+            ret,
+            writes,
+        })
 }
 
 fn arb_thread(tid: u32) -> impl Strategy<Value = ThreadRecord> {
-    (arb_regimage(), proptest::collection::vec(arb_syscall(), 0..6), any::<bool>())
-        .prop_map(move |(regs, syscalls, spawned)| ThreadRecord { tid, regs, syscalls, spawned })
+    (
+        arb_regimage(),
+        proptest::collection::vec(arb_syscall(), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(move |(regs, syscalls, spawned)| ThreadRecord {
+            tid,
+            regs,
+            syscalls,
+            spawned,
+        })
 }
 
 fn arb_pinball() -> impl Strategy<Value = Pinball> {
@@ -78,7 +99,11 @@ fn arb_pinball() -> impl Strategy<Value = Pinball> {
             let races = RaceLog {
                 order: race
                     .into_iter()
-                    .map(|(tid, seq, addr)| SyncPoint { tid: tid % 4, seq, addr })
+                    .map(|(tid, seq, addr)| SyncPoint {
+                        tid: tid % 4,
+                        seq,
+                        addr,
+                    })
                     .collect(),
             };
             (arb_thread(0), arb_thread(1)).prop_map(move |(t0, t1)| Pinball {

@@ -36,7 +36,9 @@ pub mod ctx {
 /// the context slot by the thread entry.
 pub const POP_ORDER: [elfie_isa::Reg; 15] = {
     use elfie_isa::Reg::*;
-    [R15, R14, R13, R12, R11, R10, R9, R8, Rdi, Rsi, Rbp, Rbx, Rdx, Rcx, Rax]
+    [
+        R15, R14, R13, R12, R11, R10, R9, R8, Rdi, Rsi, Rbp, Rbx, Rdx, Rcx, Rax,
+    ]
 };
 
 /// Chosen addresses for the generated pieces.
@@ -63,7 +65,10 @@ impl std::fmt::Display for LayoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LayoutError::NoLowAddressSpace => {
-                write!(f, "no free address range below 2 GiB for startup code and contexts")
+                write!(
+                    f,
+                    "no free address range below 2 GiB for startup code and contexts"
+                )
             }
         }
     }
@@ -93,7 +98,11 @@ fn find_gap(pinball: &Pinball, start: u64, end: u64, len: u64) -> Option<u64> {
             .next()
             .map(|(&a, _)| a)
             .or_else(|| {
-                pinball.lazy_pages.range(candidate..candidate + len).next().map(|(&a, _)| a)
+                pinball
+                    .lazy_pages
+                    .range(candidate..candidate + len)
+                    .next()
+                    .map(|(&a, _)| a)
             });
         match hit {
             Some(a) => {
@@ -121,7 +130,11 @@ pub fn choose(pinball: &Pinball, shadow_bytes: u64) -> Result<Layout, LayoutErro
     let shadow_base = find_gap(pinball, base + need, LOW_SEARCH_END, shadow_len)
         .or_else(|| find_gap(pinball, 0x5000_0000_0000, 0x6000_0000_0000, shadow_len))
         .ok_or(LayoutError::NoLowAddressSpace)?;
-    Ok(Layout { startup_base: base, ctx_base: base + STARTUP_RESERVE, shadow_base })
+    Ok(Layout {
+        startup_base: base,
+        ctx_base: base + STARTUP_RESERVE,
+        shadow_base,
+    })
 }
 
 #[cfg(test)]
@@ -133,9 +146,13 @@ mod tests {
     fn pinball_with_pages(addrs: &[u64]) -> Pinball {
         let mut image = MemoryImage::new();
         for &a in addrs {
-            image
-                .pages
-                .insert(a, PageRecord { perm: 7, data: vec![0u8; PAGE_SIZE as usize] });
+            image.pages.insert(
+                a,
+                PageRecord {
+                    perm: 7,
+                    data: vec![0u8; PAGE_SIZE as usize],
+                },
+            );
         }
         Pinball {
             meta: PinballMeta {
@@ -173,7 +190,10 @@ mod tests {
         ];
         for (lo, hi) in regions {
             for &page in pb.image.pages.keys() {
-                assert!(page + PAGE_SIZE <= lo || page >= hi, "page {page:#x} in [{lo:#x},{hi:#x})");
+                assert!(
+                    page + PAGE_SIZE <= lo || page >= hi,
+                    "page {page:#x} in [{lo:#x},{hi:#x})"
+                );
             }
         }
         assert!(l.ctx_base < 1 << 31, "contexts stay below 2 GiB");
@@ -192,6 +212,10 @@ mod tests {
     fn ctx_layout_constants_consistent() {
         assert_eq!(ctx::POP, ctx::RIP + 8);
         assert!(ctx::POP + (ctx::POP_QUADS as u64) * 8 <= ctx::SIZE);
-        assert_eq!(POP_ORDER.len() + 2, ctx::POP_QUADS, "flags + 15 GPRs + entry ptr");
+        assert_eq!(
+            POP_ORDER.len() + 2,
+            ctx::POP_QUADS,
+            "flags + 15 GPRs + entry ptr"
+        );
     }
 }

@@ -150,7 +150,10 @@ impl fmt::Display for ConvertError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConvertError::NotFat => {
-                write!(f, "pinball is not fat; re-log with -log:fat (or set force_regular)")
+                write!(
+                    f,
+                    "pinball is not fat; re-log with -log:fat (or set force_regular)"
+                )
             }
             ConvertError::NoThreads => write!(f, "pinball captured no threads"),
             ConvertError::Layout(e) => write!(f, "layout: {e}"),
@@ -184,8 +187,10 @@ fn count_prologue_insns(prologue: &str) -> Result<u64, AsmError> {
     let mut pos = 0usize;
     let bytes = prog.bytes();
     while pos < bytes.len() {
-        let (_, len) = elfie_isa::decode(&bytes[pos..])
-            .map_err(|e| AsmError { line: 0, message: format!("prologue does not decode: {e}") })?;
+        let (_, len) = elfie_isa::decode(&bytes[pos..]).map_err(|e| AsmError {
+            line: 0,
+            message: format!("prologue does not decode: {e}"),
+        })?;
         pos += len;
         count += 1;
     }
@@ -240,7 +245,12 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
             startup_bytes: 0,
         };
         let linker_script = linker_script(pinball, &runs, None);
-        return Ok(Elfie { bytes, linker_script, startup_asm: String::new(), stats });
+        return Ok(Elfie {
+            bytes,
+            linker_script,
+            startup_asm: String::new(),
+            stats,
+        });
     }
 
     // Assign shadow addresses for remapped runs.
@@ -311,8 +321,13 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
             // Original content kept as a non-allocatable section (for the
             // record and for tooling), plus an allocatable shadow the
             // startup copies from.
-            let prefix =
-                if is_stack(*addr) { ".stack" } else if exec { ".text" } else { ".data" };
+            let prefix = if is_stack(*addr) {
+                ".stack"
+            } else if exec {
+                ".text"
+            } else {
+                ".data"
+            };
             builder = builder.section(
                 SectionSpec::progbits(
                     &section_name(prefix, *addr),
@@ -372,7 +387,12 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
         startup_bytes: startup_chunk.bytes.len() as u64,
     };
     let linker_script = linker_script(pinball, &runs, Some(&layout));
-    Ok(Elfie { bytes, linker_script, startup_asm: src, stats })
+    Ok(Elfie {
+        bytes,
+        linker_script,
+        startup_asm: src,
+        stats,
+    })
 }
 
 fn add_thread_symbols(
@@ -431,7 +451,10 @@ fn linker_script(
             "  . = {:#x};\n  .text.startup : {{ *(.text.startup) }}\n",
             l.startup_base
         ));
-        s.push_str(&format!("  . = {:#x};\n  .data.elfie : {{ *(.data.elfie) }}\n", l.ctx_base));
+        s.push_str(&format!(
+            "  . = {:#x};\n  .data.elfie : {{ *(.data.elfie) }}\n",
+            l.ctx_base
+        ));
     }
     for (addr, perm, bytes) in runs {
         let exec = perm & 4 != 0;

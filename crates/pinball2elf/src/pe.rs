@@ -68,7 +68,10 @@ pub struct PeBuilder {
 impl PeBuilder {
     /// Creates an empty builder.
     pub fn new() -> PeBuilder {
-        PeBuilder { image_base: 0x1_4000_0000, ..PeBuilder::default() }
+        PeBuilder {
+            image_base: 0x1_4000_0000,
+            ..PeBuilder::default()
+        }
     }
 
     /// Sets the entry-point RVA.
@@ -93,7 +96,10 @@ impl PeBuilder {
     pub fn build(self) -> Vec<u8> {
         let nsections = self.sections.len() as u16;
         let headers_size = align_up(
-            PE_SIG_OFFSET + 4 + COFF_SIZE + OPT_HDR_SIZE as u32
+            PE_SIG_OFFSET
+                + 4
+                + COFF_SIZE
+                + OPT_HDR_SIZE as u32
                 + nsections as u32 * SECTION_HDR_SIZE,
             FILE_ALIGN,
         );
@@ -247,10 +253,20 @@ impl PeFile {
                 .get(raw_off..raw_off + vsize)
                 .ok_or(PeParseError::Truncated("section data"))?
                 .to_vec();
-            sections.push(PeSection { name, rva, data, characteristics });
+            sections.push(PeSection {
+                name,
+                rva,
+                data,
+                characteristics,
+            });
             sh += SECTION_HDR_SIZE as usize;
         }
-        Ok(PeFile { machine, entry_rva, image_base, sections })
+        Ok(PeFile {
+            machine,
+            entry_rva,
+            image_base,
+            sections,
+        })
     }
 
     /// Finds a section by name.
@@ -295,7 +311,12 @@ pub fn convert_pe(pinball: &Pinball) -> Result<Vec<u8>, String> {
         if perm & 4 != 0 {
             flags |= characteristics::MEM_EXECUTE | characteristics::CODE;
         }
-        meta.push(PeRemapEntry { rva, original_va: *addr, len: bytes.len() as u64, perm: *perm });
+        meta.push(PeRemapEntry {
+            rva,
+            original_va: *addr,
+            len: bytes.len() as u64,
+            perm: *perm,
+        });
         builder = builder.section(PeSection {
             name: format!(".pb{i:03}"),
             rva,
@@ -359,7 +380,12 @@ pub fn read_remap_table(pe: &PeFile) -> Option<Vec<PeRemapEntry>> {
         let va = u64::from_le_bytes(b.get(off + 4..off + 12)?.try_into().ok()?);
         let len = u64::from_le_bytes(b.get(off + 12..off + 20)?.try_into().ok()?);
         let perm = *b.get(off + 20)?;
-        entries.push(PeRemapEntry { rva, original_va: va, len, perm });
+        entries.push(PeRemapEntry {
+            rva,
+            original_va: va,
+            len,
+            perm,
+        });
         off += 21;
     }
     Some(entries)
@@ -403,7 +429,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!(PeFile::parse(&[0u8; 16]).unwrap_err(), PeParseError::BadMagic);
+        assert_eq!(
+            PeFile::parse(&[0u8; 16]).unwrap_err(),
+            PeParseError::BadMagic
+        );
         assert_eq!(PeFile::parse(b"MZ").unwrap_err(), PeParseError::BadMagic);
         let mut ok = PeBuilder::new()
             .section(PeSection {

@@ -26,9 +26,13 @@ fn captured_pinball() -> elfie_pinball::Pinball {
         "#,
     )
     .expect("assembles");
-    Logger::new(LoggerConfig::fat("dbg", RegionTrigger::GlobalIcount(1000), 5000))
-        .capture(&prog, |_| {})
-        .expect("captures")
+    Logger::new(LoggerConfig::fat(
+        "dbg",
+        RegionTrigger::GlobalIcount(1000),
+        5000,
+    ))
+    .capture(&prog, |_| {})
+    .expect("captures")
 }
 
 #[test]
@@ -51,14 +55,20 @@ fn app_pages_invisible_before_elfie_on_start() {
     );
 
     // "Break on elfie_on_start": run to that address.
-    m.stop_conditions = vec![StopWhen::PcCount { pc: on_start, count: 1 }];
+    m.stop_conditions = vec![StopWhen::PcCount {
+        pc: on_start,
+        count: 1,
+    }];
     let s = m.run(100_000_000);
     assert_eq!(s.reason, ExitReason::StopCondition(0));
 
     // "At which point all application pages are guaranteed to be in
     // memory" — now the app breakpoint works.
     assert!(m.mem.is_mapped(app_pc), "remap completed by elfie_on_start");
-    m.stop_conditions = vec![StopWhen::PcCount { pc: app_pc, count: 1 }];
+    m.stop_conditions = vec![StopWhen::PcCount {
+        pc: app_pc,
+        count: 1,
+    }];
     let s2 = m.run(100_000_000);
     assert_eq!(s2.reason, ExitReason::StopCondition(0));
     // Stopped exactly past the captured region-start instruction.
@@ -81,7 +91,10 @@ fn thread_state_symbols_point_at_packed_context() {
     assert_eq!(m.mem.read_u64(rcx_slot).expect("mapped"), captured_rcx);
 
     let flags_slot = file.symbol(".t0.rflags").expect("flags symbol");
-    assert_eq!(m.mem.read_u64(flags_slot).expect("mapped"), pb.threads[0].regs.rflags);
+    assert_eq!(
+        m.mem.read_u64(flags_slot).expect("mapped"),
+        pb.threads[0].regs.rflags
+    );
 
     // The xmm slots live at FXSAVE offsets inside the ext area.
     let ext = file.symbol(".t0.ext_area").expect("ext symbol");
@@ -95,6 +108,9 @@ fn per_thread_icount_symbols_match_region() {
     let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
     let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
     assert_eq!(file.symbol("elfie.nthreads"), Some(1));
-    assert_eq!(file.symbol("elfie.icount.0"), Some(pb.region.thread_icounts[&0]));
+    assert_eq!(
+        file.symbol("elfie.icount.0"),
+        Some(pb.region.thread_icounts[&0])
+    );
     assert_eq!(file.symbol("elfie.global_icount"), Some(pb.region.length));
 }

@@ -29,12 +29,18 @@ fn run_elfie(
     sysstate: Option<&SysState>,
     seed: u64,
 ) -> (Machine<MarkerLog>, RunSummary) {
-    let cfg = MachineConfig { seed, ..MachineConfig::default() };
+    let cfg = MachineConfig {
+        seed,
+        ..MachineConfig::default()
+    };
     let mut m = Machine::with_observer(cfg, MarkerLog::default());
     if let Some(st) = sysstate {
         st.stage_files(&mut m);
     }
-    let loader_cfg = elfie_elf::LoaderConfig { seed, ..elfie_elf::LoaderConfig::default() };
+    let loader_cfg = elfie_elf::LoaderConfig {
+        seed,
+        ..elfie_elf::LoaderConfig::default()
+    };
     elfie_elf::load(&mut m, elf_bytes, &loader_cfg).expect("ELFie loads");
     let s = m.run(50_000_000);
     (m, s)
@@ -65,7 +71,11 @@ fn counter_program(iters: u64) -> elfie_isa::Program {
 #[test]
 fn single_thread_elfie_matches_constrained_replay() {
     let prog = counter_program(100_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 4000));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        4000,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
 
     let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
@@ -74,8 +84,7 @@ fn single_thread_elfie_matches_constrained_replay() {
 
     // The region has no system calls, so the ELFie must end in *exactly*
     // the state constrained replay ends in.
-    let (_, replay_machine) =
-        Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
+    let (_, replay_machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
     assert_eq!(
         machine.threads[0].regs.read(Reg::Rcx),
         replay_machine.threads[0].regs.read(Reg::Rcx),
@@ -93,7 +102,11 @@ fn elfie_starts_with_captured_register_state() {
     // Capture mid-loop: rcx has a definite value at region start; the
     // ELFie must begin from exactly that state.
     let prog = counter_program(100_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(402), 40));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(402),
+        40,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let captured_rcx = pb.threads[0].regs.gpr[Reg::Rcx.index()];
     assert!(captured_rcx > 0, "captured mid-loop");
@@ -109,7 +122,11 @@ fn elfie_starts_with_captured_register_state() {
 #[test]
 fn elfie_runs_identically_across_seeds_for_single_thread() {
     let prog = counter_program(100_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 2000));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        2000,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
     let (m1, _) = run_elfie(&elfie.bytes, None, 11);
@@ -124,7 +141,11 @@ fn elfie_runs_identically_across_seeds_for_single_thread() {
 #[test]
 fn callbacks_and_roi_markers_fire_in_order() {
     let prog = counter_program(10_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 1000));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(500),
+        1000,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let opts = ConvertOptions {
         roi_marker: Some((MarkerKind::Sniper, 42)),
@@ -143,10 +164,16 @@ fn callbacks_and_roi_markers_fire_in_order() {
 fn graceful_exit_runs_exact_region_length() {
     let prog = counter_program(100_000);
     let region_len = 2000u64;
-    let logger =
-        Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), region_len));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        region_len,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
-    let opts = ConvertOptions { callbacks: false, ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        callbacks: false,
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("converts");
     let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
     assert_eq!(summary.reason, ExitReason::AllExited(0));
@@ -164,11 +191,17 @@ fn without_graceful_exit_elfie_overruns_region() {
     // just keeps looping until its own exit.
     let prog = counter_program(50_000);
     let region_len = 1000u64;
-    let logger =
-        Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), region_len));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        region_len,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
-    let opts =
-        ConvertOptions { graceful_exit: false, callbacks: false, ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        graceful_exit: false,
+        callbacks: false,
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("converts");
     let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
     // The program continues to its own exit_group — far beyond the region.
@@ -208,16 +241,25 @@ fn sysstate_makes_file_reads_work() {
         "#,
     )
     .expect("assembles");
-    let logger = Logger::new(LoggerConfig::fat("file", RegionTrigger::GlobalIcount(5), 200));
+    let logger = Logger::new(LoggerConfig::fat(
+        "file",
+        RegionTrigger::GlobalIcount(5),
+        200,
+    ));
     let pb = logger
         .capture(&prog, |m| {
-            m.kernel.fs.put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
+            m.kernel
+                .fs
+                .put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
         })
         .expect("captures");
 
     let sysstate = SysState::extract(&pb);
     assert!(!sysstate.fd_files.is_empty(), "FD proxy extracted");
-    let opts = ConvertOptions { sysstate: Some(sysstate.clone()), ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        sysstate: Some(sysstate.clone()),
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("converts");
 
     // Run WITHOUT /data on the machine: only the sysstate proxies staged.
@@ -252,10 +294,16 @@ fn without_sysstate_file_read_fails() {
         "#,
     )
     .expect("assembles");
-    let logger = Logger::new(LoggerConfig::fat("file", RegionTrigger::GlobalIcount(5), 200));
+    let logger = Logger::new(LoggerConfig::fat(
+        "file",
+        RegionTrigger::GlobalIcount(5),
+        200,
+    ));
     let pb = logger
         .capture(&prog, |m| {
-            m.kernel.fs.put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
+            m.kernel
+                .fs
+                .put("/data", 0xfeed_f00d_u64.to_le_bytes().to_vec());
         })
         .expect("captures");
     let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
@@ -320,10 +368,16 @@ fn two_thread_program() -> elfie_isa::Program {
 #[test]
 fn multithreaded_elfie_creates_and_exits_all_threads() {
     let prog = two_thread_program();
-    let logger = Logger::new(LoggerConfig::fat("mt", RegionTrigger::GlobalIcount(60), 1500));
+    let logger = Logger::new(LoggerConfig::fat(
+        "mt",
+        RegionTrigger::GlobalIcount(60),
+        1500,
+    ));
     let pb = logger
         .capture(&prog, |m| {
-            m.mem.map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW).unwrap();
+            m.mem
+                .map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW)
+                .unwrap();
         })
         .expect("captures");
     assert_eq!(pb.threads.len(), 2);
@@ -347,8 +401,11 @@ fn multithreaded_elfie_creates_and_exits_all_threads() {
 #[test]
 fn regular_pinball_is_rejected_then_fails_when_forced() {
     let prog = counter_program(100_000);
-    let logger =
-        Logger::new(LoggerConfig::regular("ctr", RegionTrigger::GlobalIcount(1000), 4000));
+    let logger = Logger::new(LoggerConfig::regular(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        4000,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     // Default conversion refuses regular pinballs.
     match convert(&pb, &ConvertOptions::default()) {
@@ -356,7 +413,10 @@ fn regular_pinball_is_rejected_then_fails_when_forced() {
         other => panic!("expected NotFat, got {other:?}"),
     }
     // Forced conversion produces an ELFie that dies on an un-captured page.
-    let opts = ConvertOptions { force_regular: true, ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        force_regular: true,
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("forced conversion");
     let (_machine, summary) = run_elfie(&elfie.bytes, None, 1);
     match summary.reason {
@@ -368,9 +428,16 @@ fn regular_pinball_is_rejected_then_fails_when_forced() {
 #[test]
 fn monitor_thread_fires_on_exit_marker() {
     let prog = counter_program(10_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(500),
+        800,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
-    let opts = ConvertOptions { monitor_thread: true, ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        monitor_thread: true,
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("converts");
     let (machine, summary) = run_elfie(&elfie.bytes, None, 1);
     assert_eq!(summary.reason, ExitReason::AllExited(0));
@@ -384,7 +451,11 @@ fn monitor_thread_fires_on_exit_marker() {
 #[test]
 fn thread_prologue_is_executed() {
     let prog = counter_program(10_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(500),
+        800,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let opts = ConvertOptions {
         thread_prologue_asm: Some("marker simics, 777".to_string()),
@@ -403,7 +474,11 @@ fn thread_prologue_is_executed() {
 #[test]
 fn elfie_symbols_and_linker_script() {
     let prog = counter_program(10_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(500),
+        800,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let elfie = convert(&pb, &ConvertOptions::default()).expect("converts");
 
@@ -435,9 +510,16 @@ fn elfie_symbols_and_linker_script() {
 #[test]
 fn object_only_output_is_relocatable() {
     let prog = counter_program(10_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(500), 800));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(500),
+        800,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
-    let opts = ConvertOptions { object_only: true, ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        object_only: true,
+        ..ConvertOptions::default()
+    };
     let elfie = convert(&pb, &opts).expect("converts");
     let file = elfie_elf::ElfFile::parse(&elfie.bytes).expect("parses");
     assert_eq!(file.etype, elfie_elf::ET_REL);
@@ -448,7 +530,11 @@ fn object_only_output_is_relocatable() {
 #[test]
 fn stack_only_remap_mode_works_for_low_image() {
     let prog = counter_program(50_000);
-    let logger = Logger::new(LoggerConfig::fat("ctr", RegionTrigger::GlobalIcount(1000), 1500));
+    let logger = Logger::new(LoggerConfig::fat(
+        "ctr",
+        RegionTrigger::GlobalIcount(1000),
+        1500,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let opts = ConvertOptions {
         remap: elfie_pinball2elf::RemapMode::StackOnly,

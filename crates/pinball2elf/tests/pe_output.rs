@@ -26,9 +26,13 @@ fn captured_pinball() -> elfie_pinball::Pinball {
         "#,
     )
     .expect("assembles");
-    Logger::new(LoggerConfig::fat("pe", RegionTrigger::GlobalIcount(1000), 4000))
-        .capture(&prog, |_| {})
-        .expect("captures")
+    Logger::new(LoggerConfig::fat(
+        "pe",
+        RegionTrigger::GlobalIcount(1000),
+        4000,
+    ))
+    .capture(&prog, |_| {})
+    .expect("captures")
 }
 
 #[test]
@@ -85,8 +89,12 @@ fn pbctx_carries_thread_state() {
 #[test]
 fn regular_pinball_rejected() {
     let prog = assemble(".org 0x400000\nstart: jmp start\n").unwrap();
-    let pb = Logger::new(LoggerConfig::regular("r", RegionTrigger::GlobalIcount(10), 50))
-        .capture(&prog, |_| {})
-        .expect("captures");
+    let pb = Logger::new(LoggerConfig::regular(
+        "r",
+        RegionTrigger::GlobalIcount(10),
+        50,
+    ))
+    .capture(&prog, |_| {})
+    .expect("captures");
     assert!(convert_pe(&pb).is_err());
 }

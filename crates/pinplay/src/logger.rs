@@ -18,7 +18,7 @@
 
 use elfie_isa::{page_base, Insn, MarkerKind, Program, RegFile};
 use elfie_pinball::{
-    MemoryImage, PageRecord, Pinball, PinballMeta, RegImage, RegionInfo, RegionTrigger, RaceLog,
+    MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo, RegionTrigger,
     SyncPoint, SyscallEffect, ThreadRecord,
 };
 use elfie_vm::{ExitReason, Machine, MachineConfig, Observer, StopWhen};
@@ -150,7 +150,11 @@ impl Observer for LogObserver {
         self.touched_pages.insert(page_base(addr + size.max(1) - 1));
         if self.pending_atomic == Some(tid) {
             let seq = self.atomic_seq.entry(tid).or_insert(0);
-            self.races.push(SyncPoint { tid, seq: *seq, addr });
+            self.races.push(SyncPoint {
+                tid,
+                seq: *seq,
+                addr,
+            });
             *seq += 1;
             self.pending_atomic = None;
         }
@@ -264,18 +268,26 @@ impl Logger {
             .mem
             .pages()
             .map(|(addr, perm, data)| {
-                (addr, PageRecord { perm: perm.bits(), data: data.to_vec() })
+                (
+                    addr,
+                    PageRecord {
+                        perm: perm.bits(),
+                        data: data.to_vec(),
+                    },
+                )
             })
             .collect();
         let brk = m.kernel.brk();
         let brk_start = m.kernel.brk_start();
         let cwd = m.kernel.cwd.clone();
         let start_global = m.global_icount();
-        let base_icounts: BTreeMap<u32, u64> = live.iter().map(|(tid, _, ic)| (*tid, *ic)).collect();
+        let base_icounts: BTreeMap<u32, u64> =
+            live.iter().map(|(tid, _, ic)| (*tid, *ic)).collect();
 
         // Phase 3: log the region.
         m.obs.active = true;
-        m.stop_conditions.push(StopWhen::GlobalInsns(start_global + self.cfg.length));
+        m.stop_conditions
+            .push(StopWhen::GlobalInsns(start_global + self.cfg.length));
         let s = m.run(u64::MAX / 2);
         match s.reason {
             ExitReason::StopCondition(_) | ExitReason::AllExited(_) => {}
@@ -327,7 +339,10 @@ impl Logger {
         let base_set: BTreeSet<u64> = if self.cfg.log_whole_image {
             start_pages.keys().copied().collect()
         } else {
-            minimal.into_iter().filter(|a| start_pages.contains_key(a)).collect()
+            minimal
+                .into_iter()
+                .filter(|a| start_pages.contains_key(a))
+                .collect()
         };
         let zero_page = || vec![0u8; elfie_isa::PAGE_SIZE as usize];
         let mut image = MemoryImage::new();
@@ -342,7 +357,10 @@ impl Logger {
             let record = start_pages
                 .get(&addr)
                 .cloned()
-                .unwrap_or_else(|| PageRecord { perm: 3, data: zero_page() });
+                .unwrap_or_else(|| PageRecord {
+                    perm: 3,
+                    data: zero_page(),
+                });
             if self.cfg.pages_early {
                 image.pages.insert(addr, record);
             } else {
@@ -370,7 +388,9 @@ impl Logger {
             },
             image,
             threads,
-            races: RaceLog { order: obs.races.clone() },
+            races: RaceLog {
+                order: obs.races.clone(),
+            },
             lazy_pages: lazy,
         })
     }

@@ -15,7 +15,7 @@
 use elfie_isa::page_align_up;
 use elfie_pinball::{Pinball, SyscallEffect};
 use elfie_vm::{
-    nr, Fault, Machine, MachineConfig, Memory, MemError, NullObserver, Observer, Perm,
+    nr, Fault, Machine, MachineConfig, MemError, Memory, NullObserver, Observer, Perm,
     SyscallAction, SyscallInterposer, ThreadState, ThreadStep,
 };
 use std::cell::RefCell;
@@ -53,7 +53,11 @@ impl ReplayConfig {
     /// enforcement. Mimics an ELFie while still running under the replay
     /// harness.
     pub fn injectionless() -> ReplayConfig {
-        ReplayConfig { injection: false, enforce_order: false, ..ReplayConfig::default() }
+        ReplayConfig {
+            injection: false,
+            enforce_order: false,
+            ..ReplayConfig::default()
+        }
     }
 }
 
@@ -93,7 +97,10 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Divergence::SyscallMismatch { tid, expected, got } => {
-                write!(f, "tid {tid}: syscall mismatch (expected {expected}, got {got})")
+                write!(
+                    f,
+                    "tid {tid}: syscall mismatch (expected {expected}, got {got})"
+                )
             }
             Divergence::LogUnderrun { tid, nr } => {
                 write!(f, "tid {tid}: syscall {nr} beyond end of log")
@@ -142,7 +149,13 @@ struct Injector {
 }
 
 impl SyscallInterposer for Injector {
-    fn on_syscall(&mut self, tid: u32, nr_: u64, args: [u64; 6], mem: &mut Memory) -> SyscallAction {
+    fn on_syscall(
+        &mut self,
+        tid: u32,
+        nr_: u64,
+        args: [u64; 6],
+        mem: &mut Memory,
+    ) -> SyscallAction {
         let mut st = self.state.borrow_mut();
         let orig = st.tid_map.get(&tid).copied().unwrap_or(tid);
         let entry = match st.queues.get_mut(&orig).and_then(|q| q.pop_front()) {
@@ -156,8 +169,11 @@ impl SyscallInterposer for Injector {
         };
         if entry.nr != nr_ {
             if st.divergence.is_none() {
-                st.divergence =
-                    Some(Divergence::SyscallMismatch { tid: orig, expected: entry.nr, got: nr_ });
+                st.divergence = Some(Divergence::SyscallMismatch {
+                    tid: orig,
+                    expected: entry.nr,
+                    got: nr_,
+                });
             }
             return SyscallAction::PassThrough;
         }
@@ -176,13 +192,19 @@ impl SyscallInterposer for Injector {
                     let _ = mem.map_range(addr, addr + len, Perm::RW);
                 }
                 st.injected += 1;
-                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+                SyscallAction::Skip {
+                    ret: entry.ret,
+                    writes: entry.writes,
+                }
             }
             nr::MUNMAP => {
                 let len = page_align_up(args[1].max(1));
                 mem.unmap_range(args[0], args[0] + len);
                 st.injected += 1;
-                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+                SyscallAction::Skip {
+                    ret: entry.ret,
+                    writes: entry.writes,
+                }
             }
             nr::BRK => {
                 let new_brk = entry.ret;
@@ -192,11 +214,17 @@ impl SyscallInterposer for Injector {
                     let _ = mem.map_range(start, end, Perm::RW);
                 }
                 st.injected += 1;
-                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+                SyscallAction::Skip {
+                    ret: entry.ret,
+                    writes: entry.writes,
+                }
             }
             _ => {
                 st.injected += 1;
-                SyscallAction::Skip { ret: entry.ret, writes: entry.writes }
+                SyscallAction::Skip {
+                    ret: entry.ret,
+                    writes: entry.writes,
+                }
             }
         }
     }
@@ -240,7 +268,9 @@ impl Replayer {
         let mut m = Machine::with_observer(self.cfg.machine.clone(), obs);
         for (&addr, page) in &pinball.image.pages {
             m.mem.map_page(addr, Perm::from_bits(page.perm));
-            m.mem.write_bytes_unchecked(addr, &page.data).expect("mapped page");
+            m.mem
+                .write_bytes_unchecked(addr, &page.data)
+                .expect("mapped page");
         }
         m.kernel.set_brk(pinball.meta.brk_start, pinball.meta.brk);
         m.kernel.cwd = pinball.meta.cwd.clone();
@@ -292,12 +322,18 @@ impl Replayer {
             brk_start: pinball.meta.brk_start,
         }));
         if self.cfg.injection {
-            m.set_interposer(Box::new(Injector { state: Rc::clone(&state) }));
+            m.set_interposer(Box::new(Injector {
+                state: Rc::clone(&state),
+            }));
         }
 
         let targets: BTreeMap<u32, u64> = pinball.region.thread_icounts.clone();
-        let mut spawn_queue: VecDeque<u32> =
-            pinball.threads.iter().filter(|t| t.spawned).map(|t| t.tid).collect();
+        let mut spawn_queue: VecDeque<u32> = pinball
+            .threads
+            .iter()
+            .filter(|t| t.spawned)
+            .map(|t| t.tid)
+            .collect();
         let races = &pinball.races.order;
         let mut race_ptr = 0usize;
         let mut fuel = self.cfg.fuel;
@@ -348,7 +384,9 @@ impl Replayer {
                     }
                     fuel -= 1;
                     match m.step_thread(idx) {
-                        ThreadStep::Retired | ThreadStep::SyscallRetired | ThreadStep::Marker(..) => {
+                        ThreadStep::Retired
+                        | ThreadStep::SyscallRetired
+                        | ThreadStep::Marker(..) => {
                             progressed = true;
                             if is_atomic {
                                 race_ptr += 1;
@@ -377,8 +415,10 @@ impl Replayer {
                                     continue;
                                 }
                             }
-                            divergence =
-                                Some(Divergence::Fault { tid: orig, what: format!("{fault}") });
+                            divergence = Some(Divergence::Fault {
+                                tid: orig,
+                                what: format!("{fault}"),
+                            });
                             break 'outer;
                         }
                     }
@@ -389,14 +429,10 @@ impl Replayer {
                 }
             }
 
-            let all_done = m
-                .threads
-                .iter()
-                .enumerate()
-                .all(|(idx, t)| {
-                    let orig = tid_map[&(idx as u32)];
-                    t.is_exited() || t.icount >= targets.get(&orig).copied().unwrap_or(0)
-                });
+            let all_done = m.threads.iter().enumerate().all(|(idx, t)| {
+                let orig = tid_map[&(idx as u32)];
+                t.is_exited() || t.icount >= targets.get(&orig).copied().unwrap_or(0)
+            });
             if all_done {
                 break;
             }

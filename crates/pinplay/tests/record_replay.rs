@@ -45,7 +45,11 @@ fn fat_capture_records_whole_image() {
 #[test]
 fn regular_capture_uses_lazy_pages() {
     let prog = counter_program(1000);
-    let logger = Logger::new(LoggerConfig::regular("c", RegionTrigger::GlobalIcount(50), 200));
+    let logger = Logger::new(LoggerConfig::regular(
+        "c",
+        RegionTrigger::GlobalIcount(50),
+        200,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     assert!(!pb.meta.fat);
     let fat = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(50), 200))
@@ -57,7 +61,11 @@ fn regular_capture_uses_lazy_pages() {
 #[test]
 fn replay_reaches_exact_icount_and_state() {
     let prog = counter_program(1000);
-    let logger = Logger::new(LoggerConfig::fat("c", RegionTrigger::GlobalIcount(100), 400));
+    let logger = Logger::new(LoggerConfig::fat(
+        "c",
+        RegionTrigger::GlobalIcount(100),
+        400,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let (summary, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
     assert!(summary.completed, "divergence: {:?}", summary.divergence);
@@ -83,9 +91,16 @@ fn replay_is_deterministic() {
 #[test]
 fn whole_program_capture_and_replay() {
     let prog = counter_program(100);
-    let logger = Logger::new(LoggerConfig::fat("whole", RegionTrigger::ProgramStart, 10_000));
+    let logger = Logger::new(LoggerConfig::fat(
+        "whole",
+        RegionTrigger::ProgramStart,
+        10_000,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
-    assert!(pb.region.length < 10_000, "region truncated at program exit");
+    assert!(
+        pb.region.length < 10_000,
+        "region truncated at program exit"
+    );
     let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
     assert!(s.completed, "divergence: {:?}", s.divergence);
 }
@@ -126,11 +141,20 @@ fn replay_injects_file_read_results() {
     let logger = Logger::new(LoggerConfig::fat("f", RegionTrigger::GlobalIcount(5), 100));
     let pb = logger
         .capture(&prog, |m| {
-            m.kernel.fs.put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
+            m.kernel
+                .fs
+                .put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
         })
         .expect("captures");
-    let read_logged = pb.threads[0].syscalls.iter().any(|s| s.nr == 0 && !s.writes.is_empty());
-    assert!(read_logged, "read side effects captured: {:?}", pb.threads[0].syscalls);
+    let read_logged = pb.threads[0]
+        .syscalls
+        .iter()
+        .any(|s| s.nr == 0 && !s.writes.is_empty());
+    assert!(
+        read_logged,
+        "read side effects captured: {:?}",
+        pb.threads[0].syscalls
+    );
 
     // Replay WITHOUT the file: injection reproduces the read.
     let (s, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
@@ -145,7 +169,9 @@ fn injectionless_replay_mimics_elfie_failure() {
     let logger = Logger::new(LoggerConfig::fat("f", RegionTrigger::GlobalIcount(5), 100));
     let pb = logger
         .capture(&prog, |m| {
-            m.kernel.fs.put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
+            m.kernel
+                .fs
+                .put("/data", 0xdead_beef_u64.to_le_bytes().to_vec());
         })
         .expect("captures");
     // -replay:injection 0 without the file: the read re-executes against a
@@ -162,7 +188,11 @@ fn injectionless_replay_mimics_elfie_failure() {
 #[test]
 fn regular_pinball_replays_with_lazy_injection() {
     let prog = counter_program(1000);
-    let logger = Logger::new(LoggerConfig::regular("c", RegionTrigger::GlobalIcount(50), 300));
+    let logger = Logger::new(LoggerConfig::regular(
+        "c",
+        RegionTrigger::GlobalIcount(50),
+        300,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     assert!(!pb.lazy_pages.is_empty(), "regular pinball has lazy pages");
     let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
@@ -194,7 +224,13 @@ fn gettimeofday_injected_exactly() {
     let (s, machine) = Replayer::new(ReplayConfig::default()).replay_full(&pb, |_| {});
     assert!(s.completed, "divergence: {:?}", s.divergence);
     let logged_secs = u64::from_le_bytes(
-        pb.threads[0].syscalls.iter().find(|e| e.nr == 96).expect("logged").writes[0].1[..8]
+        pb.threads[0]
+            .syscalls
+            .iter()
+            .find(|e| e.nr == 96)
+            .expect("logged")
+            .writes[0]
+            .1[..8]
             .try_into()
             .unwrap(),
     );
@@ -254,13 +290,23 @@ fn two_thread_program() -> elfie_isa::Program {
 #[test]
 fn multithreaded_capture_and_constrained_replay() {
     let prog = two_thread_program();
-    let logger = Logger::new(LoggerConfig::fat("mt", RegionTrigger::GlobalIcount(40), 800));
+    let logger = Logger::new(LoggerConfig::fat(
+        "mt",
+        RegionTrigger::GlobalIcount(40),
+        800,
+    ));
     let pb = logger
         .capture(&prog, |m| {
-            m.mem.map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW).unwrap();
+            m.mem
+                .map_range(0x7f001f0000, 0x7f00200000, elfie_vm::Perm::RW)
+                .unwrap();
         })
         .expect("captures");
-    assert!(pb.threads.len() >= 2, "both threads captured: {}", pb.threads.len());
+    assert!(
+        pb.threads.len() >= 2,
+        "both threads captured: {}",
+        pb.threads.len()
+    );
     assert!(!pb.races.order.is_empty(), "atomic order recorded");
 
     let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
@@ -276,7 +322,11 @@ fn multithreaded_capture_and_constrained_replay() {
 #[test]
 fn capture_fails_when_trigger_beyond_program() {
     let prog = counter_program(10);
-    let logger = Logger::new(LoggerConfig::fat("x", RegionTrigger::GlobalIcount(1_000_000), 10));
+    let logger = Logger::new(LoggerConfig::fat(
+        "x",
+        RegionTrigger::GlobalIcount(1_000_000),
+        10,
+    ));
     match logger.capture(&prog, |_| {}) {
         Err(CaptureError::TriggerNotReached(_)) => {}
         other => panic!("expected trigger failure, got {other:?}"),
@@ -291,7 +341,10 @@ fn pc_count_trigger() {
     let loop_pc = 0x400000 + 20;
     let logger = Logger::new(LoggerConfig::fat(
         "pc",
-        RegionTrigger::PcCount { pc: loop_pc, count: 10 },
+        RegionTrigger::PcCount {
+            pc: loop_pc,
+            count: 10,
+        },
         100,
     ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");

@@ -1,0 +1,30 @@
+//! Fixed-size array strategies (`uniformN`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `[S::Value; N]` with every element from the same strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArray<S, const N: usize>(S);
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.0.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident $n:literal),+ $(,)?) => {$(
+        /// A strategy for arrays of this arity.
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray(element)
+        }
+    )+};
+}
+
+uniform_fn!(
+    uniform1 1, uniform2 2, uniform3 3, uniform4 4, uniform6 6, uniform8 8,
+    uniform16 16, uniform32 32,
+);

@@ -41,7 +41,12 @@ impl Cache {
     pub fn new(params: CacheParams) -> Cache {
         assert!(params.line.is_power_of_two() && params.ways > 0);
         let slots = params.sets() as usize * params.ways;
-        Cache { params, tags: vec![INVALID; slots], hits: 0, misses: 0 }
+        Cache {
+            params,
+            tags: vec![INVALID; slots],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The configured geometry.
@@ -116,7 +121,13 @@ impl Tlb {
     /// Creates a TLB with `entries` entries of `page` bytes each,
     /// `ways`-associative.
     pub fn new(entries: u64, page: u64, ways: usize) -> Tlb {
-        Tlb { inner: Cache::new(CacheParams { size: entries * page, line: page, ways }) }
+        Tlb {
+            inner: Cache::new(CacheParams {
+                size: entries * page,
+                line: page,
+                ways,
+            }),
+        }
     }
 
     /// Looks up the page containing `addr`; true on hit.
@@ -155,7 +166,11 @@ mod tests {
     use super::*;
 
     fn small() -> Cache {
-        Cache::new(CacheParams { size: 1024, line: 64, ways: 2 })
+        Cache::new(CacheParams {
+            size: 1024,
+            line: 64,
+            ways: 2,
+        })
     }
 
     #[test]

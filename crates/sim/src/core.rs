@@ -61,10 +61,26 @@ impl CoreParams {
             rob: 128,
             lsq: 48,
             mispredict_penalty: 17,
-            l1i: CacheParams { size: 32 << 10, line: 64, ways: 4 },
-            l1d: CacheParams { size: 32 << 10, line: 64, ways: 8 },
-            l2: CacheParams { size: 256 << 10, line: 64, ways: 8 },
-            l3: CacheParams { size: 8 << 20, line: 64, ways: 16 },
+            l1i: CacheParams {
+                size: 32 << 10,
+                line: 64,
+                ways: 4,
+            },
+            l1d: CacheParams {
+                size: 32 << 10,
+                line: 64,
+                ways: 8,
+            },
+            l2: CacheParams {
+                size: 256 << 10,
+                line: 64,
+                ways: 8,
+            },
+            l3: CacheParams {
+                size: 8 << 20,
+                line: 64,
+                ways: 16,
+            },
             l2_lat: 10,
             l3_lat: 38,
             mem_lat: 190,
@@ -96,7 +112,11 @@ impl CoreParams {
     /// An Intel Gainestown-like core, 8 of which make up the Sniper
     /// multi-core configuration of the paper's Section IV-B.
     pub fn gainestown_like() -> CoreParams {
-        CoreParams { name: "gainestown-like", ghz: 2.66, ..CoreParams::nehalem_like() }
+        CoreParams {
+            name: "gainestown-like",
+            ghz: 2.66,
+            ..CoreParams::nehalem_like()
+        }
     }
 
     /// An Intel Skylake-like core (the CoreSim detailed model of Section
@@ -109,8 +129,16 @@ impl CoreParams {
             rob: 224,
             lsq: 128,
             mispredict_penalty: 16,
-            l1d: CacheParams { size: 32 << 10, line: 64, ways: 8 },
-            l2: CacheParams { size: 1 << 20, line: 64, ways: 16 },
+            l1d: CacheParams {
+                size: 32 << 10,
+                line: 64,
+                ways: 8,
+            },
+            l2: CacheParams {
+                size: 1 << 20,
+                line: 64,
+                ways: 16,
+            },
             ..CoreParams::nehalem_like()
         }
     }
@@ -162,12 +190,12 @@ impl KernelModel {
     fn insns_for(&self, nr: u64) -> u64 {
         // Rough per-class costs, scaled from the base.
         let scale = match nr {
-            0 | 1 => 2,            // read/write: copy loops
-            2 => 3,                // open: path walk
-            9 | 11 => 3,           // mmap/munmap
-            12 => 1,               // brk
-            56 => 5,               // clone
-            96 => 1,               // gettimeofday (vdso-ish, still kernel here)
+            0 | 1 => 2,  // read/write: copy loops
+            2 => 3,      // open: path walk
+            9 | 11 => 3, // mmap/munmap
+            12 => 1,     // brk
+            56 => 5,     // clone
+            96 => 1,     // gettimeofday (vdso-ish, still kernel here)
             _ => 1,
         };
         self.base_insns * scale
@@ -181,7 +209,9 @@ struct BranchPredictor {
 
 impl BranchPredictor {
     fn new() -> BranchPredictor {
-        BranchPredictor { table: vec![1u8; 4096] }
+        BranchPredictor {
+            table: vec![1u8; 4096],
+        }
     }
 
     fn index(pc: u64) -> usize {
@@ -263,7 +293,12 @@ pub struct TimingObserver {
 impl TimingObserver {
     /// Creates an observer with `ncores` private L1/L2 cores sharing one
     /// L3. `kernel` enables full-system mode.
-    pub fn new(params: CoreParams, ncores: usize, roi: RoiMode, kernel: Option<KernelModel>) -> Self {
+    pub fn new(
+        params: CoreParams,
+        ncores: usize,
+        roi: RoiMode,
+        kernel: Option<KernelModel>,
+    ) -> Self {
         let ncores = ncores.max(1);
         let cores = (0..ncores)
             .map(|_| CoreState {
@@ -382,8 +417,7 @@ impl TimingObserver {
             let addr = model.text_base + ((nr * 8192 + i * 64) % (128 << 10));
             let c = &mut self.cores[core];
             if !c.l1i.access(addr) && !c.l2.access(addr) && !self.l3.access(addr) {
-                self.cores[core].cycles +=
-                    self.params.mem_lat as f64 * self.params.overlap();
+                self.cores[core].cycles += self.params.mem_lat as f64 * self.params.overlap();
             }
         }
         // Kernel data: a sequential walk starting at a per-syscall
@@ -434,7 +468,13 @@ impl Observer for TimingObserver {
             }
         }
         if let Insn::Jcc(..) = insn {
-            self.pending.insert(tid, PendingBranch { pc: rip, fallthrough: rip + len as u64 });
+            self.pending.insert(
+                tid,
+                PendingBranch {
+                    pc: rip,
+                    fallthrough: rip + len as u64,
+                },
+            );
         }
     }
 
@@ -485,12 +525,27 @@ mod tests {
         let mut a = obs(CoreParams::nehalem_like());
         let mut b = obs(CoreParams::nehalem_like());
         for i in 0..200u64 {
-            a.on_insn(0, 0x400000, &Insn::Load(Reg::Rax, elfie_isa::Mem::base(Reg::Rbx)), 9);
+            a.on_insn(
+                0,
+                0x400000,
+                &Insn::Load(Reg::Rax, elfie_isa::Mem::base(Reg::Rbx)),
+                9,
+            );
             a.on_mem_read(0, 0x10_0000, 8); // same line: hits
-            b.on_insn(0, 0x400000, &Insn::Load(Reg::Rax, elfie_isa::Mem::base(Reg::Rbx)), 9);
+            b.on_insn(
+                0,
+                0x400000,
+                &Insn::Load(Reg::Rax, elfie_isa::Mem::base(Reg::Rbx)),
+                9,
+            );
             b.on_mem_read(0, 0x10_0000 + i * 4096 * 7, 8); // page stride: misses
         }
-        assert!(b.cycles() > 2 * a.cycles(), "a={} b={}", a.cycles(), b.cycles());
+        assert!(
+            b.cycles() > 2 * a.cycles(),
+            "a={} b={}",
+            a.cycles(),
+            b.cycles()
+        );
         assert!(b.stats().dtlb_misses > a.stats().dtlb_misses);
     }
 
@@ -519,13 +574,21 @@ mod tests {
             let next = if i % 2 == 0 { 0x400006 } else { 0x400020 };
             t.on_insn(0, next, &Insn::Nop, 1);
         }
-        assert!(t.stats().mispredicts > 20, "mispredicts: {}", t.stats().mispredicts);
+        assert!(
+            t.stats().mispredicts > 20,
+            "mispredicts: {}",
+            t.stats().mispredicts
+        );
     }
 
     #[test]
     fn roi_mode_skips_startup() {
-        let mut t =
-            TimingObserver::new(CoreParams::nehalem_like(), 1, RoiMode::FromMarker(MarkerKind::Sniper), None);
+        let mut t = TimingObserver::new(
+            CoreParams::nehalem_like(),
+            1,
+            RoiMode::FromMarker(MarkerKind::Sniper),
+            None,
+        );
         for _ in 0..50 {
             t.on_insn(0, 0x100, &Insn::Nop, 1);
         }
@@ -553,7 +616,10 @@ mod tests {
         let (full, full_cycles) = run(Some(KernelModel::default()));
         assert_eq!(user_only.kernel_insns, 0);
         assert!(full.kernel_insns > 0);
-        assert_eq!(full.user_insns, user_only.user_insns, "ring3 count unchanged");
+        assert_eq!(
+            full.user_insns, user_only.user_insns,
+            "ring3 count unchanged"
+        );
         assert!(full_cycles > user_cycles, "kernel work costs time");
         assert!(
             full.kernel_footprint_lines > 0,

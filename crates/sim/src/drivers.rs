@@ -102,12 +102,20 @@ impl Simulator {
             self.params,
             self.ncores,
             self.roi,
-            if self.full_system { Some(self.kernel_model) } else { None },
+            if self.full_system {
+                Some(self.kernel_model)
+            } else {
+                None
+            },
         )
     }
 
     fn machine_config(&self) -> MachineConfig {
-        MachineConfig { seed: self.seed, quantum: self.quantum, ..MachineConfig::default() }
+        MachineConfig {
+            seed: self.seed,
+            quantum: self.quantum,
+            ..MachineConfig::default()
+        }
     }
 }
 
@@ -130,7 +138,11 @@ pub struct SimOutcome {
     pub machine_icounts: BTreeMap<u32, u64>,
 }
 
-fn outcome(obs: &TimingObserver, exit: ExitReason, machine_icounts: BTreeMap<u32, u64>) -> SimOutcome {
+fn outcome(
+    obs: &TimingObserver,
+    exit: ExitReason,
+    machine_icounts: BTreeMap<u32, u64>,
+) -> SimOutcome {
     let stats = obs.stats();
     let cycles = obs.cycles().max(1);
     let insns = stats.user_insns + stats.kernel_insns;
@@ -179,7 +191,10 @@ pub fn simulate_elfie(
 ) -> Result<SimOutcome, elfie_elf::LoadError> {
     let mut m = Machine::with_observer(sim.machine_config(), sim.observer());
     setup(&mut m);
-    let loader = elfie_elf::LoaderConfig { seed: sim.seed, ..elfie_elf::LoaderConfig::default() };
+    let loader = elfie_elf::LoaderConfig {
+        seed: sim.seed,
+        ..elfie_elf::LoaderConfig::default()
+    };
     elfie_elf::load(&mut m, elf_bytes, &loader)?;
     m.stop_conditions = stop;
     let s = m.run(sim.fuel);

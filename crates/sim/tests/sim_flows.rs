@@ -7,7 +7,9 @@ use elfie_isa::{assemble, MarkerKind};
 use elfie_pinball::RegionTrigger;
 use elfie_pinball2elf::{convert, ConvertOptions};
 use elfie_pinplay::{Logger, LoggerConfig};
-use elfie_sim::{simulate_elfie, simulate_pinball, simulate_program, CoreParams, RoiMode, Simulator};
+use elfie_sim::{
+    simulate_elfie, simulate_pinball, simulate_program, CoreParams, RoiMode, Simulator,
+};
 use elfie_vm::ExitReason;
 
 fn compute_program(iters: u64) -> elfie_isa::Program {
@@ -75,7 +77,9 @@ fn memory_program(iters: u64) -> elfie_isa::Program {
 }
 
 fn map_data(m: &mut elfie_vm::Machine<elfie_sim::TimingObserver>) {
-    m.mem.map_range(0x600000, 0x600000 + (1 << 20) + 0x2000, elfie_vm::Perm::RW).unwrap();
+    m.mem
+        .map_range(0x600000, 0x600000 + (1 << 20) + 0x2000, elfie_vm::Perm::RW)
+        .unwrap();
 }
 
 #[test]
@@ -83,7 +87,11 @@ fn program_simulation_produces_plausible_ipc() {
     let sim = Simulator::new(CoreParams::nehalem_like());
     let out = simulate_program(&compute_program(5_000), &sim, |_| {});
     assert!(matches!(out.exit, ExitReason::AllExited(0)));
-    assert!(out.ipc > 0.05 && out.ipc <= sim.params.issue_width as f64, "ipc {}", out.ipc);
+    assert!(
+        out.ipc > 0.05 && out.ipc <= sim.params.issue_width as f64,
+        "ipc {}",
+        out.ipc
+    );
     assert!(out.stats.user_insns > 30_000);
     assert!(out.runtime_ns > 0);
 }
@@ -120,7 +128,11 @@ fn haswell_outperforms_nehalem_on_memory_bound_code() {
 fn elfie_simulation_skips_startup_via_marker() {
     let prog = compute_program(50_000);
     let region = 3000u64;
-    let logger = Logger::new(LoggerConfig::fat("sim", RegionTrigger::GlobalIcount(2000), region));
+    let logger = Logger::new(LoggerConfig::fat(
+        "sim",
+        RegionTrigger::GlobalIcount(2000),
+        region,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
     let opts = ConvertOptions {
         roi_marker: Some((MarkerKind::Ssc, 1)),
@@ -152,12 +164,22 @@ fn pinball_and_elfie_simulation_fig11_shape() {
     // counts of pinball simulation match the recorded counts exactly, and
     // the ELFie's modelled region matches too (no spin loops here).
     let prog = compute_program(50_000);
-    let logger = Logger::new(LoggerConfig::fat("f11", RegionTrigger::GlobalIcount(2000), 2500));
+    let logger = Logger::new(LoggerConfig::fat(
+        "f11",
+        RegionTrigger::GlobalIcount(2000),
+        2500,
+    ));
     let pb = logger.capture(&prog, |_| {}).expect("captures");
 
-    let sim_pb = Simulator { roi: RoiMode::Always, ..Simulator::sniper() };
+    let sim_pb = Simulator {
+        roi: RoiMode::Always,
+        ..Simulator::sniper()
+    };
     let pb_out = simulate_pinball(&pb, &sim_pb);
-    assert!(matches!(pb_out.exit, ExitReason::AllExited(0)), "replay completed");
+    assert!(
+        matches!(pb_out.exit, ExitReason::AllExited(0)),
+        "replay completed"
+    );
     for (tid, &recorded) in &pb.region.thread_icounts {
         assert_eq!(
             pb_out.machine_icounts[tid], recorded,
@@ -187,12 +209,18 @@ fn full_system_table4_shape() {
     let prog = memory_program(20_000);
     let user = simulate_program(
         &prog,
-        &Simulator { roi: RoiMode::Always, ..Simulator::coresim_sde() },
+        &Simulator {
+            roi: RoiMode::Always,
+            ..Simulator::coresim_sde()
+        },
         map_data,
     );
     let full = simulate_program(
         &prog,
-        &Simulator { roi: RoiMode::Always, ..Simulator::coresim_simics() },
+        &Simulator {
+            roi: RoiMode::Always,
+            ..Simulator::coresim_simics()
+        },
         map_data,
     );
     assert_eq!(user.stats.kernel_insns, 0);
@@ -203,7 +231,10 @@ fn full_system_table4_shape() {
     );
     let kernel_frac = full.stats.kernel_insns as f64 / full.stats.user_insns as f64;
     assert!(kernel_frac < 0.25, "kernel fraction small: {kernel_frac}");
-    assert!(full.runtime_ns > user.runtime_ns, "extra kernel work costs time");
+    assert!(
+        full.runtime_ns > user.runtime_ns,
+        "extra kernel work costs time"
+    );
     let footprint_user = user.stats.footprint_lines + user.stats.kernel_footprint_lines;
     let footprint_full = full.stats.footprint_lines + full.stats.kernel_footprint_lines;
     assert!(
@@ -216,7 +247,10 @@ fn full_system_table4_shape() {
 fn pc_count_stop_condition_for_sniper() {
     // The multi-threaded case study ends simulation at a (PC, count) pair.
     let prog = compute_program(100_000);
-    let sim = Simulator { roi: RoiMode::Always, ..Simulator::new(CoreParams::gainestown_like()) };
+    let sim = Simulator {
+        roi: RoiMode::Always,
+        ..Simulator::new(CoreParams::gainestown_like())
+    };
     let loop_head = 0x400000 + 10 + 10; // after the two mov-imm instructions
     let out_limited = {
         let mut m = elfie_vm::Machine::with_observer(
@@ -224,7 +258,10 @@ fn pc_count_stop_condition_for_sniper() {
             elfie_sim::TimingObserver::new(sim.params, 1, RoiMode::Always, None),
         );
         m.load_program(&prog);
-        m.stop_conditions.push(elfie_vm::StopWhen::PcCount { pc: loop_head, count: 50 });
+        m.stop_conditions.push(elfie_vm::StopWhen::PcCount {
+            pc: loop_head,
+            count: 50,
+        });
         let s = m.run(10_000_000);
         (s.reason, m.obs.stats().user_insns)
     };

@@ -30,6 +30,62 @@ impl BbvProfile {
     pub fn slice_count(&self) -> usize {
         self.slices.len()
     }
+
+    /// Stable hash over the full profile contents (slice size, every
+    /// vector entry, total instruction count). Used to assert that a
+    /// cached profile is interchangeable with a recomputed one.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = elfie_isa::Fnv64::new()
+            .u64(self.slice_size)
+            .u64(self.total_insns);
+        h = h.u64(self.slices.len() as u64);
+        for slice in &self.slices {
+            h = h.u64(slice.len() as u64);
+            for (&pc, &count) in slice {
+                h = h.u64(pc).u64(count);
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Identity of a BBV profiling run: hash of the inputs that fully
+/// determine the resulting [`BbvProfile`]. Profiling is deterministic, so
+/// two runs with equal keys produce identical profiles — this is the
+/// content-addressed cache key the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// Content hash of the workload (program, files, data maps).
+    pub workload: u64,
+    /// [`MachineConfig::fingerprint`] of the profiling machine.
+    pub machine: u64,
+    /// Slice size in instructions.
+    pub slice_size: u64,
+    /// Fuel bound of the profiling run.
+    pub fuel: u64,
+}
+
+impl ProfileKey {
+    /// Builds the key from pre-hashed workload identity and the profiling
+    /// parameters.
+    pub fn new(workload: u64, machine: &MachineConfig, slice_size: u64, fuel: u64) -> ProfileKey {
+        ProfileKey {
+            workload,
+            machine: machine.fingerprint(),
+            slice_size,
+            fuel,
+        }
+    }
+
+    /// Folds the key into a single stable `u64`.
+    pub fn digest(&self) -> u64 {
+        elfie_isa::Fnv64::new()
+            .u64(self.workload)
+            .u64(self.machine)
+            .u64(self.slice_size)
+            .u64(self.fuel)
+            .finish()
+    }
 }
 
 /// The profiling observer. Attach to a machine and run; collect with
@@ -67,7 +123,11 @@ impl BbvCollector {
         if !self.current.is_empty() {
             self.slices.push(std::mem::take(&mut self.current));
         }
-        BbvProfile { slice_size: self.slice_size, slices: self.slices, total_insns: self.total }
+        BbvProfile {
+            slice_size: self.slice_size,
+            slices: self.slices,
+            total_insns: self.total,
+        }
     }
 }
 
@@ -163,7 +223,10 @@ mod tests {
         let profile = profile_program(&prog, MachineConfig::default(), 200, 1_000_000, |_| {});
         assert!(profile.total_insns > 3000);
         let sum: u64 = profile.slices.iter().flat_map(|s| s.values()).sum();
-        assert_eq!(sum, profile.total_insns, "every instruction attributed to a block");
+        assert_eq!(
+            sum, profile.total_insns,
+            "every instruction attributed to a block"
+        );
         // Slice boundaries: all but the last slice hold >= slice_size.
         for s in &profile.slices[..profile.slices.len() - 1] {
             let n: u64 = s.values().sum();

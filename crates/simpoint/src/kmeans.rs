@@ -25,7 +25,11 @@ pub fn project(bbv: &Bbv, dims: usize, seed: u64) -> Vec<f64> {
     for (&pc, &count) in bbv {
         let frac = count as f64 / total as f64;
         for (d, slot) in v.iter_mut().enumerate() {
-            let sign = if mix(pc ^ mix(seed ^ d as u64)) & 1 == 0 { 1.0 } else { -1.0 };
+            let sign = if mix(pc ^ mix(seed ^ d as u64)) & 1 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             *slot += sign * frac;
         }
     }
@@ -87,7 +91,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     while centroids.len() < k {
         let d2: Vec<f64> = points
             .iter()
-            .map(|p| centroids.iter().map(|c| dist2(p, c)).fold(f64::INFINITY, f64::min))
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
             .collect();
         let total: f64 = d2.iter().sum();
         if total <= f64::EPSILON {
@@ -145,7 +154,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
     }
 
     let bic = bic_score(points, &assignments, &centroids);
-    Clustering { k: centroids.len(), assignments, centroids, bic }
+    Clustering {
+        k: centroids.len(),
+        assignments,
+        centroids,
+        bic,
+    }
 }
 
 /// BIC under a spherical Gaussian model (the SimPoint formulation).
@@ -172,7 +186,9 @@ fn bic_score(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>])
             continue;
         }
         let rn = rn as f64;
-        ll += rn * rn.ln() - rn * n.ln() - rn * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
+        ll += rn * rn.ln()
+            - rn * n.ln()
+            - rn * d / 2.0 * (2.0 * std::f64::consts::PI * variance).ln()
             - (rn - 1.0) * d / 2.0;
     }
     let params = k * (d + 1.0);
@@ -181,9 +197,16 @@ fn bic_score(points: &[Vec<f64>], assignments: &[usize], centroids: &[Vec<f64>])
 
 /// Clusters for every `k in 1..=max_k` and picks the smallest `k` whose
 /// BIC reaches `threshold` (e.g. 0.9) of the best score, as SimPoint does.
-pub fn choose_clustering(points: &[Vec<f64>], max_k: usize, seed: u64, threshold: f64) -> Clustering {
+pub fn choose_clustering(
+    points: &[Vec<f64>],
+    max_k: usize,
+    seed: u64,
+    threshold: f64,
+) -> Clustering {
     let max_k = max_k.clamp(1, points.len());
-    let all: Vec<Clustering> = (1..=max_k).map(|k| kmeans(points, k, seed ^ k as u64)).collect();
+    let all: Vec<Clustering> = (1..=max_k)
+        .map(|k| kmeans(points, k, seed ^ k as u64))
+        .collect();
     let best = all.iter().map(|c| c.bic).fold(f64::NEG_INFINITY, f64::max);
     let worst = all.iter().map(|c| c.bic).fold(f64::INFINITY, f64::min);
     let span = (best - worst).max(1e-12);

@@ -11,7 +11,7 @@ pub mod bbv;
 pub mod kmeans;
 pub mod pinpoints;
 
-pub use bbv::{profile_program, Bbv, BbvCollector, BbvProfile};
+pub use bbv::{profile_program, Bbv, BbvCollector, BbvProfile, ProfileKey};
 pub use kmeans::{choose_clustering, kmeans, project, Clustering};
 pub use pinpoints::{
     coverage, pick, prediction_error, weighted_prediction, PinPoint, PinPoints, PinPointsConfig,
@@ -57,9 +57,12 @@ mod tests {
             "#,
         )
         .expect("assembles");
-        let profile =
-            profile_program(&prog, MachineConfig::default(), 1000, 10_000_000, |_| {});
-        assert!(profile.slice_count() >= 8, "slices: {}", profile.slice_count());
+        let profile = profile_program(&prog, MachineConfig::default(), 1000, 10_000_000, |_| {});
+        assert!(
+            profile.slice_count() >= 8,
+            "slices: {}",
+            profile.slice_count()
+        );
 
         let cfg = PinPointsConfig {
             slice_size: 1000,
@@ -74,7 +77,12 @@ mod tests {
         assert!((total_weight - 1.0).abs() < 1e-9);
         // Representatives are spread across the execution, not all at the
         // start.
-        let max_slice = pp.representatives().iter().map(|p| p.slice_index).max().unwrap();
+        let max_slice = pp
+            .representatives()
+            .iter()
+            .map(|p| p.slice_index)
+            .max()
+            .unwrap();
         assert!(max_slice > 0);
     }
 }

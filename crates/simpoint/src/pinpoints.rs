@@ -88,7 +88,11 @@ impl PinPoints {
     /// For cluster `c`, the ranked candidates (representative, then
     /// alternates).
     pub fn candidates(&self, cluster: usize) -> Vec<&PinPoint> {
-        let mut v: Vec<&PinPoint> = self.points.iter().filter(|p| p.cluster == cluster).collect();
+        let mut v: Vec<&PinPoint> = self
+            .points
+            .iter()
+            .filter(|p| p.cluster == cluster)
+            .collect();
         v.sort_by_key(|p| p.rank);
         v
     }
@@ -100,19 +104,20 @@ impl PinPoints {
 /// Panics if the profile has no slices.
 pub fn pick(profile: &BbvProfile, cfg: &PinPointsConfig) -> PinPoints {
     assert!(!profile.slices.is_empty(), "empty profile");
-    let points: Vec<Vec<f64>> =
-        profile.slices.iter().map(|s| project(s, cfg.dims, cfg.seed)).collect();
+    let points: Vec<Vec<f64>> = profile
+        .slices
+        .iter()
+        .map(|s| project(s, cfg.dims, cfg.seed))
+        .collect();
     let clustering = choose_clustering(&points, cfg.max_k, cfg.seed, cfg.bic_threshold);
     let n = points.len();
 
-    let dist2 = |a: &[f64], b: &[f64]| -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-    };
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
 
     let mut selected = Vec::new();
     for c in 0..clustering.k {
-        let mut members: Vec<usize> =
-            (0..n).filter(|&i| clustering.assignments[i] == c).collect();
+        let mut members: Vec<usize> = (0..n).filter(|&i| clustering.assignments[i] == c).collect();
         if members.is_empty() {
             continue;
         }
@@ -196,12 +201,20 @@ mod tests {
         for _ in 0..3 {
             slices.push(mk(0x400000));
         }
-        BbvProfile { slice_size: 1000, slices, total_insns: 10_000 }
+        BbvProfile {
+            slice_size: 1000,
+            slices,
+            total_insns: 10_000,
+        }
     }
 
     #[test]
     fn finds_two_phases() {
-        let cfg = PinPointsConfig { slice_size: 1000, warmup: 0, ..PinPointsConfig::default() };
+        let cfg = PinPointsConfig {
+            slice_size: 1000,
+            warmup: 0,
+            ..PinPointsConfig::default()
+        };
         let pp = pick(&synthetic_profile(), &cfg);
         assert_eq!(pp.k, 2, "two phases");
         let reps = pp.representatives();
@@ -238,7 +251,11 @@ mod tests {
 
     #[test]
     fn start_icount_matches_slice() {
-        let cfg = PinPointsConfig { slice_size: 1000, warmup: 50, ..PinPointsConfig::default() };
+        let cfg = PinPointsConfig {
+            slice_size: 1000,
+            warmup: 50,
+            ..PinPointsConfig::default()
+        };
         let pp = pick(&synthetic_profile(), &cfg);
         for p in &pp.points {
             assert_eq!(p.start_icount, p.slice_index * 1000);
@@ -272,10 +289,22 @@ mod tests {
             length: 1,
             warmup: 0,
         };
-        let p0alt = PinPoint { rank: 1, slice_index: 1, ..p0 };
-        let p1 = PinPoint { cluster: 1, weight: 0.3, slice_index: 5, ..p0 };
+        let p0alt = PinPoint {
+            rank: 1,
+            slice_index: 1,
+            ..p0
+        };
+        let p1 = PinPoint {
+            cluster: 1,
+            weight: 0.3,
+            slice_index: 5,
+            ..p0
+        };
         assert!((coverage(&[&p0, &p1]) - 1.0).abs() < 1e-12);
-        assert!((coverage(&[&p0, &p0alt]) - 0.7).abs() < 1e-12, "alternate of same cluster");
+        assert!(
+            (coverage(&[&p0, &p0alt]) - 0.7).abs() < 1e-12,
+            "alternate of same cluster"
+        );
         assert!((coverage(&[&p0alt]) - 0.7).abs() < 1e-12);
     }
 }

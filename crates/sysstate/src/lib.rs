@@ -143,8 +143,11 @@ impl SysState {
                         }
                         let fd = sys.args[0];
                         let entry = fds.entry(fd).or_insert((FdOrigin::PreRegion, 0));
-                        let data: Vec<u8> =
-                            sys.writes.iter().flat_map(|(_, b)| b.iter().copied()).collect();
+                        let data: Vec<u8> = sys
+                            .writes
+                            .iter()
+                            .flat_map(|(_, b)| b.iter().copied())
+                            .collect();
                         let offset = entry.1;
                         let file = match &entry.0 {
                             FdOrigin::PreRegion => st.fd_files.entry(fd).or_default(),
@@ -200,9 +203,14 @@ impl SysState {
         machine.kernel.cwd = self.cwd.clone();
         for &fd in self.fd_files.keys() {
             let proxy = format!("/sysstate/{}", SysState::fd_proxy_name(fd));
-            machine
-                .kernel
-                .install_fd(fd, FileDesc { kind: FdKind::File(proxy), offset: 0, flags: 0 });
+            machine.kernel.install_fd(
+                fd,
+                FileDesc {
+                    kind: FdKind::File(proxy),
+                    offset: 0,
+                    flags: 0,
+                },
+            );
         }
         machine.kernel.set_brk(self.brk_start, self.brk_at_start);
     }
@@ -403,7 +411,12 @@ mod tests {
         let image = image_with_string(0x401000, "input.dat\0");
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::OPEN,
+                    args: [0x401000, 0, 0, 0, 0, 0],
+                    ret: 3,
+                    writes: vec![],
+                },
                 SyscallEffect {
                     nr: nr::READ,
                     args: [3, 0x5000, 6, 0, 0, 0],
@@ -422,7 +435,12 @@ mod tests {
     fn lseek_positions_read_payload() {
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::LSEEK, args: [3, 16, 0, 0, 0, 0], ret: 16, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::LSEEK,
+                    args: [3, 16, 0, 0, 0, 0],
+                    ret: 16,
+                    writes: vec![],
+                },
                 SyscallEffect {
                     nr: nr::READ,
                     args: [3, 0x5000, 2, 0, 0, 0],
@@ -444,8 +462,18 @@ mod tests {
         let image = image_with_string(0x401000, "a.txt\0");
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
-                SyscallEffect { nr: nr::CLOSE, args: [3, 0, 0, 0, 0, 0], ret: 0, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::OPEN,
+                    args: [0x401000, 0, 0, 0, 0, 0],
+                    ret: 3,
+                    writes: vec![],
+                },
+                SyscallEffect {
+                    nr: nr::CLOSE,
+                    args: [3, 0, 0, 0, 0, 0],
+                    ret: 0,
+                    writes: vec![],
+                },
                 // A read on 3 after the close belongs to a different,
                 // pre-region descriptor; the analysis treats it
                 // conservatively as FD_3.
@@ -467,9 +495,24 @@ mod tests {
     fn brk_log_first_and_last() {
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_3000, writes: vec![] },
-                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_8000, writes: vec![] },
-                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x800_6000, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x800_3000,
+                    writes: vec![],
+                },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x800_8000,
+                    writes: vec![],
+                },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x800_6000,
+                    writes: vec![],
+                },
             ],
             MemoryImage::new(),
         );
@@ -484,7 +527,12 @@ mod tests {
         let image = image_with_string(0x401000, "cfg.ini\0");
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 4, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::OPEN,
+                    args: [0x401000, 0, 0, 0, 0, 0],
+                    ret: 4,
+                    writes: vec![],
+                },
                 SyscallEffect {
                     nr: nr::READ,
                     args: [4, 0x5000, 3, 0, 0, 0],
@@ -506,7 +554,11 @@ mod tests {
         assert_eq!(m.kernel.cwd, "/work");
         assert_eq!(m.kernel.fs.get("/work/cfg.ini").unwrap(), b"ini");
         match m.kernel.fd(7) {
-            Some(FileDesc { kind: FdKind::File(p), offset: 0, .. }) => {
+            Some(FileDesc {
+                kind: FdKind::File(p),
+                offset: 0,
+                ..
+            }) => {
                 assert_eq!(m.kernel.fs.get(p).unwrap(), b"77");
             }
             other => panic!("fd 7 not installed: {other:?}"),
@@ -520,7 +572,12 @@ mod tests {
         let image = image_with_string(0x401000, "data/input.txt\0");
         let pb = pinball_with_syscalls(
             vec![
-                SyscallEffect { nr: nr::OPEN, args: [0x401000, 0, 0, 0, 0, 0], ret: 3, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::OPEN,
+                    args: [0x401000, 0, 0, 0, 0, 0],
+                    ret: 3,
+                    writes: vec![],
+                },
                 SyscallEffect {
                     nr: nr::READ,
                     args: [3, 0x5000, 5, 0, 0, 0],
@@ -533,7 +590,12 @@ mod tests {
                     ret: 2,
                     writes: vec![(0x5000, b"zz".to_vec())],
                 },
-                SyscallEffect { nr: nr::BRK, args: [0; 6], ret: 0x900_0000, writes: vec![] },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x900_0000,
+                    writes: vec![],
+                },
             ],
             image,
         );

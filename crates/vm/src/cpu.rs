@@ -7,7 +7,7 @@
 //! function, which is exactly the property the ELFie tool-chain relies on:
 //! one functional ISA, many execution harnesses.
 
-use crate::mem::{Memory, MemError};
+use crate::mem::{MemError, Memory};
 use crate::obs::Observer;
 use crate::thread::Thread;
 use elfie_isa::{
@@ -210,7 +210,10 @@ pub fn cond_holds(flags: Flags, c: Cond) -> bool {
 pub fn fetch_decode(t: &Thread, mem: &Memory) -> Result<(Insn, usize), Fault> {
     let mut buf = [0u8; MAX_INSN_LEN];
     let n = mem.fetch(t.regs.rip, &mut buf).map_err(Fault::Fetch)?;
-    decode(&buf[..n]).map_err(|err| Fault::Decode { rip: t.regs.rip, err })
+    decode(&buf[..n]).map_err(|err| Fault::Decode {
+        rip: t.regs.rip,
+        err,
+    })
 }
 
 // NOTE: expands inside `step` and relies on its locals: on a data fault
@@ -570,7 +573,8 @@ mod tests {
         let p = assemble(src).expect("assembles");
         let mut mem = Memory::new();
         for c in &p.chunks {
-            mem.map_range(c.addr, c.end().max(c.addr + 1), Perm::RWX).unwrap();
+            mem.map_range(c.addr, c.end().max(c.addr + 1), Perm::RWX)
+                .unwrap();
             mem.write_bytes_unchecked(c.addr, &c.bytes).unwrap();
         }
         // Stack.
@@ -727,7 +731,7 @@ mod tests {
         assert_eq!(run(&mut t, &mut mem, 100), Effect::Syscall);
         assert_eq!(t.regs.read(Reg::Rcx), 10);
         assert_eq!(t.regs.read(Reg::Rax), 99);
-        let word = mem.read_u64(0x1000 + 0).ok();
+        let word = mem.read_u64(0x1000).ok();
         let _ = word; // address of `word` label not needed; value checked via rax
     }
 
@@ -822,9 +826,8 @@ mod tests {
 
     #[test]
     fn divide_by_zero_faults() {
-        let (mut t, mut mem) = machine_for(
-            ".org 0x1000\nstart:\n mov rax, 1\n mov rbx, 0\n udiv rax, rbx\n",
-        );
+        let (mut t, mut mem) =
+            machine_for(".org 0x1000\nstart:\n mov rax, 1\n mov rbx, 0\n udiv rax, rbx\n");
         match run(&mut t, &mut mem, 10) {
             Effect::Fault(Fault::DivideByZero { .. }) => {}
             e => panic!("expected divide fault, got {e:?}"),

@@ -45,7 +45,12 @@ impl DirectCache {
     pub fn new(geom: CacheGeom) -> DirectCache {
         assert!(geom.size.is_power_of_two() && geom.line.is_power_of_two());
         assert!(geom.size >= geom.line);
-        DirectCache { geom, tags: vec![EMPTY; geom.sets() as usize], hits: 0, misses: 0 }
+        DirectCache {
+            geom,
+            tags: vec![EMPTY; geom.sets() as usize],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Accesses `addr`; returns true on hit. Misses fill the line.
@@ -95,8 +100,14 @@ impl Default for HwParams {
         HwParams {
             l2_latency: 10,
             mem_latency: 60,
-            l1d: CacheGeom { size: 32 * 1024, line: 64 },
-            l2: CacheGeom { size: 512 * 1024, line: 64 },
+            l1d: CacheGeom {
+                size: 32 * 1024,
+                line: 64,
+            },
+            l2: CacheGeom {
+                size: 512 * 1024,
+                line: 64,
+            },
             ghz: 2.5,
         }
     }
@@ -119,7 +130,11 @@ impl Default for HwModel {
 impl HwModel {
     /// Creates a model with the given parameters.
     pub fn new(params: HwParams) -> HwModel {
-        HwModel { l1d: DirectCache::new(params.l1d), l2: DirectCache::new(params.l2), params }
+        HwModel {
+            l1d: DirectCache::new(params.l1d),
+            l2: DirectCache::new(params.l2),
+            params,
+        }
     }
 
     /// Base execution cost of an instruction, before memory penalties.
@@ -174,7 +189,10 @@ mod tests {
 
     #[test]
     fn cache_hit_after_fill() {
-        let mut c = DirectCache::new(CacheGeom { size: 1024, line: 64 });
+        let mut c = DirectCache::new(CacheGeom {
+            size: 1024,
+            line: 64,
+        });
         assert!(!c.access(0x1000));
         assert!(c.access(0x1000));
         assert!(c.access(0x103f), "same line");
@@ -184,7 +202,10 @@ mod tests {
 
     #[test]
     fn cache_conflict_eviction() {
-        let mut c = DirectCache::new(CacheGeom { size: 1024, line: 64 });
+        let mut c = DirectCache::new(CacheGeom {
+            size: 1024,
+            line: 64,
+        });
         assert!(!c.access(0x0));
         assert!(!c.access(0x400), "maps to same set (size 1024)");
         assert!(!c.access(0x0), "evicted");
@@ -193,7 +214,10 @@ mod tests {
     #[test]
     fn costs_reflect_instruction_class() {
         assert_eq!(HwModel::insn_cost(&Insn::Nop), 1);
-        assert_eq!(HwModel::insn_cost(&Insn::AluRI(AluOp::Udiv, Reg::Rax, 3)), 20);
+        assert_eq!(
+            HwModel::insn_cost(&Insn::AluRI(AluOp::Udiv, Reg::Rax, 3)),
+            20
+        );
         assert_eq!(
             HwModel::insn_cost(&Insn::LockXadd(Mem::base(Reg::Rax), Reg::Rbx)),
             8

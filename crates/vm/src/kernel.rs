@@ -147,7 +147,11 @@ pub struct SyscallOutcome {
 
 impl SyscallOutcome {
     fn ok(ret: u64) -> SyscallOutcome {
-        SyscallOutcome { ret, writes: Vec::new(), control: Control::Normal }
+        SyscallOutcome {
+            ret,
+            writes: Vec::new(),
+            control: Control::Normal,
+        }
     }
 
     fn err(e: u64) -> SyscallOutcome {
@@ -206,9 +210,21 @@ impl Kernel {
     /// Creates a kernel with the given configuration.
     pub fn new(cfg: KernelConfig) -> Kernel {
         let fds = vec![
-            Some(FileDesc { kind: FdKind::Stdin, offset: 0, flags: 0 }),
-            Some(FileDesc { kind: FdKind::Stdout, offset: 0, flags: 1 }),
-            Some(FileDesc { kind: FdKind::Stderr, offset: 0, flags: 1 }),
+            Some(FileDesc {
+                kind: FdKind::Stdin,
+                offset: 0,
+                flags: 0,
+            }),
+            Some(FileDesc {
+                kind: FdKind::Stdout,
+                offset: 0,
+                flags: 1,
+            }),
+            Some(FileDesc {
+                kind: FdKind::Stderr,
+                offset: 0,
+                flags: 1,
+            }),
         ];
         Kernel {
             fs: InMemoryFs::new(),
@@ -291,9 +307,11 @@ impl Kernel {
             nr::MPROTECT => self.sys_mprotect(mem, args),
             nr::MUNMAP => self.sys_munmap(mem, args),
             nr::BRK => self.sys_brk(mem, args),
-            nr::SCHED_YIELD => {
-                SyscallOutcome { ret: 0, writes: Vec::new(), control: Control::Yield }
-            }
+            nr::SCHED_YIELD => SyscallOutcome {
+                ret: 0,
+                writes: Vec::new(),
+                control: Control::Yield,
+            },
             nr::DUP => self.sys_dup(args),
             nr::DUP2 => self.sys_dup2(args),
             nr::GETPID => SyscallOutcome::ok(self.cfg.pid),
@@ -373,8 +391,11 @@ impl Kernel {
             }
             FdKind::Stdin => SyscallOutcome::err(errno::EBADF),
             FdKind::File(path) => {
-                let off =
-                    if desc.flags & O_APPEND != 0 { self.fs.size(&path).unwrap_or(0) } else { desc.offset };
+                let off = if desc.flags & O_APPEND != 0 {
+                    self.fs.size(&path).unwrap_or(0)
+                } else {
+                    desc.offset
+                };
                 match self.fs.write_at(&path, off, &data) {
                     Some(n) => {
                         desc.offset = off + n as u64;
@@ -403,7 +424,11 @@ impl Kernel {
             self.fs.truncate(&path);
         }
         let _ = flags & O_WRONLY;
-        let fd = self.alloc_fd(FileDesc { kind: FdKind::File(path), offset: 0, flags });
+        let fd = self.alloc_fd(FileDesc {
+            kind: FdKind::File(path),
+            offset: 0,
+            flags,
+        });
         SyscallOutcome::ok(fd)
     }
 
@@ -421,15 +446,18 @@ impl Kernel {
     fn sys_lseek(&mut self, args: [u64; 6]) -> SyscallOutcome {
         let [fd, off, whence, ..] = args;
         let size = match self.fds.get(fd as usize).and_then(|f| f.as_ref()) {
-            Some(FileDesc { kind: FdKind::File(p), .. }) => self.fs.size(p).unwrap_or(0),
+            Some(FileDesc {
+                kind: FdKind::File(p),
+                ..
+            }) => self.fs.size(p).unwrap_or(0),
             Some(_) => return SyscallOutcome::err(errno::EINVAL),
             None => return SyscallOutcome::err(errno::EBADF),
         };
         let desc = self.fds[fd as usize].as_mut().expect("checked above");
         let new = match whence {
-            0 => off as i64,                          // SEEK_SET
-            1 => desc.offset as i64 + off as i64,     // SEEK_CUR
-            2 => size as i64 + off as i64,            // SEEK_END
+            0 => off as i64,                      // SEEK_SET
+            1 => desc.offset as i64 + off as i64, // SEEK_CUR
+            2 => size as i64 + off as i64,        // SEEK_END
             _ => return SyscallOutcome::err(errno::EINVAL),
         };
         if new < 0 {
@@ -486,7 +514,10 @@ impl Kernel {
             let new = page_align_up(want);
             if want >= self.brk_start {
                 if new > cur {
-                    if mem.map_range(cur.max(self.brk_start), new, Perm::RW).is_err() {
+                    if mem
+                        .map_range(cur.max(self.brk_start), new, Perm::RW)
+                        .is_err()
+                    {
                         return SyscallOutcome::err(errno::ENOMEM);
                     }
                 } else if new < cur {
@@ -543,7 +574,12 @@ impl Kernel {
         SyscallOutcome::ok(0)
     }
 
-    fn sys_gettimeofday(&mut self, mem: &mut Memory, args: [u64; 6], now_ns: u64) -> SyscallOutcome {
+    fn sys_gettimeofday(
+        &mut self,
+        mem: &mut Memory,
+        args: [u64; 6],
+        now_ns: u64,
+    ) -> SyscallOutcome {
         let tv = args[0];
         if tv == 0 {
             return SyscallOutcome::err(errno::EFAULT);
@@ -557,7 +593,11 @@ impl Kernel {
         if mem.write_bytes(tv, &bytes).is_err() {
             return SyscallOutcome::err(errno::EFAULT);
         }
-        SyscallOutcome { ret: 0, writes: vec![(tv, bytes)], control: Control::Normal }
+        SyscallOutcome {
+            ret: 0,
+            writes: vec![(tv, bytes)],
+            control: Control::Normal,
+        }
     }
 
     fn sys_prctl(&mut self, mem: &mut Memory, args: [u64; 6]) -> SyscallOutcome {
@@ -596,7 +636,11 @@ impl Kernel {
                 if cur as u64 != val {
                     SyscallOutcome::err(errno::EAGAIN)
                 } else {
-                    SyscallOutcome { ret: 0, writes: Vec::new(), control: Control::FutexWait(addr) }
+                    SyscallOutcome {
+                        ret: 0,
+                        writes: Vec::new(),
+                        control: Control::FutexWait(addr),
+                    }
                 }
             }
             FUTEX_WAKE => SyscallOutcome {
@@ -622,7 +666,13 @@ mod tests {
         (k, t, m)
     }
 
-    fn call(k: &mut Kernel, t: &mut Thread, m: &mut Memory, nr: u64, args: &[u64]) -> SyscallOutcome {
+    fn call(
+        k: &mut Kernel,
+        t: &mut Thread,
+        m: &mut Memory,
+        nr: u64,
+        args: &[u64],
+    ) -> SyscallOutcome {
         t.regs.write(Reg::Rax, nr);
         let regs = [Reg::Rdi, Reg::Rsi, Reg::Rdx, Reg::R10, Reg::R8, Reg::R9];
         for (i, &a) in args.iter().enumerate() {
@@ -643,7 +693,11 @@ mod tests {
         assert!(!is_error(fd));
         let out = call(&mut k, &mut t, &mut m, nr::READ, &[fd, 0x2000, 4]);
         assert_eq!(out.ret, 4);
-        assert_eq!(out.writes.len(), 1, "side effect recorded for replay injection");
+        assert_eq!(
+            out.writes.len(),
+            1,
+            "side effect recorded for replay injection"
+        );
         let mut buf = [0u8; 4];
         m.read_bytes(0x2000, &mut buf).unwrap();
         assert_eq!(&buf, b"abcd");
@@ -651,7 +705,9 @@ mod tests {
         let out2 = call(&mut k, &mut t, &mut m, nr::READ, &[fd, 0x2000, 4]);
         assert_eq!(out2.ret, 2);
         assert_eq!(call(&mut k, &mut t, &mut m, nr::CLOSE, &[fd]).ret, 0);
-        assert!(is_error(call(&mut k, &mut t, &mut m, nr::READ, &[fd, 0x2000, 1]).ret));
+        assert!(is_error(
+            call(&mut k, &mut t, &mut m, nr::READ, &[fd, 0x2000, 1]).ret
+        ));
     }
 
     #[test]
@@ -686,7 +742,9 @@ mod tests {
             call(&mut k, &mut t, &mut m, nr::LSEEK, &[fd, (-3i64) as u64, 2]).ret,
             7
         );
-        assert!(is_error(call(&mut k, &mut t, &mut m, nr::LSEEK, &[fd, 0, 9]).ret));
+        assert!(is_error(
+            call(&mut k, &mut t, &mut m, nr::LSEEK, &[fd, 0, 9]).ret
+        ));
     }
 
     #[test]
@@ -707,7 +765,14 @@ mod tests {
     #[test]
     fn mmap_munmap_anonymous() {
         let (mut k, mut t, mut m) = setup();
-        let a = call(&mut k, &mut t, &mut m, nr::MMAP, &[0, 0x3000, 3, 0x22, u64::MAX, 0]).ret;
+        let a = call(
+            &mut k,
+            &mut t,
+            &mut m,
+            nr::MMAP,
+            &[0, 0x3000, 3, 0x22, u64::MAX, 0],
+        )
+        .ret;
         assert!(!is_error(a));
         assert!(m.is_mapped(a));
         assert!(m.is_mapped(a + 0x2fff));
@@ -752,15 +817,30 @@ mod tests {
         assert_eq!(out.ret, 0);
         assert_eq!(out.writes.len(), 1);
         let sec = m.read_u64(0x1000).unwrap();
-        assert_eq!(sec, (KernelConfig::default().epoch_ns + 5_000_000_000) / 1_000_000_000);
+        assert_eq!(
+            sec,
+            (KernelConfig::default().epoch_ns + 5_000_000_000) / 1_000_000_000
+        );
     }
 
     #[test]
     fn prctl_sets_brk_layout() {
         let (mut k, mut t, mut m) = setup();
-        let r = call(&mut k, &mut t, &mut m, nr::PRCTL, &[PR_SET_MM, PR_SET_MM_START_BRK, 0x900_0000]);
+        let r = call(
+            &mut k,
+            &mut t,
+            &mut m,
+            nr::PRCTL,
+            &[PR_SET_MM, PR_SET_MM_START_BRK, 0x900_0000],
+        );
         assert_eq!(r.ret, 0);
-        let r2 = call(&mut k, &mut t, &mut m, nr::PRCTL, &[PR_SET_MM, PR_SET_MM_BRK, 0x900_3000]);
+        let r2 = call(
+            &mut k,
+            &mut t,
+            &mut m,
+            nr::PRCTL,
+            &[PR_SET_MM, PR_SET_MM_BRK, 0x900_3000],
+        );
         assert_eq!(r2.ret, 0);
         assert_eq!(k.brk(), 0x900_3000);
         assert!(m.is_mapped(0x900_1000));
@@ -775,7 +855,13 @@ mod tests {
         let out2 = call(&mut k, &mut t, &mut m, nr::FUTEX, &[0x2000, FUTEX_WAIT, 6]);
         assert_eq!(out2.ret, neg_errno(errno::EAGAIN));
         let out3 = call(&mut k, &mut t, &mut m, nr::FUTEX, &[0x2000, FUTEX_WAKE, 2]);
-        assert_eq!(out3.control, Control::FutexWake { addr: 0x2000, count: 2 });
+        assert_eq!(
+            out3.control,
+            Control::FutexWake {
+                addr: 0x2000,
+                count: 2
+            }
+        );
     }
 
     #[test]
@@ -790,8 +876,14 @@ mod tests {
         let (mut k, mut t, mut m) = setup();
         t.icount = 123;
         t.cycles = 456;
-        assert_eq!(call(&mut k, &mut t, &mut m, nr::PERF_READ_ICOUNT, &[]).ret, 123);
-        assert_eq!(call(&mut k, &mut t, &mut m, nr::PERF_READ_CYCLES, &[]).ret, 456);
+        assert_eq!(
+            call(&mut k, &mut t, &mut m, nr::PERF_READ_ICOUNT, &[]).ret,
+            123
+        );
+        assert_eq!(
+            call(&mut k, &mut t, &mut m, nr::PERF_READ_CYCLES, &[]).ret,
+            456
+        );
         let out = call(&mut k, &mut t, &mut m, nr::PERF_ARM_EXIT, &[1000]);
         assert_eq!(out.control, Control::ArmExitCounter(1000));
     }

@@ -54,8 +54,7 @@ pub use cpu::{cond_holds, fetch_decode, step, Effect, Fault, StepEnv, MAX_INSN_L
 pub use fs::{resolve_path, InMemoryFs};
 pub use hwmodel::{CacheGeom, DirectCache, HwModel, HwParams};
 pub use kernel::{
-    errno, is_error, neg_errno, nr, Control, FdKind, FileDesc, Kernel, KernelConfig,
-    SyscallOutcome,
+    errno, is_error, neg_errno, nr, Control, FdKind, FileDesc, Kernel, KernelConfig, SyscallOutcome,
 };
 pub use machine::{
     ExitReason, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction, SyscallInterposer,

@@ -31,7 +31,10 @@ pub enum SyscallAction {
     /// Skip kernel execution; write `writes` into guest memory and return
     /// `ret`. This is PinPlay replay injection: results of non-repeatable
     /// calls (e.g. `gettimeofday`) are reproduced from the log.
-    Skip { ret: u64, writes: Vec<(u64, Vec<u8>)> },
+    Skip {
+        ret: u64,
+        writes: Vec<(u64, Vec<u8>)>,
+    },
 }
 
 /// Hook consulted before every syscall reaches the kernel.
@@ -110,6 +113,25 @@ impl Default for MachineConfig {
             stack_randomize: true,
             kernel: KernelConfig::default(),
         }
+    }
+}
+
+impl MachineConfig {
+    /// Stable hash over every field that influences execution. Two
+    /// machines with equal fingerprints run a given program identically,
+    /// so the pipeline cache can reuse results keyed on this value.
+    pub fn fingerprint(&self) -> u64 {
+        elfie_isa::Fnv64::new()
+            .u64(self.quantum)
+            .u64(self.seed)
+            .u64(self.stack_top)
+            .u64(self.stack_size)
+            .u64(u64::from(self.stack_randomize))
+            .u64(self.kernel.brk_base)
+            .u64(self.kernel.mmap_base)
+            .u64(self.kernel.epoch_ns)
+            .u64(self.kernel.pid)
+            .finish()
     }
 }
 
@@ -282,8 +304,12 @@ impl<O: Observer> Machine<O> {
         assert!(self.threads.is_empty(), "program already loaded");
         for c in &prog.chunks {
             if !c.bytes.is_empty() {
-                self.mem.map_range(c.addr, c.end(), Perm::RWX).expect("valid chunk range");
-                self.mem.write_bytes_unchecked(c.addr, &c.bytes).expect("mapped");
+                self.mem
+                    .map_range(c.addr, c.end(), Perm::RWX)
+                    .expect("valid chunk range");
+                self.mem
+                    .write_bytes_unchecked(c.addr, &c.bytes)
+                    .expect("mapped");
             }
         }
         let mut regs = RegFile::new();
@@ -302,7 +328,9 @@ impl<O: Observer> Machine<O> {
         };
         let top = self.cfg.stack_top - slide;
         let base = top - self.cfg.stack_size;
-        self.mem.map_range(base, top, Perm::RW).expect("stack range");
+        self.mem
+            .map_range(base, top, Perm::RW)
+            .expect("stack range");
         // Leave room for a fake argv/envp block, 16-byte aligned.
         (top - 256) & !15
     }
@@ -336,17 +364,31 @@ impl<O: Observer> Machine<O> {
         if idx >= self.threads.len() || !self.threads[idx].is_runnable() {
             return ThreadStep::NotRunnable;
         }
-        let Machine { mem, threads, obs, hw, .. } = self;
+        let Machine {
+            mem,
+            threads,
+            obs,
+            hw,
+            ..
+        } = self;
         let t = &mut threads[idx];
         let env = StepEnv { tsc: self.cycle };
-        let mut hobs = HwObs { inner: obs, hw, extra_cycles: 0 };
+        let mut hobs = HwObs {
+            inner: obs,
+            hw,
+            extra_cycles: 0,
+        };
         let pre_rip = t.regs.rip;
         let effect = cpu::step(t, mem, env, &mut hobs);
         let extra = hobs.extra_cycles;
 
         let (retired, result, insn_cost) = match effect {
             Effect::Normal => (true, ThreadStep::Retired, 1),
-            Effect::Syscall => (true, ThreadStep::SyscallRetired, HwModel::insn_cost(&Insn::Syscall)),
+            Effect::Syscall => (
+                true,
+                ThreadStep::SyscallRetired,
+                HwModel::insn_cost(&Insn::Syscall),
+            ),
             Effect::Marker(k, tag) => (true, ThreadStep::Marker(k, tag), 1),
             Effect::Fault(f) => (false, ThreadStep::Fault(f), 0),
         };
@@ -417,7 +459,12 @@ impl<O: Observer> Machine<O> {
         }
 
         let now_ns = self.now_ns();
-        let Machine { mem, threads, kernel, .. } = self;
+        let Machine {
+            mem,
+            threads,
+            kernel,
+            ..
+        } = self;
         let outcome = kernel.handle(&mut threads[idx], mem, now_ns);
         let mut ret = outcome.ret;
         match outcome.control {
@@ -629,7 +676,10 @@ mod tests {
         let mut m = machine(".org 0x400000\nstart:\n mov rax, 0\n mov rbx, [rax]\n");
         let s = m.run(100);
         match s.reason {
-            ExitReason::Fault { tid: 0, fault: Fault::Mem(_) } => {}
+            ExitReason::Fault {
+                tid: 0,
+                fault: Fault::Mem(_),
+            } => {}
             other => panic!("expected fault, got {other:?}"),
         }
     }
@@ -666,7 +716,9 @@ mod tests {
             flag: .quad 0
             "#,
         );
-        m.mem.map_range(0x7f000f0000, 0x7f00100000, Perm::RW).unwrap();
+        m.mem
+            .map_range(0x7f000f0000, 0x7f00100000, Perm::RW)
+            .unwrap();
         let s = m.run(1_000_000);
         assert_eq!(s.reason, ExitReason::AllExited(0));
         assert_eq!(m.threads.len(), 2);
@@ -704,11 +756,16 @@ mod tests {
         "#;
         let trace = |seed: u64| {
             let prog = assemble(src).unwrap();
-            let mut cfg = MachineConfig { seed, ..MachineConfig::default() };
+            let mut cfg = MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            };
             cfg.stack_randomize = false;
             let mut m = Machine::new(cfg);
             m.load_program(&prog);
-            m.mem.map_range(0x7f000f0000, 0x7f00100000, Perm::RW).unwrap();
+            m.mem
+                .map_range(0x7f000f0000, 0x7f00100000, Perm::RW)
+                .unwrap();
             // Record (tid at each scheduling decision) indirectly via final
             // per-thread cycle counts.
             m.run(1_000_000);
@@ -730,9 +787,7 @@ mod tests {
 
     #[test]
     fn stop_condition_marker() {
-        let mut m = machine(
-            ".org 0x400000\nstart:\n nop\n marker sniper, 1\n jmp start\n",
-        );
+        let mut m = machine(".org 0x400000\nstart:\n nop\n marker sniper, 1\n jmp start\n");
         m.stop_conditions.push(StopWhen::Marker(MarkerKind::Sniper));
         let s = m.run(10_000);
         assert_eq!(s.reason, ExitReason::StopCondition(0));
@@ -752,7 +807,10 @@ mod tests {
             "#,
         );
         // `add rcx, 1` lives at 0x400000 + 10.
-        m.stop_conditions.push(StopWhen::PcCount { pc: 0x40000a, count: 5 });
+        m.stop_conditions.push(StopWhen::PcCount {
+            pc: 0x40000a,
+            count: 5,
+        });
         let s = m.run(10_000);
         assert_eq!(s.reason, ExitReason::StopCondition(0));
         assert_eq!(m.threads[0].regs.read(elfie_isa::Reg::Rcx), 5);
@@ -790,7 +848,10 @@ mod tests {
             ) -> SyscallAction {
                 if nr == 96 {
                     // Inject a fixed gettimeofday result.
-                    SyscallAction::Skip { ret: 0, writes: vec![(0x600000, vec![42u8; 8])] }
+                    SyscallAction::Skip {
+                        ret: 0,
+                        writes: vec![(0x600000, vec![42u8; 8])],
+                    }
                 } else {
                     SyscallAction::PassThrough
                 }
@@ -857,7 +918,9 @@ mod tests {
             word: .quad 0
             "#,
         );
-        m.mem.map_range(0x7f000f0000, 0x7f00100000, Perm::RW).unwrap();
+        m.mem
+            .map_range(0x7f000f0000, 0x7f00100000, Perm::RW)
+            .unwrap();
         let s = m.run(1_000_000);
         assert_eq!(s.reason, ExitReason::AllExited(0));
     }
@@ -866,7 +929,10 @@ mod tests {
     fn stack_randomization_changes_rsp() {
         let prog = assemble(&format!(".org 0x400000\nstart: nop{EXIT0}")).unwrap();
         let rsp_for = |seed| {
-            let cfg = MachineConfig { seed, ..MachineConfig::default() };
+            let cfg = MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            };
             let mut m = Machine::new(cfg);
             m.load_program(&prog);
             m.threads[0].regs.rsp()

@@ -78,7 +78,11 @@ pub enum MemError {
     /// The address is not mapped.
     Unmapped { addr: u64, access: Access },
     /// The page is mapped but the permission does not allow the access.
-    Protection { addr: u64, access: Access, perm: Perm },
+    Protection {
+        addr: u64,
+        access: Access,
+        perm: Perm,
+    },
 }
 
 impl MemError {
@@ -97,7 +101,10 @@ impl fmt::Display for MemError {
                 write!(f, "{access:?} access to unmapped address {addr:#x}")
             }
             MemError::Protection { addr, access, perm } => {
-                write!(f, "{access:?} access violates {perm} protection at {addr:#x}")
+                write!(
+                    f,
+                    "{access:?} access violates {perm} protection at {addr:#x}"
+                )
             }
         }
     }
@@ -112,7 +119,10 @@ struct Page {
 
 impl Page {
     fn new(perm: Perm) -> Page {
-        Page { data: Box::new([0u8; PAGE_SIZE as usize]), perm }
+        Page {
+            data: Box::new([0u8; PAGE_SIZE as usize]),
+            perm,
+        }
     }
 }
 
@@ -133,7 +143,9 @@ pub struct Memory {
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Memory").field("pages", &self.pages.len()).finish()
+        f.debug_struct("Memory")
+            .field("pages", &self.pages.len())
+            .finish()
     }
 }
 
@@ -168,7 +180,10 @@ impl Memory {
     /// permission.
     pub fn map_page(&mut self, addr: u64, perm: Perm) {
         let base = page_base(addr);
-        self.pages.entry(base).or_insert_with(|| Page::new(perm)).perm = perm;
+        self.pages
+            .entry(base)
+            .or_insert_with(|| Page::new(perm))
+            .perm = perm;
     }
 
     /// Maps every page overlapping `[start, end)`.
@@ -177,7 +192,10 @@ impl Memory {
     /// Returns an error when `end <= start`.
     pub fn map_range(&mut self, start: u64, end: u64, perm: Perm) -> Result<(), MemError> {
         if end <= start {
-            return Err(MemError::Unmapped { addr: start, access: Access::Write });
+            return Err(MemError::Unmapped {
+                addr: start,
+                access: Access::Write,
+            });
         }
         let mut p = page_base(start);
         while p < end {
@@ -234,7 +252,11 @@ impl Memory {
         if ok {
             Ok(page)
         } else {
-            Err(MemError::Protection { addr, access, perm: page.perm })
+            Err(MemError::Protection {
+                addr,
+                access,
+                perm: page.perm,
+            })
         }
     }
 
@@ -251,7 +273,11 @@ impl Memory {
         if ok {
             Ok(page)
         } else {
-            Err(MemError::Protection { addr, access, perm: page.perm })
+            Err(MemError::Protection {
+                addr,
+                access,
+                perm: page.perm,
+            })
         }
     }
 
@@ -293,7 +319,10 @@ impl Memory {
             let page = self
                 .pages
                 .get_mut(&page_base(a))
-                .ok_or(MemError::Unmapped { addr: a, access: Access::Write })?;
+                .ok_or(MemError::Unmapped {
+                    addr: a,
+                    access: Access::Write,
+                })?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
             page.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
@@ -387,7 +416,10 @@ impl Memory {
         let page = self
             .pages
             .get_mut(&page_base(dst_page))
-            .ok_or(MemError::Unmapped { addr: dst_page, access: Access::Write })?;
+            .ok_or(MemError::Unmapped {
+                addr: dst_page,
+                access: Access::Write,
+            })?;
         page.data.copy_from_slice(bytes);
         Ok(())
     }
@@ -423,7 +455,10 @@ mod tests {
         let m = Memory::new();
         assert_eq!(
             m.read_u8(0x5000),
-            Err(MemError::Unmapped { addr: 0x5000, access: Access::Read })
+            Err(MemError::Unmapped {
+                addr: 0x5000,
+                access: Access::Read
+            })
         );
     }
 
@@ -432,9 +467,15 @@ mod tests {
         let mut m = Memory::new();
         m.map_page(0x1000, Perm::R);
         assert!(m.read_u8(0x1000).is_ok());
-        assert!(matches!(m.write_u8(0x1000, 1), Err(MemError::Protection { .. })));
+        assert!(matches!(
+            m.write_u8(0x1000, 1),
+            Err(MemError::Protection { .. })
+        ));
         let mut buf = [0u8; 4];
-        assert!(matches!(m.fetch(0x1000, &mut buf), Err(MemError::Protection { .. })));
+        assert!(matches!(
+            m.fetch(0x1000, &mut buf),
+            Err(MemError::Protection { .. })
+        ));
         m.protect_range(0x1000, 0x2000, Perm::RX);
         assert!(m.fetch(0x1000, &mut buf).is_ok());
     }

@@ -59,11 +59,23 @@ fn same_seed_reproduces_multithreaded_run_exactly() {
         done: .quad 0
     "#;
     let run = |seed| {
-        let mut m = load(src, MachineConfig { seed, ..MachineConfig::default() });
-        m.mem.map_range(0x7f000f0000, 0x7f00100000, Perm::RW).unwrap();
+        let mut m = load(
+            src,
+            MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            },
+        );
+        m.mem
+            .map_range(0x7f000f0000, 0x7f00100000, Perm::RW)
+            .unwrap();
         let s = m.run(10_000_000);
         assert_eq!(s.reason, ExitReason::AllExited(0));
-        (m.threads[0].icount, m.threads[1].icount, m.threads[0].cycles)
+        (
+            m.threads[0].icount,
+            m.threads[1].icount,
+            m.threads[0].cycles,
+        )
     };
     assert_eq!(run(5), run(5), "same seed, identical interleaving");
     assert_ne!(run(5), run(6), "different seed, different interleaving");
@@ -95,10 +107,15 @@ fn exit_group_terminates_spinning_sibling() {
             jmp spin
     "#;
     let mut m = load(src, MachineConfig::default());
-    m.mem.map_range(0x7f000f0000, 0x7f00100000, Perm::RW).unwrap();
+    m.mem
+        .map_range(0x7f000f0000, 0x7f00100000, Perm::RW)
+        .unwrap();
     let s = m.run(10_000_000);
     assert_eq!(s.reason, ExitReason::AllExited(9));
-    assert!(m.threads[1].is_exited(), "spinner was terminated by exit_group");
+    assert!(
+        m.threads[1].is_exited(),
+        "spinner was terminated by exit_group"
+    );
 }
 
 #[test]
@@ -124,11 +141,18 @@ fn rearming_the_exit_counter_extends_the_run() {
 
 #[test]
 fn stop_conditions_compose_first_wins() {
-    let mut m = load(".org 0x400000\nstart: jmp start\n", MachineConfig::default());
+    let mut m = load(
+        ".org 0x400000\nstart: jmp start\n",
+        MachineConfig::default(),
+    );
     m.stop_conditions.push(StopWhen::GlobalInsns(1_000));
     m.stop_conditions.push(StopWhen::GlobalInsns(100));
     let s = m.run(1_000_000);
-    assert_eq!(s.reason, ExitReason::StopCondition(1), "tighter condition fires");
+    assert_eq!(
+        s.reason,
+        ExitReason::StopCondition(1),
+        "tighter condition fires"
+    );
     assert_eq!(m.global_icount(), 100);
 }
 
@@ -201,7 +225,11 @@ fn repmovs_copies_large_ranges_across_pages() {
     let s = m.run(1_000_000);
     assert_eq!(s.reason, ExitReason::AllExited(0));
     assert_eq!(m.threads[0].regs.read(Reg::R13), 0, "rcx consumed");
-    assert_eq!(m.threads[0].regs.read(Reg::R14), 0x1000, "first quadword copied");
+    assert_eq!(
+        m.threads[0].regs.read(Reg::R14),
+        0x1000,
+        "first quadword copied"
+    );
     assert_eq!(m.threads[0].regs.read(Reg::R15), 1, "last quadword copied");
 }
 
@@ -269,11 +297,18 @@ fn gettimeofday_advances_with_cycles() {
 
 #[test]
 fn fuel_budget_is_exact_across_calls() {
-    let mut m = load(".org 0x400000\nstart: jmp start\n", MachineConfig::default());
+    let mut m = load(
+        ".org 0x400000\nstart: jmp start\n",
+        MachineConfig::default(),
+    );
     let s1 = m.run(77);
     assert_eq!(s1.reason, ExitReason::FuelExhausted);
     assert_eq!(s1.insns, 77);
     let s2 = m.run(23);
     assert_eq!(s2.insns, 23);
-    assert_eq!(m.global_icount(), 100, "machine-lifetime counter accumulates");
+    assert_eq!(
+        m.global_icount(),
+        100,
+        "machine-lifetime counter accumulates"
+    );
 }

@@ -15,10 +15,22 @@ pub const MT_STACK_BASE: u64 = 0x7100_0000_0000;
 /// Stack bytes per worker thread.
 pub const MT_STACK_SIZE: u64 = 1 << 16;
 
-fn build(name: &str, asm: String, files: Vec<(String, Vec<u8>)>, data_maps: Vec<(u64, u64)>, nthreads: usize) -> Workload {
-    let program = assemble(&asm)
-        .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
-    Workload { name: name.to_string(), program, files, data_maps, nthreads }
+fn build(
+    name: &str,
+    asm: String,
+    files: Vec<(String, Vec<u8>)>,
+    data_maps: Vec<(u64, u64)>,
+    nthreads: usize,
+) -> Workload {
+    let program =
+        assemble(&asm).unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
+    Workload {
+        name: name.to_string(),
+        program,
+        files,
+        data_maps,
+        nthreads,
+    }
 }
 
 const EXIT: &str = "
@@ -77,7 +89,13 @@ pub fn perlbench_like(f: u64) -> Workload {
             {EXIT}
         "#
     );
-    build("perlbench_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + gen + 4096)], 1)
+    build(
+        "perlbench_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + gen + 4096)],
+        1,
+    )
 }
 
 /// Multi-phase compiler-like workload: parse (branchy bytes), optimise
@@ -216,7 +234,13 @@ pub fn mcf_like(f: u64) -> Workload {
             {EXIT}
         "#
     );
-    build("mcf_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + nodes * 8 + 4096)], 1)
+    build(
+        "mcf_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + nodes * 8 + 4096)],
+        1,
+    )
 }
 
 /// Discrete-event-ish circular queue churn (omnetpp-like).
@@ -264,7 +288,13 @@ pub fn omnetpp_like(f: u64) -> Workload {
         "#,
         qmask = qsize - 1,
     );
-    build("omnetpp_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + qsize * 8 + 4096)], 1)
+    build(
+        "omnetpp_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + qsize * 8 + 4096)],
+        1,
+    )
 }
 
 /// Branchy tree-walk (xalancbmk-like).
@@ -307,7 +337,13 @@ pub fn xalancbmk_like(f: u64) -> Workload {
         "#
     );
     let tree_bytes = (1u64 << 15) * 8 + 4096;
-    build("xalancbmk_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + tree_bytes)], 1)
+    build(
+        "xalancbmk_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + tree_bytes)],
+        1,
+    )
 }
 
 /// Video-encoder-like: reads a frame file, then block transforms with a
@@ -465,7 +501,13 @@ pub fn leela_like(f: u64) -> Workload {
         "#,
         mask = board - 1,
     );
-    build("leela_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + board * 8 + 4096)], 1)
+    build(
+        "leela_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + board * 8 + 4096)],
+        1,
+    )
 }
 
 /// Pure-ALU nested loops with high IPC (exchange2-like).
@@ -556,7 +598,13 @@ pub fn xz_like(f: u64) -> Workload {
         hist_base = ARRAY_BASE + 0x10_0000,
         match_iters = bytes - 2,
     );
-    build("xz_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + 0x10_2000)], 1)
+    build(
+        "xz_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + 0x10_2000)],
+        1,
+    )
 }
 
 /// FP stencil sweep (lbm-like): memory + floating point.
@@ -605,7 +653,13 @@ pub fn lbm_like(f: u64) -> Workload {
         "#,
         last = cells - 1,
     );
-    build("lbm_like", asm, vec![], vec![(ARRAY_BASE, ARRAY_BASE + cells * 8 + 4096)], 1)
+    build(
+        "lbm_like",
+        asm,
+        vec![],
+        vec![(ARRAY_BASE, ARRAY_BASE + cells * 8 + 4096)],
+        1,
+    )
 }
 
 /// FP force-field mix with sqrt/div (nab-like).
@@ -773,7 +827,10 @@ fn mt_workload(name: &str, threads: usize, reps: u64, chunk_bytes: u64, body: &s
         name,
         asm,
         vec![],
-        vec![(ARRAY_BASE, ARRAY_BASE + t * chunk_bytes + 4096), (MT_STACK_BASE, stacks_end)],
+        vec![
+            (ARRAY_BASE, ARRAY_BASE + t * chunk_bytes + 4096),
+            (MT_STACK_BASE, stacks_end),
+        ],
         threads,
     )
 }

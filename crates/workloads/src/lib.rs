@@ -68,7 +68,9 @@ impl Workload {
             m.kernel.fs.put(path, data.clone());
         }
         for &(start, end) in &self.data_maps {
-            m.mem.map_range(start, end, Perm::RW).expect("valid data map");
+            m.mem
+                .map_range(start, end, Perm::RW)
+                .expect("valid data map");
         }
     }
 
@@ -78,6 +80,25 @@ impl Workload {
         m.load_program(&self.program);
         self.setup(&mut m);
         m
+    }
+
+    /// Stable hash over the name, program, staged files, data maps and
+    /// thread count — everything [`Workload::setup`] and the program
+    /// loader consume. The pipeline cache keys profiles and pinballs on
+    /// this value.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = elfie_isa::Fnv64::new()
+            .str(&self.name)
+            .u64(self.program.content_hash());
+        h = h.u64(self.files.len() as u64);
+        for (path, data) in &self.files {
+            h = h.str(path).u64(data.len() as u64).bytes(data);
+        }
+        h = h.u64(self.data_maps.len() as u64);
+        for &(start, end) in &self.data_maps {
+            h = h.u64(start).u64(end);
+        }
+        h.u64(self.nthreads as u64).finish()
     }
 }
 
@@ -101,7 +122,11 @@ pub fn suite_int(scale: InputScale) -> Vec<Workload> {
 /// The single-threaded floating-point suite.
 pub fn suite_fp(scale: InputScale) -> Vec<Workload> {
     let f = scale.factor();
-    vec![generators::lbm_like(f), generators::nab_like(f), generators::cam4_like(f)]
+    vec![
+        generators::lbm_like(f),
+        generators::nab_like(f),
+        generators::cam4_like(f),
+    ]
 }
 
 /// OpenMP-style "speed" workloads: `threads`-way fork-join with
@@ -147,7 +172,13 @@ mod tests {
     fn runs_clean(w: &Workload) -> (u64, u64) {
         let mut m = w.machine(MachineConfig::default());
         let s = m.run(200_000_000);
-        assert_eq!(s.reason, ExitReason::AllExited(0), "{} failed: {:?}", w.name, s.reason);
+        assert_eq!(
+            s.reason,
+            ExitReason::AllExited(0),
+            "{} failed: {:?}",
+            w.name,
+            s.reason
+        );
         (s.insns, m.threads.len() as u64)
     }
 
@@ -173,11 +204,23 @@ mod tests {
         for w in suite_speed_mt(InputScale::Test, 4) {
             let mut m = w.machine(MachineConfig::default());
             let s = m.run(500_000_000);
-            assert_eq!(s.reason, ExitReason::AllExited(0), "{}: {:?}", w.name, s.reason);
+            assert_eq!(
+                s.reason,
+                ExitReason::AllExited(0),
+                "{}: {:?}",
+                w.name,
+                s.reason
+            );
             if w.name == "xz_s_like" {
                 assert_eq!(m.threads.len(), 1, "xz_s is the single-threaded member");
             } else {
-                assert_eq!(m.threads.len(), 4, "{} spawned {} threads", w.name, m.threads.len());
+                assert_eq!(
+                    m.threads.len(),
+                    4,
+                    "{} spawned {} threads",
+                    w.name,
+                    m.threads.len()
+                );
                 for t in &m.threads {
                     assert!(t.icount > 100, "{}: thread {} idle", w.name, t.tid);
                 }
@@ -221,7 +264,10 @@ mod tests {
     fn workloads_are_deterministic_per_seed() {
         let w = generators::gcc_like(1);
         let run = |seed| {
-            let mut m = w.machine(MachineConfig { seed, ..MachineConfig::default() });
+            let mut m = w.machine(MachineConfig {
+                seed,
+                ..MachineConfig::default()
+            });
             let s = m.run(100_000_000);
             s.insns
         };

@@ -23,14 +23,19 @@ fn main() {
             RegionTrigger::GlobalIcount(50_000),
             40_000,
         ));
-        let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+        let pinball = logger
+            .capture(&w.program, |m| w.setup(m))
+            .expect("captures");
         let (elfie, sysstate) =
             elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
         let report = analyze_elfie(&elfie.bytes, MarkerKind::Ssc, 9, 500_000_000, |m| {
             sysstate.stage_files(m)
         })
         .expect("loads");
-        println!("=== {} (region of {} instructions) ===", w.name, pinball.region.length);
+        println!(
+            "=== {} (region of {} instructions) ===",
+            w.name, pinball.region.length
+        );
         println!("{report}");
     }
 }

@@ -28,7 +28,10 @@ fn main() {
         let recorded: u64 = pinball.region.thread_icounts.values().sum();
 
         // Constrained: Sniper + PinPlay library replaying the pinball.
-        let sim = Simulator { roi: elfie::sim::RoiMode::Always, ..Simulator::sniper() };
+        let sim = Simulator {
+            roi: elfie::sim::RoiMode::Always,
+            ..Simulator::sniper()
+        };
         let pb_out = simulate_pinball(&pinball, &sim);
 
         // Unconstrained: the ELFie runs like any other binary.

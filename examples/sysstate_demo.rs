@@ -10,8 +10,8 @@
 //! cargo run --release --example sysstate_demo
 //! ```
 
-use elfie::prelude::*;
 use elfie::isa::Reg;
+use elfie::prelude::*;
 
 fn main() {
     // The x264-like workload opens its input file at startup and reads a
@@ -23,9 +23,10 @@ fn main() {
         RegionTrigger::GlobalIcount(20_000),
         30_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
-    let syscalls: Vec<u64> =
-        pinball.threads[0].syscalls.iter().map(|s| s.nr).collect();
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
+    let syscalls: Vec<u64> = pinball.threads[0].syscalls.iter().map(|s| s.nr).collect();
     println!("system calls inside the region: {syscalls:?}");
 
     // Extract and inspect the sysstate.
@@ -38,15 +39,26 @@ fn main() {
         sysstate.brk_last,
     );
     for (fd, data) in &sysstate.fd_files {
-        println!("  FD_{fd}: {} bytes reconstructed from logged reads", data.len());
+        println!(
+            "  FD_{fd}: {} bytes reconstructed from logged reads",
+            data.len()
+        );
     }
 
     // Persist both artefacts the way the paper's tools do.
     let dir = std::env::temp_dir().join("elfie-sysstate-demo");
     let _ = std::fs::remove_dir_all(&dir);
-    pinball.save_dir(&dir.join("pinball")).expect("pinball file set");
-    sysstate.save_dir(&dir.join("sysstate")).expect("sysstate dir");
-    println!("wrote {}/pinball and {}/sysstate", dir.display(), dir.display());
+    pinball
+        .save_dir(&dir.join("pinball"))
+        .expect("pinball file set");
+    sysstate
+        .save_dir(&dir.join("sysstate"))
+        .expect("sysstate dir");
+    println!(
+        "wrote {}/pinball and {}/sysstate",
+        dir.display(),
+        dir.display()
+    );
 
     // ELFie WITHOUT sysstate: the read fails, data diverges.
     let plain = convert(&pinball, &ConvertOptions::default()).expect("converts");
@@ -61,7 +73,10 @@ fn main() {
 
     // ELFie WITH sysstate embedded: startup pre-opens FD_n proxies, the
     // reads return the logged data.
-    let opts = ConvertOptions { sysstate: Some(sysstate.clone()), ..ConvertOptions::default() };
+    let opts = ConvertOptions {
+        sysstate: Some(sysstate.clone()),
+        ..ConvertOptions::default()
+    };
     let with = convert(&pinball, &opts).expect("converts");
     let mut m2 = Machine::new(MachineConfig::default());
     sysstate.stage_files(&mut m2); // = running inside sysstate/workdir

@@ -11,10 +11,13 @@ fn quickstart_flow_capture_convert_run() {
         RegionTrigger::GlobalIcount(50_000),
         20_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     assert!(pinball.meta.fat);
 
-    let (elfie, sysstate) = elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
     let meas = measure_elfie(&elfie.bytes, MarkerKind::Ssc, 0, 7, 100_000_000, |m| {
         sysstate.stage_files(m)
     })
@@ -67,13 +70,16 @@ fn elfie_region_matches_replay_region_exactly() {
         RegionTrigger::GlobalIcount(10_000),
         5_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
 
     let replayer = Replayer::new(ReplayConfig::default());
     let (rs, replay_machine) = replayer.replay_full(&pinball, |_| {});
     assert!(rs.completed);
 
-    let (elfie, sysstate) = elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
+    let (elfie, sysstate) =
+        elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
     let mut m = Machine::new(MachineConfig::default());
     sysstate.stage_files(&mut m);
     elfie::elf::load(&mut m, &elfie.bytes, &elfie::elf::LoaderConfig::default()).expect("loads");
@@ -100,7 +106,9 @@ fn simulators_accept_elfies_without_modification() {
         RegionTrigger::GlobalIcount(30_000),
         10_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
     let (elfie, sysstate) =
         elfie::pipeline::make_elfie(&pinball, MarkerKind::Ssc).expect("converts");
 
@@ -110,8 +118,8 @@ fn simulators_accept_elfies_without_modification() {
         Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like()),
         Simulator::gem5_se(elfie::sim::CoreParams::haswell_like()),
     ] {
-        let out = simulate_elfie(&elfie.bytes, &sim, vec![], |m| sysstate.stage_files(m))
-            .expect("loads");
+        let out =
+            simulate_elfie(&elfie.bytes, &sim, vec![], |m| sysstate.stage_files(m)).expect("loads");
         assert!(
             matches!(out.exit, ExitReason::AllExited(0)),
             "{}: {:?}",
@@ -138,12 +146,21 @@ fn multithreaded_elfie_icount_inflation_fig11() {
         RegionTrigger::GlobalIcount(4_000),
         30_000,
     ));
-    let pinball = logger.capture(&w.program, |m| w.setup(m)).expect("captures");
-    assert!(pinball.threads.len() >= 2, "MT region: {} threads", pinball.threads.len());
+    let pinball = logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures");
+    assert!(
+        pinball.threads.len() >= 2,
+        "MT region: {} threads",
+        pinball.threads.len()
+    );
     let recorded: u64 = pinball.region.thread_icounts.values().sum();
 
     // Constrained pinball simulation: exact.
-    let sim = Simulator { roi: elfie::sim::RoiMode::Always, ..Simulator::sniper() };
+    let sim = Simulator {
+        roi: elfie::sim::RoiMode::Always,
+        ..Simulator::sniper()
+    };
     let pb_out = simulate_pinball(&pinball, &sim);
     let pb_insns: u64 = pinball
         .region
@@ -151,7 +168,10 @@ fn multithreaded_elfie_icount_inflation_fig11() {
         .keys()
         .map(|tid| pb_out.machine_icounts[tid])
         .sum();
-    assert_eq!(pb_insns, recorded, "pinball simulation matches the recording");
+    assert_eq!(
+        pb_insns, recorded,
+        "pinball simulation matches the recording"
+    );
 
     // Unconstrained ELFie simulation: spin loops re-execute freely.
     let opts = elfie::pinball2elf::ConvertOptions {
@@ -160,7 +180,11 @@ fn multithreaded_elfie_icount_inflation_fig11() {
     };
     let elfie = elfie::pinball2elf::convert(&pinball, &opts).expect("converts");
     let e_out = simulate_elfie(&elfie.bytes, &Simulator::sniper(), vec![], |_| {}).expect("loads");
-    assert!(matches!(e_out.exit, ExitReason::AllExited(0)), "{:?}", e_out.exit);
+    assert!(
+        matches!(e_out.exit, ExitReason::AllExited(0)),
+        "{:?}",
+        e_out.exit
+    );
     let modelled = e_out.stats.user_insns;
     assert!(
         modelled + 64 >= recorded,

@@ -1,0 +1,97 @@
+//! The parallel batch engine's two contracts, asserted end to end:
+//! determinism (any worker count produces the serial report, bit for bit)
+//! and artifact reuse (a repeated run is served from the cache).
+
+use elfie::prelude::*;
+use std::sync::Arc;
+
+fn small_cfg() -> PinPointsConfig {
+    PinPointsConfig {
+        slice_size: 5_000,
+        warmup: 10_000,
+        max_k: 5,
+        alternates: 2,
+        ..PinPointsConfig::default()
+    }
+}
+
+const FUEL: u64 = 50_000_000;
+const SEED: u64 = 42;
+
+#[test]
+fn parallel_reports_identical_to_serial_across_worker_counts() {
+    let w = elfie::workloads::gcc_like(1);
+    let cfg = small_cfg();
+    let reference =
+        elfie::pipeline::validate_with_elfies(&w, &cfg, SEED, FUEL).expect("serial pipeline");
+    assert!(
+        reference.k >= 2,
+        "want a multi-cluster workload, got k={}",
+        reference.k
+    );
+
+    for workers in [1usize, 2, 8] {
+        let engine = BatchValidator::new().with_workers(workers);
+        // Run twice on the same engine: the first run exercises the worker
+        // pool cold, the second exercises it against a warm cache. Both
+        // must reproduce the serial report exactly — including the order
+        // of `regions` and the float summation behind `predicted_cpi`.
+        for run in 1..=2 {
+            let (report, stats) = engine.validate(&w, &cfg, SEED, FUEL).expect("pipeline");
+            assert_eq!(
+                report, reference,
+                "report differs from serial (workers={workers}, run={run})"
+            );
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.regions_attempted as usize, reference.regions.len());
+        }
+    }
+}
+
+#[test]
+fn second_identical_run_is_served_from_the_cache() {
+    let w = elfie::workloads::mcf_like(1);
+    let cfg = small_cfg();
+    let engine = BatchValidator::new().with_workers(2);
+
+    let (first, s1) = engine.validate(&w, &cfg, SEED, FUEL).expect("pipeline");
+    assert_eq!(s1.cache.profile_hits, 0, "cold cache must profile");
+    assert_eq!(s1.cache.profile_misses, 1);
+    assert!(s1.cache.pinball_misses > 0, "cold cache must capture");
+
+    let (second, s2) = engine.validate(&w, &cfg, SEED, FUEL).expect("pipeline");
+    assert_eq!(second, first);
+    // Stats are windowed per run: the second window must show pure reuse.
+    assert_eq!(
+        s2.cache.profile_misses, 0,
+        "second run re-profiled the guest"
+    );
+    assert_eq!(s2.cache.profile_hits, 1);
+    assert!(
+        s2.cache.pinball_hits > 0,
+        "second run re-captured every region"
+    );
+    // Only captures that failed outright the first time (never cached) may
+    // run again.
+    assert!(s2.cache.pinball_misses <= s1.cache.pinball_misses);
+    assert!(s2.cache.hits() > s1.cache.hits());
+}
+
+#[test]
+fn cache_shared_between_engines_carries_artifacts_over() {
+    let w = elfie::workloads::xz_like(1);
+    let cfg = small_cfg();
+    let cache = Arc::new(PipelineCache::new());
+
+    let serial = BatchValidator::serial().with_cache(Arc::clone(&cache));
+    let (r1, _) = serial.validate(&w, &cfg, SEED, FUEL).expect("pipeline");
+
+    let pooled = BatchValidator::new().with_workers(4).with_cache(cache);
+    let (r2, s2) = pooled.validate(&w, &cfg, SEED, FUEL).expect("pipeline");
+    assert_eq!(
+        r2, r1,
+        "shared-cache run must still match the serial report"
+    );
+    assert_eq!(s2.cache.profile_misses, 0);
+    assert!(s2.cache.pinball_hits > 0);
+}
