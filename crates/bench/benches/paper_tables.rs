@@ -43,6 +43,10 @@ fn main() {
             "cache_effect",
             elfie_bench::experiments::ablations::cache_effect,
         ),
+        (
+            "store_dedup",
+            elfie_bench::experiments::ablations::store_dedup,
+        ),
     ];
 
     for (name, f) in experiments {

@@ -156,14 +156,22 @@ pub fn cmd_record(args: &Args) -> Result<String, CliError> {
         .map_err(|e| err(format!("capture failed: {e}")))?;
     pb.save_dir(&out)
         .map_err(|e| err(format!("save failed: {e}")))?;
-    Ok(format!(
+    let mut report = format!(
         "captured {} ({} pages, {} thread(s), {} instructions) -> {}",
         pb.region.name,
         pb.image.page_count(),
         pb.threads.len(),
         pb.region.length,
         out.display()
-    ))
+    );
+    if let Some(dir) = args.opt("store") {
+        let store = open_store(Some(dir))?;
+        store
+            .put_pinball(&pb.region.name, &pb)
+            .map_err(|e| err(format!("store put: {e}")))?;
+        let _ = write!(report, "\nstored as `{}` in {dir}", pb.region.name);
+    }
+    Ok(report)
 }
 
 fn load_pinball(dir: &str, name: &str) -> Result<Pinball, CliError> {
@@ -343,12 +351,15 @@ pub fn cmd_simpoint(args: &Args) -> Result<String, CliError> {
 }
 
 /// `elfie validate <workload> [--scale S] [--slice N] [--warmup N]
-/// [--maxk N] [--seed N] [--fuel N] [--workers N] [--serial] [--stats]`
+/// [--maxk N] [--seed N] [--fuel N] [--workers N] [--serial] [--stats]
+/// [--store DIR]`
 ///
 /// Runs the full ELFie-based validation flow (select → capture → convert
 /// → measure → compare against the whole-program run) on the parallel
 /// batch engine. `--workers 0` (default) uses every available core,
 /// `--serial` pins one worker; both produce the identical report.
+/// `--store DIR` backs the artifact cache with a persistent store so a
+/// repeated run warm-starts (visible as store hits under `--stats`).
 pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     let name = args.pos(0, "workload")?;
     let scale = parse_scale(args.opt("scale"))?;
@@ -366,7 +377,11 @@ pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     } else {
         args.opt_u64("workers", 0)? as usize
     };
-    let engine = BatchValidator::new().with_workers(workers);
+    let mut engine = BatchValidator::new().with_workers(workers);
+    if let Some(dir) = args.opt("store") {
+        let cache = PipelineCache::persistent(dir).map_err(|e| err(format!("open store: {e}")))?;
+        engine = engine.with_cache(std::sync::Arc::new(cache));
+    }
     let (report, stats) = engine
         .validate(&w, &cfg, seed, fuel)
         .map_err(|e| err(format!("validation failed: {e}")))?;
@@ -469,6 +484,142 @@ pub fn cmd_disasm(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `elfie version` (also `--version`/`-V`) — prints the workspace version.
+pub fn cmd_version(_args: &Args) -> Result<String, CliError> {
+    Ok(format!(
+        "elfie {} — ELFies tool-chain (CGO'21 reproduction)",
+        env!("CARGO_PKG_VERSION")
+    ))
+}
+
+fn open_store(dir: Option<&str>) -> Result<Store, CliError> {
+    Store::open(dir.unwrap_or("store")).map_err(|e| err(format!("open store: {e}")))
+}
+
+/// `elfie store <put|get|ls|rm|verify|gc|stats> [...] [--store DIR]`
+///
+/// The content-addressed checkpoint repository. `put` adds a pinball
+/// directory (`store put <dir> <name>`) or a plain file such as an ELFie
+/// (`store put <file> [<name>]`); `get` materialises an object back out
+/// (`--out PATH`); `ls`/`stats` report contents and dedup/compression
+/// ratios; `verify` checks every byte; `rm` drops a name and `gc` sweeps
+/// whatever became unreachable.
+pub fn cmd_store(args: &Args) -> Result<String, CliError> {
+    let store = open_store(args.opt("store"))?;
+    match args.pos(0, "store subcommand")? {
+        "put" => {
+            let path = Path::new(args.pos(1, "path")?);
+            if path.is_dir() {
+                let name = args.pos(2, "name")?;
+                let pb = load_pinball(&path.to_string_lossy(), name)?;
+                let id = store
+                    .put_pinball(name, &pb)
+                    .map_err(|e| err(format!("store put: {e}")))?;
+                Ok(format!("stored pinball `{name}` ({id})"))
+            } else {
+                let default = path
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                let name = args.positional.get(2).cloned().unwrap_or(default);
+                let bytes = std::fs::read(path)
+                    .map_err(|e| err(format!("read {}: {e}", path.display())))?;
+                let id = store
+                    .put_elfie(&name, &bytes)
+                    .map_err(|e| err(format!("store put: {e}")))?;
+                Ok(format!("stored `{name}` ({} bytes, {id})", bytes.len()))
+            }
+        }
+        "get" => {
+            let name = args.pos(1, "name")?;
+            let entry = store
+                .list()
+                .map_err(|e| err(format!("store ls: {e}")))?
+                .into_iter()
+                .find(|e| e.name == name)
+                .ok_or_else(|| err(format!("no such object: {name}")))?;
+            match entry.kind {
+                elfie::store::ObjectKind::Pinball => {
+                    let out = PathBuf::from(args.opt("out").unwrap_or("."));
+                    let pb = store
+                        .get_pinball(name)
+                        .map_err(|e| err(format!("store get: {e}")))?;
+                    pb.save_dir(&out)
+                        .map_err(|e| err(format!("save failed: {e}")))?;
+                    Ok(format!(
+                        "restored pinball `{name}` ({} pages) -> {}",
+                        pb.image.page_count(),
+                        out.display()
+                    ))
+                }
+                _ => {
+                    let out = PathBuf::from(args.opt("out").unwrap_or(name));
+                    let bytes = store
+                        .get_raw(name)
+                        .map_err(|e| err(format!("store get: {e}")))?;
+                    std::fs::write(&out, &bytes).map_err(|e| err(format!("write failed: {e}")))?;
+                    Ok(format!(
+                        "restored `{name}` ({} bytes) -> {}",
+                        bytes.len(),
+                        out.display()
+                    ))
+                }
+            }
+        }
+        "ls" => {
+            let entries = store.list().map_err(|e| err(format!("store ls: {e}")))?;
+            let mut out = String::new();
+            for e in &entries {
+                let _ = writeln!(
+                    out,
+                    "{:7} {} {:>12} B  {}",
+                    e.kind.to_string(),
+                    e.id,
+                    e.logical_bytes,
+                    e.name
+                );
+            }
+            let _ = write!(out, "{} object(s)", entries.len());
+            Ok(out)
+        }
+        "rm" => {
+            let name = args.pos(1, "name")?;
+            if store
+                .remove(name)
+                .map_err(|e| err(format!("store rm: {e}")))?
+            {
+                Ok(format!("removed `{name}` (run `store gc` to reclaim)"))
+            } else {
+                Err(err(format!("no such object: {name}")))
+            }
+        }
+        "verify" => {
+            let report = store
+                .verify()
+                .map_err(|e| err(format!("store verify: {e}")))?;
+            let text = report.to_string();
+            if report.is_ok() {
+                Ok(text)
+            } else {
+                Err(err(text))
+            }
+        }
+        "gc" => {
+            let report = store.gc().map_err(|e| err(format!("store gc: {e}")))?;
+            Ok(report.to_string())
+        }
+        "stats" => {
+            let stats = store
+                .stats()
+                .map_err(|e| err(format!("store stats: {e}")))?;
+            Ok(stats.to_string())
+        }
+        other => Err(err(format!(
+            "unknown store subcommand `{other}` (put|get|ls|rm|verify|gc|stats)"
+        ))),
+    }
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 elfie — ELFies tool-chain (CGO'21 reproduction)
@@ -478,7 +629,8 @@ USAGE: elfie <command> [args]
 COMMANDS:
   workloads                              list available benchmarks
   record <workload> [--scale test|train|ref] [--start N] [--length N]
-         [--out DIR] [--regular]         capture a region as a pinball
+         [--out DIR] [--regular] [--store DIR]
+                                         capture a region as a pinball
   sysstate <dir> <name> [--out DIR]      extract SYSSTATE from a pinball
   pinball2elf <dir> <name> [--out FILE] [--roi TYPE:TAG] [--no-graceful]
          [--no-callbacks] [--monitor] [--object] [--force] [--stack-only]
@@ -492,11 +644,42 @@ COMMANDS:
                                          PinPoints region selection
   validate <workload> [--slice N] [--warmup N] [--maxk N] [--scale S]
          [--seed N] [--fuel N] [--workers N] [--serial] [--stats]
-                                         ELFie-based validation (parallel)
+         [--store DIR]                   ELFie-based validation (parallel);
+                                         --store warm-starts across runs
   simulate <file> [--sim sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell]
          [--sysstate DIR]                simulate an ELFie
   disasm <file> [--section NAME]         disassemble an ELFie section
+  store put <path> [<name>] [--store DIR]
+                                         add a pinball dir or file to the
+                                         content-addressed store
+  store get <name> [--out PATH] [--store DIR]
+                                         materialise a stored object
+  store ls|verify|gc|stats [--store DIR] list / check / sweep / measure
+  store rm <name> [--store DIR]          drop a name (gc reclaims blobs)
+  version                                print the tool-chain version
 ";
+
+/// The signature every command handler shares.
+pub type Handler = fn(&Args) -> Result<String, CliError>;
+
+/// The command table driving [`dispatch`]. Kept as data — not a bare
+/// `match` — so a unit test can assert every command is documented in
+/// [`USAGE`] and new commands cannot silently drift out of the help text.
+pub const COMMANDS: &[(&str, Handler)] = &[
+    ("workloads", |_| Ok(cmd_workloads())),
+    ("record", cmd_record),
+    ("sysstate", cmd_sysstate),
+    ("pinball2elf", cmd_pinball2elf),
+    ("pinball2pe", cmd_pinball2pe),
+    ("run", cmd_run),
+    ("replay", cmd_replay),
+    ("simpoint", cmd_simpoint),
+    ("validate", cmd_validate),
+    ("simulate", cmd_simulate),
+    ("disasm", cmd_disasm),
+    ("store", cmd_store),
+    ("version", cmd_version),
+];
 
 /// Dispatches a parsed command line. Returns the report to print.
 pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
@@ -517,19 +700,12 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
     ][..];
     let args = Args::parse(rest, flags);
     match cmd.as_str() {
-        "workloads" => Ok(cmd_workloads()),
-        "record" => cmd_record(&args),
-        "sysstate" => cmd_sysstate(&args),
-        "pinball2elf" => cmd_pinball2elf(&args),
-        "pinball2pe" => cmd_pinball2pe(&args),
-        "run" => cmd_run(&args),
-        "replay" => cmd_replay(&args),
-        "simpoint" => cmd_simpoint(&args),
-        "validate" => cmd_validate(&args),
-        "simulate" => cmd_simulate(&args),
-        "disasm" => cmd_disasm(&args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+        "--version" | "-V" => cmd_version(&args),
+        other => match COMMANDS.iter().find(|(name, _)| *name == other) {
+            Some((_, handler)) => handler(&args),
+            None => Err(err(format!("unknown command `{other}`\n\n{USAGE}"))),
+        },
     }
 }
 
@@ -689,6 +865,155 @@ mod tests {
         assert!(dispatch(&argv("pinball2elf /no/such dir")).is_err());
         assert!(dispatch(&[]).is_err());
         assert!(dispatch(&argv("simulate x --sim warp-drive")).is_err());
+    }
+
+    #[test]
+    fn every_dispatched_command_is_documented_in_usage() {
+        for (name, _) in COMMANDS {
+            assert!(
+                USAGE.lines().any(|l| {
+                    l.trim_start().starts_with(&format!("{name} "))
+                        || l.trim_start() == *name
+                        || l.trim_start().starts_with(&format!("{name}|"))
+                }),
+                "command `{name}` is dispatched but missing from USAGE"
+            );
+        }
+    }
+
+    #[test]
+    fn version_command_prints_workspace_version() {
+        for argv_str in ["version", "--version", "-V"] {
+            let out = dispatch(&argv(argv_str)).expect("version");
+            assert!(
+                out.contains(env!("CARGO_PKG_VERSION")),
+                "`{argv_str}` gave {out}"
+            );
+            assert!(out.starts_with("elfie "), "{out}");
+        }
+    }
+
+    #[test]
+    fn store_commands_roundtrip_a_pinball() {
+        let dir = tmp("store");
+        let pbdir = dir.join("pb");
+        let storedir = dir.join("repo");
+        dispatch(&argv(&format!(
+            "record gcc_like --scale test --start 20000 --length 5000 --out {} --store {}",
+            pbdir.display(),
+            storedir.display()
+        )))
+        .expect("record --store");
+
+        let out =
+            dispatch(&argv(&format!("store ls --store {}", storedir.display()))).expect("store ls");
+        assert!(out.contains("pinball"), "{out}");
+        assert!(out.contains("1 object(s)"), "{out}");
+
+        let out = dispatch(&argv(&format!(
+            "store verify --store {}",
+            storedir.display()
+        )))
+        .expect("store verify");
+        assert!(out.contains("clean"), "{out}");
+
+        let out = dispatch(&argv(&format!(
+            "store stats --store {}",
+            storedir.display()
+        )))
+        .expect("store stats");
+        assert!(out.contains("dedup"), "{out}");
+
+        // Materialise the pinball back out and compare the directories.
+        // `record` stores under the region name `<workload>.<slice>`; the
+        // on-disk file set uses the pinball (meta) name.
+        let outdir = dir.join("restored");
+        let out = dispatch(&argv(&format!(
+            "store get gcc_like.0 --out {} --store {}",
+            outdir.display(),
+            storedir.display()
+        )))
+        .expect("store get");
+        assert!(out.contains("restored pinball"), "{out}");
+        let a = Pinball::load_dir(&pbdir, "gcc_like").expect("original");
+        let b = Pinball::load_dir(&outdir, "gcc_like").expect("restored");
+        assert_eq!(a.to_bytes(), b.to_bytes(), "bit-identical round-trip");
+
+        // rm + gc reclaims everything.
+        dispatch(&argv(&format!(
+            "store rm gcc_like.0 --store {}",
+            storedir.display()
+        )))
+        .expect("store rm");
+        let out =
+            dispatch(&argv(&format!("store gc --store {}", storedir.display()))).expect("store gc");
+        assert!(out.contains("removed 1 manifest(s)"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_put_get_file_roundtrip() {
+        let dir = tmp("store-file");
+        let storedir = dir.join("repo");
+        let file = dir.join("image.bin");
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 7) as u8).collect();
+        std::fs::write(&file, &data).unwrap();
+
+        let out = dispatch(&argv(&format!(
+            "store put {} img --store {}",
+            file.display(),
+            storedir.display()
+        )))
+        .expect("store put");
+        assert!(out.contains("stored `img`"), "{out}");
+
+        let back = dir.join("back.bin");
+        dispatch(&argv(&format!(
+            "store get img --out {} --store {}",
+            back.display(),
+            storedir.display()
+        )))
+        .expect("store get");
+        assert_eq!(std::fs::read(&back).unwrap(), data);
+
+        assert!(dispatch(&argv(&format!(
+            "store get missing --store {}",
+            storedir.display()
+        )))
+        .is_err());
+        assert!(dispatch(&argv(&format!(
+            "store frobnicate --store {}",
+            storedir.display()
+        )))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_with_store_warm_starts_second_run() {
+        let dir = tmp("validate-store");
+        let line = format!(
+            "validate gcc_like --scale test --slice 5000 --warmup 2000 --maxk 4 \
+             --fuel 50000000 --workers 2 --stats --store {}",
+            dir.display()
+        );
+        let cold = dispatch(&argv(&line)).expect("cold validate");
+        let warm = dispatch(&argv(&line)).expect("warm validate");
+        // Same report prefix (everything before the stats section).
+        assert_eq!(
+            cold.lines().next().unwrap(),
+            warm.lines().next().unwrap(),
+            "reports differ"
+        );
+        assert!(
+            cold.contains("store: 0 hit"),
+            "cold run must only put: {cold}"
+        );
+        assert!(
+            warm.contains("store:") && !warm.contains("store: 0 hit"),
+            "warm run must report store hits: {warm}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

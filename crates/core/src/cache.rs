@@ -14,6 +14,13 @@
 //! The cache is `Sync`; the parallel batch engine shares one instance
 //! across all workers. Values are handed out as `Arc`s, so hits are
 //! O(1) and never clone page data.
+//!
+//! With [`PipelineCache::persistent`] the in-memory tier is backed by a
+//! content-addressed [`elfie_store::Store`] on disk: artifacts computed in
+//! one process are reloaded by the next, so `elfie validate --store DIR`
+//! warm-starts across runs. Lookups go memory → store → compute; store
+//! hits count as cache hits (plus a separate `store_hits` counter), and a
+//! corrupt or unreadable store entry silently degrades to a recompute.
 
 use elfie_pinball::Pinball;
 use elfie_pinplay::CaptureError;
@@ -22,6 +29,7 @@ use elfie_vm::MachineConfig;
 use elfie_workloads::Workload;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -30,10 +38,13 @@ use std::sync::{Arc, Mutex};
 pub struct PipelineCache {
     profiles: Mutex<HashMap<u64, Arc<BbvProfile>>>,
     pinballs: Mutex<HashMap<u64, Arc<Pinball>>>,
+    store: Option<elfie_store::Store>,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
     pinball_hits: AtomicU64,
     pinball_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_puts: AtomicU64,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -47,6 +58,11 @@ pub struct CacheStats {
     pub pinball_hits: u64,
     /// Pinball lookups that had to capture.
     pub pinball_misses: u64,
+    /// Hits (profile or pinball) served from the persistent store rather
+    /// than memory — i.e. warm starts inherited from an earlier process.
+    pub store_hits: u64,
+    /// Artifacts written through to the persistent store.
+    pub store_puts: u64,
 }
 
 impl CacheStats {
@@ -68,6 +84,8 @@ impl CacheStats {
             profile_misses: self.profile_misses.saturating_sub(earlier.profile_misses),
             pinball_hits: self.pinball_hits.saturating_sub(earlier.pinball_hits),
             pinball_misses: self.pinball_misses.saturating_sub(earlier.pinball_misses),
+            store_hits: self.store_hits.saturating_sub(earlier.store_hits),
+            store_puts: self.store_puts.saturating_sub(earlier.store_puts),
         }
     }
 }
@@ -81,14 +99,66 @@ impl fmt::Display for CacheStats {
             self.profile_hits + self.profile_misses,
             self.pinball_hits,
             self.pinball_hits + self.pinball_misses,
-        )
+        )?;
+        if self.store_hits + self.store_puts > 0 {
+            write!(
+                f,
+                " (store: {} hit, {} put)",
+                self.store_hits, self.store_puts
+            )?;
+        }
+        Ok(())
     }
 }
 
 impl PipelineCache {
-    /// An empty cache.
+    /// An empty in-memory cache.
     pub fn new() -> PipelineCache {
         PipelineCache::default()
+    }
+
+    /// A cache backed by a persistent [`elfie_store::Store`] at `dir`, so
+    /// artifacts survive the process and later runs warm-start.
+    ///
+    /// # Errors
+    /// Returns [`elfie_store::StoreError`] if the store cannot be opened.
+    pub fn persistent(dir: impl AsRef<Path>) -> Result<PipelineCache, elfie_store::StoreError> {
+        Ok(PipelineCache::new().with_store(elfie_store::Store::open(dir)?))
+    }
+
+    /// Attaches a persistent store to this cache.
+    pub fn with_store(mut self, store: elfie_store::Store) -> PipelineCache {
+        self.store = Some(store);
+        self
+    }
+
+    /// The persistent store backing this cache, if any.
+    pub fn store(&self) -> Option<&elfie_store::Store> {
+        self.store.as_ref()
+    }
+
+    fn profile_ref(key: u64) -> String {
+        format!("profile-{key:016x}")
+    }
+
+    fn pinball_ref(key: u64) -> String {
+        format!("pinball-{key:016x}")
+    }
+
+    /// Tries the persistent tier for a profile. Any store failure —
+    /// missing, corrupt, unreadable — degrades to `None` (recompute).
+    fn store_profile(&self, key: u64) -> Option<BbvProfile> {
+        let store = self.store.as_ref()?;
+        let bytes = store.get_raw(&Self::profile_ref(key)).ok()?;
+        elfie_store::profiles::from_bytes(&bytes).ok()
+    }
+
+    /// Tries the persistent tier for a pinball.
+    fn store_pinball(&self, key: u64) -> Option<Pinball> {
+        self.store
+            .as_ref()?
+            .get_pinball(&Self::pinball_ref(key))
+            .ok()
     }
 
     /// The cache key of a profiling run.
@@ -123,10 +193,23 @@ impl PipelineCache {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(hit);
         }
+        if let Some(found) = self.store_profile(key) {
+            self.profile_hits.fetch_add(1, Ordering::Relaxed);
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+            let value = Arc::new(found);
+            let mut mem = self.profiles.lock().unwrap();
+            return Arc::clone(mem.entry(key).or_insert(value));
+        }
         self.profile_misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute());
-        let mut store = self.profiles.lock().unwrap();
-        Arc::clone(store.entry(key).or_insert(value))
+        if let Some(store) = &self.store {
+            let bytes = elfie_store::profiles::to_bytes(&value);
+            if store.put_raw(&Self::profile_ref(key), &bytes).is_ok() {
+                self.store_puts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut mem = self.profiles.lock().unwrap();
+        Arc::clone(mem.entry(key).or_insert(value))
     }
 
     /// Returns the cached pinball under `key`, or runs `compute`.
@@ -143,10 +226,22 @@ impl PipelineCache {
             self.pinball_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(hit));
         }
+        if let Some(found) = self.store_pinball(key) {
+            self.pinball_hits.fetch_add(1, Ordering::Relaxed);
+            self.store_hits.fetch_add(1, Ordering::Relaxed);
+            let value = Arc::new(found);
+            let mut mem = self.pinballs.lock().unwrap();
+            return Ok(Arc::clone(mem.entry(key).or_insert(value)));
+        }
         self.pinball_misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute()?);
-        let mut store = self.pinballs.lock().unwrap();
-        Ok(Arc::clone(store.entry(key).or_insert(value)))
+        if let Some(store) = &self.store {
+            if store.put_pinball(&Self::pinball_ref(key), &value).is_ok() {
+                self.store_puts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut mem = self.pinballs.lock().unwrap();
+        Ok(Arc::clone(mem.entry(key).or_insert(value)))
     }
 
     /// Number of stored profiles.
@@ -166,10 +261,13 @@ impl PipelineCache {
             profile_misses: self.profile_misses.load(Ordering::Relaxed),
             pinball_hits: self.pinball_hits.load(Ordering::Relaxed),
             pinball_misses: self.pinball_misses.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_puts: self.store_puts.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every stored artifact and resets the counters.
+    /// Drops every in-memory artifact and resets the counters. The
+    /// persistent store, if any, is untouched.
     pub fn clear(&self) {
         self.profiles.lock().unwrap().clear();
         self.pinballs.lock().unwrap().clear();
@@ -177,6 +275,8 @@ impl PipelineCache {
         self.profile_misses.store(0, Ordering::Relaxed);
         self.pinball_hits.store(0, Ordering::Relaxed);
         self.pinball_misses.store(0, Ordering::Relaxed);
+        self.store_hits.store(0, Ordering::Relaxed);
+        self.store_puts.store(0, Ordering::Relaxed);
     }
 }
 
@@ -229,6 +329,30 @@ mod tests {
         cache.clear();
         assert_eq!(cache.profile_count(), 0);
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn persistent_tier_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("elfie-cache-persist-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // First "process": computes and writes through.
+        let cold = PipelineCache::persistent(&dir).unwrap();
+        cold.profile(42, || profile_with(77));
+        let s = cold.stats();
+        assert_eq!((s.profile_misses, s.store_hits, s.store_puts), (1, 0, 1));
+
+        // Second "process": fresh instance, same store — no recompute.
+        let warm = PipelineCache::persistent(&dir).unwrap();
+        let p = warm.profile(42, || panic!("must come from the store"));
+        assert_eq!(p.total_insns, 77);
+        let s = warm.stats();
+        assert_eq!((s.profile_hits, s.profile_misses, s.store_hits), (1, 0, 1));
+
+        // Third lookup in the same instance hits memory, not the store.
+        warm.profile(42, || panic!("must come from memory"));
+        assert_eq!(warm.stats().store_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

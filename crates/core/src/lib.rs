@@ -56,6 +56,8 @@ pub use elfie_pinplay as pinplay;
 pub use elfie_sim as sim;
 /// SimPoint/PinPoints region selection.
 pub use elfie_simpoint as simpoint;
+/// The content-addressed checkpoint repository.
+pub use elfie_store as store;
 /// The pinball_sysstate analysis.
 pub use elfie_sysstate as sysstate;
 /// The guest machine (memory, kernel, threads, counters).
@@ -80,6 +82,7 @@ pub mod prelude {
     pub use elfie_pinplay::{Logger, LoggerConfig, ReplayConfig, Replayer};
     pub use elfie_sim::{simulate_elfie, simulate_pinball, simulate_program, Simulator};
     pub use elfie_simpoint::{PinPoints, PinPointsConfig};
+    pub use elfie_store::{Store, StoreError, StoreStats};
     pub use elfie_sysstate::SysState;
     pub use elfie_vm::{ExitReason, Machine, MachineConfig};
     pub use elfie_workloads::{suite_fp, suite_int, suite_speed_mt, InputScale, Workload};

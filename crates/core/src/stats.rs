@@ -168,11 +168,14 @@ mod tests {
                 profile_misses: 2,
                 pinball_hits: 3,
                 pinball_misses: 4,
+                store_hits: 5,
+                store_puts: 6,
             },
         );
         let text = s.to_string();
         assert!(text.contains("4 workers"));
         assert!(text.contains("profiles 1/3 hit"));
         assert!(text.contains("pinballs 3/7 hit"));
+        assert!(text.contains("store: 5 hit, 6 put"));
     }
 }

@@ -1,4 +1,4 @@
-//! Binary instruction decoder: the exact inverse of [`crate::encode`].
+//! Binary instruction decoder: the exact inverse of [`fn@crate::encode`].
 
 use crate::encode::op;
 use crate::insn::{AluOp, Cond, FpOp, Insn, MarkerKind, Mem, Scale, Seg};

@@ -101,7 +101,7 @@ fn push_mem(out: &mut Vec<u8>, m: &Mem) {
 
 /// Encodes `insn`, appending its bytes to `out`.
 ///
-/// The companion [`crate::decode`] function inverts this exactly; the pair
+/// The companion [`fn@crate::decode`] function inverts this exactly; the pair
 /// is covered by a round-trip property test.
 pub fn encode_into(insn: &Insn, out: &mut Vec<u8>) {
     match *insn {

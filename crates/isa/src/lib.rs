@@ -10,7 +10,7 @@
 //! * `FS`/`GS` segment bases for thread-local addressing,
 //! * sixteen 128-bit XMM registers held in an XSAVE-style save area
 //!   ([`XSaveArea`]) that is restored with `FXRSTOR`/`XRSTOR` instructions,
-//! * a variable-length binary encoding ([`encode`]/[`decode`]),
+//! * a variable-length binary encoding ([`fn@encode`]/[`fn@decode`]),
 //! * a textual assembler ([`asm::Assembler`]) and disassembler
 //!   ([`disasm::disassemble`]).
 //!

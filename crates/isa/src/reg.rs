@@ -6,7 +6,7 @@ use std::fmt;
 /// A general purpose 64-bit register.
 ///
 /// The numbering matches the operand-encoding order used by
-/// [`crate::encode`]/[`crate::decode`] and the layout of the packed thread
+/// [`fn@crate::encode`]/[`fn@crate::decode`] and the layout of the packed thread
 /// context that `pinball2elf` emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]

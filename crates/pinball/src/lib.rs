@@ -33,6 +33,11 @@ use wire::{Reader, WireError, Writer};
 /// Format version for the binary sections.
 pub const FORMAT_VERSION: u32 = 1;
 
+/// Format version for the single-buffer bundle. Version 2 appends a
+/// trailing FNV-1a checksum over the whole bundle body, so any flipped
+/// byte or truncation is detected instead of decoding to garbage.
+pub const BUNDLE_VERSION: u32 = 2;
+
 const TEXT_MAGIC: &[u8; 4] = b"PBTX";
 const REG_MAGIC: &[u8; 4] = b"PBRG";
 const RACE_MAGIC: &[u8; 4] = b"PBRC";
@@ -619,7 +624,9 @@ impl MetaFile {
 }
 
 impl Pinball {
-    /// Serialises the whole pinball into one bundle buffer.
+    /// Serialises the whole pinball into one bundle buffer. The buffer
+    /// ends with an FNV-1a checksum over everything before it, so
+    /// [`Pinball::from_bytes`] rejects any corruption.
     pub fn to_bytes(&self) -> Vec<u8> {
         let meta_json = MetaFile {
             meta: self.meta.clone(),
@@ -627,7 +634,7 @@ impl Pinball {
         }
         .to_json()
         .render();
-        let mut w = Writer::with_header(BUNDLE_MAGIC, FORMAT_VERSION);
+        let mut w = Writer::with_header(BUNDLE_MAGIC, BUNDLE_VERSION);
         w.bytes(meta_json.as_bytes());
         w.bytes(&self.image.to_wire());
         w.u64(self.threads.len() as u64);
@@ -636,15 +643,35 @@ impl Pinball {
         }
         w.bytes(&self.races.to_wire());
         w.bytes(&lazy_to_wire(&self.lazy_pages));
-        w.into_bytes()
+        let mut buf = w.into_bytes();
+        let sum = elfie_isa::fnv64(&buf);
+        buf.extend_from_slice(&sum.to_le_bytes());
+        buf
     }
 
     /// Deserialises a bundle produced by [`Pinball::to_bytes`].
     ///
     /// # Errors
-    /// Returns [`PinballError`] on malformed input.
+    /// Returns [`PinballError`] on malformed input. Thanks to the bundle
+    /// checksum, truncating the buffer or flipping any byte yields a
+    /// [`WireError`] — never a silently-wrong pinball.
     pub fn from_bytes(buf: &[u8]) -> Result<Pinball, PinballError> {
-        let mut r = Reader::with_header(buf, BUNDLE_MAGIC, FORMAT_VERSION)?;
+        // Validate the header against the full buffer first, so bad magic
+        // and bad version keep their precise errors; then peel off the
+        // trailing checksum and verify it before trusting any field.
+        Reader::with_header(buf, BUNDLE_MAGIC, BUNDLE_VERSION)?;
+        if buf.len() < 8 + 8 {
+            return Err(PinballError::Wire(WireError::Truncated {
+                need: 8 + 8,
+                have: buf.len(),
+            }));
+        }
+        let (body, tail) = buf.split_at(buf.len() - 8);
+        let sum = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if elfie_isa::fnv64(body) != sum {
+            return Err(PinballError::Wire(WireError::Corrupt("bundle checksum")));
+        }
+        let mut r = Reader::with_header(body, BUNDLE_MAGIC, BUNDLE_VERSION)?;
         let meta_json = r.bytes()?;
         let mf = MetaFile::parse(&meta_json)?;
         let image = MemoryImage::from_wire(&r.bytes()?)?;
@@ -655,6 +682,11 @@ impl Pinball {
         }
         let races = RaceLog::from_wire(&r.bytes()?)?;
         let lazy_pages = lazy_from_wire(&r.bytes()?)?;
+        if !r.is_exhausted() {
+            return Err(PinballError::Wire(WireError::Corrupt(
+                "trailing bundle bytes",
+            )));
+        }
         Ok(Pinball {
             meta: mf.meta,
             region: mf.region,

@@ -4,8 +4,8 @@
 //! image without loss.
 
 use elfie_pinball::{
-    MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo, RegionTrigger,
-    SyncPoint, SyscallEffect, ThreadRecord,
+    MemoryImage, PageRecord, Pinball, PinballError, PinballMeta, RaceLog, RegImage, RegionInfo,
+    RegionTrigger, SyncPoint, SyscallEffect, ThreadRecord,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -191,10 +191,28 @@ proptest! {
     }
 
     #[test]
-    fn truncated_bundles_never_panic(pb in arb_pinball(), cut in 0usize..4096) {
+    fn truncation_at_any_offset_is_a_wire_error(pb in arb_pinball(), cut in any::<u64>()) {
         let bytes = pb.to_bytes();
-        let cut = cut.min(bytes.len());
-        let _ = Pinball::from_bytes(&bytes[..cut]);
+        // Map the arbitrary cut onto a strict prefix of this bundle.
+        let cut = (cut % bytes.len() as u64) as usize;
+        match Pinball::from_bytes(&bytes[..cut]) {
+            Err(PinballError::Wire(_)) => {}
+            other => prop_assert!(false, "cut at {cut} gave {other:?}"),
+        }
+    }
+
+    #[test]
+    fn byte_flip_at_any_offset_is_a_wire_error(pb in arb_pinball(), at in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = pb.to_bytes();
+        let at = (at % bytes.len() as u64) as usize;
+        bytes[at] ^= 1 << bit;
+        // The trailing checksum makes every single-byte corruption —
+        // header, metadata, page payloads, the checksum itself — decode
+        // to a WireError rather than a silently different pinball.
+        match Pinball::from_bytes(&bytes) {
+            Err(PinballError::Wire(_)) => {}
+            other => prop_assert!(false, "flip at {at} bit {bit} gave {other:?}"),
+        }
     }
 }
 

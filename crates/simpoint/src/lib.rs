@@ -2,7 +2,7 @@
 //!
 //! SimPoint-style phase analysis and the PinPoints region-selection
 //! methodology: basic-block-vector profiling ([`bbv`]), random projection
-//! plus k-means clustering with BIC model selection ([`kmeans`]), and the
+//! plus k-means clustering with BIC model selection ([`mod@kmeans`]), and the
 //! region-selection driver with alternates, weights and the
 //! prediction-error/coverage arithmetic used to validate selections
 //! ([`pinpoints`]).

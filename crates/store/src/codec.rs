@@ -1,0 +1,307 @@
+//! A small self-contained blob codec: PackBits-style run-length encoding,
+//! optionally preceded by a byte-wise delta transform.
+//!
+//! The store holds 4 KiB page payloads, and checkpoint pages are highly
+//! compressible without any external library: zero-filled pages collapse
+//! to a couple of bytes under RLE, and pages holding counters, pointer
+//! tables or other slowly-varying data become long runs once each byte is
+//! replaced by its difference from the previous byte (the delta
+//! transform). [`compress`] tries every codec and keeps the smallest
+//! encoding, falling back to storing the bytes raw, so the compressed form
+//! is never larger than `raw + 0` bytes of payload.
+
+/// How a blob payload is encoded on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Bytes stored verbatim.
+    Raw,
+    /// PackBits run-length encoding of the bytes.
+    Rle,
+    /// PackBits run-length encoding of the byte-wise delta stream.
+    DeltaRle,
+}
+
+impl Codec {
+    /// The on-disk codec tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Codec::Raw => 0,
+            Codec::Rle => 1,
+            Codec::DeltaRle => 2,
+        }
+    }
+
+    /// Decodes an on-disk codec tag.
+    pub fn from_tag(tag: u8) -> Option<Codec> {
+        match tag {
+            0 => Some(Codec::Raw),
+            1 => Some(Codec::Rle),
+            2 => Some(Codec::DeltaRle),
+            _ => None,
+        }
+    }
+}
+
+/// Errors decoding a compressed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The codec tag byte is not one of the known codecs.
+    UnknownCodec(u8),
+    /// The RLE stream ended inside a run header or literal block.
+    TruncatedStream,
+    /// Decoding produced a different length than the header promised.
+    LengthMismatch {
+        /// Length the blob header recorded.
+        expect: usize,
+        /// Length the payload actually decoded to.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnknownCodec(t) => write!(f, "unknown codec tag {t}"),
+            CodecError::TruncatedStream => write!(f, "truncated RLE stream"),
+            CodecError::LengthMismatch { expect, got } => {
+                write!(f, "decoded {got} bytes, expected {expect}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte-wise delta transform: `d[0] = b[0]`, `d[i] = b[i] - b[i-1]`
+/// (wrapping). Turns slowly-varying data into long runs for RLE.
+fn delta_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut prev = 0u8;
+    for &b in data {
+        out.push(b.wrapping_sub(prev));
+        prev = b;
+    }
+    out
+}
+
+/// Inverse of [`delta_encode`].
+fn delta_decode(data: &mut [u8]) {
+    let mut prev = 0u8;
+    for b in data.iter_mut() {
+        *b = b.wrapping_add(prev);
+        prev = *b;
+    }
+}
+
+/// PackBits-style RLE: a control byte `c` followed by either `c + 1`
+/// literal bytes (`c <= 127`) or one byte to repeat `257 - c` times
+/// (`c >= 129`). The control value 128 is never emitted.
+fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        // Measure the run starting at i.
+        let mut run = 1;
+        while i + run < data.len() && data[i + run] == data[i] && run < 128 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push((257 - run) as u8);
+            out.push(data[i]);
+            i += run;
+            continue;
+        }
+        // Literal block: scan forward until a run of >= 3 begins (or 128
+        // literals are pending).
+        let start = i;
+        while i < data.len() && i - start < 128 {
+            let mut run = 1;
+            while i + run < data.len() && data[i + run] == data[i] && run < 3 {
+                run += 1;
+            }
+            if run >= 3 {
+                break;
+            }
+            i += 1;
+        }
+        out.push((i - start - 1) as u8);
+        out.extend_from_slice(&data[start..i]);
+    }
+    out
+}
+
+/// Inverse of [`rle_encode`].
+fn rle_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let c = data[i];
+        i += 1;
+        if c <= 127 {
+            let n = c as usize + 1;
+            if i + n > data.len() {
+                return Err(CodecError::TruncatedStream);
+            }
+            out.extend_from_slice(&data[i..i + n]);
+            i += n;
+        } else if c >= 129 {
+            let n = 257 - c as usize;
+            let Some(&b) = data.get(i) else {
+                return Err(CodecError::TruncatedStream);
+            };
+            i += 1;
+            out.extend(std::iter::repeat(b).take(n));
+        }
+        // c == 128 is a no-op (never emitted, tolerated on decode).
+    }
+    Ok(out)
+}
+
+/// Compresses `data`, returning the codec that won and its payload. The
+/// smallest of raw / RLE / delta+RLE is chosen, so the payload never
+/// exceeds `data.len()` bytes.
+pub fn compress(data: &[u8]) -> (Codec, Vec<u8>) {
+    let rle = rle_encode(data);
+    let delta_rle = rle_encode(&delta_encode(data));
+    let mut best = (Codec::Raw, data.len());
+    if rle.len() < best.1 {
+        best = (Codec::Rle, rle.len());
+    }
+    if delta_rle.len() < best.1 {
+        best = (Codec::DeltaRle, delta_rle.len());
+    }
+    match best.0 {
+        Codec::Raw => (Codec::Raw, data.to_vec()),
+        Codec::Rle => (Codec::Rle, rle),
+        Codec::DeltaRle => (Codec::DeltaRle, delta_rle),
+    }
+}
+
+/// Decompresses a payload produced by [`compress`].
+///
+/// # Errors
+/// Returns [`CodecError`] if the codec tag is unknown, the stream is
+/// malformed, or the decoded length differs from `raw_len`.
+pub fn decompress(codec: Codec, payload: &[u8], raw_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = match codec {
+        Codec::Raw => payload.to_vec(),
+        Codec::Rle => rle_decode(payload)?,
+        Codec::DeltaRle => {
+            let mut d = rle_decode(payload)?;
+            delta_decode(&mut d);
+            d
+        }
+    };
+    if out.len() != raw_len {
+        return Err(CodecError::LengthMismatch {
+            expect: raw_len,
+            got: out.len(),
+        });
+    }
+    out.shrink_to_fit();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) {
+        let (codec, payload) = compress(data);
+        let back = decompress(codec, &payload, data.len()).expect("decodes");
+        assert_eq!(back, data);
+        assert!(payload.len() <= data.len().max(1), "never expands");
+    }
+
+    #[test]
+    fn zero_page_collapses() {
+        let page = vec![0u8; 4096];
+        let (codec, payload) = compress(&page);
+        assert_ne!(codec, Codec::Raw);
+        assert!(payload.len() < 80, "zero page encoded in {}", payload.len());
+        roundtrip(&page);
+    }
+
+    #[test]
+    fn ramp_page_delta_compresses() {
+        // A byte ramp has no runs at all, but its delta stream is a
+        // constant 1 — the delta transform wins by orders of magnitude.
+        let page: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        let (codec, payload) = compress(&page);
+        assert_eq!(codec, Codec::DeltaRle);
+        assert!(payload.len() < 80, "ramp encoded in {}", payload.len());
+        roundtrip(&page);
+    }
+
+    #[test]
+    fn incompressible_data_stays_raw_sized() {
+        // A xorshift stream has essentially no runs either way.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut page = Vec::with_capacity(4096);
+        for _ in 0..512 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            page.extend_from_slice(&x.to_le_bytes());
+        }
+        let (_, payload) = compress(&page);
+        assert!(payload.len() <= page.len());
+        roundtrip(&page);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        roundtrip(&[]);
+        roundtrip(&[7]);
+        roundtrip(&[7, 7]);
+        roundtrip(&[7, 7, 7, 7, 7]);
+        roundtrip(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let (codec, payload) = compress(&[1, 2, 3, 4]);
+        assert!(matches!(
+            decompress(codec, &payload, 5),
+            Err(CodecError::LengthMismatch { expect: 5, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn truncated_rle_rejected() {
+        let (codec, payload) = compress(&[9u8; 300]);
+        assert_eq!(codec, Codec::Rle);
+        assert!(matches!(
+            decompress(codec, &payload[..payload.len() - 1], 300),
+            Err(CodecError::TruncatedStream | CodecError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(Codec::from_tag(3), None);
+        assert_eq!(Codec::from_tag(255), None);
+        for codec in [Codec::Raw, Codec::Rle, Codec::DeltaRle] {
+            assert_eq!(Codec::from_tag(codec.tag()), Some(codec));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn arbitrary_bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn runny_bytes_roundtrip(runs in proptest::collection::vec((any::<u8>(), 1usize..400), 0..12)) {
+            let mut data = Vec::new();
+            for (b, n) in runs {
+                data.extend(std::iter::repeat(b).take(n));
+            }
+            roundtrip(&data);
+        }
+    }
+}

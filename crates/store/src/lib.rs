@@ -1,0 +1,1033 @@
+//! # elfie-store
+//!
+//! A content-addressed checkpoint repository for pinballs and ELFies.
+//!
+//! The paper's fat pinballs (`-log:fat`) pre-load *every* mapped page into
+//! each region's memory image, so a PinPoints run over one workload
+//! produces dozens of checkpoints that are near-identical page for page.
+//! This crate erases that redundancy the way published checkpoint
+//! repositories (the SPEC CPU2017 PinPoints release) and deployable
+//! record/replay systems (rr's compacted traces) do: every memory-image
+//! page becomes a **blob** keyed by its content hash, deduplicated across
+//! regions and workloads, and compressed with a small self-contained
+//! RLE+delta codec ([`codec`]).
+//!
+//! On-disk layout under the store root:
+//!
+//! ```text
+//! blobs/<hh>/<hash16>.blob   compressed chunk, addressed by content hash
+//! objects/<id16>.mf          versioned manifest (elfie_pinball::wire)
+//! refs/<name>                human name -> manifest id
+//! ```
+//!
+//! A **manifest** describes one stored object: a pinball (a page-stripped
+//! skeleton blob plus a page table of `(addr, perm, blob)` entries) or a
+//! byte stream such as an ELFie image (an ordered chunk list). Manifests
+//! are themselves content-addressed — the object id is the hash of the
+//! manifest bytes — so [`Store::verify`] can detect any flipped byte in
+//! the repository, and [`Store::gc`] is a straightforward mark-and-sweep
+//! from the refs.
+//!
+//! ```
+//! use elfie_store::Store;
+//! # let dir = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let store = Store::open(&dir).unwrap();
+//! store.put_elfie("demo", b"\x7fELF...image bytes...").unwrap();
+//! assert_eq!(store.get_elfie("demo").unwrap(), b"\x7fELF...image bytes...");
+//! assert!(store.verify().unwrap().is_ok());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod codec;
+pub mod profiles;
+
+use codec::{Codec, CodecError};
+use elfie_pinball::wire::{Reader, WireError, Writer};
+use elfie_pinball::{MemoryImage, PageRecord, Pinball, PinballError};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+const BLOB_MAGIC: &[u8; 4] = b"ESBL";
+const MANIFEST_MAGIC: &[u8; 4] = b"ESMF";
+
+/// Format version of blob files and manifests.
+pub const STORE_VERSION: u32 = 1;
+
+/// Chunk size for byte-stream objects, matching the page dedup unit.
+pub const CHUNK_SIZE: usize = 4096;
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A blob or manifest failed to decode.
+    Wire(WireError),
+    /// A compressed payload failed to decode.
+    Codec(CodecError),
+    /// Content failed an integrity check (hash mismatch, bad layout).
+    Corrupt(String),
+    /// No object under the given name.
+    NotFound(String),
+    /// A stored pinball skeleton failed to decode.
+    Pinball(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Wire(e) => write!(f, "wire error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Corrupt(s) => write!(f, "corrupt store: {s}"),
+            StoreError::NotFound(s) => write!(f, "no such object: {s}"),
+            StoreError::Pinball(s) => write!(f, "pinball decode: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<WireError> for StoreError {
+    fn from(e: WireError) -> Self {
+        StoreError::Wire(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<PinballError> for StoreError {
+    fn from(e: PinballError) -> Self {
+        StoreError::Pinball(e.to_string())
+    }
+}
+
+/// What kind of object a manifest describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// A pinball: skeleton blob + page table.
+    Pinball,
+    /// An ELFie image: ordered chunk list.
+    Elfie,
+    /// An uninterpreted byte stream (cached artifacts, profiles).
+    Raw,
+}
+
+impl ObjectKind {
+    fn tag(self) -> u8 {
+        match self {
+            ObjectKind::Pinball => 0,
+            ObjectKind::Elfie => 1,
+            ObjectKind::Raw => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<ObjectKind> {
+        match tag {
+            0 => Some(ObjectKind::Pinball),
+            1 => Some(ObjectKind::Elfie),
+            2 => Some(ObjectKind::Raw),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectKind::Pinball => write!(f, "pinball"),
+            ObjectKind::Elfie => write!(f, "elfie"),
+            ObjectKind::Raw => write!(f, "raw"),
+        }
+    }
+}
+
+/// Identity of a stored object: the content hash of its manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// A page-table entry of a stored pinball manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PageRef {
+    addr: u64,
+    perm: u8,
+    blob: u64,
+}
+
+/// One chunk of a stored byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkRef {
+    blob: u64,
+    len: u64,
+}
+
+/// The decoded form of a manifest.
+#[derive(Debug, Clone)]
+struct Manifest {
+    kind: ObjectKind,
+    name: String,
+    /// Uncompressed logical size of the object in bytes.
+    logical: u64,
+    /// Pinball only: blob holding the page-stripped bundle, and its length.
+    skeleton: Option<(u64, u64)>,
+    /// Pinball only: memory-image then lazy page tables.
+    image_pages: Vec<PageRef>,
+    lazy_pages: Vec<PageRef>,
+    /// Byte-stream only: ordered chunks.
+    chunks: Vec<ChunkRef>,
+}
+
+impl Manifest {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_header(MANIFEST_MAGIC, STORE_VERSION);
+        w.u8(self.kind.tag());
+        w.string(&self.name);
+        w.u64(self.logical);
+        match self.kind {
+            ObjectKind::Pinball => {
+                let (skel, skel_len) = self.skeleton.expect("pinball manifest has skeleton");
+                w.u64(skel);
+                w.u64(skel_len);
+                for table in [&self.image_pages, &self.lazy_pages] {
+                    w.u64(table.len() as u64);
+                    for p in table {
+                        w.u64(p.addr);
+                        w.u8(p.perm);
+                        w.u64(p.blob);
+                    }
+                }
+            }
+            ObjectKind::Elfie | ObjectKind::Raw => {
+                w.u64(self.chunks.len() as u64);
+                for c in &self.chunks {
+                    w.u64(c.blob);
+                    w.u64(c.len);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn from_bytes(buf: &[u8]) -> Result<Manifest, StoreError> {
+        let mut r = Reader::with_header(buf, MANIFEST_MAGIC, STORE_VERSION)?;
+        let kind = ObjectKind::from_tag(r.u8()?)
+            .ok_or_else(|| StoreError::Corrupt("unknown object kind".into()))?;
+        let name = r.string()?;
+        let logical = r.u64()?;
+        let mut m = Manifest {
+            kind,
+            name,
+            logical,
+            skeleton: None,
+            image_pages: Vec::new(),
+            lazy_pages: Vec::new(),
+            chunks: Vec::new(),
+        };
+        match kind {
+            ObjectKind::Pinball => {
+                m.skeleton = Some((r.u64()?, r.u64()?));
+                let read_table = |r: &mut Reader| -> Result<Vec<PageRef>, StoreError> {
+                    let n = r.u64()?;
+                    let mut table = Vec::with_capacity(n.min(1 << 20) as usize);
+                    for _ in 0..n {
+                        table.push(PageRef {
+                            addr: r.u64()?,
+                            perm: r.u8()?,
+                            blob: r.u64()?,
+                        });
+                    }
+                    Ok(table)
+                };
+                m.image_pages = read_table(&mut r)?;
+                m.lazy_pages = read_table(&mut r)?;
+            }
+            ObjectKind::Elfie | ObjectKind::Raw => {
+                let n = r.u64()?;
+                for _ in 0..n {
+                    m.chunks.push(ChunkRef {
+                        blob: r.u64()?,
+                        len: r.u64()?,
+                    });
+                }
+            }
+        }
+        if !r.is_exhausted() {
+            return Err(StoreError::Corrupt("trailing manifest bytes".into()));
+        }
+        Ok(m)
+    }
+
+    /// Every blob hash this manifest references.
+    fn blob_refs(&self) -> impl Iterator<Item = u64> + '_ {
+        self.skeleton
+            .iter()
+            .map(|&(h, _)| h)
+            .chain(self.image_pages.iter().map(|p| p.blob))
+            .chain(self.lazy_pages.iter().map(|p| p.blob))
+            .chain(self.chunks.iter().map(|c| c.blob))
+    }
+}
+
+/// One listed object (see [`Store::list`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefEntry {
+    /// The ref name.
+    pub name: String,
+    /// Object kind.
+    pub kind: ObjectKind,
+    /// Manifest id.
+    pub id: ObjectId,
+    /// Uncompressed logical size in bytes.
+    pub logical_bytes: u64,
+    /// Number of blobs the object references (with repetition).
+    pub blobs: usize,
+}
+
+/// Outcome of [`Store::verify`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Blobs checked (decompressed and re-hashed).
+    pub blobs_checked: usize,
+    /// Manifests checked.
+    pub objects_checked: usize,
+    /// Refs resolved.
+    pub refs_checked: usize,
+    /// Every integrity violation found, as human-readable lines.
+    pub errors: Vec<String>,
+}
+
+impl VerifyReport {
+    /// True when no corruption was found.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verified {} blob(s), {} object(s), {} ref(s): ",
+            self.blobs_checked, self.objects_checked, self.refs_checked
+        )?;
+        if self.errors.is_empty() {
+            write!(f, "clean")
+        } else {
+            writeln!(f, "{} error(s)", self.errors.len())?;
+            for e in &self.errors {
+                writeln!(f, "  {e}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Outcome of [`Store::gc`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Unreferenced manifests removed.
+    pub manifests_removed: usize,
+    /// Unreferenced blobs removed.
+    pub blobs_removed: usize,
+    /// Physical bytes reclaimed.
+    pub bytes_freed: u64,
+}
+
+impl fmt::Display for GcReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gc: removed {} manifest(s), {} blob(s), freed {} bytes",
+            self.manifests_removed, self.blobs_removed, self.bytes_freed
+        )
+    }
+}
+
+/// Space accounting over the whole store (see [`Store::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live objects (refs).
+    pub objects: usize,
+    /// Unique blobs on disk.
+    pub blobs: usize,
+    /// Sum of object logical sizes — what the objects would occupy stored
+    /// naively, uncompressed and without dedup.
+    pub logical_bytes: u64,
+    /// Sum of unique blob *uncompressed* sizes — logical minus dedup.
+    pub unique_bytes: u64,
+    /// Sum of blob payloads on disk — unique minus compression.
+    pub physical_bytes: u64,
+}
+
+impl StoreStats {
+    /// Cross-object redundancy erased by content addressing
+    /// (`logical / unique`); `> 1.0` means dedup is saving space.
+    pub fn dedup_ratio(&self) -> f64 {
+        self.logical_bytes as f64 / self.unique_bytes.max(1) as f64
+    }
+
+    /// Space saved by the codec on the unique data (`unique / physical`).
+    pub fn compression_ratio(&self) -> f64 {
+        self.unique_bytes as f64 / self.physical_bytes.max(1) as f64
+    }
+
+    /// End-to-end ratio (`logical / physical`).
+    pub fn total_ratio(&self) -> f64 {
+        self.logical_bytes as f64 / self.physical_bytes.max(1) as f64
+    }
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "objects: {}   blobs: {}", self.objects, self.blobs)?;
+        writeln!(
+            f,
+            "logical bytes:  {:>12}\nunique bytes:   {:>12}\nphysical bytes: {:>12}",
+            self.logical_bytes, self.unique_bytes, self.physical_bytes
+        )?;
+        write!(
+            f,
+            "dedup {:.2}x * compression {:.2}x = {:.2}x overall",
+            self.dedup_ratio(),
+            self.compression_ratio(),
+            self.total_ratio()
+        )
+    }
+}
+
+/// A content-addressed blob store rooted at a directory.
+///
+/// The store is `Sync`: all state lives on disk, blob writes are
+/// idempotent (a blob's name is its content hash) and performed via
+/// temp-file + rename, so concurrent `put`s — e.g. from the parallel
+/// validation engine's workers — are safe.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] if the directories cannot be created.
+    pub fn open(root: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("blobs"))?;
+        std::fs::create_dir_all(root.join("objects"))?;
+        std::fs::create_dir_all(root.join("refs"))?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn blob_path(&self, hash: u64) -> PathBuf {
+        let hex = format!("{hash:016x}");
+        self.root.join("blobs").join(&hex[..2]).join(hex + ".blob")
+    }
+
+    fn object_path(&self, id: ObjectId) -> PathBuf {
+        self.root.join("objects").join(format!("{id}.mf"))
+    }
+
+    fn ref_path(&self, name: &str) -> Result<PathBuf, StoreError> {
+        if name.is_empty() || name.contains('/') || name.contains("..") {
+            return Err(StoreError::Corrupt(format!("invalid ref name `{name}`")));
+        }
+        Ok(self.root.join("refs").join(name))
+    }
+
+    /// Stores `data` as a blob, returning its content hash. Writing an
+    /// already-present blob is a no-op (that *is* the dedup).
+    fn put_blob(&self, data: &[u8]) -> Result<u64, StoreError> {
+        let hash = elfie_isa::fnv64(data);
+        let path = self.blob_path(hash);
+        if path.exists() {
+            return Ok(hash);
+        }
+        let (codec, payload) = codec::compress(data);
+        let mut w = Writer::with_header(BLOB_MAGIC, STORE_VERSION);
+        w.u8(codec.tag());
+        w.u64(data.len() as u64);
+        w.bytes(&payload);
+        self.write_atomic(&path, &w.into_bytes())?;
+        Ok(hash)
+    }
+
+    /// Reads and decompresses the blob stored under `hash`, verifying the
+    /// content hash on the way out.
+    fn get_blob(&self, hash: u64) -> Result<Vec<u8>, StoreError> {
+        let path = self.blob_path(hash);
+        let raw = std::fs::read(&path)
+            .map_err(|_| StoreError::NotFound(format!("blob {hash:016x} ({})", path.display())))?;
+        let data = decode_blob(&raw)?;
+        if elfie_isa::fnv64(&data) != hash {
+            return Err(StoreError::Corrupt(format!(
+                "blob {hash:016x} content hash mismatch"
+            )));
+        }
+        Ok(data)
+    }
+
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        let parent = path.parent().expect("store paths have parents");
+        std::fs::create_dir_all(parent)?;
+        let tmp = parent.join(format!(
+            ".tmp-{}-{:x}",
+            std::process::id(),
+            elfie_isa::fnv64(bytes)
+        ));
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    fn put_manifest(&self, manifest: &Manifest) -> Result<ObjectId, StoreError> {
+        let bytes = manifest.to_bytes();
+        let id = ObjectId(elfie_isa::fnv64(&bytes));
+        let path = self.object_path(id);
+        if !path.exists() {
+            self.write_atomic(&path, &bytes)?;
+        }
+        self.write_atomic(
+            &self.ref_path(&manifest.name)?,
+            format!("{id}\n").as_bytes(),
+        )?;
+        Ok(id)
+    }
+
+    /// Resolves a ref name to its manifest.
+    fn manifest(&self, name: &str) -> Result<(ObjectId, Manifest), StoreError> {
+        let text = std::fs::read_to_string(self.ref_path(name)?)
+            .map_err(|_| StoreError::NotFound(name.to_string()))?;
+        let id = ObjectId(
+            u64::from_str_radix(text.trim(), 16)
+                .map_err(|_| StoreError::Corrupt(format!("ref `{name}` is not a hex id")))?,
+        );
+        let bytes = std::fs::read(self.object_path(id))
+            .map_err(|_| StoreError::Corrupt(format!("ref `{name}` points at missing {id}")))?;
+        if ObjectId(elfie_isa::fnv64(&bytes)) != id {
+            return Err(StoreError::Corrupt(format!("manifest {id} hash mismatch")));
+        }
+        Ok((id, Manifest::from_bytes(&bytes)?))
+    }
+
+    /// Stores a pinball under `name`: each memory-image and lazy page
+    /// becomes a deduplicated blob, the page-stripped remainder (metadata,
+    /// registers, syscall log, race log) becomes the skeleton blob.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failures.
+    pub fn put_pinball(&self, name: &str, pinball: &Pinball) -> Result<ObjectId, StoreError> {
+        let mut image_pages = Vec::with_capacity(pinball.image.pages.len());
+        let mut lazy_pages = Vec::with_capacity(pinball.lazy_pages.len());
+        let mut logical = 0u64;
+        for (table, out) in [
+            (&pinball.image.pages, &mut image_pages),
+            (&pinball.lazy_pages, &mut lazy_pages),
+        ] {
+            for (&addr, page) in table.iter() {
+                logical += page.data.len() as u64;
+                out.push(PageRef {
+                    addr,
+                    perm: page.perm,
+                    blob: self.put_blob(&page.data)?,
+                });
+            }
+        }
+        let skeleton = Pinball {
+            meta: pinball.meta.clone(),
+            region: pinball.region.clone(),
+            image: MemoryImage::new(),
+            threads: pinball.threads.clone(),
+            races: pinball.races.clone(),
+            lazy_pages: BTreeMap::new(),
+        }
+        .to_bytes();
+        logical += skeleton.len() as u64;
+        let skeleton_len = skeleton.len() as u64;
+        let skeleton_blob = self.put_blob(&skeleton)?;
+        self.put_manifest(&Manifest {
+            kind: ObjectKind::Pinball,
+            name: name.to_string(),
+            logical,
+            skeleton: Some((skeleton_blob, skeleton_len)),
+            image_pages,
+            lazy_pages,
+            chunks: Vec::new(),
+        })
+    }
+
+    /// Loads the pinball stored under `name`, bit-identical to what
+    /// [`Store::put_pinball`] was given.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] on integrity violations.
+    pub fn get_pinball(&self, name: &str) -> Result<Pinball, StoreError> {
+        let (_, m) = self.manifest(name)?;
+        if m.kind != ObjectKind::Pinball {
+            return Err(StoreError::Corrupt(format!(
+                "`{name}` is a {} object, not a pinball",
+                m.kind
+            )));
+        }
+        let (skel_hash, _) = m.skeleton.ok_or_else(|| {
+            StoreError::Corrupt(format!("pinball manifest `{name}` lacks a skeleton"))
+        })?;
+        let mut pinball = Pinball::from_bytes(&self.get_blob(skel_hash)?)?;
+        for (refs, table) in [
+            (&m.image_pages, &mut pinball.image.pages),
+            (&m.lazy_pages, &mut pinball.lazy_pages),
+        ] {
+            for p in refs {
+                table.insert(
+                    p.addr,
+                    PageRecord {
+                        perm: p.perm,
+                        data: self.get_blob(p.blob)?,
+                    },
+                );
+            }
+        }
+        Ok(pinball)
+    }
+
+    /// Stores a byte stream under `name` as 4 KiB chunks.
+    fn put_stream(
+        &self,
+        kind: ObjectKind,
+        name: &str,
+        bytes: &[u8],
+    ) -> Result<ObjectId, StoreError> {
+        let mut chunks = Vec::with_capacity(bytes.len().div_ceil(CHUNK_SIZE));
+        for chunk in bytes.chunks(CHUNK_SIZE.max(1)) {
+            chunks.push(ChunkRef {
+                blob: self.put_blob(chunk)?,
+                len: chunk.len() as u64,
+            });
+        }
+        self.put_manifest(&Manifest {
+            kind,
+            name: name.to_string(),
+            logical: bytes.len() as u64,
+            skeleton: None,
+            image_pages: Vec::new(),
+            lazy_pages: Vec::new(),
+            chunks,
+        })
+    }
+
+    /// Loads a byte stream stored by [`Store::put_elfie`]/[`Store::put_raw`].
+    fn get_stream(&self, name: &str) -> Result<(ObjectKind, Vec<u8>), StoreError> {
+        let (_, m) = self.manifest(name)?;
+        if m.kind == ObjectKind::Pinball {
+            return Err(StoreError::Corrupt(format!(
+                "`{name}` is a pinball, not a byte stream"
+            )));
+        }
+        let mut out = Vec::with_capacity(m.logical as usize);
+        for c in &m.chunks {
+            let data = self.get_blob(c.blob)?;
+            if data.len() as u64 != c.len {
+                return Err(StoreError::Corrupt(format!(
+                    "chunk of `{name}` has length {} but manifest says {}",
+                    data.len(),
+                    c.len
+                )));
+            }
+            out.extend_from_slice(&data);
+        }
+        Ok((m.kind, out))
+    }
+
+    /// Stores an ELFie image (or any file) under `name`, chunked and
+    /// deduplicated at page granularity.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failures.
+    pub fn put_elfie(&self, name: &str, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        self.put_stream(ObjectKind::Elfie, name, bytes)
+    }
+
+    /// Loads the ELFie image stored under `name`, bit-identical to what
+    /// [`Store::put_elfie`] was given.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] on integrity violations.
+    pub fn get_elfie(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        Ok(self.get_stream(name)?.1)
+    }
+
+    /// Stores an uninterpreted byte stream (e.g. a serialised BBV
+    /// profile) under `name`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failures.
+    pub fn put_raw(&self, name: &str, bytes: &[u8]) -> Result<ObjectId, StoreError> {
+        self.put_stream(ObjectKind::Raw, name, bytes)
+    }
+
+    /// Loads a byte stream stored under `name`.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] on integrity violations.
+    pub fn get_raw(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        Ok(self.get_stream(name)?.1)
+    }
+
+    /// True when an object named `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.ref_path(name).map(|p| p.exists()).unwrap_or(false)
+    }
+
+    /// Drops the ref `name`. The manifest and blobs stay on disk until
+    /// [`Store::gc`] sweeps whatever became unreachable. Returns whether
+    /// the ref existed.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn remove(&self, name: &str) -> Result<bool, StoreError> {
+        let path = self.ref_path(name)?;
+        if !path.exists() {
+            return Ok(false);
+        }
+        std::fs::remove_file(path)?;
+        Ok(true)
+    }
+
+    /// Lists every live object (ref), sorted by name.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] if a ref or manifest cannot be read.
+    pub fn list(&self) -> Result<Vec<RefEntry>, StoreError> {
+        let mut out = Vec::new();
+        for name in self.ref_names()? {
+            let (id, m) = self.manifest(&name)?;
+            out.push(RefEntry {
+                name,
+                kind: m.kind,
+                id,
+                logical_bytes: m.logical,
+                blobs: m.blob_refs().count(),
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
+    }
+
+    fn ref_names(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("refs"))? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn all_blob_files(&self) -> Result<Vec<(u64, PathBuf, u64)>, StoreError> {
+        let mut out = Vec::new();
+        let blobs = self.root.join("blobs");
+        for shard in std::fs::read_dir(&blobs)? {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let file_name = entry.file_name().to_string_lossy().into_owned();
+                let Some(hex) = file_name.strip_suffix(".blob") else {
+                    continue;
+                };
+                let Ok(hash) = u64::from_str_radix(hex, 16) else {
+                    continue;
+                };
+                out.push((hash, entry.path(), entry.metadata()?.len()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn all_manifest_files(&self) -> Result<Vec<(ObjectId, PathBuf)>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(self.root.join("objects"))? {
+            let entry = entry?;
+            let file_name = entry.file_name().to_string_lossy().into_owned();
+            let Some(hex) = file_name.strip_suffix(".mf") else {
+                continue;
+            };
+            let Ok(id) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            out.push((ObjectId(id), entry.path()));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Checks every ref, manifest and blob in the store: manifest ids must
+    /// match their content, every referenced blob must exist, and every
+    /// blob must decompress to bytes whose hash matches its name — so any
+    /// single flipped byte anywhere in the repository is detected.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::Io`] only on filesystem failures; integrity
+    /// violations are collected in the report instead.
+    pub fn verify(&self) -> Result<VerifyReport, StoreError> {
+        let mut report = VerifyReport::default();
+        let blobs = self.all_blob_files()?;
+        let on_disk: BTreeSet<u64> = blobs.iter().map(|&(h, _, _)| h).collect();
+        for (hash, path, _) in &blobs {
+            report.blobs_checked += 1;
+            let check = || -> Result<(), StoreError> {
+                let data = decode_blob(&std::fs::read(path)?)?;
+                if elfie_isa::fnv64(&data) != *hash {
+                    return Err(StoreError::Corrupt("content hash mismatch".into()));
+                }
+                Ok(())
+            };
+            if let Err(e) = check() {
+                report.errors.push(format!("blob {hash:016x}: {e}"));
+            }
+        }
+        for (id, path) in self.all_manifest_files()? {
+            report.objects_checked += 1;
+            let check = || -> Result<(), StoreError> {
+                let bytes = std::fs::read(&path)?;
+                if ObjectId(elfie_isa::fnv64(&bytes)) != id {
+                    return Err(StoreError::Corrupt("manifest hash mismatch".into()));
+                }
+                let m = Manifest::from_bytes(&bytes)?;
+                for blob in m.blob_refs() {
+                    if !on_disk.contains(&blob) {
+                        return Err(StoreError::Corrupt(format!(
+                            "references missing blob {blob:016x}"
+                        )));
+                    }
+                }
+                Ok(())
+            };
+            if let Err(e) = check() {
+                report.errors.push(format!("object {id}: {e}"));
+            }
+        }
+        for name in self.ref_names()? {
+            report.refs_checked += 1;
+            if let Err(e) = self.manifest(&name) {
+                report.errors.push(format!("ref {name}: {e}"));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Mark-and-sweep garbage collection: everything reachable from a ref
+    /// (its manifest and every blob that manifest references) is live;
+    /// unreachable manifests and blobs are deleted. A referenced blob is
+    /// therefore never collected.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] if a live ref or manifest cannot be read
+    /// (gc refuses to sweep when it cannot compute the full live set).
+    pub fn gc(&self) -> Result<GcReport, StoreError> {
+        // Mark.
+        let mut live_manifests = BTreeSet::new();
+        let mut live_blobs = BTreeSet::new();
+        for name in self.ref_names()? {
+            let (id, m) = self.manifest(&name)?;
+            live_manifests.insert(id);
+            live_blobs.extend(m.blob_refs());
+        }
+        // Sweep.
+        let mut report = GcReport::default();
+        for (id, path) in self.all_manifest_files()? {
+            if !live_manifests.contains(&id) {
+                report.bytes_freed += std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                std::fs::remove_file(&path)?;
+                report.manifests_removed += 1;
+            }
+        }
+        for (hash, path, size) in self.all_blob_files()? {
+            if !live_blobs.contains(&hash) {
+                std::fs::remove_file(&path)?;
+                report.blobs_removed += 1;
+                report.bytes_freed += size;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Space accounting: logical bytes (naive storage), unique bytes
+    /// (after dedup) and physical bytes (after compression), over the live
+    /// objects and all blobs on disk.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] if a ref, manifest or blob header cannot be
+    /// read.
+    pub fn stats(&self) -> Result<StoreStats, StoreError> {
+        let mut s = StoreStats::default();
+        for name in self.ref_names()? {
+            let (_, m) = self.manifest(&name)?;
+            s.objects += 1;
+            s.logical_bytes += m.logical;
+        }
+        for (_, path, size) in self.all_blob_files()? {
+            s.blobs += 1;
+            s.physical_bytes += size;
+            s.unique_bytes += blob_raw_len(&std::fs::read(&path)?)?;
+        }
+        Ok(s)
+    }
+}
+
+/// Decodes a blob file into its uncompressed payload.
+fn decode_blob(raw: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let mut r = Reader::with_header(raw, BLOB_MAGIC, STORE_VERSION)?;
+    let tag = r.u8()?;
+    let codec = Codec::from_tag(tag).ok_or(StoreError::Codec(CodecError::UnknownCodec(tag)))?;
+    let raw_len = r.u64()? as usize;
+    let payload = r.bytes()?;
+    if !r.is_exhausted() {
+        return Err(StoreError::Corrupt("trailing blob bytes".into()));
+    }
+    Ok(codec::decompress(codec, &payload, raw_len)?)
+}
+
+/// Reads just the uncompressed length from a blob file header.
+fn blob_raw_len(raw: &[u8]) -> Result<u64, StoreError> {
+    let mut r = Reader::with_header(raw, BLOB_MAGIC, STORE_VERSION)?;
+    let _codec = r.u8()?;
+    Ok(r.u64()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("elfie-store-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn raw_stream_roundtrip_and_dedup() {
+        let dir = tmp("raw");
+        let store = Store::open(&dir).unwrap();
+        // Two objects sharing three of four chunks.
+        let mut a = vec![0u8; 4 * CHUNK_SIZE];
+        a[CHUNK_SIZE] = 1;
+        let mut b = a.clone();
+        b[3 * CHUNK_SIZE] = 2;
+        store.put_raw("a", &a).unwrap();
+        store.put_raw("b", &b).unwrap();
+        assert_eq!(store.get_raw("a").unwrap(), a);
+        assert_eq!(store.get_raw("b").unwrap(), b);
+        let s = store.stats().unwrap();
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.logical_bytes, 8 * CHUNK_SIZE as u64);
+        assert!(s.unique_bytes < s.logical_bytes, "chunks dedup");
+        assert!(s.physical_bytes < s.unique_bytes, "zero pages compress");
+        assert!(s.dedup_ratio() > 1.0 && s.compression_ratio() > 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchunked_tail_preserved() {
+        let dir = tmp("tail");
+        let store = Store::open(&dir).unwrap();
+        let data: Vec<u8> = (0..CHUNK_SIZE + 37).map(|i| i as u8).collect();
+        store.put_elfie("tail", &data).unwrap();
+        assert_eq!(store.get_elfie("tail").unwrap(), data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_object_reports_not_found() {
+        let dir = tmp("missing");
+        let store = Store::open(&dir).unwrap();
+        assert!(matches!(
+            store.get_raw("nope"),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(!store.contains("nope"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kind_confusion_rejected() {
+        let dir = tmp("kind");
+        let store = Store::open(&dir).unwrap();
+        store.put_elfie("stream", b"not a pinball").unwrap();
+        assert!(matches!(
+            store.get_pinball("stream"),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ref_names_are_sanitised() {
+        let dir = tmp("names");
+        let store = Store::open(&dir).unwrap();
+        assert!(store.put_raw("../escape", b"x").is_err());
+        assert!(store.put_raw("a/b", b"x").is_err());
+        assert!(store.put_raw("", b"x").is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwriting_a_ref_and_gc_reclaims_old_blobs() {
+        let dir = tmp("overwrite");
+        let store = Store::open(&dir).unwrap();
+        store.put_raw("x", &[1u8; 1000]).unwrap();
+        store.put_raw("x", &[2u8; 1000]).unwrap();
+        assert_eq!(store.get_raw("x").unwrap(), vec![2u8; 1000]);
+        let report = store.gc().unwrap();
+        assert_eq!(report.manifests_removed, 1, "old manifest swept");
+        assert_eq!(report.blobs_removed, 1, "old blob swept");
+        assert_eq!(store.get_raw("x").unwrap(), vec![2u8; 1000]);
+        assert!(store.verify().unwrap().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn list_reports_live_objects() {
+        let dir = tmp("list");
+        let store = Store::open(&dir).unwrap();
+        store.put_raw("beta", &[0u8; 100]).unwrap();
+        store.put_elfie("alpha", &[1u8; 5000]).unwrap();
+        let ls = store.list().unwrap();
+        assert_eq!(ls.len(), 2);
+        assert_eq!(ls[0].name, "alpha");
+        assert_eq!(ls[0].kind, ObjectKind::Elfie);
+        assert_eq!(ls[0].logical_bytes, 5000);
+        assert_eq!(ls[0].blobs, 2);
+        assert_eq!(ls[1].name, "beta");
+        assert_eq!(ls[1].kind, ObjectKind::Raw);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,94 @@
+//! Wire serialisation for [`BbvProfile`], so the persistent pipeline
+//! cache can keep profiling results across process runs.
+
+use elfie_pinball::wire::{Reader, WireError, Writer};
+use elfie_simpoint::{Bbv, BbvProfile};
+
+const PROFILE_MAGIC: &[u8; 4] = b"ESPF";
+const PROFILE_VERSION: u32 = 1;
+
+/// Serialises a BBV profile into a self-describing wire buffer.
+pub fn to_bytes(profile: &BbvProfile) -> Vec<u8> {
+    let mut w = Writer::with_header(PROFILE_MAGIC, PROFILE_VERSION);
+    w.u64(profile.slice_size);
+    w.u64(profile.total_insns);
+    w.u64(profile.slices.len() as u64);
+    for slice in &profile.slices {
+        w.u64(slice.len() as u64);
+        for (&pc, &count) in slice {
+            w.u64(pc);
+            w.u64(count);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`to_bytes`].
+///
+/// # Errors
+/// Returns [`WireError`] if the buffer is truncated, has trailing bytes,
+/// or carries an unknown magic/version.
+pub fn from_bytes(buf: &[u8]) -> Result<BbvProfile, WireError> {
+    let mut r = Reader::with_header(buf, PROFILE_MAGIC, PROFILE_VERSION)?;
+    let slice_size = r.u64()?;
+    let total_insns = r.u64()?;
+    let n_slices = r.u64()?;
+    let mut slices = Vec::with_capacity(n_slices.min(1 << 20) as usize);
+    for _ in 0..n_slices {
+        let n = r.u64()?;
+        let mut slice = Bbv::new();
+        for _ in 0..n {
+            let pc = r.u64()?;
+            let count = r.u64()?;
+            slice.insert(pc, count);
+        }
+        slices.push(slice);
+    }
+    if !r.is_exhausted() {
+        return Err(WireError::Corrupt("trailing profile bytes"));
+    }
+    Ok(BbvProfile {
+        slice_size,
+        slices,
+        total_insns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BbvProfile {
+        let mut a = Bbv::new();
+        a.insert(0x1000, 17);
+        a.insert(0x1040, 3);
+        let mut b = Bbv::new();
+        b.insert(0x2000, 99);
+        BbvProfile {
+            slice_size: 10_000,
+            slices: vec![a, b, Bbv::new()],
+            total_insns: 23_456,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let p = sample();
+        let back = from_bytes(&to_bytes(&p)).unwrap();
+        assert_eq!(back.slice_size, p.slice_size);
+        assert_eq!(back.total_insns, p.total_insns);
+        assert_eq!(back.slices, p.slices);
+        assert_eq!(back.fingerprint(), p.fingerprint());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&sample());
+        assert!(from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(WireError::Corrupt("trailing profile bytes"))
+        ));
+    }
+}

@@ -1,0 +1,231 @@
+//! Integration tests for the content-addressed store: bit-identical
+//! round-trips (property-tested), corruption detection, and gc safety.
+
+use elfie_pinball::{
+    MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo, RegionTrigger,
+    ThreadRecord,
+};
+use elfie_store::{ObjectKind, Store};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const PAGE: usize = 4096;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("elfie-store-it-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// Deterministic page payload from a seed: seed 0 is a zero page (the
+/// common fat-pinball case), other seeds are xorshift noise.
+fn page(seed: u64, perm: u8) -> PageRecord {
+    let mut data = vec![0u8; PAGE];
+    if seed != 0 {
+        let mut x = seed;
+        for chunk in data.chunks_mut(8) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+    }
+    PageRecord { perm, data }
+}
+
+/// A synthetic fat pinball whose image pages come from `page_seeds`.
+fn make_pinball(name: &str, page_seeds: &[u64]) -> Pinball {
+    let mut image = MemoryImage::new();
+    for (i, &seed) in page_seeds.iter().enumerate() {
+        image
+            .pages
+            .insert(0x40_0000 + (i * PAGE) as u64, page(seed, 0b101));
+    }
+    let mut lazy_pages = BTreeMap::new();
+    lazy_pages.insert(
+        0x7f00_0000u64,
+        page(page_seeds.first().copied().unwrap_or(0), 0b011),
+    );
+    let mut regs = RegImage {
+        gpr: [0; 16],
+        rip: 0x40_0010,
+        rflags: 0x202,
+        fs_base: 0x7000,
+        gs_base: 0,
+        xsave: vec![0xa5; elfie_isa::XSAVE_AREA_SIZE],
+    };
+    regs.gpr[4] = 0x7fff_f000;
+    Pinball {
+        meta: PinballMeta {
+            name: name.to_string(),
+            fat: true,
+            arch: "elfie-isa-v1".into(),
+            brk: 0x60_0000,
+            brk_start: 0x60_0000,
+            cwd: "/work".into(),
+        },
+        region: RegionInfo {
+            name: format!("{name}.0"),
+            trigger: RegionTrigger::GlobalIcount(10_000),
+            length: 50_000,
+            thread_icounts: BTreeMap::from([(0, 10_000)]),
+            warmup: 1_000,
+            weight: 1.0,
+            slice_index: 0,
+        },
+        image,
+        threads: vec![ThreadRecord {
+            tid: 0,
+            regs,
+            syscalls: Vec::new(),
+            spawned: false,
+        }],
+        races: RaceLog::default(),
+        lazy_pages,
+    }
+}
+
+#[test]
+fn pinball_roundtrip_is_bit_identical() {
+    let dir = tmp("pb-rt");
+    let store = Store::open(&dir).unwrap();
+    let pb = make_pinball("r0", &[0, 0, 1, 2, 0]);
+    store.put_pinball("r0", &pb).unwrap();
+    let back = store.get_pinball("r0").unwrap();
+    assert_eq!(back.to_bytes(), pb.to_bytes(), "bit-identical bundle");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fat_regions_of_one_workload_dedup() {
+    let dir = tmp("dedup");
+    let store = Store::open(&dir).unwrap();
+    // Three regions of the same workload: identical address space, one
+    // private dirty page each — the fat-pinball redundancy pattern.
+    for (i, dirty) in [11u64, 22, 33].iter().enumerate() {
+        let pb = make_pinball(&format!("r{i}"), &[0, 0, 1, 2, *dirty]);
+        store.put_pinball(&format!("r{i}"), &pb).unwrap();
+    }
+    let s = store.stats().unwrap();
+    assert_eq!(s.objects, 3);
+    assert!(
+        s.dedup_ratio() > 1.5,
+        "shared pages should dedup, got {:.2}x",
+        s.dedup_ratio()
+    );
+    assert!(s.physical_bytes < s.logical_bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_catches_a_single_flipped_byte_in_any_blob() {
+    let dir = tmp("flip");
+    let store = Store::open(&dir).unwrap();
+    let pb = make_pinball("v0", &[0, 5, 6]);
+    store.put_pinball("v0", &pb).unwrap();
+    assert!(store.verify().unwrap().is_ok());
+
+    // Enumerate every blob file and flip one byte in each position class:
+    // for each blob, flip a byte somewhere in the middle and at the end.
+    let mut blob_files = Vec::new();
+    for shard in std::fs::read_dir(dir.join("blobs")).unwrap() {
+        for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+            blob_files.push(f.unwrap().path());
+        }
+    }
+    assert!(!blob_files.is_empty());
+    for path in &blob_files {
+        let orig = std::fs::read(path).unwrap();
+        for at in [0, orig.len() / 2, orig.len() - 1] {
+            let mut bad = orig.clone();
+            bad[at] ^= 0x40;
+            std::fs::write(path, &bad).unwrap();
+            let report = store.verify().unwrap();
+            assert!(
+                !report.is_ok(),
+                "flip at {at} of {} went undetected",
+                path.display()
+            );
+        }
+        std::fs::write(path, &orig).unwrap();
+    }
+    assert!(store.verify().unwrap().is_ok(), "restored store is clean");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_never_collects_a_referenced_blob() {
+    let dir = tmp("gc");
+    let store = Store::open(&dir).unwrap();
+    // Two pinballs share pages 0/1/2; each has a private page.
+    let keep = make_pinball("keep", &[0, 1, 2, 77]);
+    let drop_ = make_pinball("drop", &[0, 1, 2, 88]);
+    store.put_pinball("keep", &keep).unwrap();
+    store.put_pinball("drop", &drop_).unwrap();
+
+    // gc with both refs live must delete nothing.
+    let report = store.gc().unwrap();
+    assert_eq!((report.manifests_removed, report.blobs_removed), (0, 0));
+
+    // Dropping one ref frees only what the survivor does not reference.
+    assert!(store.remove("drop").unwrap());
+    let report = store.gc().unwrap();
+    assert_eq!(report.manifests_removed, 1);
+    assert!(report.blobs_removed >= 1, "private page swept");
+
+    // The survivor is intact, byte for byte, and the store verifies.
+    let back = store.get_pinball("keep").unwrap();
+    assert_eq!(back.to_bytes(), keep.to_bytes());
+    assert!(store.verify().unwrap().is_ok());
+    assert!(!store.contains("drop"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn elfie_bytes_roundtrip_and_list() {
+    let dir = tmp("elfie");
+    let store = Store::open(&dir).unwrap();
+    let image: Vec<u8> = b"\x7fELF"
+        .iter()
+        .copied()
+        .chain((0..20_000u32).map(|i| (i % 251) as u8))
+        .collect();
+    store.put_elfie("w.0.elfie", &image).unwrap();
+    assert_eq!(store.get_elfie("w.0.elfie").unwrap(), image);
+    let ls = store.list().unwrap();
+    assert_eq!(ls.len(), 1);
+    assert_eq!(ls[0].kind, ObjectKind::Elfie);
+    assert_eq!(ls[0].logical_bytes, image.len() as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_pinball_roundtrips_bit_identically(
+        seeds in proptest::collection::vec(any::<u64>(), 0..10),
+        salt in any::<u32>(),
+    ) {
+        let dir = tmp(&format!("prop-{salt:x}"));
+        let store = Store::open(&dir).unwrap();
+        let pb = make_pinball("p", &seeds);
+        store.put_pinball("p", &pb).unwrap();
+        let back = store.get_pinball("p").unwrap();
+        prop_assert_eq!(back.to_bytes(), pb.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn any_byte_stream_roundtrips_bit_identically(
+        data in proptest::collection::vec(any::<u8>(), 0..20_000),
+        salt in any::<u32>(),
+    ) {
+        let dir = tmp(&format!("prop-raw-{salt:x}"));
+        let store = Store::open(&dir).unwrap();
+        store.put_elfie("e", &data).unwrap();
+        prop_assert_eq!(store.get_elfie("e").unwrap(), data);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

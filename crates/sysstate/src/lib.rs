@@ -568,6 +568,101 @@ mod tests {
     }
 
     #[test]
+    fn extract_apply_roundtrip_with_named_and_inherited_descriptors() {
+        // One region, all three proxy kinds at once: an in-region open by
+        // path, a pre-region descriptor (FD_5), and a pair of brk calls —
+        // the full workdir/FD_n/BRK.log surface of the paper's SYSSTATE.
+        let image = image_with_string(0x402000, "trace.bin\0");
+        let pb = pinball_with_syscalls(
+            vec![
+                SyscallEffect {
+                    nr: nr::OPEN,
+                    args: [0x402000, 0, 0, 0, 0, 0],
+                    ret: 3,
+                    writes: vec![],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 4, 0, 0, 0],
+                    ret: 4,
+                    writes: vec![(0x5000, b"head".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [5, 0x5000, 6, 0, 0, 0],
+                    ret: 6,
+                    writes: vec![(0x5000, b"legacy".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x800_4000,
+                    writes: vec![],
+                },
+                SyscallEffect {
+                    nr: nr::READ,
+                    args: [3, 0x5000, 4, 0, 0, 0],
+                    ret: 4,
+                    writes: vec![(0x5000, b"tail".to_vec())],
+                },
+                SyscallEffect {
+                    nr: nr::BRK,
+                    args: [0; 6],
+                    ret: 0x800_9000,
+                    writes: vec![],
+                },
+            ],
+            image,
+        );
+        let st = SysState::extract(&pb);
+
+        // Proxy contents: sequential reads on the named file concatenate;
+        // the inherited descriptor gets its own FD_5 proxy.
+        assert_eq!(st.files["trace.bin"], b"headtail");
+        assert_eq!(st.fd_files[&5], b"legacy");
+        assert_eq!(st.brk_first, Some(0x800_4000));
+        assert_eq!(st.brk_last, Some(0x800_9000));
+
+        // Round-trip through the on-disk layout: BRK.log carries the
+        // bounds, workdir/ and FD_5 carry the payloads.
+        let dir = std::env::temp_dir().join(format!("sysstate-rt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        st.save_dir(&dir).expect("saves");
+        let brk_log = std::fs::read_to_string(dir.join("BRK.log")).expect("BRK.log");
+        assert!(brk_log.contains("first 0x8004000"), "{brk_log}");
+        assert!(brk_log.contains("last 0x8009000"), "{brk_log}");
+        assert_eq!(
+            std::fs::read(dir.join("workdir/trace.bin")).expect("proxy"),
+            b"headtail"
+        );
+        assert_eq!(std::fs::read(dir.join("FD_5")).expect("proxy"), b"legacy");
+        let loaded = SysState::load_dir(&dir).expect("loads");
+        assert_eq!(loaded.fd_files, st.fd_files);
+        assert_eq!(loaded.brk_first, st.brk_first);
+        assert_eq!(loaded.brk_last, st.brk_last);
+        assert_eq!(loaded.files["/trace.bin"], b"headtail");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Apply to a fresh machine: the ELFie re-execution must see the
+        // named file at its cwd-resolved path, descriptor 5 pre-opened on
+        // its proxy at offset zero, and the heap exactly restored.
+        let mut m = elfie_vm::Machine::new(elfie_vm::MachineConfig::default());
+        st.apply(&mut m);
+        assert_eq!(m.kernel.cwd, "/work");
+        assert_eq!(m.kernel.fs.get("/work/trace.bin").unwrap(), b"headtail");
+        match m.kernel.fd(5) {
+            Some(FileDesc {
+                kind: FdKind::File(p),
+                offset: 0,
+                ..
+            }) => assert_eq!(m.kernel.fs.get(p).unwrap(), b"legacy"),
+            other => panic!("fd 5 not installed: {other:?}"),
+        }
+        assert_eq!(m.kernel.brk(), 0x800_2000);
+        assert_eq!(m.kernel.brk_start(), 0x800_0000);
+    }
+
+    #[test]
     fn save_load_dir_roundtrip() {
         let image = image_with_string(0x401000, "data/input.txt\0");
         let pb = pinball_with_syscalls(
