@@ -47,6 +47,10 @@ fn main() {
             "store_dedup",
             elfie_bench::experiments::ablations::store_dedup,
         ),
+        (
+            "vm_fastpath",
+            elfie_bench::experiments::ablations::vm_fastpath,
+        ),
     ];
 
     for (name, f) in experiments {

@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the VM fast path: interpreter step
+//! throughput under the four block-cache × software-TLB combinations
+//! (cold decode every step vs warm pre-decoded blocks), and end-to-end
+//! BBV profiling with the cache on and off. `vm_fastpath` in
+//! `paper_tables` reports the same runs as guest-MIPS numbers; the
+//! recorded snapshot lives in BENCH_vm.json.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elfie::isa::{assemble, Program};
+use elfie::simpoint::profile_program;
+use elfie::vm::{ExitReason, Machine, MachineConfig};
+
+/// Memory-touching counted loop; data on its own page so stores never
+/// dirty the watched code page.
+fn loop_program(iters: u64) -> Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {iters}
+            mov r15, buf
+            mov rax, 0
+        loop:
+            mov [r15], rax
+            add rax, 3
+            mov rbx, [r15 + 8]
+            add rbx, rax
+            sub rcx, 1
+            cmp rcx, 0
+            jne loop
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        .org 0x402000
+        buf:
+            .byte 0, 0, 0, 0, 0, 0, 0, 0
+            .byte 0, 0, 0, 0, 0, 0, 0, 0
+        "#
+    ))
+    .expect("assembles")
+}
+
+fn run_loop(prog: &Program, block_cache: bool, tlb: bool) -> u64 {
+    let mut m = Machine::new(MachineConfig {
+        block_cache,
+        ..MachineConfig::default()
+    });
+    m.load_program(prog);
+    m.mem.set_tlb_enabled(tlb);
+    let summary = m.run(100_000_000);
+    assert_eq!(summary.reason, ExitReason::AllExited(0));
+    summary.insns
+}
+
+fn vm_step_throughput(c: &mut Criterion) {
+    let prog = loop_program(50_000);
+    let mut g = c.benchmark_group("vm_step_throughput");
+    g.sample_size(10);
+    for (label, cache, tlb) in [
+        ("interpreter", false, false),
+        ("tlb_only", false, true),
+        ("block_cache_only", true, false),
+        ("block_cache_tlb", true, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(run_loop(&prog, cache, tlb)))
+        });
+    }
+}
+
+fn bbv_profile(c: &mut Criterion) {
+    let w = elfie::workloads::gcc_like(4);
+    let mut g = c.benchmark_group("bbv_profile");
+    g.sample_size(5);
+    for (label, cache) in [("interpreter", false), ("block_cache", true)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = MachineConfig {
+                    block_cache: cache,
+                    ..MachineConfig::default()
+                };
+                let profile =
+                    profile_program(&w.program, cfg, 10_000, 1_000_000_000, |m| w.setup(m));
+                std::hint::black_box(profile.fingerprint())
+            })
+        });
+    }
+}
+
+criterion_group!(benches, vm_step_throughput, bbv_profile);
+criterion_main!(benches);

@@ -450,7 +450,8 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     .map_err(|e| err(format!("load failed: {e}")))?;
     Ok(format!(
         "sim {}: exit {:?}\nuser insns {}  kernel insns {}  cycles {}  IPC {:.3}  runtime {} ns\n\
-         L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines",
+         L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines\n\
+         vm fast path: block cache {:.1}% hit, soft-tlb {:.1}% hit",
         sim.params.name,
         out.exit,
         out.stats.user_insns,
@@ -464,6 +465,8 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         out.stats.dtlb_misses,
         out.stats.mispredicts,
         out.stats.footprint_lines,
+        out.fastpath.block_hit_rate() * 100.0,
+        out.fastpath.tlb_hit_rate() * 100.0,
     ))
 }
 
@@ -842,6 +845,8 @@ mod tests {
         assert!(out.contains("cluster 0 rank 0"), "{out}");
         assert!(out.contains("pipeline:"), "{out}");
         assert!(out.contains("regions:"), "{out}");
+        assert!(out.contains("MIPS"), "{out}");
+        assert!(out.contains("block cache"), "{out}");
     }
 
     #[test]

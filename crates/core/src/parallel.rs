@@ -159,7 +159,9 @@ impl BatchValidator {
         }
         let done = run_indexed(workers, tasks.len(), |t| match tasks[t] {
             Task::Whole(i) => Done::Whole(stats.time(Stage::Measure, || {
-                perf::measure_program(&workloads[i], seed, fuel)
+                let meas = perf::measure_program(&workloads[i], seed, fuel);
+                stats.record_vm(meas.fastpath, meas.vm_wall);
+                meas
             })),
             Task::Cluster(i, cluster) => Done::Cluster(pipeline::validate_cluster(
                 &workloads[i],

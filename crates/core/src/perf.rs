@@ -8,11 +8,12 @@
 //! IV-A: "hardware counter based metric computation for selected
 //! regions").
 
-use elfie_vm::{ExitReason, Machine, MachineConfig, Observer, StopWhen};
+use elfie_vm::{ExitReason, FastPathStats, Machine, MachineConfig, Observer, StopWhen};
 use elfie_workloads::Workload;
+use std::time::{Duration, Instant};
 
 /// A native (hardware-counter style) measurement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct NativeMeasurement {
     /// Instructions in the measured span.
     pub insns: u64,
@@ -25,9 +26,35 @@ pub struct NativeMeasurement {
     /// True if the run ended gracefully (process exit or armed-counter
     /// exit), i.e. the measurement is trustworthy.
     pub completed: bool,
+    /// VM fast-path counters over the whole machine run (startup and
+    /// warm-up included) — block cache and TLB effectiveness.
+    pub fastpath: FastPathStats,
+    /// Host wall time spent inside [`elfie_vm::Machine::run`], for
+    /// guest-MIPS accounting.
+    pub vm_wall: Duration,
 }
 
-fn finish(insns: u64, cycles: u64, exit: ExitReason) -> NativeMeasurement {
+/// Equality ignores `vm_wall`: host timing is nondeterministic, while a
+/// measurement's guest-visible content (and the reports built from it)
+/// must compare equal across serial, parallel and cached runs.
+impl PartialEq for NativeMeasurement {
+    fn eq(&self, other: &NativeMeasurement) -> bool {
+        self.insns == other.insns
+            && self.cycles == other.cycles
+            && self.cpi == other.cpi
+            && self.exit == other.exit
+            && self.completed == other.completed
+            && self.fastpath == other.fastpath
+    }
+}
+
+fn finish(
+    insns: u64,
+    cycles: u64,
+    exit: ExitReason,
+    fastpath: FastPathStats,
+    vm_wall: Duration,
+) -> NativeMeasurement {
     let completed = matches!(exit, ExitReason::AllExited(_));
     NativeMeasurement {
         insns,
@@ -35,6 +62,8 @@ fn finish(insns: u64, cycles: u64, exit: ExitReason) -> NativeMeasurement {
         cpi: cycles as f64 / insns.max(1) as f64,
         exit,
         completed,
+        fastpath,
+        vm_wall,
     }
 }
 
@@ -46,10 +75,12 @@ pub fn measure_program(w: &Workload, seed: u64, fuel: u64) -> NativeMeasurement 
         seed,
         ..MachineConfig::default()
     });
+    let t0 = Instant::now();
     let s = m.run(fuel);
+    let wall = t0.elapsed();
     let insns: u64 = m.threads.iter().map(|t| t.icount).sum();
     let cycles: u64 = m.threads.iter().map(|t| t.cycles).sum();
-    finish(insns, cycles, s.reason)
+    finish(insns, cycles, s.reason, m.fastpath_stats(), wall)
 }
 
 /// Observer that waits for the first ROI marker (ignoring the reserved
@@ -106,10 +137,11 @@ pub fn measure_elfie(
     elfie_elf::load(&mut m, elf_bytes, &loader)?;
 
     // Phase 1: run to the ROI marker (startup excluded).
+    let t0 = Instant::now();
     let s1 = m.run(fuel);
     if !matches!(s1.reason, ExitReason::ObserverStop) {
         // Never reached the ROI: startup failed.
-        return Ok(finish(0, 0, s1.reason));
+        return Ok(finish(0, 0, s1.reason, m.fastpath_stats(), t0.elapsed()));
     }
     let base_insns: u64 = m.threads.iter().map(|t| t.icount).sum();
     let base_cycles: u64 = m.threads.iter().map(|t| t.cycles).sum();
@@ -127,7 +159,13 @@ pub fn measure_elfie(
             ExitReason::AllExited(_) | ExitReason::Fault { .. }
         ) {
             // Region ended inside the warm-up (failed/short region).
-            return Ok(finish(insns - base_insns, cycles - base_cycles, s2.reason));
+            return Ok(finish(
+                insns - base_insns,
+                cycles - base_cycles,
+                s2.reason,
+                m.fastpath_stats(),
+                t0.elapsed(),
+            ));
         }
         m.stop_conditions.clear();
         (insns, cycles)
@@ -139,7 +177,13 @@ pub fn measure_elfie(
     let s3 = m.run(fuel);
     let insns: u64 = m.threads.iter().map(|t| t.icount).sum();
     let cycles: u64 = m.threads.iter().map(|t| t.cycles).sum();
-    Ok(finish(insns - warm_insns, cycles - warm_cycles, s3.reason))
+    Ok(finish(
+        insns - warm_insns,
+        cycles - warm_cycles,
+        s3.reason,
+        m.fastpath_stats(),
+        t0.elapsed(),
+    ))
 }
 
 /// Public wrapper so `measure_elfie`'s closure type is nameable.

@@ -12,8 +12,8 @@ use elfie_pinball::{Pinball, RegionTrigger};
 use elfie_pinball2elf::{convert, ConvertError, ConvertOptions, Elfie};
 use elfie_pinplay::{CaptureError, Logger, LoggerConfig};
 use elfie_simpoint::{
-    pick, prediction_error, profile_program, weighted_prediction, PinPoint, PinPoints,
-    PinPointsConfig,
+    pick, prediction_error, profile_program, profile_program_stats, weighted_prediction, PinPoint,
+    PinPoints, PinPointsConfig,
 };
 use elfie_sysstate::SysState;
 use elfie_vm::MachineConfig;
@@ -155,7 +155,11 @@ pub(crate) fn select_regions_cached(
     let key = PipelineCache::profile_key(w, &machine, cfg.slice_size, fuel);
     let profile = cache.profile(key, || {
         stats.time(Stage::Profile, || {
-            profile_program(&w.program, machine, cfg.slice_size, fuel, |m| w.setup(m))
+            let t0 = std::time::Instant::now();
+            let (profile, fastpath) =
+                profile_program_stats(&w.program, machine, cfg.slice_size, fuel, |m| w.setup(m));
+            stats.record_vm(fastpath, t0.elapsed());
+            profile
         })
     });
     pick(&profile, cfg)
@@ -223,6 +227,10 @@ pub(crate) fn validate_cluster(
                         )
                     })
                     .map_err(PipelineError::from)
+            })
+            .map(|meas| {
+                stats.record_vm(meas.fastpath, meas.vm_wall);
+                meas
             });
         match result {
             Ok(meas) if meas.completed && meas.insns > 0 => {

@@ -3,6 +3,7 @@
 //! CLI and the benchmark harness.
 
 use crate::cache::CacheStats;
+use elfie_vm::FastPathStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -32,6 +33,12 @@ pub struct StatsCollector {
     measure_ns: AtomicU64,
     regions_attempted: AtomicU64,
     regions_failed: AtomicU64,
+    block_cache_hits: AtomicU64,
+    block_cache_misses: AtomicU64,
+    tlb_hits: AtomicU64,
+    tlb_misses: AtomicU64,
+    guest_insns: AtomicU64,
+    guest_ns: AtomicU64,
 }
 
 impl StatsCollector {
@@ -65,8 +72,29 @@ impl StatsCollector {
         self.regions_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Accumulates one guest machine run's fast-path counters and the host
+    /// wall time it took, for block-cache/TLB hit rates and guest MIPS.
+    pub fn record_vm(&self, fp: FastPathStats, wall: Duration) {
+        self.block_cache_hits
+            .fetch_add(fp.block_hits, Ordering::Relaxed);
+        self.block_cache_misses
+            .fetch_add(fp.block_misses, Ordering::Relaxed);
+        self.tlb_hits.fetch_add(fp.tlb_hits, Ordering::Relaxed);
+        self.tlb_misses.fetch_add(fp.tlb_misses, Ordering::Relaxed);
+        self.guest_insns.fetch_add(fp.insns, Ordering::Relaxed);
+        self.guest_ns
+            .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Freezes the collector into a report.
     pub fn finish(&self, total: Duration, workers: usize, cache: CacheStats) -> PipelineStats {
+        let guest_insns = self.guest_insns.load(Ordering::Relaxed);
+        let guest_ns = self.guest_ns.load(Ordering::Relaxed);
+        let guest_mips = if guest_ns == 0 {
+            0.0
+        } else {
+            guest_insns as f64 / 1e6 / (guest_ns as f64 / 1e9)
+        };
         PipelineStats {
             workers,
             total,
@@ -76,6 +104,12 @@ impl StatsCollector {
             measure_time: Duration::from_nanos(self.measure_ns.load(Ordering::Relaxed)),
             regions_attempted: self.regions_attempted.load(Ordering::Relaxed),
             regions_failed: self.regions_failed.load(Ordering::Relaxed),
+            block_cache_hits: self.block_cache_hits.load(Ordering::Relaxed),
+            block_cache_misses: self.block_cache_misses.load(Ordering::Relaxed),
+            tlb_hits: self.tlb_hits.load(Ordering::Relaxed),
+            tlb_misses: self.tlb_misses.load(Ordering::Relaxed),
+            guest_insns,
+            guest_mips,
             cache,
         }
     }
@@ -100,8 +134,43 @@ pub struct PipelineStats {
     pub regions_attempted: u64,
     /// Candidates that produced no usable measurement.
     pub regions_failed: u64,
+    /// VM block-cache hits (instructions executed without re-decoding)
+    /// across all instrumented guest runs.
+    pub block_cache_hits: u64,
+    /// VM block-cache misses (basic-block decode passes).
+    pub block_cache_misses: u64,
+    /// Software-TLB hits across all instrumented guest runs.
+    pub tlb_hits: u64,
+    /// Software-TLB misses (slow page-table walks).
+    pub tlb_misses: u64,
+    /// Guest instructions retired across all instrumented guest runs.
+    pub guest_insns: u64,
+    /// Guest millions-of-instructions-per-second over the VM wall time.
+    pub guest_mips: f64,
     /// Cache effectiveness over the run.
     pub cache: CacheStats,
+}
+
+impl PipelineStats {
+    /// Fraction of guest instructions served by the block cache, `[0, 1]`.
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        let total = self.block_cache_hits + self.block_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of page translations served by the TLB, `[0, 1]`.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
 }
 
 impl fmt::Display for PipelineStats {
@@ -125,6 +194,14 @@ impl fmt::Display for PipelineStats {
             f,
             "  regions: {} attempted, {} failed",
             self.regions_attempted, self.regions_failed
+        )?;
+        writeln!(
+            f,
+            "  vm: {} guest insns at {:.1} MIPS, block cache {:.1}% hit, tlb {:.1}% hit",
+            self.guest_insns,
+            self.guest_mips,
+            self.block_cache_hit_rate() * 100.0,
+            self.tlb_hit_rate() * 100.0,
         )?;
         write!(f, "  cache: {}", self.cache)
     }
@@ -156,6 +233,30 @@ mod tests {
         c.region_failed();
         let s = c.finish(Duration::ZERO, 1, CacheStats::default());
         assert_eq!((s.regions_attempted, s.regions_failed), (2, 1));
+    }
+
+    #[test]
+    fn record_vm_feeds_hit_rates_and_mips() {
+        let c = StatsCollector::new();
+        c.record_vm(
+            FastPathStats {
+                block_hits: 90,
+                block_misses: 10,
+                tlb_hits: 30,
+                tlb_misses: 10,
+                insns: 2_000_000,
+                ..FastPathStats::default()
+            },
+            Duration::from_secs(1),
+        );
+        let s = c.finish(Duration::ZERO, 1, CacheStats::default());
+        assert_eq!((s.block_cache_hits, s.block_cache_misses), (90, 10));
+        assert!((s.block_cache_hit_rate() - 0.9).abs() < 1e-9);
+        assert!((s.tlb_hit_rate() - 0.75).abs() < 1e-9);
+        assert!((s.guest_mips - 2.0).abs() < 1e-6, "mips = {}", s.guest_mips);
+        let text = s.to_string();
+        assert!(text.contains("block cache 90.0% hit"), "{text}");
+        assert!(text.contains("2.0 MIPS"), "{text}");
     }
 
     #[test]

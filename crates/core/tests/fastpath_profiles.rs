@@ -1,0 +1,58 @@
+//! Block-cache bit-identity across the whole workload suite: BBV
+//! profiling through the decoded-block fast path must produce the exact
+//! same profile (total instructions, slice vectors, fingerprint) as the
+//! per-step interpreter for every workload generator, multi-threaded
+//! ones included. `crates/vm/tests/fastpath_differential.rs` proves the
+//! per-instruction event streams match on random programs; this test
+//! proves the end product — the profile SimPoint clusters on — matches
+//! on the real generators.
+
+use elfie::prelude::*;
+use elfie::simpoint::profile_program_stats;
+use elfie_vm::MachineConfig;
+
+#[test]
+fn every_workload_profiles_identically_with_and_without_the_block_cache() {
+    let mut suite = suite_int(InputScale::Test);
+    suite.extend(suite_fp(InputScale::Test));
+    suite.extend(suite_speed_mt(InputScale::Test, 2));
+    assert!(suite.len() >= 6, "suite unexpectedly small");
+
+    for w in &suite {
+        let run = |block_cache: bool| {
+            let cfg = MachineConfig {
+                block_cache,
+                ..MachineConfig::default()
+            };
+            profile_program_stats(&w.program, cfg, 10_000, 200_000_000, |m| w.setup(m))
+        };
+        let (cached, cached_stats) = run(true);
+        let (uncached, uncached_stats) = run(false);
+        assert_eq!(
+            cached.total_insns, uncached.total_insns,
+            "{}: instruction counts diverge",
+            w.name
+        );
+        assert_eq!(
+            cached.slices, uncached.slices,
+            "{}: slice vectors diverge",
+            w.name
+        );
+        assert_eq!(
+            cached.fingerprint(),
+            uncached.fingerprint(),
+            "{}: profile fingerprints diverge",
+            w.name
+        );
+        assert!(
+            cached_stats.block_hits > 0,
+            "{}: fast path never engaged",
+            w.name
+        );
+        assert_eq!(
+            uncached_stats.block_hits, 0,
+            "{}: interpreter run touched the block cache",
+            w.name
+        );
+    }
+}

@@ -51,8 +51,8 @@ pub mod encode;
 pub mod hash;
 pub mod insn;
 pub mod reg;
-#[cfg(test)]
-pub(crate) mod test_strategies;
+#[cfg(any(test, feature = "test-strategies"))]
+pub mod test_strategies;
 
 pub use asm::{assemble, AsmError, Assembler, Chunk, Program};
 pub use decode::{decode, DecodeError};

@@ -1,5 +1,7 @@
-//! Shared proptest strategies over the instruction set, used by both the
-//! decoder's and the encoder's property tests. Generated values are
+//! Shared proptest strategies over the instruction set, used by the
+//! decoder's and the encoder's property tests and (behind the
+//! `test-strategies` feature) by downstream differential tests such as
+//! the VM's cached-vs-uncached execution comparison. Generated values are
 //! *canonical*: a scale is only non-trivial when an index register is
 //! present, mirroring what the encoding can represent.
 
@@ -7,15 +9,18 @@ use crate::insn::{AluOp, Cond, FpOp, Insn, MarkerKind, Mem, Scale, Seg};
 use crate::reg::{Reg, Xmm};
 use proptest::prelude::*;
 
-pub(crate) fn arb_reg() -> impl Strategy<Value = Reg> {
+/// Any general-purpose register.
+pub fn arb_reg() -> impl Strategy<Value = Reg> {
     (0u8..16).prop_map(|i| Reg::from_index(i).unwrap())
 }
 
-pub(crate) fn arb_xmm() -> impl Strategy<Value = Xmm> {
+/// Any XMM register.
+pub fn arb_xmm() -> impl Strategy<Value = Xmm> {
     (0u8..16).prop_map(Xmm)
 }
 
-pub(crate) fn arb_mem() -> impl Strategy<Value = Mem> {
+/// A canonical memory operand (scale only with an index register).
+pub fn arb_mem() -> impl Strategy<Value = Mem> {
     (
         proptest::option::of(arb_reg()),
         proptest::option::of(arb_reg()),
@@ -41,7 +46,8 @@ pub(crate) fn arb_mem() -> impl Strategy<Value = Mem> {
         })
 }
 
-pub(crate) fn arb_insn() -> impl Strategy<Value = Insn> {
+/// Any instruction of the ISA, including control flow and faulting ones.
+pub fn arb_insn() -> impl Strategy<Value = Insn> {
     let alu = (0u8..11).prop_map(|i| AluOp::from_index(i).unwrap());
     let fp = (0u8..7).prop_map(|i| FpOp::from_index(i).unwrap());
     let cond = (0u8..12).prop_map(|i| Cond::from_index(i).unwrap());

@@ -17,7 +17,7 @@ use crate::core::{CoreParams, KernelModel, RoiMode, SimStats, TimingObserver};
 use elfie_isa::Program;
 use elfie_pinball::Pinball;
 use elfie_pinplay::{ReplayConfig, Replayer};
-use elfie_vm::{ExitReason, Machine, MachineConfig, StopWhen};
+use elfie_vm::{ExitReason, FastPathStats, Machine, MachineConfig, StopWhen};
 use std::collections::BTreeMap;
 
 /// A configured simulator.
@@ -136,12 +136,16 @@ pub struct SimOutcome {
     pub exit: ExitReason,
     /// Functional per-thread retired counts (including any startup code).
     pub machine_icounts: BTreeMap<u32, u64>,
+    /// Functional-execution fast-path counters (block cache / TLB) of the
+    /// underlying VM run.
+    pub fastpath: FastPathStats,
 }
 
 fn outcome(
     obs: &TimingObserver,
     exit: ExitReason,
     machine_icounts: BTreeMap<u32, u64>,
+    fastpath: FastPathStats,
 ) -> SimOutcome {
     let stats = obs.stats();
     let cycles = obs.cycles().max(1);
@@ -154,6 +158,7 @@ fn outcome(
         cycles,
         exit,
         machine_icounts,
+        fastpath,
     }
 }
 
@@ -173,7 +178,7 @@ pub fn simulate_program(
     setup(&mut m);
     let s = m.run(sim.fuel);
     let icounts = collect_icounts(&m);
-    outcome(&m.obs, s.reason, icounts)
+    outcome(&m.obs, s.reason, icounts, m.fastpath_stats())
 }
 
 /// Simulates an ELFie image: loads it with the emulated system loader and
@@ -199,7 +204,7 @@ pub fn simulate_elfie(
     m.stop_conditions = stop;
     let s = m.run(sim.fuel);
     let icounts = collect_icounts(&m);
-    Ok(outcome(&m.obs, s.reason, icounts))
+    Ok(outcome(&m.obs, s.reason, icounts, m.fastpath_stats()))
 }
 
 /// Simulates a pinball via constrained replay — the "Sniper modified to
@@ -218,5 +223,5 @@ pub fn simulate_pinball(pinball: &Pinball, sim: &Simulator) -> SimOutcome {
         ExitReason::Deadlock // divergence; detail in summary
     };
     let icounts = collect_icounts(&m);
-    outcome(&m.obs, exit, icounts)
+    outcome(&m.obs, exit, icounts, m.fastpath_stats())
 }

@@ -8,7 +8,7 @@
 //! and ELFies is much faster" than gem5-based BBV collection.
 
 use elfie_isa::{Insn, Program};
-use elfie_vm::{Machine, MachineConfig, Observer};
+use elfie_vm::{FastPathStats, Machine, MachineConfig, Observer};
 use std::collections::BTreeMap;
 
 /// One slice's sparse basic-block vector: block start pc → weighted count.
@@ -170,12 +170,27 @@ pub fn profile_program(
     fuel: u64,
     setup: impl FnOnce(&mut Machine<BbvCollector>),
 ) -> BbvProfile {
+    profile_program_stats(prog, machine_cfg, slice_size, fuel, setup).0
+}
+
+/// Like [`profile_program`], but also returns the VM fast-path counters
+/// (block cache and TLB effectiveness) of the profiling run, for pipeline
+/// instrumentation.
+pub fn profile_program_stats(
+    prog: &Program,
+    machine_cfg: MachineConfig,
+    slice_size: u64,
+    fuel: u64,
+    setup: impl FnOnce(&mut Machine<BbvCollector>),
+) -> (BbvProfile, FastPathStats) {
     let mut m = Machine::with_observer(machine_cfg, BbvCollector::new(slice_size));
     m.load_program(prog);
     setup(&mut m);
     m.run(fuel);
+    let fastpath = m.fastpath_stats();
     // Swap the observer out to finish it.
-    std::mem::replace(&mut m.obs, BbvCollector::new(slice_size)).finish()
+    let profile = std::mem::replace(&mut m.obs, BbvCollector::new(slice_size)).finish();
+    (profile, fastpath)
 }
 
 #[cfg(test)]
@@ -215,6 +230,27 @@ mod tests {
             "#,
         )
         .expect("assembles")
+    }
+
+    #[test]
+    fn block_cache_does_not_change_the_profile() {
+        // Acceptance check for the VM fast path: BBV profiling through the
+        // decoded block cache must produce the exact same profile as the
+        // per-step interpreter, fingerprint and all.
+        let prog = phase_program();
+        let cached_cfg = MachineConfig {
+            block_cache: true,
+            ..MachineConfig::default()
+        };
+        let uncached_cfg = MachineConfig {
+            block_cache: false,
+            ..MachineConfig::default()
+        };
+        let cached = profile_program(&prog, cached_cfg, 200, 1_000_000, |_| {});
+        let uncached = profile_program(&prog, uncached_cfg, 200, 1_000_000, |_| {});
+        assert_eq!(cached.total_insns, uncached.total_insns);
+        assert_eq!(cached.slices, uncached.slices);
+        assert_eq!(cached.fingerprint(), uncached.fingerprint());
     }
 
     #[test]

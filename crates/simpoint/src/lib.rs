@@ -11,7 +11,7 @@ pub mod bbv;
 pub mod kmeans;
 pub mod pinpoints;
 
-pub use bbv::{profile_program, Bbv, BbvCollector, BbvProfile, ProfileKey};
+pub use bbv::{profile_program, profile_program_stats, Bbv, BbvCollector, BbvProfile, ProfileKey};
 pub use kmeans::{choose_clustering, kmeans, project, Clustering};
 pub use pinpoints::{
     coverage, pick, prediction_error, weighted_prediction, PinPoint, PinPoints, PinPointsConfig,

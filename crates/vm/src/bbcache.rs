@@ -1,0 +1,321 @@
+//! Decoded basic-block translation cache.
+//!
+//! The per-step interpreter re-fetches and re-decodes the instruction at
+//! `rip` on every retirement. This module removes that cost the way
+//! record-and-replay systems and bitcode interpreters do: on first
+//! execution at an address, straight-line instructions up to (and
+//! including) the next block terminator are decoded once into a [`Block`]
+//! of `(Insn, length)` pairs, stored in a direct-mapped table keyed on the
+//! block's start address. Subsequent visits execute pre-decoded
+//! instructions via [`crate::cpu::exec`] without touching the decoder.
+//!
+//! ## Invalidation
+//!
+//! Cached blocks are stale the moment the bytes or mappings under them
+//! change, so correctness rests on two mechanisms:
+//!
+//! * **Generations** — every block records the cache generation it was
+//!   built in; [`BlockCache::flush`] just bumps the generation, lazily
+//!   invalidating every block at once. The machine flushes whenever the
+//!   memory layout epoch changes (map / unmap / protect).
+//! * **Targeted eviction** — for self-modifying code, pages holding
+//!   cached blocks are watched ([`crate::mem::Memory::watch_exec_page`]);
+//!   a write to one reports the page and [`BlockCache::evict_page`]
+//!   removes exactly the blocks overlapping it, so re-execution decodes
+//!   the new bytes while the rest of the cache stays warm.
+//!
+//! A block never extends past a fetch or decode error — the erroring
+//! instruction is always re-derived by the slow path so faults stay
+//! precise — and is capped at [`MAX_BLOCK_INSNS`] instructions.
+
+use crate::cpu::MAX_INSN_LEN;
+use crate::mem::Memory;
+use elfie_isa::{decode, page_base, Insn, PAGE_SIZE};
+
+/// Maximum pre-decoded instructions per block.
+pub const MAX_BLOCK_INSNS: usize = 64;
+
+/// Number of direct-mapped table entries (power of two).
+const TABLE_SIZE: usize = 2048;
+
+/// One pre-decoded straight-line run of instructions.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Guest address of the first instruction.
+    pub start: u64,
+    /// Guest address one past the last instruction's bytes.
+    pub end: u64,
+    /// The decoded instructions with their encoded lengths.
+    pub insns: Vec<(Insn, u8)>,
+    /// Cache generation the block was built in.
+    generation: u64,
+}
+
+/// Counters for the block cache.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Instructions served from a cached block (no decode).
+    pub hits: u64,
+    /// Block builds (each implies one decode pass over the block).
+    pub misses: u64,
+    /// Blocks evicted by self-modifying-code writes.
+    pub evictions: u64,
+    /// Whole-cache generation flushes (layout changes).
+    pub flushes: u64,
+}
+
+/// Direct-mapped cache of decoded basic blocks, keyed by start address.
+#[derive(Debug)]
+pub struct BlockCache {
+    table: Vec<Option<Block>>,
+    generation: u64,
+    stats: BlockCacheStats,
+}
+
+impl Default for BlockCache {
+    fn default() -> BlockCache {
+        BlockCache::new()
+    }
+}
+
+#[inline]
+fn table_index(rip: u64) -> usize {
+    // Mix in the page number so block starts that differ only in high
+    // bits don't all collide in one slot.
+    ((rip ^ (rip >> 12)) as usize) & (TABLE_SIZE - 1)
+}
+
+impl BlockCache {
+    /// An empty cache.
+    pub fn new() -> BlockCache {
+        BlockCache {
+            table: (0..TABLE_SIZE).map(|_| None).collect(),
+            generation: 0,
+            stats: BlockCacheStats::default(),
+        }
+    }
+
+    /// The current invalidation generation.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> BlockCacheStats {
+        self.stats
+    }
+
+    /// Records one instruction served from a cached block.
+    #[inline]
+    pub fn count_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records `n` instructions served from a cached block (the batched
+    /// step path counts locally and flushes once per batch).
+    #[inline]
+    pub fn add_hits(&mut self, n: u64) {
+        self.stats.hits += n;
+    }
+
+    /// The block occupying table `slot`, regardless of liveness — callers
+    /// must have just validated it via [`BlockCache::lookup`],
+    /// [`BlockCache::insn_at`] or [`BlockCache::build`].
+    #[inline]
+    pub fn block_at(&self, slot: usize) -> Option<&Block> {
+        self.table[slot].as_ref()
+    }
+
+    /// Invalidates every cached block by bumping the generation.
+    pub fn flush(&mut self) {
+        self.generation += 1;
+        self.stats.flushes += 1;
+    }
+
+    /// Removes every block overlapping the page at `page_addr` (the
+    /// self-modifying-code path). Returns how many blocks died.
+    pub fn evict_page(&mut self, page_addr: u64) -> usize {
+        let lo = page_base(page_addr);
+        let hi = lo + PAGE_SIZE;
+        let mut evicted = 0;
+        for slot in self.table.iter_mut() {
+            if let Some(b) = slot {
+                if b.generation == self.generation && b.start < hi && b.end > lo {
+                    *slot = None;
+                    evicted += 1;
+                }
+            }
+        }
+        self.stats.evictions += evicted as u64;
+        evicted
+    }
+
+    /// The live block starting exactly at `rip`, with its table slot.
+    #[inline]
+    pub fn lookup(&mut self, rip: u64) -> Option<(usize, &Block)> {
+        let i = table_index(rip);
+        match &self.table[i] {
+            Some(b) if b.start == rip && b.generation == self.generation => {
+                self.stats.hits += 1;
+                Some((i, self.table[i].as_ref().expect("just matched")))
+            }
+            _ => None,
+        }
+    }
+
+    /// The `pos`-th instruction of the live block `block_start` in table
+    /// slot `slot`, if that block is still cached. Used by per-thread
+    /// cursors stepping through a block one instruction at a time.
+    #[inline]
+    pub fn insn_at(&self, slot: usize, block_start: u64, pos: usize) -> Option<(Insn, u8)> {
+        match &self.table[slot] {
+            Some(b) if b.start == block_start && b.generation == self.generation => {
+                b.insns.get(pos).copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Decodes the basic block starting at `rip` and inserts it,
+    /// replacing whatever occupied its direct-mapped slot. Pages the block
+    /// spans are watch-marked in `mem` for self-modifying-code tracking.
+    /// Returns the table slot, or `None` when not even the first
+    /// instruction decodes (the slow path then reproduces the exact
+    /// fault).
+    pub fn build(&mut self, mem: &mut Memory, rip: u64) -> Option<usize> {
+        let mut insns = Vec::new();
+        let mut pc = rip;
+        for _ in 0..MAX_BLOCK_INSNS {
+            let mut buf = [0u8; MAX_INSN_LEN];
+            let n = match mem.fetch(pc, &mut buf) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            let (insn, len) = match decode(&buf[..n]) {
+                Ok(v) => v,
+                Err(_) => break,
+            };
+            insns.push((insn, len as u8));
+            pc = pc.wrapping_add(len as u64);
+            if insn.ends_basic_block() {
+                break;
+            }
+        }
+        if insns.is_empty() {
+            return None;
+        }
+        self.stats.misses += 1;
+        let block = Block {
+            start: rip,
+            end: pc,
+            insns,
+            generation: self.generation,
+        };
+        let mut page = page_base(block.start);
+        while page < block.end {
+            mem.watch_exec_page(page);
+            page += PAGE_SIZE;
+        }
+        let i = table_index(rip);
+        self.table[i] = Some(block);
+        Some(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::Perm;
+    use elfie_isa::assemble;
+
+    fn memory_for(src: &str) -> (Memory, u64) {
+        let p = assemble(src).expect("assembles");
+        let mut mem = Memory::new();
+        for c in &p.chunks {
+            mem.map_range(c.addr, c.end().max(c.addr + 1), Perm::RWX)
+                .unwrap();
+            mem.write_bytes_unchecked(c.addr, &c.bytes).unwrap();
+        }
+        (mem, p.entry)
+    }
+
+    #[test]
+    fn build_stops_at_terminator() {
+        let (mut mem, entry) = memory_for(
+            r#"
+            .org 0x1000
+            start:
+                mov rax, 1
+                add rax, 2
+                jmp start
+                nop
+            "#,
+        );
+        let mut bc = BlockCache::new();
+        let slot = bc.build(&mut mem, entry).expect("builds");
+        let (n, first, last) = {
+            let (_, b) = bc.lookup(entry).expect("cached");
+            (b.insns.len(), b.insns[0].0, b.insns[2].0)
+        };
+        assert_eq!(n, 3, "mov, add, jmp — not the trailing nop");
+        assert!(matches!(last, Insn::Jmp(_)));
+        assert_eq!(bc.insn_at(slot, entry, 0).map(|(i, _)| i), Some(first));
+    }
+
+    #[test]
+    fn lookup_misses_mid_block() {
+        let (mut mem, entry) = memory_for(".org 0x1000\nstart:\n nop\n nop\n jmp start\n");
+        let mut bc = BlockCache::new();
+        bc.build(&mut mem, entry).unwrap();
+        assert!(bc.lookup(entry).is_some());
+        assert!(bc.lookup(entry + 1).is_none(), "keyed on start address");
+    }
+
+    #[test]
+    fn flush_invalidates_without_clearing() {
+        let (mut mem, entry) = memory_for(".org 0x1000\nstart: jmp start\n");
+        let mut bc = BlockCache::new();
+        bc.build(&mut mem, entry).unwrap();
+        bc.flush();
+        assert!(bc.lookup(entry).is_none(), "stale generation");
+        assert_eq!(bc.stats().flushes, 1);
+    }
+
+    #[test]
+    fn evict_page_kills_overlapping_blocks_only() {
+        let (mut mem, _) = memory_for(
+            r#"
+            .org 0x1000
+            a:  jmp a
+            .org 0x3000
+            b:  jmp b
+            "#,
+        );
+        let mut bc = BlockCache::new();
+        bc.build(&mut mem, 0x1000).unwrap();
+        bc.build(&mut mem, 0x3000).unwrap();
+        assert_eq!(bc.evict_page(0x1000), 1);
+        assert!(bc.lookup(0x1000).is_none());
+        assert!(bc.lookup(0x3000).is_some(), "other page untouched");
+        assert_eq!(bc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn build_watches_spanned_pages() {
+        let (mut mem, entry) = memory_for(".org 0x1000\nstart:\n nop\n jmp start\n");
+        let mut bc = BlockCache::new();
+        bc.build(&mut mem, entry).unwrap();
+        mem.write_u8(0x1001, 0x90).unwrap();
+        assert!(mem.has_dirty_code(), "write to cached code page reported");
+    }
+
+    #[test]
+    fn unbuildable_block_returns_none() {
+        let mut mem = Memory::new();
+        let mut bc = BlockCache::new();
+        assert!(bc.build(&mut mem, 0x4000).is_none(), "unmapped");
+        let (mut mem, _) = memory_for(".org 0x1000\nstart: .byte 0xee, 0xee\n");
+        assert!(bc.build(&mut mem, 0x1000).is_none(), "undecodable bytes");
+    }
+}

@@ -244,6 +244,26 @@ pub fn step<O: Observer>(t: &mut Thread, mem: &mut Memory, env: StepEnv, obs: &m
         Ok(v) => v,
         Err(f) => return Effect::Fault(f),
     };
+    exec(t, mem, insn, len, env, obs)
+}
+
+/// Executes one *already decoded* instruction at the thread's `rip`.
+///
+/// This is [`step`] minus fetch+decode: the block-cache fast path
+/// ([`crate::bbcache`]) calls it with pre-decoded instructions. `insn` and
+/// `len` must be exactly what [`fetch_decode`] would return for the
+/// current `rip` — the observer callback order, flag effects and fault
+/// semantics (data faults rewind `rip` so the instruction can be
+/// re-executed after e.g. lazy page injection) are identical to `step`.
+#[inline]
+pub fn exec<O: Observer>(
+    t: &mut Thread,
+    mem: &mut Memory,
+    insn: Insn,
+    len: usize,
+    env: StepEnv,
+    obs: &mut O,
+) -> Effect {
     let rip = t.regs.rip;
     obs.on_insn(t.tid, rip, &insn, len);
     let next = rip.wrapping_add(len as u64);

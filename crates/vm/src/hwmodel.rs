@@ -29,7 +29,11 @@ impl CacheGeom {
 /// A direct-mapped cache keyed by line tag.
 #[derive(Debug, Clone)]
 pub struct DirectCache {
-    geom: CacheGeom,
+    /// `log2(line)`, so the per-access line math is a shift, not a
+    /// division by a runtime value.
+    line_shift: u32,
+    /// `sets - 1`; sets is a power of two, so modulo becomes a mask.
+    set_mask: u64,
     tags: Vec<u64>,
     hits: u64,
     misses: u64,
@@ -46,7 +50,8 @@ impl DirectCache {
         assert!(geom.size.is_power_of_two() && geom.line.is_power_of_two());
         assert!(geom.size >= geom.line);
         DirectCache {
-            geom,
+            line_shift: geom.line.trailing_zeros(),
+            set_mask: geom.sets() - 1,
             tags: vec![EMPTY; geom.sets() as usize],
             hits: 0,
             misses: 0,
@@ -54,9 +59,10 @@ impl DirectCache {
     }
 
     /// Accesses `addr`; returns true on hit. Misses fill the line.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.geom.line;
-        let set = (line % self.geom.sets()) as usize;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
         if self.tags[set] == line {
             self.hits += 1;
             true

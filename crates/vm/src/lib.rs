@@ -41,6 +41,7 @@
 //! # Ok::<(), elfie_isa::AsmError>(())
 //! ```
 
+pub mod bbcache;
 pub mod cpu;
 pub mod fs;
 pub mod hwmodel;
@@ -50,15 +51,16 @@ pub mod mem;
 pub mod obs;
 pub mod thread;
 
-pub use cpu::{cond_holds, fetch_decode, step, Effect, Fault, StepEnv, MAX_INSN_LEN};
+pub use bbcache::{Block, BlockCache, BlockCacheStats, MAX_BLOCK_INSNS};
+pub use cpu::{cond_holds, exec, fetch_decode, step, Effect, Fault, StepEnv, MAX_INSN_LEN};
 pub use fs::{resolve_path, InMemoryFs};
 pub use hwmodel::{CacheGeom, DirectCache, HwModel, HwParams};
 pub use kernel::{
     errno, is_error, neg_errno, nr, Control, FdKind, FileDesc, Kernel, KernelConfig, SyscallOutcome,
 };
 pub use machine::{
-    ExitReason, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction, SyscallInterposer,
-    ThreadStep,
+    ExitReason, FastPathStats, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction,
+    SyscallInterposer, ThreadStep,
 };
 pub use mem::{Access, MemError, Memory, Perm};
 pub use obs::{NullObserver, Observer};

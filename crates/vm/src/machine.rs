@@ -15,6 +15,7 @@
 //!    and a [`SyscallInterposer`] (the replay-injection hook used by the
 //!    PinPlay replayer).
 
+use crate::bbcache::BlockCache;
 use crate::cpu::{self, Effect, Fault, StepEnv};
 use crate::hwmodel::HwModel;
 use crate::kernel::{Control, Kernel, KernelConfig};
@@ -99,6 +100,11 @@ pub struct MachineConfig {
     pub stack_size: u64,
     /// Enable Linux-style stack randomisation (slide below `stack_top`).
     pub stack_randomize: bool,
+    /// Execute through the decoded basic-block cache ([`crate::bbcache`]).
+    /// Cached execution is bit-identical to the per-step interpreter, so
+    /// this knob only trades speed for memory and is deliberately left out
+    /// of [`MachineConfig::fingerprint`].
+    pub block_cache: bool,
     /// Kernel configuration.
     pub kernel: KernelConfig,
 }
@@ -111,6 +117,7 @@ impl Default for MachineConfig {
             stack_top: 0x7ffd_8000_0000,
             stack_size: 1 << 20,
             stack_randomize: true,
+            block_cache: true,
             kernel: KernelConfig::default(),
         }
     }
@@ -132,6 +139,88 @@ impl MachineConfig {
             .u64(self.kernel.epoch_ns)
             .u64(self.kernel.pid)
             .finish()
+    }
+}
+
+/// Counters from the interpreter fast path: the decoded basic-block
+/// cache and the software TLB. Harvest with
+/// [`Machine::fastpath_stats`]; purely observational — the fast path is
+/// bit-identical to per-step interpretation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Instructions served from cached blocks without decoding.
+    pub block_hits: u64,
+    /// Basic-block builds (one decode pass each).
+    pub block_misses: u64,
+    /// Blocks evicted by self-modifying-code writes.
+    pub block_evictions: u64,
+    /// Whole-cache generation flushes (memory layout changes).
+    pub block_flushes: u64,
+    /// Software-TLB hits across read/write/fetch entries.
+    pub tlb_hits: u64,
+    /// Software-TLB misses (slow `BTreeMap` walks).
+    pub tlb_misses: u64,
+    /// Guest instructions retired over the machine's lifetime.
+    pub insns: u64,
+}
+
+impl FastPathStats {
+    /// Fraction of instructions served without decoding, in `[0, 1]`.
+    pub fn block_hit_rate(&self) -> f64 {
+        let total = self.block_hits + self.block_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.block_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of page translations served by the TLB, in `[0, 1]`.
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (for aggregating across runs).
+    pub fn accumulate(&mut self, other: FastPathStats) {
+        self.block_hits += other.block_hits;
+        self.block_misses += other.block_misses;
+        self.block_evictions += other.block_evictions;
+        self.block_flushes += other.block_flushes;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_misses += other.tlb_misses;
+        self.insns += other.insns;
+    }
+}
+
+/// Per-thread position inside a cached block: the next instruction to
+/// execute, valid only while the thread's `rip` matches `expected_rip`
+/// and the block is still live.
+#[derive(Debug, Clone, Copy, Default)]
+struct BlockCursor {
+    valid: bool,
+    slot: usize,
+    block_start: u64,
+    pos: usize,
+    expected_rip: u64,
+}
+
+/// `(retired, step result, base cycle cost)` of one executed effect.
+#[inline]
+fn classify(effect: Effect) -> (bool, ThreadStep, u64) {
+    match effect {
+        Effect::Normal => (true, ThreadStep::Retired, 1),
+        Effect::Syscall => (
+            true,
+            ThreadStep::SyscallRetired,
+            HwModel::insn_cost(&Insn::Syscall),
+        ),
+        Effect::Marker(k, tag) => (true, ThreadStep::Marker(k, tag), 1),
+        Effect::Fault(f) => (false, ThreadStep::Fault(f), 0),
     }
 }
 
@@ -225,6 +314,9 @@ pub struct Machine<O: Observer = NullObserver> {
     exit_code: i32,
     interposer: Option<Box<dyn SyscallInterposer>>,
     pc_counters: Vec<u64>,
+    bbcache: BlockCache,
+    cursors: Vec<BlockCursor>,
+    seen_layout: u64,
 }
 
 impl Machine<NullObserver> {
@@ -251,6 +343,9 @@ impl<O: Observer> Machine<O> {
             exit_code: 0,
             interposer: None,
             pc_counters: Vec::new(),
+            bbcache: BlockCache::new(),
+            cursors: Vec::new(),
+            seen_layout: 0,
             cfg,
         }
     }
@@ -357,67 +452,236 @@ impl<O: Observer> Machine<O> {
         cpu::fetch_decode(t, &self.mem).ok()
     }
 
+    /// Counters from the interpreter fast path (block cache + TLB).
+    pub fn fastpath_stats(&self) -> FastPathStats {
+        let b = self.bbcache.stats();
+        let (tlb_hits, tlb_misses) = self.mem.tlb_stats();
+        FastPathStats {
+            block_hits: b.hits,
+            block_misses: b.misses,
+            block_evictions: b.evictions,
+            block_flushes: b.flushes,
+            tlb_hits,
+            tlb_misses,
+            insns: self.global_icount,
+        }
+    }
+
+    /// Evicts blocks overlapping pages dirtied by self-modifying code and
+    /// drops every thread's block cursor. Called before serving each step
+    /// from the cache, so writes from the previous instruction, from
+    /// syscall side effects, or from the harness between `run` calls are
+    /// all re-decoded before anything executes over them.
+    fn drain_smc(&mut self) {
+        if self.mem.has_dirty_code() {
+            for base in self.mem.take_dirty_code() {
+                self.bbcache.evict_page(base);
+            }
+            for c in &mut self.cursors {
+                c.valid = false;
+            }
+        }
+    }
+
     /// Executes one instruction on thread `idx`. Exposed so external
     /// harnesses (the PinPlay replayer, simulators) can impose their own
     /// schedule.
     pub fn step_thread(&mut self, idx: usize) -> ThreadStep {
+        self.step_thread_batch(idx, 1).1
+    }
+
+    /// Executes up to `max` instructions on thread `idx`, serving the
+    /// straight-line remainder of the current cached block in one call so
+    /// the per-step dispatch overhead amortises over the block.
+    ///
+    /// Semantics are identical to calling [`Machine::step_thread`] in a
+    /// loop: every instruction retires individually (observer callbacks,
+    /// cycle accounting, graceful-exit counters, PcCount tracking), and
+    /// the batch ends at block boundaries, taken branches, syscalls,
+    /// faults, observer stop requests and writes to cached code pages.
+    /// Returns how many instructions were attempted (a faulting attempt
+    /// counts) and the last attempt's result.
+    fn step_thread_batch(&mut self, idx: usize, max: u64) -> (u64, ThreadStep) {
         if idx >= self.threads.len() || !self.threads[idx].is_runnable() {
-            return ThreadStep::NotRunnable;
+            return (0, ThreadStep::NotRunnable);
+        }
+        let use_cache = self.cfg.block_cache;
+        self.drain_smc();
+        if use_cache {
+            if self.cursors.len() < self.threads.len() {
+                self.cursors
+                    .resize(self.threads.len(), BlockCursor::default());
+            }
+            // Any map/unmap/protect since the last step invalidates every
+            // cached block (lazily, via the generation).
+            let layout = self.mem.layout_epoch();
+            if layout != self.seen_layout {
+                self.seen_layout = layout;
+                self.bbcache.flush();
+                for c in &mut self.cursors {
+                    c.valid = false;
+                }
+            }
         }
         let Machine {
             mem,
             threads,
             obs,
             hw,
+            bbcache,
+            cursors,
+            stop_conditions,
+            pc_counters,
+            global_icount,
+            cycle,
             ..
         } = self;
         let t = &mut threads[idx];
-        let env = StepEnv { tsc: self.cycle };
-        let mut hobs = HwObs {
-            inner: obs,
-            hw,
-            extra_cycles: 0,
-        };
         let pre_rip = t.regs.rip;
-        let effect = cpu::step(t, mem, env, &mut hobs);
-        let extra = hobs.extra_cycles;
 
-        let (retired, result, insn_cost) = match effect {
-            Effect::Normal => (true, ThreadStep::Retired, 1),
-            Effect::Syscall => (
-                true,
-                ThreadStep::SyscallRetired,
-                HwModel::insn_cost(&Insn::Syscall),
-            ),
-            Effect::Marker(k, tag) => (true, ThreadStep::Marker(k, tag), 1),
-            Effect::Fault(f) => (false, ThreadStep::Fault(f), 0),
-        };
-        if retired {
-            let cost = insn_cost + extra;
-            let t = &mut self.threads[idx];
-            t.icount += 1;
-            t.cycles += cost;
-            self.global_icount += 1;
-            self.cycle += cost;
-            // Graceful-exit counter: fires once the armed target is hit.
-            if t.exit_counter.retire() {
-                t.state = ThreadState::Exited(0);
-                self.obs.on_thread_exit(t.tid, 0);
-                return result;
+        // Fast path: position a cursor on the next pre-decoded
+        // instruction — the thread's own cursor if it is still walking a
+        // block, else by block lookup (building on miss). Falls back to
+        // the fetch+decode interpreter when the instruction can't be
+        // decoded (so faults are reproduced exactly by the slow path).
+        let mut cached: Option<(usize, u64, usize)> = None;
+        if use_cache {
+            let cur = &cursors[idx];
+            if cur.valid
+                && cur.expected_rip == pre_rip
+                && bbcache
+                    .insn_at(cur.slot, cur.block_start, cur.pos)
+                    .is_some()
+            {
+                let (slot, start, pos) = (cur.slot, cur.block_start, cur.pos);
+                bbcache.count_hit();
+                cached = Some((slot, start, pos));
+            } else if let Some(slot) = match bbcache.lookup(pre_rip) {
+                Some((slot, _)) => Some(slot),
+                None => bbcache.build(mem, pre_rip),
+            } {
+                cached = Some((slot, pre_rip, 0));
             }
-            // Track PcCount stop-condition counters.
-            for (i, c) in self.stop_conditions.iter().enumerate() {
-                if let StopWhen::PcCount { pc, .. } = c {
-                    if *pc == pre_rip {
-                        self.pc_counters[i] += 1;
+        }
+
+        let mut attempts = 0u64;
+        let mut exit_fired = false;
+        let result = if let Some((slot, block_start, start_pos)) = cached {
+            // Hold the block for the whole batch: nothing below can
+            // invalidate it — evictions and flushes only happen in the
+            // prologue above, and a write to cached code ends the batch.
+            let block = bbcache.block_at(slot).expect("cursor validated the block");
+            let mut pos = start_pos;
+            // Hits beyond the first instruction (already counted above).
+            let mut extra_hits = 0u64;
+            let step = loop {
+                let (insn, len) = block.insns[pos];
+                let len = len as usize;
+                let rip = t.regs.rip;
+                let env = StepEnv { tsc: *cycle };
+                let mut hobs = HwObs {
+                    inner: &mut *obs,
+                    hw,
+                    extra_cycles: 0,
+                };
+                let effect = cpu::exec(t, mem, insn, len, env, &mut hobs);
+                let extra = hobs.extra_cycles;
+                attempts += 1;
+
+                let (retired, step, insn_cost) = classify(effect);
+                if retired {
+                    let cost = insn_cost + extra;
+                    t.icount += 1;
+                    t.cycles += cost;
+                    *global_icount += 1;
+                    *cycle += cost;
+                    // Graceful-exit counter: fires once the armed target
+                    // is hit.
+                    if t.exit_counter.retire() {
+                        t.state = ThreadState::Exited(0);
+                        obs.on_thread_exit(t.tid, 0);
+                        exit_fired = true;
+                        cursors[idx].valid = false;
+                        break step;
+                    }
+                    // Track PcCount stop-condition counters.
+                    for (i, c) in stop_conditions.iter().enumerate() {
+                        if let StopWhen::PcCount { pc, .. } = c {
+                            if *pc == rip {
+                                pc_counters[i] += 1;
+                            }
+                        }
+                    }
+                }
+                // Advance along the straight line; any deviation (taken
+                // branch, syscall, fault rewind) drops the cursor and
+                // ends the batch.
+                if !(matches!(effect, Effect::Normal | Effect::Marker(..))
+                    && t.regs.rip == rip.wrapping_add(len as u64))
+                {
+                    cursors[idx].valid = false;
+                    break step;
+                }
+                pos += 1;
+                if attempts >= max
+                    || pos >= block.insns.len()
+                    || mem.has_dirty_code()
+                    || obs.wants_stop()
+                {
+                    cursors[idx] = BlockCursor {
+                        valid: true,
+                        slot,
+                        block_start,
+                        pos,
+                        expected_rip: t.regs.rip,
+                    };
+                    break step;
+                }
+                extra_hits += 1;
+            };
+            bbcache.add_hits(extra_hits);
+            step
+        } else {
+            // Slow path: fetch + decode + execute one instruction.
+            let env = StepEnv { tsc: *cycle };
+            let mut hobs = HwObs {
+                inner: &mut *obs,
+                hw,
+                extra_cycles: 0,
+            };
+            let effect = cpu::step(t, mem, env, &mut hobs);
+            let extra = hobs.extra_cycles;
+            attempts = 1;
+            if use_cache {
+                cursors[idx].valid = false;
+            }
+            let (retired, step, insn_cost) = classify(effect);
+            if retired {
+                let cost = insn_cost + extra;
+                t.icount += 1;
+                t.cycles += cost;
+                *global_icount += 1;
+                *cycle += cost;
+                if t.exit_counter.retire() {
+                    t.state = ThreadState::Exited(0);
+                    obs.on_thread_exit(t.tid, 0);
+                    exit_fired = true;
+                } else {
+                    for (i, c) in stop_conditions.iter().enumerate() {
+                        if let StopWhen::PcCount { pc, .. } = c {
+                            if *pc == pre_rip {
+                                pc_counters[i] += 1;
+                            }
+                        }
                     }
                 }
             }
-        }
-        if matches!(result, ThreadStep::SyscallRetired) {
+            step
+        };
+        if !exit_fired && matches!(result, ThreadStep::SyscallRetired) {
             self.service_syscall(idx);
         }
-        result
+        (attempts, result)
     }
 
     fn service_syscall(&mut self, idx: usize) {
@@ -571,14 +835,23 @@ impl<O: Observer> Machine<O> {
             };
             // Jittered quantum: [quantum/2, 3*quantum/2).
             let q = self.cfg.quantum;
-            let slice = q / 2 + xorshift(&mut self.rng) % q.max(1);
-            for _ in 0..slice.max(1) {
+            let mut slice_left = (q / 2 + xorshift(&mut self.rng) % q.max(1)).max(1);
+            while slice_left > 0 {
                 if budget == 0 {
                     return finish(self, ExitReason::FuelExhausted);
                 }
-                budget -= 1;
                 let tid = self.threads[idx].tid;
-                let step = self.step_thread(idx);
+                // With no stop conditions armed the rest of the slice can
+                // be served as one cached-block batch; otherwise the
+                // conditions must be re-evaluated after every instruction.
+                let max = if self.stop_conditions.is_empty() {
+                    slice_left.min(budget)
+                } else {
+                    1
+                };
+                let (ran, step) = self.step_thread_batch(idx, max);
+                budget -= ran;
+                slice_left -= ran;
                 match step {
                     ThreadStep::Fault(fault) => {
                         return finish(self, ExitReason::Fault { tid, fault });

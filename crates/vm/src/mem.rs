@@ -1,11 +1,32 @@
-//! Paged guest memory with per-page permissions.
+//! Paged guest memory with per-page permissions and a software TLB.
 //!
 //! The guest address space is sparse: 4 KiB pages are materialised on
 //! `map`, and every access checks both mapping and permission. Access
 //! failures surface as [`MemError`] — this is how an ELFie that diverges
 //! onto an un-captured page dies "ungracefully", as in the paper.
+//!
+//! ## Fast path
+//!
+//! Pages live in an arena (`Vec<Option<Page>>`) so a page keeps a stable
+//! slot index for its whole lifetime; a `BTreeMap<page_base, slot>` maps
+//! addresses to slots. A small direct-mapped software TLB — separate
+//! read / write / fetch entry arrays — caches `(page_base → slot)`
+//! translations so the hot interpreter loop skips the `BTreeMap` on
+//! almost every access. The TLB is flushed whenever the layout changes
+//! (`map` / `unmap` / `protect`), and the layout epoch lets execution
+//! caches above this layer (the [`crate::bbcache`] block cache) notice
+//! those changes lazily.
+//!
+//! ## Self-modifying code
+//!
+//! The block cache marks pages whose instructions it has pre-decoded via
+//! [`Memory::watch_exec_page`]. Any write landing on a watched page —
+//! including permission-ignoring loader/kernel writes — records the page
+//! in a dirty-code list that the machine drains after each step to evict
+//! overlapping blocks, keeping cached execution bit-identical.
 
 use elfie_isa::{page_base, PAGE_SIZE};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -114,16 +135,52 @@ impl std::error::Error for MemError {}
 
 struct Page {
     data: Box<[u8; PAGE_SIZE as usize]>,
+    base: u64,
     perm: Perm,
+    /// Set while the block cache holds pre-decoded instructions from this
+    /// page; writes then land the page in `dirty_code`.
+    watched: bool,
 }
 
 impl Page {
-    fn new(perm: Perm) -> Page {
+    fn new(base: u64, perm: Perm) -> Page {
         Page {
             data: Box::new([0u8; PAGE_SIZE as usize]),
+            base,
             perm,
+            watched: false,
         }
     }
+}
+
+/// Number of entries in each of the three TLB arrays (power of two).
+const TLB_SIZE: usize = 64;
+
+/// One direct-mapped TLB entry: a page base and its arena slot.
+#[derive(Clone, Copy)]
+struct TlbEntry {
+    base: u64,
+    slot: u32,
+}
+
+/// `u64::MAX` is never page-aligned, so it can never match a real base.
+const TLB_INVALID: TlbEntry = TlbEntry {
+    base: u64::MAX,
+    slot: 0,
+};
+
+#[inline]
+const fn access_index(access: Access) -> usize {
+    match access {
+        Access::Read => 0,
+        Access::Write => 1,
+        Access::Exec => 2,
+    }
+}
+
+#[inline]
+const fn tlb_set(base: u64) -> usize {
+    ((base >> 12) as usize) & (TLB_SIZE - 1)
 }
 
 /// Sparse paged memory.
@@ -136,43 +193,226 @@ impl Page {
 /// assert_eq!(m.read_u64(0x1ff8)?, 0xdead_beef);
 /// # Ok::<(), elfie_vm::mem::MemError>(())
 /// ```
-#[derive(Default)]
 pub struct Memory {
-    pages: BTreeMap<u64, Page>,
+    /// Page arena; a page's slot is stable for its whole mapped lifetime.
+    slots: Vec<Option<Page>>,
+    /// Free slots available for reuse.
+    free: Vec<u32>,
+    /// `page_base → slot`, the authoritative mapping.
+    index: BTreeMap<u64, u32>,
+    /// Software TLB, one direct-mapped array per access kind. `Cell` so
+    /// the `&self` read/fetch path can fill entries.
+    tlb: [[Cell<TlbEntry>; TLB_SIZE]; 3],
+    tlb_enabled: bool,
+    tlb_hits: Cell<u64>,
+    tlb_misses: Cell<u64>,
+    /// Bumped on every map/unmap/protect; lets higher-level caches notice
+    /// layout changes lazily.
+    layout_epoch: u64,
+    /// Bases of watched (code-cached) pages that have been written to
+    /// since the last [`Memory::take_dirty_code`].
+    dirty_code: Vec<u64>,
+}
+
+impl Default for Memory {
+    fn default() -> Memory {
+        Memory::new()
+    }
 }
 
 impl fmt::Debug for Memory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Memory")
-            .field("pages", &self.pages.len())
+            .field("pages", &self.index.len())
             .finish()
     }
+}
+
+/// Single-page fast path for a fixed-width little-endian read: one TLB
+/// resolve plus a direct slice load. Accesses straddling a page boundary
+/// fall back to the general byte copier.
+macro_rules! read_le {
+    ($self:expr, $addr:expr, $ty:ty, $n:literal) => {{
+        let off = ($addr % PAGE_SIZE) as usize;
+        if off + $n <= PAGE_SIZE as usize {
+            let slot = $self.resolve($addr, Access::Read)?;
+            let d = &$self.page(slot).data[off..off + $n];
+            Ok(<$ty>::from_le_bytes(d.try_into().expect("sized slice")))
+        } else {
+            let mut b = [0u8; $n];
+            $self.read_bytes($addr, &mut b)?;
+            Ok(<$ty>::from_le_bytes(b))
+        }
+    }};
+}
+
+/// Single-page fast path for a fixed-width little-endian write; mirrors
+/// [`read_le!`] and keeps self-modifying-code tracking via `note_write`.
+macro_rules! write_le {
+    ($self:expr, $addr:expr, $v:expr, $n:literal) => {{
+        let off = ($addr % PAGE_SIZE) as usize;
+        if off + $n <= PAGE_SIZE as usize {
+            let slot = $self.resolve($addr, Access::Write)?;
+            $self.page_mut(slot).data[off..off + $n].copy_from_slice(&$v.to_le_bytes());
+            $self.note_write(slot);
+            Ok(())
+        } else {
+            $self.write_bytes($addr, &$v.to_le_bytes())
+        }
+    }};
 }
 
 impl Memory {
     /// Creates an empty address space.
     pub fn new() -> Memory {
-        Memory::default()
+        Memory {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: BTreeMap::new(),
+            tlb: std::array::from_fn(|_| std::array::from_fn(|_| Cell::new(TLB_INVALID))),
+            tlb_enabled: true,
+            tlb_hits: Cell::new(0),
+            tlb_misses: Cell::new(0),
+            layout_epoch: 0,
+            dirty_code: Vec::new(),
+        }
     }
 
     /// Number of mapped pages.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.index.len()
     }
 
     /// Total mapped bytes.
     pub fn mapped_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.index.len() as u64 * PAGE_SIZE
     }
 
     /// True if the page containing `addr` is mapped.
     pub fn is_mapped(&self, addr: u64) -> bool {
-        self.pages.contains_key(&page_base(addr))
+        self.index.contains_key(&page_base(addr))
     }
 
     /// The permission of the page containing `addr`, if mapped.
     pub fn perm_at(&self, addr: u64) -> Option<Perm> {
-        self.pages.get(&page_base(addr)).map(|p| p.perm)
+        self.index.get(&page_base(addr)).map(|&s| self.page(s).perm)
+    }
+
+    #[inline]
+    fn page(&self, slot: u32) -> &Page {
+        self.slots[slot as usize].as_ref().expect("live slot")
+    }
+
+    #[inline]
+    fn page_mut(&mut self, slot: u32) -> &mut Page {
+        self.slots[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// Flushes the software TLB (all three access kinds).
+    pub fn flush_tlb(&self) {
+        for kind in &self.tlb {
+            for e in kind {
+                e.set(TLB_INVALID);
+            }
+        }
+    }
+
+    /// Enables or disables the software TLB (used by benchmark ablations;
+    /// disabling flushes it so stale entries cannot linger).
+    pub fn set_tlb_enabled(&mut self, on: bool) {
+        self.tlb_enabled = on;
+        self.flush_tlb();
+    }
+
+    /// `(hits, misses)` of the software TLB since creation.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        (self.tlb_hits.get(), self.tlb_misses.get())
+    }
+
+    /// Monotone counter bumped on every layout change (map / unmap /
+    /// protect). Execution caches keyed on decoded code compare this to
+    /// notice remappings lazily.
+    pub fn layout_epoch(&self) -> u64 {
+        self.layout_epoch
+    }
+
+    fn bump_layout(&mut self) {
+        self.layout_epoch += 1;
+        self.flush_tlb();
+    }
+
+    /// Marks the page containing `addr` as holding cached decoded code.
+    /// Returns false (and does nothing) if the page is not mapped.
+    pub fn watch_exec_page(&mut self, addr: u64) -> bool {
+        let base = page_base(addr);
+        match self.index.get(&base).copied() {
+            Some(slot) => {
+                self.page_mut(slot).watched = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if a watched page has been written to since the last
+    /// [`Memory::take_dirty_code`].
+    #[inline]
+    pub fn has_dirty_code(&self) -> bool {
+        !self.dirty_code.is_empty()
+    }
+
+    /// Takes the bases of watched pages written to since the last call.
+    /// Taking a page also un-watches it; the code cache re-watches pages
+    /// it still (re-)caches blocks from.
+    pub fn take_dirty_code(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.dirty_code)
+    }
+
+    /// Records a write into `slot` for self-modifying-code tracking.
+    #[inline]
+    fn note_write(&mut self, slot: u32) {
+        if self.page(slot).watched {
+            let base = self.page(slot).base;
+            self.page_mut(slot).watched = false;
+            self.dirty_code.push(base);
+        }
+    }
+
+    /// Resolves `addr` to an arena slot, checking `access` permission.
+    /// Consults the TLB first; a miss falls through to the `BTreeMap` and
+    /// fills the entry.
+    #[inline]
+    fn resolve(&self, addr: u64, access: Access) -> Result<u32, MemError> {
+        let base = page_base(addr);
+        if self.tlb_enabled {
+            let e = self.tlb[access_index(access)][tlb_set(base)].get();
+            if e.base == base {
+                self.tlb_hits.set(self.tlb_hits.get() + 1);
+                return Ok(e.slot);
+            }
+        }
+        self.resolve_slow(addr, base, access)
+    }
+
+    fn resolve_slow(&self, addr: u64, base: u64, access: Access) -> Result<u32, MemError> {
+        let slot = *self
+            .index
+            .get(&base)
+            .ok_or(MemError::Unmapped { addr, access })?;
+        let perm = self.page(slot).perm;
+        let ok = match access {
+            Access::Read => perm.can_read(),
+            Access::Write => perm.can_write(),
+            Access::Exec => perm.can_exec(),
+        };
+        if !ok {
+            return Err(MemError::Protection { addr, access, perm });
+        }
+        if self.tlb_enabled {
+            self.tlb_misses.set(self.tlb_misses.get() + 1);
+            self.tlb[access_index(access)][tlb_set(base)].set(TlbEntry { base, slot });
+        }
+        Ok(slot)
     }
 
     /// Maps the page containing `addr` with permission `perm`.
@@ -180,10 +420,23 @@ impl Memory {
     /// permission.
     pub fn map_page(&mut self, addr: u64, perm: Perm) {
         let base = page_base(addr);
-        self.pages
-            .entry(base)
-            .or_insert_with(|| Page::new(perm))
-            .perm = perm;
+        match self.index.get(&base).copied() {
+            Some(slot) => self.page_mut(slot).perm = perm,
+            None => {
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(Page::new(base, perm));
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(Page::new(base, perm)));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(base, slot);
+            }
+        }
+        self.bump_layout();
     }
 
     /// Maps every page overlapping `[start, end)`.
@@ -209,14 +462,19 @@ impl Memory {
     /// page contents if it was mapped, so callers can relocate pages (the
     /// ELFie startup stack-remap does this).
     pub fn unmap_page(&mut self, addr: u64) -> Option<Box<[u8; PAGE_SIZE as usize]>> {
-        self.pages.remove(&page_base(addr)).map(|p| p.data)
+        let base = page_base(addr);
+        let slot = self.index.remove(&base)?;
+        let page = self.slots[slot as usize].take().expect("live slot");
+        self.free.push(slot);
+        self.bump_layout();
+        Some(page.data)
     }
 
     /// Unmaps every page overlapping `[start, end)`.
     pub fn unmap_range(&mut self, start: u64, end: u64) {
         let mut p = page_base(start);
         while p < end {
-            self.pages.remove(&p);
+            self.unmap_page(p);
             p += PAGE_SIZE;
         }
     }
@@ -224,11 +482,16 @@ impl Memory {
     /// Changes the permission of all mapped pages in `[start, end)`.
     pub fn protect_range(&mut self, start: u64, end: u64, perm: Perm) {
         let mut p = page_base(start);
+        let mut changed = false;
         while p < end {
-            if let Some(page) = self.pages.get_mut(&p) {
-                page.perm = perm;
+            if let Some(slot) = self.index.get(&p).copied() {
+                self.page_mut(slot).perm = perm;
+                changed = true;
             }
             p += PAGE_SIZE;
+        }
+        if changed {
+            self.bump_layout();
         }
     }
 
@@ -236,60 +499,30 @@ impl Memory {
     /// ascending address order. This is what the PinPlay logger walks when
     /// writing a fat pinball's memory image.
     pub fn pages(&self) -> impl Iterator<Item = (u64, Perm, &[u8; PAGE_SIZE as usize])> {
-        self.pages.iter().map(|(&a, p)| (a, p.perm, &*p.data))
-    }
-
-    fn page_for(&self, addr: u64, access: Access) -> Result<&Page, MemError> {
-        let page = self
-            .pages
-            .get(&page_base(addr))
-            .ok_or(MemError::Unmapped { addr, access })?;
-        let ok = match access {
-            Access::Read => page.perm.can_read(),
-            Access::Write => page.perm.can_write(),
-            Access::Exec => page.perm.can_exec(),
-        };
-        if ok {
-            Ok(page)
-        } else {
-            Err(MemError::Protection {
-                addr,
-                access,
-                perm: page.perm,
-            })
-        }
-    }
-
-    fn page_for_mut(&mut self, addr: u64, access: Access) -> Result<&mut Page, MemError> {
-        let page = self
-            .pages
-            .get_mut(&page_base(addr))
-            .ok_or(MemError::Unmapped { addr, access })?;
-        let ok = match access {
-            Access::Read => page.perm.can_read(),
-            Access::Write => page.perm.can_write(),
-            Access::Exec => page.perm.can_exec(),
-        };
-        if ok {
-            Ok(page)
-        } else {
-            Err(MemError::Protection {
-                addr,
-                access,
-                perm: page.perm,
-            })
-        }
+        self.index.iter().map(|(&a, &s)| {
+            let p = self.page(s);
+            (a, p.perm, &*p.data)
+        })
     }
 
     /// Reads `buf.len()` bytes starting at `addr` (may cross pages).
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if off + buf.len() <= PAGE_SIZE as usize {
+            let slot = self.resolve(addr, Access::Read)?;
+            buf.copy_from_slice(&self.page(slot).data[off..off + buf.len()]);
+            return Ok(());
+        }
         let mut pos = 0usize;
         while pos < buf.len() {
             let a = addr + pos as u64;
-            let page = self.page_for(a, Access::Read)?;
+            let slot = self.resolve(a, Access::Read)?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            buf[pos..pos + n].copy_from_slice(&page.data[off..off + n]);
+            buf[pos..pos + n].copy_from_slice(&self.page(slot).data[off..off + n]);
             pos += n;
         }
         Ok(())
@@ -297,13 +530,24 @@ impl Memory {
 
     /// Writes `buf` starting at `addr` (may cross pages).
     pub fn write_bytes(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if buf.is_empty() {
+            return Ok(());
+        }
+        if off + buf.len() <= PAGE_SIZE as usize {
+            let slot = self.resolve(addr, Access::Write)?;
+            self.page_mut(slot).data[off..off + buf.len()].copy_from_slice(buf);
+            self.note_write(slot);
+            return Ok(());
+        }
         let mut pos = 0usize;
         while pos < buf.len() {
             let a = addr + pos as u64;
-            let page = self.page_for_mut(a, Access::Write)?;
+            let slot = self.resolve(a, Access::Write)?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            page.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.page_mut(slot).data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.note_write(slot);
             pos += n;
         }
         Ok(())
@@ -311,21 +555,20 @@ impl Memory {
 
     /// Writes bytes ignoring the write permission (used by loaders and by
     /// the kernel when materialising syscall side effects into read-only
-    /// mappings).
+    /// mappings). Still participates in self-modifying-code tracking:
+    /// injected bytes landing on cached code pages must evict blocks.
     pub fn write_bytes_unchecked(&mut self, addr: u64, buf: &[u8]) -> Result<(), MemError> {
         let mut pos = 0usize;
         while pos < buf.len() {
             let a = addr + pos as u64;
-            let page = self
-                .pages
-                .get_mut(&page_base(a))
-                .ok_or(MemError::Unmapped {
-                    addr: a,
-                    access: Access::Write,
-                })?;
+            let slot = *self.index.get(&page_base(a)).ok_or(MemError::Unmapped {
+                addr: a,
+                access: Access::Write,
+            })?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            page.data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.page_mut(slot).data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.note_write(slot);
             pos += n;
         }
         Ok(())
@@ -334,16 +577,23 @@ impl Memory {
     /// Fetches up to `buf.len()` instruction bytes at `addr`, checking
     /// execute permission. Returns the number of bytes fetched (shorter at
     /// the end of an executable mapping so the decoder can report
-    /// truncation).
+    /// truncation). Rides the same TLB as data accesses, with its own
+    /// fetch-entry array.
     pub fn fetch(&self, addr: u64, buf: &mut [u8]) -> Result<usize, MemError> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if !buf.is_empty() && off + buf.len() <= PAGE_SIZE as usize {
+            let slot = self.resolve(addr, Access::Exec)?;
+            buf.copy_from_slice(&self.page(slot).data[off..off + buf.len()]);
+            return Ok(buf.len());
+        }
         let mut pos = 0usize;
         while pos < buf.len() {
             let a = addr + pos as u64;
-            match self.page_for(a, Access::Exec) {
-                Ok(page) => {
+            match self.resolve(a, Access::Exec) {
+                Ok(slot) => {
                     let off = (a % PAGE_SIZE) as usize;
                     let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-                    buf[pos..pos + n].copy_from_slice(&page.data[off..off + n]);
+                    buf[pos..pos + n].copy_from_slice(&self.page(slot).data[off..off + n]);
                     pos += n;
                 }
                 Err(e) => {
@@ -358,39 +608,55 @@ impl Memory {
     }
 
     /// Reads a `u8`.
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
-        let mut b = [0u8; 1];
-        self.read_bytes(addr, &mut b)?;
-        Ok(b[0])
+        let slot = self.resolve(addr, Access::Read)?;
+        Ok(self.page(slot).data[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Reads a little-endian `u16`.
+    #[inline]
+    pub fn read_u16(&self, addr: u64) -> Result<u16, MemError> {
+        read_le!(self, addr, u16, 2)
     }
 
     /// Reads a little-endian `u32`.
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> Result<u32, MemError> {
-        let mut b = [0u8; 4];
-        self.read_bytes(addr, &mut b)?;
-        Ok(u32::from_le_bytes(b))
+        read_le!(self, addr, u32, 4)
     }
 
     /// Reads a little-endian `u64`.
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
-        let mut b = [0u8; 8];
-        self.read_bytes(addr, &mut b)?;
-        Ok(u64::from_le_bytes(b))
+        read_le!(self, addr, u64, 8)
     }
 
     /// Writes a `u8`.
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
-        self.write_bytes(addr, &[v])
+        let slot = self.resolve(addr, Access::Write)?;
+        self.page_mut(slot).data[(addr % PAGE_SIZE) as usize] = v;
+        self.note_write(slot);
+        Ok(())
+    }
+
+    /// Writes a little-endian `u16`.
+    #[inline]
+    pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), MemError> {
+        write_le!(self, addr, v, 2)
     }
 
     /// Writes a little-endian `u32`.
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
-        self.write_bytes(addr, &v.to_le_bytes())
+        write_le!(self, addr, v, 4)
     }
 
     /// Writes a little-endian `u64`.
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
-        self.write_bytes(addr, &v.to_le_bytes())
+        write_le!(self, addr, v, 8)
     }
 
     /// Reads a NUL-terminated string of at most `max` bytes.
@@ -413,20 +679,21 @@ impl Memory {
         dst_page: u64,
         bytes: &[u8; PAGE_SIZE as usize],
     ) -> Result<(), MemError> {
-        let page = self
-            .pages
-            .get_mut(&page_base(dst_page))
+        let slot = *self
+            .index
+            .get(&page_base(dst_page))
             .ok_or(MemError::Unmapped {
                 addr: dst_page,
                 access: Access::Write,
             })?;
-        page.data.copy_from_slice(bytes);
+        self.page_mut(slot).data.copy_from_slice(bytes);
+        self.note_write(slot);
         Ok(())
     }
 
     /// Returns the lowest mapped address at or above `addr`, if any.
     pub fn next_mapped(&self, addr: u64) -> Option<u64> {
-        self.pages.range(page_base(addr)..).next().map(|(&a, _)| a)
+        self.index.range(page_base(addr)..).next().map(|(&a, _)| a)
     }
 
     /// Finds a gap of `len` bytes starting the search at `hint`, for
@@ -437,7 +704,7 @@ impl Memory {
         let mut candidate = page_base(hint);
         loop {
             // Scan mapped pages in [candidate, candidate+len).
-            match self.pages.range(candidate..candidate + len).next() {
+            match self.index.range(candidate..candidate + len).next() {
                 None => return candidate,
                 Some((&used, _)) => candidate = used + PAGE_SIZE,
             }
@@ -546,6 +813,115 @@ mod tests {
         assert_eq!(m.read_cstr(0x10, 64).unwrap(), "hello");
     }
 
+    #[test]
+    fn u16_roundtrip_and_cross_page() {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x3000, Perm::RW).unwrap();
+        m.write_u16(0x1004, 0xbeef).unwrap();
+        assert_eq!(m.read_u16(0x1004).unwrap(), 0xbeef);
+        // Straddling the page boundary at 0x2000.
+        m.write_u16(0x1fff, 0xa55a).unwrap();
+        assert_eq!(m.read_u16(0x1fff).unwrap(), 0xa55a);
+        assert_eq!(m.read_u8(0x1fff).unwrap(), 0x5a);
+        assert_eq!(m.read_u8(0x2000).unwrap(), 0xa5);
+    }
+
+    #[test]
+    fn u16_cross_page_fails_when_second_page_unmapped() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RW);
+        assert!(m.write_u16(0x1fff, 1).is_err());
+        assert!(m.read_u16(0x1fff).is_err());
+    }
+
+    #[test]
+    fn tlb_hits_accumulate_and_flush_on_layout_change() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RW);
+        m.write_u64(0x1000, 1).unwrap();
+        let (h0, _) = m.tlb_stats();
+        for _ in 0..10 {
+            m.read_u64(0x1000).unwrap();
+        }
+        let (h1, _) = m.tlb_stats();
+        assert!(h1 >= h0 + 9, "repeated reads hit the TLB");
+
+        let e0 = m.layout_epoch();
+        m.map_page(0x2000, Perm::RW);
+        assert!(m.layout_epoch() > e0, "map bumps the layout epoch");
+        let (_, mi0) = m.tlb_stats();
+        m.read_u64(0x1000).unwrap();
+        let (_, mi1) = m.tlb_stats();
+        assert_eq!(mi1, mi0 + 1, "map flushed the TLB");
+    }
+
+    #[test]
+    fn tlb_respects_permission_kind() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::R);
+        // Warm the read entry; writes must still be refused.
+        assert!(m.read_u8(0x1000).is_ok());
+        assert!(m.read_u8(0x1000).is_ok());
+        assert!(matches!(
+            m.write_u8(0x1000, 1),
+            Err(MemError::Protection { .. })
+        ));
+    }
+
+    #[test]
+    fn disabled_tlb_still_correct() {
+        let mut m = Memory::new();
+        m.set_tlb_enabled(false);
+        m.map_range(0x1000, 0x3000, Perm::RW).unwrap();
+        m.write_u64(0x1ffc, 0x1122334455667788).unwrap();
+        assert_eq!(m.read_u64(0x1ffc).unwrap(), 0x1122334455667788);
+        assert_eq!(m.tlb_stats(), (0, 0));
+    }
+
+    #[test]
+    fn watched_page_writes_record_dirty_code() {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x3000, Perm::RWX).unwrap();
+        assert!(m.watch_exec_page(0x1000));
+        assert!(!m.watch_exec_page(0x9000), "unmapped page not watchable");
+        assert!(!m.has_dirty_code());
+
+        m.write_u8(0x2f00, 1).unwrap(); // unwatched page: no dirt
+        assert!(!m.has_dirty_code());
+
+        m.write_u8(0x1f00, 1).unwrap();
+        assert_eq!(m.take_dirty_code(), vec![0x1000]);
+        assert!(!m.has_dirty_code());
+
+        // Taking un-watches: further writes to the page are quiet until
+        // re-watched.
+        m.write_u8(0x1f01, 2).unwrap();
+        assert!(!m.has_dirty_code());
+
+        // Unchecked (loader/kernel) writes also trip the watch.
+        m.watch_exec_page(0x1000);
+        m.write_bytes_unchecked(0x1010, &[9]).unwrap();
+        assert_eq!(m.take_dirty_code(), vec![0x1000]);
+
+        // install_page replaces content wholesale: also dirty.
+        m.watch_exec_page(0x1000);
+        let page = [0u8; PAGE_SIZE as usize];
+        m.install_page(0x1000, &page).unwrap();
+        assert_eq!(m.take_dirty_code(), vec![0x1000]);
+    }
+
+    #[test]
+    fn unmap_reuses_slots_safely() {
+        let mut m = Memory::new();
+        m.map_page(0x1000, Perm::RW);
+        m.write_u64(0x1000, 42).unwrap();
+        m.unmap_page(0x1000);
+        m.map_page(0x5000, Perm::RW);
+        // Recycled slot must come back zeroed under the new base.
+        assert_eq!(m.read_u64(0x5000).unwrap(), 0);
+        assert!(!m.is_mapped(0x1000));
+    }
+
     proptest! {
         #[test]
         fn rw_roundtrip(addr in 0u64..0x8000, data in proptest::collection::vec(any::<u8>(), 1..512)) {
@@ -563,6 +939,33 @@ mod tests {
             m.map_page(0, Perm::RW);
             m.write_u64(addr, v).unwrap();
             prop_assert_eq!(m.read_u64(addr).unwrap(), v);
+        }
+
+        #[test]
+        fn u16_roundtrip(addr in 0u64..0x1ffe, v in any::<u16>()) {
+            let mut m = Memory::new();
+            m.map_range(0, 0x2000, Perm::RW).unwrap();
+            m.write_u16(addr, v).unwrap();
+            prop_assert_eq!(m.read_u16(addr).unwrap(), v);
+        }
+
+        #[test]
+        fn tlb_agrees_with_slow_path(ops in proptest::collection::vec((0u64..0x6000, any::<u8>()), 1..64)) {
+            // The same op sequence on a TLB'd and a TLB-less memory must
+            // produce identical contents and results.
+            let mut fast = Memory::new();
+            let mut slow = Memory::new();
+            slow.set_tlb_enabled(false);
+            for m in [&mut fast, &mut slow] {
+                m.map_range(0, 0x4000, Perm::RW).unwrap();
+            }
+            for (addr, v) in ops {
+                prop_assert_eq!(fast.write_u8(addr, v), slow.write_u8(addr, v));
+                prop_assert_eq!(fast.read_u8(addr).ok(), slow.read_u8(addr).ok());
+            }
+            let a: Vec<_> = fast.pages().map(|(b, p, d)| (b, p, d.to_vec())).collect();
+            let b: Vec<_> = slow.pages().map(|(b, p, d)| (b, p, d.to_vec())).collect();
+            prop_assert_eq!(a, b);
         }
     }
 }
