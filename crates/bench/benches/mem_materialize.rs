@@ -1,0 +1,139 @@
+//! Criterion micro-benchmarks for checkpoint materialization: how fast a
+//! captured pinball boots into guest memory, and how much of that cost
+//! the shared page arena removes. Three strategies, each with a fleet of
+//! 8 workers replaying the same checkpoint concurrently (the
+//! `BatchValidator` shape):
+//!
+//! * `deep_copy` — every worker copies every page (the old path),
+//! * `shared_arena` — workers alias the checkpoint's `Arc` payloads and
+//!   privatise on first write (CoW),
+//! * `lazy_store` — workers boot a skeleton and fault pages in from an
+//!   elfie-store manifest on first touch.
+//!
+//! The recorded snapshot lives in BENCH_mem.json;
+//! `tests/mem_materialize_ratio.rs` asserts the page-byte reductions as
+//! a regular test so CI enforces them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elfie::pinball::Pinball;
+use elfie::pinplay::{BootMode, Logger, LoggerConfig, ReplayConfig, Replayer};
+use elfie::store::Store;
+use elfie::vm::NullObserver;
+use std::path::PathBuf;
+
+const WORKERS: usize = 8;
+
+fn capture() -> Pinball {
+    let w = elfie::workloads::gcc_like(4);
+    let logger = Logger::new(LoggerConfig::fat(
+        &w.name,
+        elfie::pinball::RegionTrigger::GlobalIcount(50_000),
+        20_000,
+    ));
+    logger
+        .capture(&w.program, |m| w.setup(m))
+        .expect("captures")
+}
+
+fn replayer(boot: BootMode) -> Replayer {
+    Replayer::new(ReplayConfig {
+        boot,
+        ..ReplayConfig::default()
+    })
+}
+
+/// Boots and replays the checkpoint on `WORKERS` threads; returns total
+/// retired instructions (a cheap checksum that the work really ran).
+fn fleet_replay(pb: &Pinball, boot: BootMode) -> u64 {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                s.spawn(move || {
+                    let (summary, _m) = replayer(boot).replay_full(pb, |_| {});
+                    assert!(summary.completed, "replay must complete");
+                    summary.global_icount
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+}
+
+fn fleet_replay_lazy(store: &Store, name: &str) -> u64 {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                s.spawn(move || {
+                    let lazy = store.get_pinball_lazy(name).expect("lazy handle");
+                    let (summary, _m) = replayer(BootMode::Shared).replay_full_with_source(
+                        &lazy.skeleton,
+                        NullObserver,
+                        Some(&lazy),
+                        |_| {},
+                    );
+                    assert!(summary.completed, "lazy replay must complete");
+                    summary.global_icount
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+}
+
+/// Boot-only cost: materialize the checkpoint image into a machine
+/// without running it. This isolates the page-copy traffic the arena
+/// removes from the (identical) execution that follows.
+fn fleet_boot(pb: &Pinball, boot: BootMode) -> u64 {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                s.spawn(move || {
+                    let (m, _tids) = replayer(boot).build_machine_with(pb, NullObserver);
+                    m.mem.materialize_stats().pages_mapped
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    })
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("elfie-benchmem-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+fn mem_materialize(c: &mut Criterion) {
+    let pb = capture();
+    let root = tmp("store");
+    let store = Store::open(&root).expect("store opens");
+    store.put_pinball("gcc_like", &pb).expect("stores");
+
+    let mut g = c.benchmark_group("mem_boot_8workers");
+    g.sample_size(20);
+    g.bench_function("deep_copy", |b| {
+        b.iter(|| std::hint::black_box(fleet_boot(&pb, BootMode::DeepCopy)))
+    });
+    g.bench_function("shared_arena", |b| {
+        b.iter(|| std::hint::black_box(fleet_boot(&pb, BootMode::Shared)))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("mem_replay_8workers");
+    g.sample_size(10);
+    g.bench_function("deep_copy", |b| {
+        b.iter(|| std::hint::black_box(fleet_replay(&pb, BootMode::DeepCopy)))
+    });
+    g.bench_function("shared_arena", |b| {
+        b.iter(|| std::hint::black_box(fleet_replay(&pb, BootMode::Shared)))
+    });
+    g.bench_function("lazy_store", |b| {
+        b.iter(|| std::hint::black_box(fleet_replay_lazy(&store, "gcc_like")))
+    });
+    g.finish();
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+criterion_group!(benches, mem_materialize);
+criterion_main!(benches);

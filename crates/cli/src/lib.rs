@@ -451,7 +451,8 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     Ok(format!(
         "sim {}: exit {:?}\nuser insns {}  kernel insns {}  cycles {}  IPC {:.3}  runtime {} ns\n\
          L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines\n\
-         vm fast path: block cache {:.1}% hit, soft-tlb {:.1}% hit",
+         vm fast path: block cache {:.1}% hit, soft-tlb {:.1}% hit\n\
+         vm memory: {} pages mapped ({} shared, {} cow breaks, {} lazy faults), peak resident {} bytes",
         sim.params.name,
         out.exit,
         out.stats.user_insns,
@@ -467,6 +468,11 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         out.stats.footprint_lines,
         out.fastpath.block_hit_rate() * 100.0,
         out.fastpath.tlb_hit_rate() * 100.0,
+        out.fastpath.mat.pages_mapped,
+        out.fastpath.mat.shared_pages,
+        out.fastpath.mat.cow_breaks,
+        out.fastpath.mat.lazy_faults,
+        out.fastpath.mat.peak_owned_bytes,
     ))
 }
 
@@ -847,6 +853,9 @@ mod tests {
         assert!(out.contains("regions:"), "{out}");
         assert!(out.contains("MIPS"), "{out}");
         assert!(out.contains("block cache"), "{out}");
+        assert!(out.contains("mem:"), "{out}");
+        assert!(out.contains("peak resident"), "{out}");
+        assert!(out.contains("shared"), "{out}");
     }
 
     #[test]

@@ -244,6 +244,27 @@ impl PipelineCache {
         Ok(Arc::clone(mem.entry(key).or_insert(value)))
     }
 
+    /// Opens the pinball stored under `key` in the persistent tier
+    /// *lazily*: the returned handle carries only the skeleton (metadata,
+    /// registers, logs), and page payloads stream in from the store on
+    /// first touch — hand the handle to
+    /// `Replayer::replay_full_with_source` as the fault [`PageSource`].
+    /// Returns `None` when no store is attached or it has no such
+    /// pinball. A hit counts as a pinball + store hit but deliberately
+    /// skips the in-memory tier: the point is *not* holding the pages.
+    ///
+    /// [`PageSource`]: elfie_pinball::PageSource
+    pub fn lazy_pinball(&self, key: u64) -> Option<elfie_store::LazyPinball> {
+        let lazy = self
+            .store
+            .as_ref()?
+            .get_pinball_lazy(&Self::pinball_ref(key))
+            .ok()?;
+        self.pinball_hits.fetch_add(1, Ordering::Relaxed);
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        Some(lazy)
+    }
+
     /// Number of stored profiles.
     pub fn profile_count(&self) -> usize {
         self.profiles.lock().unwrap().len()
@@ -352,6 +373,43 @@ mod tests {
         // Third lookup in the same instance hits memory, not the store.
         warm.profile(42, || panic!("must come from memory"));
         assert_eq!(warm.stats().store_hits, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lazy_pinball_streams_pages_from_the_persistent_tier() {
+        use elfie_pinball::PageSource;
+        let dir = std::env::temp_dir().join(format!("elfie-cache-lazy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let cache = PipelineCache::persistent(&dir).unwrap();
+        assert!(cache.lazy_pinball(9).is_none(), "nothing stored yet");
+
+        // Capture a real fat pinball and write it through the cache.
+        let w = elfie_workloads::gcc_like(0);
+        let logger = elfie_pinplay::Logger::new(elfie_pinplay::LoggerConfig::fat(
+            "lazy",
+            elfie_pinball::RegionTrigger::GlobalIcount(1_000),
+            2_000,
+        ));
+        let pb = cache
+            .pinball(9, || logger.capture(&w.program, |m| w.setup(m)))
+            .expect("captures");
+
+        let lazy = cache.lazy_pinball(9).expect("stored and lazily openable");
+        assert_eq!(
+            lazy.page_count(),
+            pb.image.pages.len() + pb.lazy_pages.len()
+        );
+        assert!(
+            lazy.skeleton.image.pages.is_empty(),
+            "skeleton has no pages"
+        );
+        let (&addr, page) = pb.image.pages.iter().next().expect("fat image");
+        let fetched = lazy.fetch_page(addr).expect("page streams in");
+        assert_eq!(fetched.data[..], page.data[..]);
+        assert_eq!(fetched.perm, page.perm);
+        assert!(lazy.fetch_page(0xdead_f000).is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,7 +3,8 @@
 //! CLI and the benchmark harness.
 
 use crate::cache::CacheStats;
-use elfie_vm::FastPathStats;
+use elfie_pinball::{ArenaStats, PageArena};
+use elfie_vm::{FastPathStats, MaterializeStats};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -39,6 +40,11 @@ pub struct StatsCollector {
     tlb_misses: AtomicU64,
     guest_insns: AtomicU64,
     guest_ns: AtomicU64,
+    pages_mapped: AtomicU64,
+    shared_pages: AtomicU64,
+    cow_breaks: AtomicU64,
+    lazy_faults: AtomicU64,
+    peak_owned_bytes: AtomicU64,
 }
 
 impl StatsCollector {
@@ -84,6 +90,19 @@ impl StatsCollector {
         self.guest_insns.fetch_add(fp.insns, Ordering::Relaxed);
         self.guest_ns
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
+        self.pages_mapped
+            .fetch_add(fp.mat.pages_mapped, Ordering::Relaxed);
+        self.shared_pages
+            .fetch_add(fp.mat.shared_pages, Ordering::Relaxed);
+        self.cow_breaks
+            .fetch_add(fp.mat.cow_breaks, Ordering::Relaxed);
+        self.lazy_faults
+            .fetch_add(fp.mat.lazy_faults, Ordering::Relaxed);
+        // Per-machine peaks are summed: together they bound the private
+        // page bytes the fleet of guests would hold resident at once,
+        // which is the number the CoW sharing is meant to shrink.
+        self.peak_owned_bytes
+            .fetch_add(fp.mat.peak_owned_bytes, Ordering::Relaxed);
     }
 
     /// Freezes the collector into a report.
@@ -110,6 +129,15 @@ impl StatsCollector {
             tlb_misses: self.tlb_misses.load(Ordering::Relaxed),
             guest_insns,
             guest_mips,
+            mat: MaterializeStats {
+                pages_mapped: self.pages_mapped.load(Ordering::Relaxed),
+                shared_pages: self.shared_pages.load(Ordering::Relaxed),
+                cow_breaks: self.cow_breaks.load(Ordering::Relaxed),
+                lazy_faults: self.lazy_faults.load(Ordering::Relaxed),
+                owned_bytes: 0,
+                peak_owned_bytes: self.peak_owned_bytes.load(Ordering::Relaxed),
+            },
+            arena: PageArena::global().stats(),
             cache,
         }
     }
@@ -147,6 +175,12 @@ pub struct PipelineStats {
     pub guest_insns: u64,
     /// Guest millions-of-instructions-per-second over the VM wall time.
     pub guest_mips: f64,
+    /// Page-materialization counters summed over all instrumented guest
+    /// runs (`owned_bytes` is 0 here; `peak_owned_bytes` is the summed
+    /// per-machine peak — the fleet's private-page residency bound).
+    pub mat: MaterializeStats,
+    /// Process-wide page-arena counters at the end of the run.
+    pub arena: ArenaStats,
     /// Cache effectiveness over the run.
     pub cache: CacheStats,
 }
@@ -203,6 +237,18 @@ impl fmt::Display for PipelineStats {
             self.block_cache_hit_rate() * 100.0,
             self.tlb_hit_rate() * 100.0,
         )?;
+        writeln!(
+            f,
+            "  mem: {} pages mapped ({} shared, {} cow breaks, {} lazy faults), \
+             arena {} live pages / {} dedup hits, peak resident {} bytes",
+            self.mat.pages_mapped,
+            self.mat.shared_pages,
+            self.mat.cow_breaks,
+            self.mat.lazy_faults,
+            self.arena.live_pages,
+            self.arena.dedup_hits,
+            self.mat.peak_owned_bytes,
+        )?;
         write!(f, "  cache: {}", self.cache)
     }
 }
@@ -257,6 +303,34 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("block cache 90.0% hit"), "{text}");
         assert!(text.contains("2.0 MIPS"), "{text}");
+    }
+
+    #[test]
+    fn record_vm_accumulates_materialization_counters() {
+        let c = StatsCollector::new();
+        let mat = MaterializeStats {
+            pages_mapped: 10,
+            shared_pages: 8,
+            cow_breaks: 2,
+            lazy_faults: 1,
+            owned_bytes: 8192,
+            peak_owned_bytes: 8192,
+        };
+        let fp = FastPathStats {
+            mat,
+            ..FastPathStats::default()
+        };
+        c.record_vm(fp, Duration::ZERO);
+        c.record_vm(fp, Duration::ZERO);
+        let s = c.finish(Duration::ZERO, 1, CacheStats::default());
+        assert_eq!(s.mat.pages_mapped, 20);
+        assert_eq!(s.mat.shared_pages, 16);
+        assert_eq!(s.mat.cow_breaks, 4);
+        assert_eq!(s.mat.lazy_faults, 2);
+        assert_eq!(s.mat.peak_owned_bytes, 16384, "per-machine peaks sum");
+        let text = s.to_string();
+        assert!(text.contains("20 pages mapped"), "{text}");
+        assert!(text.contains("peak resident 16384 bytes"), "{text}");
     }
 
     #[test]

@@ -154,7 +154,12 @@ pub fn load_parsed<O: Observer>(
 
     // Map PT_LOAD segments at their virtual addresses. Non-allocatable
     // sections are NOT mapped — that is the whole point of the
-    // stack-collision fix.
+    // stack-collision fix. Pages wholly covered by file bytes (and whole
+    // zero pages of bss) are interned in the global page arena and
+    // mapped copy-on-write, so concurrent machines loading the same
+    // ELFie — a validate worker fleet measuring the same regions — share
+    // one payload per distinct page instead of copying the image each.
+    let arena = elfie_pinball::PageArena::global();
     for seg in &file.segments {
         let perm = match (seg.is_write(), seg.is_exec()) {
             (true, true) => Perm::RWX,
@@ -164,14 +169,39 @@ pub fn load_parsed<O: Observer>(
         };
         let start = page_base(seg.vaddr);
         let end = page_align_up(seg.vaddr + seg.memsz.max(seg.data.len() as u64).max(1));
-        machine
-            .mem
-            .map_range(start, end, perm)
-            .expect("valid segment range");
-        machine
-            .mem
-            .write_bytes_unchecked(seg.vaddr, &seg.data)
-            .expect("mapped segment");
+        let data_end = seg.vaddr + seg.data.len() as u64;
+        let mut addr = start;
+        while addr < end {
+            let next = addr + PAGE_SIZE;
+            let fresh = !machine.mem.is_mapped(addr);
+            if fresh && addr >= seg.vaddr && data_end >= next {
+                // Wholly file-backed page: alias the interned payload.
+                let off = (addr - seg.vaddr) as usize;
+                let payload = arena
+                    .intern_slice(&seg.data[off..off + PAGE_SIZE as usize])
+                    .expect("page-sized chunk");
+                machine.mem.map_shared_page(addr, perm, payload);
+            } else if fresh && (next <= seg.vaddr || addr >= data_end) {
+                // Pure bss / alignment padding: one shared zero page.
+                machine.mem.map_shared_page(addr, perm, arena.zero_page());
+            } else {
+                // Partial page, or a page another segment already
+                // populated (map_shared_page would replace its contents
+                // wholesale): zero-map and copy the overlapping bytes,
+                // exactly like the old whole-segment write.
+                machine.mem.map_page(addr, perm);
+                let lo = addr.max(seg.vaddr);
+                let hi = next.min(data_end);
+                if lo < hi {
+                    let bytes = &seg.data[(lo - seg.vaddr) as usize..(hi - seg.vaddr) as usize];
+                    machine
+                        .mem
+                        .write_bytes_unchecked(lo, bytes)
+                        .expect("mapped segment");
+                }
+            }
+            addr = next;
+        }
     }
 
     // Reserve the stack, honouring randomisation.

@@ -1,0 +1,199 @@
+//! Content-addressed page arena: every 4 KiB page payload in the process
+//! is an immutable, reference-counted blob deduplicated by its FNV-64
+//! content hash.
+//!
+//! The paper's fat pinballs pre-load *every* mapped page into each
+//! region's memory image, and the batch-validation engine replays many
+//! regions of the same workload concurrently — so most page payloads in
+//! flight are identical. The store (PR 2) already exploits that on disk;
+//! the arena exploits it in RAM: decoding a pinball, snapshotting a
+//! logger image, or streaming pages out of the store all intern payloads
+//! here, and every consumer (other pinballs, replay machines booted
+//! zero-copy, section writers) holds an [`Arc`] into the same allocation.
+//!
+//! Interning is keyed by `fnv64(page bytes)`; a hash bucket keeps every
+//! live payload with that hash and compares contents on lookup, so a hash
+//! collision costs a bucket entry, never a wrong page. Entries are weak:
+//! when the last consumer drops a page the allocation dies, and the next
+//! intern of those bytes re-creates it.
+
+use elfie_isa::{fnv64, PAGE_SIZE};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+
+/// A page payload in bytes (`PAGE_SIZE` as a `usize`).
+pub const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+/// An immutable, shareable page payload. Cloning is a reference-count
+/// bump; equality compares contents.
+pub type PageData = Arc<[u8; PAGE_BYTES]>;
+
+/// Arena usage counters (see [`PageArena::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Distinct page payloads currently alive (strongly referenced).
+    pub live_pages: u64,
+    /// Total intern calls served.
+    pub interned: u64,
+    /// Intern calls that returned an existing payload instead of
+    /// allocating — RAM-level dedup hits.
+    pub dedup_hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `fnv64(contents)` → live payloads with that hash. More than one
+    /// entry in a bucket means a genuine hash collision.
+    buckets: HashMap<u64, Vec<Weak<[u8; PAGE_BYTES]>>>,
+    interned: u64,
+    dedup_hits: u64,
+}
+
+/// A content-addressed interner for page payloads.
+///
+/// All pipeline decode paths use the process-wide [`PageArena::global`]
+/// arena so pages dedup across pinballs, workers and threads; separate
+/// arenas exist only for tests.
+#[derive(Debug, Default)]
+pub struct PageArena {
+    inner: Mutex<Inner>,
+}
+
+impl PageArena {
+    /// Creates an empty arena.
+    pub fn new() -> PageArena {
+        PageArena::default()
+    }
+
+    /// The process-wide arena all decode paths share.
+    pub fn global() -> &'static PageArena {
+        static GLOBAL: OnceLock<PageArena> = OnceLock::new();
+        GLOBAL.get_or_init(PageArena::new)
+    }
+
+    /// Interns a page payload: returns the existing allocation when these
+    /// exact bytes are already alive in the arena, else copies them into
+    /// a fresh one.
+    pub fn intern(&self, bytes: &[u8; PAGE_BYTES]) -> PageData {
+        let key = fnv64(bytes);
+        let mut guard = self.inner.lock().expect("arena lock");
+        let inner = &mut *guard;
+        inner.interned += 1;
+        let bucket = inner.buckets.entry(key).or_default();
+        bucket.retain(|w| w.strong_count() > 0);
+        for w in bucket.iter() {
+            if let Some(existing) = w.upgrade() {
+                if existing[..] == bytes[..] {
+                    inner.dedup_hits += 1;
+                    return existing;
+                }
+            }
+        }
+        let fresh: PageData = Arc::new(*bytes);
+        bucket.push(Arc::downgrade(&fresh));
+        fresh
+    }
+
+    /// Interns a page payload from a slice, which must be exactly
+    /// [`PAGE_BYTES`] long.
+    pub fn intern_slice(&self, bytes: &[u8]) -> Option<PageData> {
+        let arr: &[u8; PAGE_BYTES] = bytes.try_into().ok()?;
+        Some(self.intern(arr))
+    }
+
+    /// The all-zero page (interned like any other payload, so every
+    /// zero-page consumer shares one allocation).
+    pub fn zero_page(&self) -> PageData {
+        self.intern(&[0u8; PAGE_BYTES])
+    }
+
+    /// Current usage counters. `live_pages` walks the table, so this is
+    /// for reporting, not hot paths.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.inner.lock().expect("arena lock");
+        let live = inner
+            .buckets
+            .values()
+            .flat_map(|b| b.iter())
+            .filter(|w| w.strong_count() > 0)
+            .count() as u64;
+        ArenaStats {
+            live_pages: live,
+            interned: inner.interned,
+            dedup_hits: inner.dedup_hits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_pages_share_one_allocation() {
+        let arena = PageArena::new();
+        let mut page = [0u8; PAGE_BYTES];
+        page[17] = 0xaa;
+        let a = arena.intern(&page);
+        let b = arena.intern(&page);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = arena.stats();
+        assert_eq!(s.live_pages, 1);
+        assert_eq!(s.interned, 2);
+        assert_eq!(s.dedup_hits, 1);
+    }
+
+    #[test]
+    fn different_pages_get_distinct_allocations() {
+        let arena = PageArena::new();
+        let a = arena.intern(&[1u8; PAGE_BYTES]);
+        let b = arena.intern(&[2u8; PAGE_BYTES]);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(arena.stats().live_pages, 2);
+        assert_eq!(arena.stats().dedup_hits, 0);
+    }
+
+    #[test]
+    fn dropped_pages_are_reclaimed_and_reinterned() {
+        let arena = PageArena::new();
+        let page = [7u8; PAGE_BYTES];
+        let a = arena.intern(&page);
+        drop(a);
+        assert_eq!(arena.stats().live_pages, 0, "weak entry died with it");
+        let b = arena.intern(&page);
+        assert_eq!(b[0], 7);
+        assert_eq!(arena.stats().live_pages, 1);
+    }
+
+    #[test]
+    fn intern_slice_enforces_page_size() {
+        let arena = PageArena::new();
+        assert!(arena.intern_slice(&[0u8; 100]).is_none());
+        assert!(arena.intern_slice(&vec![0u8; PAGE_BYTES]).is_some());
+    }
+
+    #[test]
+    fn zero_page_is_shared() {
+        let arena = PageArena::new();
+        let a = arena.zero_page();
+        let b = arena.zero_page();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn concurrent_interns_agree() {
+        let arena = Arc::new(PageArena::new());
+        let mut page = [0u8; PAGE_BYTES];
+        page[0] = 0x5a;
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let arena = Arc::clone(&arena);
+                std::thread::spawn(move || arena.intern(&page))
+            })
+            .collect();
+        let pages: Vec<PageData> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(pages.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(arena.stats().live_pages, 1);
+    }
+}

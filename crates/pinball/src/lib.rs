@@ -21,9 +21,11 @@
 //! set; [`Pinball::to_bytes`]/[`Pinball::from_bytes`] bundle it into one
 //! buffer for in-memory use and sharing.
 
+pub mod arena;
 mod json;
 pub mod wire;
 
+pub use arena::{ArenaStats, PageArena, PageData, PAGE_BYTES};
 use json::Json;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -110,16 +112,40 @@ pub struct PinballMeta {
     pub cwd: String,
 }
 
-/// One page of the captured memory image.
+/// One page of the captured memory image. The payload is an immutable
+/// arena handle ([`PageData`]): cloning a record, an image or a whole
+/// pinball bumps reference counts instead of copying page bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PageRecord {
     /// Permission byte (bit0 read, bit1 write, bit2 exec).
     pub perm: u8,
-    /// Page contents (4096 bytes).
-    pub data: Vec<u8>,
+    /// Page contents (4096 bytes), interned in the process page arena.
+    pub data: PageData,
 }
 
 impl PageRecord {
+    /// Builds a record by interning `bytes` in the global [`PageArena`].
+    pub fn new(perm: u8, bytes: &[u8; PAGE_BYTES]) -> PageRecord {
+        PageRecord {
+            perm,
+            data: PageArena::global().intern(bytes),
+        }
+    }
+
+    /// Like [`PageRecord::new`] from a slice, which must be exactly one
+    /// page long.
+    pub fn from_slice(perm: u8, bytes: &[u8]) -> Option<PageRecord> {
+        Some(PageRecord {
+            perm,
+            data: PageArena::global().intern_slice(bytes)?,
+        })
+    }
+
+    /// Wraps an existing arena handle.
+    pub fn from_data(perm: u8, data: PageData) -> PageRecord {
+        PageRecord { perm, data }
+    }
+
     /// True if the page was writable when captured.
     pub fn is_writable(&self) -> bool {
         self.perm & 2 != 0
@@ -129,6 +155,52 @@ impl PageRecord {
     pub fn is_executable(&self) -> bool {
         self.perm & 4 != 0
     }
+}
+
+/// A maximal run of address-consecutive pages with identical permissions
+/// — the unit `pinball2elf` turns into one ELF section. Holds arena
+/// handles, so building runs never copies page bytes; callers that need
+/// contiguous bytes pay exactly one copy via [`PageRun::concat`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRun {
+    /// Base address of the first page.
+    pub start: u64,
+    /// Permission byte shared by every page in the run.
+    pub perm: u8,
+    /// The page payloads, in address order.
+    pub pages: Vec<PageData>,
+}
+
+impl PageRun {
+    /// Total run length in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.pages.len() as u64 * elfie_isa::PAGE_SIZE
+    }
+
+    /// One past the last byte of the run.
+    pub fn end(&self) -> u64 {
+        self.start + self.byte_len()
+    }
+
+    /// Concatenates the run into one owned buffer (the single copy for
+    /// consumers that need contiguous bytes, e.g. ELF section writers).
+    pub fn concat(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pages.len() * PAGE_BYTES);
+        for p in &self.pages {
+            out.extend_from_slice(&p[..]);
+        }
+        out
+    }
+}
+
+/// An on-demand supplier of checkpoint pages, keyed by page base address.
+/// The replayer consults a source on unmapped-page faults so pages can
+/// stream in at first touch (e.g. straight out of an `elfie-store`
+/// manifest) instead of being materialised at load.
+pub trait PageSource {
+    /// Returns the page based at `base`, or `None` when this source does
+    /// not hold it.
+    fn fetch_page(&self, base: u64) -> Option<PageRecord>;
 }
 
 /// The memory image: pages keyed by page base address (`<name>.text`).
@@ -155,19 +227,22 @@ impl MemoryImage {
     }
 
     /// Groups consecutive pages with identical permissions into
-    /// `(start_addr, perm, bytes)` runs — the unit `pinball2elf` turns
-    /// into ELF sections ("each region ... which consists of consecutive
-    /// pages is represented with a section").
-    pub fn consecutive_runs(&self) -> Vec<(u64, u8, Vec<u8>)> {
-        let mut runs: Vec<(u64, u8, Vec<u8>)> = Vec::new();
+    /// [`PageRun`]s — the unit `pinball2elf` turns into ELF sections
+    /// ("each region ... which consists of consecutive pages is
+    /// represented with a section"). Zero-copy: each run borrows the
+    /// image's arena handles, so this is O(pages) refcount bumps.
+    pub fn consecutive_runs(&self) -> Vec<PageRun> {
+        let mut runs: Vec<PageRun> = Vec::new();
         for (&addr, page) in &self.pages {
             match runs.last_mut() {
-                Some((start, perm, bytes))
-                    if *start + bytes.len() as u64 == addr && *perm == page.perm =>
-                {
-                    bytes.extend_from_slice(&page.data);
+                Some(run) if run.end() == addr && run.perm == page.perm => {
+                    run.pages.push(page.data.clone());
                 }
-                _ => runs.push((addr, page.perm, page.data.clone())),
+                _ => runs.push(PageRun {
+                    start: addr,
+                    perm: page.perm,
+                    pages: vec![page.data.clone()],
+                }),
             }
         }
         runs
@@ -179,7 +254,7 @@ impl MemoryImage {
         for (&addr, page) in &self.pages {
             w.u64(addr);
             w.u8(page.perm);
-            w.bytes(&page.data);
+            w.bytes(&page.data[..]);
         }
         w.into_bytes()
     }
@@ -192,10 +267,12 @@ impl MemoryImage {
             let addr = r.u64()?;
             let perm = r.u8()?;
             let data = r.bytes()?;
-            if data.len() != elfie_isa::PAGE_SIZE as usize {
-                return Err(WireError::Corrupt("page size"));
-            }
-            pages.insert(addr, PageRecord { perm, data });
+            // Decode straight into the arena: a payload already alive in
+            // the process (another region of the same workload, the zero
+            // page, ...) is reused instead of re-allocated.
+            let page =
+                PageRecord::from_slice(perm, &data).ok_or(WireError::Corrupt("page size"))?;
+            pages.insert(addr, page);
         }
         Ok(MemoryImage { pages })
     }
@@ -421,7 +498,7 @@ fn lazy_to_wire(lazy: &BTreeMap<u64, PageRecord>) -> Vec<u8> {
     for (&addr, page) in lazy {
         w.u64(addr);
         w.u8(page.perm);
-        w.bytes(&page.data);
+        w.bytes(&page.data[..]);
     }
     w.into_bytes()
 }
@@ -433,13 +510,9 @@ fn lazy_from_wire(buf: &[u8]) -> Result<BTreeMap<u64, PageRecord>, WireError> {
     for _ in 0..n {
         let addr = r.u64()?;
         let perm = r.u8()?;
-        pages.insert(
-            addr,
-            PageRecord {
-                perm,
-                data: r.bytes()?,
-            },
-        );
+        let data = r.bytes()?;
+        let page = PageRecord::from_slice(perm, &data).ok_or(WireError::Corrupt("page size"))?;
+        pages.insert(addr, page);
     }
     Ok(pages)
 }
@@ -769,27 +842,15 @@ mod tests {
         let mut image = MemoryImage::new();
         let mut page = vec![0u8; PAGE_SIZE as usize];
         page[0] = 0xaa;
-        image.pages.insert(
-            0x400000,
-            PageRecord {
-                perm: 5,
-                data: page.clone(),
-            },
-        );
-        image.pages.insert(
-            0x401000,
-            PageRecord {
-                perm: 5,
-                data: page.clone(),
-            },
-        );
-        image.pages.insert(
-            0x600000,
-            PageRecord {
-                perm: 3,
-                data: page.clone(),
-            },
-        );
+        image
+            .pages
+            .insert(0x400000, PageRecord::from_slice(5, &page).unwrap());
+        image
+            .pages
+            .insert(0x401000, PageRecord::from_slice(5, &page).unwrap());
+        image
+            .pages
+            .insert(0x600000, PageRecord::from_slice(3, &page).unwrap());
 
         let mut regs = elfie_isa::RegFile::new();
         regs.rip = 0x400123;
@@ -809,13 +870,7 @@ mod tests {
         };
 
         let mut lazy = BTreeMap::new();
-        lazy.insert(
-            0x700000,
-            PageRecord {
-                perm: 3,
-                data: vec![7u8; PAGE_SIZE as usize],
-            },
-        );
+        lazy.insert(0x700000, PageRecord::new(3, &[7u8; PAGE_BYTES]));
 
         Pinball {
             meta: PinballMeta {
@@ -920,30 +975,34 @@ mod tests {
         let runs = p.image.consecutive_runs();
         // 0x400000+0x401000 merge (same perm, adjacent); 0x600000 separate.
         assert_eq!(runs.len(), 2);
-        assert_eq!(runs[0].0, 0x400000);
-        assert_eq!(runs[0].2.len(), 2 * PAGE_SIZE as usize);
-        assert_eq!(runs[1].0, 0x600000);
-        assert_eq!(runs[1].1, 3);
+        assert_eq!(runs[0].start, 0x400000);
+        assert_eq!(runs[0].byte_len(), 2 * PAGE_SIZE);
+        assert_eq!(runs[0].concat().len(), 2 * PAGE_SIZE as usize);
+        assert_eq!(runs[1].start, 0x600000);
+        assert_eq!(runs[1].perm, 3);
+    }
+
+    #[test]
+    fn consecutive_runs_share_page_payloads() {
+        let p = sample_pinball();
+        let runs = p.image.consecutive_runs();
+        // Zero-copy: run pages are the image's own arena handles.
+        assert!(std::sync::Arc::ptr_eq(
+            &runs[0].pages[0],
+            &p.image.pages[&0x400000].data
+        ));
     }
 
     #[test]
     fn runs_split_on_permission_change() {
         let mut image = MemoryImage::new();
         let page = vec![0u8; PAGE_SIZE as usize];
-        image.pages.insert(
-            0x1000,
-            PageRecord {
-                perm: 5,
-                data: page.clone(),
-            },
-        );
-        image.pages.insert(
-            0x2000,
-            PageRecord {
-                perm: 3,
-                data: page,
-            },
-        );
+        image
+            .pages
+            .insert(0x1000, PageRecord::from_slice(5, &page).unwrap());
+        image
+            .pages
+            .insert(0x2000, PageRecord::from_slice(3, &page).unwrap());
         let runs = image.consecutive_runs();
         assert_eq!(runs.len(), 2, "adjacent but different perms");
     }

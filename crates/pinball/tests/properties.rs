@@ -24,7 +24,7 @@ fn arb_page() -> impl Strategy<Value = PageRecord> {
             x ^= x << 17;
             chunk.copy_from_slice(&x.to_le_bytes());
         }
-        PageRecord { perm, data }
+        PageRecord::from_slice(perm, &data).expect("page-sized buffer")
     })
 }
 
@@ -172,21 +172,21 @@ proptest! {
     fn consecutive_runs_partition_the_image(pb in arb_pinball()) {
         let runs = pb.image.consecutive_runs();
         // Total bytes preserved.
-        let run_bytes: u64 = runs.iter().map(|(_, _, b)| b.len() as u64).sum();
+        let run_bytes: u64 = runs.iter().map(|r| r.byte_len()).sum();
         prop_assert_eq!(run_bytes, pb.image.byte_size());
         // Runs are sorted, non-overlapping and perm-homogeneous.
         for w in runs.windows(2) {
-            prop_assert!(w[0].0 + w[0].2.len() as u64 <= w[1].0);
+            prop_assert!(w[0].end() <= w[1].start);
         }
         // Every page is recoverable from its run.
         for (&addr, page) in &pb.image.pages {
             let run = runs
                 .iter()
-                .find(|(start, _, b)| *start <= addr && addr < start + b.len() as u64)
+                .find(|r| r.start <= addr && addr < r.end())
                 .expect("page in some run");
-            let off = (addr - run.0) as usize;
-            prop_assert_eq!(&run.2[off..off + PAGE], &page.data[..]);
-            prop_assert_eq!(run.1, page.perm);
+            let off = (addr - run.start) as usize;
+            prop_assert_eq!(&run.concat()[off..off + PAGE], &page.data[..]);
+            prop_assert_eq!(run.perm, page.perm);
         }
     }
 

@@ -146,13 +146,9 @@ mod tests {
     fn pinball_with_pages(addrs: &[u64]) -> Pinball {
         let mut image = MemoryImage::new();
         for &a in addrs {
-            image.pages.insert(
-                a,
-                PageRecord {
-                    perm: 7,
-                    data: vec![0u8; PAGE_SIZE as usize],
-                },
-            );
+            image
+                .pages
+                .insert(a, PageRecord::new(7, &[0u8; PAGE_SIZE as usize]));
         }
         Pinball {
             meta: PinballMeta {

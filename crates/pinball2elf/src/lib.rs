@@ -30,7 +30,7 @@ pub mod startup;
 
 use elfie_elf::{ElfBuilder, SectionSpec};
 use elfie_isa::{assemble, AsmError, MarkerKind};
-use elfie_pinball::Pinball;
+use elfie_pinball::{PageRun, Pinball};
 use elfie_sysstate::SysState;
 use startup::RemapRun;
 use std::fmt;
@@ -223,14 +223,14 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
     if opts.object_only {
         // Object output: pinball pages as sections, no startup code.
         let mut builder = ElfBuilder::new().object();
-        for (addr, perm, bytes) in &runs {
-            let exec = perm & 4 != 0;
-            let write = perm & 2 != 0;
+        for run in &runs {
+            let exec = run.perm & 4 != 0;
+            let write = run.perm & 2 != 0;
             let prefix = if exec { ".text" } else { ".data" };
             builder = builder.section(SectionSpec::progbits(
-                &section_name(prefix, *addr),
-                *addr,
-                bytes.clone(),
+                &section_name(prefix, run.start),
+                run.start,
+                run.concat(),
                 write,
                 exec,
             ));
@@ -256,22 +256,22 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
     // Assign shadow addresses for remapped runs.
     let shadow_total: u64 = runs
         .iter()
-        .filter(|(a, _, _)| remap_pred(*a))
-        .map(|(_, _, b)| elfie_isa::page_align_up(b.len() as u64))
+        .filter(|r| remap_pred(r.start))
+        .map(|r| elfie_isa::page_align_up(r.byte_len()))
         .sum();
     let layout = layout::choose(pinball, shadow_total.max(elfie_isa::PAGE_SIZE))?;
 
     let mut remaps = Vec::new();
     let mut shadow_cursor = layout.shadow_base;
-    for (addr, perm, bytes) in &runs {
-        if remap_pred(*addr) {
+    for run in &runs {
+        if remap_pred(run.start) {
             remaps.push(RemapRun {
-                orig: *addr,
+                orig: run.start,
                 shadow: shadow_cursor,
-                len: bytes.len() as u64,
-                perm: *perm,
+                len: run.byte_len(),
+                perm: run.perm,
             });
-            shadow_cursor += elfie_isa::page_align_up(bytes.len() as u64);
+            shadow_cursor += elfie_isa::page_align_up(run.byte_len());
         }
     }
 
@@ -312,26 +312,27 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
     ));
 
     let mut remap_iter = remaps.iter();
-    for (addr, perm, bytes) in &runs {
-        let exec = perm & 4 != 0;
-        let write = perm & 2 != 0;
-        if remap_pred(*addr) {
-            let run = remap_iter.next().expect("remap assigned");
-            debug_assert_eq!(run.orig, *addr);
+    for run in &runs {
+        let exec = run.perm & 4 != 0;
+        let write = run.perm & 2 != 0;
+        if remap_pred(run.start) {
+            let remap = remap_iter.next().expect("remap assigned");
+            debug_assert_eq!(remap.orig, run.start);
             // Original content kept as a non-allocatable section (for the
             // record and for tooling), plus an allocatable shadow the
             // startup copies from.
-            let prefix = if is_stack(*addr) {
+            let prefix = if is_stack(run.start) {
                 ".stack"
             } else if exec {
                 ".text"
             } else {
                 ".data"
             };
+            let bytes = run.concat();
             builder = builder.section(
                 SectionSpec::progbits(
-                    &section_name(prefix, *addr),
-                    *addr,
+                    &section_name(prefix, run.start),
+                    run.start,
                     bytes.clone(),
                     write,
                     exec,
@@ -339,18 +340,18 @@ pub fn convert(pinball: &Pinball, opts: &ConvertOptions) -> Result<Elfie, Conver
                 .non_alloc(),
             );
             builder = builder.section(SectionSpec::progbits(
-                &section_name(".shadow", *addr),
-                run.shadow,
-                bytes.clone(),
+                &section_name(".shadow", run.start),
+                remap.shadow,
+                bytes,
                 false,
                 false,
             ));
         } else {
             let prefix = if exec { ".text" } else { ".data" };
             builder = builder.section(SectionSpec::progbits(
-                &section_name(prefix, *addr),
-                *addr,
-                bytes.clone(),
+                &section_name(prefix, run.start),
+                run.start,
+                run.concat(),
                 write,
                 exec,
             ));
@@ -431,11 +432,7 @@ fn add_thread_symbols(
 /// Generates a GNU-ld style linker script describing the ELFie layout —
 /// gives users "explicit control over the process of linking an ELFie
 /// object file with an object file containing user's extra code".
-fn linker_script(
-    pinball: &Pinball,
-    runs: &[(u64, u8, Vec<u8>)],
-    layout: Option<&layout::Layout>,
-) -> String {
+fn linker_script(pinball: &Pinball, runs: &[PageRun], layout: Option<&layout::Layout>) -> String {
     let mut s = String::new();
     s.push_str("/* Linker script generated by pinball2elf */\n");
     s.push_str(&format!(
@@ -456,13 +453,15 @@ fn linker_script(
             l.ctx_base
         ));
     }
-    for (addr, perm, bytes) in runs {
-        let exec = perm & 4 != 0;
+    for run in runs {
+        let exec = run.perm & 4 != 0;
         let prefix = if exec { ".text" } else { ".data" };
-        let name = section_name(prefix, *addr);
+        let name = section_name(prefix, run.start);
         s.push_str(&format!(
-            "  . = {addr:#x};\n  {name} : {{ *({name}) }} /* {} bytes, perm {perm:#o} */\n",
-            bytes.len()
+            "  . = {:#x};\n  {name} : {{ *({name}) }} /* {} bytes, perm {:#o} */\n",
+            run.start,
+            run.byte_len(),
+            run.perm
         ));
     }
     s.push_str("}\n");

@@ -303,27 +303,27 @@ pub fn convert_pe(pinball: &Pinball) -> Result<Vec<u8>, String> {
     let mut builder = PeBuilder::new();
     let mut rva = SECT_ALIGN; // first page after headers
     let mut meta = Vec::new();
-    for (i, (addr, perm, bytes)) in runs.iter().enumerate() {
+    for (i, run) in runs.iter().enumerate() {
         let mut flags = characteristics::MEM_READ;
-        if perm & 2 != 0 {
+        if run.perm & 2 != 0 {
             flags |= characteristics::MEM_WRITE | characteristics::INITIALIZED_DATA;
         }
-        if perm & 4 != 0 {
+        if run.perm & 4 != 0 {
             flags |= characteristics::MEM_EXECUTE | characteristics::CODE;
         }
         meta.push(PeRemapEntry {
             rva,
-            original_va: *addr,
-            len: bytes.len() as u64,
-            perm: *perm,
+            original_va: run.start,
+            len: run.byte_len(),
+            perm: run.perm,
         });
         builder = builder.section(PeSection {
             name: format!(".pb{i:03}"),
             rva,
-            data: bytes.clone(),
+            data: run.concat(),
             characteristics: flags,
         });
-        rva += align_up(bytes.len().max(1) as u32, SECT_ALIGN);
+        rva += align_up(run.byte_len().max(1) as u32, SECT_ALIGN);
     }
 
     // .pbmeta: count + entries.

@@ -499,10 +499,11 @@ fn elfie_symbols_and_linker_script() {
 
     // The ELFie memory layout mirrors the pinball: every captured page is
     // present as a section at its original address.
-    for (addr, _, _) in pb.image.consecutive_runs() {
+    for run in pb.image.consecutive_runs() {
         assert!(
-            file.sections.iter().any(|s| s.addr == addr),
-            "no section at {addr:#x}"
+            file.sections.iter().any(|s| s.addr == run.start),
+            "no section at {:#x}",
+            run.start
         );
     }
 }

@@ -57,17 +57,17 @@ fn remap_table_reconstructs_original_layout() {
     let table = read_remap_table(&pe).expect("meta table");
     let runs = pb.image.consecutive_runs();
     assert_eq!(table.len(), runs.len());
-    for (entry, (addr, perm, data)) in table.iter().zip(&runs) {
-        assert_eq!(entry.original_va, *addr, "original VA preserved");
-        assert_eq!(entry.len, data.len() as u64);
-        assert_eq!(entry.perm, *perm);
+    for (entry, run) in table.iter().zip(&runs) {
+        assert_eq!(entry.original_va, run.start, "original VA preserved");
+        assert_eq!(entry.len, run.byte_len());
+        assert_eq!(entry.perm, run.perm);
         // The packed section contents at that RVA are the original bytes.
         let sec = pe
             .sections
             .iter()
             .find(|s| s.rva == entry.rva)
             .expect("section at rva");
-        assert_eq!(&sec.data, data, "page contents preserved");
+        assert_eq!(sec.data, run.concat(), "page contents preserved");
     }
     // Code page at 0x400000 and data page at 0x600000 both make it across.
     assert!(table.iter().any(|e| e.original_va == 0x400000));

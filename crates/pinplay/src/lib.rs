@@ -48,4 +48,4 @@ pub mod logger;
 pub mod replay;
 
 pub use logger::{CaptureError, LogObserver, Logger, LoggerConfig, ARCH_ID};
-pub use replay::{Divergence, ReplayConfig, ReplaySummary, Replayer};
+pub use replay::{BootMode, Divergence, ReplayConfig, ReplaySummary, Replayer};

@@ -267,15 +267,7 @@ impl Logger {
         let start_pages: BTreeMap<u64, PageRecord> = m
             .mem
             .pages()
-            .map(|(addr, perm, data)| {
-                (
-                    addr,
-                    PageRecord {
-                        perm: perm.bits(),
-                        data: data.to_vec(),
-                    },
-                )
-            })
+            .map(|(addr, perm, data)| (addr, PageRecord::new(perm.bits(), data)))
             .collect();
         let brk = m.kernel.brk();
         let brk_start = m.kernel.brk_start();
@@ -344,7 +336,7 @@ impl Logger {
                 .filter(|a| start_pages.contains_key(a))
                 .collect()
         };
-        let zero_page = || vec![0u8; elfie_isa::PAGE_SIZE as usize];
+        let zero_page = || elfie_pinball::PageArena::global().zero_page();
         let mut image = MemoryImage::new();
         let mut lazy: BTreeMap<u64, PageRecord> = BTreeMap::new();
         for &addr in &base_set {
@@ -357,10 +349,7 @@ impl Logger {
             let record = start_pages
                 .get(&addr)
                 .cloned()
-                .unwrap_or_else(|| PageRecord {
-                    perm: 3,
-                    data: zero_page(),
-                });
+                .unwrap_or_else(|| PageRecord::from_data(3, zero_page()));
             if self.cfg.pages_early {
                 image.pages.insert(addr, record);
             } else {

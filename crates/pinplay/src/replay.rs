@@ -13,7 +13,7 @@
 //! of an ELFie" and is the recommended way to debug ELFie failures.
 
 use elfie_isa::page_align_up;
-use elfie_pinball::{Pinball, SyscallEffect};
+use elfie_pinball::{PageRecord, PageSource, Pinball, SyscallEffect};
 use elfie_vm::{
     nr, Fault, Machine, MachineConfig, MemError, Memory, NullObserver, Observer, Perm,
     SyscallAction, SyscallInterposer, ThreadState, ThreadStep,
@@ -22,6 +22,20 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// How checkpoint pages become guest memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BootMode {
+    /// Map the pinball's arena-backed payloads directly into the guest
+    /// (zero-copy); the VM privatises a frame on first write. Booting a
+    /// fat pinball is O(mapped pages), not O(bytes).
+    #[default]
+    Shared,
+    /// Copy every page into a private frame up front (the pre-arena
+    /// behaviour). Kept for differential testing and benchmarking.
+    DeepCopy,
+}
 
 /// Replayer configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +49,8 @@ pub struct ReplayConfig {
     pub fuel: u64,
     /// Machine configuration for the replay run.
     pub machine: MachineConfig,
+    /// How checkpoint pages are materialized into guest memory.
+    pub boot: BootMode,
 }
 
 impl Default for ReplayConfig {
@@ -44,6 +60,7 @@ impl Default for ReplayConfig {
             enforce_order: true,
             fuel: u64::MAX / 2,
             machine: MachineConfig::default(),
+            boot: BootMode::Shared,
         }
     }
 }
@@ -267,10 +284,7 @@ impl Replayer {
     ) -> (Machine<O>, HashMap<u32, u32>) {
         let mut m = Machine::with_observer(self.cfg.machine.clone(), obs);
         for (&addr, page) in &pinball.image.pages {
-            m.mem.map_page(addr, Perm::from_bits(page.perm));
-            m.mem
-                .write_bytes_unchecked(addr, &page.data)
-                .expect("mapped page");
+            self.boot_page(&mut m.mem, addr, page);
         }
         m.kernel.set_brk(pinball.meta.brk_start, pinball.meta.brk);
         m.kernel.cwd = pinball.meta.cwd.clone();
@@ -280,6 +294,21 @@ impl Replayer {
             tid_map.insert(machine_tid, rec.tid);
         }
         (m, tid_map)
+    }
+
+    /// Materializes one checkpoint page into guest memory, honouring the
+    /// configured [`BootMode`].
+    fn boot_page(&self, mem: &mut Memory, addr: u64, page: &PageRecord) {
+        match self.cfg.boot {
+            BootMode::Shared => {
+                mem.map_shared_page(addr, Perm::from_bits(page.perm), Arc::clone(&page.data));
+            }
+            BootMode::DeepCopy => {
+                mem.map_page(addr, Perm::from_bits(page.perm));
+                mem.write_bytes_unchecked(addr, &page.data[..])
+                    .expect("mapped page");
+            }
+        }
     }
 
     /// Replays `pinball`. `setup` runs before execution and can populate
@@ -305,6 +334,21 @@ impl Replayer {
         &self,
         pinball: &Pinball,
         obs: O,
+        setup: impl FnOnce(&mut Machine<O>),
+    ) -> (ReplaySummary, Machine<O>) {
+        self.replay_full_with_source(pinball, obs, None, setup)
+    }
+
+    /// Like [`Replayer::replay_full_with`], additionally consulting a
+    /// [`PageSource`] on unmapped-page faults: pages absent from both the
+    /// image and the lazy table stream in from the source (e.g. an
+    /// `elfie-store` manifest) on first touch, so a skeleton checkpoint
+    /// never loads pages the region does not actually reference.
+    pub fn replay_full_with_source<O: Observer>(
+        &self,
+        pinball: &Pinball,
+        obs: O,
+        source: Option<&dyn PageSource>,
         setup: impl FnOnce(&mut Machine<O>),
     ) -> (ReplaySummary, Machine<O>) {
         let (mut m, mut tid_map) = self.build_machine_with(pinball, obs);
@@ -361,8 +405,14 @@ impl Replayer {
                 if !m.threads[idx].is_runnable() {
                     continue;
                 }
-                // Run a slice, respecting atomic-order constraints.
-                for _ in 0..64 {
+                // Run a slice, respecting atomic-order constraints. Only
+                // *retired* steps count against the slice (and the fuel):
+                // a lazily-faulted attempt is re-run after page injection,
+                // and charging it would shift this thread's slice boundary
+                // — perturbing the multi-threaded interleaving relative to
+                // an eager (fat) boot of the same checkpoint.
+                let mut retired_in_slice = 0;
+                while retired_in_slice < 64 {
                     if fuel == 0 {
                         divergence = Some(Divergence::OutOfFuel);
                         break 'outer;
@@ -388,6 +438,7 @@ impl Replayer {
                         | ThreadStep::SyscallRetired
                         | ThreadStep::Marker(..) => {
                             progressed = true;
+                            retired_in_slice += 1;
                             if is_atomic {
                                 race_ptr += 1;
                             }
@@ -405,13 +456,20 @@ impl Replayer {
                             };
                             let page = addr.map(elfie_isa::page_base);
                             if let Some(p) = page {
-                                if let Some(rec) = pinball.lazy_pages.get(&p) {
-                                    m.mem.map_page(p, Perm::from_bits(rec.perm));
-                                    m.mem
-                                        .write_bytes_unchecked(p, &rec.data)
-                                        .expect("freshly mapped");
+                                let rec = match pinball.lazy_pages.get(&p) {
+                                    Some(rec) => Some(rec.clone()),
+                                    None => source.and_then(|s| s.fetch_page(p)),
+                                };
+                                if let Some(rec) = rec {
+                                    self.boot_page(&mut m.mem, p, &rec);
+                                    m.mem.record_lazy_fault();
                                     lazy_injected += 1;
                                     progressed = true;
+                                    // Refund the attempt: injections are
+                                    // bounded by the page count, and an
+                                    // eager boot of the same checkpoint
+                                    // never pays them.
+                                    fuel += 1;
                                     continue;
                                 }
                             }

@@ -40,6 +40,77 @@ fn dist2(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
 }
 
+/// Index of the centroid nearest to `p`, ties broken by lowest index.
+/// Shared by the serial and parallel assignment paths so both perform the
+/// identical sequence of float comparisons per point.
+fn nearest_centroid(p: &[f64], centroids: &[Vec<f64>]) -> usize {
+    (0..centroids.len())
+        .min_by(|&a, &b| {
+            dist2(p, &centroids[a])
+                .partial_cmp(&dist2(p, &centroids[b]))
+                .expect("finite")
+        })
+        .expect("k >= 1")
+}
+
+/// Points per worker below which spawning a thread costs more than the
+/// distance computations it would offload.
+const MIN_CHUNK: usize = 64;
+
+/// Reassigns every point to its nearest centroid, fanning the scan out
+/// over `workers` threads. Returns whether any assignment changed.
+///
+/// The per-point work is a pure function of (point, centroids), so
+/// chunking cannot change any result: the output is bit-identical for
+/// every worker count, and the caller's serial centroid update then sees
+/// the exact same assignments in the exact same order.
+fn assign_points(
+    points: &[Vec<f64>],
+    centroids: &[Vec<f64>],
+    assignments: &mut [usize],
+    workers: usize,
+) -> bool {
+    let workers = workers.max(1).min(points.len().div_ceil(MIN_CHUNK).max(1));
+    if workers == 1 {
+        let mut changed = false;
+        for (p, a) in points.iter().zip(assignments.iter_mut()) {
+            let best = nearest_centroid(p, centroids);
+            if *a != best {
+                *a = best;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+    let chunk = points.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = points
+            .chunks(chunk)
+            .zip(assignments.chunks_mut(chunk))
+            .map(|(pts, asg)| {
+                s.spawn(move || {
+                    let mut changed = false;
+                    for (p, a) in pts.iter().zip(asg.iter_mut()) {
+                        let best = nearest_centroid(p, centroids);
+                        if *a != best {
+                            *a = best;
+                            changed = true;
+                        }
+                    }
+                    changed
+                })
+            })
+            .collect();
+        // Join every worker before folding — `any` would short-circuit
+        // and leak un-joined threads out of the scope body.
+        let changed: Vec<bool> = handles
+            .into_iter()
+            .map(|h| h.join().expect("assignment worker"))
+            .collect();
+        changed.into_iter().any(|c| c)
+    })
+}
+
 /// A clustering of `n` points into `k` clusters.
 #[derive(Debug, Clone)]
 pub struct Clustering {
@@ -77,8 +148,24 @@ impl Rng {
     }
 }
 
-/// Runs k-means with k-means++ seeding on `points`.
+/// Runs k-means with k-means++ seeding on `points`, using every available
+/// core for the assignment scans. Bit-identical to a serial run (see
+/// [`kmeans_with_workers`]).
 pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    kmeans_with_workers(points, k, seed, workers)
+}
+
+/// Runs k-means with k-means++ seeding on `points`, with the Lloyd
+/// assignment loop fanned out over `workers` threads.
+///
+/// Only the per-point nearest-centroid scans run concurrently; the
+/// centroid-sum reduction stays serial in point order, so the float
+/// association order — and therefore every centroid, assignment and BIC
+/// score — is bit-identical for every worker count.
+pub fn kmeans_with_workers(points: &[Vec<f64>], k: usize, seed: u64, workers: usize) -> Clustering {
     let n = points.len();
     assert!(n > 0, "no points to cluster");
     let k = k.min(n).max(1);
@@ -116,23 +203,10 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
         centroids.push(points[chosen].clone());
     }
 
-    // Lloyd iterations.
+    // Lloyd iterations: parallel assignment, serial reduction.
     let mut assignments = vec![0usize; n];
     for _iter in 0..100 {
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let best = (0..centroids.len())
-                .min_by(|&a, &b| {
-                    dist2(p, &centroids[a])
-                        .partial_cmp(&dist2(p, &centroids[b]))
-                        .expect("finite")
-                })
-                .expect("k >= 1");
-            if assignments[i] != best {
-                assignments[i] = best;
-                changed = true;
-            }
-        }
+        let changed = assign_points(points, &centroids, &mut assignments, workers);
         let mut sums = vec![vec![0f64; dims]; centroids.len()];
         let mut counts = vec![0usize; centroids.len()];
         for (i, p) in points.iter().enumerate() {
@@ -299,7 +373,67 @@ mod tests {
         assert_ne!(c.assignments[0], c.assignments[2]);
     }
 
+    /// Bitwise clustering equality: assignments and the exact f64 bits of
+    /// every centroid coordinate.
+    fn assert_bit_identical(a: &Clustering, b: &Clustering) {
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids.len(), b.centroids.len());
+        for (ca, cb) in a.centroids.iter().zip(&b.centroids) {
+            let bits_a: Vec<u64> = ca.iter().map(|x| x.to_bits()).collect();
+            let bits_b: Vec<u64> = cb.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(bits_a, bits_b, "centroid coordinates diverge");
+        }
+        assert_eq!(a.bic.to_bits(), b.bic.to_bits());
+    }
+
+    #[test]
+    fn parallel_assignment_is_bit_identical_to_serial() {
+        // Enough points that assign_points actually fans out (> MIN_CHUNK
+        // per worker) and enough structure that assignments flip across
+        // iterations.
+        let mut pts = blob((0.0, 0.0), 300, 2.0, 11);
+        pts.extend(blob((5.0, 5.0), 300, 2.0, 12));
+        pts.extend(blob((-4.0, 6.0), 300, 2.0, 13));
+        for k in [1, 2, 3, 5, 8] {
+            let serial = kmeans_with_workers(&pts, k, 42, 1);
+            for workers in [2, 3, 8, 64] {
+                let par = kmeans_with_workers(&pts, k, 42, workers);
+                assert_bit_identical(&serial, &par);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs_do_not_spawn_and_still_match() {
+        let pts = blob((1.0, 2.0), 7, 0.5, 9);
+        let serial = kmeans_with_workers(&pts, 3, 5, 1);
+        let par = kmeans_with_workers(&pts, 3, 5, 16);
+        assert_bit_identical(&serial, &par);
+    }
+
     proptest! {
+        #[test]
+        fn parallel_worker_count_never_changes_the_clustering(
+            n in 1usize..200,
+            k in 1usize..6,
+            workers in 2usize..9,
+            seed in any::<u64>(),
+        ) {
+            let mut rng = Rng(seed.max(1));
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.next_f64() * 4.0, rng.next_f64() * 4.0])
+                .collect();
+            let serial = kmeans_with_workers(&pts, k, seed, 1);
+            let par = kmeans_with_workers(&pts, k, seed, workers);
+            prop_assert_eq!(&serial.assignments, &par.assignments);
+            let sb: Vec<Vec<u64>> = serial.centroids.iter()
+                .map(|c| c.iter().map(|x| x.to_bits()).collect()).collect();
+            let pb: Vec<Vec<u64>> = par.centroids.iter()
+                .map(|c| c.iter().map(|x| x.to_bits()).collect()).collect();
+            prop_assert_eq!(sb, pb);
+        }
+
         #[test]
         fn kmeans_never_panics(
             n in 1usize..30,

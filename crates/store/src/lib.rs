@@ -552,7 +552,7 @@ impl Store {
                 out.push(PageRef {
                     addr,
                     perm: page.perm,
-                    blob: self.put_blob(&page.data)?,
+                    blob: self.put_blob(&page.data[..])?,
                 });
             }
         }
@@ -602,16 +602,48 @@ impl Store {
             (&m.lazy_pages, &mut pinball.lazy_pages),
         ] {
             for p in refs {
-                table.insert(
-                    p.addr,
-                    PageRecord {
-                        perm: p.perm,
-                        data: self.get_blob(p.blob)?,
-                    },
-                );
+                let data = self.get_blob(p.blob)?;
+                let rec = PageRecord::from_slice(p.perm, &data).ok_or_else(|| {
+                    StoreError::Corrupt(format!("page blob {:016x} is not page-sized", p.blob))
+                })?;
+                table.insert(p.addr, rec);
             }
         }
         Ok(pinball)
+    }
+
+    /// Opens the pinball stored under `name` *lazily*: only the skeleton
+    /// (metadata, registers, syscall log, race log) is read now; page
+    /// payloads stay on disk and stream in through the returned handle's
+    /// [`elfie_pinball::PageSource`] implementation on first touch. A replay that visits
+    /// 1% of a fat checkpoint's pages pays 1% of its page I/O.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] on integrity violations in the skeleton.
+    pub fn get_pinball_lazy(&self, name: &str) -> Result<LazyPinball, StoreError> {
+        let (_, m) = self.manifest(name)?;
+        if m.kind != ObjectKind::Pinball {
+            return Err(StoreError::Corrupt(format!(
+                "`{name}` is a {} object, not a pinball",
+                m.kind
+            )));
+        }
+        let (skel_hash, _) = m.skeleton.ok_or_else(|| {
+            StoreError::Corrupt(format!("pinball manifest `{name}` lacks a skeleton"))
+        })?;
+        let skeleton = Pinball::from_bytes(&self.get_blob(skel_hash)?)?;
+        let pages: BTreeMap<u64, PageRef> = m
+            .image_pages
+            .iter()
+            .chain(m.lazy_pages.iter())
+            .map(|p| (p.addr, *p))
+            .collect();
+        Ok(LazyPinball {
+            skeleton,
+            pages,
+            store: self.clone(),
+        })
     }
 
     /// Stores a byte stream under `name` as 4 KiB chunks.
@@ -900,6 +932,41 @@ impl Store {
             s.unique_bytes += blob_raw_len(&std::fs::read(&path)?)?;
         }
         Ok(s)
+    }
+}
+
+/// A pinball opened with [`Store::get_pinball_lazy`]: the skeleton is in
+/// memory, page payloads stream in from the store on demand.
+///
+/// Hand the handle's [`skeleton`](LazyPinball::skeleton) to the replayer
+/// and the handle itself as its [`elfie_pinball::PageSource`]; every unmapped-page fault
+/// then pulls exactly one blob off disk (interned through the shared
+/// [`elfie_pinball::PageArena`], so concurrent workers faulting the same
+/// page share one allocation).
+#[derive(Debug, Clone)]
+pub struct LazyPinball {
+    /// The page-stripped pinball: empty memory image, everything else
+    /// intact. Boot the replay machine from this.
+    pub skeleton: Pinball,
+    pages: BTreeMap<u64, PageRef>,
+    store: Store,
+}
+
+impl LazyPinball {
+    /// Number of pages available to fault in.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+impl elfie_pinball::PageSource for LazyPinball {
+    /// Fetches the page at `base` from the store, or `None` when the
+    /// checkpoint has no such page (or its blob fails to load — the
+    /// replayer then reports the same fault an eager load would have).
+    fn fetch_page(&self, base: u64) -> Option<PageRecord> {
+        let p = self.pages.get(&base)?;
+        let data = self.store.get_blob(p.blob).ok()?;
+        PageRecord::from_slice(p.perm, &data)
     }
 }
 

@@ -31,7 +31,7 @@ fn page(seed: u64, perm: u8) -> PageRecord {
             chunk.copy_from_slice(&x.to_le_bytes());
         }
     }
-    PageRecord { perm, data }
+    PageRecord::from_slice(perm, &data).expect("page-sized buffer")
 }
 
 /// A synthetic fat pinball whose image pages come from `page_seeds`.

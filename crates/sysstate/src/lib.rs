@@ -376,7 +376,9 @@ mod tests {
         let mut data = vec![0u8; elfie_isa::PAGE_SIZE as usize];
         let off = (addr - base) as usize;
         data[off..off + s.len()].copy_from_slice(s.as_bytes());
-        image.pages.insert(base, PageRecord { perm: 3, data });
+        image
+            .pages
+            .insert(base, PageRecord::from_slice(3, &data).expect("page-sized"));
         image
     }
 

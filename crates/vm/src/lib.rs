@@ -62,6 +62,6 @@ pub use machine::{
     ExitReason, FastPathStats, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction,
     SyscallInterposer, ThreadStep,
 };
-pub use mem::{Access, MemError, Memory, Perm};
+pub use mem::{Access, MaterializeStats, MemError, Memory, PageData, Perm};
 pub use obs::{NullObserver, Observer};
 pub use thread::{RetireCounter, Thread, ThreadState};

@@ -19,7 +19,7 @@ use crate::bbcache::BlockCache;
 use crate::cpu::{self, Effect, Fault, StepEnv};
 use crate::hwmodel::HwModel;
 use crate::kernel::{Control, Kernel, KernelConfig};
-use crate::mem::{Memory, Perm};
+use crate::mem::{MaterializeStats, Memory, Perm};
 use crate::obs::{NullObserver, Observer};
 use crate::thread::{Thread, ThreadState};
 use elfie_isa::{Insn, MarkerKind, Program, RegFile};
@@ -162,6 +162,9 @@ pub struct FastPathStats {
     pub tlb_misses: u64,
     /// Guest instructions retired over the machine's lifetime.
     pub insns: u64,
+    /// Page-materialization counters (shared frames, CoW breaks, lazy
+    /// faults, resident bytes) from this machine's [`Memory`].
+    pub mat: MaterializeStats,
 }
 
 impl FastPathStats {
@@ -194,6 +197,7 @@ impl FastPathStats {
         self.tlb_hits += other.tlb_hits;
         self.tlb_misses += other.tlb_misses;
         self.insns += other.insns;
+        self.mat.accumulate(&other.mat);
     }
 }
 
@@ -464,6 +468,7 @@ impl<O: Observer> Machine<O> {
             tlb_hits,
             tlb_misses,
             insns: self.global_icount,
+            mat: self.mem.materialize_stats(),
         }
     }
 

@@ -24,11 +24,29 @@
 //! including permission-ignoring loader/kernel writes — records the page
 //! in a dirty-code list that the machine drains after each step to evict
 //! overlapping blocks, keeping cached execution bit-identical.
+//!
+//! ## Copy-on-write frames
+//!
+//! A page's storage is a `Frame`: either `Owned` (a private buffer) or
+//! `Shared` (an `Arc` into an immutable arena payload, mapped zero-copy
+//! via [`Memory::map_shared_page`] — this is how a machine boots from a
+//! fat pinball in O(mapped pages) refcount bumps instead of O(bytes)
+//! copies). Every mutable-access path funnels through one helper that
+//! checks the frame tag — the "shared bit" — and privatises a shared
+//! frame on first write. Reads and fetches never care which variant they
+//! hit, so execution over shared frames is bit-identical to execution
+//! over deep copies; [`MaterializeStats`] counts what sharing saved.
 
 use elfie_isa::{page_base, PAGE_SIZE};
 use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, reference-counted page payload, shareable across
+/// machines and threads (the same shape `elfie-pinball`'s arena hands
+/// out).
+pub type PageData = Arc<[u8; PAGE_SIZE as usize]>;
 
 /// Page permissions (read / write / execute).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -133,8 +151,64 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
+/// Backing storage of one mapped page. The discriminant is the
+/// copy-on-write "shared bit": `Shared` frames are immutable arena
+/// payloads and are privatised to `Owned` on the first mutable access.
+enum Frame {
+    /// Private to this address space; writes mutate in place.
+    Owned(Box<[u8; PAGE_SIZE as usize]>),
+    /// Zero-copy view of an immutable shared payload.
+    Shared(PageData),
+}
+
+impl Frame {
+    #[inline]
+    fn bytes(&self) -> &[u8; PAGE_SIZE as usize] {
+        match self {
+            Frame::Owned(b) => b,
+            Frame::Shared(a) => a,
+        }
+    }
+}
+
+/// Materialization counters: what copy-on-write sharing saved (and cost)
+/// over this memory's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaterializeStats {
+    /// Pages ever mapped into this address space.
+    pub pages_mapped: u64,
+    /// Pages mapped zero-copy from shared payloads
+    /// ([`Memory::map_shared_page`]).
+    pub shared_pages: u64,
+    /// Shared frames privatised by a first write.
+    pub cow_breaks: u64,
+    /// Pages injected on a fault rather than at load (lazy materialization;
+    /// counted by the replayer via [`Memory::record_lazy_fault`]).
+    pub lazy_faults: u64,
+    /// Page bytes currently resident in private (`Owned`) frames.
+    pub owned_bytes: u64,
+    /// High-water mark of `owned_bytes` — the peak page bytes this address
+    /// space actually allocated, as opposed to borrowed from the arena.
+    pub peak_owned_bytes: u64,
+}
+
+impl MaterializeStats {
+    /// Folds another machine's counters into this one. Sums every counter
+    /// except `peak_owned_bytes`, which takes the maximum: machines run
+    /// (or are measured) one at a time per worker, so the largest single
+    /// peak is the meaningful residency figure.
+    pub fn accumulate(&mut self, other: &MaterializeStats) {
+        self.pages_mapped += other.pages_mapped;
+        self.shared_pages += other.shared_pages;
+        self.cow_breaks += other.cow_breaks;
+        self.lazy_faults += other.lazy_faults;
+        self.owned_bytes += other.owned_bytes;
+        self.peak_owned_bytes = self.peak_owned_bytes.max(other.peak_owned_bytes);
+    }
+}
+
 struct Page {
-    data: Box<[u8; PAGE_SIZE as usize]>,
+    frame: Frame,
     base: u64,
     perm: Perm,
     /// Set while the block cache holds pre-decoded instructions from this
@@ -145,7 +219,16 @@ struct Page {
 impl Page {
     fn new(base: u64, perm: Perm) -> Page {
         Page {
-            data: Box::new([0u8; PAGE_SIZE as usize]),
+            frame: Frame::Owned(Box::new([0u8; PAGE_SIZE as usize])),
+            base,
+            perm,
+            watched: false,
+        }
+    }
+
+    fn new_shared(base: u64, perm: Perm, data: PageData) -> Page {
+        Page {
+            frame: Frame::Shared(data),
             base,
             perm,
             watched: false,
@@ -212,6 +295,8 @@ pub struct Memory {
     /// Bases of watched (code-cached) pages that have been written to
     /// since the last [`Memory::take_dirty_code`].
     dirty_code: Vec<u64>,
+    /// Copy-on-write materialization counters.
+    mat: MaterializeStats,
 }
 
 impl Default for Memory {
@@ -236,7 +321,7 @@ macro_rules! read_le {
         let off = ($addr % PAGE_SIZE) as usize;
         if off + $n <= PAGE_SIZE as usize {
             let slot = $self.resolve($addr, Access::Read)?;
-            let d = &$self.page(slot).data[off..off + $n];
+            let d = &$self.page_bytes(slot)[off..off + $n];
             Ok(<$ty>::from_le_bytes(d.try_into().expect("sized slice")))
         } else {
             let mut b = [0u8; $n];
@@ -253,7 +338,7 @@ macro_rules! write_le {
         let off = ($addr % PAGE_SIZE) as usize;
         if off + $n <= PAGE_SIZE as usize {
             let slot = $self.resolve($addr, Access::Write)?;
-            $self.page_mut(slot).data[off..off + $n].copy_from_slice(&$v.to_le_bytes());
+            $self.page_bytes_mut(slot)[off..off + $n].copy_from_slice(&$v.to_le_bytes());
             $self.note_write(slot);
             Ok(())
         } else {
@@ -275,6 +360,7 @@ impl Memory {
             tlb_misses: Cell::new(0),
             layout_epoch: 0,
             dirty_code: Vec::new(),
+            mat: MaterializeStats::default(),
         }
     }
 
@@ -306,6 +392,49 @@ impl Memory {
     #[inline]
     fn page_mut(&mut self, slot: u32) -> &mut Page {
         self.slots[slot as usize].as_mut().expect("live slot")
+    }
+
+    /// The page's bytes, whichever frame variant backs them.
+    #[inline]
+    fn page_bytes(&self, slot: u32) -> &[u8; PAGE_SIZE as usize] {
+        self.page(slot).frame.bytes()
+    }
+
+    /// Mutable access to the page's bytes. This is the single CoW choke
+    /// point: a `Shared` frame is privatised (copied once, counted) here,
+    /// so every writer — checked, unchecked, install — sees an `Owned`
+    /// frame. After the first write the tag check is a predicted-not-taken
+    /// branch, which keeps the PR 3 write fast path intact.
+    #[inline]
+    fn page_bytes_mut(&mut self, slot: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        let page = self.slots[slot as usize].as_mut().expect("live slot");
+        if let Frame::Shared(shared) = &page.frame {
+            page.frame = Frame::Owned(Box::new(**shared));
+            self.mat.cow_breaks += 1;
+            self.mat.owned_bytes += PAGE_SIZE;
+            self.mat.peak_owned_bytes = self.mat.peak_owned_bytes.max(self.mat.owned_bytes);
+        }
+        match &mut page.frame {
+            Frame::Owned(b) => b,
+            Frame::Shared(_) => unreachable!("frame was just privatised"),
+        }
+    }
+
+    /// Materialization counters for this address space.
+    pub fn materialize_stats(&self) -> MaterializeStats {
+        self.mat
+    }
+
+    /// Counts one page injected on-fault instead of at load (called by
+    /// replay harnesses that materialise pages lazily).
+    pub fn record_lazy_fault(&mut self) {
+        self.mat.lazy_faults += 1;
+    }
+
+    /// Accounts for a freshly created `Owned` frame.
+    fn note_owned_alloc(&mut self) {
+        self.mat.owned_bytes += PAGE_SIZE;
+        self.mat.peak_owned_bytes = self.mat.peak_owned_bytes.max(self.mat.owned_bytes);
     }
 
     /// Flushes the software TLB (all three access kinds).
@@ -415,6 +544,22 @@ impl Memory {
         Ok(slot)
     }
 
+    /// Inserts `page` into a free or fresh slot and indexes it.
+    fn insert_page(&mut self, base: u64, page: Page) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(page);
+                s
+            }
+            None => {
+                self.slots.push(Some(page));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(base, slot);
+        self.mat.pages_mapped += 1;
+    }
+
     /// Maps the page containing `addr` with permission `perm`.
     /// Re-mapping an existing page keeps its contents and updates the
     /// permission.
@@ -423,19 +568,33 @@ impl Memory {
         match self.index.get(&base).copied() {
             Some(slot) => self.page_mut(slot).perm = perm,
             None => {
-                let slot = match self.free.pop() {
-                    Some(s) => {
-                        self.slots[s as usize] = Some(Page::new(base, perm));
-                        s
-                    }
-                    None => {
-                        self.slots.push(Some(Page::new(base, perm)));
-                        (self.slots.len() - 1) as u32
-                    }
-                };
-                self.index.insert(base, slot);
+                self.insert_page(base, Page::new(base, perm));
+                self.note_owned_alloc();
             }
         }
+        self.bump_layout();
+    }
+
+    /// Maps the page containing `addr` zero-copy over an immutable shared
+    /// payload: the page borrows `data` until a first write privatises it.
+    /// Re-mapping an existing page replaces its contents and permission
+    /// (the shared bytes become the page's contents, so a watched page is
+    /// recorded as dirty code exactly like a whole-page write).
+    pub fn map_shared_page(&mut self, addr: u64, perm: Perm, data: PageData) {
+        let base = page_base(addr);
+        match self.index.get(&base).copied() {
+            Some(slot) => {
+                if matches!(self.page(slot).frame, Frame::Owned(_)) {
+                    self.mat.owned_bytes -= PAGE_SIZE;
+                }
+                let page = self.page_mut(slot);
+                page.frame = Frame::Shared(data);
+                page.perm = perm;
+                self.note_write(slot);
+            }
+            None => self.insert_page(base, Page::new_shared(base, perm, data)),
+        }
+        self.mat.shared_pages += 1;
         self.bump_layout();
     }
 
@@ -467,7 +626,14 @@ impl Memory {
         let page = self.slots[slot as usize].take().expect("live slot");
         self.free.push(slot);
         self.bump_layout();
-        Some(page.data)
+        Some(match page.frame {
+            Frame::Owned(b) => {
+                self.mat.owned_bytes -= PAGE_SIZE;
+                b
+            }
+            // Relocating a never-written shared page pays its copy here.
+            Frame::Shared(a) => Box::new(*a),
+        })
     }
 
     /// Unmaps every page overlapping `[start, end)`.
@@ -501,7 +667,7 @@ impl Memory {
     pub fn pages(&self) -> impl Iterator<Item = (u64, Perm, &[u8; PAGE_SIZE as usize])> {
         self.index.iter().map(|(&a, &s)| {
             let p = self.page(s);
-            (a, p.perm, &*p.data)
+            (a, p.perm, p.frame.bytes())
         })
     }
 
@@ -513,7 +679,7 @@ impl Memory {
         }
         if off + buf.len() <= PAGE_SIZE as usize {
             let slot = self.resolve(addr, Access::Read)?;
-            buf.copy_from_slice(&self.page(slot).data[off..off + buf.len()]);
+            buf.copy_from_slice(&self.page_bytes(slot)[off..off + buf.len()]);
             return Ok(());
         }
         let mut pos = 0usize;
@@ -522,7 +688,7 @@ impl Memory {
             let slot = self.resolve(a, Access::Read)?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            buf[pos..pos + n].copy_from_slice(&self.page(slot).data[off..off + n]);
+            buf[pos..pos + n].copy_from_slice(&self.page_bytes(slot)[off..off + n]);
             pos += n;
         }
         Ok(())
@@ -536,7 +702,7 @@ impl Memory {
         }
         if off + buf.len() <= PAGE_SIZE as usize {
             let slot = self.resolve(addr, Access::Write)?;
-            self.page_mut(slot).data[off..off + buf.len()].copy_from_slice(buf);
+            self.page_bytes_mut(slot)[off..off + buf.len()].copy_from_slice(buf);
             self.note_write(slot);
             return Ok(());
         }
@@ -546,7 +712,7 @@ impl Memory {
             let slot = self.resolve(a, Access::Write)?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            self.page_mut(slot).data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.page_bytes_mut(slot)[off..off + n].copy_from_slice(&buf[pos..pos + n]);
             self.note_write(slot);
             pos += n;
         }
@@ -567,7 +733,7 @@ impl Memory {
             })?;
             let off = (a % PAGE_SIZE) as usize;
             let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-            self.page_mut(slot).data[off..off + n].copy_from_slice(&buf[pos..pos + n]);
+            self.page_bytes_mut(slot)[off..off + n].copy_from_slice(&buf[pos..pos + n]);
             self.note_write(slot);
             pos += n;
         }
@@ -583,7 +749,7 @@ impl Memory {
         let off = (addr % PAGE_SIZE) as usize;
         if !buf.is_empty() && off + buf.len() <= PAGE_SIZE as usize {
             let slot = self.resolve(addr, Access::Exec)?;
-            buf.copy_from_slice(&self.page(slot).data[off..off + buf.len()]);
+            buf.copy_from_slice(&self.page_bytes(slot)[off..off + buf.len()]);
             return Ok(buf.len());
         }
         let mut pos = 0usize;
@@ -593,7 +759,7 @@ impl Memory {
                 Ok(slot) => {
                     let off = (a % PAGE_SIZE) as usize;
                     let n = ((PAGE_SIZE as usize) - off).min(buf.len() - pos);
-                    buf[pos..pos + n].copy_from_slice(&self.page(slot).data[off..off + n]);
+                    buf[pos..pos + n].copy_from_slice(&self.page_bytes(slot)[off..off + n]);
                     pos += n;
                 }
                 Err(e) => {
@@ -611,7 +777,7 @@ impl Memory {
     #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
         let slot = self.resolve(addr, Access::Read)?;
-        Ok(self.page(slot).data[(addr % PAGE_SIZE) as usize])
+        Ok(self.page_bytes(slot)[(addr % PAGE_SIZE) as usize])
     }
 
     /// Reads a little-endian `u16`.
@@ -636,7 +802,7 @@ impl Memory {
     #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
         let slot = self.resolve(addr, Access::Write)?;
-        self.page_mut(slot).data[(addr % PAGE_SIZE) as usize] = v;
+        self.page_bytes_mut(slot)[(addr % PAGE_SIZE) as usize] = v;
         self.note_write(slot);
         Ok(())
     }
@@ -686,7 +852,7 @@ impl Memory {
                 addr: dst_page,
                 access: Access::Write,
             })?;
-        self.page_mut(slot).data.copy_from_slice(bytes);
+        self.page_bytes_mut(slot).copy_from_slice(bytes);
         self.note_write(slot);
         Ok(())
     }
@@ -908,6 +1074,99 @@ mod tests {
         let page = [0u8; PAGE_SIZE as usize];
         m.install_page(0x1000, &page).unwrap();
         assert_eq!(m.take_dirty_code(), vec![0x1000]);
+    }
+
+    fn shared(fill: u8) -> PageData {
+        Arc::new([fill; PAGE_SIZE as usize])
+    }
+
+    #[test]
+    fn shared_pages_read_without_copying() {
+        let mut m = Memory::new();
+        let data = shared(0x5a);
+        m.map_shared_page(0x1000, Perm::R, Arc::clone(&data));
+        assert_eq!(m.read_u8(0x1234).unwrap(), 0x5a);
+        let s = m.materialize_stats();
+        assert_eq!(s.shared_pages, 1);
+        assert_eq!(s.owned_bytes, 0, "no private bytes until a write");
+        assert_eq!(s.cow_breaks, 0);
+        // The mapping holds the payload itself, not a copy.
+        assert_eq!(Arc::strong_count(&data), 2);
+    }
+
+    #[test]
+    fn first_write_breaks_cow_and_preserves_the_shared_payload() {
+        let mut m = Memory::new();
+        let data = shared(0x11);
+        m.map_shared_page(0x1000, Perm::RW, Arc::clone(&data));
+        m.write_u8(0x1000, 0xff).unwrap();
+        assert_eq!(m.read_u8(0x1000).unwrap(), 0xff);
+        assert_eq!(m.read_u8(0x1001).unwrap(), 0x11, "rest copied over");
+        assert_eq!(data[0], 0x11, "shared payload untouched");
+        let s = m.materialize_stats();
+        assert_eq!(s.cow_breaks, 1);
+        assert_eq!(s.owned_bytes, PAGE_SIZE);
+        assert_eq!(Arc::strong_count(&data), 1, "break dropped the borrow");
+
+        // Further writes stay on the private frame.
+        m.write_u8(0x1002, 1).unwrap();
+        assert_eq!(m.materialize_stats().cow_breaks, 1);
+    }
+
+    #[test]
+    fn machines_sharing_a_payload_diverge_privately() {
+        let data = shared(7);
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        a.map_shared_page(0x1000, Perm::RW, Arc::clone(&data));
+        b.map_shared_page(0x1000, Perm::RW, Arc::clone(&data));
+        a.write_u8(0x1000, 100).unwrap();
+        assert_eq!(a.read_u8(0x1000).unwrap(), 100);
+        assert_eq!(b.read_u8(0x1000).unwrap(), 7, "b still sees the original");
+    }
+
+    #[test]
+    fn unchecked_writes_and_install_break_cow_too() {
+        let mut m = Memory::new();
+        m.map_shared_page(0x1000, Perm::R, shared(3));
+        m.write_bytes_unchecked(0x1010, &[9]).unwrap();
+        assert_eq!(m.materialize_stats().cow_breaks, 1);
+
+        m.map_shared_page(0x2000, Perm::R, shared(4));
+        m.install_page(0x2000, &[0u8; PAGE_SIZE as usize]).unwrap();
+        assert_eq!(m.materialize_stats().cow_breaks, 2);
+        assert_eq!(m.read_u8(0x2000).unwrap(), 0);
+    }
+
+    #[test]
+    fn shared_remap_of_watched_page_records_dirty_code() {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x2000, Perm::RWX).unwrap();
+        assert!(m.watch_exec_page(0x1000));
+        m.map_shared_page(0x1000, Perm::RX, shared(0x90));
+        assert_eq!(m.take_dirty_code(), vec![0x1000]);
+    }
+
+    #[test]
+    fn unmap_shared_page_returns_contents() {
+        let mut m = Memory::new();
+        m.map_shared_page(0x3000, Perm::RW, shared(0xab));
+        let page = m.unmap_page(0x3000).expect("was mapped");
+        assert!(page.iter().all(|&x| x == 0xab));
+        assert_eq!(m.materialize_stats().owned_bytes, 0);
+    }
+
+    #[test]
+    fn owned_bytes_track_map_and_unmap() {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x3000, Perm::RW).unwrap();
+        let s = m.materialize_stats();
+        assert_eq!(s.owned_bytes, 2 * PAGE_SIZE);
+        assert_eq!(s.pages_mapped, 2);
+        m.unmap_page(0x1000);
+        let s = m.materialize_stats();
+        assert_eq!(s.owned_bytes, PAGE_SIZE);
+        assert_eq!(s.peak_owned_bytes, 2 * PAGE_SIZE, "peak sticks");
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Differential property tests for copy-on-write guest memory.
+//!
+//! Booting a machine from shared, arena-style page payloads
+//! ([`Memory::map_shared_page`]) is a pure materialization optimisation:
+//! execution must be **bit-identical** to booting from deep-copied pages.
+//! These tests enforce that by checkpointing a program's initial memory
+//! image once, booting two machines from it — one sharing the payloads,
+//! one copying every byte — and comparing everything observable:
+//!
+//! * the full observer event stream (instructions, memory accesses,
+//!   syscalls, markers, thread lifecycle),
+//! * the [`RunSummary`] (exit reason, retired instructions, cycles),
+//! * final register files of every thread,
+//! * the complete memory image (page bases, permissions, bytes),
+//! * kernel stdout.
+//!
+//! Self-modifying code is the sharpest case: a shared *code* page must
+//! privatise on the patch write, evict the stale decoded block, and keep
+//! the donor payload byte-identical — all while matching the deep-copy
+//! run event for event.
+
+use elfie_isa::test_strategies::arb_insn;
+use elfie_isa::{assemble, encode, Insn, MarkerKind, Program, Reg, RegFile};
+use elfie_vm::{
+    ExitReason, FastPathStats, Machine, MachineConfig, Observer, PageData, Perm, RunSummary,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One observer callback, recorded verbatim.
+#[derive(Debug, Clone, PartialEq)]
+enum Ev {
+    Insn(u32, u64, Insn, usize),
+    Read(u32, u64, u64),
+    Write(u32, u64, u64),
+    Sys(u32, u64, [u64; 6]),
+    SysRet(u32, u64, u64, usize),
+    Marker(u32, MarkerKind, u32),
+    Start(u32, u32),
+    Exit(u32, i32),
+}
+
+/// Records every observer callback in order.
+#[derive(Debug, Default)]
+struct RecObs(Vec<Ev>);
+
+impl Observer for RecObs {
+    fn on_insn(&mut self, tid: u32, rip: u64, insn: &Insn, len: usize) {
+        self.0.push(Ev::Insn(tid, rip, *insn, len));
+    }
+    fn on_mem_read(&mut self, tid: u32, addr: u64, size: u64) {
+        self.0.push(Ev::Read(tid, addr, size));
+    }
+    fn on_mem_write(&mut self, tid: u32, addr: u64, size: u64) {
+        self.0.push(Ev::Write(tid, addr, size));
+    }
+    fn on_syscall(&mut self, tid: u32, nr: u64, args: &[u64; 6]) {
+        self.0.push(Ev::Sys(tid, nr, *args));
+    }
+    fn on_syscall_ret(&mut self, tid: u32, nr: u64, ret: u64, writes: &[(u64, Vec<u8>)]) {
+        self.0.push(Ev::SysRet(tid, nr, ret, writes.len()));
+    }
+    fn on_marker(&mut self, tid: u32, kind: MarkerKind, tag: u32) {
+        self.0.push(Ev::Marker(tid, kind, tag));
+    }
+    fn on_thread_start(&mut self, parent: u32, child: u32) {
+        self.0.push(Ev::Start(parent, child));
+    }
+    fn on_thread_exit(&mut self, tid: u32, code: i32) {
+        self.0.push(Ev::Exit(tid, code));
+    }
+}
+
+/// Everything observable about one finished run.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    summary: RunSummary,
+    events: Vec<Ev>,
+    regs: Vec<RegFile>,
+    mem: Vec<(u64, Perm, Vec<u8>)>,
+    stdout: Vec<u8>,
+}
+
+/// A frozen initial machine state: page snapshot plus thread registers.
+struct Checkpoint {
+    pages: Vec<(u64, Perm, PageData)>,
+    threads: Vec<RegFile>,
+}
+
+/// Runs `setup` on a scratch machine and freezes the result. The payloads
+/// are `Arc`s, so booting from the checkpoint can share or copy them.
+fn checkpoint(setup: &dyn Fn(&mut Machine)) -> Checkpoint {
+    let mut m = Machine::new(MachineConfig::default());
+    setup(&mut m);
+    Checkpoint {
+        pages: m
+            .mem
+            .pages()
+            .map(|(base, perm, data)| (base, perm, Arc::new(*data) as PageData))
+            .collect(),
+        threads: m.threads.iter().map(|t| t.regs.clone()).collect(),
+    }
+}
+
+/// Boots a machine from `cp` — sharing the payloads or deep-copying them
+/// — runs it, and returns the observable outcome.
+fn run_from(cp: &Checkpoint, fuel: u64, share: bool) -> (Outcome, FastPathStats) {
+    let mut m = Machine::with_observer(MachineConfig::default(), RecObs::default());
+    for (base, perm, data) in &cp.pages {
+        if share {
+            m.mem.map_shared_page(*base, *perm, Arc::clone(data));
+        } else {
+            m.mem.map_page(*base, *perm);
+            m.mem.write_bytes_unchecked(*base, &data[..]).unwrap();
+        }
+    }
+    for regs in &cp.threads {
+        m.add_thread(regs.clone());
+    }
+    let summary = m.run(fuel);
+    let stats = m.fastpath_stats();
+    let outcome = Outcome {
+        summary,
+        events: std::mem::take(&mut m.obs.0),
+        regs: m.threads.iter().map(|t| t.regs.clone()).collect(),
+        mem: m
+            .mem
+            .pages()
+            .map(|(base, perm, data)| (base, perm, data.to_vec()))
+            .collect(),
+        stdout: m.kernel.stdout.clone(),
+    };
+    (outcome, stats)
+}
+
+/// Boots `setup`'s machine state both ways and asserts the executions are
+/// indistinguishable. Also verifies the donor payloads came through the
+/// run unmodified (CoW never writes back into the checkpoint). Returns
+/// the shared-boot run for further checks.
+fn assert_identical(setup: &dyn Fn(&mut Machine), fuel: u64) -> (Outcome, FastPathStats) {
+    let cp = checkpoint(setup);
+    let before: Vec<Vec<u8>> = cp.pages.iter().map(|(_, _, d)| d.to_vec()).collect();
+    let (shared, stats) = run_from(&cp, fuel, true);
+    let (deep, deep_stats) = run_from(&cp, fuel, false);
+    assert_eq!(
+        deep_stats.mat.shared_pages, 0,
+        "deep boot must not share pages"
+    );
+    assert_eq!(
+        stats.mat.shared_pages,
+        cp.pages.len() as u64,
+        "shared boot must share every checkpoint page"
+    );
+    assert_eq!(shared.summary, deep.summary, "run summary diverged");
+    assert_eq!(shared.regs, deep.regs, "final registers diverged");
+    assert_eq!(shared.stdout, deep.stdout, "stdout diverged");
+    for (i, (a, b)) in shared.events.iter().zip(deep.events.iter()).enumerate() {
+        assert_eq!(a, b, "event {i} diverged (shared vs deep-copy boot)");
+    }
+    assert_eq!(
+        shared.events.len(),
+        deep.events.len(),
+        "event count diverged"
+    );
+    assert_eq!(shared.mem, deep.mem, "memory image diverged");
+    for ((_, _, d), b) in cp.pages.iter().zip(&before) {
+        assert_eq!(&d[..], &b[..], "a shared payload was mutated in place");
+    }
+    (shared, stats)
+}
+
+const CODE_BASE: u64 = 0x1000;
+const ARENA_BASE: u64 = 0x20000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random instruction soup over a checkpointed image: code page plus
+    /// a data arena, all boot-shared. Includes faulting and undecodable
+    /// tails — divergence handling must match too.
+    #[test]
+    fn straight_line_soup_is_boot_mode_invariant(
+        insns in proptest::collection::vec(arb_insn(), 1..32),
+    ) {
+        let mut code = Vec::new();
+        for i in &insns {
+            code.extend(encode(i));
+        }
+        let setup = move |m: &mut Machine| {
+            m.mem.map_range(CODE_BASE, 0x5000, Perm::RWX).unwrap();
+            m.mem
+                .map_range(ARENA_BASE, ARENA_BASE + 0x20000, Perm::RW)
+                .unwrap();
+            m.mem.write_bytes_unchecked(CODE_BASE, &code).unwrap();
+            let mut regs = RegFile::new();
+            regs.rip = CODE_BASE;
+            for r in 0..16u8 {
+                let reg = Reg::from_index(r).unwrap();
+                regs.write(reg, ARENA_BASE + 0x10000 + (r as u64) * 64);
+            }
+            regs.write(Reg::Rcx, 4); // bound rep movs
+            regs.write(Reg::Rsp, ARENA_BASE + 0x1f000);
+            m.add_thread(regs);
+        };
+        assert_identical(&setup, 4_000);
+    }
+}
+
+fn loaded(prog: Program) -> impl Fn(&mut Machine) {
+    move |m: &mut Machine| m.load_program(&prog)
+}
+
+/// A store-heavy loop: writes privatise exactly the touched pages, reads
+/// elsewhere keep sharing, and the deep-copy run still matches.
+#[test]
+fn writes_break_cow_only_on_touched_pages() {
+    let prog = assemble(
+        r#"
+        .org 0x1000
+        start:
+            mov rcx, 200
+            mov r15, 0x20000
+        loop:
+            mov [r15], rcx      ; repeatedly dirty ONE data page
+            mov rax, [r15 + 8]
+            sub rcx, 1
+            cmp rcx, 0
+            jne loop
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        "#,
+    )
+    .expect("assembles");
+    let setup = move |m: &mut Machine| {
+        m.load_program(&prog);
+        m.mem
+            .map_range(0x20000, 0x20000 + 0x4000, Perm::RW)
+            .unwrap();
+    };
+    let (outcome, stats) = assert_identical(&setup, 10_000);
+    assert_eq!(outcome.summary.reason, ExitReason::AllExited(0));
+    // One data page is written; the other three data pages and the code
+    // pages are only ever read or fetched, so they never privatise.
+    assert_eq!(stats.mat.cow_breaks, 1, "exactly one page privatised");
+    assert!(
+        stats.mat.peak_owned_bytes < stats.mat.shared_pages * elfie_isa::PAGE_SIZE,
+        "shared boot must stay below one-copy-per-page residency"
+    );
+}
+
+/// Self-modifying code on a *shared* code page: the patch write must
+/// privatise the frame, evict the already-decoded block, execute the new
+/// bytes — and match the deep-copy boot exactly.
+#[test]
+fn smc_on_shared_code_page_is_boot_mode_invariant() {
+    let original = "    mov rax, 111\n    add rax, 7\n    add rax, 9\n";
+    let patched = original.replace("111", "222");
+    let body = |text: &str| {
+        let prog = assemble(&format!(".org 0x1000\n{text}")).expect("body assembles");
+        let mut bytes = Vec::new();
+        for c in &prog.chunks {
+            bytes.extend_from_slice(&c.bytes);
+        }
+        bytes
+    };
+    let orig_bytes = body(original);
+    let patch_bytes = body(&patched);
+    assert_eq!(orig_bytes.len(), patch_bytes.len());
+    let nop = encode(&Insn::Nop);
+    let pad = (8 - orig_bytes.len() % 8) % 8;
+    let region = orig_bytes.len() + pad;
+    let pad_asm: String = "    nop\n".repeat(pad / nop.len());
+    let mut patch_data = patch_bytes.clone();
+    for _ in 0..pad / nop.len() {
+        patch_data.extend_from_slice(&nop);
+    }
+    let patch_decl = patch_data
+        .iter()
+        .map(|b| format!("{b:#04x}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let copies: String = (0..region / 8)
+        .map(|q| {
+            let off = q * 8;
+            format!("    mov r10, [r12 + {off}]\n    mov [r13 + {off}], r10\n")
+        })
+        .collect();
+    let src = format!(
+        r#"
+        .org 0x1000
+        start:
+            mov r14, 0
+        run:
+        target:
+        {original}{pad_asm}
+            mov rbx, rax        ; latch the block's result
+            cmp r14, 1
+            je done
+            mov r14, 1
+            mov r12, patch_src
+            mov r13, target
+        {copies}
+            jmp run
+        done:
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        patch_src:
+            .byte {patch_decl}
+        "#
+    );
+    let prog = assemble(&src).expect("smc program assembles");
+    let (outcome, stats) = assert_identical(&loaded(prog), 10_000);
+    assert_eq!(outcome.summary.reason, ExitReason::AllExited(0));
+    // Pass 1 computes 111+7+9 = 127 and patches; pass 2 must see the new
+    // bytes: 222+7+9 = 238.
+    assert_eq!(
+        outcome.regs[0].read(Reg::Rbx),
+        238,
+        "patched block did not take effect on the privatised page"
+    );
+    assert!(stats.mat.cow_breaks >= 1, "patch write must privatise");
+    assert!(
+        stats.block_evictions >= 1,
+        "SMC write must still evict the cached block"
+    );
+}
+
+/// Two machines booted from the same shared checkpoint diverge privately:
+/// running (and dirtying) the first must not perturb the second, whose
+/// run still matches a deep-copy boot bit for bit.
+#[test]
+fn sibling_machines_do_not_interfere() {
+    let prog = assemble(
+        r#"
+        .org 0x1000
+        start:
+            mov r15, 0x20000
+            mov rax, [r15]
+            add rax, 5
+            mov [r15], rax
+            mov rdi, rax
+            mov rax, 231
+            syscall
+        "#,
+    )
+    .expect("assembles");
+    let setup = move |m: &mut Machine| {
+        m.load_program(&prog);
+        m.mem.map_range(0x20000, 0x21000, Perm::RW).unwrap();
+        m.mem
+            .write_bytes_unchecked(0x20000, &[10, 0, 0, 0])
+            .unwrap();
+    };
+    let cp = checkpoint(&setup);
+    // First sibling dirties the counter page.
+    let (first, _) = run_from(&cp, 1_000, true);
+    assert_eq!(first.summary.reason, ExitReason::AllExited(15));
+    // Second sibling still observes the pristine checkpoint.
+    let (second, _) = run_from(&cp, 1_000, true);
+    let (deep, _) = run_from(&cp, 1_000, false);
+    assert_eq!(second.summary.reason, ExitReason::AllExited(15));
+    assert_eq!(second.events, deep.events);
+    assert_eq!(second.mem, deep.mem);
+}
