@@ -1,0 +1,154 @@
+//! Trace-overhead ablation: what does the observability layer cost at
+//! each [`TraceMode`]?
+//!
+//! Three views, coarsest to finest:
+//!
+//! * `validate_pipeline` — the full parallel validation flow with no
+//!   tracer, a disabled tracer, a sampled tracer and a full tracer. This
+//!   is the headline number: end-to-end, tracing must be noise.
+//! * `vm_loop` — a counted 2.1M-instruction guest loop under the
+//!   simulator with and without a (disabled) tracer attached. The VM hot
+//!   loop never consults the tracer — counters fold into
+//!   [`FastPathStats`] and surface per run — so this pins the disabled
+//!   cost at structurally zero (`tests/trace_overhead.rs` enforces ≤2%).
+//! * `trace_primitives` — the raw per-event cost of `span`, `instant`
+//!   and `counter` in each mode, i.e. what one instrumentation point
+//!   pays when tracing *is* on.
+//!
+//! The recorded snapshot lives in BENCH_trace.json; the ablation table is
+//! reproduced in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elfie::isa::{assemble, Program};
+use elfie::prelude::*;
+use elfie::sim::{simulate_program, Simulator};
+use elfie::vm::ExitReason;
+use std::sync::Arc;
+
+/// Memory-touching counted loop on its own data page (same shape as the
+/// `vm_fastpath` bench, so MIPS numbers are comparable).
+fn loop_program(iters: u64) -> Program {
+    assemble(&format!(
+        r#"
+        .org 0x400000
+        start:
+            mov rcx, {iters}
+            mov r15, buf
+            mov rax, 0
+        loop:
+            mov [r15], rax
+            add rax, 3
+            mov rbx, [r15 + 8]
+            add rbx, rax
+            sub rcx, 1
+            cmp rcx, 0
+            jne loop
+            mov rax, 60
+            mov rdi, 0
+            syscall
+        .org 0x402000
+        buf:
+            .byte 0, 0, 0, 0, 0, 0, 0, 0
+            .byte 0, 0, 0, 0, 0, 0, 0, 0
+        "#
+    ))
+    .expect("assembles")
+}
+
+/// The four ablation arms: no tracer at all, and one per mode.
+fn arms() -> [(&'static str, Option<TraceMode>); 4] {
+    [
+        ("none", None),
+        ("off", Some(TraceMode::Disabled)),
+        ("sampled", Some(TraceMode::Sampled { period: 64 })),
+        ("full", Some(TraceMode::Full)),
+    ]
+}
+
+fn validate_pipeline(c: &mut Criterion) {
+    let w = elfie::workloads::gcc_like(4);
+    let cfg = PinPointsConfig {
+        slice_size: 5_000,
+        warmup: 2_000,
+        max_k: 4,
+        ..PinPointsConfig::default()
+    };
+    let mut g = c.benchmark_group("validate_pipeline");
+    g.sample_size(5);
+    for (label, mode) in arms() {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut engine = BatchValidator::new().with_workers(2);
+                if let Some(mode) = mode {
+                    engine = engine.with_tracer(Arc::new(Tracer::new(mode)));
+                }
+                let (report, stats) = engine
+                    .validate(&w, &cfg, 42, 50_000_000)
+                    .expect("validates");
+                std::hint::black_box((report.predicted_cpi, stats.guest_insns()))
+            })
+        });
+    }
+}
+
+fn vm_loop(c: &mut Criterion) {
+    let prog = loop_program(350_000);
+    let mut g = c.benchmark_group("vm_loop");
+    g.sample_size(10);
+    for (label, mode) in [("none", None), ("off", Some(TraceMode::Disabled))] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = Simulator::new(elfie::sim::CoreParams::haswell_like());
+                if let Some(mode) = mode {
+                    sim = sim.with_tracer(Arc::new(Tracer::new(mode)));
+                }
+                let out = simulate_program(&prog, &sim, |_| {});
+                assert_eq!(out.exit, ExitReason::AllExited(0));
+                std::hint::black_box(out.fastpath.insns)
+            })
+        });
+    }
+}
+
+fn trace_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_primitives");
+    g.sample_size(20);
+    for (label, mode) in arms() {
+        let Some(mode) = mode else { continue };
+        // A fresh tracer per iteration keeps the ring from overflowing,
+        // so every event pays the record path, not the drop path. 1000
+        // events per iteration make the per-event cost ns-resolvable.
+        let fresh = move || Arc::new(Tracer::with_capacity(mode, 4096));
+        g.bench_function(&format!("span/{label}"), |b| {
+            b.iter(|| {
+                let tracer = fresh();
+                for i in 0..1000u64 {
+                    let mut span = tracer.span("bench", "span");
+                    span.arg("i", i);
+                }
+                std::hint::black_box(&tracer);
+            })
+        });
+        g.bench_function(&format!("instant/{label}"), |b| {
+            b.iter(|| {
+                let tracer = fresh();
+                for i in 0..1000u64 {
+                    tracer.instant("bench", "instant", &[("i", i)]);
+                }
+                std::hint::black_box(&tracer);
+            })
+        });
+        g.bench_function(&format!("counter/{label}"), |b| {
+            b.iter(|| {
+                let tracer = fresh();
+                for i in 0..1000u64 {
+                    tracer.counter("bench", "counter", i);
+                }
+                std::hint::black_box(&tracer);
+            })
+        });
+    }
+}
+
+criterion_group!(benches, validate_pipeline, vm_loop, trace_primitives);
+criterion_main!(benches);

@@ -20,8 +20,10 @@
 //! surface is unit-testable without spawning processes.
 
 use elfie::prelude::*;
+use elfie::trace::json::Json;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// A CLI failure: message for stderr, non-zero exit.
 #[derive(Debug)]
@@ -95,6 +97,72 @@ impl Args {
 
     fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// The shared `--trace FILE [--trace-mode off|sampled[:N]|full]`
+/// `--stats-json FILE` surface of `validate` and `simulate`.
+struct TraceOpts {
+    trace_out: Option<PathBuf>,
+    stats_json_out: Option<PathBuf>,
+    tracer: Option<Arc<Tracer>>,
+}
+
+fn parse_trace_opts(args: &Args) -> Result<TraceOpts, CliError> {
+    let trace_out = args.opt("trace").map(PathBuf::from);
+    let tracer = match &trace_out {
+        None => None,
+        Some(_) => {
+            let mode = match args.opt("trace-mode") {
+                None => TraceMode::Full,
+                Some(text) => TraceMode::parse(text).map_err(err)?,
+            };
+            Some(Arc::new(Tracer::new(mode)))
+        }
+    };
+    Ok(TraceOpts {
+        trace_out,
+        stats_json_out: args.opt("stats-json").map(PathBuf::from),
+        tracer,
+    })
+}
+
+fn write_json_file(path: &Path, doc: &Json) -> Result<(), CliError> {
+    let mut text = doc.render_pretty();
+    text.push('\n');
+    std::fs::write(path, text).map_err(|e| err(format!("write {}: {e}", path.display())))
+}
+
+impl TraceOpts {
+    /// Writes the Chrome timeline (`--trace`) and the stats document
+    /// (`--stats-json`), appending a one-line note per file to `report`.
+    fn finish(&self, report: &mut String, stats_doc: &Json) -> Result<(), CliError> {
+        if self.trace_out.is_none() && self.stats_json_out.is_none() {
+            return Ok(());
+        }
+        if !report.ends_with('\n') {
+            report.push('\n');
+        }
+        if let Some(path) = &self.trace_out {
+            let tracer = self
+                .tracer
+                .as_ref()
+                .expect("tracer exists when --trace is set");
+            let data = tracer.collect();
+            write_json_file(path, &elfie::trace::chrome_trace(&data))?;
+            let _ = writeln!(
+                report,
+                "trace: {} event(s), {} dropped -> {}",
+                data.event_count(),
+                data.dropped,
+                path.display()
+            );
+        }
+        if let Some(path) = &self.stats_json_out {
+            write_json_file(path, stats_doc)?;
+            let _ = writeln!(report, "stats-json -> {}", path.display());
+        }
+        Ok(())
     }
 }
 
@@ -352,7 +420,7 @@ pub fn cmd_simpoint(args: &Args) -> Result<String, CliError> {
 
 /// `elfie validate <workload> [--scale S] [--slice N] [--warmup N]
 /// [--maxk N] [--seed N] [--fuel N] [--workers N] [--serial] [--stats]
-/// [--store DIR]`
+/// [--store DIR] [--trace FILE] [--trace-mode M] [--stats-json FILE]`
 ///
 /// Runs the full ELFie-based validation flow (select → capture → convert
 /// → measure → compare against the whole-program run) on the parallel
@@ -360,6 +428,10 @@ pub fn cmd_simpoint(args: &Args) -> Result<String, CliError> {
 /// `--serial` pins one worker; both produce the identical report.
 /// `--store DIR` backs the artifact cache with a persistent store so a
 /// repeated run warm-starts (visible as store hits under `--stats`).
+/// `--trace FILE` writes a Chrome/Perfetto timeline of the whole run
+/// (per-worker task spans, cache/store counter tracks); `--stats-json
+/// FILE` writes the same numbers `--stats` prints as a versioned JSON
+/// document (`elfie trace summarize` turns it back into the text form).
 pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     let name = args.pos(0, "workload")?;
     let scale = parse_scale(args.opt("scale"))?;
@@ -377,10 +449,19 @@ pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     } else {
         args.opt_u64("workers", 0)? as usize
     };
+    let topts = parse_trace_opts(args)?;
     let mut engine = BatchValidator::new().with_workers(workers);
     if let Some(dir) = args.opt("store") {
-        let cache = PipelineCache::persistent(dir).map_err(|e| err(format!("open store: {e}")))?;
-        engine = engine.with_cache(std::sync::Arc::new(cache));
+        // The store must get the tracer before the cache takes ownership
+        // of it, so lazy fetches and puts land on the timeline too.
+        let mut store = Store::open(dir).map_err(|e| err(format!("open store: {e}")))?;
+        if let Some(tracer) = &topts.tracer {
+            store = store.with_tracer(Arc::clone(tracer));
+        }
+        engine = engine.with_cache(Arc::new(PipelineCache::new().with_store(store)));
+    }
+    if let Some(tracer) = &topts.tracer {
+        engine = engine.with_tracer(Arc::clone(tracer));
     }
     let (report, stats) = engine
         .validate(&w, &cfg, seed, fuel)
@@ -417,14 +498,17 @@ pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     if args.flag("stats") {
         let _ = writeln!(out, "{stats}");
     }
+    topts.finish(&mut out, &elfie::render::stats_to_json(&stats))?;
     Ok(out)
 }
 
-/// `elfie simulate <elfie-file> [--sim NAME] [--sysstate DIR]`
+/// `elfie simulate <elfie-file> [--sim NAME] [--sysstate DIR]
+/// [--trace FILE] [--trace-mode M] [--stats-json FILE]`
 pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
     let path = args.pos(0, "elfie-file")?;
     let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
-    let sim = match args.opt("sim").unwrap_or("coresim") {
+    let topts = parse_trace_opts(args)?;
+    let mut sim = match args.opt("sim").unwrap_or("coresim") {
         "sniper" => Simulator::sniper(),
         "coresim" => Simulator::coresim_sde(),
         "coresim-fs" => Simulator::coresim_simics(),
@@ -436,6 +520,9 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
             )))
         }
     };
+    if let Some(tracer) = &topts.tracer {
+        sim = sim.with_tracer(Arc::clone(tracer));
+    }
     let sysstate = match args.opt("sysstate") {
         Some(dir) => Some(
             SysState::load_dir(Path::new(dir)).map_err(|e| err(format!("load sysstate: {e}")))?,
@@ -448,11 +535,9 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         }
     })
     .map_err(|e| err(format!("load failed: {e}")))?;
-    Ok(format!(
+    let mut report = format!(
         "sim {}: exit {:?}\nuser insns {}  kernel insns {}  cycles {}  IPC {:.3}  runtime {} ns\n\
-         L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines\n\
-         vm fast path: block cache {:.1}% hit, soft-tlb {:.1}% hit\n\
-         vm memory: {} pages mapped ({} shared, {} cow breaks, {} lazy faults), peak resident {} bytes",
+         L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines\n{}",
         sim.params.name,
         out.exit,
         out.stats.user_insns,
@@ -466,14 +551,53 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         out.stats.dtlb_misses,
         out.stats.mispredicts,
         out.stats.footprint_lines,
-        out.fastpath.block_hit_rate() * 100.0,
-        out.fastpath.tlb_hit_rate() * 100.0,
-        out.fastpath.mat.pages_mapped,
-        out.fastpath.mat.shared_pages,
-        out.fastpath.mat.cow_breaks,
-        out.fastpath.mat.lazy_faults,
-        out.fastpath.mat.peak_owned_bytes,
-    ))
+        elfie::render::vm_lines(&out.fastpath),
+    );
+    topts.finish(
+        &mut report,
+        &elfie::render::sim_stats_to_json(&out.fastpath),
+    )?;
+    Ok(report)
+}
+
+/// `elfie trace <summarize|check> <file>` — inspects a `--trace` timeline
+/// or a `--stats-json` document without loading it into a browser.
+///
+/// `summarize` rolls a Chrome timeline up into per-thread, per-span
+/// aggregates, and renders a stats document back into the exact text the
+/// producing command prints under `--stats`. `check` validates structure
+/// (schema header, field presence, event shape) and says what it found.
+pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
+    let sub = args.pos(0, "trace subcommand")?;
+    let path = args.pos(1, "file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
+    let doc = Json::parse(&text).map_err(|e| err(format!("parse {path}: {e}")))?;
+    let is_chrome = doc.get("traceEvents").is_some();
+    match sub {
+        "summarize" => {
+            if is_chrome {
+                let summary = TraceSummary::from_chrome_json(&doc).map_err(err)?;
+                Ok(summary.to_string())
+            } else {
+                elfie::render::summarize_stats_document(&doc).map_err(err)
+            }
+        }
+        "check" => {
+            if is_chrome {
+                let n = elfie::trace::check_chrome_trace(&doc).map_err(err)?;
+                Ok(format!("ok: chrome trace, {n} event(s)"))
+            } else {
+                let schema = elfie::render::check_schema(&doc).map_err(err)?.to_string();
+                // A schema header alone is not enough: make sure every
+                // counter field is present and well-typed.
+                elfie::render::summarize_stats_document(&doc).map_err(err)?;
+                Ok(format!("ok: {schema} v{}", elfie::render::STATS_VERSION))
+            }
+        }
+        other => Err(err(format!(
+            "unknown trace subcommand `{other}` (summarize|check)"
+        ))),
+    }
 }
 
 /// `elfie disasm <elfie-file> [--section NAME]`
@@ -653,10 +777,16 @@ COMMANDS:
                                          PinPoints region selection
   validate <workload> [--slice N] [--warmup N] [--maxk N] [--scale S]
          [--seed N] [--fuel N] [--workers N] [--serial] [--stats]
-         [--store DIR]                   ELFie-based validation (parallel);
-                                         --store warm-starts across runs
+         [--store DIR] [--trace FILE] [--trace-mode off|sampled[:N]|full]
+         [--stats-json FILE]             ELFie-based validation (parallel);
+                                         --store warm-starts across runs,
+                                         --trace writes a Perfetto timeline
   simulate <file> [--sim sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell]
-         [--sysstate DIR]                simulate an ELFie
+         [--sysstate DIR] [--trace FILE] [--stats-json FILE]
+                                         simulate an ELFie
+  trace summarize <file>                 roll up a --trace timeline, or
+                                         render --stats-json back to text
+  trace check <file>                     validate a trace/stats document
   disasm <file> [--section NAME]         disassemble an ELFie section
   store put <path> [<name>] [--store DIR]
                                          add a pinball dir or file to the
@@ -687,6 +817,7 @@ pub const COMMANDS: &[(&str, Handler)] = &[
     ("simulate", cmd_simulate),
     ("disasm", cmd_disasm),
     ("store", cmd_store),
+    ("trace", cmd_trace),
     ("version", cmd_version),
 ];
 
@@ -1028,6 +1159,106 @@ mod tests {
             "warm run must report store hits: {warm}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_trace_and_stats_json_roundtrip() {
+        let dir = tmp("trace");
+        let tracefile = dir.join("t.json");
+        let statsfile = dir.join("s.json");
+        let out = dispatch(&argv(&format!(
+            "validate gcc_like --scale test --slice 5000 --warmup 2000 --maxk 4 \
+             --fuel 50000000 --workers 2 --stats --trace {} --stats-json {}",
+            tracefile.display(),
+            statsfile.display()
+        )))
+        .expect("validates");
+        assert!(out.contains("trace: "), "{out}");
+        assert!(out.contains("stats-json -> "), "{out}");
+
+        // The timeline is a valid Chrome document with per-worker lanes.
+        let check =
+            dispatch(&argv(&format!("trace check {}", tracefile.display()))).expect("check");
+        assert!(check.contains("chrome trace"), "{check}");
+        let summary = dispatch(&argv(&format!("trace summarize {}", tracefile.display())))
+            .expect("summarize");
+        assert!(summary.contains("worker-0"), "{summary}");
+        assert!(summary.contains("validate_batch"), "{summary}");
+
+        // `trace summarize` of the stats document reproduces the exact
+        // text block `--stats` printed.
+        let check =
+            dispatch(&argv(&format!("trace check {}", statsfile.display()))).expect("check stats");
+        assert!(check.contains("elfie-stats"), "{check}");
+        let rendered = dispatch(&argv(&format!("trace summarize {}", statsfile.display())))
+            .expect("summarize stats");
+        let expected: Vec<&str> = out
+            .lines()
+            .skip_while(|l| !l.starts_with("pipeline:"))
+            .take_while(|l| !l.starts_with("trace:"))
+            .collect();
+        assert_eq!(
+            rendered,
+            expected.join("\n"),
+            "stats-json must round-trip bit-identically to --stats text"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_trace_outputs_and_sim_stats_roundtrip() {
+        let dir = tmp("sim-trace");
+        let pbdir = dir.join("pb");
+        dispatch(&argv(&format!(
+            "record mcf_like --scale test --start 20000 --length 5000 --out {}",
+            pbdir.display()
+        )))
+        .expect("record");
+        let elfie = dir.join("mcf.elfie");
+        dispatch(&argv(&format!(
+            "pinball2elf {} mcf_like --out {} --roi ssc:7",
+            pbdir.display(),
+            elfie.display()
+        )))
+        .expect("convert");
+
+        let tracefile = dir.join("t.json");
+        let statsfile = dir.join("s.json");
+        let out = dispatch(&argv(&format!(
+            "simulate {} --sim gem5-haswell --trace {} --stats-json {}",
+            elfie.display(),
+            tracefile.display(),
+            statsfile.display()
+        )))
+        .expect("simulate");
+        assert!(out.contains("vm fast path"), "{out}");
+
+        let check =
+            dispatch(&argv(&format!("trace check {}", tracefile.display()))).expect("check");
+        assert!(check.contains("chrome trace"), "{check}");
+        let check =
+            dispatch(&argv(&format!("trace check {}", statsfile.display()))).expect("check stats");
+        assert!(check.contains("elfie-sim-stats"), "{check}");
+
+        // Summarising the sim-stats document reproduces the `vm ...`
+        // lines of the simulate report bit-identically.
+        let rendered = dispatch(&argv(&format!("trace summarize {}", statsfile.display())))
+            .expect("summarize stats");
+        let vm_block: Vec<&str> = out.lines().filter(|l| l.starts_with("vm ")).collect();
+        assert_eq!(rendered, vm_block.join("\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_command_rejects_bad_input() {
+        assert!(dispatch(&argv("validate gcc_like --trace x --trace-mode warp")).is_err());
+        assert!(dispatch(&argv("trace summarize /no/such/file.json")).is_err());
+        assert!(dispatch(&argv("trace frobnicate /no/such/file.json")).is_err());
+        let bogus =
+            std::env::temp_dir().join(format!("elfie-cli-bogus-{}.json", std::process::id()));
+        std::fs::write(&bogus, "{\"schema\": \"wrong\"}").unwrap();
+        assert!(dispatch(&argv(&format!("trace check {}", bogus.display()))).is_err());
+        std::fs::remove_file(&bogus).ok();
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub struct PipelineCache {
     pinball_misses: AtomicU64,
     store_hits: AtomicU64,
     store_puts: AtomicU64,
+    /// Set once via [`PipelineCache::attach_tracer`]; lock-free to read,
+    /// so untraced caches pay one pointer load per lookup.
+    tracer: std::sync::OnceLock<Arc<elfie_trace::Tracer>>,
 }
 
 /// A point-in-time snapshot of the cache counters.
@@ -68,12 +71,39 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total hits across both stores.
     pub fn hits(&self) -> u64 {
-        self.profile_hits + self.pinball_hits
+        self.profile_hits.saturating_add(self.pinball_hits)
     }
 
     /// Total misses across both stores.
     pub fn misses(&self) -> u64 {
-        self.profile_misses + self.pinball_misses
+        self.profile_misses.saturating_add(self.pinball_misses)
+    }
+
+    /// Total profile lookups.
+    pub fn profile_lookups(&self) -> u64 {
+        self.profile_hits.saturating_add(self.profile_misses)
+    }
+
+    /// Total pinball lookups.
+    pub fn pinball_lookups(&self) -> u64 {
+        self.pinball_hits.saturating_add(self.pinball_misses)
+    }
+
+    /// Fraction of profile lookups served from cache, `[0, 1]` (0 when
+    /// there were none).
+    pub fn profile_hit_rate(&self) -> f64 {
+        elfie_vm::hit_rate(self.profile_hits, self.profile_misses)
+    }
+
+    /// Fraction of pinball lookups served from cache, `[0, 1]` (0 when
+    /// there were none).
+    pub fn pinball_hit_rate(&self) -> f64 {
+        elfie_vm::hit_rate(self.pinball_hits, self.pinball_misses)
+    }
+
+    /// Overall hit fraction across both artifact kinds, `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        elfie_vm::hit_rate(self.hits(), self.misses())
     }
 
     /// The counter deltas accumulated since an `earlier` snapshot —
@@ -88,26 +118,23 @@ impl CacheStats {
             store_puts: self.store_puts.saturating_sub(earlier.store_puts),
         }
     }
+
+    /// Folds another window's counters into this one (saturating sums;
+    /// commutative and associative, so per-worker windows merge to the
+    /// same totals in any order).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.profile_hits = self.profile_hits.saturating_add(other.profile_hits);
+        self.profile_misses = self.profile_misses.saturating_add(other.profile_misses);
+        self.pinball_hits = self.pinball_hits.saturating_add(other.pinball_hits);
+        self.pinball_misses = self.pinball_misses.saturating_add(other.pinball_misses);
+        self.store_hits = self.store_hits.saturating_add(other.store_hits);
+        self.store_puts = self.store_puts.saturating_add(other.store_puts);
+    }
 }
 
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "profiles {}/{} hit, pinballs {}/{} hit",
-            self.profile_hits,
-            self.profile_hits + self.profile_misses,
-            self.pinball_hits,
-            self.pinball_hits + self.pinball_misses,
-        )?;
-        if self.store_hits + self.store_puts > 0 {
-            write!(
-                f,
-                " (store: {} hit, {} put)",
-                self.store_hits, self.store_puts
-            )?;
-        }
-        Ok(())
+        crate::render::write_cache(f, self)
     }
 }
 
@@ -135,6 +162,39 @@ impl PipelineCache {
     /// The persistent store backing this cache, if any.
     pub fn store(&self) -> Option<&elfie_store::Store> {
         self.store.as_ref()
+    }
+
+    /// Attributes every hit/miss/put to `tracer` from now on: instants
+    /// (`profile_hit`, `pinball_store_hit`, `store_put`, …) on the thread
+    /// that performed the lookup, plus `cache_hits` / `cache_misses` /
+    /// `store_puts` counter tracks. No-op if a tracer is already attached.
+    pub fn attach_tracer(&self, tracer: Arc<elfie_trace::Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    fn trace_event(&self, name: &'static str, args: &[(&'static str, u64)]) {
+        if let Some(tracer) = self.tracer.get() {
+            tracer.instant("cache", name, args);
+            tracer.counter("cache", "cache_hits", self.hits_now());
+            tracer.counter("cache", "cache_misses", self.misses_now());
+            tracer.counter(
+                "cache",
+                "store_puts",
+                self.store_puts.load(Ordering::Relaxed),
+            );
+        }
+    }
+
+    fn hits_now(&self) -> u64 {
+        self.profile_hits
+            .load(Ordering::Relaxed)
+            .saturating_add(self.pinball_hits.load(Ordering::Relaxed))
+    }
+
+    fn misses_now(&self) -> u64 {
+        self.profile_misses
+            .load(Ordering::Relaxed)
+            .saturating_add(self.pinball_misses.load(Ordering::Relaxed))
     }
 
     fn profile_ref(key: u64) -> String {
@@ -191,21 +251,26 @@ impl PipelineCache {
     pub fn profile(&self, key: u64, compute: impl FnOnce() -> BbvProfile) -> Arc<BbvProfile> {
         if let Some(hit) = self.profiles.lock().unwrap().get(&key) {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+            let hit = Arc::clone(hit);
+            self.trace_event("profile_hit", &[("key", key)]);
+            return hit;
         }
         if let Some(found) = self.store_profile(key) {
             self.profile_hits.fetch_add(1, Ordering::Relaxed);
             self.store_hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_event("profile_store_hit", &[("key", key)]);
             let value = Arc::new(found);
             let mut mem = self.profiles.lock().unwrap();
             return Arc::clone(mem.entry(key).or_insert(value));
         }
         self.profile_misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_event("profile_miss", &[("key", key)]);
         let value = Arc::new(compute());
         if let Some(store) = &self.store {
             let bytes = elfie_store::profiles::to_bytes(&value);
             if store.put_raw(&Self::profile_ref(key), &bytes).is_ok() {
                 self.store_puts.fetch_add(1, Ordering::Relaxed);
+                self.trace_event("store_put", &[("key", key), ("bytes", bytes.len() as u64)]);
             }
         }
         let mut mem = self.profiles.lock().unwrap();
@@ -224,20 +289,25 @@ impl PipelineCache {
     ) -> Result<Arc<Pinball>, CaptureError> {
         if let Some(hit) = self.pinballs.lock().unwrap().get(&key) {
             self.pinball_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+            let hit = Arc::clone(hit);
+            self.trace_event("pinball_hit", &[("key", key)]);
+            return Ok(hit);
         }
         if let Some(found) = self.store_pinball(key) {
             self.pinball_hits.fetch_add(1, Ordering::Relaxed);
             self.store_hits.fetch_add(1, Ordering::Relaxed);
+            self.trace_event("pinball_store_hit", &[("key", key)]);
             let value = Arc::new(found);
             let mut mem = self.pinballs.lock().unwrap();
             return Ok(Arc::clone(mem.entry(key).or_insert(value)));
         }
         self.pinball_misses.fetch_add(1, Ordering::Relaxed);
+        self.trace_event("pinball_miss", &[("key", key)]);
         let value = Arc::new(compute()?);
         if let Some(store) = &self.store {
             if store.put_pinball(&Self::pinball_ref(key), &value).is_ok() {
                 self.store_puts.fetch_add(1, Ordering::Relaxed);
+                self.trace_event("store_put", &[("key", key)]);
             }
         }
         let mut mem = self.pinballs.lock().unwrap();
@@ -262,6 +332,7 @@ impl PipelineCache {
             .ok()?;
         self.pinball_hits.fetch_add(1, Ordering::Relaxed);
         self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.trace_event("pinball_lazy_hit", &[("key", key)]);
         Some(lazy)
     }
 

@@ -40,7 +40,11 @@ pub mod cache;
 pub mod parallel;
 pub mod perf;
 pub mod pipeline;
+pub mod render;
 pub mod stats;
+
+/// Structured tracing, metrics and Chrome/Perfetto timeline export.
+pub use elfie_trace as trace;
 
 /// ELF64 writer/reader and the emulated system loader.
 pub use elfie_elf as elf;
@@ -84,6 +88,7 @@ pub mod prelude {
     pub use elfie_simpoint::{PinPoints, PinPointsConfig};
     pub use elfie_store::{Store, StoreError, StoreStats};
     pub use elfie_sysstate::SysState;
+    pub use elfie_trace::{TraceMode, TraceSummary, Tracer};
     pub use elfie_vm::{ExitReason, Machine, MachineConfig};
     pub use elfie_workloads::{suite_fp, suite_int, suite_speed_mt, InputScale, Workload};
 }

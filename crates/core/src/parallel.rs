@@ -28,6 +28,7 @@ use crate::perf::{self, NativeMeasurement};
 use crate::pipeline::{self, ClusterOutcome, PipelineError, ValidationReport};
 use crate::stats::{PipelineStats, Stage, StatsCollector};
 use elfie_simpoint::{PinPoints, PinPointsConfig};
+use elfie_trace::{MetricsRegistry, Tracer};
 use elfie_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -40,6 +41,8 @@ use std::time::Instant;
 pub struct BatchValidator {
     workers: usize,
     cache: Arc<PipelineCache>,
+    tracer: Option<Arc<Tracer>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for BatchValidator {
@@ -55,6 +58,8 @@ impl BatchValidator {
         BatchValidator {
             workers: 0,
             cache: Arc::new(PipelineCache::new()),
+            tracer: None,
+            metrics: None,
         }
     }
 
@@ -78,6 +83,30 @@ impl BatchValidator {
     /// The engine's cache.
     pub fn cache(&self) -> &Arc<PipelineCache> {
         &self.cache
+    }
+
+    /// Records the run as a timeline: per-worker lanes with per-unit
+    /// spans (`select`, `measure_whole`, `cluster` and the stage spans
+    /// under them), cache hit/miss instants, and VM counter tracks. The
+    /// tracer is also attached to the engine's cache. A
+    /// [`elfie_trace::TraceMode::Disabled`] tracer reduces every probe
+    /// to a single branch.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> BatchValidator {
+        self.cache.attach_tracer(Arc::clone(&tracer));
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Feeds the typed metrics registry (stage histograms, VM counters)
+    /// during validation runs.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> BatchValidator {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The engine's tracer, if one was attached.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The resolved worker count this engine will run with.
@@ -130,13 +159,24 @@ impl BatchValidator {
     ) -> Result<(Vec<ValidationReport>, PipelineStats), PipelineError> {
         let t0 = Instant::now();
         let cache_before = self.cache.stats();
-        let stats = StatsCollector::new();
+        let mut stats = StatsCollector::new();
+        if let Some(tracer) = &self.tracer {
+            tracer.set_thread_name("main");
+            stats = stats.with_tracer(Arc::clone(tracer));
+        }
+        if let Some(metrics) = &self.metrics {
+            stats = stats.with_metrics(Arc::clone(metrics));
+        }
         let workers = self.worker_count();
+        let _batch_span =
+            elfie_trace::maybe_span(self.tracer.as_ref(), "pipeline", "validate_batch");
 
         // Phase 1: profile + select, one task per workload.
-        let selections: Vec<PinPoints> = run_indexed(workers, workloads.len(), |i| {
-            pipeline::select_regions_cached(&workloads[i], cfg, fuel, &self.cache, &stats)
-        });
+        let selections: Vec<PinPoints> =
+            run_indexed_traced(workers, workloads.len(), self.tracer.as_ref(), |i| {
+                let _span = task_span(self.tracer.as_ref(), "select", &workloads[i].name);
+                pipeline::select_regions_cached(&workloads[i], cfg, fuel, &self.cache, &stats)
+            });
 
         // Phase 2: one task per whole-program measurement plus one per
         // cluster chain. The task list is in merge order, so phase output
@@ -157,22 +197,41 @@ impl BatchValidator {
                 tasks.push(Task::Cluster(i, cluster));
             }
         }
-        let done = run_indexed(workers, tasks.len(), |t| match tasks[t] {
-            Task::Whole(i) => Done::Whole(stats.time(Stage::Measure, || {
-                let meas = perf::measure_program(&workloads[i], seed, fuel);
-                stats.record_vm(meas.fastpath, meas.vm_wall);
-                meas
-            })),
-            Task::Cluster(i, cluster) => Done::Cluster(pipeline::validate_cluster(
-                &workloads[i],
-                &selections[i],
-                cluster,
-                seed,
-                fuel,
-                &self.cache,
-                &stats,
-            )),
-        });
+        let done = run_indexed_traced(
+            workers,
+            tasks.len(),
+            self.tracer.as_ref(),
+            |t| match tasks[t] {
+                Task::Whole(i) => {
+                    let _span =
+                        task_span(self.tracer.as_ref(), "measure_whole", &workloads[i].name);
+                    Done::Whole(stats.time(Stage::Measure, || {
+                        let meas = perf::measure_program(&workloads[i], seed, fuel);
+                        stats.record_vm(meas.fastpath, meas.vm_wall);
+                        meas
+                    }))
+                }
+                Task::Cluster(i, cluster) => {
+                    let _span = match self.tracer.as_ref() {
+                        Some(tr) => tr.span_labeled(
+                            "task",
+                            "cluster",
+                            format!("{}#{cluster}", workloads[i].name),
+                        ),
+                        None => elfie_trace::Span::disabled(),
+                    };
+                    Done::Cluster(pipeline::validate_cluster(
+                        &workloads[i],
+                        &selections[i],
+                        cluster,
+                        seed,
+                        fuel,
+                        &self.cache,
+                        &stats,
+                    ))
+                }
+            },
+        );
 
         // Merge in task order: deterministic regardless of scheduling.
         let mut reports = Vec::with_capacity(workloads.len());
@@ -196,25 +255,48 @@ impl BatchValidator {
     }
 }
 
+/// Starts a labelled per-unit span on the optional batch tracer.
+fn task_span(tracer: Option<&Arc<Tracer>>, name: &'static str, label: &str) -> elfie_trace::Span {
+    match tracer {
+        Some(t) => t.span_labeled("task", name, label),
+        None => elfie_trace::Span::disabled(),
+    }
+}
+
 /// Runs `f(0..n)` across `workers` scoped threads and returns the results
 /// in index order. Tasks are pulled from an atomic counter (work
 /// stealing-lite); with one worker or one task it degenerates to a plain
-/// in-order loop with no thread spawns.
-fn run_indexed<T: Send>(workers: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// in-order loop with no thread spawns. When a tracer is supplied each
+/// worker lane is named `worker-<i>` so a timeline shows which worker ran
+/// which unit.
+fn run_indexed_traced<T: Send>(
+    workers: usize,
+    n: usize,
+    tracer: Option<&Arc<Tracer>>,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     if workers <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers.min(n) {
+            let f = &f;
+            let slots = &slots;
+            let next = &next;
+            scope.spawn(move || {
+                if let Some(tracer) = tracer {
+                    tracer.set_thread_name(&format!("worker-{w}"));
                 }
-                let out = f(i);
-                *slots[i].lock().unwrap() = Some(out);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(i);
+                    *slots[i].lock().unwrap() = Some(out);
+                }
             });
         }
     });
@@ -231,7 +313,7 @@ mod tests {
     #[test]
     fn run_indexed_returns_results_in_index_order() {
         for workers in [1, 2, 3, 8] {
-            let out = run_indexed(workers, 20, |i| i * i);
+            let out = run_indexed_traced(workers, 20, None, |i| i * i);
             assert_eq!(
                 out,
                 (0..20).map(|i| i * i).collect::<Vec<_>>(),
@@ -242,15 +324,15 @@ mod tests {
 
     #[test]
     fn run_indexed_handles_empty_and_single() {
-        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
-        assert_eq!(run_indexed(4, 1, |i| i + 1), vec![1]);
+        assert_eq!(run_indexed_traced(4, 0, None, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed_traced(4, 1, None, |i| i + 1), vec![1]);
     }
 
     #[test]
     fn run_indexed_runs_every_task_exactly_once() {
         use std::sync::atomic::AtomicU64;
         let calls = AtomicU64::new(0);
-        let out = run_indexed(4, 100, |i| {
+        let out = run_indexed_traced(4, 100, None, |i| {
             calls.fetch_add(1, Ordering::Relaxed);
             i
         });

@@ -162,7 +162,7 @@ pub(crate) fn select_regions_cached(
             profile
         })
     });
-    pick(&profile, cfg)
+    elfie_simpoint::pick_traced(&profile, cfg, stats.tracer())
 }
 
 /// What one cluster's candidate chain produced: every record tried (in

@@ -1,12 +1,22 @@
 //! Pipeline instrumentation: per-stage wall time, cache effectiveness and
 //! region success counts, threaded from the validation engine out to the
 //! CLI and the benchmark harness.
+//!
+//! Since the observability PR this module is also the bridge into
+//! [`elfie_trace`]: a [`StatsCollector`] built with
+//! [`StatsCollector::with_tracer`] emits stage spans, guest-run counter
+//! tracks and stage-duration histograms as it accumulates, and the frozen
+//! [`PipelineStats`] is what [`crate::render`] serialises to both the
+//! `--stats` text and the versioned `stats.json` schema — one struct, two
+//! renderings, so they can never drift.
 
 use crate::cache::CacheStats;
 use elfie_pinball::{ArenaStats, PageArena};
+use elfie_trace::{MetricsRegistry, Tracer};
 use elfie_vm::{FastPathStats, MaterializeStats};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The four measured pipeline stages.
@@ -20,6 +30,18 @@ pub enum Stage {
     Convert,
     /// Native measurement of the ELFie or the whole program.
     Measure,
+}
+
+impl Stage {
+    /// The stable lower-case name used in spans, histograms and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Profile => "profile",
+            Stage::Capture => "capture",
+            Stage::Convert => "convert",
+            Stage::Measure => "measure",
+        }
+    }
 }
 
 /// Thread-safe accumulator the validation engine updates as it runs.
@@ -36,6 +58,8 @@ pub struct StatsCollector {
     regions_failed: AtomicU64,
     block_cache_hits: AtomicU64,
     block_cache_misses: AtomicU64,
+    block_evictions: AtomicU64,
+    block_flushes: AtomicU64,
     tlb_hits: AtomicU64,
     tlb_misses: AtomicU64,
     guest_insns: AtomicU64,
@@ -45,6 +69,8 @@ pub struct StatsCollector {
     cow_breaks: AtomicU64,
     lazy_faults: AtomicU64,
     peak_owned_bytes: AtomicU64,
+    tracer: Option<Arc<Tracer>>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl StatsCollector {
@@ -53,8 +79,32 @@ impl StatsCollector {
         StatsCollector::default()
     }
 
-    /// Runs `f`, charging its wall time to `stage`.
+    /// Emits stage spans and guest-run counter tracks through `tracer`
+    /// as the collector accumulates. A [`elfie_trace::TraceMode::Disabled`] tracer
+    /// costs one branch per call.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> StatsCollector {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Feeds stage-duration histograms (`stage.<name>_ns`) into a
+    /// metrics registry alongside the flat counters.
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> StatsCollector {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Runs `f`, charging its wall time to `stage`. With a tracer
+    /// attached the stage also appears as a span on the calling thread's
+    /// timeline, and with a metrics registry the duration feeds a
+    /// per-stage histogram.
     pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let _span = elfie_trace::maybe_span(self.tracer.as_ref(), "stage", stage.name());
         let t0 = Instant::now();
         let out = f();
         let ns = t0.elapsed().as_nanos() as u64;
@@ -65,6 +115,15 @@ impl StatsCollector {
             Stage::Measure => &self.measure_ns,
         };
         counter.fetch_add(ns, Ordering::Relaxed);
+        if let Some(metrics) = &self.metrics {
+            let name = match stage {
+                Stage::Profile => "stage.profile_ns",
+                Stage::Capture => "stage.capture_ns",
+                Stage::Convert => "stage.convert_ns",
+                Stage::Measure => "stage.measure_ns",
+            };
+            metrics.histogram(name).record(ns);
+        }
         out
     }
 
@@ -76,18 +135,33 @@ impl StatsCollector {
     /// Records a candidate that failed to produce a usable measurement.
     pub fn region_failed(&self) {
         self.regions_failed.fetch_add(1, Ordering::Relaxed);
+        if let Some(tracer) = &self.tracer {
+            tracer.instant("pipeline", "region_failed", &[]);
+        }
     }
 
     /// Accumulates one guest machine run's fast-path counters and the host
     /// wall time it took, for block-cache/TLB hit rates and guest MIPS.
+    ///
+    /// This — not the VM hot loop — is where VM counters become trace
+    /// events: the interpreter stays tracer-free by construction, so its
+    /// disabled-mode overhead is structurally zero, and each finished run
+    /// contributes one batch of cumulative counter samples.
     pub fn record_vm(&self, fp: FastPathStats, wall: Duration) {
         self.block_cache_hits
             .fetch_add(fp.block_hits, Ordering::Relaxed);
         self.block_cache_misses
             .fetch_add(fp.block_misses, Ordering::Relaxed);
+        self.block_evictions
+            .fetch_add(fp.block_evictions, Ordering::Relaxed);
+        self.block_flushes
+            .fetch_add(fp.block_flushes, Ordering::Relaxed);
         self.tlb_hits.fetch_add(fp.tlb_hits, Ordering::Relaxed);
         self.tlb_misses.fetch_add(fp.tlb_misses, Ordering::Relaxed);
-        self.guest_insns.fetch_add(fp.insns, Ordering::Relaxed);
+        let insns_total = self
+            .guest_insns
+            .fetch_add(fp.insns, Ordering::Relaxed)
+            .saturating_add(fp.insns);
         self.guest_ns
             .fetch_add(wall.as_nanos() as u64, Ordering::Relaxed);
         self.pages_mapped
@@ -96,24 +170,39 @@ impl StatsCollector {
             .fetch_add(fp.mat.shared_pages, Ordering::Relaxed);
         self.cow_breaks
             .fetch_add(fp.mat.cow_breaks, Ordering::Relaxed);
-        self.lazy_faults
-            .fetch_add(fp.mat.lazy_faults, Ordering::Relaxed);
+        let lazy_total = self
+            .lazy_faults
+            .fetch_add(fp.mat.lazy_faults, Ordering::Relaxed)
+            .saturating_add(fp.mat.lazy_faults);
         // Per-machine peaks are summed: together they bound the private
         // page bytes the fleet of guests would hold resident at once,
         // which is the number the CoW sharing is meant to shrink.
         self.peak_owned_bytes
             .fetch_add(fp.mat.peak_owned_bytes, Ordering::Relaxed);
+        if let Some(tracer) = &self.tracer {
+            tracer.counter("vm", "guest_insns", insns_total);
+            tracer.counter("vm", "lazy_faults", lazy_total);
+            tracer.instant(
+                "vm",
+                "guest_run",
+                &[
+                    ("insns", fp.insns),
+                    ("block_hits", fp.block_hits),
+                    ("tlb_hits", fp.tlb_hits),
+                    ("pages_mapped", fp.mat.pages_mapped),
+                ],
+            );
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.counter("vm.guest_insns").add(fp.insns);
+            metrics
+                .histogram("vm.run_wall_ns")
+                .record(wall.as_nanos() as u64);
+        }
     }
 
     /// Freezes the collector into a report.
     pub fn finish(&self, total: Duration, workers: usize, cache: CacheStats) -> PipelineStats {
-        let guest_insns = self.guest_insns.load(Ordering::Relaxed);
-        let guest_ns = self.guest_ns.load(Ordering::Relaxed);
-        let guest_mips = if guest_ns == 0 {
-            0.0
-        } else {
-            guest_insns as f64 / 1e6 / (guest_ns as f64 / 1e9)
-        };
         PipelineStats {
             workers,
             total,
@@ -123,20 +212,24 @@ impl StatsCollector {
             measure_time: Duration::from_nanos(self.measure_ns.load(Ordering::Relaxed)),
             regions_attempted: self.regions_attempted.load(Ordering::Relaxed),
             regions_failed: self.regions_failed.load(Ordering::Relaxed),
-            block_cache_hits: self.block_cache_hits.load(Ordering::Relaxed),
-            block_cache_misses: self.block_cache_misses.load(Ordering::Relaxed),
-            tlb_hits: self.tlb_hits.load(Ordering::Relaxed),
-            tlb_misses: self.tlb_misses.load(Ordering::Relaxed),
-            guest_insns,
-            guest_mips,
-            mat: MaterializeStats {
-                pages_mapped: self.pages_mapped.load(Ordering::Relaxed),
-                shared_pages: self.shared_pages.load(Ordering::Relaxed),
-                cow_breaks: self.cow_breaks.load(Ordering::Relaxed),
-                lazy_faults: self.lazy_faults.load(Ordering::Relaxed),
-                owned_bytes: 0,
-                peak_owned_bytes: self.peak_owned_bytes.load(Ordering::Relaxed),
+            vm: FastPathStats {
+                block_hits: self.block_cache_hits.load(Ordering::Relaxed),
+                block_misses: self.block_cache_misses.load(Ordering::Relaxed),
+                block_evictions: self.block_evictions.load(Ordering::Relaxed),
+                block_flushes: self.block_flushes.load(Ordering::Relaxed),
+                tlb_hits: self.tlb_hits.load(Ordering::Relaxed),
+                tlb_misses: self.tlb_misses.load(Ordering::Relaxed),
+                insns: self.guest_insns.load(Ordering::Relaxed),
+                mat: MaterializeStats {
+                    pages_mapped: self.pages_mapped.load(Ordering::Relaxed),
+                    shared_pages: self.shared_pages.load(Ordering::Relaxed),
+                    cow_breaks: self.cow_breaks.load(Ordering::Relaxed),
+                    lazy_faults: self.lazy_faults.load(Ordering::Relaxed),
+                    owned_bytes: 0,
+                    peak_owned_bytes: self.peak_owned_bytes.load(Ordering::Relaxed),
+                },
             },
+            guest_ns: self.guest_ns.load(Ordering::Relaxed),
             arena: PageArena::global().stats(),
             cache,
         }
@@ -162,23 +255,16 @@ pub struct PipelineStats {
     pub regions_attempted: u64,
     /// Candidates that produced no usable measurement.
     pub regions_failed: u64,
-    /// VM block-cache hits (instructions executed without re-decoding)
-    /// across all instrumented guest runs.
-    pub block_cache_hits: u64,
-    /// VM block-cache misses (basic-block decode passes).
-    pub block_cache_misses: u64,
-    /// Software-TLB hits across all instrumented guest runs.
-    pub tlb_hits: u64,
-    /// Software-TLB misses (slow page-table walks).
-    pub tlb_misses: u64,
-    /// Guest instructions retired across all instrumented guest runs.
-    pub guest_insns: u64,
-    /// Guest millions-of-instructions-per-second over the VM wall time.
-    pub guest_mips: f64,
-    /// Page-materialization counters summed over all instrumented guest
-    /// runs (`owned_bytes` is 0 here; `peak_owned_bytes` is the summed
-    /// per-machine peak — the fleet's private-page residency bound).
-    pub mat: MaterializeStats,
+    /// VM fast-path counters summed over all instrumented guest runs —
+    /// the same struct one `Machine` reports, so hit rates come from one
+    /// definition. `vm.mat.owned_bytes` is 0 here, and
+    /// `vm.mat.peak_owned_bytes` is the *summed* per-machine peak (the
+    /// fleet's private-page residency bound), unlike a single machine's
+    /// max-folded peak.
+    pub vm: FastPathStats,
+    /// Host wall nanoseconds spent inside instrumented guest runs (the
+    /// denominator of [`PipelineStats::guest_mips`]).
+    pub guest_ns: u64,
     /// Process-wide page-arena counters at the end of the run.
     pub arena: ArenaStats,
     /// Cache effectiveness over the run.
@@ -186,76 +272,80 @@ pub struct PipelineStats {
 }
 
 impl PipelineStats {
-    /// Fraction of guest instructions served by the block cache, `[0, 1]`.
-    pub fn block_cache_hit_rate(&self) -> f64 {
-        let total = self.block_cache_hits + self.block_cache_misses;
-        if total == 0 {
+    /// Guest instructions retired across all instrumented guest runs.
+    pub fn guest_insns(&self) -> u64 {
+        self.vm.insns
+    }
+
+    /// Guest millions-of-instructions-per-second over the VM wall time,
+    /// 0 when no guest time was recorded. Derived, never stored — so a
+    /// serialised round-trip cannot disagree with the counters.
+    pub fn guest_mips(&self) -> f64 {
+        if self.guest_ns == 0 {
             0.0
         } else {
-            self.block_cache_hits as f64 / total as f64
+            self.vm.insns as f64 / 1e6 / (self.guest_ns as f64 / 1e9)
         }
+    }
+
+    /// Fraction of guest instructions served by the block cache, `[0, 1]`.
+    pub fn block_cache_hit_rate(&self) -> f64 {
+        self.vm.block_hit_rate()
     }
 
     /// Fraction of page translations served by the TLB, `[0, 1]`.
     pub fn tlb_hit_rate(&self) -> f64 {
-        let total = self.tlb_hits + self.tlb_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.tlb_hits as f64 / total as f64
-        }
+        self.vm.tlb_hit_rate()
+    }
+
+    /// Folds another run's stats into this one, per-field:
+    ///
+    /// * stage times, regions, VM counters, guest time: saturating sums
+    ///   (total work) — with VM peak residency also summed (fleet bound);
+    /// * `workers`: saturating sum (per-worker shards merge to the pool);
+    /// * `total`: maximum (concurrent shards' end-to-end wall);
+    /// * `arena`: field-wise maximum (process-global gauges overlap);
+    /// * `cache`: [`CacheStats::merge`] saturating sums.
+    ///
+    /// Every fold is commutative and associative, so merging per-worker
+    /// shards in any order equals the serial totals (proptested in
+    /// `tests/stats_merge.rs`).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.workers = self.workers.saturating_add(other.workers);
+        self.total = self.total.max(other.total);
+        self.profile_time = self.profile_time.saturating_add(other.profile_time);
+        self.capture_time = self.capture_time.saturating_add(other.capture_time);
+        self.convert_time = self.convert_time.saturating_add(other.convert_time);
+        self.measure_time = self.measure_time.saturating_add(other.measure_time);
+        self.regions_attempted = self
+            .regions_attempted
+            .saturating_add(other.regions_attempted);
+        self.regions_failed = self.regions_failed.saturating_add(other.regions_failed);
+        // FastPathStats::accumulate max-folds the peak (single-machine
+        // semantics); at the pipeline level peaks sum — see `vm` docs.
+        let peak = self
+            .vm
+            .mat
+            .peak_owned_bytes
+            .saturating_add(other.vm.mat.peak_owned_bytes);
+        self.vm.accumulate(other.vm);
+        self.vm.mat.peak_owned_bytes = peak;
+        self.guest_ns = self.guest_ns.saturating_add(other.guest_ns);
+        self.arena.merge(&other.arena);
+        self.cache.merge(&other.cache);
     }
 }
 
 impl fmt::Display for PipelineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "pipeline: {:.3}s wall on {} worker{}",
-            self.total.as_secs_f64(),
-            self.workers,
-            if self.workers == 1 { "" } else { "s" }
-        )?;
-        writeln!(
-            f,
-            "  stages: profile {:.3}s, capture {:.3}s, convert {:.3}s, measure {:.3}s",
-            self.profile_time.as_secs_f64(),
-            self.capture_time.as_secs_f64(),
-            self.convert_time.as_secs_f64(),
-            self.measure_time.as_secs_f64(),
-        )?;
-        writeln!(
-            f,
-            "  regions: {} attempted, {} failed",
-            self.regions_attempted, self.regions_failed
-        )?;
-        writeln!(
-            f,
-            "  vm: {} guest insns at {:.1} MIPS, block cache {:.1}% hit, tlb {:.1}% hit",
-            self.guest_insns,
-            self.guest_mips,
-            self.block_cache_hit_rate() * 100.0,
-            self.tlb_hit_rate() * 100.0,
-        )?;
-        writeln!(
-            f,
-            "  mem: {} pages mapped ({} shared, {} cow breaks, {} lazy faults), \
-             arena {} live pages / {} dedup hits, peak resident {} bytes",
-            self.mat.pages_mapped,
-            self.mat.shared_pages,
-            self.mat.cow_breaks,
-            self.mat.lazy_faults,
-            self.arena.live_pages,
-            self.arena.dedup_hits,
-            self.mat.peak_owned_bytes,
-        )?;
-        write!(f, "  cache: {}", self.cache)
+        crate::render::write_pipeline(f, self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use elfie_trace::TraceMode;
 
     #[test]
     fn time_accumulates_into_the_right_stage() {
@@ -296,10 +386,14 @@ mod tests {
             Duration::from_secs(1),
         );
         let s = c.finish(Duration::ZERO, 1, CacheStats::default());
-        assert_eq!((s.block_cache_hits, s.block_cache_misses), (90, 10));
+        assert_eq!((s.vm.block_hits, s.vm.block_misses), (90, 10));
         assert!((s.block_cache_hit_rate() - 0.9).abs() < 1e-9);
         assert!((s.tlb_hit_rate() - 0.75).abs() < 1e-9);
-        assert!((s.guest_mips - 2.0).abs() < 1e-6, "mips = {}", s.guest_mips);
+        assert!(
+            (s.guest_mips() - 2.0).abs() < 1e-6,
+            "mips = {}",
+            s.guest_mips()
+        );
         let text = s.to_string();
         assert!(text.contains("block cache 90.0% hit"), "{text}");
         assert!(text.contains("2.0 MIPS"), "{text}");
@@ -323,11 +417,11 @@ mod tests {
         c.record_vm(fp, Duration::ZERO);
         c.record_vm(fp, Duration::ZERO);
         let s = c.finish(Duration::ZERO, 1, CacheStats::default());
-        assert_eq!(s.mat.pages_mapped, 20);
-        assert_eq!(s.mat.shared_pages, 16);
-        assert_eq!(s.mat.cow_breaks, 4);
-        assert_eq!(s.mat.lazy_faults, 2);
-        assert_eq!(s.mat.peak_owned_bytes, 16384, "per-machine peaks sum");
+        assert_eq!(s.vm.mat.pages_mapped, 20);
+        assert_eq!(s.vm.mat.shared_pages, 16);
+        assert_eq!(s.vm.mat.cow_breaks, 4);
+        assert_eq!(s.vm.mat.lazy_faults, 2);
+        assert_eq!(s.vm.mat.peak_owned_bytes, 16384, "per-machine peaks sum");
         let text = s.to_string();
         assert!(text.contains("20 pages mapped"), "{text}");
         assert!(text.contains("peak resident 16384 bytes"), "{text}");
@@ -352,5 +446,102 @@ mod tests {
         assert!(text.contains("profiles 1/3 hit"));
         assert!(text.contains("pinballs 3/7 hit"));
         assert!(text.contains("store: 5 hit, 6 put"));
+    }
+
+    #[test]
+    fn collector_with_tracer_emits_stage_spans_and_vm_counters() {
+        let tracer = Arc::new(Tracer::new(TraceMode::Full));
+        let c = StatsCollector::new().with_tracer(Arc::clone(&tracer));
+        c.time(Stage::Measure, || ());
+        c.record_vm(
+            FastPathStats {
+                insns: 500,
+                ..FastPathStats::default()
+            },
+            Duration::from_millis(1),
+        );
+        c.region_failed();
+        let data = tracer.collect();
+        let events: Vec<_> = data.tracks.iter().flat_map(|t| &t.events).collect();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "measure" && e.ph == elfie_trace::Phase::Span));
+        let counter = events
+            .iter()
+            .find(|e| e.name == "guest_insns" && e.ph == elfie_trace::Phase::Counter)
+            .expect("guest_insns counter sample");
+        assert_eq!(counter.args.entries(), &[("value", 500)]);
+        assert!(events.iter().any(|e| e.name == "region_failed"));
+    }
+
+    #[test]
+    fn disabled_tracer_collector_emits_nothing() {
+        let tracer = Arc::new(Tracer::new(TraceMode::Disabled));
+        let c = StatsCollector::new().with_tracer(Arc::clone(&tracer));
+        c.time(Stage::Profile, || ());
+        c.record_vm(FastPathStats::default(), Duration::ZERO);
+        assert_eq!(tracer.collect().event_count(), 0);
+    }
+
+    #[test]
+    fn metrics_registry_sees_stage_histograms() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let c = StatsCollector::new().with_metrics(Arc::clone(&metrics));
+        c.time(Stage::Convert, || ());
+        c.record_vm(
+            FastPathStats {
+                insns: 7,
+                ..FastPathStats::default()
+            },
+            Duration::from_micros(3),
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.histograms["stage.convert_ns"].count(), 1);
+        assert_eq!(snap.counters["vm.guest_insns"], 7);
+        assert_eq!(snap.histograms["vm.run_wall_ns"].count(), 1);
+    }
+
+    #[test]
+    fn merge_sums_work_and_maxes_wall() {
+        let mut a = StatsCollector::new().finish(
+            Duration::from_secs(3),
+            1,
+            CacheStats {
+                profile_hits: 1,
+                ..CacheStats::default()
+            },
+        );
+        a.regions_attempted = 2;
+        a.vm.insns = 10;
+        a.vm.mat.peak_owned_bytes = 100;
+        a.guest_ns = 5;
+        let mut b = a;
+        b.total = Duration::from_secs(5);
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.workers, 2);
+        assert_eq!(merged.total, Duration::from_secs(5));
+        assert_eq!(merged.regions_attempted, 4);
+        assert_eq!(merged.vm.insns, 20);
+        assert_eq!(merged.vm.mat.peak_owned_bytes, 200, "pipeline peaks sum");
+        assert_eq!(merged.guest_ns, 10);
+        assert_eq!(merged.cache.profile_hits, 2);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = StatsCollector::new().finish(Duration::ZERO, 1, CacheStats::default());
+        a.regions_attempted = u64::MAX - 1;
+        a.vm.insns = u64::MAX;
+        a.guest_ns = u64::MAX;
+        let b = a;
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.regions_attempted, u64::MAX);
+        assert_eq!(merged.vm.insns, u64::MAX);
+        assert_eq!(merged.guest_ns, u64::MAX);
+        // Rates and MIPS stay finite on saturated counters.
+        assert!(merged.guest_mips().is_finite());
+        assert!(merged.block_cache_hit_rate() >= 0.0);
     }
 }

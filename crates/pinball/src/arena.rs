@@ -40,6 +40,21 @@ pub struct ArenaStats {
     pub dedup_hits: u64,
 }
 
+impl ArenaStats {
+    /// Folds another snapshot into this one, field-wise maximum.
+    ///
+    /// Arena counters are *process-global* gauges, so per-worker
+    /// snapshots of the same arena overlap; the max — not the sum — is
+    /// the honest combined figure. Max is commutative and associative,
+    /// so merges are order-independent (see the `stats_merge` proptest
+    /// in `elfie`).
+    pub fn merge(&mut self, other: &ArenaStats) {
+        self.live_pages = self.live_pages.max(other.live_pages);
+        self.interned = self.interned.max(other.interned);
+        self.dedup_hits = self.dedup_hits.max(other.dedup_hits);
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     /// `fnv64(contents)` → live payloads with that hash. More than one

@@ -22,11 +22,10 @@
 //! buffer for in-memory use and sharing.
 
 pub mod arena;
-mod json;
 pub mod wire;
 
 pub use arena::{ArenaStats, PageArena, PageData, PAGE_BYTES};
-use json::Json;
+use elfie_trace::json::Json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;

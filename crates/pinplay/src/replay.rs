@@ -14,6 +14,7 @@
 
 use elfie_isa::page_align_up;
 use elfie_pinball::{PageRecord, PageSource, Pinball, SyscallEffect};
+use elfie_trace::Tracer;
 use elfie_vm::{
     nr, Fault, Machine, MachineConfig, MemError, Memory, NullObserver, Observer, Perm,
     SyscallAction, SyscallInterposer, ThreadState, ThreadStep,
@@ -159,6 +160,17 @@ struct InjectState {
     injected: u64,
     divergence: Option<Divergence>,
     brk_start: u64,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl InjectState {
+    /// One `replay/inject` instant per skipped-and-injected syscall
+    /// (sampled, so a full-injection replay does not flood the buffer).
+    fn trace_inject(&self, tid: u32, nr_: u64) {
+        if let Some(tracer) = &self.tracer {
+            tracer.instant("replay", "inject", &[("tid", tid as u64), ("nr", nr_)]);
+        }
+    }
 }
 
 struct Injector {
@@ -209,6 +221,7 @@ impl SyscallInterposer for Injector {
                     let _ = mem.map_range(addr, addr + len, Perm::RW);
                 }
                 st.injected += 1;
+                st.trace_inject(orig, nr_);
                 SyscallAction::Skip {
                     ret: entry.ret,
                     writes: entry.writes,
@@ -218,6 +231,7 @@ impl SyscallInterposer for Injector {
                 let len = page_align_up(args[1].max(1));
                 mem.unmap_range(args[0], args[0] + len);
                 st.injected += 1;
+                st.trace_inject(orig, nr_);
                 SyscallAction::Skip {
                     ret: entry.ret,
                     writes: entry.writes,
@@ -231,6 +245,7 @@ impl SyscallInterposer for Injector {
                     let _ = mem.map_range(start, end, Perm::RW);
                 }
                 st.injected += 1;
+                st.trace_inject(orig, nr_);
                 SyscallAction::Skip {
                     ret: entry.ret,
                     writes: entry.writes,
@@ -238,6 +253,7 @@ impl SyscallInterposer for Injector {
             }
             _ => {
                 st.injected += 1;
+                st.trace_inject(orig, nr_);
                 SyscallAction::Skip {
                     ret: entry.ret,
                     writes: entry.writes,
@@ -251,12 +267,23 @@ impl SyscallInterposer for Injector {
 #[derive(Debug, Clone, Default)]
 pub struct Replayer {
     cfg: ReplayConfig,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Replayer {
     /// Creates a replayer with the given configuration.
     pub fn new(cfg: ReplayConfig) -> Replayer {
-        Replayer { cfg }
+        Replayer { cfg, tracer: None }
+    }
+
+    /// Puts the replay on a timeline: a `replay/replay` span per run with
+    /// injected-syscall and lazy-page counts as args, plus sampled
+    /// `replay/inject` and `replay/lazy_fault` instants and a
+    /// `replay/divergence` instant on failure. Tracing never alters the
+    /// replayed execution.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Replayer {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The configuration in use.
@@ -351,6 +378,7 @@ impl Replayer {
         source: Option<&dyn PageSource>,
         setup: impl FnOnce(&mut Machine<O>),
     ) -> (ReplaySummary, Machine<O>) {
+        let mut run_span = elfie_trace::maybe_span(self.tracer.as_ref(), "replay", "replay");
         let (mut m, mut tid_map) = self.build_machine_with(pinball, obs);
         setup(&mut m);
 
@@ -364,6 +392,7 @@ impl Replayer {
             injected: 0,
             divergence: None,
             brk_start: pinball.meta.brk_start,
+            tracer: self.tracer.clone(),
         }));
         if self.cfg.injection {
             m.set_interposer(Box::new(Injector {
@@ -464,6 +493,13 @@ impl Replayer {
                                     self.boot_page(&mut m.mem, p, &rec);
                                     m.mem.record_lazy_fault();
                                     lazy_injected += 1;
+                                    if let Some(tracer) = &self.tracer {
+                                        tracer.instant(
+                                            "replay",
+                                            "lazy_fault",
+                                            &[("page", p), ("tid", orig as u64)],
+                                        );
+                                    }
                                     progressed = true;
                                     // Refund the attempt: injections are
                                     // bounded by the page count, and an
@@ -510,6 +546,16 @@ impl Replayer {
             && targets
                 .iter()
                 .all(|(tid, target)| per_thread.get(tid).copied().unwrap_or(0) >= *target);
+        if let (Some(tracer), Some(d)) = (&self.tracer, &divergence) {
+            let kind = match d {
+                Divergence::SyscallMismatch { .. } => 1,
+                Divergence::LogUnderrun { .. } => 2,
+                Divergence::Fault { .. } => 3,
+                Divergence::Stall => 4,
+                Divergence::OutOfFuel => 5,
+            };
+            tracer.instant("replay", "divergence", &[("kind", kind)]);
+        }
         let summary = ReplaySummary {
             completed,
             divergence,
@@ -520,6 +566,10 @@ impl Replayer {
             lazy_pages_injected: lazy_injected,
             stdout: m.kernel.stdout.clone(),
         };
+        run_span.arg("icount", summary.global_icount);
+        run_span.arg("injected_syscalls", summary.injected_syscalls);
+        run_span.arg("lazy_pages", summary.lazy_pages_injected);
+        run_span.arg("completed", summary.completed as u64);
         (summary, m)
     }
 }

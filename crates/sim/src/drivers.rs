@@ -17,8 +17,10 @@ use crate::core::{CoreParams, KernelModel, RoiMode, SimStats, TimingObserver};
 use elfie_isa::Program;
 use elfie_pinball::Pinball;
 use elfie_pinplay::{ReplayConfig, Replayer};
+use elfie_trace::Tracer;
 use elfie_vm::{ExitReason, FastPathStats, Machine, MachineConfig, StopWhen};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A configured simulator.
 #[derive(Debug, Clone)]
@@ -42,6 +44,10 @@ pub struct Simulator {
     /// what lets spin loops inflate unconstrained multi-threaded runs
     /// (Fig. 11); native hardware corresponds to a small quantum.
     pub quantum: u64,
+    /// Optional timeline tracer: each `simulate_*` run becomes a `sim`
+    /// span (args: cycles, instructions) and pinball simulations inherit
+    /// the replayer's `replay` events. Does not affect timing results.
+    pub tracer: Option<Arc<Tracer>>,
 }
 
 impl Simulator {
@@ -56,7 +62,14 @@ impl Simulator {
             fuel: 500_000_000,
             seed: 1,
             quantum: 64,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer (builder form of setting [`Simulator::tracer`]).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Simulator {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The Sniper-like 8-core configuration (paper Section IV-B: "a
@@ -141,6 +154,18 @@ pub struct SimOutcome {
     pub fastpath: FastPathStats,
 }
 
+/// Opens the per-run span on the simulator's optional tracer.
+fn sim_span(sim: &Simulator, name: &'static str) -> elfie_trace::Span {
+    elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", name)
+}
+
+/// Records the run's headline numbers as span args before the guard drops.
+fn finish_span(span: &mut elfie_trace::Span, out: &SimOutcome) {
+    span.arg("cycles", out.cycles);
+    span.arg("insns", out.stats.user_insns + out.stats.kernel_insns);
+    span.arg("guest_insns", out.fastpath.insns);
+}
+
 fn outcome(
     obs: &TimingObserver,
     exit: ExitReason,
@@ -173,12 +198,15 @@ pub fn simulate_program(
     sim: &Simulator,
     setup: impl FnOnce(&mut Machine<TimingObserver>),
 ) -> SimOutcome {
+    let mut span = sim_span(sim, "simulate_program");
     let mut m = Machine::with_observer(sim.machine_config(), sim.observer());
     m.load_program(prog);
     setup(&mut m);
     let s = m.run(sim.fuel);
     let icounts = collect_icounts(&m);
-    outcome(&m.obs, s.reason, icounts, m.fastpath_stats())
+    let out = outcome(&m.obs, s.reason, icounts, m.fastpath_stats());
+    finish_span(&mut span, &out);
+    out
 }
 
 /// Simulates an ELFie image: loads it with the emulated system loader and
@@ -194,6 +222,7 @@ pub fn simulate_elfie(
     stop: Vec<StopWhen>,
     setup: impl FnOnce(&mut Machine<TimingObserver>),
 ) -> Result<SimOutcome, elfie_elf::LoadError> {
+    let mut span = sim_span(sim, "simulate_elfie");
     let mut m = Machine::with_observer(sim.machine_config(), sim.observer());
     setup(&mut m);
     let loader = elfie_elf::LoaderConfig {
@@ -204,7 +233,9 @@ pub fn simulate_elfie(
     m.stop_conditions = stop;
     let s = m.run(sim.fuel);
     let icounts = collect_icounts(&m);
-    Ok(outcome(&m.obs, s.reason, icounts, m.fastpath_stats()))
+    let out = outcome(&m.obs, s.reason, icounts, m.fastpath_stats());
+    finish_span(&mut span, &out);
+    Ok(out)
 }
 
 /// Simulates a pinball via constrained replay — the "Sniper modified to
@@ -212,10 +243,14 @@ pub fn simulate_elfie(
 /// recorded order, so instruction counts match the recording exactly (and
 /// the timing results inherit the paper's caveat about artificial stalls).
 pub fn simulate_pinball(pinball: &Pinball, sim: &Simulator) -> SimOutcome {
-    let replayer = Replayer::new(ReplayConfig {
+    let mut span = sim_span(sim, "simulate_pinball");
+    let mut replayer = Replayer::new(ReplayConfig {
         machine: sim.machine_config(),
         ..ReplayConfig::default()
     });
+    if let Some(tracer) = &sim.tracer {
+        replayer = replayer.with_tracer(Arc::clone(tracer));
+    }
     let (summary, m) = replayer.replay_full_with(pinball, sim.observer(), |_| {});
     let exit = if summary.completed {
         ExitReason::AllExited(0)
@@ -223,5 +258,7 @@ pub fn simulate_pinball(pinball: &Pinball, sim: &Simulator) -> SimOutcome {
         ExitReason::Deadlock // divergence; detail in summary
     };
     let icounts = collect_icounts(&m);
-    outcome(&m.obs, exit, icounts, m.fastpath_stats())
+    let out = outcome(&m.obs, exit, icounts, m.fastpath_stats());
+    finish_span(&mut span, &out);
+    out
 }

@@ -5,6 +5,8 @@
 //! of the best BIC is chosen.
 
 use crate::bbv::Bbv;
+use elfie_trace::Tracer;
+use std::sync::Arc;
 
 /// Deterministic 64-bit mix (splitmix64 finaliser).
 fn mix(mut x: u64) -> u64 {
@@ -166,6 +168,23 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> Clustering {
 /// association order — and therefore every centroid, assignment and BIC
 /// score — is bit-identical for every worker count.
 pub fn kmeans_with_workers(points: &[Vec<f64>], k: usize, seed: u64, workers: usize) -> Clustering {
+    kmeans_traced(points, k, seed, workers, None)
+}
+
+/// [`kmeans_with_workers`] with per-iteration timeline instrumentation:
+/// the whole run becomes a `simpoint/kmeans` span (args: `k`, `points`,
+/// `iters`) and every Lloyd iteration a `simpoint/lloyd_iter` span (args:
+/// `k`, `iter`, `changed`). Tracing never affects the clustering — the
+/// arithmetic is untouched, so the bit-identity guarantees above hold with
+/// any tracer attached.
+pub fn kmeans_traced(
+    points: &[Vec<f64>],
+    k: usize,
+    seed: u64,
+    workers: usize,
+    tracer: Option<&Arc<Tracer>>,
+) -> Clustering {
+    let mut run_span = elfie_trace::maybe_span(tracer, "simpoint", "kmeans");
     let n = points.len();
     assert!(n > 0, "no points to cluster");
     let k = k.min(n).max(1);
@@ -205,8 +224,14 @@ pub fn kmeans_with_workers(points: &[Vec<f64>], k: usize, seed: u64, workers: us
 
     // Lloyd iterations: parallel assignment, serial reduction.
     let mut assignments = vec![0usize; n];
-    for _iter in 0..100 {
+    let mut iters = 0u64;
+    for iter in 0..100u64 {
+        let mut iter_span = elfie_trace::maybe_span(tracer, "simpoint", "lloyd_iter");
+        iter_span.arg("k", k as u64);
+        iter_span.arg("iter", iter);
+        iters = iter + 1;
         let changed = assign_points(points, &centroids, &mut assignments, workers);
+        iter_span.arg("changed", changed as u64);
         let mut sums = vec![vec![0f64; dims]; centroids.len()];
         let mut counts = vec![0usize; centroids.len()];
         for (i, p) in points.iter().enumerate() {
@@ -228,6 +253,9 @@ pub fn kmeans_with_workers(points: &[Vec<f64>], k: usize, seed: u64, workers: us
     }
 
     let bic = bic_score(points, &assignments, &centroids);
+    run_span.arg("k", centroids.len() as u64);
+    run_span.arg("points", n as u64);
+    run_span.arg("iters", iters);
     Clustering {
         k: centroids.len(),
         assignments,
@@ -277,9 +305,27 @@ pub fn choose_clustering(
     seed: u64,
     threshold: f64,
 ) -> Clustering {
+    choose_clustering_traced(points, max_k, seed, threshold, None)
+}
+
+/// [`choose_clustering`] with the BIC sweep on a timeline: one
+/// `simpoint/kmeans` span per candidate `k` (see [`kmeans_traced`]) under
+/// a `simpoint/bic_sweep` parent span.
+pub fn choose_clustering_traced(
+    points: &[Vec<f64>],
+    max_k: usize,
+    seed: u64,
+    threshold: f64,
+    tracer: Option<&Arc<Tracer>>,
+) -> Clustering {
+    let mut sweep_span = elfie_trace::maybe_span(tracer, "simpoint", "bic_sweep");
     let max_k = max_k.clamp(1, points.len());
+    sweep_span.arg("max_k", max_k as u64);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let all: Vec<Clustering> = (1..=max_k)
-        .map(|k| kmeans(points, k, seed ^ k as u64))
+        .map(|k| kmeans_traced(points, k, seed ^ k as u64, workers, tracer))
         .collect();
     let best = all.iter().map(|c| c.bic).fold(f64::NEG_INFINITY, f64::max);
     let worst = all.iter().map(|c| c.bic).fold(f64::INFINITY, f64::min);
@@ -402,6 +448,18 @@ mod tests {
                 assert_bit_identical(&serial, &par);
             }
         }
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_clustering() {
+        let mut pts = blob((0.0, 0.0), 40, 1.0, 21);
+        pts.extend(blob((6.0, 6.0), 40, 1.0, 22));
+        let plain = kmeans_with_workers(&pts, 3, 9, 2);
+        let tracer = Arc::new(Tracer::new(elfie_trace::TraceMode::Full));
+        let traced = kmeans_traced(&pts, 3, 9, 2, Some(&tracer));
+        assert_bit_identical(&plain, &traced);
+        let data = tracer.collect();
+        assert!(data.event_count() > 0, "kmeans/lloyd_iter spans recorded");
     }
 
     #[test]

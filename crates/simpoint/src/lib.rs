@@ -12,9 +12,12 @@ pub mod kmeans;
 pub mod pinpoints;
 
 pub use bbv::{profile_program, profile_program_stats, Bbv, BbvCollector, BbvProfile, ProfileKey};
-pub use kmeans::{choose_clustering, kmeans, project, Clustering};
+pub use kmeans::{
+    choose_clustering, choose_clustering_traced, kmeans, kmeans_traced, project, Clustering,
+};
 pub use pinpoints::{
-    coverage, pick, prediction_error, weighted_prediction, PinPoint, PinPoints, PinPointsConfig,
+    coverage, pick, pick_traced, prediction_error, weighted_prediction, PinPoint, PinPoints,
+    PinPointsConfig,
 };
 
 #[cfg(test)]

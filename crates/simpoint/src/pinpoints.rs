@@ -8,7 +8,9 @@
 //! for a given phase/cluster" used to raise coverage when an ELFie fails.
 
 use crate::bbv::BbvProfile;
-use crate::kmeans::{choose_clustering, project, Clustering};
+use crate::kmeans::{choose_clustering_traced, project, Clustering};
+use elfie_trace::Tracer;
+use std::sync::Arc;
 
 /// PinPoints configuration (paper defaults, scaled to this substrate:
 /// the paper uses slicesize 200M / warmup 800M / maxK 50).
@@ -103,13 +105,34 @@ impl PinPoints {
 /// # Panics
 /// Panics if the profile has no slices.
 pub fn pick(profile: &BbvProfile, cfg: &PinPointsConfig) -> PinPoints {
+    pick_traced(profile, cfg, None)
+}
+
+/// [`pick`] with the selection on a timeline: a `simpoint/project` span
+/// around the random projection and the k-means sweep spans of
+/// [`crate::kmeans::choose_clustering_traced`]. Tracing does not change
+/// the selection.
+///
+/// # Panics
+/// Panics if the profile has no slices.
+pub fn pick_traced(
+    profile: &BbvProfile,
+    cfg: &PinPointsConfig,
+    tracer: Option<&Arc<Tracer>>,
+) -> PinPoints {
     assert!(!profile.slices.is_empty(), "empty profile");
-    let points: Vec<Vec<f64>> = profile
-        .slices
-        .iter()
-        .map(|s| project(s, cfg.dims, cfg.seed))
-        .collect();
-    let clustering = choose_clustering(&points, cfg.max_k, cfg.seed, cfg.bic_threshold);
+    let points: Vec<Vec<f64>> = {
+        let mut span = elfie_trace::maybe_span(tracer, "simpoint", "project");
+        span.arg("slices", profile.slices.len() as u64);
+        span.arg("dims", cfg.dims as u64);
+        profile
+            .slices
+            .iter()
+            .map(|s| project(s, cfg.dims, cfg.seed))
+            .collect()
+    };
+    let clustering =
+        choose_clustering_traced(&points, cfg.max_k, cfg.seed, cfg.bic_threshold, tracer);
     let n = points.len();
 
     let dist2 =

@@ -45,9 +45,11 @@ pub mod profiles;
 use codec::{Codec, CodecError};
 use elfie_pinball::wire::{Reader, WireError, Writer};
 use elfie_pinball::{MemoryImage, PageRecord, Pinball, PinballError};
+use elfie_trace::Tracer;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const BLOB_MAGIC: &[u8; 4] = b"ESBL";
 const MANIFEST_MAGIC: &[u8; 4] = b"ESMF";
@@ -422,6 +424,7 @@ impl fmt::Display for StoreStats {
 #[derive(Debug, Clone)]
 pub struct Store {
     root: PathBuf,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Store {
@@ -434,7 +437,17 @@ impl Store {
         std::fs::create_dir_all(root.join("blobs"))?;
         std::fs::create_dir_all(root.join("objects"))?;
         std::fs::create_dir_all(root.join("refs"))?;
-        Ok(Store { root })
+        Ok(Store { root, tracer: None })
+    }
+
+    /// Puts store I/O on a timeline: `store/put_*` and `store/get_*`
+    /// spans per object (args: logical bytes, blob counts) and sampled
+    /// `store/lazy_fetch` instants when a [`LazyPinball`] streams a page
+    /// in. Clones — including the one inside a `LazyPinball` — inherit
+    /// the tracer.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Store {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The store's root directory.
@@ -540,6 +553,10 @@ impl Store {
     /// # Errors
     /// Returns [`StoreError`] on filesystem failures.
     pub fn put_pinball(&self, name: &str, pinball: &Pinball) -> Result<ObjectId, StoreError> {
+        let mut span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "put_pinball", name),
+            None => elfie_trace::Span::disabled(),
+        };
         let mut image_pages = Vec::with_capacity(pinball.image.pages.len());
         let mut lazy_pages = Vec::with_capacity(pinball.lazy_pages.len());
         let mut logical = 0u64;
@@ -568,6 +585,8 @@ impl Store {
         logical += skeleton.len() as u64;
         let skeleton_len = skeleton.len() as u64;
         let skeleton_blob = self.put_blob(&skeleton)?;
+        span.arg("logical_bytes", logical);
+        span.arg("pages", (image_pages.len() + lazy_pages.len()) as u64);
         self.put_manifest(&Manifest {
             kind: ObjectKind::Pinball,
             name: name.to_string(),
@@ -586,6 +605,10 @@ impl Store {
     /// Returns [`StoreError::NotFound`] for unknown names and
     /// [`StoreError::Corrupt`] on integrity violations.
     pub fn get_pinball(&self, name: &str) -> Result<Pinball, StoreError> {
+        let _span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "get_pinball", name),
+            None => elfie_trace::Span::disabled(),
+        };
         let (_, m) = self.manifest(name)?;
         if m.kind != ObjectKind::Pinball {
             return Err(StoreError::Corrupt(format!(
@@ -653,6 +676,11 @@ impl Store {
         name: &str,
         bytes: &[u8],
     ) -> Result<ObjectId, StoreError> {
+        let mut span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "put_stream", name),
+            None => elfie_trace::Span::disabled(),
+        };
+        span.arg("bytes", bytes.len() as u64);
         let mut chunks = Vec::with_capacity(bytes.len().div_ceil(CHUNK_SIZE));
         for chunk in bytes.chunks(CHUNK_SIZE.max(1)) {
             chunks.push(ChunkRef {
@@ -673,6 +701,10 @@ impl Store {
 
     /// Loads a byte stream stored by [`Store::put_elfie`]/[`Store::put_raw`].
     fn get_stream(&self, name: &str) -> Result<(ObjectKind, Vec<u8>), StoreError> {
+        let _span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "get_stream", name),
+            None => elfie_trace::Span::disabled(),
+        };
         let (_, m) = self.manifest(name)?;
         if m.kind == ObjectKind::Pinball {
             return Err(StoreError::Corrupt(format!(
@@ -966,6 +998,9 @@ impl elfie_pinball::PageSource for LazyPinball {
     fn fetch_page(&self, base: u64) -> Option<PageRecord> {
         let p = self.pages.get(&base)?;
         let data = self.store.get_blob(p.blob).ok()?;
+        if let Some(tracer) = &self.store.tracer {
+            tracer.instant("store", "lazy_fetch", &[("page", base)]);
+        }
         PageRecord::from_slice(p.perm, &data)
     }
 }

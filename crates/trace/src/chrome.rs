@@ -1,0 +1,246 @@
+//! Chrome trace-event JSON export, loadable in Perfetto and
+//! `chrome://tracing`.
+//!
+//! We emit the JSON-object flavour of the format: a `traceEvents` array
+//! plus `otherData` for run-level metadata (drop counts, schema
+//! version). Timestamps and durations are microseconds with fractional
+//! nanosecond precision, per the spec. Each [`ThreadTrack`] becomes a
+//! named thread lane (via a `"M"` metadata event); counter events
+//! (`"C"`) become counter tracks Perfetto plots as line graphs.
+//!
+//! [`ThreadTrack`]: crate::tracer::ThreadTrack
+
+use crate::json::Json;
+use crate::tracer::{Event, Phase, TraceData};
+
+/// Process id used for all events (the pipeline is one process).
+const PID: u64 = 1;
+
+/// Schema marker stored in `otherData.format`.
+pub const CHROME_TRACE_FORMAT: &str = "elfie-trace";
+/// Version stored in `otherData.version`; bump on breaking changes.
+pub const CHROME_TRACE_VERSION: u64 = 1;
+
+fn micros(ns: u64) -> Json {
+    // Chrome traces are microsecond-based; keep nanosecond precision as
+    // a fraction. f64 holds integers exactly to 2^53 µs ≈ 285 years.
+    Json::F64(ns as f64 / 1000.0)
+}
+
+fn args_json(event: &Event) -> Json {
+    Json::Obj(
+        event
+            .args
+            .entries()
+            .iter()
+            .map(|&(k, v)| (k.to_string(), Json::U64(v)))
+            .collect(),
+    )
+}
+
+fn event_json(tid: u64, event: &Event) -> Json {
+    let mut fields = vec![
+        ("name".to_string(), Json::Str(event.full_name())),
+        ("cat".to_string(), Json::Str(event.cat.to_string())),
+        ("pid".to_string(), Json::U64(PID)),
+        ("tid".to_string(), Json::U64(tid)),
+        ("ts".to_string(), micros(event.ts_ns)),
+    ];
+    match event.ph {
+        Phase::Span => {
+            fields.push(("ph".to_string(), Json::Str("X".to_string())));
+            fields.push(("dur".to_string(), micros(event.dur_ns)));
+        }
+        Phase::Instant => {
+            fields.push(("ph".to_string(), Json::Str("i".to_string())));
+            // Thread-scoped instant (a small arrow on the thread lane).
+            fields.push(("s".to_string(), Json::Str("t".to_string())));
+        }
+        Phase::Counter => {
+            fields.push(("ph".to_string(), Json::Str("C".to_string())));
+        }
+    }
+    fields.push(("args".to_string(), args_json(event)));
+    Json::Obj(fields)
+}
+
+fn thread_name_json(tid: u64, name: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str("thread_name".to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::U64(PID)),
+        ("tid".to_string(), Json::U64(tid)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(name.to_string()))]),
+        ),
+    ])
+}
+
+/// Builds the Chrome trace-event document for a collected trace.
+pub fn chrome_trace(data: &TraceData) -> Json {
+    let mut events = Vec::new();
+    for track in &data.tracks {
+        events.push(thread_name_json(track.tid, &track.name));
+        for event in &track.events {
+            events.push(event_json(track.tid, event));
+        }
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+        (
+            "otherData".to_string(),
+            Json::Obj(vec![
+                (
+                    "format".to_string(),
+                    Json::Str(CHROME_TRACE_FORMAT.to_string()),
+                ),
+                ("version".to_string(), Json::U64(CHROME_TRACE_VERSION)),
+                ("dropped_events".to_string(), Json::U64(data.dropped)),
+            ]),
+        ),
+    ])
+}
+
+/// Checks that `doc` looks like a Chrome trace this crate emitted:
+/// required top-level keys, and every event carrying the fields a
+/// viewer needs. Returns the number of trace events on success.
+pub fn check_chrome_trace(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .field("traceEvents")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    doc.field("otherData")?.field("dropped_events")?;
+    for (i, event) in events.iter().enumerate() {
+        let ph = event
+            .field("ph")
+            .and_then(|p| p.as_str().ok_or_else(|| "`ph` is not a string".into()))
+            .map_err(|e| format!("event {i}: {e}"))?;
+        for key in ["name", "pid", "tid"] {
+            event.field(key).map_err(|e| format!("event {i}: {e}"))?;
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                for key in ["ts", "dur", "cat", "args"] {
+                    event.field(key).map_err(|e| format!("event {i}: {e}"))?;
+                }
+            }
+            "i" | "C" => {
+                for key in ["ts", "cat", "args"] {
+                    event.field(key).map_err(|e| format!("event {i}: {e}"))?;
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase `{other}`")),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{TraceMode, Tracer};
+    use std::sync::Arc;
+
+    fn sample_trace() -> TraceData {
+        let tracer = Arc::new(Tracer::new(TraceMode::Full));
+        tracer.set_thread_name("main");
+        {
+            let mut span = tracer.span_labeled("stage", "measure", "r0");
+            span.arg("insns", 100);
+        }
+        tracer.instant("cache", "profile_hit", &[]);
+        tracer.counter("vm", "guest_insns", 42);
+        tracer.collect()
+    }
+
+    #[test]
+    fn export_has_expected_shape() {
+        let doc = chrome_trace(&sample_trace());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 metadata + 3 events.
+        assert_eq!(events.len(), 4);
+        assert_eq!(check_chrome_trace(&doc), Ok(4));
+
+        let meta = &events[0];
+        assert_eq!(meta.get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("main")
+        );
+
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("name").unwrap().as_str(), Some("measure r0"));
+        assert_eq!(span.get("cat").unwrap().as_str(), Some("stage"));
+        assert_eq!(
+            span.get("args").unwrap().get("insns").unwrap().as_u64(),
+            Some(100)
+        );
+        assert!(span.get("dur").unwrap().as_f64().is_some());
+
+        let counter = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .unwrap();
+        assert_eq!(counter.get("name").unwrap().as_str(), Some("guest_insns"));
+        assert_eq!(
+            counter.get("args").unwrap().get("value").unwrap().as_u64(),
+            Some(42)
+        );
+    }
+
+    #[test]
+    fn export_roundtrips_through_parser() {
+        let doc = chrome_trace(&sample_trace());
+        let text = doc.render_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+        assert_eq!(check_chrome_trace(&parsed), Ok(4));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let data = TraceData {
+            tracks: vec![crate::tracer::TrackData {
+                tid: 0,
+                name: "t".to_string(),
+                events: vec![Event {
+                    ts_ns: 1_500,
+                    dur_ns: 2_000_000,
+                    ph: Phase::Span,
+                    cat: "c",
+                    name: "n",
+                    label: None,
+                    args: Default::default(),
+                }],
+            }],
+            dropped: 3,
+        };
+        let doc = chrome_trace(&data);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let span = &events[1];
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(2000.0));
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("dropped_events")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn check_rejects_malformed_events() {
+        let doc = Json::parse(r#"{"traceEvents":[{"ph":"X","name":"n","pid":1,"tid":0}],"otherData":{"dropped_events":0}}"#).unwrap();
+        assert!(check_chrome_trace(&doc).is_err());
+        let doc = Json::parse(r#"{"otherData":{"dropped_events":0}}"#).unwrap();
+        assert!(check_chrome_trace(&doc).is_err());
+    }
+}

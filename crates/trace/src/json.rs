@@ -1,15 +1,20 @@
-//! Minimal JSON support for the pinball metadata file.
+//! Minimal JSON support shared across the workspace.
 //!
-//! The build environment has no crates.io access, so the metadata
-//! descriptor is serialised with this hand-rolled module instead of
-//! `serde_json`. The encoding mirrors serde's default representation
-//! (unit enum variants as strings, newtype variants as single-key
-//! objects, map keys as strings) so existing `.meta.json` files stay
-//! readable.
+//! The build environment has no crates.io access, so every JSON surface —
+//! pinball metadata descriptors, Chrome trace-event exports, the versioned
+//! `stats.json` schema — is serialised with this hand-rolled module
+//! instead of `serde_json`. The encoding mirrors serde's default
+//! representation (unit enum variants as strings, newtype variants as
+//! single-key objects, map keys as strings) so existing `.meta.json`
+//! files stay readable. The module started life inside `elfie-pinball`
+//! and moved here when `elfie-trace` became the workspace's bottom layer,
+//! so text and JSON renderings of the same statistics can never drift.
 //!
 //! Integers are kept in distinct `U64`/`I64` variants rather than routed
-//! through `f64`, because pinball fields like `brk` are full-range `u64`
-//! values that must round-trip bit-exactly.
+//! through `f64`, because fields like `brk` (and the trace timestamps)
+//! are full-range `u64` values that must round-trip bit-exactly. `F64`
+//! renders with `{:?}` — the shortest form that parses back to the same
+//! bits — so floating-point stats round-trip bit-exactly too.
 
 use std::fmt::Write as _;
 
@@ -88,6 +93,14 @@ impl Json {
     pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
             _ => None,
         }
     }

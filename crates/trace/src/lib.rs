@@ -1,0 +1,36 @@
+//! `elfie-trace`: structured tracing, metrics, and timeline export for
+//! the ELFies pipeline.
+//!
+//! The paper's workflows (Sections 5–6) are attribution problems: where
+//! do instructions and wall time go, per region, per worker, per stage?
+//! This crate is the workspace's telemetry bottom layer — it depends on
+//! nothing, so every other crate can emit through it:
+//!
+//! - [`Tracer`] records spans, instants, and counter samples into
+//!   per-thread lock-free ring buffers ([`ring::EventBuf`]): bounded,
+//!   drop-counted, and free when disabled (one branch, no clock read).
+//! - [`MetricsRegistry`] holds typed counters, gauges, and log2-bucket
+//!   histograms with lock-free recording.
+//! - [`chrome::chrome_trace`] exports a collected trace as Chrome
+//!   trace-event JSON, loadable in Perfetto / `chrome://tracing`.
+//! - [`TraceSummary`] folds a trace (in memory or re-parsed from a
+//!   trace file) back into per-stage / per-worker totals — the engine
+//!   behind `elfie trace summarize`.
+//! - [`json`] is the workspace's shared hand-rolled JSON module
+//!   (the environment is offline, so no serde); integers and floats
+//!   round-trip bit-exactly, which the stable `stats.json` schema in
+//!   `elfie::render` relies on.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod summary;
+pub mod tracer;
+
+pub use chrome::{check_chrome_trace, chrome_trace};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use summary::{SpanAgg, ThreadAgg, TraceSummary};
+pub use tracer::{maybe_span, Args, Event, Phase, Span, TraceData, TraceMode, Tracer, TrackData};

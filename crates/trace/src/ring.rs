@@ -1,0 +1,199 @@
+//! Bounded, write-once event buffers — one per (tracer, thread) pair.
+//!
+//! The hot-path contract is: the *owning* thread appends events with a
+//! single relaxed load, a slot write, and a release store; any other
+//! thread may take a consistent snapshot at any time with one acquire
+//! load. There are no locks and no CAS loops anywhere on the push path.
+//!
+//! This works because the buffer is **drop-newest**: once all `capacity`
+//! slots are used, further events only bump a drop counter. Slots are
+//! therefore written at most once, and a slot is visible to readers only
+//! after its write is published by the release store of `len` — so a
+//! reader that acquires `len == n` can safely read slots `0..n` even
+//! while the owner keeps appending behind it. Drop-newest (rather than a
+//! wrapping ring) also keeps the *earliest* events, which is what a
+//! timeline viewer wants when a run overflows the budget: the start of
+//! every span tree is intact and the loss is reported via
+//! [`EventBuf::dropped`].
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::tracer::Event;
+
+/// A bounded single-writer event buffer with drop-newest overflow.
+pub struct EventBuf {
+    slots: Box<[UnsafeCell<MaybeUninit<Event>>]>,
+    /// Number of fully-initialised slots. Release-stored by the owner,
+    /// acquire-loaded by readers.
+    len: AtomicUsize,
+    /// Events discarded because the buffer was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are written only by the owning thread (enforced by the
+// tracer, which hands each thread its own track through a thread-local)
+// and only in the half-open range `len..capacity`; readers touch only
+// `0..len` after an acquire load, where every slot is initialised and
+// never written again.
+unsafe impl Send for EventBuf {}
+unsafe impl Sync for EventBuf {}
+
+impl EventBuf {
+    /// Creates a buffer with room for `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventBuf {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends an event. Returns `false` (and counts a drop) when full.
+    ///
+    /// Must only be called from the thread that owns this buffer; the
+    /// tracer guarantees that by routing pushes through a thread-local.
+    pub fn push(&self, event: Event) -> bool {
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: slot `i` is unpublished (>= len), so no reader looks at
+        // it, and only this (owning) thread writes slots. The release
+        // store below publishes the fully-written slot.
+        unsafe { (*self.slots[i].get()).write(event) };
+        self.len.store(i + 1, Ordering::Release);
+        true
+    }
+
+    /// Number of events discarded due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of published events.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// True when no events have been published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies out all events published so far.
+    ///
+    /// Safe to call from any thread, concurrently with pushes: the
+    /// acquire load bounds the snapshot to slots whose writes have been
+    /// published, and published slots are never written again.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let n = self.len.load(Ordering::Acquire);
+        (0..n)
+            // SAFETY: slots `0..n` are initialised (published by the
+            // release store in `push`) and immutable from here on.
+            .map(|i| {
+                unsafe { (*(self.slots[i].get() as *const MaybeUninit<Event>)).assume_init_ref() }
+                    .clone()
+            })
+            .collect()
+    }
+}
+
+impl Drop for EventBuf {
+    fn drop(&mut self) {
+        let n = *self.len.get_mut();
+        for slot in &mut self.slots[..n] {
+            // SAFETY: the first `n` slots are initialised and we have
+            // exclusive access in `drop`.
+            unsafe { slot.get_mut().assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::{Args, Event, Phase};
+
+    fn event(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            dur_ns: 0,
+            ph: Phase::Instant,
+            cat: "test",
+            name: "e",
+            label: Some(format!("label-{ts}").into_boxed_str()),
+            args: Args::default(),
+        }
+    }
+
+    #[test]
+    fn push_then_snapshot_preserves_order() {
+        let buf = EventBuf::new(8);
+        for ts in 0..5 {
+            assert!(buf.push(event(ts)));
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let buf = EventBuf::new(3);
+        for ts in 0..10 {
+            buf.push(event(ts));
+        }
+        let events = buf.snapshot();
+        assert_eq!(events.len(), 3);
+        // Drop-newest: the earliest events survive.
+        assert_eq!(events[0].ts_ns, 0);
+        assert_eq!(events[2].ts_ns, 2);
+        assert_eq!(buf.dropped(), 7);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let buf = EventBuf::new(0);
+        assert!(!buf.push(event(1)));
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn concurrent_reader_sees_consistent_prefix() {
+        use std::sync::Arc;
+        let buf = Arc::new(EventBuf::new(4096));
+        let reader = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                let mut max_seen = 0;
+                for _ in 0..1000 {
+                    let events = buf.snapshot();
+                    // Prefix property: events arrive in push order with
+                    // labels intact.
+                    for (i, e) in events.iter().enumerate() {
+                        assert_eq!(e.ts_ns, i as u64);
+                        assert_eq!(e.label.as_deref(), Some(format!("label-{i}").as_str()));
+                    }
+                    max_seen = max_seen.max(events.len());
+                }
+                max_seen
+            })
+        };
+        for ts in 0..4096 {
+            buf.push(event(ts));
+        }
+        let max_seen = reader.join().unwrap();
+        assert!(max_seen <= 4096);
+        assert_eq!(buf.snapshot().len(), 4096);
+    }
+}

@@ -1,0 +1,403 @@
+//! Trace aggregation: fold a timeline back into per-stage / per-worker
+//! totals.
+//!
+//! The summary can be built directly from an in-memory [`TraceData`] or
+//! from a Chrome trace-event document previously written by
+//! [`chrome_trace`] — `elfie trace summarize out.json` uses the latter
+//! so a trace file is self-contained. Spans aggregate under their base
+//! name (the static part before any dynamic label), per-thread busy
+//! time is the union of span intervals (so nested spans are not double
+//! counted), and counters report their last sample.
+//!
+//! [`chrome_trace`]: crate::chrome::chrome_trace
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::Json;
+use crate::tracer::{Phase, TraceData};
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Sum of durations.
+    pub total_ns: u64,
+    /// Shortest span.
+    pub min_ns: u64,
+    /// Longest span.
+    pub max_ns: u64,
+}
+
+impl SpanAgg {
+    fn observe(&mut self, dur_ns: u64) {
+        self.count = self.count.saturating_add(1);
+        self.total_ns = self.total_ns.saturating_add(dur_ns);
+        self.min_ns = self.min_ns.min(dur_ns);
+        self.max_ns = self.max_ns.max(dur_ns);
+    }
+
+    /// Mean duration (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Per-thread aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadAgg {
+    /// Thread display name.
+    pub name: String,
+    /// Events on this thread (all phases).
+    pub events: u64,
+    /// Completed spans on this thread.
+    pub spans: u64,
+    /// Union of span intervals — time the thread was inside at least
+    /// one span, with nesting counted once.
+    pub busy_ns: u64,
+}
+
+/// A per-stage / per-worker rollup of a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Threads in tid order.
+    pub threads: Vec<ThreadAgg>,
+    /// Span aggregates keyed by base name.
+    pub spans: BTreeMap<String, SpanAgg>,
+    /// Instant-event counts keyed by base name.
+    pub instants: BTreeMap<String, u64>,
+    /// Last sample of each counter track.
+    pub counters: BTreeMap<String, u64>,
+    /// Events lost to ring-buffer overflow.
+    pub dropped: u64,
+}
+
+/// Sums the lengths of the union of `[start, end)` intervals.
+fn interval_union_ns(mut intervals: Vec<(u64, u64)>) -> u64 {
+    intervals.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (start, end) in intervals {
+        match cur {
+            Some((s, e)) if start <= e => cur = Some((s, e.max(end))),
+            Some((s, e)) => {
+                total = total.saturating_add(e - s);
+                cur = Some((start, end));
+            }
+            None => cur = Some((start, end)),
+        }
+    }
+    if let Some((s, e)) = cur {
+        total = total.saturating_add(e - s);
+    }
+    total
+}
+
+/// The static part of an exported event name (before the ` label`).
+fn base_name(full: &str) -> &str {
+    full.split(' ').next().unwrap_or(full)
+}
+
+impl TraceSummary {
+    /// Builds a summary from a collected trace.
+    pub fn from_trace(data: &TraceData) -> TraceSummary {
+        let mut summary = TraceSummary {
+            dropped: data.dropped,
+            ..TraceSummary::default()
+        };
+        for track in &data.tracks {
+            let mut agg = ThreadAgg {
+                name: track.name.clone(),
+                events: track.events.len() as u64,
+                spans: 0,
+                busy_ns: 0,
+            };
+            let mut intervals = Vec::new();
+            for event in &track.events {
+                match event.ph {
+                    Phase::Span => {
+                        agg.spans += 1;
+                        intervals.push((event.ts_ns, event.ts_ns.saturating_add(event.dur_ns)));
+                        summary.observe_span(event.name, event.dur_ns);
+                    }
+                    Phase::Instant => {
+                        *summary.instants.entry(event.name.to_string()).or_default() += 1;
+                    }
+                    Phase::Counter => {
+                        if let Some(&(_, value)) = event.args.entries().first() {
+                            // Events are in emission order; keep the last.
+                            summary.counters.insert(event.name.to_string(), value);
+                        }
+                    }
+                }
+            }
+            agg.busy_ns = interval_union_ns(intervals);
+            summary.threads.push(agg);
+        }
+        summary
+    }
+
+    /// Builds a summary from a parsed Chrome trace-event document.
+    ///
+    /// # Errors
+    /// Returns a description of the first structural problem.
+    pub fn from_chrome_json(doc: &Json) -> Result<TraceSummary, String> {
+        let events = doc
+            .field("traceEvents")?
+            .as_arr()
+            .ok_or("`traceEvents` is not an array")?;
+        let mut summary = TraceSummary {
+            dropped: doc
+                .get("otherData")
+                .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            ..TraceSummary::default()
+        };
+        // tid -> (name, events, spans, intervals, last counter ts per name)
+        struct Thread {
+            name: String,
+            events: u64,
+            spans: u64,
+            intervals: Vec<(u64, u64)>,
+        }
+        let mut threads: BTreeMap<u64, Thread> = BTreeMap::new();
+        let mut counter_ts: BTreeMap<String, f64> = BTreeMap::new();
+        let ns = |v: &Json| -> u64 { (v.as_f64().unwrap_or(0.0) * 1000.0).round() as u64 };
+        for (i, event) in events.iter().enumerate() {
+            let err = |e: String| format!("event {i}: {e}");
+            let ph = event
+                .field("ph")
+                .map_err(&err)?
+                .as_str()
+                .ok_or_else(|| err("`ph` is not a string".into()))?;
+            let tid = event
+                .field("tid")
+                .map_err(&err)?
+                .as_u64()
+                .ok_or_else(|| err("`tid` is not an integer".into()))?;
+            let name = event
+                .field("name")
+                .map_err(&err)?
+                .as_str()
+                .ok_or_else(|| err("`name` is not a string".into()))?;
+            let thread = threads.entry(tid).or_insert_with(|| Thread {
+                name: format!("thread-{tid}"),
+                events: 0,
+                spans: 0,
+                intervals: Vec::new(),
+            });
+            match ph {
+                "M" => {
+                    if name == "thread_name" {
+                        if let Some(n) = event
+                            .get("args")
+                            .and_then(|a| a.get("name"))
+                            .and_then(Json::as_str)
+                        {
+                            thread.name = n.to_string();
+                        }
+                    }
+                }
+                "X" => {
+                    let ts = ns(event.field("ts").map_err(&err)?);
+                    let dur = ns(event.field("dur").map_err(&err)?);
+                    thread.events += 1;
+                    thread.spans += 1;
+                    thread.intervals.push((ts, ts.saturating_add(dur)));
+                    summary.observe_span(base_name(name), dur);
+                }
+                "i" => {
+                    thread.events += 1;
+                    *summary
+                        .instants
+                        .entry(base_name(name).to_string())
+                        .or_default() += 1;
+                }
+                "C" => {
+                    thread.events += 1;
+                    let ts = event.get("ts").map(ns).unwrap_or(0) as f64;
+                    let value = event
+                        .get("args")
+                        .and_then(|a| a.as_obj())
+                        .and_then(|fields| fields.first())
+                        .and_then(|(_, v)| v.as_u64())
+                        .unwrap_or(0);
+                    // Counter events may interleave across threads; keep
+                    // the one with the latest timestamp.
+                    let key = base_name(name).to_string();
+                    if counter_ts.get(&key).map_or(true, |&prev| ts >= prev) {
+                        counter_ts.insert(key.clone(), ts);
+                        summary.counters.insert(key, value);
+                    }
+                }
+                other => return Err(err(format!("unknown phase `{other}`"))),
+            }
+        }
+        for (_, thread) in threads {
+            summary.threads.push(ThreadAgg {
+                name: thread.name,
+                events: thread.events,
+                spans: thread.spans,
+                busy_ns: interval_union_ns(thread.intervals),
+            });
+        }
+        Ok(summary)
+    }
+
+    fn observe_span(&mut self, name: &str, dur_ns: u64) {
+        self.spans
+            .entry(name.to_string())
+            .or_insert(SpanAgg {
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            })
+            .observe(dur_ns);
+    }
+
+    /// Total events across all threads.
+    pub fn event_count(&self) -> u64 {
+        self.threads.iter().map(|t| t.events).sum()
+    }
+}
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} events on {} thread{}, {} dropped",
+            self.event_count(),
+            self.threads.len(),
+            if self.threads.len() == 1 { "" } else { "s" },
+            self.dropped
+        )?;
+        for t in &self.threads {
+            writeln!(
+                f,
+                "  thread {}: {} events, {} spans, {:.3}s busy",
+                t.name,
+                t.events,
+                t.spans,
+                secs(t.busy_ns)
+            )?;
+        }
+        for (name, agg) in &self.spans {
+            writeln!(
+                f,
+                "  span {}: {} calls, {:.3}s total (min {:.3}s, mean {:.3}s, max {:.3}s)",
+                name,
+                agg.count,
+                secs(agg.total_ns),
+                secs(agg.min_ns),
+                secs(agg.mean_ns()),
+                secs(agg.max_ns)
+            )?;
+        }
+        for (name, count) in &self.instants {
+            writeln!(f, "  event {name}: {count}")?;
+        }
+        for (name, value) in &self.counters {
+            writeln!(f, "  counter {name}: {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::chrome_trace;
+    use crate::tracer::{TraceMode, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn interval_union_merges_overlaps() {
+        assert_eq!(interval_union_ns(vec![]), 0);
+        assert_eq!(interval_union_ns(vec![(0, 10)]), 10);
+        assert_eq!(interval_union_ns(vec![(0, 10), (5, 15)]), 15);
+        assert_eq!(interval_union_ns(vec![(5, 15), (0, 10)]), 15);
+        assert_eq!(interval_union_ns(vec![(0, 10), (20, 30)]), 20);
+        // Nested spans count once.
+        assert_eq!(interval_union_ns(vec![(0, 100), (10, 20), (30, 40)]), 100);
+    }
+
+    fn build_trace() -> TraceData {
+        let tracer = Arc::new(Tracer::new(TraceMode::Full));
+        tracer.set_thread_name("main");
+        {
+            let _outer = tracer.span("stage", "measure");
+            tracer.instant("cache", "profile_hit", &[]);
+            tracer.instant("cache", "profile_hit", &[]);
+        }
+        tracer.counter("vm", "guest_insns", 10);
+        tracer.counter("vm", "guest_insns", 99);
+        std::thread::scope(|scope| {
+            let tracer = Arc::clone(&tracer);
+            scope.spawn(move || {
+                tracer.set_thread_name("worker-0");
+                let _span = tracer.span_labeled("task", "cluster", "c1");
+            });
+        });
+        tracer.collect()
+    }
+
+    #[test]
+    fn summary_from_trace_aggregates() {
+        let summary = TraceSummary::from_trace(&build_trace());
+        assert_eq!(summary.threads.len(), 2);
+        assert_eq!(summary.threads[0].name, "main");
+        assert_eq!(summary.threads[1].name, "worker-0");
+        assert_eq!(summary.spans["measure"].count, 1);
+        assert_eq!(summary.spans["cluster"].count, 1);
+        assert_eq!(summary.instants["profile_hit"], 2);
+        assert_eq!(summary.counters["guest_insns"], 99);
+        assert_eq!(summary.dropped, 0);
+        assert!(summary.threads[0].busy_ns >= summary.spans["measure"].total_ns);
+    }
+
+    #[test]
+    fn chrome_roundtrip_matches_direct_summary() {
+        let data = build_trace();
+        let direct = TraceSummary::from_trace(&data);
+        let doc = chrome_trace(&data);
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let via_json = TraceSummary::from_chrome_json(&parsed).unwrap();
+        assert_eq!(via_json.event_count(), direct.event_count());
+        assert_eq!(via_json.instants, direct.instants);
+        assert_eq!(via_json.counters, direct.counters);
+        assert_eq!(
+            via_json.spans.keys().collect::<Vec<_>>(),
+            direct.spans.keys().collect::<Vec<_>>()
+        );
+        for (name, agg) in &direct.spans {
+            assert_eq!(via_json.spans[name].count, agg.count);
+        }
+        let names: Vec<&str> = via_json.threads.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["main", "worker-0"]);
+    }
+
+    #[test]
+    fn display_renders_every_section() {
+        let text = TraceSummary::from_trace(&build_trace()).to_string();
+        assert!(text.contains("trace: "), "{text}");
+        assert!(text.contains("thread main:"), "{text}");
+        assert!(text.contains("thread worker-0:"), "{text}");
+        assert!(text.contains("span measure: 1 calls"), "{text}");
+        assert!(text.contains("event profile_hit: 2"), "{text}");
+        assert!(text.contains("counter guest_insns: 99"), "{text}");
+    }
+
+    #[test]
+    fn from_chrome_rejects_garbage() {
+        assert!(TraceSummary::from_chrome_json(&Json::Null).is_err());
+        let doc = Json::parse(r#"{"traceEvents":[{"ph":"Q","name":"n","tid":0}]}"#).unwrap();
+        assert!(TraceSummary::from_chrome_json(&doc).is_err());
+    }
+}

@@ -59,8 +59,8 @@ pub use kernel::{
     errno, is_error, neg_errno, nr, Control, FdKind, FileDesc, Kernel, KernelConfig, SyscallOutcome,
 };
 pub use machine::{
-    ExitReason, FastPathStats, Machine, MachineConfig, RunSummary, StopWhen, SyscallAction,
-    SyscallInterposer, ThreadStep,
+    hit_rate, ExitReason, FastPathStats, Machine, MachineConfig, RunSummary, StopWhen,
+    SyscallAction, SyscallInterposer, ThreadStep,
 };
 pub use mem::{Access, MaterializeStats, MemError, Memory, PageData, Perm};
 pub use obs::{NullObserver, Observer};

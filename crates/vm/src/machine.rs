@@ -169,35 +169,41 @@ pub struct FastPathStats {
 
 impl FastPathStats {
     /// Fraction of instructions served without decoding, in `[0, 1]`.
+    /// Zero-guarded: an idle machine reports 0, not NaN.
     pub fn block_hit_rate(&self) -> f64 {
-        let total = self.block_hits + self.block_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.block_hits as f64 / total as f64
-        }
+        hit_rate(self.block_hits, self.block_misses)
     }
 
     /// Fraction of page translations served by the TLB, in `[0, 1]`.
+    /// Zero-guarded: an idle machine reports 0, not NaN.
     pub fn tlb_hit_rate(&self) -> f64 {
-        let total = self.tlb_hits + self.tlb_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.tlb_hits as f64 / total as f64
-        }
+        hit_rate(self.tlb_hits, self.tlb_misses)
     }
 
     /// Adds `other`'s counters into `self` (for aggregating across runs).
+    /// Saturating and order-independent: merging per-worker stats in any
+    /// order equals the serial totals (see the `stats_merge` proptest).
     pub fn accumulate(&mut self, other: FastPathStats) {
-        self.block_hits += other.block_hits;
-        self.block_misses += other.block_misses;
-        self.block_evictions += other.block_evictions;
-        self.block_flushes += other.block_flushes;
-        self.tlb_hits += other.tlb_hits;
-        self.tlb_misses += other.tlb_misses;
-        self.insns += other.insns;
+        self.block_hits = self.block_hits.saturating_add(other.block_hits);
+        self.block_misses = self.block_misses.saturating_add(other.block_misses);
+        self.block_evictions = self.block_evictions.saturating_add(other.block_evictions);
+        self.block_flushes = self.block_flushes.saturating_add(other.block_flushes);
+        self.tlb_hits = self.tlb_hits.saturating_add(other.tlb_hits);
+        self.tlb_misses = self.tlb_misses.saturating_add(other.tlb_misses);
+        self.insns = self.insns.saturating_add(other.insns);
         self.mat.accumulate(&other.mat);
+    }
+}
+
+/// `hits / (hits + misses)` in `[0, 1]`, 0 when there were no lookups.
+/// The single definition every hit-rate in the workspace derives from
+/// (re-exported; `elfie::stats` and the CLI both call it).
+pub fn hit_rate(hits: u64, misses: u64) -> f64 {
+    let total = hits.saturating_add(misses);
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
     }
 }
 

@@ -197,12 +197,16 @@ impl MaterializeStats {
     /// except `peak_owned_bytes`, which takes the maximum: machines run
     /// (or are measured) one at a time per worker, so the largest single
     /// peak is the meaningful residency figure.
+    ///
+    /// Adds saturate and the per-field fold is commutative + associative,
+    /// so per-worker stats merge to the same totals in any order (the
+    /// `stats_merge` proptest in `elfie` exercises this).
     pub fn accumulate(&mut self, other: &MaterializeStats) {
-        self.pages_mapped += other.pages_mapped;
-        self.shared_pages += other.shared_pages;
-        self.cow_breaks += other.cow_breaks;
-        self.lazy_faults += other.lazy_faults;
-        self.owned_bytes += other.owned_bytes;
+        self.pages_mapped = self.pages_mapped.saturating_add(other.pages_mapped);
+        self.shared_pages = self.shared_pages.saturating_add(other.shared_pages);
+        self.cow_breaks = self.cow_breaks.saturating_add(other.cow_breaks);
+        self.lazy_faults = self.lazy_faults.saturating_add(other.lazy_faults);
+        self.owned_bytes = self.owned_bytes.saturating_add(other.owned_bytes);
         self.peak_owned_bytes = self.peak_owned_bytes.max(other.peak_owned_bytes);
     }
 }
