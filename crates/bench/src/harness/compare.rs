@@ -1,0 +1,351 @@
+//! The noise-aware threshold comparator behind `elfie bench check`.
+//!
+//! A comparison takes two [`BenchDoc`]s — the checked-in baseline and a
+//! freshly measured candidate — and produces one [`MetricDiff`] per
+//! baseline metric. The rules, chosen so the gate is *monotone*
+//! (proptested in `tests/bench_gate.rs`):
+//!
+//! * an improvement can never fail, however large;
+//! * a regression beyond the metric's tolerance band always fails;
+//! * calibrated metrics are first rescaled by the ratio of the two
+//!   documents' machine probes, so a uniformly slower box shifts the
+//!   expectation instead of tripping the gate;
+//! * a metric present in the baseline but missing from the candidate
+//!   fails (a silently dropped measurement is a regression of the
+//!   harness itself); new candidate-only metrics are ignored until they
+//!   are baselined.
+
+use super::doc::{BenchDoc, Direction, Metric};
+use std::fmt;
+
+/// Tolerances at or above 1.0 would make `HigherIsBetter` bands
+/// degenerate (any value ≥ 0 passes); cap the usable band below that.
+const MAX_TOLERANCE: f64 = 0.95;
+
+/// One baseline metric compared against its fresh measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Owning scenario.
+    pub scenario: String,
+    /// Metric name.
+    pub metric: String,
+    /// Unit label (from the baseline).
+    pub unit: String,
+    /// The recorded baseline value.
+    pub baseline: f64,
+    /// The baseline rescaled by the probe ratio — what this box was
+    /// expected to measure.
+    pub expected: f64,
+    /// The pass threshold after applying the tolerance band to
+    /// `expected` (a floor for higher-is-better, a ceiling otherwise).
+    pub threshold: f64,
+    /// The candidate measurement (`None` = missing, always a failure).
+    pub measured: Option<f64>,
+    /// Direction the metric may move freely.
+    pub direction: Direction,
+    /// The fractional band that was applied.
+    pub tolerance: f64,
+    /// Whether this metric survived the gate.
+    pub pass: bool,
+}
+
+impl MetricDiff {
+    /// `measured / expected`, the normalised regression ratio
+    /// (`> 1` is faster for higher-is-better metrics).
+    pub fn ratio(&self) -> f64 {
+        match self.measured {
+            Some(m) if self.expected != 0.0 => m / self.expected,
+            _ => f64::NAN,
+        }
+    }
+}
+
+impl fmt::Display for MetricDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = if self.pass { "PASS" } else { "FAIL" };
+        let bound = match self.direction {
+            Direction::HigherIsBetter => "min allowed",
+            Direction::LowerIsBetter => "max allowed",
+        };
+        match self.measured {
+            Some(m) => write!(
+                f,
+                "{verdict} {}/{}: measured {m:.4} {u}, baseline {:.4} \
+                 (expected here {:.4}, {bound} {:.4}, band ±{:.0}%, ratio {:.3})",
+                self.scenario,
+                self.metric,
+                self.baseline,
+                self.expected,
+                self.threshold,
+                self.tolerance * 100.0,
+                self.ratio(),
+                u = self.unit,
+            ),
+            None => write!(
+                f,
+                "{verdict} {}/{}: metric missing from candidate document \
+                 (baseline {:.4} {u})",
+                self.scenario,
+                self.metric,
+                self.baseline,
+                u = self.unit,
+            ),
+        }
+    }
+}
+
+/// The gate's verdict over a whole document pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Candidate probe speed over baseline probe speed (`1.0` when
+    /// either document has no probe).
+    pub probe_ratio: f64,
+    /// One entry per baseline metric, in document order.
+    pub diffs: Vec<MetricDiff>,
+    /// Baseline scenarios absent from the candidate document.
+    pub missing_scenarios: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when every baseline metric passed and no scenario was
+    /// dropped.
+    pub fn passed(&self) -> bool {
+        self.missing_scenarios.is_empty() && self.diffs.iter().all(|d| d.pass)
+    }
+
+    /// The failing diffs, in document order.
+    pub fn failures(&self) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| !d.pass).collect()
+    }
+}
+
+impl fmt::Display for GateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "bench gate: {} metric(s), {} failure(s), machine probe ratio {:.3}",
+            self.diffs.len(),
+            self.failures().len() + self.missing_scenarios.len(),
+            self.probe_ratio
+        )?;
+        for name in &self.missing_scenarios {
+            writeln!(f, "FAIL {name}: scenario missing from candidate document")?;
+        }
+        for diff in &self.diffs {
+            writeln!(f, "{diff}")?;
+        }
+        if self.passed() {
+            write!(f, "gate: PASS")
+        } else {
+            write!(
+                f,
+                "gate: FAIL — rerun with more samples, or if the regression is \
+                 intended, refresh the baseline with `elfie bench check --baseline \
+                 <file> --update-baseline`"
+            )
+        }
+    }
+}
+
+/// Whether one measurement clears one baseline metric once the machine
+/// probe ratio has been applied. This is the gate's entire decision
+/// rule, kept as a tiny pure function so the monotonicity proptest in
+/// `tests/bench_gate.rs` exercises exactly what production runs.
+///
+/// Returns `(expected, threshold, pass)`.
+pub fn judge(metric: &Metric, measured: f64, probe_ratio: f64) -> (f64, f64, bool) {
+    let scale = if metric.calibrated && probe_ratio.is_finite() && probe_ratio > 0.0 {
+        probe_ratio
+    } else {
+        1.0
+    };
+    let tol = metric.tolerance.clamp(0.0, MAX_TOLERANCE);
+    match metric.direction {
+        Direction::HigherIsBetter => {
+            let expected = metric.value * scale;
+            let floor = expected * (1.0 - tol);
+            (expected, floor, measured >= floor)
+        }
+        Direction::LowerIsBetter => {
+            let expected = metric.value / scale;
+            let ceiling = expected * (1.0 + tol);
+            (expected, ceiling, measured <= ceiling)
+        }
+    }
+}
+
+/// Compares a candidate document against the baseline.
+pub fn compare(baseline: &BenchDoc, candidate: &BenchDoc) -> GateReport {
+    let probe_ratio = if baseline.probe_mips > 0.0 && candidate.probe_mips > 0.0 {
+        candidate.probe_mips / baseline.probe_mips
+    } else {
+        1.0
+    };
+    let mut diffs = Vec::new();
+    let mut missing_scenarios = Vec::new();
+    for base_scenario in &baseline.scenarios {
+        let Some(cand_scenario) = candidate.scenario(&base_scenario.name) else {
+            missing_scenarios.push(base_scenario.name.clone());
+            continue;
+        };
+        for metric in &base_scenario.metrics {
+            let measured = cand_scenario.metric(&metric.name).map(|m| m.value);
+            let (expected, threshold, pass) = match measured {
+                Some(m) => judge(metric, m, probe_ratio),
+                None => {
+                    let (expected, threshold, _) = judge(metric, metric.value, probe_ratio);
+                    (expected, threshold, false)
+                }
+            };
+            diffs.push(MetricDiff {
+                scenario: base_scenario.name.clone(),
+                metric: metric.name.clone(),
+                unit: metric.unit.clone(),
+                baseline: metric.value,
+                expected,
+                threshold,
+                measured,
+                direction: metric.direction,
+                tolerance: metric.tolerance.clamp(0.0, MAX_TOLERANCE),
+                pass,
+            });
+        }
+    }
+    GateReport {
+        probe_ratio,
+        diffs,
+        missing_scenarios,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::doc::ScenarioResult;
+
+    fn doc(probe: f64, metrics: Vec<Metric>) -> BenchDoc {
+        BenchDoc {
+            profile: "smoke".to_string(),
+            probe_mips: probe,
+            date: String::new(),
+            notes: String::new(),
+            scenarios: vec![ScenarioResult {
+                name: "s".to_string(),
+                runs: 1,
+                notes: String::new(),
+                metrics,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(
+            100.0,
+            vec![
+                Metric::higher("mips", 100.0, "mips", 0.25),
+                Metric::lower("wall", 10.0, "ms", 0.25),
+            ],
+        );
+        let report = compare(&base, &base.clone());
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.probe_ratio, 1.0);
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = doc(
+            100.0,
+            vec![
+                Metric::higher("mips", 100.0, "mips", 0.0),
+                Metric::lower("wall", 10.0, "ms", 0.0),
+            ],
+        );
+        let cand = doc(
+            100.0,
+            vec![
+                Metric::higher("mips", 1e9, "mips", 0.0),
+                Metric::lower("wall", 1e-9, "ms", 0.0),
+            ],
+        );
+        assert!(compare(&base, &cand).passed());
+    }
+
+    #[test]
+    fn regression_beyond_band_fails_with_actionable_diff() {
+        let base = doc(100.0, vec![Metric::higher("mips", 100.0, "mips", 0.2)]);
+        let cand = doc(100.0, vec![Metric::higher("mips", 50.0, "mips", 0.2)]);
+        let report = compare(&base, &cand);
+        assert!(!report.passed());
+        let text = report.to_string();
+        assert!(text.contains("FAIL s/mips"), "{text}");
+        assert!(text.contains("measured 50.0000"), "{text}");
+        assert!(text.contains("min allowed 80.0000"), "{text}");
+        assert!(text.contains("--update-baseline"), "{text}");
+    }
+
+    #[test]
+    fn probe_normalises_calibrated_metrics_only() {
+        let base = doc(
+            200.0,
+            vec![
+                Metric::higher("mips", 100.0, "mips", 0.1),
+                Metric::higher("ratio", 4.0, "x", 0.1).uncalibrated(),
+            ],
+        );
+        // Candidate box is half as fast: 55 MIPS clears the rescaled
+        // floor (100 * 0.5 * 0.9 = 45) even though it is far below the
+        // raw baseline; the uncalibrated ratio keeps its raw band.
+        let cand = doc(
+            100.0,
+            vec![
+                Metric::higher("mips", 55.0, "mips", 0.1),
+                Metric::higher("ratio", 3.9, "x", 0.1).uncalibrated(),
+            ],
+        );
+        let report = compare(&base, &cand);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.probe_ratio, 0.5);
+        let mips = &report.diffs[0];
+        assert_eq!(mips.expected, 50.0);
+        let ratio = &report.diffs[1];
+        assert_eq!(ratio.expected, 4.0, "uncalibrated expectation unscaled");
+    }
+
+    #[test]
+    fn missing_metric_and_scenario_fail() {
+        let base = doc(100.0, vec![Metric::higher("mips", 100.0, "mips", 0.2)]);
+        let mut cand = doc(100.0, vec![]);
+        let report = compare(&base, &cand);
+        assert!(!report.passed());
+        assert!(report.to_string().contains("missing from candidate"));
+
+        cand.scenarios.clear();
+        let report = compare(&base, &cand);
+        assert!(!report.passed());
+        assert_eq!(report.missing_scenarios, vec!["s".to_string()]);
+    }
+
+    #[test]
+    fn zero_probe_disables_calibration() {
+        let base = doc(0.0, vec![Metric::higher("mips", 100.0, "mips", 0.1)]);
+        let cand = doc(50.0, vec![Metric::higher("mips", 95.0, "mips", 0.1)]);
+        let report = compare(&base, &cand);
+        assert_eq!(report.probe_ratio, 1.0);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn judge_clamps_degenerate_tolerance() {
+        // tolerance 5.0 clamps to MAX_TOLERANCE, so the floor stays a
+        // real (if tiny) bound instead of going negative and passing
+        // everything.
+        let m = Metric::higher("x", 100.0, "mips", 5.0);
+        let floor = 100.0 * (1.0 - MAX_TOLERANCE);
+        let (_, got_floor, pass) = judge(&m, floor / 2.0, 1.0);
+        assert_eq!(got_floor, floor, "band must clamp, not invert");
+        assert!(!pass, "a drop below the clamped band must still fail");
+        let (_, _, pass) = judge(&m, floor, 1.0);
+        assert!(pass, "exactly on the clamped floor passes");
+    }
+}

@@ -10,8 +10,15 @@
 //! Scales are reduced (millions of instructions instead of billions) so
 //! the full evaluation runs on a laptop; EXPERIMENTS.md records the
 //! paper-reported vs measured values.
+//!
+//! The [`harness`] module is the other half of the crate: `elfie bench`,
+//! the standing perf-regression gate that runs the ablations as measured
+//! scenarios, snapshots them into versioned `BENCH_*.json` documents,
+//! and compares fresh runs against those baselines with noise-aware
+//! thresholds.
 
 pub mod experiments;
+pub mod harness;
 
 /// Formats a fraction as a signed percentage.
 pub fn pct(x: f64) -> String {

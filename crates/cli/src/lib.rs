@@ -98,6 +98,18 @@ impl Args {
     fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// Every value of a repeatable option, with comma-lists split
+    /// (`--scenario a --scenario b,c` → `[a, b, c]`).
+    fn opt_all(&self, name: &str) -> Vec<String> {
+        self.options
+            .iter()
+            .filter(|(n, _)| n == name)
+            .flat_map(|(_, v)| v.split(','))
+            .filter(|s| !s.is_empty())
+            .map(|s| s.to_string())
+            .collect()
+    }
 }
 
 /// The shared `--trace FILE [--trace-mode off|sampled[:N]|full]`
@@ -617,6 +629,117 @@ pub fn cmd_disasm(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+/// `elfie bench <list|run|check>` — the perf-regression harness.
+///
+/// * `bench list` names every measured scenario.
+/// * `bench run [--scenario A[,B]] [--profile smoke|full] [--runs N]
+///   [--out FILE]` measures the selected scenarios (all by default) and
+///   writes/prints an `elfie-bench` v1 document.
+/// * `bench check --baseline FILE [--update-baseline] [--runs N]
+///   [--out FILE]` re-measures exactly the scenarios recorded in the
+///   baseline and gates on noise-aware per-metric tolerance bands; a
+///   calibration probe in both documents normalises machine speed. A
+///   failed gate is a `CliError` (non-zero exit) unless
+///   `--update-baseline` is given, which instead rewrites the baseline
+///   file with the fresh measurements — the one legitimate way to move
+///   a perf baseline, and an explicit diff in review.
+pub fn cmd_bench(args: &Args) -> Result<String, CliError> {
+    use elfie_bench::harness::{self, compare, doc::BenchDoc, BenchKnobs, Profile};
+
+    let render_doc = |doc: &BenchDoc| -> String {
+        let mut out = format!(
+            "elfie-bench v1: profile {}, probe {:.1} mips, {}\n",
+            doc.profile, doc.probe_mips, doc.date
+        );
+        for s in &doc.scenarios {
+            let _ = writeln!(out, "scenario {} ({} run(s)): {}", s.name, s.runs, s.notes);
+            for m in &s.metrics {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>14.4} {:<6} ({}, band ±{:.0}%{})",
+                    m.name,
+                    m.value,
+                    m.unit,
+                    m.direction.name(),
+                    m.tolerance * 100.0,
+                    if m.calibrated { ", calibrated" } else { "" },
+                );
+            }
+        }
+        out
+    };
+    let knobs = |args: &Args, default_profile: Profile| -> Result<BenchKnobs, CliError> {
+        let profile = match args.opt("profile") {
+            None => default_profile,
+            Some(text) => Profile::parse(text).map_err(err)?,
+        };
+        let base = match profile {
+            Profile::Smoke => BenchKnobs::smoke(),
+            Profile::Full => BenchKnobs::full(),
+        };
+        Ok(BenchKnobs {
+            runs: args.opt_u64("runs", base.runs as u64)? as usize,
+            ..base
+        })
+    };
+
+    match args.pos(0, "bench subcommand")? {
+        "list" => {
+            let mut out = String::from("measured scenarios (elfie bench run --scenario NAME):\n");
+            for (name, _) in harness::scenarios::SCENARIOS {
+                let _ = writeln!(out, "  {name}");
+            }
+            Ok(out)
+        }
+        "run" => {
+            let knobs = knobs(args, Profile::Smoke)?;
+            let doc = harness::run_scenarios(&args.opt_all("scenario"), &knobs).map_err(err)?;
+            let mut out = render_doc(&doc);
+            if let Some(path) = args.opt("out") {
+                write_json_file(Path::new(path), &doc.to_json())?;
+                let _ = writeln!(out, "bench document -> {path}");
+            }
+            Ok(out)
+        }
+        "check" => {
+            let path = args
+                .opt("baseline")
+                .ok_or_else(|| err("bench check requires --baseline FILE"))?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
+            let json = Json::parse(&text).map_err(|e| err(format!("parse {path}: {e}")))?;
+            let baseline = BenchDoc::from_json(&json).map_err(|e| err(format!("{path}: {e}")))?;
+
+            let default_profile = Profile::parse(&baseline.profile).map_err(err)?;
+            let knobs = knobs(args, default_profile)?;
+            let names: Vec<String> = baseline
+                .scenario_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let candidate = harness::run_scenarios(&names, &knobs).map_err(err)?;
+            if let Some(out_path) = args.opt("out") {
+                write_json_file(Path::new(out_path), &candidate.to_json())?;
+            }
+
+            let report = compare::compare(&baseline, &candidate);
+            let mut out = format!("baseline {path} ({} scenarios)\n{report}", names.len());
+            if args.flag("update-baseline") {
+                write_json_file(Path::new(path), &candidate.to_json())?;
+                let _ = write!(out, "\nbaseline refreshed -> {path}");
+                Ok(out)
+            } else if report.passed() {
+                Ok(out)
+            } else {
+                Err(err(out))
+            }
+        }
+        other => Err(err(format!(
+            "unknown bench subcommand `{other}` (list|run|check)"
+        ))),
+    }
+}
+
 /// `elfie version` (also `--version`/`-V`) — prints the workspace version.
 pub fn cmd_version(_args: &Args) -> Result<String, CliError> {
     Ok(format!(
@@ -795,6 +918,14 @@ COMMANDS:
                                          materialise a stored object
   store ls|verify|gc|stats [--store DIR] list / check / sweep / measure
   store rm <name> [--store DIR]          drop a name (gc reclaims blobs)
+  bench list                             name the measured perf scenarios
+  bench run [--scenario A[,B]] [--profile smoke|full] [--runs N] [--out FILE]
+                                         measure scenarios into an
+                                         elfie-bench v1 document
+  bench check --baseline FILE [--update-baseline] [--runs N] [--out FILE]
+                                         gate fresh measurements against a
+                                         checked-in baseline (probe-
+                                         calibrated tolerance bands)
   version                                print the tool-chain version
 ";
 
@@ -818,6 +949,7 @@ pub const COMMANDS: &[(&str, Handler)] = &[
     ("disasm", cmd_disasm),
     ("store", cmd_store),
     ("trace", cmd_trace),
+    ("bench", cmd_bench),
     ("version", cmd_version),
 ];
 
@@ -837,6 +969,7 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "stack-only",
         "serial",
         "stats",
+        "update-baseline",
     ][..];
     let args = Args::parse(rest, flags);
     match cmd.as_str() {
@@ -1259,6 +1392,84 @@ mod tests {
         std::fs::write(&bogus, "{\"schema\": \"wrong\"}").unwrap();
         assert!(dispatch(&argv(&format!("trace check {}", bogus.display()))).is_err());
         std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn bench_list_names_every_scenario() {
+        let out = dispatch(&argv("bench list")).expect("bench list");
+        for (name, _) in elfie_bench::harness::scenarios::SCENARIOS {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+    }
+
+    #[test]
+    fn bench_run_check_and_update_baseline_flow() {
+        let dir = tmp("bench");
+        let baseline = dir.join("BENCH_test.json");
+        // Record a baseline from the one scenario cheap enough for a
+        // debug-build unit test (store_dedup is fully deterministic).
+        let out = dispatch(&argv(&format!(
+            "bench run --scenario store_dedup --out {}",
+            baseline.display()
+        )))
+        .expect("bench run");
+        assert!(out.contains("scenario store_dedup"), "{out}");
+        assert!(out.contains("dedup_ratio"), "{out}");
+
+        // A fresh run against that baseline passes the gate.
+        let out = dispatch(&argv(&format!(
+            "bench check --baseline {}",
+            baseline.display()
+        )))
+        .expect("bench check");
+        assert!(out.contains("gate: PASS"), "{out}");
+
+        // Sabotage the baseline: pretend the store used to need far
+        // fewer physical bytes. The gate must fail with an actionable
+        // per-metric diff and a non-zero exit.
+        let text = std::fs::read_to_string(&baseline).unwrap();
+        let json = Json::parse(&text).unwrap();
+        let mut doc = elfie_bench::harness::doc::BenchDoc::from_json(&json).unwrap();
+        let m = doc.scenarios[0]
+            .metrics
+            .iter_mut()
+            .find(|m| m.name == "physical_bytes")
+            .unwrap();
+        m.value /= 2.5;
+        std::fs::write(&baseline, doc.to_json().render_pretty()).unwrap();
+        let e = dispatch(&argv(&format!(
+            "bench check --baseline {}",
+            baseline.display()
+        )))
+        .expect_err("gate must fail");
+        assert!(e.0.contains("FAIL store_dedup/physical_bytes"), "{e}");
+        assert!(e.0.contains("--update-baseline"), "{e}");
+
+        // The explicit refresh flow rewrites the file and the next
+        // check passes again.
+        let out = dispatch(&argv(&format!(
+            "bench check --baseline {} --update-baseline",
+            baseline.display()
+        )))
+        .expect("update baseline");
+        assert!(out.contains("baseline refreshed"), "{out}");
+        let out = dispatch(&argv(&format!(
+            "bench check --baseline {}",
+            baseline.display()
+        )))
+        .expect("bench check after refresh");
+        assert!(out.contains("gate: PASS"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_rejects_bad_input() {
+        assert!(dispatch(&argv("bench")).is_err());
+        assert!(dispatch(&argv("bench frobnicate")).is_err());
+        assert!(dispatch(&argv("bench check")).is_err(), "needs --baseline");
+        assert!(dispatch(&argv("bench check --baseline /no/such/file.json")).is_err());
+        assert!(dispatch(&argv("bench run --scenario warp_drive")).is_err());
+        assert!(dispatch(&argv("bench run --profile turbo")).is_err());
     }
 
     #[test]

@@ -504,12 +504,18 @@ impl Store {
     }
 
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+        // The tmp name must be unique per *call*, not per content: two
+        // threads deduplicating the same blob bytes concurrently would
+        // otherwise share a tmp path, and whichever renames second sees
+        // ENOENT — silently dropping its artifact from the store (the
+        // fleet benchmark caught this as sporadic store misses).
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let parent = path.parent().expect("store paths have parents");
         std::fs::create_dir_all(parent)?;
         let tmp = parent.join(format!(
-            ".tmp-{}-{:x}",
+            ".tmp-{}-{}",
             std::process::id(),
-            elfie_isa::fnv64(bytes)
+            SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
         std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
@@ -1054,6 +1060,40 @@ mod tests {
         assert!(s.unique_bytes < s.logical_bytes, "chunks dedup");
         assert!(s.physical_bytes < s.unique_bytes, "zero pages compress");
         assert!(s.dedup_ratio() > 1.0 && s.compression_ratio() > 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_puts_of_shared_content_all_land() {
+        // Regression test: tmp files used to be named by content hash, so
+        // two threads deduplicating the same chunk raced on one tmp path
+        // and the loser's rename failed — silently dropping its object.
+        // Every name here must survive, even though each round's payload
+        // is contended by every thread.
+        let dir = tmp("race");
+        let store = Store::open(&dir).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..40u32 {
+                        let payload = vec![i as u8; CHUNK_SIZE + i as usize];
+                        store.put_raw(&format!("obj-{t}-{i}"), &payload).unwrap();
+                    }
+                });
+            }
+        });
+        for t in 0..8 {
+            for i in 0..40u32 {
+                let payload = vec![i as u8; CHUNK_SIZE + i as usize];
+                assert_eq!(
+                    store.get_raw(&format!("obj-{t}-{i}")).unwrap(),
+                    payload,
+                    "obj-{t}-{i} lost or corrupted"
+                );
+            }
+        }
+        assert!(store.verify().unwrap().is_ok());
         std::fs::remove_dir_all(&dir).ok();
     }
 

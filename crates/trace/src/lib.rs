@@ -32,5 +32,5 @@ pub mod tracer;
 
 pub use chrome::{check_chrome_trace, chrome_trace};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use summary::{SpanAgg, ThreadAgg, TraceSummary};
+pub use summary::{percentile_ns, span_durations_ns, SpanAgg, ThreadAgg, TraceSummary};
 pub use tracer::{maybe_span, Args, Event, Phase, Span, TraceData, TraceMode, Tracer, TrackData};

@@ -264,6 +264,33 @@ impl TraceSummary {
     }
 }
 
+/// Durations of every completed span whose base name is `base`, across
+/// all threads, sorted ascending — the input shape [`percentile_ns`]
+/// expects. Fleet-style harnesses use this to turn per-job spans into
+/// latency distributions.
+pub fn span_durations_ns(data: &TraceData, base: &str) -> Vec<u64> {
+    let mut durations: Vec<u64> = data
+        .tracks
+        .iter()
+        .flat_map(|track| track.events.iter())
+        .filter(|event| event.ph == Phase::Span && base_name(event.name) == base)
+        .map(|event| event.dur_ns)
+        .collect();
+    durations.sort_unstable();
+    durations
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) over an ascending-sorted
+/// slice; 0 when empty. `percentile_ns(&d, 50.0)` is the median,
+/// `percentile_ns(&d, 100.0)` the maximum.
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
 fn secs(ns: u64) -> f64 {
     ns as f64 / 1e9
 }
@@ -392,6 +419,38 @@ mod tests {
         assert!(text.contains("span measure: 1 calls"), "{text}");
         assert!(text.contains("event profile_hit: 2"), "{text}");
         assert!(text.contains("counter guest_insns: 99"), "{text}");
+    }
+
+    #[test]
+    fn span_durations_collect_across_threads_sorted() {
+        let tracer = Arc::new(Tracer::new(TraceMode::Full));
+        {
+            let _a = tracer.span("fleet", "job");
+        }
+        std::thread::scope(|scope| {
+            let tracer = Arc::clone(&tracer);
+            scope.spawn(move || {
+                let _b = tracer.span_labeled("fleet", "job", "w1");
+                let _other = tracer.span("fleet", "seed");
+            });
+        });
+        let data = tracer.collect();
+        let durations = span_durations_ns(&data, "job");
+        assert_eq!(durations.len(), 2, "one per thread, label stripped");
+        assert!(durations.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert_eq!(span_durations_ns(&data, "seed").len(), 1);
+        assert!(span_durations_ns(&data, "missing").is_empty());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        let d = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile_ns(&d, 0.0), 10);
+        assert_eq!(percentile_ns(&d, 50.0), 50);
+        assert_eq!(percentile_ns(&d, 95.0), 100);
+        assert_eq!(percentile_ns(&d, 100.0), 100);
+        assert_eq!(percentile_ns(&[7], 50.0), 7);
     }
 
     #[test]

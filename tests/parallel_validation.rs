@@ -95,3 +95,81 @@ fn cache_shared_between_engines_carries_artifacts_over() {
     assert_eq!(s2.cache.profile_misses, 0);
     assert!(s2.cache.pinball_hits > 0);
 }
+
+/// The fleet contract behind `elfie bench`'s fleet scenario: many
+/// concurrent validates racing through ONE persistent store produce
+/// reports bit-identical to the serial pipeline, at every worker count.
+/// Workers share a single `PipelineCache::persistent` whose memory tier
+/// starts empty, so every job hydrates from the store tier while its
+/// neighbours do the same.
+#[test]
+fn concurrent_fleet_against_one_store_matches_serial_reports() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let workloads = [elfie::workloads::gcc_like(1), elfie::workloads::mcf_like(1)];
+    let cfg = small_cfg();
+    let dir = std::env::temp_dir().join(format!("elfie-fleet-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Serial references through their own store-less engines.
+    let refs: Vec<ValidationReport> = workloads
+        .iter()
+        .map(|w| elfie::pipeline::validate_with_elfies(w, &cfg, SEED, FUEL).expect("serial"))
+        .collect();
+
+    // Seed the store once; the cache (and its memory tier) is dropped
+    // afterwards so only the on-disk artifacts survive.
+    {
+        let cache = Arc::new(PipelineCache::persistent(&dir).expect("open store"));
+        let seeder = BatchValidator::new()
+            .with_workers(2)
+            .with_cache(Arc::clone(&cache));
+        for w in &workloads {
+            seeder.validate(w, &cfg, SEED, FUEL).expect("seed");
+        }
+    }
+
+    const JOBS: usize = 12;
+    for fleet_workers in [2usize, 8] {
+        let cache = Arc::new(PipelineCache::persistent(&dir).expect("reopen store"));
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<ValidationReport>>> =
+            (0..JOBS).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..fleet_workers {
+                scope.spawn(|| {
+                    let engine = BatchValidator::serial().with_cache(Arc::clone(&cache));
+                    loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= JOBS {
+                            break;
+                        }
+                        let w = &workloads[job % workloads.len()];
+                        let (report, _) = engine.validate(w, &cfg, SEED, FUEL).expect("fleet job");
+                        *results[job].lock().unwrap() = Some(report);
+                    }
+                });
+            }
+        });
+        for (job, slot) in results.iter().enumerate() {
+            let report = slot.lock().unwrap().take().expect("job was run");
+            assert_eq!(
+                report,
+                refs[job % workloads.len()],
+                "job {job} diverged from serial (workers={fleet_workers})"
+            );
+        }
+        // The fleet ran entirely from the store: nothing was re-captured.
+        let stats = cache.stats();
+        assert_eq!(
+            stats.store_puts, 0,
+            "fleet re-captured artifacts (workers={fleet_workers}): {stats}"
+        );
+        assert!(
+            stats.store_hits > 0,
+            "fleet never touched the store (workers={fleet_workers}): {stats}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
