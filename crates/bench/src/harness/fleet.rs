@@ -246,6 +246,16 @@ pub fn fleet(knobs: &BenchKnobs) -> ScenarioResult {
                 0.25,
             )
             .uncalibrated(),
+            // Residual privately-owned page bytes after every job tore
+            // down — 0 unless a machine leaks frames, so this gates
+            // leaks, not throughput.
+            Metric::lower(
+                "owned_rss_bytes",
+                outcome.merged.vm.mat.owned_bytes as f64,
+                "bytes",
+                0.25,
+            )
+            .uncalibrated(),
             Metric::higher(
                 "deterministic_reports",
                 f64::from(u8::from(outcome.deterministic)),

@@ -24,6 +24,7 @@ pub mod compare;
 pub mod doc;
 pub mod fleet;
 pub mod scenarios;
+pub mod serve;
 
 use doc::BenchDoc;
 use elfie::prelude::*;

@@ -14,8 +14,8 @@
 //! noise survives even min-of-runs).
 
 use super::doc::{Metric, ScenarioResult};
-use super::fleet;
 use super::{counted_loop, interleaved_min, ms, BenchKnobs};
+use super::{fleet, serve};
 use elfie::pinplay::BootMode;
 use elfie::prelude::*;
 use elfie::vm::NullObserver;
@@ -32,6 +32,7 @@ pub const SCENARIOS: &[ScenarioEntry] = &[
     ("store_dedup", store_dedup),
     ("parallel_scaling", parallel_scaling),
     ("fleet", fleet::fleet),
+    ("daemon_serve", serve::daemon_serve),
 ];
 
 /// **vm_fastpath** — the PR 3 headline: decoded-block cache + software
@@ -375,7 +376,8 @@ mod tests {
                 "trace_overhead",
                 "store_dedup",
                 "parallel_scaling",
-                "fleet"
+                "fleet",
+                "daemon_serve"
             ]
         );
     }

@@ -179,21 +179,12 @@ impl TraceOpts {
 }
 
 fn find_workload(name: &str, scale: InputScale) -> Result<Workload, CliError> {
-    let mut all = suite_int(scale);
-    all.extend(suite_fp(scale));
-    all.extend(suite_speed_mt(scale, 4));
-    all.into_iter()
-        .find(|w| w.name == name)
+    elfie::workloads::find_workload(name, scale)
         .ok_or_else(|| err(format!("unknown workload `{name}` (try `elfie workloads`)")))
 }
 
 fn parse_scale(s: Option<&str>) -> Result<InputScale, CliError> {
-    match s.unwrap_or("train") {
-        "test" => Ok(InputScale::Test),
-        "train" => Ok(InputScale::Train),
-        "ref" => Ok(InputScale::Ref),
-        other => Err(err(format!("unknown scale `{other}` (test|train|ref)"))),
-    }
+    InputScale::parse(s.unwrap_or("train")).map_err(err)
 }
 
 /// `elfie workloads` — lists the benchmark suite.
@@ -479,34 +470,9 @@ pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
         .validate(&w, &cfg, seed, fuel)
         .map_err(|e| err(format!("validation failed: {e}")))?;
 
-    let mut out = format!(
-        "{}: {} phases, coverage {:.1}%\n\
-         true CPI {:.4}  predicted CPI {:.4}  error {:+.2}%\n",
-        w.name,
-        report.k,
-        100.0 * report.coverage,
-        report.true_cpi,
-        report.predicted_cpi,
-        100.0 * report.error
-    );
-    for r in &report.regions {
-        let _ = write!(
-            out,
-            "cluster {} rank {}: slice {} weight {:.4} — ",
-            r.cluster, r.rank, r.slice_index, r.weight
-        );
-        match &r.measurement {
-            Some(m) if m.completed && m.insns > 0 => {
-                let _ = writeln!(out, "CPI {:.4} ({} insns)", m.cpi, m.insns);
-            }
-            Some(m) => {
-                let _ = writeln!(out, "incomplete ({:?})", m.exit);
-            }
-            None => {
-                let _ = writeln!(out, "failed");
-            }
-        }
-    }
+    // The report body is the shared canonical rendering: a serve daemon
+    // returns these exact bytes for a validate job.
+    let mut out = elfie::render::validation_report(&w.name, &report);
     if args.flag("stats") {
         let _ = writeln!(out, "{stats}");
     }
@@ -876,6 +842,136 @@ pub fn cmd_store(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// Where serve clients dial (and the daemon listens) unless told
+/// otherwise. 4254 ≈ "ELF" on a phone keypad with room for neighbours.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:4254";
+
+fn connect_addr(args: &Args) -> String {
+    args.opt("connect")
+        .unwrap_or(DEFAULT_SERVE_ADDR)
+        .to_string()
+}
+
+fn serve_client(args: &Args) -> Result<elfie_serve::Client, CliError> {
+    elfie_serve::Client::connect(&connect_addr(args)).map_err(|e| err(e.to_string()))
+}
+
+/// `elfie serve --store DIR [--listen ADDR] [--shards N] [--queue N]`
+///
+/// Blocks until a client sends `shutdown`, then drains gracefully and
+/// returns the lifetime summary. The readiness line is printed *before*
+/// blocking so wrappers (CI, scripts) can wait for it; startup failures
+/// (unbindable address, unusable store path) come back as one-line
+/// [`CliError`]s — never a panic or backtrace.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let store = PathBuf::from(
+        args.opt("store")
+            .ok_or_else(|| err("serve requires --store DIR"))?,
+    );
+    let listen = args.opt("listen").unwrap_or(DEFAULT_SERVE_ADDR);
+    let cfg = elfie_serve::ServeConfig {
+        shards: args.opt_u64("shards", 4)?.max(1) as usize,
+        queue_depth: args.opt_u64("queue", 64)?.max(1) as usize,
+    };
+    let topts = parse_trace_opts(args)?;
+    let daemon = elfie_serve::Daemon::bind(listen, &store, cfg, topts.tracer.clone())
+        .map_err(|e| err(e.to_string()))?;
+    println!(
+        "elfie serve: listening on {} (store {}, {} shard(s) x queue {})",
+        daemon.local_addr(),
+        store.display(),
+        cfg.shards,
+        cfg.queue_depth
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = daemon.run();
+    let mut out = format!("{report}\n");
+    topts.finish(&mut out, &Json::Null)?;
+    Ok(out)
+}
+
+fn parse_job_spec(args: &Args) -> Result<elfie_serve::JobSpec, CliError> {
+    let kind = elfie_serve::JobKind::parse(args.pos(0, "kind")?).map_err(err)?;
+    let defaults = elfie_serve::JobSpec::default();
+    Ok(elfie_serve::JobSpec {
+        kind,
+        workload: args.pos(1, "workload")?.to_string(),
+        scale: args.opt("scale").unwrap_or(&defaults.scale).to_string(),
+        slice: args.opt_u64("slice", defaults.slice)?,
+        warmup: args.opt_u64("warmup", defaults.warmup)?,
+        maxk: args.opt_u64("maxk", defaults.maxk)?,
+        seed: args.opt_u64("seed", defaults.seed)?,
+        fuel: args.opt_u64("fuel", defaults.fuel)?,
+        start: args.opt_u64("start", defaults.start)?,
+        length: args.opt_u64("length", defaults.length)?,
+        sim: args.opt("sim").unwrap_or(&defaults.sim).to_string(),
+    })
+}
+
+/// `elfie submit <kind> <workload> [--connect ADDR] [--tenant NAME] ...`
+///
+/// Prints the job's report verbatim — for `validate` those are the
+/// exact bytes offline `elfie validate` prints with the same knobs, so
+/// `diff` closes the loop in CI. `busy` and daemon-side failures are
+/// one-line errors with a non-zero exit.
+pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
+    let spec = parse_job_spec(args)?;
+    let tenant = args.opt("tenant").unwrap_or("default");
+    let mut client = serve_client(args)?;
+    match client
+        .submit(tenant, spec)
+        .map_err(|e| err(e.to_string()))?
+    {
+        elfie_serve::Response::Done { report, .. } => Ok(report),
+        elfie_serve::Response::Busy { shard, capacity } => Err(err(format!(
+            "busy: shard {shard} queue is full ({capacity} deep) — retry later"
+        ))),
+        elfie_serve::Response::Error { message } => Err(err(message)),
+        other => Err(err(format!("unexpected response {other:?}"))),
+    }
+}
+
+/// `elfie jobs [--connect ADDR]` — lists the daemon's retained jobs.
+pub fn cmd_jobs(args: &Args) -> Result<String, CliError> {
+    let jobs = serve_client(args)?.jobs().map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    for j in &jobs {
+        let _ = writeln!(
+            out,
+            "#{:<6} {:<8} {:<10} {:<20} shard {}  {}",
+            j.id,
+            j.state,
+            j.kind.name(),
+            j.workload,
+            j.shard,
+            j.tenant
+        );
+    }
+    let _ = writeln!(out, "{} job(s)", jobs.len());
+    Ok(out)
+}
+
+/// `elfie ping [--connect ADDR]` — liveness + version/protocol probe.
+pub fn cmd_ping(args: &Args) -> Result<String, CliError> {
+    let (version, protocol) = serve_client(args)?.ping().map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "pong: elfie-serve {version} (protocol {protocol}) at {}\n",
+        connect_addr(args)
+    ))
+}
+
+/// `elfie shutdown [--connect ADDR]` — asks the daemon to drain + exit.
+pub fn cmd_shutdown(args: &Args) -> Result<String, CliError> {
+    let drained = serve_client(args)?
+        .shutdown()
+        .map_err(|e| err(e.to_string()))?;
+    Ok(format!(
+        "daemon at {} draining ({drained} job(s) completed)\n",
+        connect_addr(args)
+    ))
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 elfie — ELFies tool-chain (CGO'21 reproduction)
@@ -926,6 +1022,19 @@ COMMANDS:
                                          gate fresh measurements against a
                                          checked-in baseline (probe-
                                          calibrated tolerance bands)
+  serve --store DIR [--listen ADDR] [--shards N] [--queue N]
+         [--trace FILE] [--trace-mode off|sampled[:N]|full]
+                                         run the checkpoint-serving daemon
+                                         (default listen 127.0.0.1:4254)
+  submit <kind> <workload> [--connect ADDR] [--tenant NAME] [--scale S]
+         [--slice N] [--warmup N] [--maxk N] [--seed N] [--fuel N]
+         [--start N] [--length N] [--sim NAME]
+                                         run one job on a serve daemon and
+                                         print its report (kind is one of
+                                         record|validate|replay|simulate)
+  jobs [--connect ADDR]                  list a serve daemon's jobs
+  ping [--connect ADDR]                  probe a serve daemon's liveness
+  shutdown [--connect ADDR]              drain and stop a serve daemon
   version                                print the tool-chain version
 ";
 
@@ -950,6 +1059,11 @@ pub const COMMANDS: &[(&str, Handler)] = &[
     ("store", cmd_store),
     ("trace", cmd_trace),
     ("bench", cmd_bench),
+    ("serve", cmd_serve),
+    ("submit", cmd_submit),
+    ("jobs", cmd_jobs),
+    ("ping", cmd_ping),
+    ("shutdown", cmd_shutdown),
     ("version", cmd_version),
 ];
 
@@ -1143,6 +1257,46 @@ mod tests {
         assert!(dispatch(&argv("pinball2elf /no/such dir")).is_err());
         assert!(dispatch(&[]).is_err());
         assert!(dispatch(&argv("simulate x --sim warp-drive")).is_err());
+    }
+
+    #[test]
+    fn serve_startup_failures_are_one_line_errors() {
+        let dir = tmp("serve-bad");
+
+        // No --store at all.
+        let e = dispatch(&argv("serve")).unwrap_err();
+        assert!(e.0.contains("--store"), "{e}");
+
+        // Store path exists but is a file, not a directory.
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, b"x").unwrap();
+        let e = dispatch(&argv(&format!(
+            "serve --store {} --listen 127.0.0.1:0",
+            file.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.starts_with("open store"), "{e}");
+        assert!(!e.0.contains('\n'), "one-line diagnostic, got: {e}");
+
+        // Listen address already in use.
+        let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = taken.local_addr().unwrap();
+        let e = dispatch(&argv(&format!(
+            "serve --store {} --listen {addr}",
+            dir.join("store").display()
+        )))
+        .unwrap_err();
+        assert!(e.0.starts_with("bind"), "{e}");
+        assert!(!e.0.contains('\n'), "one-line diagnostic, got: {e}");
+    }
+
+    #[test]
+    fn client_verbs_report_unreachable_daemons_as_errors() {
+        // Port 1 is reserved and never listening in the test environment.
+        for verb in ["ping", "jobs", "shutdown", "submit validate gcc_like"] {
+            let e = dispatch(&argv(&format!("{verb} --connect 127.0.0.1:1"))).unwrap_err();
+            assert!(e.0.contains("connect"), "`{verb}` gave {e}");
+        }
     }
 
     #[test]

@@ -39,6 +39,10 @@ pub struct PipelineCache {
     profiles: Mutex<HashMap<u64, Arc<BbvProfile>>>,
     pinballs: Mutex<HashMap<u64, Arc<Pinball>>>,
     store: Option<elfie_store::Store>,
+    /// Persistent-tier ref prefix (`{tenant}--`), empty for the default
+    /// namespace. Memory-tier keys are *not* prefixed: one cache instance
+    /// serves one namespace, so they cannot collide.
+    namespace: String,
     profile_hits: AtomicU64,
     profile_misses: AtomicU64,
     pinball_hits: AtomicU64,
@@ -159,6 +163,31 @@ impl PipelineCache {
         self
     }
 
+    /// Scopes the persistent tier to a tenant namespace: store refs gain
+    /// a `{tenant}--` prefix, so many tenants can share one store without
+    /// seeing (or overwriting) each other's artifacts. The empty tenant
+    /// is the default namespace — refs keep their historical names, so
+    /// existing `--store` directories stay readable.
+    ///
+    /// `tenant` must be a valid store ref fragment (no `/`, no `..`);
+    /// [`elfie_store::Store::valid_ref_name`] is the authoritative check
+    /// and callers (the serve admission layer) reject invalid tenants
+    /// before a cache is ever built.
+    pub fn with_namespace(mut self, tenant: &str) -> PipelineCache {
+        self.namespace = if tenant.is_empty() {
+            String::new()
+        } else {
+            format!("{tenant}--")
+        };
+        self
+    }
+
+    /// The tenant this cache's persistent tier is scoped to (empty for
+    /// the default namespace).
+    pub fn namespace(&self) -> &str {
+        self.namespace.strip_suffix("--").unwrap_or(&self.namespace)
+    }
+
     /// The persistent store backing this cache, if any.
     pub fn store(&self) -> Option<&elfie_store::Store> {
         self.store.as_ref()
@@ -197,19 +226,19 @@ impl PipelineCache {
             .saturating_add(self.pinball_misses.load(Ordering::Relaxed))
     }
 
-    fn profile_ref(key: u64) -> String {
-        format!("profile-{key:016x}")
+    fn profile_ref(&self, key: u64) -> String {
+        format!("{}profile-{key:016x}", self.namespace)
     }
 
-    fn pinball_ref(key: u64) -> String {
-        format!("pinball-{key:016x}")
+    fn pinball_ref(&self, key: u64) -> String {
+        format!("{}pinball-{key:016x}", self.namespace)
     }
 
     /// Tries the persistent tier for a profile. Any store failure —
     /// missing, corrupt, unreadable — degrades to `None` (recompute).
     fn store_profile(&self, key: u64) -> Option<BbvProfile> {
         let store = self.store.as_ref()?;
-        let bytes = store.get_raw(&Self::profile_ref(key)).ok()?;
+        let bytes = store.get_raw(&self.profile_ref(key)).ok()?;
         elfie_store::profiles::from_bytes(&bytes).ok()
     }
 
@@ -217,7 +246,7 @@ impl PipelineCache {
     fn store_pinball(&self, key: u64) -> Option<Pinball> {
         self.store
             .as_ref()?
-            .get_pinball(&Self::pinball_ref(key))
+            .get_pinball(&self.pinball_ref(key))
             .ok()
     }
 
@@ -268,7 +297,7 @@ impl PipelineCache {
         let value = Arc::new(compute());
         if let Some(store) = &self.store {
             let bytes = elfie_store::profiles::to_bytes(&value);
-            if store.put_raw(&Self::profile_ref(key), &bytes).is_ok() {
+            if store.put_raw(&self.profile_ref(key), &bytes).is_ok() {
                 self.store_puts.fetch_add(1, Ordering::Relaxed);
                 self.trace_event("store_put", &[("key", key), ("bytes", bytes.len() as u64)]);
             }
@@ -305,7 +334,7 @@ impl PipelineCache {
         self.trace_event("pinball_miss", &[("key", key)]);
         let value = Arc::new(compute()?);
         if let Some(store) = &self.store {
-            if store.put_pinball(&Self::pinball_ref(key), &value).is_ok() {
+            if store.put_pinball(&self.pinball_ref(key), &value).is_ok() {
                 self.store_puts.fetch_add(1, Ordering::Relaxed);
                 self.trace_event("store_put", &[("key", key)]);
             }
@@ -328,7 +357,7 @@ impl PipelineCache {
         let lazy = self
             .store
             .as_ref()?
-            .get_pinball_lazy(&Self::pinball_ref(key))
+            .get_pinball_lazy(&self.pinball_ref(key))
             .ok()?;
         self.pinball_hits.fetch_add(1, Ordering::Relaxed);
         self.store_hits.fetch_add(1, Ordering::Relaxed);
@@ -481,6 +510,38 @@ mod tests {
         assert_eq!(fetched.data[..], page.data[..]);
         assert_eq!(fetched.perm, page.perm);
         assert!(lazy.fetch_page(0xdead_f000).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tenant_namespaces_isolate_one_shared_store() {
+        let dir = std::env::temp_dir().join(format!("elfie-cache-tenant-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Tenant A computes and writes through under its namespace.
+        let a = PipelineCache::persistent(&dir).unwrap().with_namespace("a");
+        assert_eq!(a.namespace(), "a");
+        a.profile(5, || profile_with(11));
+        assert_eq!((a.stats().store_puts, a.stats().store_hits), (1, 0));
+
+        // Tenant B shares the store but must not see A's artifact.
+        let b = PipelineCache::persistent(&dir).unwrap().with_namespace("b");
+        let p = b.profile(5, || profile_with(22));
+        assert_eq!(p.total_insns, 22, "b computed its own artifact");
+        assert_eq!((b.stats().store_hits, b.stats().store_puts), (0, 1));
+
+        // A second instance of tenant A warm-starts from A's namespace.
+        let a2 = PipelineCache::persistent(&dir).unwrap().with_namespace("a");
+        let p = a2.profile(5, || panic!("must come from a's namespace"));
+        assert_eq!(p.total_insns, 11);
+        assert_eq!(a2.stats().store_hits, 1);
+
+        // The default (empty) namespace keeps historical ref names: it
+        // sees neither tenant and writes plain `profile-…` refs.
+        let plain = PipelineCache::persistent(&dir).unwrap();
+        assert_eq!(plain.namespace(), "");
+        let p = plain.profile(5, || profile_with(33));
+        assert_eq!(p.total_insns, 33);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -95,6 +95,44 @@ pub(crate) fn write_cache(f: &mut fmt::Formatter<'_>, c: &CacheStats) -> fmt::Re
     Ok(())
 }
 
+/// The canonical text of a validation report — the body `elfie
+/// validate` prints and the exact bytes an `elfie serve` daemon returns
+/// for a validate job, so the two can be diffed bit-for-bit (the
+/// serve-smoke CI job and the `daemon_serve` determinism gate both rely
+/// on this being the single rendering).
+pub fn validation_report(name: &str, report: &crate::pipeline::ValidationReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{}: {} phases, coverage {:.1}%\n\
+         true CPI {:.4}  predicted CPI {:.4}  error {:+.2}%\n",
+        name,
+        report.k,
+        100.0 * report.coverage,
+        report.true_cpi,
+        report.predicted_cpi,
+        100.0 * report.error
+    );
+    for r in &report.regions {
+        let _ = write!(
+            out,
+            "cluster {} rank {}: slice {} weight {:.4} — ",
+            r.cluster, r.rank, r.slice_index, r.weight
+        );
+        match &r.measurement {
+            Some(m) if m.completed && m.insns > 0 => {
+                let _ = writeln!(out, "CPI {:.4} ({} insns)", m.cpi, m.insns);
+            }
+            Some(m) => {
+                let _ = writeln!(out, "incomplete ({:?})", m.exit);
+            }
+            None => {
+                let _ = writeln!(out, "failed");
+            }
+        }
+    }
+    out
+}
+
 /// The two `vm ...` lines `elfie simulate --stats` prints (no trailing
 /// newline).
 pub fn vm_lines(fp: &FastPathStats) -> String {

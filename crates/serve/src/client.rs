@@ -1,0 +1,155 @@
+//! The client side of the serve protocol: one blocking connection.
+
+use crate::protocol::{
+    read_frame, write_frame, FrameError, JobSpec, JobSummary, Request, Response, ServeStats,
+};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not reach the daemon.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The socket error.
+        detail: String,
+    },
+    /// The connection broke or produced garbage mid-exchange.
+    Frame(FrameError),
+    /// The daemon answered something the request cannot mean.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect { addr, detail } => write!(f, "connect {addr}: {detail}"),
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One connection to a daemon. Requests are strictly sequential
+/// (request, then response) — open more clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Dials the daemon at `addr` (e.g. `127.0.0.1:4256`).
+    ///
+    /// # Errors
+    /// [`ClientError::Connect`] with the socket error.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Like [`Client::connect`] with a dial timeout, for readiness polls.
+    ///
+    /// # Errors
+    /// [`ClientError::Connect`] on refusal or timeout.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        use std::net::ToSocketAddrs;
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| ClientError::Connect {
+                addr: addr.to_string(),
+                detail: e.to_string(),
+            })?
+            .next()
+            .ok_or_else(|| ClientError::Connect {
+                addr: addr.to_string(),
+                detail: "no addresses".to_string(),
+            })?;
+        let stream =
+            TcpStream::connect_timeout(&resolved, timeout).map_err(|e| ClientError::Connect {
+                addr: addr.to_string(),
+                detail: e.to_string(),
+            })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    ///
+    /// # Errors
+    /// [`ClientError::Frame`] on transport/decoding failures.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_json()).map_err(ClientError::Frame)?;
+        let doc = read_frame(&mut self.stream).map_err(ClientError::Frame)?;
+        Response::from_json(&doc).map_err(|m| ClientError::Frame(FrameError::Malformed(m)))
+    }
+
+    /// Liveness probe; returns `(daemon version, protocol version)`.
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`pong` answer.
+    pub fn ping(&mut self) -> Result<(String, u64), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version, protocol } => Ok((version, protocol)),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Submits one job under `tenant` and blocks until the daemon
+    /// answers. The caller matches on `Done`/`Busy`/`Error`.
+    ///
+    /// # Errors
+    /// Transport failures only — `Busy` and `Error` are valid answers.
+    pub fn submit(&mut self, tenant: &str, job: JobSpec) -> Result<Response, ClientError> {
+        self.request(&Request::Submit {
+            tenant: tenant.to_string(),
+            job,
+        })
+    }
+
+    /// Lists the daemon's jobs.
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`jobs` answer.
+    pub fn jobs(&mut self) -> Result<Vec<JobSummary>, ClientError> {
+        match self.request(&Request::Jobs)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Err(unexpected("jobs", &other)),
+        }
+    }
+
+    /// Fetches daemon-wide counters.
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`stats` answer.
+    pub fn stats(&mut self) -> Result<ServeStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit; returns its lifetime job count.
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`bye` answer.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye { drained } => Ok(drained),
+            other => Err(unexpected("bye", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error { message } => ClientError::Protocol(message.clone()),
+        other => ClientError::Protocol(format!("expected `{wanted}`, got {other:?}")),
+    }
+}

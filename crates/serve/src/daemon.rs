@@ -1,0 +1,317 @@
+//! The long-running `elfie serve` daemon: a TCP front end over the
+//! sharded [`Scheduler`].
+//!
+//! One thread per connection speaks the frame protocol; `submit`
+//! requests block their connection (not the daemon) until the job
+//! finishes or admission sheds it. A `shutdown` request answers `bye`,
+//! then the daemon stops accepting, waits for every open connection to
+//! finish its in-flight requests (idle connections notice the drain via
+//! a short read-timeout poll), drains the shard queues, and joins the
+//! workers — no job that was admitted is ever abandoned.
+//!
+//! Error discipline: every startup failure (unbindable address, store
+//! path that is not a usable directory) is a typed [`ServeError`] the
+//! CLI turns into a one-line diagnostic and a non-zero exit — never a
+//! panic. Mid-connection protocol garbage gets a typed `error` response
+//! and the connection survives when the frame boundary was intact
+//! (malformed JSON), or is closed when the byte stream itself is
+//! unusable (oversized prefix, truncation).
+
+use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
+use crate::scheduler::{Scheduler, ServeConfig, Submitted};
+use elfie::trace::Tracer;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often an idle connection wakes to check for daemon drain.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// A daemon startup failure. One line, actionable, non-zero exit.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listen address could not be bound (in use, malformed, …).
+    Bind {
+        /// The requested address.
+        addr: String,
+        /// The socket error.
+        detail: String,
+    },
+    /// The store directory could not be opened or created.
+    Store {
+        /// The requested store root.
+        dir: PathBuf,
+        /// The store error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind { addr, detail } => write!(f, "bind {addr}: {detail}"),
+            ServeError::Store { dir, detail } => {
+                write!(f, "open store {}: {detail}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// What a finished daemon reports (the `elfie serve` exit summary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs shed with `busy`.
+    pub rejected_busy: u64,
+}
+
+impl std::fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "drained: {} connection(s), {} job(s) done, {} failed, {} shed busy",
+            self.connections, self.completed, self.failed, self.rejected_busy
+        )
+    }
+}
+
+/// A bound-but-not-yet-serving daemon. [`Daemon::run`] blocks until a
+/// client asks for shutdown.
+pub struct Daemon {
+    listener: TcpListener,
+    scheduler: Scheduler,
+    tracer: Option<Arc<Tracer>>,
+    connections: AtomicU64,
+}
+
+impl Daemon {
+    /// Binds `addr`, verifies the store at `store_dir` is usable, and
+    /// spawns the shard workers. Pass `127.0.0.1:0` to let the OS pick a
+    /// port ([`Daemon::local_addr`] reports it).
+    ///
+    /// # Errors
+    /// A typed [`ServeError`] for an unbindable address or unusable
+    /// store path — the two startup failures the CLI must report with a
+    /// one-line diagnostic and a non-zero exit.
+    pub fn bind(
+        addr: &str,
+        store_dir: &Path,
+        cfg: ServeConfig,
+        tracer: Option<Arc<Tracer>>,
+    ) -> Result<Daemon, ServeError> {
+        // Open the store once up front: this creates the directory tree
+        // on first use and rejects a path that exists but is not a
+        // store-shaped directory before we start accepting work.
+        elfie::store::Store::open(store_dir).map_err(|e| ServeError::Store {
+            dir: store_dir.to_path_buf(),
+            detail: e.to_string(),
+        })?;
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Bind {
+            addr: addr.to_string(),
+            detail: e.to_string(),
+        })?;
+        let scheduler = Scheduler::start(store_dir.to_path_buf(), cfg, tracer.clone());
+        Ok(Daemon {
+            listener,
+            scheduler,
+            tracer,
+            connections: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    ///
+    /// # Panics
+    /// Never in practice: a bound listener always has a local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has addr")
+    }
+
+    /// Serves until a client requests shutdown, then drains gracefully.
+    /// Returns the lifetime summary.
+    pub fn run(mut self) -> ServeReport {
+        let shutdown = AtomicBool::new(false);
+        let local = self.local_addr();
+        std::thread::scope(|s| {
+            loop {
+                let (stream, _peer) = match self.listener.accept() {
+                    Ok(pair) => pair,
+                    Err(_) => continue,
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break; // the drain wake-up; nothing to serve
+                }
+                let conn = self.connections.fetch_add(1, Ordering::Relaxed);
+                let (scheduler, tracer, shutdown, connections) =
+                    (&self.scheduler, &self.tracer, &shutdown, &self.connections);
+                s.spawn(move || {
+                    if let Some(tracer) = tracer {
+                        tracer.set_thread_name(&format!("conn-{conn}"));
+                    }
+                    serve_connection(stream, scheduler, tracer, shutdown, connections);
+                    if shutdown.load(Ordering::SeqCst) {
+                        // First responder wakes the accept loop.
+                        let _ = TcpStream::connect(local);
+                    }
+                });
+            }
+            // The scope joins every connection thread here: in-flight
+            // requests finish, idle connections notice the drain flag.
+        });
+        let stats = self.scheduler.stats();
+        self.scheduler.drain();
+        ServeReport {
+            connections: self.connections.load(Ordering::Relaxed),
+            completed: stats.completed,
+            failed: stats.failed,
+            rejected_busy: stats.rejected_busy,
+        }
+    }
+}
+
+/// One connection's request loop.
+fn serve_connection(
+    mut stream: TcpStream,
+    scheduler: &Scheduler,
+    tracer: &Option<Arc<Tracer>>,
+    shutdown: &AtomicBool,
+    connections: &AtomicU64,
+) {
+    // Idle connections poll so a drain is noticed without client help.
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        let doc = match read_frame(&mut stream) {
+            Ok(doc) => doc,
+            Err(FrameError::Idle) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(FrameError::Closed) => break,
+            Err(FrameError::Malformed(m)) => {
+                // The frame boundary was intact: answer with a typed
+                // error and keep the connection alive.
+                let resp = Response::Error {
+                    message: format!("malformed frame: {m}"),
+                };
+                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                    break;
+                }
+                continue;
+            }
+            Err(e @ (FrameError::Oversized { .. } | FrameError::Truncated { .. })) => {
+                // The byte stream is desynchronized: report and close.
+                let resp = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &resp.to_json());
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        let request = match Request::from_json(&doc) {
+            Ok(request) => request,
+            Err(m) => {
+                let resp = Response::Error {
+                    message: format!("bad request: {m}"),
+                };
+                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let _span = tracer
+            .as_ref()
+            .map(|t| t.span_labeled("serve", "request", kind_name(&request).to_string()));
+        let (response, last) = handle(&request, scheduler, shutdown, connections);
+        if write_frame(&mut stream, &response.to_json()).is_err() || last {
+            break;
+        }
+    }
+}
+
+fn kind_name(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Submit { .. } => "submit",
+        Request::Jobs => "jobs",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Maps a request to its response; `true` means the connection closes
+/// after answering (shutdown).
+fn handle(
+    request: &Request,
+    scheduler: &Scheduler,
+    shutdown: &AtomicBool,
+    connections: &AtomicU64,
+) -> (Response, bool) {
+    match request {
+        Request::Ping => (
+            Response::Pong {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                protocol: crate::protocol::PROTOCOL_VERSION,
+            },
+            false,
+        ),
+        Request::Submit { tenant, job } => {
+            if shutdown.load(Ordering::SeqCst) {
+                return (
+                    Response::Error {
+                        message: "daemon is draining".to_string(),
+                    },
+                    false,
+                );
+            }
+            let response = match scheduler.submit(tenant, job.clone()) {
+                Submitted::Finished(outcome) => match outcome.result {
+                    Ok(report) => Response::Done {
+                        id: outcome.id,
+                        shard: outcome.shard,
+                        queue_ns: outcome.queue_ns,
+                        run_ns: outcome.run_ns,
+                        report,
+                    },
+                    Err(message) => Response::Error { message },
+                },
+                Submitted::Busy { shard, capacity } => Response::Busy { shard, capacity },
+                Submitted::Rejected(message) => Response::Error { message },
+            };
+            (response, false)
+        }
+        Request::Jobs => (
+            Response::Jobs {
+                jobs: scheduler.jobs(),
+            },
+            false,
+        ),
+        Request::Stats => {
+            let mut stats = scheduler.stats();
+            stats.connections = connections.load(Ordering::Relaxed);
+            (Response::Stats { stats }, false)
+        }
+        Request::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            (
+                Response::Bye {
+                    drained: scheduler.completed(),
+                },
+                true,
+            )
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # elfie-serve
+//!
+//! The checkpoint-serving daemon behind `elfie serve` — the deployment
+//! shape the paper's fleet-scale PinPoints release implies: one shared
+//! artifact store, many independent consumers, long-running service.
+//!
+//! Three layers:
+//!
+//! * [`protocol`] — length-prefixed JSON frames (the zero-dependency
+//!   `Json` from `elfie-trace`) with typed [`Request`]/[`Response`]
+//!   envelopes. Decoding never panics; truncation and oversized length
+//!   prefixes are typed [`FrameError`]s.
+//! * [`scheduler`] — jobs hash to N worker shards, each owning its own
+//!   bounded queue and per-tenant `PipelineCache::persistent` tiers over
+//!   the one shared store. Admission is a lock-free `try_send`; a full
+//!   shard sheds the job with a typed `Busy` instead of queueing
+//!   unboundedly.
+//! * [`daemon`]/[`client`] — the TCP ends. The daemon drains gracefully
+//!   on `shutdown` (every admitted job finishes first) and, with a
+//!   tracer attached, leaves an `elfie-trace` span per request/job, so
+//!   `elfie serve --trace` renders the whole fleet as a Chrome timeline.
+//!
+//! Determinism contract: a `validate` job's `report` bytes are exactly
+//! what offline `elfie validate` prints for the same knobs (both ends
+//! call `elfie::render::validation_report`); the serve-smoke CI job
+//! diffs them bit-for-bit and the `daemon_serve` bench gates on it.
+
+pub mod client;
+pub mod daemon;
+pub mod protocol;
+pub mod scheduler;
+
+pub use client::{Client, ClientError};
+pub use daemon::{Daemon, ServeError, ServeReport};
+pub use protocol::{
+    FrameError, JobKind, JobSpec, JobSummary, Request, Response, ServeStats, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use scheduler::{valid_tenant, Scheduler, ServeConfig, Submitted};

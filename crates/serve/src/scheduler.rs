@@ -1,0 +1,558 @@
+//! The sharded job scheduler behind an `elfie serve` daemon.
+//!
+//! Jobs hash to one of N *shards* — worker threads that each own a
+//! bounded [`std::sync::mpsc::sync_channel`] queue and a private set of
+//! per-tenant [`PipelineCache`] tiers over the one shared store
+//! directory. The hot path takes no shared lock: admission is a
+//! `try_send` onto the target shard's channel, execution happens on the
+//! shard thread against shard-owned caches, and the result travels back
+//! on a per-job rendezvous channel. Hashing on `(tenant, workload)`
+//! keeps a tenant's repeat jobs on the shard whose memory tier already
+//! holds their artifacts.
+//!
+//! **Admission control**: a full shard queue sheds the job immediately
+//! ([`Submitted::Busy`]) instead of queueing unboundedly — the caller
+//! turns that into the protocol's typed `Busy` response. **Graceful
+//! drain**: dropping the shard senders lets each worker finish its
+//! queued jobs and exit; [`Scheduler::drain`] joins them all.
+
+use crate::protocol::{JobKind, JobSpec, JobSummary, ServeStats};
+use elfie::prelude::*;
+use elfie::trace::Tracer;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Scheduler sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker shards (each owns its caches and queue).
+    pub shards: usize,
+    /// Bounded queue depth per shard; a full queue sheds load.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// What happened to a submitted job.
+#[derive(Debug)]
+pub enum Submitted {
+    /// The job ran; here is its outcome.
+    Finished(JobOutcome),
+    /// The target shard's queue was full; nothing was queued.
+    Busy {
+        /// The shard that was full.
+        shard: u64,
+        /// Its queue capacity.
+        capacity: u64,
+    },
+    /// The job never reached a shard (invalid tenant, draining daemon).
+    Rejected(String),
+}
+
+/// A finished job's result.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// Daemon-unique job id.
+    pub id: u64,
+    /// Shard that ran it.
+    pub shard: u64,
+    /// Nanoseconds spent waiting in the shard queue.
+    pub queue_ns: u64,
+    /// Nanoseconds spent executing.
+    pub run_ns: u64,
+    /// Canonical report text, or a one-line failure.
+    pub result: Result<String, String>,
+}
+
+struct ShardJob {
+    id: u64,
+    tenant: String,
+    spec: JobSpec,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<JobOutcome>,
+}
+
+/// Job states the table tracks (`JobSummary::state` strings).
+const QUEUED: &str = "queued";
+const RUNNING: &str = "running";
+const DONE: &str = "done";
+const FAILED: &str = "failed";
+
+/// How many finished jobs the table retains (oldest evicted first), so
+/// a long-lived daemon's `jobs` listing stays bounded.
+const RETAINED_JOBS: usize = 1024;
+
+#[derive(Default)]
+struct JobTable {
+    rows: Mutex<BTreeMap<u64, JobSummary>>,
+}
+
+impl JobTable {
+    fn insert(&self, row: JobSummary) {
+        let mut rows = self.rows.lock().unwrap();
+        rows.insert(row.id, row);
+        while rows.len() > RETAINED_JOBS {
+            // Evict the oldest *finished* row; live rows are never dropped.
+            let evict = rows
+                .iter()
+                .find(|(_, r)| r.state == DONE || r.state == FAILED)
+                .map(|(id, _)| *id);
+            match evict {
+                Some(id) => rows.remove(&id),
+                None => break,
+            };
+        }
+    }
+
+    fn set_state(&self, id: u64, state: &str) {
+        if let Some(row) = self.rows.lock().unwrap().get_mut(&id) {
+            row.state = state.to_string();
+        }
+    }
+
+    fn remove(&self, id: u64) {
+        self.rows.lock().unwrap().remove(&id);
+    }
+
+    fn snapshot(&self) -> Vec<JobSummary> {
+        self.rows.lock().unwrap().values().cloned().collect()
+    }
+}
+
+/// State shared between shards and the scheduler front end.
+struct Shared {
+    store_dir: PathBuf,
+    tracer: Option<Arc<Tracer>>,
+    /// Every tenant cache any shard has opened, for stats roll-up.
+    caches: Mutex<Vec<Arc<PipelineCache>>>,
+    /// Validate-job [`PipelineStats`] folded into daemon totals.
+    merged: Mutex<Option<PipelineStats>>,
+    table: JobTable,
+    completed: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// The sharded scheduler. One per daemon; [`Scheduler::submit`] is safe
+/// to call from any number of connection threads.
+pub struct Scheduler {
+    senders: Vec<mpsc::SyncSender<ShardJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    queue_depth: usize,
+    next_id: AtomicU64,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    shared: Arc<Shared>,
+}
+
+/// A tenant name must be usable as a store-ref fragment and keep the
+/// `{tenant}--` prefix unambiguous: 1–64 chars of `[A-Za-z0-9._-]`,
+/// validated against [`Store::valid_ref_name`] as the authority.
+pub fn valid_tenant(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= 64
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+        && Store::valid_ref_name(tenant)
+}
+
+/// FNV-1a over the job's placement key. Same tenant + workload → same
+/// shard, so repeat jobs land where the memory tier is already warm.
+fn shard_of(tenant: &str, workload: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in tenant.bytes().chain([0u8]).chain(workload.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+impl Scheduler {
+    /// Spawns `cfg.shards` worker threads over the store at `store_dir`.
+    /// The directory is created on demand by the first tenant cache; an
+    /// unusable path surfaces as per-job failures, while the daemon
+    /// front end validates it up front.
+    pub fn start(store_dir: PathBuf, cfg: ServeConfig, tracer: Option<Arc<Tracer>>) -> Scheduler {
+        let shared = Arc::new(Shared {
+            store_dir,
+            tracer,
+            caches: Mutex::new(Vec::new()),
+            merged: Mutex::new(None),
+            table: JobTable::default(),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        });
+        let shards = cfg.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardJob>(cfg.queue_depth.max(1));
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("elfie-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, &rx, &shared))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        Scheduler {
+            senders,
+            handles,
+            queue_depth: cfg.queue_depth.max(1),
+            next_id: AtomicU64::new(1),
+            accepted: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            shared,
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Admits `spec` under `tenant` and blocks until it finishes. A full
+    /// target shard sheds the job immediately with [`Submitted::Busy`].
+    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Submitted {
+        if !valid_tenant(tenant) {
+            return Submitted::Rejected(format!(
+                "invalid tenant `{tenant}` (1-64 chars of [A-Za-z0-9._-])"
+            ));
+        }
+        let shard = shard_of(tenant, &spec.workload, self.senders.len());
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = mpsc::sync_channel::<JobOutcome>(1);
+        let job = ShardJob {
+            id,
+            tenant: tenant.to_string(),
+            spec: spec.clone(),
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        // Table first so the shard's `running` transition cannot race the
+        // insert; a shed submit removes the row again (only admitted jobs
+        // are listed).
+        self.shared.table.insert(JobSummary {
+            id,
+            tenant: tenant.to_string(),
+            kind: spec.kind,
+            workload: spec.workload.clone(),
+            shard: shard as u64,
+            state: QUEUED.to_string(),
+        });
+        match self.senders[shard].try_send(job) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                // Shed: nothing was queued, so nothing stays tabled.
+                self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                self.shared.table.remove(id);
+                return Submitted::Busy {
+                    shard: shard as u64,
+                    capacity: self.queue_depth as u64,
+                };
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.shared.table.remove(id);
+                return Submitted::Rejected("daemon is draining".to_string());
+            }
+        }
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        match reply_rx.recv() {
+            Ok(outcome) => Submitted::Finished(outcome),
+            // The shard died mid-job (drain raced a submit).
+            Err(_) => {
+                self.shared.table.set_state(id, FAILED);
+                Submitted::Rejected("daemon is draining".to_string())
+            }
+        }
+    }
+
+    /// Every job the table retains, id-ascending.
+    pub fn jobs(&self) -> Vec<JobSummary> {
+        self.shared.table.snapshot()
+    }
+
+    /// Daemon-wide counters: admission totals plus the roll-up of every
+    /// tenant cache and every completed validate job's pipeline stats.
+    pub fn stats(&self) -> ServeStats {
+        let mut cache = CacheStats::default();
+        for c in self.shared.caches.lock().unwrap().iter() {
+            cache.merge(&c.stats());
+        }
+        let (peak_rss_bytes, owned_rss_bytes) = self
+            .shared
+            .merged
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or((0, 0), |m| {
+                (m.vm.mat.peak_owned_bytes, m.vm.mat.owned_bytes)
+            });
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            connections: 0, // the daemon layer owns this counter
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            store_hits: cache.store_hits,
+            store_puts: cache.store_puts,
+            peak_rss_bytes,
+            owned_rss_bytes,
+        }
+    }
+
+    /// Jobs completed over the scheduler's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop admitting, let every shard finish its queue,
+    /// and join the workers. Idempotent.
+    pub fn drain(&mut self) {
+        self.senders.clear(); // disconnects every shard's receiver
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// One shard: pulls jobs until the channel disconnects (drain), keeping
+/// a private per-tenant cache map over the shared store.
+fn shard_worker(shard: usize, rx: &mpsc::Receiver<ShardJob>, shared: &Shared) {
+    if let Some(tracer) = &shared.tracer {
+        tracer.set_thread_name(&format!("shard-{shard}"));
+    }
+    let mut tenants: HashMap<String, Arc<PipelineCache>> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
+        shared.table.set_state(job.id, RUNNING);
+        let cache = tenant_cache(&mut tenants, &job.tenant, shared);
+        let t0 = Instant::now();
+        let result = {
+            let _span = shared.tracer.as_ref().map(|t| {
+                t.span_labeled(
+                    "serve",
+                    "job",
+                    format!("{}:{}#{}", job.tenant, job.spec.workload, job.id),
+                )
+            });
+            match cache {
+                Ok(ref cache) => execute(&job.spec, cache, shared),
+                Err(ref e) => Err(e.clone()),
+            }
+        };
+        let run_ns = t0.elapsed().as_nanos() as u64;
+        match &result {
+            Ok(_) => {
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                shared.table.set_state(job.id, DONE);
+            }
+            Err(_) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                shared.table.set_state(job.id, FAILED);
+            }
+        };
+        // The submitter may have given up (connection dropped); a full
+        // or disconnected reply slot is fine either way.
+        let _ = job.reply.try_send(JobOutcome {
+            id: job.id,
+            shard: shard as u64,
+            queue_ns,
+            run_ns,
+            result,
+        });
+    }
+}
+
+/// The shard's cache for `tenant`, opened (and registered for stats)
+/// on first use.
+fn tenant_cache(
+    tenants: &mut HashMap<String, Arc<PipelineCache>>,
+    tenant: &str,
+    shared: &Shared,
+) -> Result<Arc<PipelineCache>, String> {
+    if let Some(cache) = tenants.get(tenant) {
+        return Ok(Arc::clone(cache));
+    }
+    let cache = PipelineCache::persistent(&shared.store_dir)
+        .map_err(|e| format!("open store {}: {e}", shared.store_dir.display()))?
+        .with_namespace(tenant);
+    if let Some(tracer) = &shared.tracer {
+        cache.attach_tracer(Arc::clone(tracer));
+    }
+    let cache = Arc::new(cache);
+    shared.caches.lock().unwrap().push(Arc::clone(&cache));
+    tenants.insert(tenant.to_string(), Arc::clone(&cache));
+    Ok(cache)
+}
+
+/// Runs one job against the tenant's cache. Validate reports are the
+/// canonical [`elfie::render::validation_report`] bytes — bit-identical
+/// to offline `elfie validate` with the same knobs.
+fn execute(spec: &JobSpec, cache: &Arc<PipelineCache>, shared: &Shared) -> Result<String, String> {
+    let scale = InputScale::parse(&spec.scale)?;
+    let w = elfie::workloads::find_workload(&spec.workload, scale)
+        .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
+    match spec.kind {
+        JobKind::Validate => {
+            let cfg = PinPointsConfig {
+                slice_size: spec.slice,
+                warmup: spec.warmup,
+                max_k: spec.maxk as usize,
+                ..PinPointsConfig::default()
+            };
+            let mut engine = BatchValidator::serial().with_cache(Arc::clone(cache));
+            if let Some(tracer) = &shared.tracer {
+                engine = engine.with_tracer(Arc::clone(tracer));
+            }
+            let (report, stats) = engine
+                .validate(&w, &cfg, spec.seed, spec.fuel)
+                .map_err(|e| format!("validation failed: {e}"))?;
+            let mut merged = shared.merged.lock().unwrap();
+            match &mut *merged {
+                None => *merged = Some(stats),
+                Some(m) => m.merge(&stats),
+            }
+            Ok(elfie::render::validation_report(&w.name, &report))
+        }
+        JobKind::Record => {
+            let pb = captured_region(cache, &w, spec)?;
+            Ok(format!(
+                "captured {} ({} pages, {} thread(s), {} instructions)\n",
+                pb.region.name,
+                pb.image.page_count(),
+                pb.threads.len(),
+                pb.region.length
+            ))
+        }
+        JobKind::Replay => {
+            let pb = captured_region(cache, &w, spec)?;
+            let s = Replayer::new(ReplayConfig::default()).replay(&pb, |_| {});
+            Ok(format!(
+                "replay {}: completed={} injected={} lazy_pages={} instructions={}\n",
+                pb.region.name,
+                s.completed,
+                s.injected_syscalls,
+                s.lazy_pages_injected,
+                s.global_icount
+            ))
+        }
+        JobKind::Simulate => {
+            let pb = captured_region(cache, &w, spec)?;
+            let sim = simulator_by_name(&spec.sim)?;
+            let o = elfie::sim::simulate_pinball(&pb, &sim);
+            Ok(format!(
+                "sim {} on {}: {} cycles, IPC {:.4}, CPI {:.4}, exit {:?}\n",
+                spec.sim, pb.region.name, o.cycles, o.ipc, o.cpi, o.exit
+            ))
+        }
+    }
+}
+
+/// Captures (or fetches from the tenant's cache) the fat pinball of the
+/// region `spec` names. The synthetic [`PinPoint`] pins down the exact
+/// coordinates, so the cache key matches across record/replay/simulate
+/// jobs on the same region.
+fn captured_region(
+    cache: &Arc<PipelineCache>,
+    w: &Workload,
+    spec: &JobSpec,
+) -> Result<Arc<Pinball>, String> {
+    let point = elfie::simpoint::PinPoint {
+        cluster: 0,
+        rank: 0,
+        slice_index: spec.start / spec.length.max(1),
+        weight: 1.0,
+        start_icount: spec.start,
+        length: spec.length,
+        warmup: 0,
+    };
+    let key = PipelineCache::pinball_key(w, &point);
+    cache
+        .pinball(key, || {
+            let trigger = if spec.start == 0 {
+                RegionTrigger::ProgramStart
+            } else {
+                RegionTrigger::GlobalIcount(spec.start)
+            };
+            Logger::new(LoggerConfig::fat(&w.name, trigger, spec.length))
+                .capture(&w.program, |m| w.setup(m))
+        })
+        .map_err(|e| format!("capture failed: {e}"))
+}
+
+fn simulator_by_name(name: &str) -> Result<Simulator, String> {
+    match name {
+        "sniper" => Ok(Simulator::sniper()),
+        "coresim" => Ok(Simulator::coresim_sde()),
+        "coresim-fs" => Ok(Simulator::coresim_simics()),
+        "gem5-nehalem" => Ok(Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like())),
+        "gem5-haswell" => Ok(Simulator::gem5_se(elfie::sim::CoreParams::haswell_like())),
+        other => Err(format!(
+            "unknown simulator `{other}` (sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_hash_is_stable_and_in_range() {
+        for shards in [1usize, 2, 4, 7] {
+            let a = shard_of("acme", "gcc_like", shards);
+            assert_eq!(a, shard_of("acme", "gcc_like", shards));
+            assert!(a < shards);
+        }
+        // Placement distinguishes tenant from workload bytes.
+        assert_ne!(
+            shard_of("ab", "c", 1 << 16),
+            shard_of("a", "bc", 1 << 16),
+            "tenant/workload boundary must be part of the key"
+        );
+    }
+
+    #[test]
+    fn tenant_validation_rejects_path_tricks() {
+        assert!(valid_tenant("acme"));
+        assert!(valid_tenant("team-7.staging"));
+        assert!(!valid_tenant(""));
+        assert!(!valid_tenant("a/b"));
+        assert!(!valid_tenant(".."));
+        assert!(!valid_tenant("a b"));
+        assert!(!valid_tenant(&"x".repeat(65)));
+    }
+
+    #[test]
+    fn invalid_tenant_is_rejected_before_any_queueing() {
+        let dir = std::env::temp_dir().join(format!("elfie-sched-rej-{}", std::process::id()));
+        let mut sched = Scheduler::start(dir.clone(), ServeConfig::default(), None);
+        match sched.submit("../evil", JobSpec::default()) {
+            Submitted::Rejected(msg) => assert!(msg.contains("invalid tenant"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(sched.jobs().is_empty(), "nothing was tabled");
+        sched.drain();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -464,8 +464,16 @@ impl Store {
         self.root.join("objects").join(format!("{id}.mf"))
     }
 
+    /// Whether `name` may be used as a ref name (and therefore as a
+    /// tenant-namespace fragment): non-empty, no path separators, no
+    /// parent traversal. The serve admission layer uses this to reject
+    /// bad tenants before any store I/O happens.
+    pub fn valid_ref_name(name: &str) -> bool {
+        !name.is_empty() && !name.contains('/') && !name.contains('\\') && !name.contains("..")
+    }
+
     fn ref_path(&self, name: &str) -> Result<PathBuf, StoreError> {
-        if name.is_empty() || name.contains('/') || name.contains("..") {
+        if !Self::valid_ref_name(name) {
             return Err(StoreError::Corrupt(format!("invalid ref name `{name}`")));
         }
         Ok(self.root.join("refs").join(name))

@@ -174,6 +174,17 @@ impl Json {
         }
         Ok(v)
     }
+
+    /// Parses a JSON document from raw bytes (a socket frame, a file),
+    /// validating UTF-8 first. Never panics on arbitrary input.
+    ///
+    /// # Errors
+    /// Returns a description of the invalid UTF-8 or the first syntax
+    /// error.
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("invalid utf-8: {e}"))?;
+        Json::parse(text)
+    }
 }
 
 fn write_seq(

@@ -43,6 +43,29 @@ impl InputScale {
             InputScale::Ref => 60,
         }
     }
+
+    /// The stable lower-case name (`test`/`train`/`ref`) used on the CLI
+    /// and in the serve protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputScale::Test => "test",
+            InputScale::Train => "train",
+            InputScale::Ref => "ref",
+        }
+    }
+
+    /// Parses the stable name.
+    ///
+    /// # Errors
+    /// Describes the unknown name and lists the valid ones.
+    pub fn parse(text: &str) -> Result<InputScale, String> {
+        match text {
+            "test" => Ok(InputScale::Test),
+            "train" => Ok(InputScale::Train),
+            "ref" => Ok(InputScale::Ref),
+            other => Err(format!("unknown scale `{other}` (test|train|ref)")),
+        }
+    }
 }
 
 /// A runnable benchmark.
@@ -140,6 +163,16 @@ pub fn suite_speed_mt(scale: InputScale, threads: usize) -> Vec<Workload> {
         generators::sweep3d_s_like(f, threads),
         generators::xz_s_like(f),
     ]
+}
+
+/// Looks up a workload by name across every suite the CLI lists (int,
+/// fp, and the 4-thread speed suite) at the given scale. `None` when no
+/// suite member carries that name.
+pub fn find_workload(name: &str, scale: InputScale) -> Option<Workload> {
+    let mut all = suite_int(scale);
+    all.extend(suite_fp(scale));
+    all.extend(suite_speed_mt(scale, 4));
+    all.into_iter().find(|w| w.name == name)
 }
 
 /// Nineteen applications for the gem5 Table V case study: the int and fp

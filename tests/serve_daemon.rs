@@ -1,0 +1,295 @@
+//! End-to-end contracts of the `elfie serve` daemon, over real loopback
+//! sockets:
+//!
+//! * ≥100 concurrent warm-cache `validate` jobs answer bit-identically
+//!   to offline `elfie validate` — with **zero** store writes;
+//! * admission control sheds an over-capacity burst with typed `busy`
+//!   responses;
+//! * a malformed frame gets a typed `error` and the connection
+//!   survives; an oversized frame gets a typed `error` and the stream
+//!   closes;
+//! * shutdown drains gracefully (every admitted job finishes);
+//! * startup failures are typed errors, never panics.
+
+use elfie::prelude::*;
+use elfie_serve::protocol::{read_frame, write_frame};
+use elfie_serve::{
+    Client, Daemon, FrameError, JobKind, JobSpec, Request, Response, ServeConfig, ServeError,
+};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("elfie-serve-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// The validate job every test fires: `tests/parallel_validation.rs`'s
+/// small knobs, fast enough for a debug build at 100-job scale.
+fn spec(workload: &str) -> JobSpec {
+    JobSpec {
+        kind: JobKind::Validate,
+        workload: workload.to_string(),
+        scale: "test".to_string(),
+        slice: 5_000,
+        warmup: 10_000,
+        maxk: 5,
+        seed: 42,
+        fuel: 50_000_000,
+        ..JobSpec::default()
+    }
+}
+
+/// What offline `elfie validate` prints for [`spec`] on `workload` —
+/// the exact bytes every daemon response must reproduce.
+fn offline_reference(workload: &str) -> String {
+    let w = elfie::workloads::find_workload(workload, InputScale::Test).expect("workload exists");
+    let cfg = PinPointsConfig {
+        slice_size: 5_000,
+        warmup: 10_000,
+        max_k: 5,
+        ..PinPointsConfig::default()
+    };
+    let (report, _) = BatchValidator::serial()
+        .validate(&w, &cfg, 42, 50_000_000)
+        .expect("offline validate");
+    elfie::render::validation_report(&w.name, &report)
+}
+
+#[test]
+fn hundred_concurrent_warm_jobs_match_offline_bit_for_bit() {
+    let dir = tmp("warm");
+    let daemon = Daemon::bind("127.0.0.1:0", &dir, ServeConfig::default(), None).expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let tenants = ["acme", "zephyr"];
+    let workloads = ["gcc_like", "mcf_like"];
+    let references: Vec<String> = workloads.iter().map(|w| offline_reference(w)).collect();
+
+    // Warm phase: one job per (tenant, workload). Each must already be
+    // bit-identical to the offline render.
+    let mut control = Client::connect(&addr).expect("connects");
+    for tenant in tenants {
+        for (w, reference) in workloads.iter().zip(&references) {
+            match control.submit(tenant, spec(w)).expect("submits") {
+                Response::Done { report, .. } => {
+                    assert_eq!(
+                        report, *reference,
+                        "warm {tenant}/{w} diverged from offline"
+                    )
+                }
+                other => panic!("warm {tenant}/{w}: {other:?}"),
+            }
+        }
+    }
+    let warm_stats = control.stats().expect("stats");
+    assert!(warm_stats.store_puts > 0, "warming must populate the store");
+    assert_eq!(warm_stats.failed, 0);
+
+    // Measured phase: 100 jobs from 8 concurrent client connections,
+    // round-robin over tenants and workloads.
+    const JOBS: usize = 100;
+    const CLIENTS: usize = 8;
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..CLIENTS {
+            let (next, done, addr, references) = (&next, &done, &addr, &references);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                loop {
+                    let job = next.fetch_add(1, Ordering::Relaxed);
+                    if job >= JOBS {
+                        break;
+                    }
+                    let w = job % workloads.len();
+                    let tenant = tenants[(job / workloads.len()) % tenants.len()];
+                    match client.submit(tenant, spec(workloads[w])).expect("submits") {
+                        Response::Done { report, .. } => {
+                            assert_eq!(
+                                report, references[w],
+                                "job {job} ({tenant}/{}) diverged from offline",
+                                workloads[w]
+                            );
+                            done.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("job {job}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(done.load(Ordering::Relaxed), JOBS);
+
+    // Zero store writes on a warm cache, and the daemon saw every job.
+    let end_stats = control.stats().expect("stats");
+    assert_eq!(
+        end_stats.store_puts, warm_stats.store_puts,
+        "warm-cache jobs must not write the store"
+    );
+    assert_eq!(end_stats.failed, 0);
+    assert_eq!(
+        end_stats.completed,
+        (JOBS + tenants.len() * workloads.len()) as u64
+    );
+    assert!(end_stats.peak_rss_bytes > 0, "jobs materialize guest pages");
+
+    // The job table saw everything finish.
+    let jobs = control.jobs().expect("jobs");
+    assert!(!jobs.is_empty());
+    assert!(jobs.iter().all(|j| j.state == "done"), "{jobs:?}");
+
+    // Graceful shutdown: the run thread joins and accounts for every job.
+    let drained = control.shutdown().expect("shutdown");
+    assert_eq!(drained, end_stats.completed);
+    let report = server.join().expect("daemon thread");
+    assert_eq!(report.completed, end_stats.completed);
+    assert_eq!(report.failed, 0);
+    assert!(report.connections > CLIENTS as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn over_capacity_burst_is_shed_with_typed_busy() {
+    let dir = tmp("busy");
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        &dir,
+        ServeConfig {
+            shards: 1,
+            queue_depth: 2,
+        },
+        None,
+    )
+    .expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    const BURST: usize = 12;
+    let done = AtomicUsize::new(0);
+    let busy = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..BURST {
+            let (addr, done, busy) = (&addr, &done, &busy);
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("connects");
+                match client.submit("burst", spec("gcc_like")).expect("submits") {
+                    Response::Done { .. } => done.fetch_add(1, Ordering::Relaxed),
+                    Response::Busy { shard, capacity } => {
+                        assert_eq!(shard, 0, "single-shard daemon");
+                        assert_eq!(capacity, 2);
+                        busy.fetch_add(1, Ordering::Relaxed)
+                    }
+                    other => panic!("burst: {other:?}"),
+                };
+            });
+        }
+    });
+    let (done, busy) = (done.load(Ordering::Relaxed), busy.load(Ordering::Relaxed));
+    assert_eq!(done + busy, BURST, "every submit answers done or busy");
+    assert!(done >= 1, "at least the running job completes");
+    assert!(busy >= 1, "a 2-deep queue must shed a {BURST}-wide burst");
+
+    let mut control = Client::connect(&addr).expect("connects");
+    let stats = control.stats().expect("stats");
+    assert_eq!(stats.rejected_busy, busy as u64);
+    assert_eq!(stats.completed, done as u64);
+    control.shutdown().expect("shutdown");
+    let report = server.join().expect("daemon thread");
+    assert_eq!(report.rejected_busy, busy as u64);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_frame_gets_typed_error_and_connection_survives() {
+    let dir = tmp("malformed");
+    let daemon = Daemon::bind("127.0.0.1:0", &dir, ServeConfig::default(), None).expect("binds");
+    let addr = daemon.local_addr();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // A well-framed payload that is not JSON: typed error, stream lives.
+    let garbage = b"not json at all";
+    let mut frame = (garbage.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(garbage);
+    use std::io::Write as _;
+    stream.write_all(&frame).unwrap();
+    match Response::from_json(&read_frame(&mut stream).expect("error frame")).expect("decodes") {
+        Response::Error { message } => assert!(message.contains("malformed"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Valid JSON, unknown request type: typed error, stream lives.
+    write_frame(
+        &mut stream,
+        &elfie::trace::json::Json::parse(r#"{"type":"warp"}"#).unwrap(),
+    )
+    .unwrap();
+    match Response::from_json(&read_frame(&mut stream).expect("error frame")).expect("decodes") {
+        Response::Error { message } => assert!(message.contains("warp"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+
+    // The same connection still serves real requests.
+    write_frame(&mut stream, &Request::Ping.to_json()).unwrap();
+    match Response::from_json(&read_frame(&mut stream).expect("pong frame")).expect("decodes") {
+        Response::Pong { protocol, .. } => {
+            assert_eq!(protocol, elfie_serve::PROTOCOL_VERSION)
+        }
+        other => panic!("{other:?}"),
+    }
+    drop(stream);
+
+    // An oversized length prefix: typed error, then the daemon closes.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(&(elfie_serve::MAX_FRAME + 1).to_be_bytes())
+        .unwrap();
+    match Response::from_json(&read_frame(&mut stream).expect("error frame")).expect("decodes") {
+        Response::Error { message } => assert!(message.contains("oversized"), "{message}"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        read_frame(&mut stream),
+        Err(FrameError::Closed),
+        "a desynchronized stream must be closed"
+    );
+
+    let mut control = Client::connect(&addr.to_string()).expect("connects");
+    control.shutdown().expect("shutdown");
+    server.join().expect("daemon thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn startup_failures_are_typed_errors_not_panics() {
+    // Store path exists but is a file.
+    let dir = tmp("startup");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, b"x").unwrap();
+    match Daemon::bind("127.0.0.1:0", &file, ServeConfig::default(), None) {
+        Err(ServeError::Store { dir: d, .. }) => assert_eq!(d, file),
+        other => panic!("{:?}", other.err()),
+    }
+
+    // Listen address already taken.
+    let taken = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = taken.local_addr().unwrap().to_string();
+    match Daemon::bind(&addr, &dir.join("store"), ServeConfig::default(), None) {
+        Err(ServeError::Bind { addr: a, .. }) => assert_eq!(a, addr),
+        other => panic!("{:?}", other.err()),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
