@@ -480,40 +480,9 @@ pub fn cmd_validate(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `elfie simulate <elfie-file> [--sim NAME] [--sysstate DIR]
-/// [--trace FILE] [--trace-mode M] [--stats-json FILE]`
-pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
-    let path = args.pos(0, "elfie-file")?;
-    let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
-    let topts = parse_trace_opts(args)?;
-    let mut sim = match args.opt("sim").unwrap_or("coresim") {
-        "sniper" => Simulator::sniper(),
-        "coresim" => Simulator::coresim_sde(),
-        "coresim-fs" => Simulator::coresim_simics(),
-        "gem5-nehalem" => Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like()),
-        "gem5-haswell" => Simulator::gem5_se(elfie::sim::CoreParams::haswell_like()),
-        other => {
-            return Err(err(format!(
-                "unknown simulator `{other}` (sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell)"
-            )))
-        }
-    };
-    if let Some(tracer) = &topts.tracer {
-        sim = sim.with_tracer(Arc::clone(tracer));
-    }
-    let sysstate = match args.opt("sysstate") {
-        Some(dir) => Some(
-            SysState::load_dir(Path::new(dir)).map_err(|e| err(format!("load sysstate: {e}")))?,
-        ),
-        None => None,
-    };
-    let out = simulate_elfie(&bytes, &sim, vec![], |m| {
-        if let Some(st) = &sysstate {
-            st.stage_files(m);
-        }
-    })
-    .map_err(|e| err(format!("load failed: {e}")))?;
-    let mut report = format!(
+/// The headline block every simulation report starts with.
+fn render_sim_outcome(sim: &Simulator, out: &elfie::sim::SimOutcome) -> String {
+    format!(
         "sim {}: exit {:?}\nuser insns {}  kernel insns {}  cycles {}  IPC {:.3}  runtime {} ns\n\
          L1D miss {}  L2 miss {}  L3 miss {}  dTLB miss {}  mispredicts {}  footprint {} lines\n{}",
         sim.params.name,
@@ -530,12 +499,199 @@ pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
         out.stats.mispredicts,
         out.stats.footprint_lines,
         elfie::render::vm_lines(&out.fastpath),
+    )
+}
+
+/// The pinball branch of `elfie simulate`: constrained replay, serial by
+/// default, sharded over interval snapshots when `--shards` or
+/// `--snapshot-interval` asks for it. `--snapshot-store DIR` persists the
+/// interval chain as parent-linked snapshot objects.
+fn simulate_pinball_report(args: &Args, pb: &Pinball, sim: &Simulator) -> Result<String, CliError> {
+    let shards = args.opt_u64("shards", 1)?.max(1) as usize;
+    let interval = args.opt_u64("snapshot-interval", 0)?;
+    let snapshot_store = args.opt("snapshot-store");
+    if shards <= 1 && interval == 0 && snapshot_store.is_none() {
+        let out = elfie::sim::simulate_pinball(pb, sim);
+        let mut report = render_sim_outcome(sim, &out);
+        report.push('\n');
+        let _ = writeln!(report, "replay: {} (serial)", pb.region.name);
+        return Ok(report);
+    }
+    let cfg = elfie::sim::ShardConfig {
+        shards,
+        interval: if interval == 0 {
+            elfie::sim::ShardConfig::default().interval
+        } else {
+            interval
+        },
+    };
+    let out = elfie::sim::simulate_pinball_sharded(pb, sim, &cfg);
+    let mut report = render_sim_outcome(sim, &out.outcome);
+    report.push('\n');
+    let _ = writeln!(
+        report,
+        "sharded: {} worker(s), {} slice(s), {} snapshot(s) ({} KB), interval {}",
+        out.workers,
+        out.slices.len(),
+        out.snapshots.len(),
+        out.snapshot_bytes / 1024,
+        cfg.interval,
     );
-    topts.finish(
-        &mut report,
-        &elfie::render::sim_stats_to_json(&out.fastpath),
-    )?;
+    let _ = writeln!(
+        report,
+        "wall: profile {} ms  simulate {} ms  stitch {} us  bbv slices {}",
+        out.profile_wall_ns / 1_000_000,
+        out.simulate_wall_ns / 1_000_000,
+        out.stitch_wall_ns / 1_000,
+        out.bbv.slice_count(),
+    );
+    if !out.summary.completed {
+        let _ = writeln!(report, "divergence: {:?}", out.summary.divergence);
+    }
+    if let Some(dir) = snapshot_store {
+        let store = open_store(Some(dir))?;
+        let mut parent = None;
+        for (k, s) in out.snapshots.iter().enumerate() {
+            let name = format!("snap.{}.{}", pb.region.name, k + 1);
+            parent = Some(
+                store
+                    .put_snapshot(&name, s, parent)
+                    .map_err(|e| err(format!("store snapshot: {e}")))?,
+            );
+        }
+        let _ = writeln!(
+            report,
+            "stored {} snapshot(s) as `snap.{}.*` in {dir}",
+            out.snapshots.len(),
+            pb.region.name
+        );
+    }
     Ok(report)
+}
+
+/// `elfie simulate <elfie-file | pinball-dir name | pinball-bundle>
+/// [--sim NAME] [--sysstate DIR] [--shards N] [--snapshot-interval N]
+/// [--snapshot-store DIR] [--trace FILE] [--trace-mode M]
+/// [--stats-json FILE]`
+///
+/// ELFie images go through the unconstrained program path. Pinball input
+/// — a pinball directory plus name, or a single `PBAL` bundle file — is
+/// simulated via constrained replay, where `--shards`/`--snapshot-interval`
+/// switch on sharded intra-region simulation (see `elfie-sim::shard`).
+pub fn cmd_simulate(args: &Args) -> Result<String, CliError> {
+    let path = args.pos(0, "elfie-file")?;
+    let topts = parse_trace_opts(args)?;
+    let mut sim = match args.opt("sim").unwrap_or("coresim") {
+        "sniper" => Simulator::sniper(),
+        "coresim" => Simulator::coresim_sde(),
+        "coresim-fs" => Simulator::coresim_simics(),
+        "gem5-nehalem" => Simulator::gem5_se(elfie::sim::CoreParams::nehalem_like()),
+        "gem5-haswell" => Simulator::gem5_se(elfie::sim::CoreParams::haswell_like()),
+        other => {
+            return Err(err(format!(
+                "unknown simulator `{other}` (sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell)"
+            )))
+        }
+    };
+    if let Some(tracer) = &topts.tracer {
+        sim = sim.with_tracer(Arc::clone(tracer));
+    }
+
+    // Pinball input: a directory (with the pinball name as the second
+    // positional, like `replay`) or a serialized `PBAL` bundle file.
+    let pinball = if Path::new(path).is_dir() {
+        Some(load_pinball(path, args.pos(1, "pinball name")?)?)
+    } else {
+        let bytes = std::fs::read(path).map_err(|e| err(format!("read {path}: {e}")))?;
+        if bytes.starts_with(b"PBAL") {
+            Some(Pinball::from_bytes(&bytes).map_err(|e| err(format!("load pinball: {e}")))?)
+        } else {
+            let sysstate = match args.opt("sysstate") {
+                Some(dir) => Some(
+                    SysState::load_dir(Path::new(dir))
+                        .map_err(|e| err(format!("load sysstate: {e}")))?,
+                ),
+                None => None,
+            };
+            let out = simulate_elfie(&bytes, &sim, vec![], |m| {
+                if let Some(st) = &sysstate {
+                    st.stage_files(m);
+                }
+            })
+            .map_err(|e| err(format!("load failed: {e}")))?;
+            let mut report = render_sim_outcome(&sim, &out);
+            topts.finish(
+                &mut report,
+                &elfie::render::sim_stats_to_json(&out.fastpath),
+            )?;
+            return Ok(report);
+        }
+    };
+
+    let pb = pinball.expect("pinball branch");
+    // A raw pinball carries no ROI markers — the captured region *is* the
+    // region of interest, so marker-armed simulators would model nothing.
+    sim.roi = elfie::sim::RoiMode::Always;
+    let mut report = simulate_pinball_report(args, &pb, &sim)?;
+    topts.finish(&mut report, &Json::Null)?;
+    Ok(report)
+}
+
+/// `elfie snapshot <ls|rm> [...] [--store DIR]`
+///
+/// Inspects the interval-snapshot chains `simulate --snapshot-store`
+/// persists. `ls` lists every snapshot object with its position in the
+/// region, delta size, and parent link — without materialising any delta
+/// pages. `rm` drops a snapshot ref (and refuses non-snapshot objects, so
+/// it cannot silently take a pinball down); blobs and parent manifests are
+/// reclaimed by `store gc` only once nothing downstream chains to them.
+pub fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
+    let store = open_store(args.opt("store"))?;
+    match args.pos(0, "snapshot subcommand")? {
+        "ls" => {
+            let entries = store.list().map_err(|e| err(format!("snapshot ls: {e}")))?;
+            let mut out = String::new();
+            let mut n = 0usize;
+            for e in &entries {
+                if e.kind != elfie::store::ObjectKind::Snapshot {
+                    continue;
+                }
+                let (meta, parent, delta_pages) = store
+                    .snapshot_info(&e.name)
+                    .map_err(|e2| err(format!("snapshot ls `{}`: {e2}", e.name)))?;
+                let _ = writeln!(
+                    out,
+                    "{} slice {:>3} @ {:>10} insns  {:>4} delta page(s)  parent {:<16}  {}",
+                    e.id,
+                    meta.slice_index,
+                    meta.global_icount,
+                    delta_pages,
+                    parent.map(|p| p.to_string()).unwrap_or_else(|| "-".into()),
+                    e.name
+                );
+                n += 1;
+            }
+            let _ = write!(out, "{n} snapshot(s)");
+            Ok(out)
+        }
+        "rm" => {
+            let name = args.pos(1, "name")?;
+            // Type-check first: `snapshot rm` must only ever drop
+            // snapshot refs.
+            store
+                .snapshot_info(name)
+                .map_err(|e| err(format!("snapshot rm: {e}")))?;
+            store
+                .remove(name)
+                .map_err(|e| err(format!("snapshot rm: {e}")))?;
+            Ok(format!(
+                "removed snapshot `{name}` (run `elfie store gc` to reclaim)"
+            ))
+        }
+        other => Err(err(format!(
+            "unknown snapshot subcommand `{other}` (ls|rm)"
+        ))),
+    }
 }
 
 /// `elfie trace <summarize|check> <file>` — inspects a `--trace` timeline
@@ -1003,6 +1159,16 @@ COMMANDS:
   simulate <file> [--sim sniper|coresim|coresim-fs|gem5-nehalem|gem5-haswell]
          [--sysstate DIR] [--trace FILE] [--stats-json FILE]
                                          simulate an ELFie
+  simulate <pinball-dir> <name> | <bundle-file> [--sim NAME] [--shards N]
+         [--snapshot-interval N] [--snapshot-store DIR]
+                                         simulate a pinball (constrained
+                                         replay); --shards fans interval
+                                         slices over a worker pool and
+                                         stitches a deterministic result
+  snapshot ls [--store DIR]              list stored interval snapshots
+                                         with their parent chain links
+  snapshot rm <name> [--store DIR]       drop a snapshot ref (store gc
+                                         reclaims unreachable deltas)
   trace summarize <file>                 roll up a --trace timeline, or
                                          render --stats-json back to text
   trace check <file>                     validate a trace/stats document
@@ -1057,6 +1223,7 @@ pub const COMMANDS: &[(&str, Handler)] = &[
     ("simulate", cmd_simulate),
     ("disasm", cmd_disasm),
     ("store", cmd_store),
+    ("snapshot", cmd_snapshot),
     ("trace", cmd_trace),
     ("bench", cmd_bench),
     ("serve", cmd_serve),
@@ -1314,6 +1481,23 @@ mod tests {
     }
 
     #[test]
+    fn every_usage_command_row_names_a_dispatched_command() {
+        for line in USAGE.lines() {
+            let Some(rest) = line.strip_prefix("  ") else {
+                continue;
+            };
+            if rest.starts_with(' ') {
+                continue; // continuation / description column
+            }
+            let word = rest.split([' ', '|']).next().unwrap();
+            assert!(
+                COMMANDS.iter().any(|(name, _)| *name == word),
+                "USAGE row `{word}` is not a dispatched command"
+            );
+        }
+    }
+
+    #[test]
     fn version_command_prints_workspace_version() {
         for argv_str in ["version", "--version", "-V"] {
             let out = dispatch(&argv(argv_str)).expect("version");
@@ -1533,6 +1717,78 @@ mod tests {
             .expect("summarize stats");
         let vm_block: Vec<&str> = out.lines().filter(|l| l.starts_with("vm ")).collect();
         assert_eq!(rendered, vm_block.join("\n"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_pinball_serial_sharded_and_snapshot_verbs() {
+        let dir = tmp("sim-pinball");
+        let pbdir = dir.join("pb");
+        dispatch(&argv(&format!(
+            "record mcf_like --scale test --start 20000 --length 6000 --out {}",
+            pbdir.display()
+        )))
+        .expect("record");
+
+        // Serial pinball simulation straight from the directory.
+        let out = dispatch(&argv(&format!(
+            "simulate {} mcf_like --sim gem5-haswell",
+            pbdir.display()
+        )))
+        .expect("simulate pinball dir");
+        assert!(out.contains("IPC"), "{out}");
+        assert!(out.contains("(serial)"), "{out}");
+        // Raw pinballs carry no ROI markers; the CLI must arm the timing
+        // model anyway or every figure renders as zero.
+        assert!(
+            !out.contains("user insns 0 "),
+            "pinball sim must model the region: {out}"
+        );
+
+        // Sharded simulation from a PBAL bundle file, persisting the
+        // snapshot chain into a store.
+        let pb = Pinball::load_dir(&pbdir, "mcf_like").expect("load");
+        let bundle = dir.join("mcf.pball");
+        std::fs::write(&bundle, pb.to_bytes()).unwrap();
+        let storedir = dir.join("repo");
+        let out = dispatch(&argv(&format!(
+            "simulate {} --sim gem5-haswell --shards 4 --snapshot-interval 1000 \
+             --snapshot-store {}",
+            bundle.display(),
+            storedir.display()
+        )))
+        .expect("simulate sharded");
+        assert!(out.contains("sharded:"), "{out}");
+        assert!(out.contains("stored"), "{out}");
+
+        // The chain is visible, parent-linked, and type-safe to remove.
+        let ls = dispatch(&argv(&format!(
+            "snapshot ls --store {}",
+            storedir.display()
+        )))
+        .expect("snapshot ls");
+        assert!(ls.contains("snap.mcf_like.0.1"), "{ls}");
+        assert!(ls.contains("snap.mcf_like.0.2"), "{ls}");
+        assert!(!ls.contains("0 snapshot(s)"), "{ls}");
+        assert!(dispatch(&argv(&format!(
+            "snapshot rm nothere --store {}",
+            storedir.display()
+        )))
+        .is_err());
+
+        // Dropping the first link must not let gc sweep it: later
+        // snapshots still chain to it through parent manifests.
+        dispatch(&argv(&format!(
+            "snapshot rm snap.mcf_like.0.1 --store {}",
+            storedir.display()
+        )))
+        .expect("snapshot rm");
+        let out =
+            dispatch(&argv(&format!("store gc --store {}", storedir.display()))).expect("store gc");
+        assert!(
+            out.contains("removed 0 manifest(s)"),
+            "chain keeps parents alive: {out}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

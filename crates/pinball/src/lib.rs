@@ -22,10 +22,12 @@
 //! buffer for in-memory use and sharing.
 
 pub mod arena;
+pub mod snapshot;
 pub mod wire;
 
 pub use arena::{ArenaStats, PageArena, PageData, PAGE_BYTES};
 use elfie_trace::json::Json;
+pub use snapshot::{CacheSnap, KernelSnap, Snapshot, SnapshotMeta, ThreadSnap, ThreadStateSnap};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;

@@ -48,4 +48,6 @@ pub mod logger;
 pub mod replay;
 
 pub use logger::{CaptureError, LogObserver, Logger, LoggerConfig, ARCH_ID};
-pub use replay::{BootMode, Divergence, ReplayConfig, ReplaySummary, Replayer};
+pub use replay::{
+    BootMode, Divergence, ReplayConfig, ReplaySession, ReplaySummary, Replayer, SessionStep,
+};

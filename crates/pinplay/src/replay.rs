@@ -13,7 +13,10 @@
 //! of an ELFie" and is the recommended way to debug ELFie failures.
 
 use elfie_isa::page_align_up;
-use elfie_pinball::{PageRecord, PageSource, Pinball, SyscallEffect};
+use elfie_pinball::{
+    CacheSnap, KernelSnap, PageRecord, PageSource, Pinball, RegImage, Snapshot, SnapshotMeta,
+    SyscallEffect, ThreadSnap, ThreadStateSnap,
+};
 use elfie_trace::Tracer;
 use elfie_vm::{
     nr, Fault, Machine, MachineConfig, MemError, Memory, NullObserver, Observer, Perm,
@@ -131,7 +134,7 @@ impl fmt::Display for Divergence {
 }
 
 /// The result of a replay run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplaySummary {
     /// True when every thread reached its recorded instruction count
     /// (replay "always terminates after the desired number of
@@ -379,17 +382,125 @@ impl Replayer {
         setup: impl FnOnce(&mut Machine<O>),
     ) -> (ReplaySummary, Machine<O>) {
         let mut run_span = elfie_trace::maybe_span(self.tracer.as_ref(), "replay", "replay");
-        let (mut m, mut tid_map) = self.build_machine_with(pinball, obs);
-        setup(&mut m);
+        let mut session = self.session_with(pinball, obs, source, setup);
+        session.run_until(None);
+        let (summary, m) = session.finish();
+        run_span.arg("icount", summary.global_icount);
+        run_span.arg("injected_syscalls", summary.injected_syscalls);
+        run_span.arg("lazy_pages", summary.lazy_pages_injected);
+        run_span.arg("completed", summary.completed as u64);
+        (summary, m)
+    }
 
+    /// Starts an incremental replay of `pinball` from region entry. The
+    /// returned [`ReplaySession`] exposes the same execution
+    /// [`Replayer::replay_full_with_source`] performs, but pausable at
+    /// instruction-count boundaries — the building block for interval
+    /// snapshots and sharded simulation.
+    pub fn session_with<'a, O: Observer>(
+        &self,
+        pinball: &'a Pinball,
+        obs: O,
+        source: Option<&'a dyn PageSource>,
+        setup: impl FnOnce(&mut Machine<O>),
+    ) -> ReplaySession<'a, O> {
+        let (mut m, tid_map) = self.build_machine_with(pinball, obs);
+        setup(&mut m);
+        let spawn_queue: VecDeque<u32> = pinball
+            .threads
+            .iter()
+            .filter(|t| t.spawned)
+            .map(|t| t.tid)
+            .collect();
+        self.make_session(pinball, source, m, tid_map, spawn_queue, None)
+    }
+
+    /// Starts an incremental replay of `pinball` *mid-region*, from a
+    /// [`Snapshot`] previously captured by [`ReplaySession::capture`]
+    /// under the same configuration. Memory boots `Shared` from the boot
+    /// image with the snapshot's delta pages overriding it (zero-copy
+    /// arena handles either way); threads, kernel state, the
+    /// replay-injection position and the hardware-model caches are
+    /// restored exactly, so the continued execution — architectural state
+    /// *and* cycle counts — is bit-identical to a run that never paused.
+    pub fn resume_with<'a, O: Observer>(
+        &self,
+        pinball: &'a Pinball,
+        snapshot: &Snapshot,
+        obs: O,
+        source: Option<&'a dyn PageSource>,
+    ) -> ReplaySession<'a, O> {
+        let mut m = Machine::with_observer(self.cfg.machine.clone(), obs);
+        let dropped: std::collections::BTreeSet<u64> = snapshot.dropped.iter().copied().collect();
+        for (&addr, page) in &pinball.image.pages {
+            if dropped.contains(&addr) || snapshot.delta.contains_key(&addr) {
+                continue;
+            }
+            self.boot_page(&mut m.mem, addr, page);
+        }
+        for (&addr, rec) in &snapshot.delta {
+            self.boot_page(&mut m.mem, addr, rec);
+        }
+        m.kernel
+            .set_brk(snapshot.kernel.brk_start, snapshot.kernel.brk);
+        m.kernel.cwd = snapshot.kernel.cwd.clone();
+        m.kernel.stdout = snapshot.kernel.stdout.clone();
+        let mut tid_map = HashMap::new();
+        for snap in &snapshot.threads {
+            let machine_tid = m.add_thread(snap.regs.to_regfile());
+            debug_assert_eq!(machine_tid, snap.machine_tid, "dense machine tids");
+            tid_map.insert(machine_tid, snap.orig_tid);
+            let t = &mut m.threads[machine_tid as usize];
+            t.state = match snap.state {
+                ThreadStateSnap::Runnable => ThreadState::Runnable,
+                ThreadStateSnap::FutexWait(addr) => ThreadState::FutexWait(addr),
+                ThreadStateSnap::Exited(code) => ThreadState::Exited(code),
+            };
+            t.icount = snap.icount;
+            t.cycles = snap.cycles;
+            t.exit_counter.target = snap.exit_target;
+            t.exit_counter.count = snap.exit_count;
+            t.exit_counter.fired = snap.exit_fired;
+        }
+        if let [l1d, l2] = &snapshot.caches[..] {
+            m.hw_mut().restore_state(&[
+                (l1d.tags.clone(), l1d.hits, l1d.misses),
+                (l2.tags.clone(), l2.hits, l2.misses),
+            ]);
+        }
+        m.restore_counters(snapshot.meta.global_icount, snapshot.meta.cycles);
+        let spawn_queue: VecDeque<u32> = pinball
+            .threads
+            .iter()
+            .filter(|t| t.spawned)
+            .map(|t| t.tid)
+            .skip(snapshot.meta.spawns_adopted as usize)
+            .collect();
+        self.make_session(pinball, source, m, tid_map, spawn_queue, Some(snapshot))
+    }
+
+    fn make_session<'a, O: Observer>(
+        &self,
+        pinball: &'a Pinball,
+        source: Option<&'a dyn PageSource>,
+        mut m: Machine<O>,
+        tid_map: HashMap<u32, u32>,
+        spawn_queue: VecDeque<u32>,
+        snapshot: Option<&Snapshot>,
+    ) -> ReplaySession<'a, O> {
         let state = Rc::new(RefCell::new(InjectState {
             queues: pinball
                 .threads
                 .iter()
-                .map(|t| (t.tid, t.syscalls.iter().cloned().collect()))
+                .map(|t| {
+                    let consumed = snapshot
+                        .and_then(|s| s.consumed_syscalls.get(&t.tid).copied())
+                        .unwrap_or(0) as usize;
+                    (t.tid, t.syscalls.iter().skip(consumed).cloned().collect())
+                })
                 .collect(),
             tid_map: tid_map.clone(),
-            injected: 0,
+            injected: snapshot.map_or(0, |s| s.meta.injected_syscalls),
             divergence: None,
             brk_start: pinball.meta.brk_start,
             tracer: self.tracer.clone(),
@@ -399,39 +510,127 @@ impl Replayer {
                 state: Rc::clone(&state),
             }));
         }
+        ReplaySession {
+            replayer: self.clone(),
+            pinball,
+            source,
+            m,
+            tid_map,
+            state,
+            targets: pinball.region.thread_icounts.clone(),
+            spawn_queue,
+            race_ptr: snapshot.map_or(0, |s| s.meta.race_ptr as usize),
+            fuel: self
+                .cfg
+                .fuel
+                .saturating_sub(snapshot.map_or(0, |s| s.meta.fuel_spent)),
+            lazy_injected: snapshot.map_or(0, |s| s.meta.lazy_pages_injected),
+            divergence: None,
+            finished: false,
+        }
+    }
+}
 
-        let targets: BTreeMap<u32, u64> = pinball.region.thread_icounts.clone();
-        let mut spawn_queue: VecDeque<u32> = pinball
-            .threads
-            .iter()
-            .filter(|t| t.spawned)
-            .map(|t| t.tid)
-            .collect();
-        let races = &pinball.races.order;
-        let mut race_ptr = 0usize;
-        let mut fuel = self.cfg.fuel;
-        let mut lazy_injected = 0u64;
-        let mut divergence: Option<Divergence> = None;
+/// What [`ReplaySession::run_until`] stopped on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStep {
+    /// The instruction-count boundary was reached; the session is paused
+    /// at a capture-consistent point (call [`ReplaySession::capture`],
+    /// then run on).
+    Paused,
+    /// The region finished — every thread reached its recorded count, or
+    /// the replay diverged. Call [`ReplaySession::finish`].
+    Done,
+}
 
+/// An in-flight constrained replay that can pause at instruction-count
+/// boundaries, capture resumable [`Snapshot`]s, and continue — or be
+/// created directly *at* such a boundary from a snapshot
+/// ([`Replayer::resume_with`]).
+///
+/// The pause point is pinned to the top of the replay scheduling loop
+/// (after spawned-thread adoption, before the next round-robin sweep), so
+/// a session resumed from a capture walks exactly the state sequence the
+/// capturing session walked: same interleaving, same injections, same
+/// cycle charges. That invariant is what lets sharded simulation prove
+/// bit-identity against serial replay.
+///
+/// Snapshot capture assumes the pinball's pages were booted from the
+/// region's memory image (any [`BootMode`]); with a lazy [`PageSource`]
+/// the delta simply lists every faulted-in page. Capture/resume is
+/// supported for *injection* replays (the default); injection-less
+/// replays re-execute file syscalls whose kernel state a snapshot does
+/// not carry.
+pub struct ReplaySession<'a, O: Observer = NullObserver> {
+    replayer: Replayer,
+    pinball: &'a Pinball,
+    source: Option<&'a dyn PageSource>,
+    m: Machine<O>,
+    tid_map: HashMap<u32, u32>,
+    state: Rc<RefCell<InjectState>>,
+    targets: BTreeMap<u32, u64>,
+    spawn_queue: VecDeque<u32>,
+    race_ptr: usize,
+    fuel: u64,
+    lazy_injected: u64,
+    divergence: Option<Divergence>,
+    finished: bool,
+}
+
+impl<'a, O: Observer> ReplaySession<'a, O> {
+    /// The replay machine (memory, threads, kernel, observer).
+    pub fn machine(&self) -> &Machine<O> {
+        &self.m
+    }
+
+    /// Machine-global retired instructions so far.
+    pub fn global_icount(&self) -> u64 {
+        self.m.global_icount()
+    }
+
+    /// True once [`ReplaySession::run_until`] returned [`SessionStep::Done`].
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Runs the replay until the machine-global instruction count reaches
+    /// `boundary` (checked at the top of each scheduling sweep — the
+    /// session may overshoot by up to one sweep, deterministically) or the
+    /// region completes/diverges. `None` runs to completion.
+    pub fn run_until(&mut self, boundary: Option<u64>) -> SessionStep {
+        if self.finished {
+            return SessionStep::Done;
+        }
+        let races = &self.pinball.races.order;
+        let cfg = &self.replayer.cfg;
         'outer: loop {
             // Adopt any threads spawned since the last sweep.
-            while tid_map.len() < m.threads.len() {
-                let machine_tid = tid_map.len() as u32;
-                let orig = spawn_queue.pop_front().unwrap_or(machine_tid);
-                tid_map.insert(machine_tid, orig);
-                state.borrow_mut().tid_map.insert(machine_tid, orig);
+            while self.tid_map.len() < self.m.threads.len() {
+                let machine_tid = self.tid_map.len() as u32;
+                let orig = self.spawn_queue.pop_front().unwrap_or(machine_tid);
+                self.tid_map.insert(machine_tid, orig);
+                self.state.borrow_mut().tid_map.insert(machine_tid, orig);
             }
 
-            let n = m.threads.len();
+            // Pause exactly here: producer (capturing) and consumer
+            // (resumed) sessions both stop at this loop point, so their
+            // states coincide.
+            if let Some(b) = boundary {
+                if self.m.global_icount() >= b {
+                    return SessionStep::Paused;
+                }
+            }
+
+            let n = self.m.threads.len();
             let mut progressed = false;
             for idx in 0..n {
-                let orig = tid_map[&(idx as u32)];
+                let orig = self.tid_map[&(idx as u32)];
                 // Threads that reached their recorded count are done.
-                let target = targets.get(&orig).copied().unwrap_or(0);
-                if m.threads[idx].is_runnable() && m.threads[idx].icount >= target {
-                    m.threads[idx].state = ThreadState::Exited(0);
+                let target = self.targets.get(&orig).copied().unwrap_or(0);
+                if self.m.threads[idx].is_runnable() && self.m.threads[idx].icount >= target {
+                    self.m.threads[idx].state = ThreadState::Exited(0);
                 }
-                if !m.threads[idx].is_runnable() {
+                if !self.m.threads[idx].is_runnable() {
                     continue;
                 }
                 // Run a slice, respecting atomic-order constraints. Only
@@ -442,34 +641,34 @@ impl Replayer {
                 // an eager (fat) boot of the same checkpoint.
                 let mut retired_in_slice = 0;
                 while retired_in_slice < 64 {
-                    if fuel == 0 {
-                        divergence = Some(Divergence::OutOfFuel);
+                    if self.fuel == 0 {
+                        self.divergence = Some(Divergence::OutOfFuel);
                         break 'outer;
                     }
-                    if m.threads[idx].icount >= target {
-                        m.threads[idx].state = ThreadState::Exited(0);
+                    if self.m.threads[idx].icount >= target {
+                        self.m.threads[idx].state = ThreadState::Exited(0);
                         break;
                     }
                     let mut is_atomic = false;
-                    if self.cfg.enforce_order {
-                        if let Some((insn, _)) = m.peek_insn(idx) {
-                            if insn.is_atomic() && race_ptr < races.len() {
-                                if races[race_ptr].tid != orig {
+                    if cfg.enforce_order {
+                        if let Some((insn, _)) = self.m.peek_insn(idx) {
+                            if insn.is_atomic() && self.race_ptr < races.len() {
+                                if races[self.race_ptr].tid != orig {
                                     break; // stalled: not this thread's turn
                                 }
                                 is_atomic = true;
                             }
                         }
                     }
-                    fuel -= 1;
-                    match m.step_thread(idx) {
+                    self.fuel -= 1;
+                    match self.m.step_thread(idx) {
                         ThreadStep::Retired
                         | ThreadStep::SyscallRetired
                         | ThreadStep::Marker(..) => {
                             progressed = true;
                             retired_in_slice += 1;
                             if is_atomic {
-                                race_ptr += 1;
+                                self.race_ptr += 1;
                             }
                         }
                         ThreadStep::NotRunnable => break,
@@ -485,15 +684,15 @@ impl Replayer {
                             };
                             let page = addr.map(elfie_isa::page_base);
                             if let Some(p) = page {
-                                let rec = match pinball.lazy_pages.get(&p) {
+                                let rec = match self.pinball.lazy_pages.get(&p) {
                                     Some(rec) => Some(rec.clone()),
-                                    None => source.and_then(|s| s.fetch_page(p)),
+                                    None => self.source.and_then(|s| s.fetch_page(p)),
                                 };
                                 if let Some(rec) = rec {
-                                    self.boot_page(&mut m.mem, p, &rec);
-                                    m.mem.record_lazy_fault();
-                                    lazy_injected += 1;
-                                    if let Some(tracer) = &self.tracer {
+                                    self.replayer.boot_page(&mut self.m.mem, p, &rec);
+                                    self.m.mem.record_lazy_fault();
+                                    self.lazy_injected += 1;
+                                    if let Some(tracer) = &self.replayer.tracer {
                                         tracer.instant(
                                             "replay",
                                             "lazy_fault",
@@ -505,48 +704,161 @@ impl Replayer {
                                     // bounded by the page count, and an
                                     // eager boot of the same checkpoint
                                     // never pays them.
-                                    fuel += 1;
+                                    self.fuel += 1;
                                     continue;
                                 }
                             }
-                            divergence = Some(Divergence::Fault {
+                            self.divergence = Some(Divergence::Fault {
                                 tid: orig,
                                 what: format!("{fault}"),
                             });
                             break 'outer;
                         }
                     }
-                    if state.borrow().divergence.is_some() {
-                        divergence = state.borrow().divergence.clone();
+                    if self.state.borrow().divergence.is_some() {
+                        self.divergence = self.state.borrow().divergence.clone();
                         break 'outer;
                     }
                 }
             }
 
-            let all_done = m.threads.iter().enumerate().all(|(idx, t)| {
-                let orig = tid_map[&(idx as u32)];
-                t.is_exited() || t.icount >= targets.get(&orig).copied().unwrap_or(0)
+            let all_done = self.m.threads.iter().enumerate().all(|(idx, t)| {
+                let orig = self.tid_map[&(idx as u32)];
+                t.is_exited() || t.icount >= self.targets.get(&orig).copied().unwrap_or(0)
             });
             if all_done {
                 break;
             }
             if !progressed {
-                divergence = Some(Divergence::Stall);
+                self.divergence = Some(Divergence::Stall);
                 break;
             }
         }
+        self.finished = true;
+        SessionStep::Done
+    }
 
-        let per_thread: BTreeMap<u32, u64> = m
+    /// Captures a resumable [`Snapshot`] of the paused session: the dirty
+    /// page delta against the pinball's boot image, per-thread state, the
+    /// replay-injection position, kernel facts and the hardware-model
+    /// caches. Call only when [`ReplaySession::run_until`] returned
+    /// [`SessionStep::Paused`] (or before the first run).
+    ///
+    /// Clean pages are detected in O(1) each: a frame still `Shared` with
+    /// the boot image's arena payload cannot have been written. Privatised
+    /// (`Owned`) frames are byte-compared — a page written and then
+    /// restored to its boot contents stays out of the delta, which keeps
+    /// chains minimal.
+    pub fn capture(&self, slice_index: u64, interval: u64) -> Snapshot {
+        let image = &self.pinball.image.pages;
+        let mut delta = BTreeMap::new();
+        let mut mapped = std::collections::BTreeSet::new();
+        for (addr, perm, bytes, shared) in self.m.mem.pages_with_sharing() {
+            mapped.insert(addr);
+            let clean = match (image.get(&addr), shared) {
+                (Some(boot), Some(payload)) => {
+                    Arc::ptr_eq(payload, &boot.data) && perm == Perm::from_bits(boot.perm)
+                }
+                (Some(boot), None) => {
+                    perm == Perm::from_bits(boot.perm) && bytes[..] == boot.data[..]
+                }
+                (None, _) => false,
+            };
+            if !clean {
+                delta.insert(addr, PageRecord::new(perm.bits(), bytes));
+            }
+        }
+        let dropped: Vec<u64> = image
+            .keys()
+            .copied()
+            .filter(|a| !mapped.contains(a))
+            .collect();
+        let st = self.state.borrow();
+        let consumed_syscalls: BTreeMap<u32, u64> = self
+            .pinball
+            .threads
+            .iter()
+            .map(|t| {
+                let remaining = st.queues.get(&t.tid).map_or(0, |q| q.len());
+                (t.tid, (t.syscalls.len() - remaining) as u64)
+            })
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        let spawned_total = self.pinball.threads.iter().filter(|t| t.spawned).count();
+        let caches = self
+            .m
+            .hw()
+            .export_state()
+            .into_iter()
+            .map(|(tags, hits, misses)| CacheSnap { tags, hits, misses })
+            .collect();
+        Snapshot {
+            meta: SnapshotMeta {
+                slice_index,
+                interval,
+                global_icount: self.m.global_icount(),
+                cycles: self.m.cycles(),
+                fuel_spent: self.replayer.cfg.fuel - self.fuel,
+                race_ptr: self.race_ptr as u64,
+                spawns_adopted: (spawned_total - self.spawn_queue.len()) as u64,
+                injected_syscalls: st.injected,
+                lazy_pages_injected: self.lazy_injected,
+            },
+            threads: self
+                .m
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(idx, t)| ThreadSnap {
+                    machine_tid: idx as u32,
+                    orig_tid: self.tid_map[&(idx as u32)],
+                    regs: RegImage::from(&t.regs),
+                    state: match t.state {
+                        ThreadState::Runnable => ThreadStateSnap::Runnable,
+                        ThreadState::FutexWait(addr) => ThreadStateSnap::FutexWait(addr),
+                        ThreadState::Exited(code) => ThreadStateSnap::Exited(code),
+                    },
+                    icount: t.icount,
+                    cycles: t.cycles,
+                    exit_target: t.exit_counter.target,
+                    exit_count: t.exit_counter.count,
+                    exit_fired: t.exit_counter.fired,
+                })
+                .collect(),
+            consumed_syscalls,
+            kernel: KernelSnap {
+                brk_start: self.m.kernel.brk_start(),
+                brk: self.m.kernel.brk(),
+                cwd: self.m.kernel.cwd.clone(),
+                stdout: self.m.kernel.stdout.clone(),
+            },
+            caches,
+            delta,
+            dropped,
+        }
+    }
+
+    /// Consumes the session and assembles the [`ReplaySummary`] plus the
+    /// final machine — identical to what
+    /// [`Replayer::replay_full_with_source`] returns. For a session that
+    /// ran to [`SessionStep::Done`] after resuming from a snapshot, every
+    /// cumulative field (icounts, cycles, injected counts, stdout) equals
+    /// the serial run's, because the snapshot carried the prefix totals.
+    pub fn finish(self) -> (ReplaySummary, Machine<O>) {
+        let per_thread: BTreeMap<u32, u64> = self
+            .m
             .threads
             .iter()
             .enumerate()
-            .map(|(idx, t)| (tid_map[&(idx as u32)], t.icount))
+            .map(|(idx, t)| (self.tid_map[&(idx as u32)], t.icount))
             .collect();
-        let completed = divergence.is_none()
-            && targets
+        let completed = self.divergence.is_none()
+            && self.finished
+            && self
+                .targets
                 .iter()
                 .all(|(tid, target)| per_thread.get(tid).copied().unwrap_or(0) >= *target);
-        if let (Some(tracer), Some(d)) = (&self.tracer, &divergence) {
+        if let (Some(tracer), Some(d)) = (&self.replayer.tracer, &self.divergence) {
             let kind = match d {
                 Divergence::SyscallMismatch { .. } => 1,
                 Divergence::LogUnderrun { .. } => 2,
@@ -558,18 +870,14 @@ impl Replayer {
         }
         let summary = ReplaySummary {
             completed,
-            divergence,
-            global_icount: m.global_icount(),
+            divergence: self.divergence,
+            global_icount: self.m.global_icount(),
             per_thread,
-            cycles: m.cycles(),
-            injected_syscalls: state.borrow().injected,
-            lazy_pages_injected: lazy_injected,
-            stdout: m.kernel.stdout.clone(),
+            cycles: self.m.cycles(),
+            injected_syscalls: self.state.borrow().injected,
+            lazy_pages_injected: self.lazy_injected,
+            stdout: self.m.kernel.stdout.clone(),
         };
-        run_span.arg("icount", summary.global_icount);
-        run_span.arg("injected_syscalls", summary.injected_syscalls);
-        run_span.arg("lazy_pages", summary.lazy_pages_injected);
-        run_span.arg("completed", summary.completed as u64);
-        (summary, m)
+        (summary, self.m)
     }
 }

@@ -1,0 +1,357 @@
+//! Sharded intra-region simulation over interval snapshots.
+//!
+//! Detailed timing simulation of a long region is serial in the region
+//! length; this module cuts that dependence to `O(region / workers)` wall
+//! time. A fast *profiling pass* (functional replay with a
+//! [`BbvCollector`] observer — no timing model) captures an interval
+//! [`Snapshot`] of the replay session every `interval` instructions. The
+//! resulting `K + 1` slices are then fanned out over a worker pool: each
+//! worker boots a fresh [`TimingObserver`] machine from its slice's
+//! snapshot (the first slice boots from the pinball itself), runs to the
+//! next snapshot's recorded instruction boundary, and reports per-slice
+//! statistics. A deterministic *stitch* merges the per-slice results in
+//! slice order.
+//!
+//! # Determinism contract
+//!
+//! * The **functional** execution is bit-identical to serial replay at any
+//!   interval: resuming from a snapshot reproduces the exact state
+//!   sequence of the capturing session (proven byte-for-byte by the
+//!   `snapshot_resume` tests in `elfie-pinplay`). The final slice's
+//!   [`ReplaySummary`], per-thread instruction counts, and VM fast-path
+//!   instruction count therefore equal the serial run's.
+//! * The **stitched timing outcome is a pure function of the interval**:
+//!   it does not depend on the worker count, because the slice boundaries
+//!   are fixed by the profiling pass and every slice simulates in
+//!   isolation. `shards = 1, 2, 8, …` all produce the identical
+//!   [`SimOutcome`].
+//! * With `interval >= region length` the profiling pass emits **zero
+//!   snapshots**, the single slice is an ordinary constrained replay, and
+//!   the stitched outcome equals [`simulate_pinball`]'s exactly.
+//!
+//! What sharding *does* change, deliberately, is micro-architectural
+//! warm-up: each slice starts with cold simulator caches and branch
+//! predictors, so for `K > 0` the stitched cycle count differs from the
+//! serial one in the same way SimPoint-style sampled simulation differs
+//! from whole-program simulation. The per-slice footprint cardinalities
+//! are summed (see [`SimStats::absorb`]).
+//!
+//! [`simulate_pinball`]: crate::drivers::simulate_pinball
+
+use crate::core::{SimStats, TimingObserver};
+use crate::drivers::{collect_icounts, SimOutcome, Simulator};
+use elfie_pinball::{Pinball, Snapshot};
+use elfie_pinplay::{ReplayConfig, ReplaySession, ReplaySummary, Replayer, SessionStep};
+use elfie_simpoint::{BbvCollector, BbvProfile};
+use elfie_vm::{ExitReason, FastPathStats};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Configuration for [`simulate_pinball_sharded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Worker threads simulating slices concurrently. `0` and `1` both
+    /// mean serial slice execution (the slicing itself still happens).
+    pub shards: usize,
+    /// Snapshot interval in retired instructions. A snapshot is captured
+    /// at the first scheduling boundary at or after each multiple of the
+    /// interval; an interval at least as long as the region yields a
+    /// single slice.
+    pub interval: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 1,
+            interval: 10_000_000,
+        }
+    }
+}
+
+/// Per-slice accounting from a sharded run, in slice order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceReport {
+    /// Slice index (0 = from the pinball boot image).
+    pub index: usize,
+    /// Global instruction count the slice started at.
+    pub start_icount: u64,
+    /// Global instruction count the slice ended at.
+    pub end_icount: u64,
+    /// Instructions the timing model charged in this slice.
+    pub insns: u64,
+    /// Simulated cycles of this slice (max across cores).
+    pub cycles: u64,
+    /// Host wall nanoseconds the slice took to simulate.
+    pub wall_ns: u64,
+}
+
+/// The result of a sharded simulation: the stitched timing outcome plus
+/// the artifacts of the profiling pass (snapshot chain, BBV profile) and
+/// the scheduling accounting the bench/trace layers report.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome {
+    /// Stitched timing outcome (see the module docs for semantics).
+    pub outcome: SimOutcome,
+    /// Replay summary of the final slice — bit-identical to a serial
+    /// replay's summary.
+    pub summary: ReplaySummary,
+    /// BBV profile collected by the profiling pass, with one vector per
+    /// `interval` instructions (aligned with the slice schedule).
+    pub bbv: BbvProfile,
+    /// The interval snapshot chain, in capture order. Callers may persist
+    /// it (e.g. `Store::put_snapshot` with each element's predecessor as
+    /// the parent) or drop it.
+    pub snapshots: Vec<Snapshot>,
+    /// Per-slice accounting, in slice order.
+    pub slices: Vec<SliceReport>,
+    /// Total serialized bytes of the snapshot chain.
+    pub snapshot_bytes: u64,
+    /// Worker threads actually used (capped at the slice count).
+    pub workers: usize,
+    /// Host wall nanoseconds of the profiling pass.
+    pub profile_wall_ns: u64,
+    /// Host wall nanoseconds of the fan-out simulation phase.
+    pub simulate_wall_ns: u64,
+    /// Host wall nanoseconds of the stitch.
+    pub stitch_wall_ns: u64,
+}
+
+/// What one worker brings home from a slice.
+struct SliceOut {
+    report: SliceReport,
+    stats: SimStats,
+    runtime_ns: u64,
+    fastpath: FastPathStats,
+    /// `Some` only for the slice that ran to completion: the canonical
+    /// replay summary and the final per-thread retired counts.
+    fin: Option<(ReplaySummary, BTreeMap<u32, u64>)>,
+}
+
+fn replayer_for(sim: &Simulator) -> Replayer {
+    let mut replayer = Replayer::new(ReplayConfig {
+        machine: sim.machine_config(),
+        ..ReplayConfig::default()
+    });
+    if let Some(tracer) = &sim.tracer {
+        replayer = replayer.with_tracer(Arc::clone(tracer));
+    }
+    replayer
+}
+
+/// Runs the profiling pass: a functional replay under a [`BbvCollector`]
+/// that pauses at every interval boundary to capture a snapshot. Returns
+/// the chain, the BBV profile, and the profiling pass's summary.
+fn profile_pass(
+    pinball: &Pinball,
+    sim: &Simulator,
+    replayer: &Replayer,
+    interval: u64,
+) -> (Vec<Snapshot>, BbvProfile, ReplaySummary) {
+    let mut span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "shard_profile");
+    let mut session = replayer.session_with(pinball, BbvCollector::new(interval), None, |_| {});
+    let mut snaps: Vec<Snapshot> = Vec::new();
+    let mut boundary = interval;
+    while session.run_until(Some(boundary)) == SessionStep::Paused {
+        snaps.push(session.capture(snaps.len() as u64 + 1, interval));
+        // A single scheduling turn can cross several boundaries when the
+        // interval is finer than the thread quantum; skip to the next
+        // multiple strictly ahead of where the pause actually landed.
+        boundary = (session.global_icount() / interval + 1).saturating_mul(interval);
+    }
+    let (summary, mut m) = session.finish();
+    let bbv = std::mem::replace(&mut m.obs, BbvCollector::new(interval)).finish();
+    span.arg("snapshots", snaps.len() as u64);
+    span.arg("icount", summary.global_icount);
+    (snaps, bbv, summary)
+}
+
+/// Simulates one slice under a cold [`TimingObserver`] and packages the
+/// per-slice statistics.
+fn run_slice(
+    pinball: &Pinball,
+    sim: &Simulator,
+    replayer: &Replayer,
+    snaps: &[Snapshot],
+    index: usize,
+) -> SliceOut {
+    let t0 = Instant::now();
+    let mut span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "shard_slice");
+    span.arg("slice", index as u64);
+    let mut sess: ReplaySession<'_, TimingObserver> = match index.checked_sub(1) {
+        None => replayer.session_with(pinball, sim.observer(), None, |_| {}),
+        Some(prev) => replayer.resume_with(pinball, &snaps[prev], sim.observer(), None),
+    };
+    let start_icount = sess.global_icount();
+    let step = match snaps.get(index) {
+        Some(next) => sess.run_until(Some(next.meta.global_icount)),
+        None => sess.run_until(None),
+    };
+    let (end_icount, stats, cycles, runtime_ns, mut fastpath, fin) = if step == SessionStep::Done {
+        let (summary, m) = sess.finish();
+        (
+            summary.global_icount,
+            m.obs.stats(),
+            m.obs.cycles(),
+            m.obs.runtime_ns(),
+            m.fastpath_stats(),
+            Some((summary, collect_icounts(&m))),
+        )
+    } else {
+        let m = sess.machine();
+        (
+            m.global_icount(),
+            m.obs.stats(),
+            m.obs.cycles(),
+            m.obs.runtime_ns(),
+            m.fastpath_stats(),
+            None,
+        )
+    };
+    // A resumed machine's global icount (which `fastpath.insns` mirrors)
+    // was restored to the snapshot's value; every other fast-path counter
+    // starts at zero in the freshly-booted slice machine. Subtracting the
+    // start makes the whole struct slice-local, so the stitch can sum it.
+    fastpath.insns = fastpath.insns.saturating_sub(start_icount);
+    let insns = stats.user_insns + stats.kernel_insns;
+    span.arg("start", start_icount);
+    span.arg("end", end_icount);
+    span.arg("insns", insns);
+    span.arg("cycles", cycles);
+    SliceOut {
+        report: SliceReport {
+            index,
+            start_icount,
+            end_icount,
+            insns,
+            cycles,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        },
+        stats,
+        runtime_ns,
+        fastpath,
+        fin,
+    }
+}
+
+/// Simulates a pinball by fanning interval slices out over a worker pool
+/// and stitching the per-slice results deterministically.
+///
+/// See the module docs for the determinism contract. The stitch merges in
+/// slice order: counters sum ([`SimStats::absorb`]), cycles and simulated
+/// runtime sum across consecutive slices, the exit reason and per-thread
+/// retired counts come from the final slice, and VM fast-path counters
+/// accumulate across slices (the profiling pass's functional work is *not*
+/// included in the stitched fast-path counters).
+///
+/// # Panics
+/// Panics if no slice runs to completion, which cannot happen for a
+/// snapshot chain produced by the internal profiling pass over the same
+/// deterministic replay.
+pub fn simulate_pinball_sharded(
+    pinball: &Pinball,
+    sim: &Simulator,
+    cfg: &ShardConfig,
+) -> ShardedOutcome {
+    let interval = cfg.interval.max(1);
+    let mut span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "simulate_sharded");
+    span.arg("shards", cfg.shards as u64);
+    span.arg("interval", interval);
+    let replayer = replayer_for(sim);
+
+    // Phase 1: profiling pass (functional; emits the snapshot chain).
+    let t0 = Instant::now();
+    let (snaps, bbv, _profile_summary) = profile_pass(pinball, sim, &replayer, interval);
+    let snapshot_bytes: u64 = snaps.iter().map(|s| s.to_bytes().len() as u64).sum();
+    let profile_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    // Phase 2: fan the K + 1 slices out over the worker pool.
+    let t1 = Instant::now();
+    let nslices = snaps.len() + 1;
+    let workers = cfg.shards.max(1).min(nslices);
+    let outs: Vec<SliceOut> = if workers <= 1 {
+        (0..nslices)
+            .map(|i| run_slice(pinball, sim, &replayer, &snaps, i))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SliceOut>>> = (0..nslices).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= nslices {
+                        break;
+                    }
+                    let out = run_slice(pinball, sim, &replayer, &snaps, i);
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("every slice ran"))
+            .collect()
+    };
+    let simulate_wall_ns = t1.elapsed().as_nanos() as u64;
+
+    // Phase 3: deterministic stitch, in slice order.
+    let t2 = Instant::now();
+    let mut stitch_span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "shard_stitch");
+    let mut stats = SimStats::default();
+    let mut cycles: u64 = 0;
+    let mut runtime_ns: u64 = 0;
+    let mut fastpath = FastPathStats::default();
+    let mut slices = Vec::with_capacity(nslices);
+    let mut fin = None;
+    for o in outs {
+        stats.absorb(&o.stats);
+        cycles = cycles.saturating_add(o.report.cycles);
+        runtime_ns = runtime_ns.saturating_add(o.runtime_ns);
+        fastpath.accumulate(o.fastpath);
+        if o.fin.is_some() {
+            fin = o.fin;
+        }
+        slices.push(o.report);
+    }
+    let (summary, machine_icounts) = fin.expect("final slice runs to completion");
+    let exit = if summary.completed {
+        ExitReason::AllExited(0)
+    } else {
+        ExitReason::Deadlock // divergence; detail in summary
+    };
+    let cycles = cycles.max(1);
+    let insns = stats.user_insns + stats.kernel_insns;
+    let outcome = SimOutcome {
+        ipc: insns as f64 / cycles as f64,
+        cpi: cycles as f64 / insns.max(1) as f64,
+        stats,
+        cycles,
+        runtime_ns,
+        exit,
+        machine_icounts,
+        fastpath,
+    };
+    let stitch_wall_ns = t2.elapsed().as_nanos() as u64;
+    stitch_span.arg("slices", nslices as u64);
+    stitch_span.arg("snapshot_bytes", snapshot_bytes);
+    drop(stitch_span);
+    span.arg("slices", nslices as u64);
+    span.arg("cycles", outcome.cycles);
+    span.arg("insns", insns);
+
+    ShardedOutcome {
+        outcome,
+        summary,
+        bbv,
+        snapshots: snaps,
+        slices,
+        snapshot_bytes,
+        workers,
+        profile_wall_ns,
+        simulate_wall_ns,
+        stitch_wall_ns,
+    }
+}

@@ -44,7 +44,7 @@ pub mod profiles;
 
 use codec::{Codec, CodecError};
 use elfie_pinball::wire::{Reader, WireError, Writer};
-use elfie_pinball::{MemoryImage, PageRecord, Pinball, PinballError};
+use elfie_pinball::{MemoryImage, PageRecord, Pinball, PinballError, Snapshot, SnapshotMeta};
 use elfie_trace::Tracer;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -125,6 +125,10 @@ pub enum ObjectKind {
     Elfie,
     /// An uninterpreted byte stream (cached artifacts, profiles).
     Raw,
+    /// An interval snapshot: state blob + delta page table, chained to an
+    /// optional parent manifest (the previous snapshot in the interval
+    /// sequence).
+    Snapshot,
 }
 
 impl ObjectKind {
@@ -133,6 +137,7 @@ impl ObjectKind {
             ObjectKind::Pinball => 0,
             ObjectKind::Elfie => 1,
             ObjectKind::Raw => 2,
+            ObjectKind::Snapshot => 3,
         }
     }
 
@@ -141,6 +146,7 @@ impl ObjectKind {
             0 => Some(ObjectKind::Pinball),
             1 => Some(ObjectKind::Elfie),
             2 => Some(ObjectKind::Raw),
+            3 => Some(ObjectKind::Snapshot),
             _ => None,
         }
     }
@@ -152,6 +158,7 @@ impl fmt::Display for ObjectKind {
             ObjectKind::Pinball => write!(f, "pinball"),
             ObjectKind::Elfie => write!(f, "elfie"),
             ObjectKind::Raw => write!(f, "raw"),
+            ObjectKind::Snapshot => write!(f, "snapshot"),
         }
     }
 }
@@ -195,6 +202,10 @@ struct Manifest {
     lazy_pages: Vec<PageRef>,
     /// Byte-stream only: ordered chunks.
     chunks: Vec<ChunkRef>,
+    /// Snapshot only: the previous manifest in the interval chain. GC
+    /// marking follows this link, so an ancestor is never collected while
+    /// any descendant is referenced.
+    parent: Option<ObjectId>,
 }
 
 impl Manifest {
@@ -224,6 +235,19 @@ impl Manifest {
                     w.u64(c.len);
                 }
             }
+            ObjectKind::Snapshot => {
+                let (state, state_len) = self.skeleton.expect("snapshot manifest has state blob");
+                w.u8(u8::from(self.parent.is_some()));
+                w.u64(self.parent.map_or(0, |p| p.0));
+                w.u64(state);
+                w.u64(state_len);
+                w.u64(self.image_pages.len() as u64);
+                for p in &self.image_pages {
+                    w.u64(p.addr);
+                    w.u8(p.perm);
+                    w.u64(p.blob);
+                }
+            }
         }
         w.into_bytes()
     }
@@ -242,22 +266,23 @@ impl Manifest {
             image_pages: Vec::new(),
             lazy_pages: Vec::new(),
             chunks: Vec::new(),
+            parent: None,
+        };
+        let read_table = |r: &mut Reader| -> Result<Vec<PageRef>, StoreError> {
+            let n = r.u64()?;
+            let mut table = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                table.push(PageRef {
+                    addr: r.u64()?,
+                    perm: r.u8()?,
+                    blob: r.u64()?,
+                });
+            }
+            Ok(table)
         };
         match kind {
             ObjectKind::Pinball => {
                 m.skeleton = Some((r.u64()?, r.u64()?));
-                let read_table = |r: &mut Reader| -> Result<Vec<PageRef>, StoreError> {
-                    let n = r.u64()?;
-                    let mut table = Vec::with_capacity(n.min(1 << 20) as usize);
-                    for _ in 0..n {
-                        table.push(PageRef {
-                            addr: r.u64()?,
-                            perm: r.u8()?,
-                            blob: r.u64()?,
-                        });
-                    }
-                    Ok(table)
-                };
                 m.image_pages = read_table(&mut r)?;
                 m.lazy_pages = read_table(&mut r)?;
             }
@@ -269,6 +294,13 @@ impl Manifest {
                         len: r.u64()?,
                     });
                 }
+            }
+            ObjectKind::Snapshot => {
+                let has_parent = r.u8()? != 0;
+                let parent = r.u64()?;
+                m.parent = has_parent.then_some(ObjectId(parent));
+                m.skeleton = Some((r.u64()?, r.u64()?));
+                m.image_pages = read_table(&mut r)?;
             }
         }
         if !r.is_exhausted() {
@@ -609,6 +641,7 @@ impl Store {
             image_pages,
             lazy_pages,
             chunks: Vec::new(),
+            parent: None,
         })
     }
 
@@ -710,6 +743,7 @@ impl Store {
             image_pages: Vec::new(),
             lazy_pages: Vec::new(),
             chunks,
+            parent: None,
         })
     }
 
@@ -775,6 +809,124 @@ impl Store {
     /// [`StoreError::Corrupt`] on integrity violations.
     pub fn get_raw(&self, name: &str) -> Result<Vec<u8>, StoreError> {
         Ok(self.get_stream(name)?.1)
+    }
+
+    /// Loads a manifest by object id (not through a ref), verifying its
+    /// content hash. Used to walk snapshot parent chains.
+    fn manifest_by_id(&self, id: ObjectId) -> Result<Manifest, StoreError> {
+        let bytes = std::fs::read(self.object_path(id))
+            .map_err(|_| StoreError::NotFound(format!("manifest {id}")))?;
+        if ObjectId(elfie_isa::fnv64(&bytes)) != id {
+            return Err(StoreError::Corrupt(format!("manifest {id} hash mismatch")));
+        }
+        Manifest::from_bytes(&bytes)
+    }
+
+    /// Stores an interval snapshot under `name`, chained to `parent` (the
+    /// previous snapshot's object id, or `None` for the first in the
+    /// chain). The non-memory state becomes one blob; each delta page
+    /// becomes a content-addressed blob, so pages repeated across a chain
+    /// — or identical to another workload's — cost nothing new.
+    ///
+    /// # Errors
+    /// Returns [`StoreError`] on filesystem failures.
+    pub fn put_snapshot(
+        &self,
+        name: &str,
+        snapshot: &Snapshot,
+        parent: Option<ObjectId>,
+    ) -> Result<ObjectId, StoreError> {
+        let mut span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "put_snapshot", name),
+            None => elfie_trace::Span::disabled(),
+        };
+        let mut image_pages = Vec::with_capacity(snapshot.delta.len());
+        let mut logical = 0u64;
+        for (&addr, page) in &snapshot.delta {
+            logical += page.data.len() as u64;
+            image_pages.push(PageRef {
+                addr,
+                perm: page.perm,
+                blob: self.put_blob(&page.data[..])?,
+            });
+        }
+        let state = snapshot.state_to_bytes();
+        logical += state.len() as u64;
+        let state_len = state.len() as u64;
+        let state_blob = self.put_blob(&state)?;
+        span.arg("logical_bytes", logical);
+        span.arg("delta_pages", image_pages.len() as u64);
+        self.put_manifest(&Manifest {
+            kind: ObjectKind::Snapshot,
+            name: name.to_string(),
+            logical,
+            skeleton: Some((state_blob, state_len)),
+            image_pages,
+            lazy_pages: Vec::new(),
+            chunks: Vec::new(),
+            parent,
+        })
+    }
+
+    /// Loads the snapshot stored under `name`, returning it together with
+    /// its parent's object id (the rest of the chain), bit-identical to
+    /// what [`Store::put_snapshot`] was given.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] on integrity violations.
+    pub fn get_snapshot(&self, name: &str) -> Result<(Snapshot, Option<ObjectId>), StoreError> {
+        let _span = match &self.tracer {
+            Some(t) => t.span_labeled("store", "get_snapshot", name),
+            None => elfie_trace::Span::disabled(),
+        };
+        let (_, m) = self.manifest(name)?;
+        if m.kind != ObjectKind::Snapshot {
+            return Err(StoreError::Corrupt(format!(
+                "`{name}` is a {} object, not a snapshot",
+                m.kind
+            )));
+        }
+        let (state_hash, _) = m.skeleton.ok_or_else(|| {
+            StoreError::Corrupt(format!("snapshot manifest `{name}` lacks a state blob"))
+        })?;
+        let mut snapshot = Snapshot::from_state_bytes(&self.get_blob(state_hash)?)?;
+        for p in &m.image_pages {
+            let data = self.get_blob(p.blob)?;
+            let rec = PageRecord::from_slice(p.perm, &data).ok_or_else(|| {
+                StoreError::Corrupt(format!("page blob {:016x} is not page-sized", p.blob))
+            })?;
+            snapshot.delta.insert(p.addr, rec);
+        }
+        Ok((snapshot, m.parent))
+    }
+
+    /// Light-weight snapshot inspection: decodes the manifest and the
+    /// state blob only — no delta pages are fetched — returning the
+    /// snapshot's metadata, its parent's object id, and the number of
+    /// delta pages recorded in the manifest. This is what `snapshot ls`
+    /// uses to render a chain without materialising it.
+    ///
+    /// # Errors
+    /// Returns [`StoreError::NotFound`] for unknown names and
+    /// [`StoreError::Corrupt`] when `name` is not a snapshot or fails
+    /// integrity checks.
+    pub fn snapshot_info(
+        &self,
+        name: &str,
+    ) -> Result<(SnapshotMeta, Option<ObjectId>, u64), StoreError> {
+        let (_, m) = self.manifest(name)?;
+        if m.kind != ObjectKind::Snapshot {
+            return Err(StoreError::Corrupt(format!(
+                "`{name}` is a {} object, not a snapshot",
+                m.kind
+            )));
+        }
+        let (state_hash, _) = m.skeleton.ok_or_else(|| {
+            StoreError::Corrupt(format!("snapshot manifest `{name}` lacks a state blob"))
+        })?;
+        let snapshot = Snapshot::from_state_bytes(&self.get_blob(state_hash)?)?;
+        Ok((snapshot.meta, m.parent, m.image_pages.len() as u64))
     }
 
     /// True when an object named `name` exists.
@@ -892,7 +1044,9 @@ impl Store {
                 report.errors.push(format!("blob {hash:016x}: {e}"));
             }
         }
-        for (id, path) in self.all_manifest_files()? {
+        let manifest_files = self.all_manifest_files()?;
+        let manifest_ids: BTreeSet<ObjectId> = manifest_files.iter().map(|&(id, _)| id).collect();
+        for (id, path) in manifest_files {
             report.objects_checked += 1;
             let check = || -> Result<(), StoreError> {
                 let bytes = std::fs::read(&path)?;
@@ -904,6 +1058,13 @@ impl Store {
                     if !on_disk.contains(&blob) {
                         return Err(StoreError::Corrupt(format!(
                             "references missing blob {blob:016x}"
+                        )));
+                    }
+                }
+                if let Some(parent) = m.parent {
+                    if !manifest_ids.contains(&parent) {
+                        return Err(StoreError::Corrupt(format!(
+                            "references missing parent manifest {parent}"
                         )));
                     }
                 }
@@ -923,21 +1084,34 @@ impl Store {
     }
 
     /// Mark-and-sweep garbage collection: everything reachable from a ref
-    /// (its manifest and every blob that manifest references) is live;
-    /// unreachable manifests and blobs are deleted. A referenced blob is
-    /// therefore never collected.
+    /// (its manifest, every blob that manifest references, and — for
+    /// chained snapshot manifests — the whole parent-manifest chain) is
+    /// live; unreachable manifests and blobs are deleted. A referenced
+    /// blob is therefore never collected, and a snapshot chain's ancestor
+    /// survives as long as any descendant is referenced, even when the
+    /// ancestor's own ref was removed.
     ///
     /// # Errors
-    /// Returns [`StoreError`] if a live ref or manifest cannot be read
-    /// (gc refuses to sweep when it cannot compute the full live set).
+    /// Returns [`StoreError`] if a live ref, manifest or parent manifest
+    /// cannot be read (gc refuses to sweep when it cannot compute the
+    /// full live set).
     pub fn gc(&self) -> Result<GcReport, StoreError> {
-        // Mark.
+        // Mark: seed the worklist with every ref's manifest, then follow
+        // parent links transitively.
         let mut live_manifests = BTreeSet::new();
         let mut live_blobs = BTreeSet::new();
+        let mut queue: Vec<(ObjectId, Manifest)> = Vec::new();
         for name in self.ref_names()? {
-            let (id, m) = self.manifest(&name)?;
-            live_manifests.insert(id);
+            queue.push(self.manifest(&name)?);
+        }
+        while let Some((id, m)) = queue.pop() {
+            if !live_manifests.insert(id) {
+                continue;
+            }
             live_blobs.extend(m.blob_refs());
+            if let Some(parent) = m.parent {
+                queue.push((parent, self.manifest_by_id(parent)?));
+            }
         }
         // Sweep.
         let mut report = GcReport::default();
@@ -1161,6 +1335,84 @@ mod tests {
         assert_eq!(report.blobs_removed, 1, "old blob swept");
         assert_eq!(store.get_raw("x").unwrap(), vec![2u8; 1000]);
         assert!(store.verify().unwrap().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn snap(slice: u64, seeds: &[(u64, u8)]) -> Snapshot {
+        let mut s = Snapshot {
+            meta: elfie_pinball::SnapshotMeta {
+                slice_index: slice,
+                interval: 1000,
+                global_icount: slice * 1000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        for &(addr, fill) in seeds {
+            s.delta
+                .insert(addr, PageRecord::new(0b011, &[fill; CHUNK_SIZE]));
+        }
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip_with_parent_chain() {
+        let dir = tmp("snap");
+        let store = Store::open(&dir).unwrap();
+        let a = snap(1, &[(0x1000, 7)]);
+        let b = snap(2, &[(0x1000, 7), (0x2000, 9)]);
+        let ida = store.put_snapshot("s1", &a, None).unwrap();
+        let idb = store.put_snapshot("s2", &b, Some(ida)).unwrap();
+        assert_ne!(ida, idb);
+        let (back_a, pa) = store.get_snapshot("s1").unwrap();
+        let (back_b, pb) = store.get_snapshot("s2").unwrap();
+        assert_eq!(back_a, a);
+        assert_eq!(back_b, b);
+        assert_eq!(pa, None);
+        assert_eq!(pb, Some(ida));
+        // The repeated 0x1000 page dedups to one blob.
+        let s = store.stats().unwrap();
+        assert!(s.dedup_ratio() > 1.0, "chain pages dedup");
+        assert!(store.verify().unwrap().is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_follows_snapshot_parent_chains() {
+        // Regression test: gc used to mark only per-ref manifests, so
+        // removing an ancestor's ref while a descendant stayed referenced
+        // collected the ancestor manifest (and any blobs only it named) —
+        // breaking the chain `verify` and any later chain walk.
+        let dir = tmp("gc-chain");
+        let store = Store::open(&dir).unwrap();
+        let s1 = snap(1, &[(0x1000, 1)]);
+        let s2 = snap(2, &[(0x2000, 2)]);
+        let s3 = snap(3, &[(0x3000, 3)]);
+        let id1 = store.put_snapshot("c1", &s1, None).unwrap();
+        let id2 = store.put_snapshot("c2", &s2, Some(id1)).unwrap();
+        let _id3 = store.put_snapshot("c3", &s3, Some(id2)).unwrap();
+        // Drop the two ancestors' refs; only the tip stays referenced.
+        store.remove("c1").unwrap();
+        store.remove("c2").unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(
+            report.manifests_removed, 0,
+            "ancestors of a live chain tip must survive gc"
+        );
+        assert_eq!(report.blobs_removed, 0, "ancestor-only blobs must survive");
+        assert!(
+            store.verify().unwrap().is_ok(),
+            "chain intact after gc: {:?}",
+            store.verify().unwrap().errors
+        );
+        // Walk the chain by ids to prove the ancestors are still loadable.
+        let (_, parent) = store.get_snapshot("c3").unwrap();
+        assert_eq!(parent, Some(id2));
+        // Once the tip ref goes too, the whole chain is garbage.
+        store.remove("c3").unwrap();
+        let report = store.gc().unwrap();
+        assert_eq!(report.manifests_removed, 3, "whole chain swept");
+        assert!(report.blobs_removed >= 3);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,7 +3,7 @@
 
 use elfie_pinball::{
     MemoryImage, PageRecord, Pinball, PinballMeta, RaceLog, RegImage, RegionInfo, RegionTrigger,
-    ThreadRecord,
+    Snapshot, SnapshotMeta, ThreadRecord,
 };
 use elfie_store::{ObjectKind, Store};
 use proptest::prelude::*;
@@ -228,4 +228,82 @@ proptest! {
         prop_assert_eq!(store.get_elfie("e").unwrap(), data);
         std::fs::remove_dir_all(&dir).ok();
     }
+
+    #[test]
+    fn any_snapshot_delta_reconstructs_bit_identically(
+        // Per boot page: 0 = clean, 1 = dirtied (new content), 2 = dropped.
+        fates in proptest::collection::vec(0u8..3, 0..8),
+        extra in proptest::collection::vec(any::<u64>(), 0..4),
+        salt in any::<u32>(),
+    ) {
+        let dir = tmp(&format!("prop-snap-{salt:x}"));
+        let store = Store::open(&dir).unwrap();
+        let boot = make_pinball("p", &(1..=fates.len() as u64).collect::<Vec<_>>()).image;
+        let mut s = Snapshot {
+            meta: SnapshotMeta { slice_index: 1, global_icount: 1234, ..Default::default() },
+            ..Default::default()
+        };
+        let mut expect = boot.pages.clone();
+        for (i, (&fate, (&addr, _))) in fates.iter().zip(&boot.pages).enumerate() {
+            match fate {
+                1 => {
+                    let rec = page(0x9000 + i as u64, 0b011);
+                    s.delta.insert(addr, rec.clone());
+                    expect.insert(addr, rec);
+                }
+                2 => {
+                    s.dropped.push(addr);
+                    expect.remove(&addr);
+                }
+                _ => {}
+            }
+        }
+        for (i, seed) in extra.iter().enumerate() {
+            // Newly-mapped pages outside the boot image.
+            let addr = 0x9000_0000 + (i * PAGE) as u64;
+            let rec = page(*seed, 0b111);
+            s.delta.insert(addr, rec.clone());
+            expect.insert(addr, rec);
+        }
+        store.put_snapshot("s", &s, None).unwrap();
+        let (back, parent) = store.get_snapshot("s").unwrap();
+        prop_assert_eq!(parent, None);
+        prop_assert_eq!(&back, &s);
+        prop_assert_eq!(back.to_bytes(), s.to_bytes());
+        prop_assert_eq!(back.reconstruct_pages(&boot), expect);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn empty_delta_snapshot_reconstructs_the_boot_image() {
+    let dir = tmp("snap-empty");
+    let store = Store::open(&dir).unwrap();
+    let boot = make_pinball("p", &[1, 2, 3]).image;
+    let s = Snapshot::default();
+    store.put_snapshot("s", &s, None).unwrap();
+    let (back, _) = store.get_snapshot("s").unwrap();
+    assert!(back.delta.is_empty());
+    assert_eq!(back.reconstruct_pages(&boot), boot.pages);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_pages_dirty_snapshot_overrides_every_boot_page() {
+    let dir = tmp("snap-all-dirty");
+    let store = Store::open(&dir).unwrap();
+    let boot = make_pinball("p", &[1, 2, 3, 4]).image;
+    let mut s = Snapshot::default();
+    for (i, &addr) in boot.pages.keys().collect::<Vec<_>>().iter().enumerate() {
+        s.delta.insert(*addr, page(0x77 + i as u64, 0b011));
+    }
+    store.put_snapshot("s", &s, None).unwrap();
+    let (back, _) = store.get_snapshot("s").unwrap();
+    let pages = back.reconstruct_pages(&boot);
+    assert_eq!(pages.len(), boot.pages.len());
+    for (addr, rec) in &pages {
+        assert_eq!(rec.data, s.delta[addr].data, "page {addr:#x} overridden");
+        assert_ne!(rec.data, boot.pages[addr].data);
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

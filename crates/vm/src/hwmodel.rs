@@ -84,6 +84,22 @@ impl DirectCache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Exports the full cache state (line tags, hits, misses) so a
+    /// snapshot can make a resumed run's timing bit-identical.
+    pub fn export_state(&self) -> (Vec<u64>, u64, u64) {
+        (self.tags.clone(), self.hits, self.misses)
+    }
+
+    /// Restores a previously exported state. Ignores a tag vector of the
+    /// wrong length (different geometry) rather than corrupting the sets.
+    pub fn restore_state(&mut self, tags: &[u64], hits: u64, misses: u64) {
+        if tags.len() == self.tags.len() {
+            self.tags.copy_from_slice(tags);
+        }
+        self.hits = hits;
+        self.misses = misses;
+    }
 }
 
 /// Latency parameters of the hardware model.
@@ -185,6 +201,18 @@ impl HwModel {
         let (h1, m1) = self.l1d.stats();
         let (h2, m2) = self.l2.stats();
         (h1, m1, h2, m2)
+    }
+
+    /// Exports both cache levels' state (`[l1d, l2]`, each as the tuple
+    /// [`DirectCache::export_state`] returns) for snapshot capture.
+    pub fn export_state(&self) -> [(Vec<u64>, u64, u64); 2] {
+        [self.l1d.export_state(), self.l2.export_state()]
+    }
+
+    /// Restores both cache levels from [`HwModel::export_state`] output.
+    pub fn restore_state(&mut self, state: &[(Vec<u64>, u64, u64); 2]) {
+        self.l1d.restore_state(&state[0].0, state[0].1, state[0].2);
+        self.l2.restore_state(&state[1].0, state[1].1, state[1].2);
     }
 }
 

@@ -395,6 +395,22 @@ impl<O: Observer> Machine<O> {
         &self.hw
     }
 
+    /// Mutable access to the hardware timing model, so a snapshot restore
+    /// can re-install captured cache state before resuming.
+    pub fn hw_mut(&mut self) -> &mut HwModel {
+        &mut self.hw
+    }
+
+    /// Overwrites the machine-lifetime instruction and cycle counters.
+    /// Used when resuming from a mid-run snapshot: the counters continue
+    /// from the captured values so every downstream figure (cycles,
+    /// wall-clock, per-thread accounting) is bit-identical to the
+    /// uninterrupted run.
+    pub fn restore_counters(&mut self, global_icount: u64, cycles: u64) {
+        self.global_icount = global_icount;
+        self.cycle = cycles;
+    }
+
     /// The process exit code recorded so far.
     pub fn exit_code(&self) -> i32 {
         self.exit_code

@@ -675,6 +675,24 @@ impl Memory {
         })
     }
 
+    /// Iterates mapped pages exposing their sharing status: the fourth
+    /// element is `Some(payload)` while the frame is still a zero-copy
+    /// `Shared` view of an arena payload, `None` once a write privatised
+    /// it. Snapshot capture uses the `Arc` identity to detect clean pages
+    /// in O(1) instead of comparing bytes.
+    pub fn pages_with_sharing(
+        &self,
+    ) -> impl Iterator<Item = (u64, Perm, &[u8; PAGE_SIZE as usize], Option<&PageData>)> {
+        self.index.iter().map(|(&a, &s)| {
+            let p = self.page(s);
+            let shared = match &p.frame {
+                Frame::Shared(data) => Some(data),
+                Frame::Owned(_) => None,
+            };
+            (a, p.perm, p.frame.bytes(), shared)
+        })
+    }
+
     /// Reads `buf.len()` bytes starting at `addr` (may cross pages).
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         let off = (addr % PAGE_SIZE) as usize;

@@ -181,6 +181,7 @@ fn checked_in_baselines_follow_the_v1_schema() {
         "BENCH_mem.json",
         "BENCH_trace.json",
         "BENCH_fleet.json",
+        "BENCH_shard.json",
     ] {
         assert!(
             found.iter().any(|n| n == required),

@@ -1,0 +1,208 @@
+//! Sharded-simulation differential suite: for every workload generator,
+//! sharded simulation must be *deterministic in the interval and invariant
+//! in the worker count*, and functionally bit-identical to serial replay.
+//!
+//! Checked per workload, per interval {fine, coarse}, per shard count
+//! {1, 2, 8}:
+//!
+//! * the stitched outcome (stats, cycles, runtime, per-thread icounts, VM
+//!   fast-path counters), the snapshot chain, the slice schedule and the
+//!   BBV fingerprint are identical across shard counts;
+//! * the final-slice replay summary equals a plain serial replay's, and a
+//!   session resumed from the *last* snapshot reaches the serial run's
+//!   exact final memory + register state (FNV digest over every mapped
+//!   page, every thread's registers, and the global counters);
+//! * with a coarse interval (no snapshots) the outcome equals
+//!   `simulate_pinball` exactly, fast-path counters included;
+//! * the BBV profile equals an independent serial collection.
+
+use elfie_isa::Fnv64;
+use elfie_pinball::{RegImage, RegionTrigger};
+use elfie_pinplay::{Logger, LoggerConfig, ReplayConfig, Replayer, SessionStep};
+use elfie_sim::{simulate_pinball, simulate_pinball_sharded, CoreParams, ShardConfig, Simulator};
+use elfie_simpoint::BbvCollector;
+use elfie_vm::{Machine, MachineConfig, NullObserver, Observer};
+use elfie_workloads::{suite_fp, suite_int, suite_speed_mt, InputScale, Workload};
+
+const TRIGGER: u64 = 2_000;
+const REGION: u64 = 8_000;
+const FINE: u64 = 600;
+const COARSE: u64 = 10_000_000; // >= region: zero snapshots, one slice
+
+/// Architectural digest of a final machine: every mapped page (address,
+/// permissions, contents), every thread's registers and counters, and the
+/// machine-global counters.
+fn machine_digest<O: Observer>(m: &Machine<O>) -> u64 {
+    let mut h = Fnv64::new();
+    for (addr, perm, bytes) in m.mem.pages() {
+        h = h.u64(addr).u64(perm.bits() as u64).bytes(bytes);
+    }
+    for t in &m.threads {
+        let regs = RegImage::from(&t.regs);
+        for g in regs.gpr {
+            h = h.u64(g);
+        }
+        h = h
+            .u64(regs.rip)
+            .u64(regs.rflags)
+            .u64(regs.fs_base)
+            .u64(regs.gs_base)
+            .bytes(&regs.xsave)
+            .u64(t.icount)
+            .u64(t.cycles);
+    }
+    h.u64(m.global_icount()).u64(m.cycles()).finish()
+}
+
+fn check_workload(w: &Workload, sim: &Simulator) {
+    let pb = Logger::new(LoggerConfig::fat(
+        &w.name,
+        RegionTrigger::GlobalIcount(TRIGGER),
+        REGION,
+    ))
+    .capture(&w.program, |m| w.setup(m))
+    .unwrap_or_else(|e| panic!("{}: capture failed: {e:?}", w.name));
+
+    let serial = simulate_pinball(&pb, sim);
+
+    // Serial replay reference under the simulator's machine config.
+    let replayer = Replayer::new(ReplayConfig {
+        machine: MachineConfig {
+            seed: sim.seed,
+            quantum: sim.quantum,
+            ..MachineConfig::default()
+        },
+        ..ReplayConfig::default()
+    });
+    let (ref_summary, ref_m) = replayer.replay_full(&pb, |_| {});
+    assert!(ref_summary.completed, "{}: serial replay diverged", w.name);
+    let ref_digest = machine_digest(&ref_m);
+
+    // Independent serial BBV collection at the fine slice size.
+    let mut bbv_session = replayer.session_with(&pb, BbvCollector::new(FINE), None, |_| {});
+    assert_eq!(bbv_session.run_until(None), SessionStep::Done);
+    let (_, mut bbv_m) = bbv_session.finish();
+    let ref_bbv = std::mem::replace(&mut bbv_m.obs, BbvCollector::new(1)).finish();
+
+    for interval in [FINE, COARSE] {
+        let outs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&shards| simulate_pinball_sharded(&pb, sim, &ShardConfig { shards, interval }))
+            .collect();
+
+        for o in &outs {
+            let tag = format!("{} interval={interval} workers={}", w.name, o.workers);
+            // Functional bit-identity to serial replay.
+            assert_eq!(o.summary, ref_summary, "{tag}: summary");
+            assert_eq!(
+                o.outcome.machine_icounts, serial.machine_icounts,
+                "{tag}: per-thread icounts"
+            );
+            assert_eq!(
+                o.outcome.fastpath.insns, serial.fastpath.insns,
+                "{tag}: retired instructions"
+            );
+            assert_eq!(
+                o.outcome.stats.user_insns + o.outcome.stats.kernel_insns,
+                serial.stats.user_insns + serial.stats.kernel_insns,
+                "{tag}: modelled instructions"
+            );
+            // Memory + registers: the last snapshot resumes to the serial
+            // run's exact final architectural state.
+            if let Some(last) = o.snapshots.last() {
+                let mut sess = replayer.resume_with(&pb, last, NullObserver, None);
+                assert_eq!(sess.run_until(None), SessionStep::Done, "{tag}: tail slice");
+                let (_, m) = sess.finish();
+                assert_eq!(machine_digest(&m), ref_digest, "{tag}: final state digest");
+            }
+        }
+
+        // Worker-count invariance: everything but wall clocks is identical.
+        let base = &outs[0];
+        for o in &outs[1..] {
+            let tag = format!("{} interval={interval} workers={}", w.name, o.workers);
+            assert_eq!(o.outcome.stats, base.outcome.stats, "{tag}: stats");
+            assert_eq!(o.outcome.cycles, base.outcome.cycles, "{tag}: cycles");
+            assert_eq!(
+                o.outcome.runtime_ns, base.outcome.runtime_ns,
+                "{tag}: runtime"
+            );
+            assert_eq!(o.outcome.fastpath, base.outcome.fastpath, "{tag}: fastpath");
+            assert_eq!(o.snapshots, base.snapshots, "{tag}: snapshot chain");
+            assert_eq!(
+                o.bbv.fingerprint(),
+                base.bbv.fingerprint(),
+                "{tag}: BBV fingerprint"
+            );
+            assert_eq!(o.slices.len(), base.slices.len(), "{tag}: slice count");
+            for (a, b) in o.slices.iter().zip(&base.slices) {
+                assert_eq!(
+                    (a.index, a.start_icount, a.end_icount, a.insns, a.cycles),
+                    (b.index, b.start_icount, b.end_icount, b.insns, b.cycles),
+                    "{tag}: slice schedule"
+                );
+            }
+        }
+
+        if interval == FINE {
+            assert!(
+                !base.snapshots.is_empty(),
+                "{}: fine interval must produce snapshots",
+                w.name
+            );
+            assert_eq!(
+                base.bbv.fingerprint(),
+                ref_bbv.fingerprint(),
+                "{}: BBV vs independent serial collection",
+                w.name
+            );
+        } else {
+            // Coarse interval: one slice, and the outcome *is* the serial
+            // simulation, bit for bit.
+            assert!(base.snapshots.is_empty(), "{}: no snapshots", w.name);
+            assert_eq!(base.slices.len(), 1, "{}: one slice", w.name);
+            assert_eq!(base.outcome.stats, serial.stats, "{}: stats", w.name);
+            assert_eq!(base.outcome.cycles, serial.cycles, "{}: cycles", w.name);
+            assert_eq!(
+                base.outcome.runtime_ns, serial.runtime_ns,
+                "{}: runtime",
+                w.name
+            );
+            assert_eq!(
+                base.outcome.fastpath, serial.fastpath,
+                "{}: fastpath",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn int_suite_is_bit_identical_at_every_shard_count() {
+    let sim = Simulator::new(CoreParams::gainestown_like());
+    for w in suite_int(InputScale::Test) {
+        check_workload(&w, &sim);
+    }
+}
+
+#[test]
+fn fp_suite_is_bit_identical_at_every_shard_count() {
+    let sim = Simulator::new(CoreParams::skylake_like());
+    for w in suite_fp(InputScale::Test) {
+        check_workload(&w, &sim);
+    }
+}
+
+#[test]
+fn mt_suite_is_bit_identical_at_every_shard_count_on_a_multicore_model() {
+    // Multi-threaded workloads on a 4-core model with a coarser thread
+    // quantum: pauses land mid-turn, threads migrate across slices.
+    let sim = Simulator {
+        ncores: 4,
+        quantum: 256,
+        ..Simulator::new(CoreParams::skylake_like())
+    };
+    for w in suite_speed_mt(InputScale::Test, 2) {
+        check_workload(&w, &sim);
+    }
+}
