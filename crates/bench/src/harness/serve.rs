@@ -17,7 +17,7 @@
 //!   typed `busy` responses, never by queueing unboundedly.
 
 use super::doc::{Metric, ScenarioResult};
-use super::{ms, BenchKnobs};
+use super::{interleaved_min, ms, BenchKnobs};
 use elfie::prelude::*;
 use elfie_serve::{Client, Daemon, JobKind, JobSpec, Response, ServeConfig};
 use elfie_trace::percentile_ns;
@@ -48,6 +48,7 @@ impl ServeBenchConfig {
             daemon: ServeConfig {
                 shards: 4,
                 queue_depth: 64,
+                telemetry: true,
             },
             tenants: &["acme", "zephyr"],
         }
@@ -106,6 +107,10 @@ pub struct ServeOutcome {
     /// Residual materialized page bytes after every job tore down
     /// (gate: 0 — anything else is a frame leak).
     pub owned_rss_bytes: u64,
+    /// Ascending `metrics` scrape latencies sampled *during* the
+    /// measured phase, from a dedicated connection racing the job
+    /// traffic — what an external Prometheus poller would see.
+    pub scrape_ns: Vec<u64>,
 }
 
 /// Boots a daemon over `dir`, warms every (tenant, workload) pair, then
@@ -153,14 +158,35 @@ pub fn run_serve(
     }
     let warm_stats = warm.stats().map_err(|e| e.to_string())?;
 
-    // Measured phase: `clients` connections race through `jobs` requests.
+    // Measured phase: `clients` connections race through `jobs` requests
+    // while one extra connection scrapes `metrics` the whole time.
     let next = AtomicUsize::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(cfg.jobs));
     let completed = AtomicUsize::new(0);
     let mismatches = AtomicUsize::new(0);
     let first_error: Mutex<Option<String>> = Mutex::new(None);
+    let scrapes: Mutex<Vec<u64>> = Mutex::new(Vec::new());
     let t0 = Instant::now();
     std::thread::scope(|s| {
+        {
+            let (next, scrapes, addr, jobs) = (&next, &scrapes, &addr, cfg.jobs);
+            s.spawn(move || {
+                let Ok(mut client) = Client::connect(addr) else {
+                    return;
+                };
+                loop {
+                    let t = Instant::now();
+                    if client.metrics().is_err() {
+                        break;
+                    }
+                    scrapes.lock().unwrap().push(t.elapsed().as_nanos() as u64);
+                    if next.load(Ordering::Relaxed) >= jobs {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            });
+        }
         for _ in 0..cfg.clients {
             let (next, latencies, completed, mismatches, first_error) =
                 (&next, &latencies, &completed, &mismatches, &first_error);
@@ -218,6 +244,16 @@ pub fn run_serve(
         return Err(fail(e));
     }
 
+    let mut scrape_ns = scrapes.into_inner().unwrap();
+    // A very fast measured phase can outrun the sampler; make sure at
+    // least one scrape (post-phase, daemon still warm) is recorded.
+    if scrape_ns.is_empty() {
+        let t = Instant::now();
+        warm.metrics().map_err(|e| e.to_string())?;
+        scrape_ns.push(t.elapsed().as_nanos() as u64);
+    }
+    scrape_ns.sort_unstable();
+
     let end_stats = warm.stats().map_err(|e| e.to_string())?;
     warm.shutdown().map_err(|e| e.to_string())?;
     let _report = server.join().map_err(|_| "daemon panicked".to_string())?;
@@ -233,7 +269,61 @@ pub fn run_serve(
         store_hits: end_stats.store_hits,
         peak_rss_bytes: end_stats.peak_rss_bytes,
         owned_rss_bytes: end_stats.owned_rss_bytes,
+        scrape_ns,
     })
+}
+
+/// One ping flood against `addr`: `pings` sequential round-trips on a
+/// fresh connection, returning the wall clock.
+fn ping_flood(addr: &str, pings: usize) -> Duration {
+    let mut client = Client::connect(addr).expect("flood connect");
+    let t = Instant::now();
+    for _ in 0..pings {
+        client.ping().expect("pong");
+    }
+    t.elapsed()
+}
+
+/// The ≤2% telemetry guard: two otherwise identical daemons — one with
+/// the metrics layer on, one with it off — take interleaved ping floods
+/// (the cheapest verb, so per-request bookkeeping is the largest
+/// possible fraction of the work), and the noise-free minima are
+/// compared. Returns the relative overhead in percent, clamped at 0.
+fn telemetry_overhead_pct(dir: &std::path::Path, runs: usize) -> Result<f64, String> {
+    const PINGS: usize = 400;
+    let mut addrs = Vec::new();
+    let mut servers = Vec::new();
+    for telemetry in [true, false] {
+        let sub = dir.join(if telemetry { "on" } else { "off" });
+        let daemon = Daemon::bind(
+            "127.0.0.1:0",
+            &sub,
+            ServeConfig {
+                shards: 1,
+                queue_depth: 4,
+                telemetry,
+            },
+            None,
+        )
+        .map_err(|e| format!("overhead daemon bind: {e}"))?;
+        addrs.push(daemon.local_addr().to_string());
+        servers.push(std::thread::spawn(move || daemon.run()));
+    }
+    let mut on = || ping_flood(&addrs[0], PINGS);
+    let mut off = || ping_flood(&addrs[1], PINGS);
+    let minima = interleaved_min(runs.max(3), &mut [&mut on, &mut off]);
+    for addr in &addrs {
+        Client::connect(addr)
+            .and_then(|mut c| c.shutdown())
+            .map_err(|e| e.to_string())?;
+    }
+    for server in servers {
+        server
+            .join()
+            .map_err(|_| "overhead daemon panicked".to_string())?;
+    }
+    let (on_ns, off_ns) = (minima[0].as_nanos() as f64, minima[1].as_nanos() as f64);
+    Ok(((on_ns - off_ns) / off_ns * 100.0).max(0.0))
 }
 
 /// Fires `burst` concurrent submits at a 1-shard / queue-depth-2 daemon
@@ -250,6 +340,7 @@ fn busy_burst(
         ServeConfig {
             shards: 1,
             queue_depth: 2,
+            telemetry: true,
         },
         None,
     )
@@ -306,6 +397,14 @@ pub fn daemon_serve(knobs: &BenchKnobs) -> ScenarioResult {
     std::fs::remove_dir_all(&burst_dir).ok();
     let shed_cleanly = busy > 0 && burst_other == 0;
 
+    let overhead_dir = std::env::temp_dir().join(format!(
+        "elfie-bench-serve-telemetry-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&overhead_dir).ok();
+    let overhead_pct = telemetry_overhead_pct(&overhead_dir, knobs.runs).expect("overhead run");
+    std::fs::remove_dir_all(&overhead_dir).ok();
+
     assert_eq!(outcome.completed, cfg.jobs, "every request must complete");
     let wall_s = outcome.wall.as_secs_f64();
 
@@ -314,7 +413,8 @@ pub fn daemon_serve(knobs: &BenchKnobs) -> ScenarioResult {
         runs: 1,
         notes: format!(
             "{} jobs from {} clients over {} shard(s), {} tenants x {} workloads; \
-             {} store hits, {} warm puts, burst shed {} of 16",
+             {} store hits, {} warm puts, burst shed {} of 16, \
+             {} in-phase metrics scrapes",
             cfg.jobs,
             cfg.clients,
             cfg.daemon.shards,
@@ -323,6 +423,7 @@ pub fn daemon_serve(knobs: &BenchKnobs) -> ScenarioResult {
             outcome.store_hits,
             outcome.store_puts_warm,
             busy,
+            outcome.scrape_ns.len(),
         ),
         metrics: vec![
             Metric::higher("requests_completed", outcome.completed as f64, "jobs", 0.0)
@@ -374,6 +475,24 @@ pub fn daemon_serve(knobs: &BenchKnobs) -> ScenarioResult {
             .uncalibrated(),
             Metric::higher("busy_shed", f64::from(u8::from(shed_cleanly)), "bool", 0.0)
                 .uncalibrated(),
+            // Scrape latency under full job load: an external poller
+            // must never be starved by the serving path.
+            Metric::lower(
+                "metrics_scrape_p95",
+                ms(Duration::from_nanos(percentile_ns(
+                    &outcome.scrape_ns,
+                    95.0,
+                ))),
+                "ms",
+                0.75,
+            )
+            .uncalibrated(),
+            // The telemetry guard: the whole metrics layer may cost at
+            // most 2% of ping-flood wall clock. The baseline pins the
+            // budget (2.0) with a zero band, so the gate is simply
+            // `measured <= 2.0` — the measurement is the overhead
+            // itself, not a machine-scaled figure.
+            Metric::lower("telemetry_overhead_pct", overhead_pct, "%", 0.0).uncalibrated(),
             Metric::lower(
                 "peak_rss_bytes",
                 outcome.peak_rss_bytes as f64,

@@ -694,15 +694,75 @@ pub fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
     }
 }
 
+/// The `trace summarize --request ID <file>...` branch: merges the
+/// spans tagged `request_id == ID` from every given Chrome trace (one
+/// file per process end — e.g. a client trace plus the daemon's) into a
+/// single time-ordered causal chain.
+fn summarize_request(args: &Args, rid_text: &str) -> Result<String, CliError> {
+    let rid: u64 = rid_text
+        .parse()
+        .map_err(|_| err("--request expects the integer id a client printed"))?;
+    let files = &args.positional[1..];
+    if files.is_empty() {
+        return Err(err("missing <file> argument"));
+    }
+    let mut spans = Vec::new();
+    for path in files {
+        let text = std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
+        let doc = Json::parse(&text).map_err(|e| err(format!("parse {path}: {e}")))?;
+        if doc.get("traceEvents").is_none() {
+            return Err(err(format!("{path}: --request needs a chrome trace file")));
+        }
+        spans.extend(elfie::trace::request_chain(&doc, rid).map_err(err)?);
+    }
+    if spans.is_empty() {
+        return Err(err(format!(
+            "no spans tagged with request id {rid} in {} file(s)",
+            files.len()
+        )));
+    }
+    spans.sort_by(|a, b| {
+        a.ts_us
+            .total_cmp(&b.ts_us)
+            .then(b.dur_us.total_cmp(&a.dur_us))
+    });
+    let base = spans[0].ts_us;
+    let mut out = format!(
+        "request {rid}: {} span(s) across {} file(s)\n",
+        spans.len(),
+        files.len()
+    );
+    for s in &spans {
+        let _ = writeln!(
+            out,
+            "  +{:>10.3}us {:>12.3}us  {:<14} {} [{}]",
+            s.ts_us - base,
+            s.dur_us,
+            s.thread,
+            s.name,
+            s.cat
+        );
+    }
+    Ok(out)
+}
+
 /// `elfie trace <summarize|check> <file>` — inspects a `--trace` timeline
 /// or a `--stats-json` document without loading it into a browser.
 ///
 /// `summarize` rolls a Chrome timeline up into per-thread, per-span
-/// aggregates, and renders a stats document back into the exact text the
-/// producing command prints under `--stats`. `check` validates structure
-/// (schema header, field presence, event shape) and says what it found.
+/// aggregates (including ring occupancy and dropped-event warnings),
+/// and renders a stats document back into the exact text the producing
+/// command prints under `--stats`. `summarize --request ID <file>...`
+/// instead filters one or more Chrome traces down to the causal chain
+/// of a single correlated request. `check` validates structure (schema
+/// header, field presence, event shape) and says what it found.
 pub fn cmd_trace(args: &Args) -> Result<String, CliError> {
     let sub = args.pos(0, "trace subcommand")?;
+    if sub == "summarize" {
+        if let Some(rid_text) = args.opt("request") {
+            return summarize_request(args, rid_text);
+        }
+    }
     let path = args.pos(1, "file")?;
     let text = std::fs::read_to_string(path).map_err(|e| err(format!("read {path}: {e}")))?;
     let doc = Json::parse(&text).map_err(|e| err(format!("parse {path}: {e}")))?;
@@ -1012,13 +1072,16 @@ fn serve_client(args: &Args) -> Result<elfie_serve::Client, CliError> {
     elfie_serve::Client::connect(&connect_addr(args)).map_err(|e| err(e.to_string()))
 }
 
-/// `elfie serve --store DIR [--listen ADDR] [--shards N] [--queue N]`
+/// `elfie serve --store DIR [--listen ADDR] [--shards N] [--queue N]
+/// [--no-telemetry]`
 ///
 /// Blocks until a client sends `shutdown`, then drains gracefully and
 /// returns the lifetime summary. The readiness line is printed *before*
 /// blocking so wrappers (CI, scripts) can wait for it; startup failures
 /// (unbindable address, unusable store path) come back as one-line
-/// [`CliError`]s — never a panic or backtrace.
+/// [`CliError`]s — never a panic or backtrace. Telemetry (the registry
+/// behind `elfie metrics`) is on unless `--no-telemetry` turns the
+/// whole layer off.
 pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let store = PathBuf::from(
         args.opt("store")
@@ -1028,6 +1091,7 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let cfg = elfie_serve::ServeConfig {
         shards: args.opt_u64("shards", 4)?.max(1) as usize,
         queue_depth: args.opt_u64("queue", 64)?.max(1) as usize,
+        telemetry: !args.flag("no-telemetry"),
     };
     let topts = parse_trace_opts(args)?;
     let daemon = elfie_serve::Daemon::bind(listen, &store, cfg, topts.tracer.clone())
@@ -1062,23 +1126,39 @@ fn parse_job_spec(args: &Args) -> Result<elfie_serve::JobSpec, CliError> {
         start: args.opt_u64("start", defaults.start)?,
         length: args.opt_u64("length", defaults.length)?,
         sim: args.opt("sim").unwrap_or(&defaults.sim).to_string(),
+        shards: args.opt_u64("shards", defaults.shards)?,
+        interval: args.opt_u64("interval", defaults.interval)?,
     })
 }
 
-/// `elfie submit <kind> <workload> [--connect ADDR] [--tenant NAME] ...`
+/// Prints one streamed `progress` frame immediately (followers watch
+/// these lines live, so they cannot wait for the final report string).
+fn print_progress(id: u64, shard: u64, phase: elfie_serve::JobPhase) {
+    println!("progress: job #{id} shard {shard} {}", phase.label());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+/// `elfie submit <kind> <workload> [--connect ADDR] [--tenant NAME]
+/// [--follow] ...`
 ///
 /// Prints the job's report verbatim — for `validate` those are the
 /// exact bytes offline `elfie validate` prints with the same knobs, so
 /// `diff` closes the loop in CI. `busy` and daemon-side failures are
-/// one-line errors with a non-zero exit.
+/// one-line errors with a non-zero exit. `--follow` streams one
+/// `progress:` line per phase change (queued → profile → slice k/K →
+/// stitch → render) before the final report.
 pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     let spec = parse_job_spec(args)?;
     let tenant = args.opt("tenant").unwrap_or("default");
     let mut client = serve_client(args)?;
-    match client
-        .submit(tenant, spec)
-        .map_err(|e| err(e.to_string()))?
-    {
+    let response = if args.flag("follow") {
+        client.submit_follow(tenant, spec, print_progress)
+    } else {
+        client.submit(tenant, spec)
+    }
+    .map_err(|e| err(e.to_string()))?;
+    match response {
         elfie_serve::Response::Done { report, .. } => Ok(report),
         elfie_serve::Response::Busy { shard, capacity } => Err(err(format!(
             "busy: shard {shard} queue is full ({capacity} deep) — retry later"
@@ -1088,24 +1168,60 @@ pub fn cmd_submit(args: &Args) -> Result<String, CliError> {
     }
 }
 
-/// `elfie jobs [--connect ADDR]` — lists the daemon's retained jobs.
+/// `elfie jobs [--connect ADDR] [--watch MS]` — lists the daemon's
+/// retained jobs; `--watch MS` first streams every phase change seen in
+/// an MS-millisecond window as `progress:` lines, then prints the final
+/// listing.
 pub fn cmd_jobs(args: &Args) -> Result<String, CliError> {
-    let jobs = serve_client(args)?.jobs().map_err(|e| err(e.to_string()))?;
+    let watch_ms = args.opt_u64("watch", 0)?;
+    let mut client = serve_client(args)?;
+    let jobs = if watch_ms > 0 {
+        client.jobs_watch(watch_ms, print_progress)
+    } else {
+        client.jobs()
+    }
+    .map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
     for j in &jobs {
         let _ = writeln!(
             out,
-            "#{:<6} {:<8} {:<10} {:<20} shard {}  {}",
+            "#{:<6} {:<8} {:<10} {:<20} shard {}  {:<12} {}",
             j.id,
             j.state,
             j.kind.name(),
             j.workload,
             j.shard,
+            j.phase,
             j.tenant
         );
     }
     let _ = writeln!(out, "{} job(s)", jobs.len());
     Ok(out)
+}
+
+/// `elfie metrics [--connect ADDR] [--watch N]` — scrapes a serve
+/// daemon's metrics registry and renders it in the Prometheus text
+/// exposition format. `--watch N` re-scrapes every N seconds forever
+/// (Ctrl-C to stop), printing each snapshot as it lands; without it one
+/// snapshot is printed and the command exits.
+pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let watch = args.opt_u64("watch", 0)?;
+    let mut client = serve_client(args)?;
+    loop {
+        let snap = client.metrics().map_err(|e| err(e.to_string()))?;
+        let text = if snap == elfie::trace::MetricsSnapshot::default() {
+            String::from("# telemetry disabled on this daemon (--no-telemetry)\n")
+        } else {
+            elfie::trace::render_exposition(&snap)
+        };
+        if watch == 0 {
+            return Ok(text);
+        }
+        println!("{text}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_secs(watch.max(1)));
+    }
 }
 
 /// `elfie ping [--connect ADDR]` — liveness + version/protocol probe.
@@ -1169,8 +1285,12 @@ COMMANDS:
                                          with their parent chain links
   snapshot rm <name> [--store DIR]       drop a snapshot ref (store gc
                                          reclaims unreachable deltas)
-  trace summarize <file>                 roll up a --trace timeline, or
-                                         render --stats-json back to text
+  trace summarize <file>                 roll up a --trace timeline (incl.
+                                         ring occupancy / dropped events),
+                                         or render --stats-json to text
+  trace summarize --request ID <file>... filter one or more chrome traces
+                                         (client + daemon) down to one
+                                         correlated request's causal chain
   trace check <file>                     validate a trace/stats document
   disasm <file> [--section NAME]         disassemble an ELFie section
   store put <path> [<name>] [--store DIR]
@@ -1189,16 +1309,24 @@ COMMANDS:
                                          checked-in baseline (probe-
                                          calibrated tolerance bands)
   serve --store DIR [--listen ADDR] [--shards N] [--queue N]
-         [--trace FILE] [--trace-mode off|sampled[:N]|full]
+         [--no-telemetry] [--trace FILE]
+         [--trace-mode off|sampled[:N]|full]
                                          run the checkpoint-serving daemon
                                          (default listen 127.0.0.1:4254)
-  submit <kind> <workload> [--connect ADDR] [--tenant NAME] [--scale S]
-         [--slice N] [--warmup N] [--maxk N] [--seed N] [--fuel N]
-         [--start N] [--length N] [--sim NAME]
+  submit <kind> <workload> [--connect ADDR] [--tenant NAME] [--follow]
+         [--scale S] [--slice N] [--warmup N] [--maxk N] [--seed N]
+         [--fuel N] [--start N] [--length N] [--sim NAME] [--shards N]
+         [--interval N]
                                          run one job on a serve daemon and
                                          print its report (kind is one of
-                                         record|validate|replay|simulate)
-  jobs [--connect ADDR]                  list a serve daemon's jobs
+                                         record|validate|replay|simulate);
+                                         --follow streams progress lines
+  jobs [--connect ADDR] [--watch MS]     list a serve daemon's jobs;
+                                         --watch streams phase changes
+                                         for MS milliseconds first
+  metrics [--connect ADDR] [--watch N]   scrape a serve daemon's metrics
+                                         as Prometheus text exposition
+                                         (--watch N re-scrapes every N s)
   ping [--connect ADDR]                  probe a serve daemon's liveness
   shutdown [--connect ADDR]              drain and stop a serve daemon
   version                                print the tool-chain version
@@ -1229,6 +1357,7 @@ pub const COMMANDS: &[(&str, Handler)] = &[
     ("serve", cmd_serve),
     ("submit", cmd_submit),
     ("jobs", cmd_jobs),
+    ("metrics", cmd_metrics),
     ("ping", cmd_ping),
     ("shutdown", cmd_shutdown),
     ("version", cmd_version),
@@ -1251,6 +1380,8 @@ pub fn dispatch(argv: &[String]) -> Result<String, CliError> {
         "serial",
         "stats",
         "update-baseline",
+        "follow",
+        "no-telemetry",
     ][..];
     let args = Args::parse(rest, flags);
     match cmd.as_str() {
@@ -1460,7 +1591,13 @@ mod tests {
     #[test]
     fn client_verbs_report_unreachable_daemons_as_errors() {
         // Port 1 is reserved and never listening in the test environment.
-        for verb in ["ping", "jobs", "shutdown", "submit validate gcc_like"] {
+        for verb in [
+            "ping",
+            "jobs",
+            "metrics",
+            "shutdown",
+            "submit validate gcc_like",
+        ] {
             let e = dispatch(&argv(&format!("{verb} --connect 127.0.0.1:1"))).unwrap_err();
             assert!(e.0.contains("connect"), "`{verb}` gave {e}");
         }
@@ -1801,7 +1938,46 @@ mod tests {
             std::env::temp_dir().join(format!("elfie-cli-bogus-{}.json", std::process::id()));
         std::fs::write(&bogus, "{\"schema\": \"wrong\"}").unwrap();
         assert!(dispatch(&argv(&format!("trace check {}", bogus.display()))).is_err());
+        // --request wants an integer id, at least one file, and only
+        // accepts Chrome traces (a stats document has no span events).
+        assert!(dispatch(&argv("trace summarize --request banana x.json")).is_err());
+        assert!(dispatch(&argv("trace summarize --request 7")).is_err());
+        let e = dispatch(&argv(&format!(
+            "trace summarize --request 7 {}",
+            bogus.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("chrome trace"), "{e}");
         std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn trace_summarize_reports_ring_occupancy_and_drops() {
+        let dir = tmp("trace-occupancy");
+        let tracefile = dir.join("t.json");
+        dispatch(&argv(&format!(
+            "validate gcc_like --scale test --slice 5000 --warmup 2000 --maxk 4 \
+             --fuel 50000000 --workers 2 --trace {}",
+            tracefile.display()
+        )))
+        .expect("validates");
+        let summary = dispatch(&argv(&format!("trace summarize {}", tracefile.display())))
+            .expect("summarize");
+        // Every per-thread line shows its ring occupancy against the
+        // recorded capacity, and the header counts dropped events.
+        assert!(summary.contains("dropped"), "{summary}");
+        assert!(summary.contains("ring "), "{summary}");
+        assert!(summary.contains("% full)"), "{summary}");
+
+        // A request id that tagged nothing is an explicit error, not an
+        // empty chain.
+        let e = dispatch(&argv(&format!(
+            "trace summarize --request 12345 {}",
+            tracefile.display()
+        )))
+        .unwrap_err();
+        assert!(e.0.contains("no spans tagged"), "{e}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

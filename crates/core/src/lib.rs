@@ -85,7 +85,8 @@ pub mod prelude {
     pub use elfie_pinball2elf::{convert, ConvertOptions, Elfie, RemapMode};
     pub use elfie_pinplay::{Logger, LoggerConfig, ReplayConfig, Replayer};
     pub use elfie_sim::{
-        simulate_elfie, simulate_pinball, simulate_pinball_sharded, simulate_program, ShardConfig,
+        simulate_elfie, simulate_pinball, simulate_pinball_sharded,
+        simulate_pinball_sharded_with_progress, simulate_program, ShardConfig, ShardPhase,
         Simulator,
     };
     pub use elfie_simpoint::{PinPoints, PinPointsConfig};

@@ -1,10 +1,35 @@
 //! The client side of the serve protocol: one blocking connection.
 
 use crate::protocol::{
-    read_frame, write_frame, FrameError, JobSpec, JobSummary, Request, Response, ServeStats,
+    read_frame, with_rid, write_frame, FrameError, JobPhase, JobSpec, JobSummary, Request,
+    Response, ServeStats,
 };
+use elfie::trace::MetricsSnapshot;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Generates a process-unique request id: an FNV-1a mix of the process
+/// id, a wall-clock sample, and a process-wide sequence number. Never
+/// returns 0 (the protocol's "untagged" id).
+fn generate_rid() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [
+        u64::from(std::process::id()),
+        nanos,
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ] {
+        for b in word.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h.max(1)
+}
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -36,8 +61,15 @@ impl std::error::Error for ClientError {}
 
 /// One connection to a daemon. Requests are strictly sequential
 /// (request, then response) — open more clients for concurrency.
+///
+/// Every request is stamped with a generated correlation id; the daemon
+/// threads it through its scheduler spans and echoes it on every
+/// response frame. [`Client::last_rid`] exposes the most recent one so
+/// callers can label their own spans (and later filter a merged trace
+/// with `elfie trace summarize --request`).
 pub struct Client {
     stream: TcpStream,
+    last_rid: u64,
 }
 
 impl Client {
@@ -51,7 +83,10 @@ impl Client {
             detail: e.to_string(),
         })?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            last_rid: 0,
+        })
     }
 
     /// Like [`Client::connect`] with a dial timeout, for readiness polls.
@@ -77,7 +112,33 @@ impl Client {
                 detail: e.to_string(),
             })?;
         let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            last_rid: 0,
+        })
+    }
+
+    /// The correlation id stamped on the most recent request (0 before
+    /// the first one). Matches the `request_id` span argument on the
+    /// daemon side of that request.
+    pub fn last_rid(&self) -> u64 {
+        self.last_rid
+    }
+
+    /// Sends one rid-stamped request frame without reading a response.
+    fn send(&mut self, request: &Request) -> Result<(), ClientError> {
+        self.last_rid = generate_rid();
+        write_frame(
+            &mut self.stream,
+            &with_rid(request.to_json(), self.last_rid),
+        )
+        .map_err(ClientError::Frame)
+    }
+
+    /// Reads one response frame.
+    fn recv(&mut self) -> Result<Response, ClientError> {
+        let doc = read_frame(&mut self.stream).map_err(ClientError::Frame)?;
+        Response::from_json(&doc).map_err(|m| ClientError::Frame(FrameError::Malformed(m)))
     }
 
     /// Sends one request and reads its response.
@@ -85,9 +146,8 @@ impl Client {
     /// # Errors
     /// [`ClientError::Frame`] on transport/decoding failures.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_json()).map_err(ClientError::Frame)?;
-        let doc = read_frame(&mut self.stream).map_err(ClientError::Frame)?;
-        Response::from_json(&doc).map_err(|m| ClientError::Frame(FrameError::Malformed(m)))
+        self.send(request)?;
+        self.recv()
     }
 
     /// Liveness probe; returns `(daemon version, protocol version)`.
@@ -110,7 +170,34 @@ impl Client {
         self.request(&Request::Submit {
             tenant: tenant.to_string(),
             job,
+            follow: false,
         })
+    }
+
+    /// Submits one job with progress streaming: `on_progress` is called
+    /// for every `progress` frame (job id, shard, phase) until the
+    /// final result frame arrives, which is returned exactly like
+    /// [`Client::submit`]'s.
+    ///
+    /// # Errors
+    /// Transport failures only — `Busy` and `Error` are valid answers.
+    pub fn submit_follow(
+        &mut self,
+        tenant: &str,
+        job: JobSpec,
+        mut on_progress: impl FnMut(u64, u64, JobPhase),
+    ) -> Result<Response, ClientError> {
+        self.send(&Request::Submit {
+            tenant: tenant.to_string(),
+            job,
+            follow: true,
+        })?;
+        loop {
+            match self.recv()? {
+                Response::Progress { id, shard, phase } => on_progress(id, shard, phase),
+                other => return Ok(other),
+            }
+        }
     }
 
     /// Lists the daemon's jobs.
@@ -118,9 +205,42 @@ impl Client {
     /// # Errors
     /// Transport failures, or a non-`jobs` answer.
     pub fn jobs(&mut self) -> Result<Vec<JobSummary>, ClientError> {
-        match self.request(&Request::Jobs)? {
+        match self.request(&Request::Jobs { watch_ms: 0 })? {
             Response::Jobs { jobs } => Ok(jobs),
             other => Err(unexpected("jobs", &other)),
+        }
+    }
+
+    /// Watches the daemon's jobs for `watch_ms` milliseconds:
+    /// `on_progress` receives every phase change streamed in the
+    /// window, and the final job listing is returned.
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`jobs` final answer.
+    pub fn jobs_watch(
+        &mut self,
+        watch_ms: u64,
+        mut on_progress: impl FnMut(u64, u64, JobPhase),
+    ) -> Result<Vec<JobSummary>, ClientError> {
+        self.send(&Request::Jobs { watch_ms })?;
+        loop {
+            match self.recv()? {
+                Response::Progress { id, shard, phase } => on_progress(id, shard, phase),
+                Response::Jobs { jobs } => return Ok(jobs),
+                other => return Err(unexpected("jobs", &other)),
+            }
+        }
+    }
+
+    /// Fetches a point-in-time snapshot of the daemon's metrics
+    /// registry (empty when the daemon runs with telemetry off).
+    ///
+    /// # Errors
+    /// Transport failures, or a non-`metrics` answer.
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { metrics } => Ok(metrics),
+            other => Err(unexpected("metrics", &other)),
         }
     }
 

@@ -17,17 +17,24 @@
 //! (malformed JSON), or is closed when the byte stream itself is
 //! unusable (oversized prefix, truncation).
 
-use crate::protocol::{read_frame, write_frame, FrameError, Request, Response};
-use crate::scheduler::{Scheduler, ServeConfig, Submitted};
-use elfie::trace::Tracer;
+use crate::protocol::{
+    frame_rid, read_frame, with_rid, write_frame, FrameError, JobPhase, JobSpec, Request, Response,
+};
+use crate::scheduler::{Enqueued, Scheduler, ServeConfig, Submitted};
+use elfie::trace::{Counter, MetricsRegistry, Tracer};
+use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often an idle connection wakes to check for daemon drain.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// How often a follow/watch stream re-checks for phase changes when the
+/// job table is quiet (the table's condvar wakes it sooner on change).
+const PROGRESS_POLL: Duration = Duration::from_millis(25);
 
 /// A daemon startup failure. One line, actionable, non-zero exit.
 #[derive(Debug)]
@@ -84,6 +91,41 @@ impl std::fmt::Display for ServeReport {
     }
 }
 
+/// Pre-registered per-verb request counters, so the request hot path
+/// (a ping flood, say) never touches the registry's name map.
+struct VerbCounters {
+    ping: Arc<Counter>,
+    submit: Arc<Counter>,
+    jobs: Arc<Counter>,
+    stats: Arc<Counter>,
+    metrics: Arc<Counter>,
+    shutdown: Arc<Counter>,
+}
+
+impl VerbCounters {
+    fn new(registry: &MetricsRegistry) -> VerbCounters {
+        VerbCounters {
+            ping: registry.counter("serve.requests.ping"),
+            submit: registry.counter("serve.requests.submit"),
+            jobs: registry.counter("serve.requests.jobs"),
+            stats: registry.counter("serve.requests.stats"),
+            metrics: registry.counter("serve.requests.metrics"),
+            shutdown: registry.counter("serve.requests.shutdown"),
+        }
+    }
+
+    fn count(&self, request: &Request) {
+        match request {
+            Request::Ping => self.ping.add(1),
+            Request::Submit { .. } => self.submit.add(1),
+            Request::Jobs { .. } => self.jobs.add(1),
+            Request::Stats => self.stats.add(1),
+            Request::Metrics => self.metrics.add(1),
+            Request::Shutdown => self.shutdown.add(1),
+        }
+    }
+}
+
 /// A bound-but-not-yet-serving daemon. [`Daemon::run`] blocks until a
 /// client asks for shutdown.
 pub struct Daemon {
@@ -91,6 +133,7 @@ pub struct Daemon {
     scheduler: Scheduler,
     tracer: Option<Arc<Tracer>>,
     connections: AtomicU64,
+    started: Instant,
 }
 
 impl Daemon {
@@ -125,6 +168,7 @@ impl Daemon {
             scheduler,
             tracer,
             connections: AtomicU64::new(0),
+            started: Instant::now(),
         })
     }
 
@@ -141,6 +185,18 @@ impl Daemon {
     pub fn run(mut self) -> ServeReport {
         let shutdown = AtomicBool::new(false);
         let local = self.local_addr();
+        let verbs = self
+            .scheduler
+            .metrics_registry()
+            .map(|r| VerbCounters::new(r));
+        let ctx = ConnCtx {
+            scheduler: &self.scheduler,
+            tracer: &self.tracer,
+            shutdown: &shutdown,
+            connections: &self.connections,
+            verbs: verbs.as_ref(),
+            started: self.started,
+        };
         std::thread::scope(|s| {
             loop {
                 let (stream, _peer) = match self.listener.accept() {
@@ -151,14 +207,12 @@ impl Daemon {
                     break; // the drain wake-up; nothing to serve
                 }
                 let conn = self.connections.fetch_add(1, Ordering::Relaxed);
-                let (scheduler, tracer, shutdown, connections) =
-                    (&self.scheduler, &self.tracer, &shutdown, &self.connections);
                 s.spawn(move || {
-                    if let Some(tracer) = tracer {
+                    if let Some(tracer) = ctx.tracer {
                         tracer.set_thread_name(&format!("conn-{conn}"));
                     }
-                    serve_connection(stream, scheduler, tracer, shutdown, connections);
-                    if shutdown.load(Ordering::SeqCst) {
+                    serve_connection(stream, &ctx);
+                    if ctx.shutdown.load(Ordering::SeqCst) {
                         // First responder wakes the accept loop.
                         let _ = TcpStream::connect(local);
                     }
@@ -178,14 +232,25 @@ impl Daemon {
     }
 }
 
+/// Everything a connection thread needs, copied per connection.
+#[derive(Clone, Copy)]
+struct ConnCtx<'a> {
+    scheduler: &'a Scheduler,
+    tracer: &'a Option<Arc<Tracer>>,
+    shutdown: &'a AtomicBool,
+    connections: &'a AtomicU64,
+    verbs: Option<&'a VerbCounters>,
+    started: Instant,
+}
+
+/// Writes one rid-stamped response frame; `false` means the connection
+/// is gone and the caller should stop.
+fn send(stream: &mut TcpStream, rid: u64, response: &Response) -> bool {
+    write_frame(stream, &with_rid(response.to_json(), rid)).is_ok()
+}
+
 /// One connection's request loop.
-fn serve_connection(
-    mut stream: TcpStream,
-    scheduler: &Scheduler,
-    tracer: &Option<Arc<Tracer>>,
-    shutdown: &AtomicBool,
-    connections: &AtomicU64,
-) {
+fn serve_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) {
     // Idle connections poll so a drain is noticed without client help.
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
     let _ = stream.set_nodelay(true);
@@ -193,7 +258,7 @@ fn serve_connection(
         let doc = match read_frame(&mut stream) {
             Ok(doc) => doc,
             Err(FrameError::Idle) => {
-                if shutdown.load(Ordering::SeqCst) {
+                if ctx.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 continue;
@@ -220,23 +285,45 @@ fn serve_connection(
             }
             Err(FrameError::Io(_)) => break,
         };
+        let rid = frame_rid(&doc);
         let request = match Request::from_json(&doc) {
             Ok(request) => request,
             Err(m) => {
                 let resp = Response::Error {
                     message: format!("bad request: {m}"),
                 };
-                if write_frame(&mut stream, &resp.to_json()).is_err() {
+                if !send(&mut stream, rid, &resp) {
                     break;
                 }
                 continue;
             }
         };
-        let _span = tracer
+        if let Some(verbs) = ctx.verbs {
+            verbs.count(&request);
+        }
+        let mut span = ctx
+            .tracer
             .as_ref()
             .map(|t| t.span_labeled("serve", "request", kind_name(&request).to_string()));
-        let (response, last) = handle(&request, scheduler, shutdown, connections);
-        if write_frame(&mut stream, &response.to_json()).is_err() || last {
+        if let (Some(span), true) = (span.as_mut(), rid != 0) {
+            span.arg("request_id", rid);
+        }
+        let keep = match request {
+            Request::Submit {
+                tenant,
+                job,
+                follow,
+            } => serve_submit(&mut stream, ctx, rid, &tenant, job, follow),
+            Request::Jobs { watch_ms } if watch_ms > 0 => {
+                serve_watch(&mut stream, ctx, rid, watch_ms)
+            }
+            other => {
+                let (response, last) = handle(&other, ctx);
+                send(&mut stream, rid, &response) && !last
+            }
+        };
+        drop(span);
+        if !keep {
             break;
         }
     }
@@ -246,20 +333,151 @@ fn kind_name(request: &Request) -> &'static str {
     match request {
         Request::Ping => "ping",
         Request::Submit { .. } => "submit",
-        Request::Jobs => "jobs",
+        Request::Jobs { .. } => "jobs",
         Request::Stats => "stats",
+        Request::Metrics => "metrics",
         Request::Shutdown => "shutdown",
     }
 }
 
-/// Maps a request to its response; `true` means the connection closes
-/// after answering (shutdown).
-fn handle(
-    request: &Request,
-    scheduler: &Scheduler,
-    shutdown: &AtomicBool,
-    connections: &AtomicU64,
-) -> (Response, bool) {
+/// Runs one submit, streaming [`Response::Progress`] frames first when
+/// the client asked to follow. Returns `false` when the connection is
+/// gone. A dead follower only stops the frame writes — the shard's
+/// reply `try_send` never blocks on it, and the job runs to completion
+/// either way.
+fn serve_submit(
+    stream: &mut TcpStream,
+    ctx: &ConnCtx<'_>,
+    rid: u64,
+    tenant: &str,
+    job: JobSpec,
+    follow: bool,
+) -> bool {
+    if ctx.shutdown.load(Ordering::SeqCst) {
+        return send(
+            stream,
+            rid,
+            &Response::Error {
+                message: "daemon is draining".to_string(),
+            },
+        );
+    }
+    let (id, reply) = match ctx.scheduler.enqueue(tenant, job, rid) {
+        Enqueued::Queued { id, reply, .. } => (id, reply),
+        Enqueued::Busy { shard, capacity } => {
+            return send(stream, rid, &Response::Busy { shard, capacity });
+        }
+        Enqueued::Rejected(message) => {
+            return send(stream, rid, &Response::Error { message });
+        }
+    };
+    if follow {
+        // Replay the job's phase history from index `sent` on. The
+        // history (not a latest-phase poll) is what guarantees a
+        // follower sees *every* transition — queued, profile, each
+        // slice, stitch, render — however fast the job ran.
+        let mut sent = 0usize;
+        let flush = |stream: &mut TcpStream, sent: &mut usize| -> bool {
+            if let Some((shard, tail)) = ctx.scheduler.phases_since(id, *sent) {
+                for phase in tail {
+                    *sent += 1;
+                    if !send(stream, rid, &Response::Progress { id, shard, phase }) {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        let mut seen = ctx.scheduler.table_version();
+        loop {
+            match reply.try_recv() {
+                Ok(outcome) => {
+                    // Flush the transitions that landed before the
+                    // outcome, then end the stream with the result.
+                    return flush(stream, &mut sent)
+                        && send(stream, rid, &outcome_response(outcome));
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    // Shard died mid-job; `await_outcome` on the dead
+                    // channel does the failed-state bookkeeping.
+                    let _ = ctx.scheduler.await_outcome(id, &reply);
+                    return send(
+                        stream,
+                        rid,
+                        &Response::Error {
+                            message: "daemon is draining".to_string(),
+                        },
+                    );
+                }
+            }
+            if !flush(stream, &mut sent) {
+                return false;
+            }
+            seen = ctx.scheduler.wait_table_change(seen, PROGRESS_POLL);
+        }
+    }
+    let response = match ctx.scheduler.await_outcome(id, &reply) {
+        Submitted::Finished(outcome) => outcome_response(outcome),
+        Submitted::Busy { shard, capacity } => Response::Busy { shard, capacity },
+        Submitted::Rejected(message) => Response::Error { message },
+    };
+    send(stream, rid, &response)
+}
+
+fn outcome_response(outcome: crate::scheduler::JobOutcome) -> Response {
+    match outcome.result {
+        Ok(report) => Response::Done {
+            id: outcome.id,
+            shard: outcome.shard,
+            queue_ns: outcome.queue_ns,
+            run_ns: outcome.run_ns,
+            report,
+        },
+        Err(message) => Response::Error { message },
+    }
+}
+
+/// Streams phase changes across all jobs for `watch_ms`, then the final
+/// job listing. Returns `false` when the connection is gone.
+fn serve_watch(stream: &mut TcpStream, ctx: &ConnCtx<'_>, rid: u64, watch_ms: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_millis(watch_ms);
+    let mut last: BTreeMap<u64, JobPhase> = ctx
+        .scheduler
+        .phases()
+        .into_iter()
+        .map(|(id, _, phase)| (id, phase))
+        .collect();
+    let mut seen = ctx.scheduler.table_version();
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        seen = ctx
+            .scheduler
+            .wait_table_change(seen, left.min(PROGRESS_POLL));
+        for (id, shard, phase) in ctx.scheduler.phases() {
+            if last.get(&id) != Some(&phase) {
+                last.insert(id, phase);
+                if !send(stream, rid, &Response::Progress { id, shard, phase }) {
+                    return false;
+                }
+            }
+        }
+    }
+    send(
+        stream,
+        rid,
+        &Response::Jobs {
+            jobs: ctx.scheduler.jobs(),
+        },
+    )
+}
+
+/// Maps a non-streaming request to its response; `true` means the
+/// connection closes after answering (shutdown).
+fn handle(request: &Request, ctx: &ConnCtx<'_>) -> (Response, bool) {
     match request {
         Request::Ping => (
             Response::Pong {
@@ -268,47 +486,43 @@ fn handle(
             },
             false,
         ),
-        Request::Submit { tenant, job } => {
-            if shutdown.load(Ordering::SeqCst) {
-                return (
-                    Response::Error {
-                        message: "daemon is draining".to_string(),
-                    },
-                    false,
-                );
-            }
-            let response = match scheduler.submit(tenant, job.clone()) {
-                Submitted::Finished(outcome) => match outcome.result {
-                    Ok(report) => Response::Done {
-                        id: outcome.id,
-                        shard: outcome.shard,
-                        queue_ns: outcome.queue_ns,
-                        run_ns: outcome.run_ns,
-                        report,
-                    },
-                    Err(message) => Response::Error { message },
-                },
-                Submitted::Busy { shard, capacity } => Response::Busy { shard, capacity },
-                Submitted::Rejected(message) => Response::Error { message },
-            };
-            (response, false)
-        }
-        Request::Jobs => (
+        // Streaming verbs are handled in `serve_connection`; reaching
+        // here means follow=false / watch_ms=0 fell through.
+        Request::Submit { .. } | Request::Jobs { watch_ms: 1.. } => unreachable!(),
+        Request::Jobs { watch_ms: 0 } => (
             Response::Jobs {
-                jobs: scheduler.jobs(),
+                jobs: ctx.scheduler.jobs(),
             },
             false,
         ),
         Request::Stats => {
-            let mut stats = scheduler.stats();
-            stats.connections = connections.load(Ordering::Relaxed);
+            let mut stats = ctx.scheduler.stats();
+            stats.connections = ctx.connections.load(Ordering::Relaxed);
             (Response::Stats { stats }, false)
         }
+        Request::Metrics => {
+            if let Some(registry) = ctx.scheduler.metrics_registry() {
+                // Scrape-time gauges: refreshed at the moment of
+                // observation rather than maintained on the hot path.
+                registry
+                    .gauge("serve.uptime_s")
+                    .set(i64::try_from(ctx.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+                registry.gauge("serve.connections").set(
+                    i64::try_from(ctx.connections.load(Ordering::Relaxed)).unwrap_or(i64::MAX),
+                );
+            }
+            (
+                Response::Metrics {
+                    metrics: ctx.scheduler.metrics_snapshot(),
+                },
+                false,
+            )
+        }
         Request::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
+            ctx.shutdown.store(true, Ordering::SeqCst);
             (
                 Response::Bye {
-                    drained: scheduler.completed(),
+                    drained: ctx.scheduler.completed(),
                 },
                 true,
             )

@@ -33,7 +33,7 @@ pub mod scheduler;
 pub use client::{Client, ClientError};
 pub use daemon::{Daemon, ServeError, ServeReport};
 pub use protocol::{
-    FrameError, JobKind, JobSpec, JobSummary, Request, Response, ServeStats, MAX_FRAME,
-    PROTOCOL_VERSION,
+    frame_rid, with_rid, FrameError, JobKind, JobPhase, JobSpec, JobSummary, Request, Response,
+    ServeStats, MAX_FRAME, PROTOCOL_VERSION,
 };
-pub use scheduler::{valid_tenant, Scheduler, ServeConfig, Submitted};
+pub use scheduler::{valid_tenant, Enqueued, Scheduler, ServeConfig, Submitted};

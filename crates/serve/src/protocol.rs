@@ -18,6 +18,7 @@
 //! talk to newer daemons.
 
 use elfie_trace::json::Json;
+use elfie_trace::MetricsSnapshot;
 use std::io::{Read, Write};
 
 /// Protocol revision spoken by this build. Bumped on breaking changes;
@@ -183,8 +184,45 @@ fn obj(fields: Vec<(&str, Json)>) -> Json {
     )
 }
 
+fn bool_field(doc: &Json, name: &str, default: bool) -> Result<bool, String> {
+    match doc.get(name) {
+        None | Some(Json::Null) => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("field `{name}` must be a boolean")),
+    }
+}
+
 fn s(text: &str) -> Json {
     Json::Str(text.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Request-id correlation
+// ---------------------------------------------------------------------------
+
+/// Extracts the envelope-level `rid` correlation id from any frame
+/// (request or response). Absent, null, or non-numeric ids read as 0,
+/// the "untagged" id — correlation is observability metadata, so a
+/// peer that does not stamp it must still be understood.
+pub fn frame_rid(doc: &Json) -> u64 {
+    doc.get("rid").and_then(Json::as_u64).unwrap_or(0)
+}
+
+/// Stamps the envelope-level `rid` correlation id onto a rendered
+/// frame. A zero id means "untagged" and stamps nothing; non-object
+/// documents pass through unchanged (they will fail decode anyway).
+pub fn with_rid(doc: Json, rid: u64) -> Json {
+    if rid == 0 {
+        return doc;
+    }
+    match doc {
+        Json::Obj(mut fields) => {
+            fields.retain(|(k, _)| k != "rid");
+            fields.push(("rid".to_string(), Json::U64(rid)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -260,6 +298,12 @@ pub struct JobSpec {
     pub length: u64,
     /// Simulate: simulator name (`coresim`, `sniper`, …).
     pub sim: String,
+    /// Simulate: number of shards for intra-region sharded simulation
+    /// (0 = unsharded single pass).
+    pub shards: u64,
+    /// Simulate: snapshot interval in instructions for sharded
+    /// simulation (0 = derive from `length`/`shards`).
+    pub interval: u64,
 }
 
 impl Default for JobSpec {
@@ -276,6 +320,8 @@ impl Default for JobSpec {
             start: 0,
             length: 100_000,
             sim: "coresim".to_string(),
+            shards: 0,
+            interval: 0,
         }
     }
 }
@@ -295,6 +341,8 @@ impl JobSpec {
             ("start", Json::U64(self.start)),
             ("length", Json::U64(self.length)),
             ("sim", s(&self.sim)),
+            ("shards", Json::U64(self.shards)),
+            ("interval", Json::U64(self.interval)),
         ])
     }
 
@@ -317,7 +365,74 @@ impl JobSpec {
             start: u64_field(doc, "start", d.start)?,
             length: u64_field(doc, "length", d.length)?,
             sim: str_field(doc, "sim", &d.sim)?.to_string(),
+            shards: u64_field(doc, "shards", d.shards)?,
+            interval: u64_field(doc, "interval", d.interval)?,
         })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Job phases
+// ---------------------------------------------------------------------------
+
+/// A job's position in its lifecycle. Shard workers publish these into
+/// the job table as they run; `submit --follow` and `jobs --watch`
+/// clients receive them as [`Response::Progress`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Admitted; waiting in a shard's bounded queue.
+    Queued,
+    /// Profiling the region (reference run / BBV scan).
+    Profile,
+    /// Sharded simulate: slice `done` of `total` finished.
+    Slice {
+        /// Slices completed so far.
+        done: u64,
+        /// Total slices in the job.
+        total: u64,
+    },
+    /// Merging per-slice results back into one timeline.
+    Stitch,
+    /// Rendering the final report text.
+    Render,
+}
+
+impl JobPhase {
+    /// The stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Profile => "profile",
+            JobPhase::Slice { .. } => "slice",
+            JobPhase::Stitch => "stitch",
+            JobPhase::Render => "render",
+        }
+    }
+
+    /// Human-readable form (`slice 3/8`), used in `jobs` rows and
+    /// `--follow` output.
+    pub fn label(self) -> String {
+        match self {
+            JobPhase::Slice { done, total } => format!("slice {done}/{total}"),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// Parses the wire name plus the slice progress fields.
+    ///
+    /// # Errors
+    /// Unknown phase names are typed errors listing the valid set.
+    pub fn parse(name: &str, done: u64, total: u64) -> Result<JobPhase, String> {
+        match name {
+            "queued" => Ok(JobPhase::Queued),
+            "profile" => Ok(JobPhase::Profile),
+            "slice" => Ok(JobPhase::Slice { done, total }),
+            "stitch" => Ok(JobPhase::Stitch),
+            "render" => Ok(JobPhase::Render),
+            other => Err(format!(
+                "unknown job phase `{other}` (queued|profile|slice|stitch|render)"
+            )),
+        }
     }
 }
 
@@ -337,11 +452,22 @@ pub enum Request {
         tenant: String,
         /// The job itself.
         job: JobSpec,
+        /// Stream [`Response::Progress`] frames for phase changes
+        /// before the final result frame.
+        follow: bool,
     },
-    /// List the jobs the daemon has seen.
-    Jobs,
+    /// List the jobs the daemon has seen. With `watch_ms > 0` the
+    /// daemon streams a [`Response::Progress`] frame per phase change
+    /// for up to that many milliseconds before the final job list.
+    Jobs {
+        /// 0 = one-shot; otherwise how long to watch, in milliseconds.
+        watch_ms: u64,
+    },
     /// Daemon-wide counters (admission, cache, store, memory).
     Stats,
+    /// Snapshot of the daemon's metrics registry (per-shard queue
+    /// depths, request counters, job-latency histograms, …).
+    Metrics,
     /// Graceful drain: finish queued jobs, refuse new ones, exit.
     Shutdown,
 }
@@ -351,13 +477,22 @@ impl Request {
     pub fn to_json(&self) -> Json {
         match self {
             Request::Ping => obj(vec![("type", s("ping"))]),
-            Request::Submit { tenant, job } => obj(vec![
+            Request::Submit {
+                tenant,
+                job,
+                follow,
+            } => obj(vec![
                 ("type", s("submit")),
                 ("tenant", s(tenant)),
                 ("job", job.to_json()),
+                ("follow", Json::Bool(*follow)),
             ]),
-            Request::Jobs => obj(vec![("type", s("jobs"))]),
+            Request::Jobs { watch_ms } => obj(vec![
+                ("type", s("jobs")),
+                ("watch_ms", Json::U64(*watch_ms)),
+            ]),
             Request::Stats => obj(vec![("type", s("stats"))]),
+            Request::Metrics => obj(vec![("type", s("metrics"))]),
             Request::Shutdown => obj(vec![("type", s("shutdown"))]),
         }
     }
@@ -375,9 +510,13 @@ impl Request {
                     None | Some(Json::Null) => JobSpec::default(),
                     Some(j) => JobSpec::from_json(j)?,
                 },
+                follow: bool_field(doc, "follow", false)?,
             }),
-            "jobs" => Ok(Request::Jobs),
+            "jobs" => Ok(Request::Jobs {
+                watch_ms: u64_field(doc, "watch_ms", 0)?,
+            }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "" => Err("request has no `type`".to_string()),
             other => Err(format!("unknown request type `{other}`")),
@@ -404,6 +543,9 @@ pub struct JobSummary {
     pub shard: u64,
     /// `queued`/`running`/`done`/`failed`.
     pub state: String,
+    /// Latest published phase label (`slice 3/8`, …); empty when the
+    /// job has not published one.
+    pub phase: String,
 }
 
 impl JobSummary {
@@ -415,6 +557,7 @@ impl JobSummary {
             ("workload", s(&self.workload)),
             ("shard", Json::U64(self.shard)),
             ("state", s(&self.state)),
+            ("phase", s(&self.phase)),
         ])
     }
 
@@ -426,6 +569,7 @@ impl JobSummary {
             workload: str_field(doc, "workload", "")?.to_string(),
             shard: u64_field(doc, "shard", 0)?,
             state: str_field(doc, "state", "")?.to_string(),
+            phase: str_field(doc, "phase", "")?.to_string(),
         })
     }
 }
@@ -544,6 +688,23 @@ pub enum Response {
         /// Daemon-wide counters.
         stats: ServeStats,
     },
+    /// Answer to [`Request::Metrics`]: a point-in-time snapshot of the
+    /// daemon's metrics registry.
+    Metrics {
+        /// The registry snapshot (counters, gauges, histograms).
+        metrics: MetricsSnapshot,
+    },
+    /// One streamed phase change for a followed or watched job. Never
+    /// a final frame: the stream always ends with [`Response::Done`],
+    /// [`Response::Error`], or [`Response::Jobs`].
+    Progress {
+        /// Daemon-unique job id.
+        id: u64,
+        /// Shard running the job.
+        shard: u64,
+        /// The phase the job just entered.
+        phase: JobPhase,
+    },
     /// Answer to [`Request::Shutdown`]: the daemon is draining.
     Bye {
         /// Jobs completed over the daemon's lifetime.
@@ -589,6 +750,22 @@ impl Response {
             ]),
             Response::Stats { stats } => {
                 obj(vec![("type", s("stats")), ("stats", stats.to_json())])
+            }
+            Response::Metrics { metrics } => {
+                obj(vec![("type", s("metrics")), ("metrics", metrics.to_json())])
+            }
+            Response::Progress { id, shard, phase } => {
+                let mut fields = vec![
+                    ("type", s("progress")),
+                    ("id", Json::U64(*id)),
+                    ("shard", Json::U64(*shard)),
+                    ("phase", s(phase.name())),
+                ];
+                if let JobPhase::Slice { done, total } = phase {
+                    fields.push(("done", Json::U64(*done)));
+                    fields.push(("total", Json::U64(*total)));
+                }
+                obj(fields)
             }
             Response::Bye { drained } => {
                 obj(vec![("type", s("bye")), ("drained", Json::U64(*drained))])
@@ -637,6 +814,21 @@ impl Response {
                     Some(v) => ServeStats::from_json(v)?,
                 },
             }),
+            "metrics" => Ok(Response::Metrics {
+                metrics: match doc.get("metrics") {
+                    None | Some(Json::Null) => MetricsSnapshot::default(),
+                    Some(v) => MetricsSnapshot::from_json(v)?,
+                },
+            }),
+            "progress" => Ok(Response::Progress {
+                id: u64_field(doc, "id", 0)?,
+                shard: u64_field(doc, "shard", 0)?,
+                phase: JobPhase::parse(
+                    str_field(doc, "phase", "")?,
+                    u64_field(doc, "done", 0)?,
+                    u64_field(doc, "total", 0)?,
+                )?,
+            }),
             "bye" => Ok(Response::Bye {
                 drained: u64_field(doc, "drained", 0)?,
             }),
@@ -658,11 +850,68 @@ mod tests {
                 workload: "gcc_like".to_string(),
                 ..JobSpec::default()
             },
+            follow: true,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &req.to_json()).unwrap();
         let doc = read_frame(&mut buf.as_slice()).unwrap();
         assert_eq!(Request::from_json(&doc).unwrap(), req);
+    }
+
+    #[test]
+    fn rid_stamps_and_reads_back() {
+        let doc = with_rid(Request::Ping.to_json(), 0xfeed);
+        assert_eq!(frame_rid(&doc), 0xfeed);
+        // Still a decodable ping: rid rides the envelope, not the verb.
+        assert_eq!(Request::from_json(&doc).unwrap(), Request::Ping);
+        // Zero is "untagged" and stamps nothing.
+        let doc = with_rid(Request::Ping.to_json(), 0);
+        assert_eq!(doc.get("rid"), None);
+        assert_eq!(frame_rid(&doc), 0);
+        // Re-stamping replaces, never duplicates.
+        let doc = with_rid(with_rid(Request::Ping.to_json(), 1), 2);
+        assert_eq!(frame_rid(&doc), 2);
+        let fields = doc.as_obj().unwrap();
+        assert_eq!(fields.iter().filter(|(k, _)| k == "rid").count(), 1);
+    }
+
+    #[test]
+    fn progress_frames_roundtrip_and_unknown_phases_are_typed_errors() {
+        for phase in [
+            JobPhase::Queued,
+            JobPhase::Profile,
+            JobPhase::Slice { done: 3, total: 8 },
+            JobPhase::Stitch,
+            JobPhase::Render,
+        ] {
+            let resp = Response::Progress {
+                id: 7,
+                shard: 2,
+                phase,
+            };
+            assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        }
+        let doc = Json::parse(r#"{"type":"progress","id":1,"phase":"warp"}"#).unwrap();
+        let err = Response::from_json(&doc).unwrap_err();
+        assert!(err.contains("warp") && err.contains("job phase"), "{err}");
+        assert_eq!(JobPhase::Slice { done: 3, total: 8 }.label(), "slice 3/8");
+    }
+
+    #[test]
+    fn metrics_response_roundtrips() {
+        let mut metrics = MetricsSnapshot::default();
+        metrics.counters.insert("serve.busy_shed".to_string(), 4);
+        metrics.gauges.insert("serve.uptime_s".to_string(), 90);
+        let resp = Response::Metrics { metrics };
+        assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        // A bare metrics envelope decodes to the empty snapshot.
+        let doc = Json::parse(r#"{"type":"metrics"}"#).unwrap();
+        assert_eq!(
+            Response::from_json(&doc).unwrap(),
+            Response::Metrics {
+                metrics: MetricsSnapshot::default()
+            }
+        );
     }
 
     #[test]

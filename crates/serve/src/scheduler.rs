@@ -16,14 +16,14 @@
 //! drain**: dropping the shard senders lets each worker finish its
 //! queued jobs and exit; [`Scheduler::drain`] joins them all.
 
-use crate::protocol::{JobKind, JobSpec, JobSummary, ServeStats};
+use crate::protocol::{JobKind, JobPhase, JobSpec, JobSummary, ServeStats};
 use elfie::prelude::*;
-use elfie::trace::Tracer;
+use elfie::trace::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Scheduler sizing.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +32,11 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Bounded queue depth per shard; a full queue sheds load.
     pub queue_depth: usize,
+    /// Record serving metrics (queue depths, request counters, latency
+    /// histograms) into the daemon's registry. Off, the hot path does
+    /// no metric work at all — the `daemon_serve` bench A/Bs the two to
+    /// hold the telemetry overhead under its budget.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -39,8 +44,34 @@ impl Default for ServeConfig {
         ServeConfig {
             shards: 4,
             queue_depth: 64,
+            telemetry: true,
         }
     }
+}
+
+/// What happened to an enqueue attempt. Unlike [`Submitted`], a queued
+/// job's result has not been waited for yet: the caller holds the reply
+/// channel and can stream progress while the job runs.
+#[derive(Debug)]
+pub enum Enqueued {
+    /// The job is on a shard queue; its outcome will arrive on `reply`.
+    Queued {
+        /// Daemon-unique job id.
+        id: u64,
+        /// Shard the job hashed to.
+        shard: u64,
+        /// Rendezvous channel the shard sends the outcome on.
+        reply: mpsc::Receiver<JobOutcome>,
+    },
+    /// The target shard's queue was full; nothing was queued.
+    Busy {
+        /// The shard that was full.
+        shard: u64,
+        /// Its queue capacity.
+        capacity: u64,
+    },
+    /// The job never reached a shard (invalid tenant, draining daemon).
+    Rejected(String),
 }
 
 /// What happened to a submitted job.
@@ -80,6 +111,10 @@ struct ShardJob {
     spec: JobSpec,
     enqueued: Instant,
     reply: mpsc::SyncSender<JobOutcome>,
+    /// Client-stamped correlation id (0 = untagged); threaded onto the
+    /// worker's job span so a merged client+server trace can be
+    /// filtered to one request's causal chain.
+    rid: u64,
 }
 
 /// Job states the table tracks (`JobSummary::state` strings).
@@ -93,39 +128,169 @@ const FAILED: &str = "failed";
 const RETAINED_JOBS: usize = 1024;
 
 #[derive(Default)]
+struct TableState {
+    rows: BTreeMap<u64, JobSummary>,
+    /// Typed phase *history* per job (consecutive duplicates elided;
+    /// the row carries only the latest display label). A follower that
+    /// wakes late replays the tail it has not sent yet, so no phase
+    /// transition is ever lost to polling. Evicted with the row.
+    phases: BTreeMap<u64, Vec<JobPhase>>,
+    /// Bumped on every mutation; watchers block on it via the condvar.
+    version: u64,
+}
+
+#[derive(Default)]
 struct JobTable {
-    rows: Mutex<BTreeMap<u64, JobSummary>>,
+    state: Mutex<TableState>,
+    changed: Condvar,
 }
 
 impl JobTable {
     fn insert(&self, row: JobSummary) {
-        let mut rows = self.rows.lock().unwrap();
-        rows.insert(row.id, row);
-        while rows.len() > RETAINED_JOBS {
+        let mut state = self.state.lock().unwrap();
+        state.phases.insert(row.id, vec![JobPhase::Queued]);
+        state.rows.insert(row.id, row);
+        while state.rows.len() > RETAINED_JOBS {
             // Evict the oldest *finished* row; live rows are never dropped.
-            let evict = rows
+            let evict = state
+                .rows
                 .iter()
                 .find(|(_, r)| r.state == DONE || r.state == FAILED)
                 .map(|(id, _)| *id);
             match evict {
-                Some(id) => rows.remove(&id),
+                Some(id) => {
+                    state.rows.remove(&id);
+                    state.phases.remove(&id);
+                }
                 None => break,
             };
         }
+        self.bump(&mut state);
     }
 
-    fn set_state(&self, id: u64, state: &str) {
-        if let Some(row) = self.rows.lock().unwrap().get_mut(&id) {
-            row.state = state.to_string();
+    fn bump(&self, state: &mut TableState) {
+        state.version += 1;
+        self.changed.notify_all();
+    }
+
+    fn set_state(&self, id: u64, job_state: &str) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(row) = state.rows.get_mut(&id) {
+            row.state = job_state.to_string();
+            self.bump(&mut state);
+        }
+    }
+
+    fn set_phase(&self, id: u64, phase: JobPhase) {
+        let mut state = self.state.lock().unwrap();
+        if let Some(row) = state.rows.get_mut(&id) {
+            row.phase = phase.label();
+            let hist = state.phases.entry(id).or_default();
+            if hist.last() != Some(&phase) {
+                hist.push(phase);
+            }
+            self.bump(&mut state);
         }
     }
 
     fn remove(&self, id: u64) {
-        self.rows.lock().unwrap().remove(&id);
+        let mut state = self.state.lock().unwrap();
+        state.rows.remove(&id);
+        state.phases.remove(&id);
+        self.bump(&mut state);
     }
 
     fn snapshot(&self) -> Vec<JobSummary> {
-        self.rows.lock().unwrap().values().cloned().collect()
+        self.state.lock().unwrap().rows.values().cloned().collect()
+    }
+
+    fn version(&self) -> u64 {
+        self.state.lock().unwrap().version
+    }
+
+    fn phases(&self) -> Vec<(u64, u64, JobPhase)> {
+        let state = self.state.lock().unwrap();
+        state
+            .phases
+            .iter()
+            .filter_map(|(&id, hist)| {
+                let &phase = hist.last()?;
+                state.rows.get(&id).map(|row| (id, row.shard, phase))
+            })
+            .collect()
+    }
+
+    fn phase_of(&self, id: u64) -> Option<(u64, JobPhase)> {
+        let state = self.state.lock().unwrap();
+        let phase = *state.phases.get(&id)?.last()?;
+        Some((state.rows.get(&id)?.shard, phase))
+    }
+
+    /// The phase transitions of job `id` from history index `from` on.
+    /// A follower replays exactly the tail it has not streamed yet, so
+    /// fast transitions cannot be coalesced away between wakeups.
+    fn phases_since(&self, id: u64, from: usize) -> Option<(u64, Vec<JobPhase>)> {
+        let state = self.state.lock().unwrap();
+        let hist = state.phases.get(&id)?;
+        let shard = state.rows.get(&id)?.shard;
+        Some((shard, hist.get(from..).unwrap_or(&[]).to_vec()))
+    }
+
+    /// Blocks until the table's version exceeds `seen` or `timeout`
+    /// elapses; returns the current version either way.
+    fn wait_change(&self, seen: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().unwrap();
+        while state.version <= seen {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (next, result) = self.changed.wait_timeout(state, left).unwrap();
+            state = next;
+            if result.timed_out() {
+                break;
+            }
+        }
+        state.version
+    }
+}
+
+/// Pre-registered metric handles: the hot path touches atomics only,
+/// never the registry's name map.
+struct ServeMetrics {
+    registry: Arc<MetricsRegistry>,
+    jobs_submitted: Arc<Counter>,
+    jobs_completed: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    busy_shed: Arc<Counter>,
+    job_latency: Arc<Histogram>,
+    /// One queue-depth gauge per shard, indexed by shard number.
+    shard_depth: Vec<Arc<Gauge>>,
+    store_hits: Arc<Counter>,
+    store_puts: Arc<Counter>,
+    peak_rss: Arc<Gauge>,
+    owned_rss: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(shards: usize) -> ServeMetrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        ServeMetrics {
+            jobs_submitted: registry.counter("serve.jobs.submitted"),
+            jobs_completed: registry.counter("serve.jobs.completed"),
+            jobs_failed: registry.counter("serve.jobs.failed"),
+            busy_shed: registry.counter("serve.busy_shed"),
+            job_latency: registry.histogram("serve.job_latency_ns"),
+            shard_depth: (0..shards)
+                .map(|i| registry.gauge(&format!("serve.shard{i}.queue_depth")))
+                .collect(),
+            store_hits: registry.counter("serve.store.hits"),
+            store_puts: registry.counter("serve.store.puts"),
+            peak_rss: registry.gauge("serve.peak_rss_bytes"),
+            owned_rss: registry.gauge("serve.owned_rss_bytes"),
+            registry,
+        }
     }
 }
 
@@ -140,6 +305,8 @@ struct Shared {
     table: JobTable,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// `None` when telemetry is disabled: workers skip all metric work.
+    metrics: Option<ServeMetrics>,
 }
 
 /// The sharded scheduler. One per daemon; [`Scheduler::submit`] is safe
@@ -183,6 +350,7 @@ impl Scheduler {
     /// unusable path surfaces as per-job failures, while the daemon
     /// front end validates it up front.
     pub fn start(store_dir: PathBuf, cfg: ServeConfig, tracer: Option<Arc<Tracer>>) -> Scheduler {
+        let shards = cfg.shards.max(1);
         let shared = Arc::new(Shared {
             store_dir,
             tracer,
@@ -191,8 +359,8 @@ impl Scheduler {
             table: JobTable::default(),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            metrics: cfg.telemetry.then(|| ServeMetrics::new(shards)),
         });
-        let shards = cfg.shards.max(1);
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -222,11 +390,15 @@ impl Scheduler {
         self.senders.len()
     }
 
-    /// Admits `spec` under `tenant` and blocks until it finishes. A full
-    /// target shard sheds the job immediately with [`Submitted::Busy`].
-    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Submitted {
+    /// Admits `spec` under `tenant` without waiting for it: on success
+    /// the caller holds the reply channel and can stream the job's
+    /// phase changes ([`Scheduler::wait_table_change`]) while it runs.
+    /// A full target shard sheds the job immediately. `rid` is the
+    /// client's correlation id (0 = untagged), threaded onto the
+    /// worker's job span.
+    pub fn enqueue(&self, tenant: &str, spec: JobSpec, rid: u64) -> Enqueued {
         if !valid_tenant(tenant) {
-            return Submitted::Rejected(format!(
+            return Enqueued::Rejected(format!(
                 "invalid tenant `{tenant}` (1-64 chars of [A-Za-z0-9._-])"
             ));
         }
@@ -239,6 +411,7 @@ impl Scheduler {
             spec: spec.clone(),
             enqueued: Instant::now(),
             reply: reply_tx,
+            rid,
         };
         // Table first so the shard's `running` transition cannot race the
         // insert; a shed submit removes the row again (only admitted jobs
@@ -250,25 +423,54 @@ impl Scheduler {
             workload: spec.workload.clone(),
             shard: shard as u64,
             state: QUEUED.to_string(),
+            phase: JobPhase::Queued.label(),
         });
         match self.senders[shard].try_send(job) {
             Ok(()) => {}
             Err(mpsc::TrySendError::Full(_)) => {
                 // Shed: nothing was queued, so nothing stays tabled.
                 self.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.shared.metrics {
+                    m.busy_shed.add(1);
+                }
                 self.shared.table.remove(id);
-                return Submitted::Busy {
+                return Enqueued::Busy {
                     shard: shard as u64,
                     capacity: self.queue_depth as u64,
                 };
             }
             Err(mpsc::TrySendError::Disconnected(_)) => {
                 self.shared.table.remove(id);
-                return Submitted::Rejected("daemon is draining".to_string());
+                return Enqueued::Rejected("daemon is draining".to_string());
             }
         }
         self.accepted.fetch_add(1, Ordering::Relaxed);
-        match reply_rx.recv() {
+        if let Some(m) = &self.shared.metrics {
+            m.jobs_submitted.add(1);
+            m.shard_depth[shard].adjust(1);
+        }
+        Enqueued::Queued {
+            id,
+            shard: shard as u64,
+            reply: reply_rx,
+        }
+    }
+
+    /// Admits `spec` under `tenant` and blocks until it finishes. A full
+    /// target shard sheds the job immediately with [`Submitted::Busy`].
+    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Submitted {
+        match self.enqueue(tenant, spec, 0) {
+            Enqueued::Queued { id, reply, .. } => self.await_outcome(id, &reply),
+            Enqueued::Busy { shard, capacity } => Submitted::Busy { shard, capacity },
+            Enqueued::Rejected(msg) => Submitted::Rejected(msg),
+        }
+    }
+
+    /// Blocks on an [`Enqueued::Queued`] job's reply channel and folds
+    /// the broken-channel case (drain raced the submit) into
+    /// [`Submitted::Rejected`], marking the job failed in the table.
+    pub fn await_outcome(&self, id: u64, reply: &mpsc::Receiver<JobOutcome>) -> Submitted {
+        match reply.recv() {
             Ok(outcome) => Submitted::Finished(outcome),
             // The shard died mid-job (drain raced a submit).
             Err(_) => {
@@ -281,6 +483,62 @@ impl Scheduler {
     /// Every job the table retains, id-ascending.
     pub fn jobs(&self) -> Vec<JobSummary> {
         self.shared.table.snapshot()
+    }
+
+    /// The job table's current change version (see
+    /// [`Scheduler::wait_table_change`]).
+    pub fn table_version(&self) -> u64 {
+        self.shared.table.version()
+    }
+
+    /// Blocks until the job table changes past version `seen` or
+    /// `timeout` elapses; returns the current version either way.
+    /// Watch/follow connection threads poll on this — shard workers
+    /// never wait for a watcher.
+    pub fn wait_table_change(&self, seen: u64, timeout: Duration) -> u64 {
+        self.shared.table.wait_change(seen, timeout)
+    }
+
+    /// Latest published `(id, shard, phase)` per retained job.
+    pub fn phases(&self) -> Vec<(u64, u64, JobPhase)> {
+        self.shared.table.phases()
+    }
+
+    /// Latest `(shard, phase)` of one job, if still tabled.
+    pub fn phase_of(&self, id: u64) -> Option<(u64, JobPhase)> {
+        self.shared.table.phase_of(id)
+    }
+
+    /// The `(shard, phases)` tail of one job's phase history from index
+    /// `from` on — the lossless feed behind `submit --follow`.
+    pub fn phases_since(&self, id: u64, from: usize) -> Option<(u64, Vec<JobPhase>)> {
+        self.shared.table.phases_since(id, from)
+    }
+
+    /// The daemon-private metrics registry (`None` with telemetry off).
+    /// The daemon layer registers its request counters and uptime gauge
+    /// here so one snapshot covers the whole process.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.shared.metrics.as_ref().map(|m| &m.registry)
+    }
+
+    /// A point-in-time metrics snapshot, with scrape-time derived
+    /// values (store totals, RSS gauges) refreshed from
+    /// [`Scheduler::stats`] first. Empty when telemetry is off.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        match &self.shared.metrics {
+            None => MetricsSnapshot::default(),
+            Some(m) => {
+                let stats = self.stats();
+                m.store_hits.observe_total(stats.store_hits);
+                m.store_puts.observe_total(stats.store_puts);
+                m.peak_rss
+                    .set(i64::try_from(stats.peak_rss_bytes).unwrap_or(i64::MAX));
+                m.owned_rss
+                    .set(i64::try_from(stats.owned_rss_bytes).unwrap_or(i64::MAX));
+                m.registry.snapshot()
+            }
+        }
     }
 
     /// Daemon-wide counters: admission totals plus the roll-up of every
@@ -343,20 +601,26 @@ fn shard_worker(shard: usize, rx: &mpsc::Receiver<ShardJob>, shared: &Shared) {
     }
     let mut tenants: HashMap<String, Arc<PipelineCache>> = HashMap::new();
     while let Ok(job) = rx.recv() {
+        if let Some(m) = &shared.metrics {
+            m.shard_depth[shard].adjust(-1);
+        }
         let queue_ns = job.enqueued.elapsed().as_nanos() as u64;
         shared.table.set_state(job.id, RUNNING);
         let cache = tenant_cache(&mut tenants, &job.tenant, shared);
         let t0 = Instant::now();
         let result = {
-            let _span = shared.tracer.as_ref().map(|t| {
+            let mut span = shared.tracer.as_ref().map(|t| {
                 t.span_labeled(
                     "serve",
                     "job",
                     format!("{}:{}#{}", job.tenant, job.spec.workload, job.id),
                 )
             });
+            if let (Some(span), true) = (span.as_mut(), job.rid != 0) {
+                span.arg("request_id", job.rid);
+            }
             match cache {
-                Ok(ref cache) => execute(&job.spec, cache, shared),
+                Ok(ref cache) => execute(&job.spec, job.id, cache, shared),
                 Err(ref e) => Err(e.clone()),
             }
         };
@@ -371,6 +635,13 @@ fn shard_worker(shard: usize, rx: &mpsc::Receiver<ShardJob>, shared: &Shared) {
                 shared.table.set_state(job.id, FAILED);
             }
         };
+        if let Some(m) = &shared.metrics {
+            match &result {
+                Ok(_) => m.jobs_completed.add(1),
+                Err(_) => m.jobs_failed.add(1),
+            }
+            m.job_latency.record(queue_ns.saturating_add(run_ns));
+        }
         // The submitter may have given up (connection dropped); a full
         // or disconnected reply slot is fine either way.
         let _ = job.reply.try_send(JobOutcome {
@@ -407,8 +678,14 @@ fn tenant_cache(
 
 /// Runs one job against the tenant's cache. Validate reports are the
 /// canonical [`elfie::render::validation_report`] bytes — bit-identical
-/// to offline `elfie validate` with the same knobs.
-fn execute(spec: &JobSpec, cache: &Arc<PipelineCache>, shared: &Shared) -> Result<String, String> {
+/// to offline `elfie validate` with the same knobs. `id` is the job's
+/// table row, where phase progress is published.
+fn execute(
+    spec: &JobSpec,
+    id: u64,
+    cache: &Arc<PipelineCache>,
+    shared: &Shared,
+) -> Result<String, String> {
     let scale = InputScale::parse(&spec.scale)?;
     let w = elfie::workloads::find_workload(&spec.workload, scale)
         .ok_or_else(|| format!("unknown workload `{}`", spec.workload))?;
@@ -459,10 +736,50 @@ fn execute(spec: &JobSpec, cache: &Arc<PipelineCache>, shared: &Shared) -> Resul
         JobKind::Simulate => {
             let pb = captured_region(cache, &w, spec)?;
             let sim = simulator_by_name(&spec.sim)?;
-            let o = elfie::sim::simulate_pinball(&pb, &sim);
+            if spec.shards == 0 {
+                let o = elfie::sim::simulate_pinball(&pb, &sim);
+                return Ok(format!(
+                    "sim {} on {}: {} cycles, IPC {:.4}, CPI {:.4}, exit {:?}\n",
+                    spec.sim, pb.region.name, o.cycles, o.ipc, o.cpi, o.exit
+                ));
+            }
+            let cfg = ShardConfig {
+                shards: spec.shards as usize,
+                interval: if spec.interval > 0 {
+                    spec.interval
+                } else {
+                    // Aim for one slice per shard over the region.
+                    (spec.length / spec.shards).max(1)
+                },
+            };
+            let table = &shared.table;
+            let sharded = elfie::sim::simulate_pinball_sharded_with_progress(
+                &pb,
+                &sim,
+                &cfg,
+                &|p: ShardPhase| {
+                    table.set_phase(
+                        id,
+                        match p {
+                            ShardPhase::Profile => JobPhase::Profile,
+                            ShardPhase::Slice { done, total } => JobPhase::Slice { done, total },
+                            ShardPhase::Stitch => JobPhase::Stitch,
+                        },
+                    );
+                },
+            );
+            table.set_phase(id, JobPhase::Render);
+            let o = &sharded.outcome;
             Ok(format!(
-                "sim {} on {}: {} cycles, IPC {:.4}, CPI {:.4}, exit {:?}\n",
-                spec.sim, pb.region.name, o.cycles, o.ipc, o.cpi, o.exit
+                "sim {} on {} ({} slices, {} workers): {} cycles, IPC {:.4}, CPI {:.4}, exit {:?}\n",
+                spec.sim,
+                pb.region.name,
+                sharded.slices.len(),
+                sharded.workers,
+                o.cycles,
+                o.ipc,
+                o.cpi,
+                o.exit
             ))
         }
     }

@@ -29,4 +29,7 @@ pub mod shard;
 pub use crate::core::{CoreParams, KernelModel, RoiMode, SimStats, TimingObserver};
 pub use cache::{Cache, CacheParams, NextLinePrefetcher, Tlb};
 pub use drivers::{simulate_elfie, simulate_pinball, simulate_program, SimOutcome, Simulator};
-pub use shard::{simulate_pinball_sharded, ShardConfig, ShardedOutcome, SliceReport};
+pub use shard::{
+    simulate_pinball_sharded, simulate_pinball_sharded_with_progress, ShardConfig, ShardPhase,
+    ShardedOutcome, SliceReport,
+};

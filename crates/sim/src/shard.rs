@@ -71,6 +71,24 @@ impl Default for ShardConfig {
     }
 }
 
+/// Progress notifications emitted by
+/// [`simulate_pinball_sharded_with_progress`] as the run crosses phase
+/// boundaries. The serve layer forwards these to `--follow` clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPhase {
+    /// The profiling pass (snapshot chain + BBV collection) started.
+    Profile,
+    /// `done` of `total` slices have finished simulating.
+    Slice {
+        /// Slices finished so far.
+        done: u64,
+        /// Total slices in this run.
+        total: u64,
+    },
+    /// The deterministic stitch started.
+    Stitch,
+}
+
 /// Per-slice accounting from a sharded run, in slice order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SliceReport {
@@ -255,6 +273,25 @@ pub fn simulate_pinball_sharded(
     sim: &Simulator,
     cfg: &ShardConfig,
 ) -> ShardedOutcome {
+    simulate_pinball_sharded_with_progress(pinball, sim, cfg, &|_| {})
+}
+
+/// [`simulate_pinball_sharded`] with a phase-progress callback.
+///
+/// `progress` is invoked from the calling thread for [`ShardPhase::
+/// Profile`] and [`ShardPhase::Stitch`], and from worker threads for
+/// each [`ShardPhase::Slice`] completion (hence the `Sync` bound). The
+/// callback must be cheap and non-blocking: it runs inside the
+/// simulation fan-out.
+///
+/// # Panics
+/// Same contract as [`simulate_pinball_sharded`].
+pub fn simulate_pinball_sharded_with_progress(
+    pinball: &Pinball,
+    sim: &Simulator,
+    cfg: &ShardConfig,
+    progress: &(dyn Fn(ShardPhase) + Sync),
+) -> ShardedOutcome {
     let interval = cfg.interval.max(1);
     let mut span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "simulate_sharded");
     span.arg("shards", cfg.shards as u64);
@@ -262,6 +299,7 @@ pub fn simulate_pinball_sharded(
     let replayer = replayer_for(sim);
 
     // Phase 1: profiling pass (functional; emits the snapshot chain).
+    progress(ShardPhase::Profile);
     let t0 = Instant::now();
     let (snaps, bbv, _profile_summary) = profile_pass(pinball, sim, &replayer, interval);
     let snapshot_bytes: u64 = snaps.iter().map(|s| s.to_bytes().len() as u64).sum();
@@ -271,9 +309,21 @@ pub fn simulate_pinball_sharded(
     let t1 = Instant::now();
     let nslices = snaps.len() + 1;
     let workers = cfg.shards.max(1).min(nslices);
+    let finished = AtomicUsize::new(0);
+    let slice_done = |_i: usize| {
+        let done = finished.fetch_add(1, Ordering::Relaxed) as u64 + 1;
+        progress(ShardPhase::Slice {
+            done,
+            total: nslices as u64,
+        });
+    };
     let outs: Vec<SliceOut> = if workers <= 1 {
         (0..nslices)
-            .map(|i| run_slice(pinball, sim, &replayer, &snaps, i))
+            .map(|i| {
+                let out = run_slice(pinball, sim, &replayer, &snaps, i);
+                slice_done(i);
+                out
+            })
             .collect()
     } else {
         let next = AtomicUsize::new(0);
@@ -287,6 +337,7 @@ pub fn simulate_pinball_sharded(
                     }
                     let out = run_slice(pinball, sim, &replayer, &snaps, i);
                     *slots[i].lock().unwrap() = Some(out);
+                    slice_done(i);
                 });
             }
         });
@@ -298,6 +349,7 @@ pub fn simulate_pinball_sharded(
     let simulate_wall_ns = t1.elapsed().as_nanos() as u64;
 
     // Phase 3: deterministic stitch, in slice order.
+    progress(ShardPhase::Stitch);
     let t2 = Instant::now();
     let mut stitch_span = elfie_trace::maybe_span(sim.tracer.as_ref(), "sim", "shard_stitch");
     let mut stats = SimStats::default();

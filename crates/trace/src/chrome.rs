@@ -98,6 +98,7 @@ pub fn chrome_trace(data: &TraceData) -> Json {
                 ),
                 ("version".to_string(), Json::U64(CHROME_TRACE_VERSION)),
                 ("dropped_events".to_string(), Json::U64(data.dropped)),
+                ("ring_capacity".to_string(), Json::U64(data.ring_capacity)),
             ]),
         ),
     ])
@@ -220,6 +221,7 @@ mod tests {
                 }],
             }],
             dropped: 3,
+            ring_capacity: 8,
         };
         let doc = chrome_trace(&data);
         let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
@@ -233,6 +235,14 @@ mod tests {
                 .unwrap()
                 .as_u64(),
             Some(3)
+        );
+        assert_eq!(
+            doc.get("otherData")
+                .unwrap()
+                .get("ring_capacity")
+                .unwrap()
+                .as_u64(),
+            Some(8)
         );
     }
 

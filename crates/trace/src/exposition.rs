@@ -1,0 +1,327 @@
+//! Prometheus-compatible text exposition for [`MetricsSnapshot`]s.
+//!
+//! The renderer emits the subset of the Prometheus text format that the
+//! registry can express — `counter`, `gauge`, and `histogram` families —
+//! and the parser reads that subset back, so a scraped document
+//! round-trips to the snapshot it came from. Grammar per family:
+//!
+//! ```text
+//! # TYPE <name> counter|gauge
+//! <name> <integer>
+//!
+//! # TYPE <name> histogram
+//! <name>_bucket{le="<ceil>"} <cumulative>   (one line per non-empty bucket)
+//! <name>_bucket{le="+Inf"} <count>
+//! <name>_sum <sum>
+//! <name>_count <count>
+//! ```
+//!
+//! `le` bounds are the **inclusive** log2 bucket ceilings
+//! ([`Histogram::bucket_ceil`]): `0`, `1`, `3`, `7`, …, `2^63 - 1`,
+//! `u64::MAX` — so cumulative counts translate to per-bucket counts
+//! without rebinning. Names are sanitized to the Prometheus charset
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`) on render; dots become underscores, so
+//! `serve.shard0.queue_depth` exposes as `serve_shard0_queue_depth`.
+//! The `_bucket`/`_sum`/`_count` suffixes are reserved for histogram
+//! series, as in Prometheus itself.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Maps a metric name onto the Prometheus charset: the first character
+/// must match `[a-zA-Z_:]`, the rest `[a-zA-Z0-9_:]`; anything else
+/// becomes `_`. Empty names become `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_string();
+    }
+    name.chars()
+        .enumerate()
+        .map(|(i, c)| match c {
+            'a'..='z' | 'A'..='Z' | '_' | ':' => c,
+            '0'..='9' if i > 0 => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// Renders a snapshot as Prometheus exposition text. Families are
+/// emitted counters-first, then gauges, then histograms, each in name
+/// order; an empty snapshot renders as the empty string.
+pub fn render_exposition(snap: &MetricsSnapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative = cumulative.saturating_add(n);
+            let le = Histogram::bucket_ceil(i);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+/// What a `# TYPE` line declared a family to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Parses exposition text produced by [`render_exposition`] back into a
+/// snapshot.
+///
+/// # Errors
+/// Describes the first line that fails to parse: unknown TYPE kinds,
+/// samples without a TYPE declaration, non-integer values, `le` bounds
+/// that are not log2 bucket ceilings, or histogram series whose
+/// cumulative counts disagree with their `_count` line.
+pub fn parse_exposition(text: &str) -> Result<MetricsSnapshot, String> {
+    let mut kinds: BTreeMap<String, Kind> = BTreeMap::new();
+    let mut snap = MetricsSnapshot::default();
+    // Histogram series under assembly: cumulative counts per le, sum,
+    // and the +Inf/_count totals (which must agree).
+    #[derive(Default)]
+    struct Partial {
+        cumulative: Vec<(u64, u64)>,
+        inf: Option<u64>,
+        sum: Option<u64>,
+        count: Option<u64>,
+    }
+    let mut partials: BTreeMap<String, Partial> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| fail("TYPE without a name".into()))?;
+            let kind = match it.next() {
+                Some("counter") => Kind::Counter,
+                Some("gauge") => Kind::Gauge,
+                Some("histogram") => Kind::Histogram,
+                other => return Err(fail(format!("unknown TYPE kind {other:?}"))),
+            };
+            kinds.insert(name.to_string(), kind);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| fail("sample without a value".into()))?;
+        let series = series.trim();
+        // Split off the optional {labels} block.
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| fail("unterminated label block".into()))?;
+                (n, Some(labels))
+            }
+            None => (series, None),
+        };
+        // Exact TYPE matches win; histogram series fall through to
+        // suffix resolution against their declared base family.
+        match kinds.get(name) {
+            Some(Kind::Counter) => {
+                let v = value
+                    .parse::<u64>()
+                    .map_err(|_| fail(format!("counter `{name}`: bad value `{value}`")))?;
+                snap.counters.insert(name.to_string(), v);
+            }
+            Some(Kind::Gauge) => {
+                let v = value
+                    .parse::<i64>()
+                    .map_err(|_| fail(format!("gauge `{name}`: bad value `{value}`")))?;
+                snap.gauges.insert(name.to_string(), v);
+            }
+            Some(Kind::Histogram) => {
+                return Err(fail(format!(
+                    "histogram `{name}` sampled without a _bucket/_sum/_count suffix"
+                )));
+            }
+            None => {
+                let (base, piece) = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| name.strip_suffix(s).map(|b| (b, *s)))
+                    .ok_or_else(|| fail(format!("sample `{name}` has no TYPE declaration")))?;
+                if kinds.get(base) != Some(&Kind::Histogram) {
+                    return Err(fail(format!("sample `{name}` has no TYPE declaration")));
+                }
+                let partial = partials.entry(base.to_string()).or_default();
+                let v = value
+                    .parse::<u64>()
+                    .map_err(|_| fail(format!("histogram `{base}`: bad value `{value}`")))?;
+                match piece {
+                    "_sum" => partial.sum = Some(v),
+                    "_count" => partial.count = Some(v),
+                    _ => {
+                        let le = labels
+                            .and_then(|l| l.strip_prefix("le=\""))
+                            .and_then(|l| l.strip_suffix('"'))
+                            .ok_or_else(|| fail(format!("histogram `{base}`: missing le label")))?;
+                        if le == "+Inf" {
+                            partial.inf = Some(v);
+                        } else {
+                            let le = le
+                                .parse::<u64>()
+                                .map_err(|_| fail(format!("histogram `{base}`: bad le `{le}`")))?;
+                            let i = Histogram::bucket_index(le);
+                            if Histogram::bucket_ceil(i) != le {
+                                return Err(fail(format!(
+                                    "histogram `{base}`: le {le} is not a bucket ceiling"
+                                )));
+                            }
+                            partial.cumulative.push((le, v));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Every declared histogram assembles from its series, even when it
+    // had no samples at all (count 0, no bucket lines).
+    for (name, kind) in &kinds {
+        if *kind != Kind::Histogram {
+            continue;
+        }
+        let partial = partials.remove(name).unwrap_or_default();
+        let total = partial
+            .count
+            .ok_or_else(|| format!("histogram `{name}`: missing _count"))?;
+        let sum = partial
+            .sum
+            .ok_or_else(|| format!("histogram `{name}`: missing _sum"))?;
+        if partial.inf != Some(total) {
+            return Err(format!(
+                "histogram `{name}`: le=\"+Inf\" {:?} disagrees with _count {total}",
+                partial.inf
+            ));
+        }
+        let mut cumulative = partial.cumulative;
+        cumulative.sort_unstable_by_key(|&(le, _)| le);
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut prev = 0u64;
+        for (le, cum) in cumulative {
+            let count = cum.checked_sub(prev).ok_or_else(|| {
+                format!("histogram `{name}`: cumulative counts decrease at le {le}")
+            })?;
+            buckets[Histogram::bucket_index(le)] = count;
+            prev = cum;
+        }
+        if prev != total {
+            return Err(format!(
+                "histogram `{name}`: buckets sum to {prev}, _count says {total}"
+            ));
+        }
+        snap.histograms
+            .insert(name.clone(), HistogramSnapshot { buckets, sum });
+    }
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn names_sanitize_to_the_prometheus_charset() {
+        assert_eq!(
+            sanitize_metric_name("serve.shard0.depth"),
+            "serve_shard0_depth"
+        );
+        assert_eq!(sanitize_metric_name("0leading"), "_leading");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("sp ace/π"), "sp_ace__");
+    }
+
+    #[test]
+    fn rendered_families_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.requests.ping").add(9);
+        reg.gauge("serve.shard0.queue_depth").set(-2);
+        let h = reg.histogram("serve.job_latency_ns");
+        for v in [0u64, 1, 3, 900, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let text = render_exposition(&snap);
+        assert!(text.contains("# TYPE serve_requests_ping counter"));
+        assert!(text.contains("serve_shard0_queue_depth -2"));
+        assert!(text.contains("serve_job_latency_ns_bucket{le=\"+Inf\"} 6"));
+        let back = parse_exposition(&text).unwrap();
+        // Keys come back sanitized; values and buckets are exact.
+        assert_eq!(back.counters["serve_requests_ping"], 9);
+        assert_eq!(back.gauges["serve_shard0_queue_depth"], -2);
+        let hb = &back.histograms["serve_job_latency_ns"];
+        assert_eq!(hb, &snap.histograms["serve.job_latency_ns"]);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_and_parses_as_empty() {
+        let empty = MetricsSnapshot::default();
+        let text = render_exposition(&empty);
+        assert_eq!(text, "");
+        assert_eq!(parse_exposition(&text).unwrap(), empty);
+    }
+
+    #[test]
+    fn empty_histogram_family_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("quiet");
+        let snap = reg.snapshot();
+        let back = parse_exposition(&render_exposition(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        for (text, what) in [
+            ("# TYPE x sideways\n", "unknown TYPE kind"),
+            ("orphan 3\n", "no TYPE declaration"),
+            ("# TYPE x counter\nx notanumber\n", "bad value"),
+            ("# TYPE x histogram\nx 5\n", "without a _bucket"),
+            ("# TYPE x histogram\nx_count 0\n", "missing _sum"),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"5\"} 1\nx_sum 5\nx_count 1\n",
+                "not a bucket ceiling",
+            ),
+            (
+                "# TYPE x histogram\nx_bucket{le=\"+Inf\"} 2\nx_sum 5\nx_count 1\n",
+                "disagrees with _count",
+            ),
+        ] {
+            let err = parse_exposition(text).unwrap_err();
+            assert!(err.contains(what), "{text:?} → {err}");
+        }
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod exposition;
 pub mod json;
 pub mod metrics;
 pub mod ring;
@@ -31,6 +32,12 @@ pub mod summary;
 pub mod tracer;
 
 pub use chrome::{check_chrome_trace, chrome_trace};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-pub use summary::{percentile_ns, span_durations_ns, SpanAgg, ThreadAgg, TraceSummary};
+pub use exposition::{parse_exposition, render_exposition, sanitize_metric_name};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    HISTOGRAM_BUCKETS,
+};
+pub use summary::{
+    percentile_ns, request_chain, span_durations_ns, RequestSpan, SpanAgg, ThreadAgg, TraceSummary,
+};
 pub use tracer::{maybe_span, Args, Event, Phase, Span, TraceData, TraceMode, Tracer, TrackData};

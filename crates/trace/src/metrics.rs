@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::json::Json;
 
@@ -32,6 +32,13 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the counter to `total` if it is below it (monotone `max`).
+    /// For mirroring an externally-accumulated total (e.g. store puts
+    /// rolled up from per-tenant caches) without double counting.
+    pub fn observe_total(&self, total: u64) {
+        self.0.fetch_max(total, Ordering::Relaxed);
     }
 }
 
@@ -106,6 +113,17 @@ impl Histogram {
             sum: self.sum.load(Ordering::Relaxed),
         }
     }
+
+    /// Upper bound of bucket `i` (inclusive): the largest value the
+    /// bucket can hold. Bucket 0 holds only zero; bucket `i` holds
+    /// `[2^(i-1), 2^i - 1]`; bucket 64 tops out at `u64::MAX`.
+    pub fn bucket_ceil(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
 }
 
 /// A point-in-time copy of a [`Histogram`].
@@ -132,16 +150,49 @@ impl HistogramSnapshot {
             self.sum as f64 / n as f64
         }
     }
+
+    /// Nearest-rank quantile estimate for `q` in `[0, 100]`.
+    ///
+    /// Log2 buckets lose the exact observations, so the estimate is the
+    /// geometric midpoint of the bucket holding the rank — always within
+    /// that bucket's `[floor, ceil]` bounds. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Nearest rank: the k-th smallest observation, 1-based.
+        let rank = ((q / 100.0 * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let floor = Histogram::bucket_floor(i);
+                // floor + floor/2 stays below 2*floor, so the estimate
+                // never escapes the bucket.
+                return floor + floor / 2;
+            }
+        }
+        Histogram::bucket_ceil(HISTOGRAM_BUCKETS - 1)
+    }
 }
 
 #[derive(Default)]
 struct Inner {
-    counters: BTreeMap<&'static str, Arc<Counter>>,
-    gauges: BTreeMap<&'static str, Arc<Gauge>>,
-    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    counters: BTreeMap<String, Arc<Counter>>,
+    gauges: BTreeMap<String, Arc<Gauge>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
 }
 
 /// A registry handing out shared metric handles by name.
+///
+/// Names are owned strings so dynamically-shaped families
+/// (`serve.shard3.queue_depth`) register per instance. Components that
+/// want one ambient registry for the whole process use
+/// [`MetricsRegistry::global`]; components that need hermetic counts
+/// (a daemon under test, concurrent daemons in one binary) own their
+/// own instance instead.
 #[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<Inner>,
@@ -164,26 +215,39 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// The process-global registry, created on first use. Long-lived
+    /// services that want "the" registry share this one; anything that
+    /// asserts on exact counts should own a private instance.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
     /// The counter named `name`, creating it on first use.
-    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
-        Arc::clone(self.inner.lock().unwrap().counters.entry(name).or_default())
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.counters.get(name) {
+            Some(c) => Arc::clone(c),
+            None => Arc::clone(inner.counters.entry(name.to_string()).or_default()),
+        }
     }
 
     /// The gauge named `name`, creating it on first use.
-    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
-        Arc::clone(self.inner.lock().unwrap().gauges.entry(name).or_default())
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.gauges.get(name) {
+            Some(g) => Arc::clone(g),
+            None => Arc::clone(inner.gauges.entry(name.to_string()).or_default()),
+        }
     }
 
     /// The histogram named `name`, creating it on first use.
-    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
-        Arc::clone(
-            self.inner
-                .lock()
-                .unwrap()
-                .histograms
-                .entry(name)
-                .or_default(),
-        )
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.histograms.get(name) {
+            Some(h) => Arc::clone(h),
+            None => Arc::clone(inner.histograms.entry(name.to_string()).or_default()),
+        }
     }
 
     /// Snapshots every metric.
@@ -193,17 +257,17 @@ impl MetricsRegistry {
             counters: inner
                 .counters
                 .iter()
-                .map(|(&k, v)| (k.to_string(), v.get()))
+                .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             gauges: inner
                 .gauges
                 .iter()
-                .map(|(&k, v)| (k.to_string(), v.get()))
+                .map(|(k, v)| (k.clone(), v.get()))
                 .collect(),
             histograms: inner
                 .histograms
                 .iter()
-                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
         }
     }
@@ -265,6 +329,66 @@ impl MetricsSnapshot {
             ("gauges".to_string(), gauges),
             ("histograms".to_string(), histograms),
         ])
+    }
+
+    /// Parses the [`MetricsSnapshot::to_json`] form back. Missing
+    /// sections decode as empty; wrong types are errors.
+    ///
+    /// # Errors
+    /// Describes the first structural problem found.
+    pub fn from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
+        let section = |name: &str| -> Result<Vec<(String, Json)>, String> {
+            match doc.get(name) {
+                None => Ok(Vec::new()),
+                Some(j) => Ok(j
+                    .as_obj()
+                    .ok_or_else(|| format!("`{name}` is not an object"))?
+                    .to_vec()),
+            }
+        };
+        let mut snap = MetricsSnapshot::default();
+        for (k, v) in section("counters")? {
+            let v = v
+                .as_u64()
+                .ok_or_else(|| format!("counter `{k}`: not a u64"))?;
+            snap.counters.insert(k, v);
+        }
+        for (k, v) in section("gauges")? {
+            let v = match v {
+                Json::U64(n) => i64::try_from(n).ok(),
+                Json::I64(n) => Some(n),
+                _ => None,
+            }
+            .ok_or_else(|| format!("gauge `{k}`: not an i64"))?;
+            snap.gauges.insert(k, v);
+        }
+        for (k, v) in section("histograms")? {
+            let sum = v
+                .get("sum")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram `{k}`: missing u64 `sum`"))?;
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (floor, n) in v
+                .get("buckets")
+                .and_then(Json::as_obj)
+                .ok_or_else(|| format!("histogram `{k}`: missing `buckets` object"))?
+            {
+                let floor: u64 = floor
+                    .parse()
+                    .map_err(|_| format!("histogram `{k}`: bucket key `{floor}` is not a u64"))?;
+                let i = Histogram::bucket_index(floor);
+                if Histogram::bucket_floor(i) != floor {
+                    return Err(format!("histogram `{k}`: `{floor}` is not a bucket floor"));
+                }
+                let n = n
+                    .as_u64()
+                    .ok_or_else(|| format!("histogram `{k}`: bucket count is not a u64"))?;
+                buckets[i] = n;
+            }
+            snap.histograms
+                .insert(k, HistogramSnapshot { buckets, sum });
+        }
+        Ok(snap)
     }
 }
 
@@ -359,5 +483,78 @@ mod tests {
         let h = Histogram::default();
         assert_eq!(h.snapshot().mean(), 0.0);
         assert_eq!(h.snapshot().count(), 0);
+        assert_eq!(h.snapshot().quantile(50.0), 0);
+    }
+
+    #[test]
+    fn dynamic_names_register_distinct_handles() {
+        let reg = MetricsRegistry::new();
+        for shard in 0..4 {
+            reg.gauge(&format!("serve.shard{shard}.queue_depth"))
+                .set(shard);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges.len(), 4);
+        assert_eq!(snap.gauges["serve.shard3.queue_depth"], 3);
+    }
+
+    #[test]
+    fn observe_total_is_monotone() {
+        let c = Counter::default();
+        c.observe_total(10);
+        c.observe_total(7);
+        assert_eq!(c.get(), 10);
+        c.observe_total(12);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        MetricsRegistry::global().counter("test.global").inc();
+        MetricsRegistry::global().counter("test.global").inc();
+        assert!(MetricsRegistry::global().counter("test.global").get() >= 2);
+    }
+
+    #[test]
+    fn quantile_estimates_stay_inside_their_bucket() {
+        let h = Histogram::default();
+        for v in [1u64, 3, 3, 900, 1000, 1 << 20] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        for q in [0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let est = snap.quantile(q);
+            let i = Histogram::bucket_index(est);
+            assert!(snap.buckets[i] > 0, "q{q} → {est} in an empty bucket");
+            assert!(Histogram::bucket_floor(i) <= est && est <= Histogram::bucket_ceil(i));
+        }
+        // The median of {1,3,3,900,1000,2^20} sits in the 3s bucket [2,3].
+        assert!(snap.quantile(50.0) <= 3);
+        // The max lands in 2^20's bucket.
+        assert!(snap.quantile(100.0) >= 1 << 20);
+    }
+
+    #[test]
+    fn snapshot_json_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.counter("hits").add(7);
+        reg.gauge("depth").set(-3);
+        reg.gauge("live").set(9);
+        let h = reg.histogram("lat");
+        for v in [0, 1, 5, 5000, u64::MAX] {
+            h.record(v);
+        }
+        let snap = reg.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        // Empty documents decode as empty snapshots.
+        let empty = MetricsSnapshot::from_json(&Json::Obj(vec![])).unwrap();
+        assert_eq!(empty, MetricsSnapshot::default());
+        // Bad bucket keys are typed errors.
+        let bad = Json::parse(r#"{"histograms":{"h":{"sum":1,"buckets":{"3":1}}}}"#).unwrap();
+        assert!(
+            MetricsSnapshot::from_json(&bad).is_err(),
+            "3 is not a floor"
+        );
     }
 }

@@ -75,6 +75,13 @@ impl EventBuf {
         self.dropped.load(Ordering::Relaxed)
     }
 
+    /// Total slots in this buffer. With drop-newest overflow the
+    /// published length never exceeds this, so `len() / capacity()` is
+    /// the ring's occupancy.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Number of published events.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Acquire)

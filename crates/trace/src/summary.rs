@@ -71,6 +71,9 @@ pub struct TraceSummary {
     pub counters: BTreeMap<String, u64>,
     /// Events lost to ring-buffer overflow.
     pub dropped: u64,
+    /// Per-thread ring capacity the trace was recorded with (0 when the
+    /// source predates this field).
+    pub ring_capacity: u64,
 }
 
 /// Sums the lengths of the union of `[start, end)` intervals.
@@ -104,6 +107,7 @@ impl TraceSummary {
     pub fn from_trace(data: &TraceData) -> TraceSummary {
         let mut summary = TraceSummary {
             dropped: data.dropped,
+            ring_capacity: data.ring_capacity,
             ..TraceSummary::default()
         };
         for track in &data.tracks {
@@ -151,6 +155,11 @@ impl TraceSummary {
             dropped: doc
                 .get("otherData")
                 .and_then(|o| o.get("dropped_events"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            ring_capacity: doc
+                .get("otherData")
+                .and_then(|o| o.get("ring_capacity"))
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
             ..TraceSummary::default()
@@ -280,6 +289,103 @@ pub fn span_durations_ns(data: &TraceData, base: &str) -> Vec<u64> {
     durations
 }
 
+/// One span matching a request-id filter — a link in a request's causal
+/// chain across client and daemon traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestSpan {
+    /// Start, microseconds since the source tracer's epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Display name of the thread the span ran on.
+    pub thread: String,
+    /// Span name (including any dynamic label).
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+}
+
+/// Extracts every span in a parsed Chrome trace document whose
+/// `args.request_id` equals `rid`, ordered by start time — the engine
+/// behind `elfie trace summarize --request ID`. Each trace file has its
+/// own epoch, so chains from different files (client vs daemon) order
+/// within a file, not across files.
+///
+/// # Errors
+/// Returns a description of the first structural problem.
+pub fn request_chain(doc: &Json, rid: u64) -> Result<Vec<RequestSpan>, String> {
+    let events = doc
+        .field("traceEvents")?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array")?;
+    // First pass: thread names from the "M" metadata lane.
+    let mut names: BTreeMap<u64, String> = BTreeMap::new();
+    for event in events {
+        if event.get("ph").and_then(Json::as_str) == Some("M")
+            && event.get("name").and_then(Json::as_str) == Some("thread_name")
+        {
+            if let (Some(tid), Some(name)) = (
+                event.get("tid").and_then(Json::as_u64),
+                event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str),
+            ) {
+                names.insert(tid, name.to_string());
+            }
+        }
+    }
+    let mut chain = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        if event.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let matches = event
+            .get("args")
+            .and_then(|a| a.get("request_id"))
+            .and_then(Json::as_u64)
+            == Some(rid);
+        if !matches {
+            continue;
+        }
+        let err = |e: String| format!("event {i}: {e}");
+        let tid = event
+            .field("tid")
+            .map_err(&err)?
+            .as_u64()
+            .ok_or_else(|| err("`tid` is not an integer".into()))?;
+        chain.push(RequestSpan {
+            ts_us: event
+                .field("ts")
+                .map_err(&err)?
+                .as_f64()
+                .ok_or_else(|| err("`ts` is not a number".into()))?,
+            dur_us: event
+                .field("dur")
+                .map_err(&err)?
+                .as_f64()
+                .ok_or_else(|| err("`dur` is not a number".into()))?,
+            thread: names
+                .get(&tid)
+                .cloned()
+                .unwrap_or_else(|| format!("thread-{tid}")),
+            name: event
+                .field("name")
+                .map_err(&err)?
+                .as_str()
+                .ok_or_else(|| err("`name` is not a string".into()))?
+                .to_string(),
+            cat: event
+                .get("cat")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string(),
+        });
+    }
+    chain.sort_by(|a, b| a.ts_us.total_cmp(&b.ts_us));
+    Ok(chain)
+}
+
 /// Nearest-rank percentile (`p` in `[0, 100]`) over an ascending-sorted
 /// slice; 0 when empty. `percentile_ns(&d, 50.0)` is the median,
 /// `percentile_ns(&d, 100.0)` the maximum.
@@ -305,8 +411,16 @@ impl fmt::Display for TraceSummary {
             if self.threads.len() == 1 { "" } else { "s" },
             self.dropped
         )?;
-        for t in &self.threads {
+        if self.dropped > 0 {
             writeln!(
+                f,
+                "  warning: {} event{} dropped (per-thread rings overflowed; raise the ring capacity)",
+                self.dropped,
+                if self.dropped == 1 { "" } else { "s" }
+            )?;
+        }
+        for t in &self.threads {
+            write!(
                 f,
                 "  thread {}: {} events, {} spans, {:.3}s busy",
                 t.name,
@@ -314,6 +428,17 @@ impl fmt::Display for TraceSummary {
                 t.spans,
                 secs(t.busy_ns)
             )?;
+            if self.ring_capacity > 0 {
+                writeln!(
+                    f,
+                    ", ring {}/{} ({:.1}% full)",
+                    t.events,
+                    self.ring_capacity,
+                    t.events as f64 * 100.0 / self.ring_capacity as f64
+                )?;
+            } else {
+                writeln!(f)?;
+            }
         }
         for (name, agg) in &self.spans {
             writeln!(
@@ -451,6 +576,60 @@ mod tests {
         assert_eq!(percentile_ns(&d, 95.0), 100);
         assert_eq!(percentile_ns(&d, 100.0), 100);
         assert_eq!(percentile_ns(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn display_shows_ring_occupancy_and_drop_warning() {
+        let tracer = Arc::new(Tracer::with_capacity(TraceMode::Full, 4));
+        tracer.set_thread_name("main");
+        for _ in 0..10 {
+            tracer.instant("t", "e", &[]);
+        }
+        let text = TraceSummary::from_trace(&tracer.collect()).to_string();
+        assert!(text.contains("6 dropped"), "{text}");
+        assert!(text.contains("warning: 6 events dropped"), "{text}");
+        assert!(text.contains("ring 4/4 (100.0% full)"), "{text}");
+        // Through a Chrome file the figures survive otherData.
+        let doc = chrome_trace(&tracer.collect());
+        let via = TraceSummary::from_chrome_json(&Json::parse(&doc.render()).unwrap()).unwrap();
+        assert_eq!(via.dropped, 6);
+        assert_eq!(via.ring_capacity, 4);
+        assert!(via.to_string().contains("ring 4/4"), "{via}");
+        // Pre-ring_capacity files omit the occupancy column.
+        let legacy = TraceSummary {
+            ring_capacity: 0,
+            ..via
+        };
+        assert!(!legacy.to_string().contains("ring 4/4"), "{legacy}");
+    }
+
+    #[test]
+    fn request_chain_filters_spans_by_request_id() {
+        let tracer = Arc::new(Tracer::new(TraceMode::Full));
+        tracer.set_thread_name("conn-1");
+        {
+            let mut span = tracer.span("serve", "request");
+            span.arg("request_id", 77);
+        }
+        {
+            let mut span = tracer.span_labeled("serve", "job", "acme:gcc#1");
+            span.arg("request_id", 77);
+            span.arg("shard", 2);
+        }
+        {
+            let mut other = tracer.span("serve", "request");
+            other.arg("request_id", 9);
+        }
+        let _untagged = tracer.span("serve", "idle");
+        let doc = chrome_trace(&tracer.collect());
+        let parsed = Json::parse(&doc.render()).unwrap();
+        let chain = request_chain(&parsed, 77).unwrap();
+        assert_eq!(chain.len(), 2, "{chain:?}");
+        assert!(chain.iter().all(|s| s.thread == "conn-1"));
+        assert!(chain.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        assert!(chain.iter().any(|s| s.name == "job acme:gcc#1"));
+        assert!(request_chain(&parsed, 12345).unwrap().is_empty());
+        assert!(request_chain(&Json::Null, 1).is_err());
     }
 
     #[test]

@@ -165,6 +165,9 @@ pub struct TraceData {
     pub tracks: Vec<TrackData>,
     /// Events lost to buffer overflow, across all tracks.
     pub dropped: u64,
+    /// Per-thread ring capacity the tracer recorded with (0 when
+    /// unknown, e.g. a trace file written before this field existed).
+    pub ring_capacity: u64,
 }
 
 impl TraceData {
@@ -384,6 +387,7 @@ impl Tracer {
         TraceData {
             tracks: data,
             dropped,
+            ring_capacity: self.capacity as u64,
         }
     }
 }

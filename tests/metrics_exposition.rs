@@ -1,0 +1,138 @@
+//! Property tests for the Prometheus text exposition layer: rendered
+//! snapshots parse back exactly, histogram quantile estimates never
+//! escape their bucket, and neither the renderer nor the parser panics
+//! on degenerate input.
+
+use elfie_trace::{
+    parse_exposition, render_exposition, sanitize_metric_name, Histogram, HistogramSnapshot,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
+use proptest::collection::{btree_map, vec};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Names already on the Prometheus charset, with a per-family prefix so
+/// counters, gauges, and histograms never collide — and, because the
+/// generated part carries no underscores, no histogram name can equal
+/// another histogram's name plus a reserved `_bucket`/`_sum`/`_count`
+/// suffix. Such names round-trip unchanged through
+/// [`sanitize_metric_name`].
+fn safe_name(prefix: &'static str) -> impl Strategy<Value = String> {
+    vec(0..26u8, 1..10).prop_map(move |chars| {
+        let tail: String = chars.iter().map(|&c| (b'a' + c) as char).collect();
+        format!("{prefix}_{tail}")
+    })
+}
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        btree_map(0..HISTOGRAM_BUCKETS, 1..1_000_000u64, 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(filled, sum)| {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (i, n) in filled {
+                buckets[i] = n;
+            }
+            HistogramSnapshot { buckets, sum }
+        })
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        btree_map(safe_name("c"), any::<u64>(), 0..5),
+        btree_map(safe_name("g"), any::<i64>(), 0..5),
+        btree_map(safe_name("h"), histogram_strategy(), 0..4),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Render → parse is the identity on snapshots whose names are
+    /// already sanitized — every counter, gauge, bucket count, and sum
+    /// comes back exactly.
+    #[test]
+    fn snapshots_roundtrip_through_exposition_text(snap in snapshot_strategy()) {
+        let text = render_exposition(&snap);
+        let back = parse_exposition(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{text}")))?;
+        prop_assert_eq!(back, snap);
+    }
+
+    /// The quantile estimate always lands inside the log2 bucket that
+    /// holds the nearest rank — the estimator never invents a value the
+    /// histogram could not have observed.
+    #[test]
+    fn quantile_estimates_stay_within_their_bucket(
+        h in histogram_strategy(),
+        q in 0..101u32,
+    ) {
+        let n = h.count();
+        let est = h.quantile(f64::from(q));
+        if n == 0 {
+            prop_assert_eq!(est, 0);
+            return Ok(());
+        }
+        let rank = ((f64::from(q) / 100.0 * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        let mut holder = HISTOGRAM_BUCKETS - 1;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                holder = i;
+                break;
+            }
+        }
+        prop_assert!(
+            (Histogram::bucket_floor(holder)..=Histogram::bucket_ceil(holder)).contains(&est),
+            "q{} of {:?}-count histogram: estimate {} escaped bucket {}",
+            q, n, est, holder
+        );
+    }
+
+    /// Sanitized names always match `[a-zA-Z_:][a-zA-Z0-9_:]*`, and
+    /// rendering a snapshot keyed by arbitrary unicode never panics —
+    /// the renderer sanitizes on the way out.
+    #[test]
+    fn arbitrary_names_sanitize_and_render(name in ".*", value in any::<u64>()) {
+        let clean = sanitize_metric_name(&name);
+        let mut chars = clean.chars();
+        let head = chars.next().expect("sanitized names are never empty");
+        prop_assert!(head.is_ascii_alphabetic() || head == '_' || head == ':');
+        prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+        // Idempotent: a sanitized name is already on the charset.
+        prop_assert_eq!(sanitize_metric_name(&clean), clean);
+
+        let snap = MetricsSnapshot {
+            counters: BTreeMap::from([(name, value)]),
+            ..MetricsSnapshot::default()
+        };
+        let text = render_exposition(&snap);
+        prop_assert!(text.contains("# TYPE"));
+    }
+
+    /// The parser is total: arbitrary text answers `Ok` or a non-empty
+    /// error, never a panic.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in ".*") {
+        if let Err(e) = parse_exposition(&text) {
+            prop_assert!(!e.is_empty());
+        }
+    }
+}
+
+/// Empty registries are not an edge case the text format trips over: an
+/// empty snapshot renders as the empty string and parses back to itself.
+#[test]
+fn empty_snapshot_roundtrips() {
+    let empty = MetricsSnapshot::default();
+    let text = render_exposition(&empty);
+    assert_eq!(text, "");
+    assert_eq!(parse_exposition(&text).expect("parses"), empty);
+}

@@ -9,16 +9,25 @@
 //!   survives; an oversized frame gets a typed `error` and the stream
 //!   closes;
 //! * shutdown drains gracefully (every admitted job finishes);
-//! * startup failures are typed errors, never panics.
+//! * startup failures are typed errors, never panics;
+//! * the telemetry layer (`metrics` verb) agrees *exactly* with the
+//!   protocol-level stats — job totals, shed counts, per-shard queue
+//!   depths, and a job-latency histogram;
+//! * `submit --follow` streams typed phase events for a sharded
+//!   simulate job, ending with the result frame;
+//! * a client-stamped request id lands on the daemon-side spans of the
+//!   exported Chrome trace.
 
 use elfie::prelude::*;
 use elfie_serve::protocol::{read_frame, write_frame};
 use elfie_serve::{
-    Client, Daemon, FrameError, JobKind, JobSpec, Request, Response, ServeConfig, ServeError,
+    Client, Daemon, FrameError, JobKind, JobPhase, JobSpec, Request, Response, ServeConfig,
+    ServeError,
 };
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn tmp(name: &str) -> PathBuf {
@@ -143,6 +152,32 @@ fn hundred_concurrent_warm_jobs_match_offline_bit_for_bit() {
     assert!(!jobs.is_empty());
     assert!(jobs.iter().all(|j| j.state == "done"), "{jobs:?}");
 
+    // The metrics registry agrees exactly with what the test drove:
+    // every submit is counted, every job completed, nothing failed,
+    // the latency histogram saw every job, and the idle shards all
+    // report empty queues.
+    let total = end_stats.completed;
+    let metrics = control.metrics().expect("metrics");
+    assert_eq!(metrics.counters["serve.jobs.submitted"], total);
+    assert_eq!(metrics.counters["serve.jobs.completed"], total);
+    assert_eq!(metrics.counters["serve.jobs.failed"], 0);
+    assert_eq!(metrics.counters["serve.requests.submit"], total);
+    assert_eq!(metrics.histograms["serve.job_latency_ns"].count(), total);
+    assert!(
+        metrics.histograms["serve.job_latency_ns"].quantile(0.5) > 0,
+        "median job latency must be nonzero"
+    );
+    for shard in 0..ServeConfig::default().shards {
+        let depth = metrics.gauges[&format!("serve.shard{shard}.queue_depth")];
+        assert_eq!(depth, 0, "idle shard {shard} reports a drained queue");
+    }
+    assert_eq!(
+        metrics.counters["serve.store.puts"], end_stats.store_puts,
+        "scrape-time store totals mirror the stats verb"
+    );
+    assert!(metrics.gauges["serve.peak_rss_bytes"] > 0);
+    assert!(metrics.gauges["serve.uptime_s"] >= 0);
+
     // Graceful shutdown: the run thread joins and accounts for every job.
     let drained = control.shutdown().expect("shutdown");
     assert_eq!(drained, end_stats.completed);
@@ -162,6 +197,7 @@ fn over_capacity_burst_is_shed_with_typed_busy() {
         ServeConfig {
             shards: 1,
             queue_depth: 2,
+            telemetry: true,
         },
         None,
     )
@@ -198,6 +234,12 @@ fn over_capacity_burst_is_shed_with_typed_busy() {
     let stats = control.stats().expect("stats");
     assert_eq!(stats.rejected_busy, busy as u64);
     assert_eq!(stats.completed, done as u64);
+    let metrics = control.metrics().expect("metrics");
+    assert_eq!(
+        metrics.counters["serve.busy_shed"], busy as u64,
+        "the shed counter mirrors the typed busy responses"
+    );
+    assert_eq!(metrics.counters["serve.jobs.completed"], done as u64);
     control.shutdown().expect("shutdown");
     let report = server.join().expect("daemon thread");
     assert_eq!(report.rejected_busy, busy as u64);
@@ -269,6 +311,121 @@ fn malformed_frame_gets_typed_error_and_connection_survives() {
     let mut control = Client::connect(&addr.to_string()).expect("connects");
     control.shutdown().expect("shutdown");
     server.join().expect("daemon thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_follow_streams_every_phase_of_a_sharded_simulate_job() {
+    let dir = tmp("follow");
+    let daemon = Daemon::bind("127.0.0.1:0", &dir, ServeConfig::default(), None).expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let job = JobSpec {
+        kind: JobKind::Simulate,
+        workload: "gcc_like".to_string(),
+        scale: "test".to_string(),
+        start: 20_000,
+        length: 6_000,
+        shards: 2,
+        interval: 1_000,
+        ..JobSpec::default()
+    };
+    let mut client = Client::connect(&addr).expect("connects");
+    let mut phases: Vec<(u64, u64, JobPhase)> = Vec::new();
+    let response = client
+        .submit_follow("acme", job, |id, shard, phase| {
+            phases.push((id, shard, phase))
+        })
+        .expect("follows");
+    match response {
+        Response::Done { report, .. } => assert!(report.contains("sim "), "{report}"),
+        other => panic!("{other:?}"),
+    }
+
+    // The stream carried every transition of the sharded pipeline, in
+    // order: queued, profile, each slice completion, stitch, render.
+    let names: Vec<&str> = phases.iter().map(|(_, _, p)| p.name()).collect();
+    let expected_prefix = ["queued", "profile"];
+    assert!(
+        names.len() >= 4 && names[..2] == expected_prefix,
+        "stream must open queued -> profile: {names:?}"
+    );
+    assert!(names.contains(&"slice"), "{names:?}");
+    assert!(names.contains(&"stitch"), "{names:?}");
+    assert!(names.contains(&"render"), "{names:?}");
+    let slices: Vec<(u64, u64)> = phases
+        .iter()
+        .filter_map(|(_, _, p)| match *p {
+            JobPhase::Slice { done, total } => Some((done, total)),
+            _ => None,
+        })
+        .collect();
+    assert!(!slices.is_empty());
+    let total = slices[0].1;
+    assert_eq!(
+        slices.last().unwrap(),
+        &(total, total),
+        "the last slice event reports full completion: {slices:?}"
+    );
+    assert!(slices.windows(2).all(|w| w[0].0 < w[1].0), "{slices:?}");
+    let ids: Vec<u64> = phases.iter().map(|(id, _, _)| *id).collect();
+    assert!(ids.windows(2).all(|w| w[0] == w[1]), "one job id: {ids:?}");
+
+    // The jobs listing shows the retained job's final phase label.
+    let jobs = client.jobs().expect("jobs");
+    let row = jobs.iter().find(|j| j.id == ids[0]).expect("retained row");
+    assert_eq!(row.state, "done");
+    assert_eq!(row.phase, "render");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("daemon thread");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn request_ids_correlate_daemon_spans_in_exported_trace() {
+    let dir = tmp("rid");
+    let tracer = Arc::new(Tracer::new(TraceMode::Full));
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        &dir,
+        ServeConfig::default(),
+        Some(Arc::clone(&tracer)),
+    )
+    .expect("binds");
+    let addr = daemon.local_addr().to_string();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect(&addr).expect("connects");
+    match client.submit("acme", spec("gcc_like")).expect("submits") {
+        Response::Done { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    let rid = client.last_rid();
+    assert_ne!(rid, 0, "the client stamps every request");
+    client.shutdown().expect("shutdown");
+    server.join().expect("daemon thread");
+
+    // The exported Chrome trace carries the client's id on both the
+    // connection-side request span and the shard worker's job span.
+    let doc = elfie::trace::chrome_trace(&tracer.collect());
+    let chain = elfie::trace::request_chain(&doc, rid).expect("chain");
+    assert!(
+        chain.iter().any(|s| s.name.starts_with("request")),
+        "request span must carry request_id {rid}: {chain:?}"
+    );
+    assert!(
+        chain.iter().any(|s| s.name.starts_with("job")),
+        "job span must carry request_id {rid}: {chain:?}"
+    );
+    // A different request (the shutdown) got a different id, so its
+    // spans are not in this chain.
+    assert_ne!(client.last_rid(), rid);
+    assert!(
+        chain.iter().all(|s| !s.name.contains("shutdown")),
+        "{chain:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -2,11 +2,13 @@
 //! corruption is a typed error, and no input — truncated, oversized, or
 //! arbitrary bytes — ever panics the decoder.
 
+use elfie::trace::{HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
 use elfie_serve::protocol::{read_frame, write_frame};
 use elfie_serve::{
-    FrameError, JobKind, JobSpec, JobSummary, Request, Response, ServeStats, MAX_FRAME,
+    frame_rid, with_rid, FrameError, JobKind, JobPhase, JobSpec, JobSummary, Request, Response,
+    ServeStats, MAX_FRAME,
 };
-use proptest::collection::vec;
+use proptest::collection::{btree_map, vec};
 use proptest::prelude::*;
 
 fn kind_strategy() -> impl Strategy<Value = JobKind> {
@@ -26,9 +28,15 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
         (kind_strategy(), ".*", ".*", ".*"),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((kind, workload, scale, sim), (slice, warmup, maxk, seed), (fuel, start, length))| {
+            |(
+                (kind, workload, scale, sim),
+                (slice, warmup, maxk, seed),
+                (fuel, start, length),
+                (shards, interval),
+            )| {
                 JobSpec {
                     kind,
                     workload,
@@ -41,6 +49,8 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
                     start,
                     length,
                     sim,
+                    shards,
+                    interval,
                 }
             },
         )
@@ -49,9 +59,14 @@ fn spec_strategy() -> impl Strategy<Value = JobSpec> {
 fn request_strategy() -> impl Strategy<Value = Request> {
     prop_oneof![
         Just(Request::Ping),
-        (".*", spec_strategy()).prop_map(|(tenant, job)| Request::Submit { tenant, job }),
-        Just(Request::Jobs),
+        (".*", spec_strategy(), any::<bool>()).prop_map(|(tenant, job, follow)| Request::Submit {
+            tenant,
+            job,
+            follow
+        }),
+        any::<u64>().prop_map(|watch_ms| Request::Jobs { watch_ms }),
         Just(Request::Stats),
+        Just(Request::Metrics),
         Just(Request::Shutdown),
     ]
 }
@@ -64,14 +79,58 @@ fn summary_strategy() -> impl Strategy<Value = JobSummary> {
         ".*",
         any::<u64>(),
         ".*",
+        ".*",
     )
-        .prop_map(|(id, tenant, kind, workload, shard, state)| JobSummary {
-            id,
-            tenant,
-            kind,
-            workload,
-            shard,
-            state,
+        .prop_map(
+            |(id, tenant, kind, workload, shard, state, phase)| JobSummary {
+                id,
+                tenant,
+                kind,
+                workload,
+                shard,
+                state,
+                phase,
+            },
+        )
+}
+
+fn phase_strategy() -> impl Strategy<Value = JobPhase> {
+    prop_oneof![
+        Just(JobPhase::Queued),
+        Just(JobPhase::Profile),
+        (any::<u64>(), any::<u64>()).prop_map(|(done, total)| JobPhase::Slice { done, total }),
+        Just(JobPhase::Stitch),
+        Just(JobPhase::Render),
+    ]
+}
+
+fn histogram_strategy() -> impl Strategy<Value = HistogramSnapshot> {
+    // Sparse bucket fills: the wire format keys buckets by floor value
+    // and drops empty ones, so a few scattered non-zero counts exercise
+    // the interesting encode/decode paths.
+    (
+        btree_map(0..HISTOGRAM_BUCKETS, 1..u64::MAX, 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(filled, sum)| {
+            let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+            for (i, n) in filled {
+                buckets[i] = n;
+            }
+            HistogramSnapshot { buckets, sum }
+        })
+}
+
+fn metrics_strategy() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        btree_map(".*", any::<u64>(), 0..4),
+        btree_map(".*", any::<i64>(), 0..4),
+        btree_map(".*", histogram_strategy(), 0..3),
+    )
+        .prop_map(|(counters, gauges, histograms)| MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
         })
 }
 
@@ -132,6 +191,9 @@ fn response_strategy() -> impl Strategy<Value = Response> {
         ".*".prop_map(|message| Response::Error { message }),
         vec(summary_strategy(), 0..5).prop_map(|jobs| Response::Jobs { jobs }),
         stats_strategy().prop_map(|stats| Response::Stats { stats }),
+        metrics_strategy().prop_map(|metrics| Response::Metrics { metrics }),
+        (any::<u64>(), any::<u64>(), phase_strategy())
+            .prop_map(|(id, shard, phase)| Response::Progress { id, shard, phase }),
         any::<u64>().prop_map(|drained| Response::Bye { drained }),
     ]
 }
@@ -159,6 +221,18 @@ proptest! {
         prop_assert_eq!(Response::from_json(&doc).expect("decode"), resp);
     }
 
+    /// A request-id stamped onto any request envelope survives the
+    /// frame loop: the decoded document reports the same rid, and the
+    /// request body decodes unchanged. A zero rid stamps nothing.
+    #[test]
+    fn request_ids_survive_the_frame_loop(req in request_strategy(), rid in any::<u64>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &with_rid(req.to_json(), rid)).expect("write");
+        let doc = read_frame(&mut buf.as_slice()).expect("read");
+        prop_assert_eq!(frame_rid(&doc), rid);
+        prop_assert_eq!(Request::from_json(&doc).expect("decode"), req);
+    }
+
     /// Truncating a valid frame at ANY offset yields a typed error
     /// (`Closed` at the boundary, `Truncated` inside) — never a panic,
     /// never a bogus success.
@@ -167,6 +241,25 @@ proptest! {
         let mut buf = Vec::new();
         write_frame(&mut buf, &req.to_json()).expect("write");
         prop_assert_eq!(read_frame(&mut [].as_slice()), Err(FrameError::Closed));
+        for cut in 1..buf.len() {
+            match read_frame(&mut &buf[..cut]) {
+                Err(FrameError::Truncated { expected, got }) => {
+                    prop_assert_eq!(got, cut);
+                    prop_assert!(expected > got);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("cut at {cut}: {other:?}")));
+                }
+            }
+        }
+    }
+
+    /// The streamed frames get the same truncation guarantee: `metrics`
+    /// and `progress` responses cut at any offset are typed errors.
+    #[test]
+    fn response_truncation_at_any_offset_is_typed(resp in response_strategy()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp.to_json()).expect("write");
         for cut in 1..buf.len() {
             match read_frame(&mut &buf[..cut]) {
                 Err(FrameError::Truncated { expected, got }) => {
@@ -220,11 +313,35 @@ proptest! {
         use elfie::trace::json::Json;
         let doc = Json::Obj(vec![("type".to_string(), Json::Str(ty.clone()))]);
         match (Request::from_json(&doc), ty.as_str()) {
-            (Ok(_), "ping" | "submit" | "jobs" | "stats" | "shutdown") => {}
+            (Ok(_), "ping" | "submit" | "jobs" | "stats" | "metrics" | "shutdown") => {}
             (Ok(req), other) => {
                 return Err(TestCaseError::fail(format!("`{other}` decoded to {req:?}")));
             }
             (Err(e), _) => prop_assert!(!e.is_empty()),
+        }
+    }
+
+    /// A `progress` frame whose phase name is outside the wire set is a
+    /// typed error naming the offender — never a panic or a default.
+    #[test]
+    fn unknown_phase_strings_are_typed_errors(name in ".*", done in any::<u64>(), total in any::<u64>()) {
+        use elfie::trace::json::Json;
+        let doc = Json::Obj(vec![
+            ("type".to_string(), Json::Str("progress".to_string())),
+            ("id".to_string(), Json::U64(1)),
+            ("shard".to_string(), Json::U64(0)),
+            ("phase".to_string(), Json::Str(name.clone())),
+            ("done".to_string(), Json::U64(done)),
+            ("total".to_string(), Json::U64(total)),
+        ]);
+        match (Response::from_json(&doc), name.as_str()) {
+            (Ok(Response::Progress { phase, .. }), "queued" | "profile" | "slice" | "stitch" | "render") => {
+                prop_assert_eq!(phase.name(), name.as_str());
+            }
+            (Ok(resp), other) => {
+                return Err(TestCaseError::fail(format!("phase `{other}` decoded to {resp:?}")));
+            }
+            (Err(e), _) => prop_assert!(e.contains("unknown job phase"), "{}", e),
         }
     }
 }
